@@ -1,0 +1,127 @@
+//===- bench/bench_fig1_frp.cpp - Paper Figure 1 --------------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// Regenerates Figure 1: the FRP conversion process on a superblock with
+// three sequentially dependent branches. Prints the original superblock
+// (branch dependences expose every branch's latency) and the
+// FRP-converted form (branches guarded by mutually exclusive fully
+// resolved predicates, freely reorderable), and measures the branch
+// dependence height before and after on every machine model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepGraph.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "regions/FRPConversion.h"
+#include "sched/ListScheduler.h"
+#include "support/TableFormat.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace cpr;
+
+namespace {
+
+/// The Figure 1 superblock: three compares/branches with stores between
+/// them (the generic non-speculative operations of the figure).
+const char *Fig1Src = R"(
+func @figure1 {
+block @SB:
+  p1:un = cmpp.lt(r11, r21)
+  b1 = pbr(@E1)
+  branch(p1, b1)
+  store.m1(r31, r41)
+  p2:un = cmpp.lt(r12, r22)
+  b2 = pbr(@E2)
+  branch(p2, b2)
+  store.m1(r32, r42)
+  p3:un = cmpp.lt(r13, r23)
+  b3 = pbr(@E3)
+  branch(p3, b3)
+  store.m1(r33, r43)
+  halt
+block @E1:
+  halt
+block @E2:
+  halt
+block @E3:
+  halt
+}
+)";
+
+int lastBranchDeparture(const Function &F, const MachineDesc &MD) {
+  const Block &B = F.block(0);
+  RegionPQS PQS(F, B);
+  Liveness LV(F);
+  DepGraph DG(F, B, MD, PQS, LV);
+  Schedule S = scheduleBlock(B, DG, MD);
+  int Last = 0;
+  for (size_t I = 0; I < B.size(); ++I)
+    if (B.ops()[I].isBranch())
+      Last = std::max(Last, S.departureCycle(I, B, MD));
+  return Last;
+}
+
+void printFigure1() {
+  std::unique_ptr<Function> Orig = parseFunctionOrDie(Fig1Src);
+  std::unique_ptr<Function> Conv = parseFunctionOrDie(Fig1Src);
+  convertToFRP(*Conv, Conv->block(0));
+
+  std::printf("Figure 1(a): original superblock, sequential branches\n\n%s\n",
+              printBlock(*Orig, Orig->block(0)).c_str());
+  std::printf("Figure 1(b): FRP-converted superblock, independent "
+              "branches\n\n%s\n",
+              printBlock(*Conv, Conv->block(0)).c_str());
+
+  // Mutual exclusion evidence.
+  RegionPQS PQS(*Conv, Conv->block(0));
+  std::vector<size_t> Brs;
+  for (size_t I = 0; I < Conv->block(0).size(); ++I)
+    if (Conv->block(0).ops()[I].isBranch())
+      Brs.push_back(I);
+  bool AllDisjoint = true;
+  for (size_t I = 0; I < Brs.size(); ++I)
+    for (size_t J = I + 1; J < Brs.size(); ++J)
+      AllDisjoint &=
+          PQS.disjoint(PQS.takenExpr(Brs[I]), PQS.takenExpr(Brs[J]));
+  std::printf("branch predicates pairwise disjoint after conversion: %s\n\n",
+              AllDisjoint ? "yes" : "NO");
+
+  TextTable T;
+  T.setHeader({"machine (branch latency 2)", "last-exit cycle, original",
+               "last-exit cycle, FRP-converted"});
+  for (const MachineDesc &MD : MachineDesc::paperModels(/*BranchLat=*/2)) {
+    std::unique_ptr<Function> O2 = parseFunctionOrDie(Fig1Src);
+    std::unique_ptr<Function> C2 = parseFunctionOrDie(Fig1Src);
+    convertToFRP(*C2, C2->block(0));
+    T.addRow({MD.getName(),
+              std::to_string(lastBranchDeparture(*O2, MD)),
+              std::to_string(lastBranchDeparture(*C2, MD))});
+  }
+  std::printf("Exposed branch latency (2 cycles) makes the dependence "
+              "chain visible; FRP conversion removes it on machines with "
+              "branch throughput:\n\n%s\n",
+              T.render().c_str());
+}
+
+void BM_FrpConversion(benchmark::State &State) {
+  for (auto _ : State) {
+    std::unique_ptr<Function> F = parseFunctionOrDie(Fig1Src);
+    FRPConversionStats S = convertToFRP(*F, F->block(0));
+    benchmark::DoNotOptimize(S.BranchesConverted);
+  }
+}
+BENCHMARK(BM_FrpConversion)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printFigure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

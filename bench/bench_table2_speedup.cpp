@@ -1,0 +1,71 @@
+//===- bench/bench_table2_speedup.cpp - Paper Table 2 ---------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// Regenerates Table 2: "The effectiveness of ICBM for processors with
+// branch latency 1" -- the speedup of height-reduced (FRP + ICBM + DCE)
+// code over baseline superblock code, per benchmark, on the sequential,
+// narrow, medium, wide, and infinite machine models, with geometric-mean
+// rows over the SPEC-95 subset and over all benchmarks.
+//
+// Also registers google-benchmark timers for the pipeline's compile-side
+// cost on a representative input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/CompilerPipeline.h"
+#include "interp/Profiler.h"
+#include "support/Statistics.h"
+#include "support/TableFormat.h"
+#include "pipeline/Reports.h"
+#include "workloads/BenchmarkSuite.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace cpr;
+
+namespace {
+
+void printTable2() {
+  std::vector<SuiteRow> Rows = runSuite();
+  std::printf("Table 2: speedup of control CPR (ICBM) over baseline "
+              "superblock code, branch latency 1\n");
+  std::printf("(paper reference Gmean-all: Seq 1.13, Nar 1.05, Med 1.18, "
+              "Wid 1.33, Inf 1.41)\n\n%s\n",
+              renderTable2(Rows).c_str());
+}
+
+/// Compile-side cost of the full pipeline on the strcpy kernel.
+void BM_PipelineStrcpy(benchmark::State &State) {
+  for (auto _ : State) {
+    KernelProgram P = buildStrcpyKernel(8, 4096, 1);
+    PipelineResult R = runPipeline(P);
+    benchmark::DoNotOptimize(R.Machines.data());
+  }
+}
+BENCHMARK(BM_PipelineStrcpy)->Unit(benchmark::kMillisecond);
+
+/// ICBM transformation alone on a synthetic application.
+void BM_ControlCPROnly(benchmark::State &State) {
+  std::vector<BenchmarkSpec> Suite = paperBenchmarkSuite();
+  KernelProgram P = findBenchmark(Suite, "126.gcc").Build();
+  Memory Mem = P.InitMem;
+  ProfileData Prof = profileRun(*P.Func, Mem, P.InitRegs);
+  for (auto _ : State) {
+    std::unique_ptr<Function> T = applyControlCPR(*P.Func, Prof,
+                                                  CPROptions());
+    benchmark::DoNotOptimize(T.get());
+  }
+}
+BENCHMARK(BM_ControlCPROnly)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,46 @@
+//===- examples/grep_scan.cpp - Byte scanning under control CPR -----------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// grep's inner loop -- scan a buffer for a target byte with rarely-taken
+// hit branches -- is one of the paper's largest winners (2.11x on the
+// wide machine, Table 2). This example sweeps the hit rate to show the
+// profile sensitivity of the transformation: as hits become common, the
+// exit-weight heuristic cuts CPR blocks short and the speedup fades,
+// exactly the unbiased-branch behavior Section 7 describes for 099.go.
+//
+//   ./build/examples/grep_scan [unroll] [length]
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/CompilerPipeline.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cpr;
+
+int main(int argc, char **argv) {
+  unsigned Unroll = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 8;
+  size_t Len = argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 16384;
+
+  std::printf("grep inner-loop scan, unroll %u, %zu bytes\n\n", Unroll, Len);
+  std::printf("%-9s %7s %9s | %7s %7s %7s %7s %7s\n", "hit rate",
+              "blocks", "dyn br", "Seq", "Nar", "Med", "Wid", "Inf");
+
+  for (double Rate : {0.001, 0.01, 0.05, 0.15, 0.40}) {
+    KernelProgram P = buildGrepKernel(Unroll, Len, Rate, 42);
+    PipelineResult R = runPipeline(P);
+    std::printf("%-9.3f %7u %8.2fx |", Rate, R.CPR.CPRBlocksTransformed,
+                R.dynBranchRatio());
+    for (const MachineComparison &M : R.Machines)
+      std::printf(" %6.2fx", M.speedup());
+    std::printf("\n");
+  }
+
+  std::printf("\nrare hits -> long CPR blocks -> branch chain collapses "
+              "and the scan parallelizes;\nfrequent hits -> unbiased "
+              "branches -> the heuristics back off, as in the paper's "
+              "099.go discussion\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+//===- analysis/BDD.cpp - Reduced ordered binary decision diagrams --------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BDD.h"
+
+#include <cassert>
+
+using namespace cpr;
+
+namespace {
+/// Variable index of the terminals: larger than any real variable, so the
+/// top-variable computation in ite() ignores terminals.
+constexpr uint32_t TerminalVar = ~0u;
+
+/// Packs three 21-bit values into one 64-bit key.
+uint64_t pack3(uint64_t A, uint64_t B, uint64_t C) {
+  assert(A < (1u << 21) && B < (1u << 21) && C < (1u << 21));
+  return (A << 42) | (B << 21) | C;
+}
+} // namespace
+
+BDD::BDD(size_t MaxNodes) : MaxNodes(MaxNodes) {
+  assert(MaxNodes < (1u << 21) && "node budget exceeds key packing range");
+  Nodes.push_back(Node{TerminalVar, False, False}); // False terminal
+  Nodes.push_back(Node{TerminalVar, True, True});   // True terminal
+}
+
+uint32_t BDD::varOf(NodeRef F) const { return Nodes[F].Var; }
+
+BDD::NodeRef BDD::mkNode(uint32_t Var, NodeRef Low, NodeRef High) {
+  if (Low == Invalid || High == Invalid)
+    return Invalid;
+  if (Low == High)
+    return Low; // reduction rule
+  uint64_t Key = pack3(Var, Low, High);
+  auto It = Unique.find(Key);
+  if (It != Unique.end())
+    return It->second;
+  if (Nodes.size() >= MaxNodes)
+    return Invalid;
+  NodeRef R = static_cast<NodeRef>(Nodes.size());
+  Nodes.push_back(Node{Var, Low, High});
+  Unique.emplace(Key, R);
+  return R;
+}
+
+BDD::NodeRef BDD::var(uint32_t Var) {
+  assert(Var < (1u << 20) && "variable index out of packing range");
+  return mkNode(Var, False, True);
+}
+
+BDD::NodeRef BDD::ite(NodeRef F, NodeRef G, NodeRef H) {
+  if (F == Invalid || G == Invalid || H == Invalid)
+    return Invalid;
+  // Terminal cases.
+  if (F == True)
+    return G;
+  if (F == False)
+    return H;
+  if (G == H)
+    return G;
+  if (G == True && H == False)
+    return F;
+
+  uint64_t Key = pack3(F, G, H);
+  auto It = IteMemo.find(Key);
+  if (It != IteMemo.end())
+    return It->second;
+
+  uint32_t Top = varOf(F);
+  if (varOf(G) < Top)
+    Top = varOf(G);
+  if (varOf(H) < Top)
+    Top = varOf(H);
+
+  auto Cofactor = [&](NodeRef N, bool High) -> NodeRef {
+    if (varOf(N) != Top)
+      return N;
+    return High ? Nodes[N].High : Nodes[N].Low;
+  };
+
+  NodeRef HighRes = ite(Cofactor(F, true), Cofactor(G, true), Cofactor(H, true));
+  NodeRef LowRes =
+      ite(Cofactor(F, false), Cofactor(G, false), Cofactor(H, false));
+  NodeRef R = mkNode(Top, LowRes, HighRes);
+  if (R != Invalid)
+    IteMemo.emplace(Key, R);
+  return R;
+}
+
+BDD::NodeRef BDD::mkNot(NodeRef F) { return ite(F, False, True); }
+
+BDD::NodeRef BDD::mkAnd(NodeRef F, NodeRef G) { return ite(F, G, False); }
+
+BDD::NodeRef BDD::mkOr(NodeRef F, NodeRef G) { return ite(F, True, G); }
+
+bool BDD::disjoint(NodeRef F, NodeRef G) {
+  NodeRef R = mkAnd(F, G);
+  return R == False; // Invalid is conservatively "maybe overlapping".
+}
+
+bool BDD::implies(NodeRef F, NodeRef G) {
+  NodeRef NotG = mkNot(G);
+  if (NotG == Invalid)
+    return false;
+  return mkAnd(F, NotG) == False;
+}

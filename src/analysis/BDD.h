@@ -1,0 +1,90 @@
+//===- analysis/BDD.h - Reduced ordered binary decision diagrams -*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small reduced-ordered-BDD package used by the Predicate Query System.
+/// Predicate expressions in FRP-converted and CPR-transformed code are
+/// conjunction/disjunction chains over compare-condition atoms; BDDs decide
+/// disjointness and implication between such expressions exactly and
+/// cheaply. A node budget guards against pathological growth; when the
+/// budget is exhausted, operations return Invalid and clients must fall
+/// back to conservative answers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_BDD_H
+#define ANALYSIS_BDD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace cpr {
+
+/// A BDD manager. NodeRefs are indices into the manager's node table and
+/// are only meaningful for the manager that produced them.
+class BDD {
+public:
+  using NodeRef = uint32_t;
+
+  /// The constant-false and constant-true terminals.
+  static constexpr NodeRef False = 0;
+  static constexpr NodeRef True = 1;
+  /// Returned when the node budget is exhausted.
+  static constexpr NodeRef Invalid = ~0u;
+
+  /// \param MaxNodes node budget; Invalid is returned past it.
+  explicit BDD(size_t MaxNodes = 1u << 20);
+
+  /// Returns the function of the single variable \p Var.
+  NodeRef var(uint32_t Var);
+
+  /// Logical negation. Returns Invalid on budget exhaustion or if \p F is
+  /// Invalid (Invalid propagates through all operations).
+  NodeRef mkNot(NodeRef F);
+
+  NodeRef mkAnd(NodeRef F, NodeRef G);
+  NodeRef mkOr(NodeRef F, NodeRef G);
+
+  /// If-then-else: F ? G : H.
+  NodeRef ite(NodeRef F, NodeRef G, NodeRef H);
+
+  bool isFalse(NodeRef F) const { return F == False; }
+  bool isTrue(NodeRef F) const { return F == True; }
+  bool isValid(NodeRef F) const { return F != Invalid; }
+
+  /// Exact query: F and G can never be true together. Returns false
+  /// (conservative) when either input is Invalid or the budget runs out.
+  bool disjoint(NodeRef F, NodeRef G);
+
+  /// Exact query: F implies G. Conservatively false on Invalid/budget.
+  bool implies(NodeRef F, NodeRef G);
+
+  /// Number of allocated nodes (terminals included).
+  size_t numNodes() const { return Nodes.size(); }
+
+private:
+  struct Node {
+    uint32_t Var;
+    NodeRef Low;
+    NodeRef High;
+  };
+
+  NodeRef mkNode(uint32_t Var, NodeRef Low, NodeRef High);
+  uint32_t varOf(NodeRef F) const;
+
+  std::vector<Node> Nodes;
+  size_t MaxNodes;
+  // Unique table: (Var, Low, High) -> node.
+  std::unordered_map<uint64_t, NodeRef> Unique;
+  // ITE memo: (F, G, H) -> result.
+  std::unordered_map<uint64_t, NodeRef> IteMemo;
+};
+
+} // namespace cpr
+
+#endif // ANALYSIS_BDD_H

@@ -1,0 +1,247 @@
+//===- analysis/Liveness.cpp - Register liveness ---------------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include "analysis/CFG.h"
+#include "support/Error.h"
+
+using namespace cpr;
+
+const RegSet Liveness::EmptySet;
+
+namespace {
+
+/// Returns true if \p Op always writes destination slot \p D when control
+/// reaches it (so the definition kills liveness even in set analysis).
+/// FRP-positional guards (isFrpGuard) are true whenever control reaches
+/// the operation in program order, so such definitions kill as well.
+bool defAlwaysWrites(const Operation &Op, const DefSlot &D) {
+  if (Op.isCmpp())
+    // UN/UC targets always write (Table 1); wired targets may not.
+    return D.Act == CmppAction::UN || D.Act == CmppAction::UC;
+  return Op.getGuard().isTruePred() || Op.isFrpGuard();
+}
+
+/// Applies one operation backwards to a register set.
+void transferSet(const Operation &Op, RegSet &Live) {
+  for (const DefSlot &D : Op.defs())
+    if (defAlwaysWrites(Op, D))
+      Live.erase(D.R);
+  if (!Op.getGuard().isTruePred())
+    Live.insert(Op.getGuard());
+  for (const Operand &S : Op.srcs())
+    if (S.isReg())
+      Live.insert(S.getReg());
+}
+
+} // namespace
+
+Liveness::Liveness(const Function &F) {
+  for (Reg R : F.observableRegs())
+    ObservableSet.insert(R);
+
+  // Initialize empty sets.
+  for (size_t I = 0, E = F.numBlocks(); I != E; ++I) {
+    LiveInMap[F.block(I).getId()] = {};
+    LiveOutMap[F.block(I).getId()] = {};
+  }
+
+  // Iterate to a fixed point, visiting blocks in reverse layout order.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t BI = F.numBlocks(); BI-- > 0;) {
+      const Block &B = F.block(BI);
+
+      // Live-out = union of successors' live-in; halting exits contribute
+      // the observable set.
+      RegSet Out;
+      for (const BlockExit &E : blockExits(F, BI)) {
+        if (E.Target == InvalidBlockId) {
+          Out.insert(ObservableSet.begin(), ObservableSet.end());
+          continue;
+        }
+        const RegSet &SuccIn = LiveInMap[E.Target];
+        Out.insert(SuccIn.begin(), SuccIn.end());
+      }
+
+      // Backward transfer through the block. Interior exits add their
+      // targets' live-ins at the exit point, which the union above already
+      // over-approximates (set live-out covers all exits); to stay precise
+      // enough we recompute with exits folded at their positions.
+      RegSet Live = Out;
+      // Positions of interior exits.
+      std::vector<BlockExit> Exits = blockExits(F, BI);
+      for (size_t OI = B.size(); OI-- > 0;) {
+        const Operation &Op = B.ops()[OI];
+        if (Op.isControl()) {
+          for (const BlockExit &E : Exits) {
+            if (E.OpIdx != static_cast<int>(OI))
+              continue;
+            if (E.Target == InvalidBlockId)
+              Live.insert(ObservableSet.begin(), ObservableSet.end());
+            else {
+              const RegSet &SuccIn = LiveInMap[E.Target];
+              Live.insert(SuccIn.begin(), SuccIn.end());
+            }
+          }
+        }
+        transferSet(Op, Live);
+      }
+
+      if (Live != LiveInMap[B.getId()]) {
+        LiveInMap[B.getId()] = Live;
+        Changed = true;
+      }
+      LiveOutMap[B.getId()] = std::move(Out);
+    }
+  }
+}
+
+const RegSet &Liveness::liveIn(BlockId B) const {
+  auto It = LiveInMap.find(B);
+  return It == LiveInMap.end() ? EmptySet : It->second;
+}
+
+const RegSet &Liveness::liveOut(BlockId B) const {
+  auto It = LiveOutMap.find(B);
+  return It == LiveOutMap.end() ? EmptySet : It->second;
+}
+
+RegSet Liveness::liveAtExit(const Function &F, const Block &B,
+                            size_t OpIdx) const {
+  const Operation &Op = B.ops()[OpIdx];
+  assert(Op.isControl() && "liveAtExit requires a control operation");
+  if (Op.isBranch()) {
+    BlockId Target = resolveBranchTarget(B, OpIdx);
+    if (Target != InvalidBlockId)
+      return liveIn(Target);
+    (void)F;
+    return ObservableSet;
+  }
+  return ObservableSet; // halt/trap observe the observable registers
+}
+
+//===----------------------------------------------------------------------===//
+// PredicatedLiveness
+//===----------------------------------------------------------------------===//
+
+BDD::NodeRef PredicatedLiveness::get(const LiveMap &M, Reg R) {
+  auto It = M.find(R);
+  return It == M.end() ? BDD::False : It->second;
+}
+
+PredicatedLiveness::PredicatedLiveness(const Function &F, const Block &B,
+                                       RegionPQS &PQS, const Liveness &L) {
+  BDD &Mgr = PQS.bdd();
+  const std::vector<Operation> &Ops = B.ops();
+  LiveBeforeOp.resize(Ops.size() + 1);
+
+  // Block-end map: the layout successor's live-in, but only when control
+  // can actually reach the end of the block (an unguarded halt/trap makes
+  // the fall-through point unreachable).
+  LiveMap Cur;
+  int LayoutIdx = F.layoutIndex(B.getId());
+  bool FallsThrough = false;
+  if (LayoutIdx >= 0) {
+    for (const BlockExit &E : blockExits(F, static_cast<size_t>(LayoutIdx)))
+      if (E.isFallThrough())
+        FallsThrough = true;
+  }
+  if (FallsThrough && LayoutIdx >= 0 &&
+      static_cast<size_t>(LayoutIdx) + 1 < F.numBlocks()) {
+    for (Reg R : L.liveIn(F.block(static_cast<size_t>(LayoutIdx) + 1).getId()))
+      Cur[R] = BDD::True;
+  } else if (FallsThrough) {
+    for (Reg R : F.observableRegs())
+      Cur[R] = BDD::True;
+  }
+  LiveBeforeOp[Ops.size()] = Cur;
+
+  auto OrInto = [&](LiveMap &M, Reg R, BDD::NodeRef Cond) {
+    BDD::NodeRef Old = get(M, R);
+    BDD::NodeRef New = Mgr.mkOr(Old, Cond);
+    if (New == BDD::Invalid)
+      New = BDD::True; // conservative: live
+    M[R] = New;
+  };
+
+  for (size_t I = Ops.size(); I-- > 0;) {
+    const Operation &Op = Ops[I];
+    BDD::NodeRef G = PQS.guardExpr(I);
+
+    // Exits merge in their target's live set under the exit condition.
+    if (Op.isBranch()) {
+      RegSet ExitLive = L.liveAtExit(F, B, I);
+      BDD::NodeRef Taken = PQS.takenExpr(I);
+      for (Reg R : ExitLive)
+        OrInto(Cur, R, Taken);
+    } else if (Op.getOpcode() == Opcode::Halt ||
+               Op.getOpcode() == Opcode::Trap) {
+      for (Reg R : F.observableRegs())
+        OrInto(Cur, R, G);
+    }
+
+    // Kill definitions under their write conditions.
+    for (const DefSlot &D : Op.defs()) {
+      BDD::NodeRef WriteCond = BDD::False;
+      if (Op.isCmpp()) {
+        switch (D.Act) {
+        case CmppAction::UN:
+        case CmppAction::UC:
+          WriteCond = BDD::True; // unconditional targets always write
+          break;
+        default:
+          WriteCond = BDD::False; // wired writes: conservative no-kill
+          break;
+        }
+      } else {
+        // Positional (FRP) guards are true whenever the op is reached.
+        WriteCond = Op.isFrpGuard() ? BDD::True : G;
+      }
+      if (WriteCond != BDD::False) {
+        BDD::NodeRef Old = get(Cur, D.R);
+        BDD::NodeRef New = Mgr.mkAnd(Old, Mgr.mkNot(WriteCond));
+        if (New == BDD::Invalid)
+          New = Old; // conservative: keep live
+        if (New == BDD::False)
+          Cur.erase(D.R);
+        else
+          Cur[D.R] = New;
+      }
+    }
+
+    // Uses become live under the guard condition (even a cmpp's
+    // unconditional targets write a value independent of the sources when
+    // the guard is false); the guard register itself is read
+    // unconditionally to decide nullification.
+    if (!Op.getGuard().isTruePred())
+      OrInto(Cur, Op.getGuard(), BDD::True);
+    if (Op.isBranch()) {
+      // The predicate decides whether the branch takes (read whenever the
+      // branch issues); the target register matters only when it takes.
+      OrInto(Cur, Op.branchPred(), BDD::True);
+      OrInto(Cur, Op.branchTargetReg(), PQS.takenExpr(I));
+    } else {
+      for (const Operand &S : Op.srcs())
+        if (S.isReg())
+          OrInto(Cur, S.getReg(), G);
+    }
+
+    LiveBeforeOp[I] = Cur;
+  }
+}
+
+BDD::NodeRef PredicatedLiveness::liveAfter(size_t OpIdx, Reg R) const {
+  assert(OpIdx + 1 < LiveBeforeOp.size() + 1);
+  return get(LiveBeforeOp[OpIdx + 1], R);
+}
+
+BDD::NodeRef PredicatedLiveness::liveBefore(size_t OpIdx, Reg R) const {
+  assert(OpIdx < LiveBeforeOp.size());
+  return get(LiveBeforeOp[OpIdx], R);
+}

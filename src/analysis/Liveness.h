@@ -1,0 +1,87 @@
+//===- analysis/Liveness.h - Register liveness ------------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two liveness analyses:
+///
+///  - Function-level set liveness (iterative dataflow over blocks), used by
+///    the scheduler's speculation legality check and by dead-code
+///    elimination. Predicated definitions under a non-true guard do not
+///    kill (conservative).
+///
+///  - Predicated (expression-valued) intra-block liveness, following the
+///    predicate-aware dataflow of [JS96] that the paper's predicate
+///    speculation phase depends on: the liveness of each register at each
+///    point is a boolean expression (BDD) over the region's predicate
+///    atoms, so "would promoting this operation's guard overwrite a live
+///    value" is an exact query.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_LIVENESS_H
+#define ANALYSIS_LIVENESS_H
+
+#include "analysis/PQS.h"
+#include "ir/Function.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace cpr {
+
+/// A set of registers.
+using RegSet = std::unordered_set<Reg>;
+
+/// Function-level set liveness.
+class Liveness {
+public:
+  explicit Liveness(const Function &F);
+
+  const RegSet &liveIn(BlockId B) const;
+  const RegSet &liveOut(BlockId B) const;
+
+  /// Registers live when the branch/halt at op \p OpIdx of block \p B
+  /// leaves the block (the live-in of its target, or the observable set
+  /// for halt).
+  RegSet liveAtExit(const Function &F, const Block &B, size_t OpIdx) const;
+
+private:
+  std::unordered_map<BlockId, RegSet> LiveInMap;
+  std::unordered_map<BlockId, RegSet> LiveOutMap;
+  RegSet ObservableSet;
+  static const RegSet EmptySet;
+};
+
+/// Predicated intra-block liveness: per operation index, a map from
+/// register to the BDD condition under which it is live *before* the
+/// operation executes.
+class PredicatedLiveness {
+public:
+  /// \param F the function; \p B the analyzed block; \p PQS expressions
+  /// for \p B; \p L function-level liveness (for exit live sets).
+  PredicatedLiveness(const Function &F, const Block &B, RegionPQS &PQS,
+                     const Liveness &L);
+
+  /// The condition under which \p R is live immediately after op \p OpIdx.
+  /// Returns BDD::False when \p R is dead there.
+  BDD::NodeRef liveAfter(size_t OpIdx, Reg R) const;
+
+  /// The condition under which \p R is live immediately before op \p OpIdx.
+  BDD::NodeRef liveBefore(size_t OpIdx, Reg R) const;
+
+private:
+  using LiveMap = std::unordered_map<Reg, BDD::NodeRef>;
+  static BDD::NodeRef get(const LiveMap &M, Reg R);
+
+  // LiveBeforeOp[I] = liveness map at the program point before op I.
+  // An extra trailing entry holds the block-end (fall-through) map.
+  std::vector<LiveMap> LiveBeforeOp;
+};
+
+} // namespace cpr
+
+#endif // ANALYSIS_LIVENESS_H

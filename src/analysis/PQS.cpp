@@ -1,0 +1,223 @@
+//===- analysis/PQS.cpp - Predicate Query System ---------------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PQS.h"
+
+#include "support/Error.h"
+
+#include <map>
+
+using namespace cpr;
+
+namespace {
+
+/// Canonicalizes a condition to one of {EQ, LT, LE} plus a negation flag,
+/// so that e.g. "ne(a,b)" and "eq(a,b)" share an atom.
+std::pair<CompareCond, bool> canonicalCond(CompareCond C) {
+  switch (C) {
+  case CompareCond::EQ:
+    return {CompareCond::EQ, false};
+  case CompareCond::NE:
+    return {CompareCond::EQ, true};
+  case CompareCond::LT:
+    return {CompareCond::LT, false};
+  case CompareCond::GE:
+    return {CompareCond::LT, true};
+  case CompareCond::LE:
+    return {CompareCond::LE, false};
+  case CompareCond::GT:
+    return {CompareCond::LE, true};
+  case CompareCond::None:
+    break;
+  }
+  CPR_UNREACHABLE("canonicalCond on None");
+}
+
+/// A value number for a comparison source: either an immediate constant or
+/// a (register, defining-op-sequence-number) pair.
+struct SrcVN {
+  bool IsImm;
+  int64_t Imm;
+  Reg R;
+  uint64_t DefSeq;
+
+  bool operator<(const SrcVN &O) const {
+    if (IsImm != O.IsImm)
+      return IsImm < O.IsImm;
+    if (IsImm)
+      return Imm < O.Imm;
+    if (R != O.R)
+      return R < O.R;
+    return DefSeq < O.DefSeq;
+  }
+};
+
+/// Key identifying one comparison atom.
+struct AtomKey {
+  CompareCond Cond;
+  SrcVN A;
+  SrcVN B;
+
+  bool operator<(const AtomKey &O) const {
+    if (Cond != O.Cond)
+      return Cond < O.Cond;
+    if (A < O.A || O.A < A)
+      return A < O.A;
+    return B < O.B;
+  }
+};
+
+} // namespace
+
+RegionPQS::RegionPQS(const Function &F, const Block &B) {
+  (void)F;
+  const std::vector<Operation> &Ops = B.ops();
+  GuardExprs.resize(Ops.size(), BDD::Invalid);
+  SrcPred.resize(Ops.size());
+  DefAfter.resize(Ops.size());
+  DefBefore.resize(Ops.size());
+
+  // Current symbolic value per predicate register; absent = not yet bound.
+  std::unordered_map<Reg, BDD::NodeRef> PredVal;
+  // Value numbering for GPR sources: sequence number of the last def.
+  std::unordered_map<Reg, uint64_t> GprDefSeq;
+  uint64_t NextSeq = 1;
+  // Atom table.
+  std::map<AtomKey, BDD::NodeRef> Atoms;
+  uint32_t NextVar = 0;
+
+  auto FreshAtom = [&]() { return Mgr.var(NextVar++); };
+
+  auto PredExpr = [&](Reg R) -> BDD::NodeRef {
+    if (R.isTruePred())
+      return BDD::True;
+    auto It = PredVal.find(R);
+    if (It != PredVal.end())
+      return It->second;
+    // Live-in predicate: opaque atom.
+    BDD::NodeRef A = FreshAtom();
+    PredVal.emplace(R, A);
+    return A;
+  };
+
+  auto SrcValueNumber = [&](const Operand &O) -> SrcVN {
+    if (O.isImm())
+      return SrcVN{true, O.getImm(), Reg(), 0};
+    Reg R = O.getReg();
+    auto It = GprDefSeq.find(R);
+    uint64_t Seq = It == GprDefSeq.end() ? 0 : It->second;
+    return SrcVN{false, 0, R, Seq};
+  };
+
+  for (size_t I = 0, E = Ops.size(); I != E; ++I) {
+    const Operation &Op = Ops[I];
+    BDD::NodeRef G = PredExpr(Op.getGuard());
+    GuardExprs[I] = G;
+
+    // Record predicate source expressions as read.
+    SrcPred[I].resize(Op.srcs().size(), BDD::Invalid);
+    for (size_t S = 0; S < Op.srcs().size(); ++S) {
+      const Operand &O = Op.srcs()[S];
+      if (O.isReg() && O.getReg().isPred())
+        SrcPred[I][S] = PredExpr(O.getReg());
+    }
+
+    switch (Op.getOpcode()) {
+    case Opcode::Cmpp: {
+      // Build (or reuse) the comparison atom.
+      auto [CanonCond, Negated] = canonicalCond(Op.getCond());
+      AtomKey Key{CanonCond, SrcValueNumber(Op.srcs()[0]),
+                  SrcValueNumber(Op.srcs()[1])};
+      auto [It, Inserted] = Atoms.try_emplace(Key, BDD::Invalid);
+      if (Inserted)
+        It->second = FreshAtom();
+      BDD::NodeRef C = It->second;
+      if (Negated)
+        C = Mgr.mkNot(C);
+
+      for (const DefSlot &D : Op.defs()) {
+        BDD::NodeRef Old = PredExpr(D.R);
+        DefBefore[I].push_back(PredSnapshot{D.R, Old});
+        BDD::NodeRef New = BDD::Invalid;
+        switch (D.Act) {
+        case CmppAction::UN:
+          New = Mgr.mkAnd(G, C);
+          break;
+        case CmppAction::UC:
+          New = Mgr.mkAnd(G, Mgr.mkNot(C));
+          break;
+        case CmppAction::ON:
+          New = Mgr.mkOr(Old, Mgr.mkAnd(G, C));
+          break;
+        case CmppAction::OC:
+          New = Mgr.mkOr(Old, Mgr.mkAnd(G, Mgr.mkNot(C)));
+          break;
+        case CmppAction::AN:
+          New = Mgr.mkAnd(Old, Mgr.mkOr(Mgr.mkNot(G), C));
+          break;
+        case CmppAction::AC:
+          New = Mgr.mkAnd(Old, Mgr.mkOr(Mgr.mkNot(G), Mgr.mkNot(C)));
+          break;
+        case CmppAction::None:
+          CPR_UNREACHABLE("cmpp destination without action");
+        }
+        if (New == BDD::Invalid)
+          New = FreshAtom(); // budget exhausted: opaque, conservative
+        PredVal[D.R] = New;
+        DefAfter[I].push_back(PredSnapshot{D.R, New});
+      }
+      break;
+    }
+    case Opcode::Mov: {
+      const DefSlot &D = Op.defs()[0];
+      if (D.R.isPred()) {
+        BDD::NodeRef Old = PredExpr(D.R);
+        DefBefore[I].push_back(PredSnapshot{D.R, Old});
+        const Operand &Src = Op.srcs()[0];
+        BDD::NodeRef SrcE =
+            Src.isImm() ? (Src.getImm() ? BDD::True : BDD::False)
+                        : PredExpr(Src.getReg());
+        // Guarded move: dest = guard ? src : old.
+        BDD::NodeRef New = Mgr.ite(G, SrcE, Old);
+        if (New == BDD::Invalid)
+          New = FreshAtom();
+        PredVal[D.R] = New;
+        DefAfter[I].push_back(PredSnapshot{D.R, New});
+      } else if (D.R.getClass() == RegClass::GPR) {
+        GprDefSeq[D.R] = NextSeq++;
+      }
+      break;
+    }
+    default:
+      // Any GPR definition invalidates value numbers built on it.
+      for (const DefSlot &D : Op.defs())
+        if (D.R.getClass() == RegClass::GPR)
+          GprDefSeq[D.R] = NextSeq++;
+      break;
+    }
+  }
+}
+
+BDD::NodeRef RegionPQS::predSrcExpr(size_t OpIdx, size_t SrcIdx) const {
+  assert(OpIdx < SrcPred.size() && SrcIdx < SrcPred[OpIdx].size());
+  return SrcPred[OpIdx][SrcIdx];
+}
+
+BDD::NodeRef RegionPQS::takenExpr(size_t OpIdx) const {
+  return predSrcExpr(OpIdx, 0);
+}
+
+BDD::NodeRef RegionPQS::predValueAfter(size_t OpIdx, Reg R) const {
+  // Walk backwards from OpIdx looking for the most recent definition.
+  for (size_t I = OpIdx + 1; I-- > 0;) {
+    for (const PredSnapshot &S : DefAfter[I])
+      if (S.R == R)
+        return S.Expr;
+  }
+  if (R.isTruePred())
+    return BDD::True;
+  return BDD::Invalid; // live-in; caller should not need this.
+}

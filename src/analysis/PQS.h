@@ -1,0 +1,87 @@
+//===- analysis/PQS.h - Predicate Query System ------------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Predicate Query System: symbolic boolean expressions for predicate
+/// registers within a linear region, with exact disjointness / implication
+/// queries. This is the project's stand-in for the predicate-cognizant
+/// analysis infrastructure the paper's compiler (Elcor) relies on, after
+/// Johnson & Schlansker, "Analysis Techniques for Predicated Code"
+/// (MICRO-29, 1996) [JS96].
+///
+/// The analysis walks a block once, assigning each predicate definition a
+/// BDD over *atoms*. An atom is one value-numbered comparison: two cmpp
+/// operations evaluating the same condition over the same (unmodified)
+/// source values share an atom, which is what lets the system see that the
+/// lookahead compares ICBM inserts are correlated with the original branch
+/// compares they mirror. Predicates live into the region are opaque atoms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_PQS_H
+#define ANALYSIS_PQS_H
+
+#include "analysis/BDD.h"
+#include "ir/Function.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace cpr {
+
+/// Predicate expressions for every point of one block.
+class RegionPQS {
+public:
+  /// Builds expressions for every operation of \p B in \p F.
+  RegionPQS(const Function &F, const Block &B);
+
+  /// The underlying BDD manager (valid for this object's lifetime).
+  BDD &bdd() { return Mgr; }
+
+  /// Expression of operation \p OpIdx's guard predicate as read.
+  BDD::NodeRef guardExpr(size_t OpIdx) const { return GuardExprs[OpIdx]; }
+
+  /// Expression of the execution condition of op \p OpIdx: its guard for
+  /// most operations. (Unconditional cmpp targets still write under a false
+  /// guard; clients that care use defExpr instead.)
+  BDD::NodeRef execExpr(size_t OpIdx) const { return GuardExprs[OpIdx]; }
+
+  /// Expression of predicate source \p SrcIdx of op \p OpIdx as read.
+  /// Returns BDD::Invalid if that source is not a predicate register.
+  BDD::NodeRef predSrcExpr(size_t OpIdx, size_t SrcIdx) const;
+
+  /// For a Branch at \p OpIdx: expression of its taken condition.
+  BDD::NodeRef takenExpr(size_t OpIdx) const;
+
+  /// Expression of the value of predicate register \p R *after* op \p OpIdx
+  /// has executed. Equals the expression before the op unless the op
+  /// defines \p R.
+  BDD::NodeRef predValueAfter(size_t OpIdx, Reg R) const;
+
+  /// Exact disjointness (conservatively false on BDD budget exhaustion).
+  bool disjoint(BDD::NodeRef A, BDD::NodeRef B) { return Mgr.disjoint(A, B); }
+
+  /// Exact implication (conservatively false on budget exhaustion).
+  bool implies(BDD::NodeRef A, BDD::NodeRef B) { return Mgr.implies(A, B); }
+
+private:
+  struct PredSnapshot {
+    Reg R;
+    BDD::NodeRef Expr;
+  };
+
+  BDD Mgr;
+  std::vector<BDD::NodeRef> GuardExprs;           // per op
+  std::vector<std::vector<BDD::NodeRef>> SrcPred; // per op, per src
+  // Per op: values of predicates it defines, after the op.
+  std::vector<std::vector<PredSnapshot>> DefAfter;
+  // Per op: values of predicates it defines, before the op (for wired reads).
+  std::vector<std::vector<PredSnapshot>> DefBefore;
+};
+
+} // namespace cpr
+
+#endif // ANALYSIS_PQS_H

@@ -1,0 +1,18 @@
+//===- analysis/ProfileData.cpp - Branch and block profiles ---------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ProfileData.h"
+
+using namespace cpr;
+
+void ProfileData::merge(const ProfileData &Other) {
+  for (const auto &[B, N] : Other.BlockEntries)
+    BlockEntries[B] += N;
+  for (const auto &[Op, N] : Other.BranchReached)
+    BranchReached[Op] += N;
+  for (const auto &[Op, N] : Other.BranchTaken)
+    BranchTaken[Op] += N;
+}

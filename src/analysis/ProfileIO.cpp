@@ -1,0 +1,101 @@
+//===- analysis/ProfileIO.cpp - Profile serialization ----------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ProfileIO.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+using namespace cpr;
+
+std::string cpr::serializeProfile(const ProfileData &P, const Function &F) {
+  std::string Out = "profile v1\n";
+  char Line[128];
+  // Walk the function so ids come out in a stable order and only entities
+  // that exist are emitted.
+  for (size_t BI = 0, BE = F.numBlocks(); BI != BE; ++BI) {
+    const Block &B = F.block(BI);
+    uint64_t Entries = P.blockEntries(B.getId());
+    if (Entries != 0) {
+      std::snprintf(Line, sizeof(Line), "block %u %" PRIu64 "\n", B.getId(),
+                    Entries);
+      Out += Line;
+    }
+  }
+  for (size_t BI = 0, BE = F.numBlocks(); BI != BE; ++BI) {
+    for (const Operation &Op : F.block(BI).ops()) {
+      if (!Op.isBranch())
+        continue;
+      uint64_t Reached = P.branchReached(Op.getId());
+      uint64_t Taken = P.branchTaken(Op.getId());
+      if (Reached == 0 && Taken == 0)
+        continue;
+      std::snprintf(Line, sizeof(Line), "branch %u %" PRIu64 " %" PRIu64 "\n",
+                    Op.getId(), Reached, Taken);
+      Out += Line;
+    }
+  }
+  return Out;
+}
+
+ProfileParseResult cpr::parseProfile(const std::string &Text) {
+  ProfileParseResult Res;
+  std::istringstream In(Text);
+  std::string LineStr;
+  unsigned LineNo = 0;
+  bool SawHeader = false;
+  while (std::getline(In, LineStr)) {
+    ++LineNo;
+    // Strip comments and whitespace-only lines.
+    size_t Hash = LineStr.find('#');
+    if (Hash != std::string::npos)
+      LineStr.resize(Hash);
+    std::istringstream L(LineStr);
+    std::string Kind;
+    if (!(L >> Kind))
+      continue;
+    if (!SawHeader) {
+      std::string Version;
+      if (Kind != "profile" || !(L >> Version) || Version != "v1") {
+        Res.Error = "line " + std::to_string(LineNo) +
+                    ": expected 'profile v1' header";
+        return Res;
+      }
+      SawHeader = true;
+      continue;
+    }
+    if (Kind == "block") {
+      uint64_t Id, Entries;
+      if (!(L >> Id >> Entries)) {
+        Res.Error = "line " + std::to_string(LineNo) + ": bad block record";
+        return Res;
+      }
+      Res.Profile.addBlockEntry(static_cast<BlockId>(Id), Entries);
+    } else if (Kind == "branch") {
+      uint64_t Id, Reached, Taken;
+      if (!(L >> Id >> Reached >> Taken)) {
+        Res.Error = "line " + std::to_string(LineNo) + ": bad branch record";
+        return Res;
+      }
+      if (Taken > Reached) {
+        Res.Error = "line " + std::to_string(LineNo) +
+                    ": taken count exceeds reached count";
+        return Res;
+      }
+      Res.Profile.addBranchReached(static_cast<OpId>(Id), Reached);
+      Res.Profile.addBranchTaken(static_cast<OpId>(Id), Taken);
+    } else {
+      Res.Error =
+          "line " + std::to_string(LineNo) + ": unknown record '" + Kind +
+          "'";
+      return Res;
+    }
+  }
+  if (!SawHeader)
+    Res.Error = "missing 'profile v1' header";
+  return Res;
+}

@@ -1,0 +1,47 @@
+//===- analysis/ProfileIO.h - Profile serialization -------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization of branch/block profiles. The paper's methodology
+/// (and [FF92], which it cites for profile stability across data sets)
+/// separates profile collection from profile use; this module provides
+/// that separation: collect once with the interpreter, save, and feed the
+/// saved profile to ICBM on later runs or different inputs.
+///
+/// Format (line oriented, '#' comments):
+///
+///   profile v1
+///   block <blockId> <entries>
+///   branch <opId> <reached> <taken>
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_PROFILEIO_H
+#define ANALYSIS_PROFILEIO_H
+
+#include "analysis/ProfileData.h"
+
+#include <string>
+
+namespace cpr {
+
+/// Serializes \p P. Ids are emitted in ascending order so the output is
+/// deterministic.
+std::string serializeProfile(const ProfileData &P, const Function &F);
+
+/// Parse result for profiles.
+struct ProfileParseResult {
+  ProfileData Profile;
+  std::string Error; ///< empty on success
+  explicit operator bool() const { return Error.empty(); }
+};
+
+/// Parses a profile serialized by serializeProfile.
+ProfileParseResult parseProfile(const std::string &Text);
+
+} // namespace cpr
+
+#endif // ANALYSIS_PROFILEIO_H

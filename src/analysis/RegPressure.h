@@ -1,0 +1,55 @@
+//===- analysis/RegPressure.h - Register pressure analysis ------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register-pressure measurement: the maximum number of simultaneously
+/// live registers per class at any program point of a block (and across a
+/// function). The paper cites "improved predicate sensitive register
+/// allocation" as a second-order benefit of predicate demotion
+/// (Section 5.1), and control CPR's lookahead predicates and split
+/// operations change pressure; this module quantifies both effects (see
+/// the pressure report in bench_fig4_schema-style audits and
+/// tests/analysis/RegPressureTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANALYSIS_REGPRESSURE_H
+#define ANALYSIS_REGPRESSURE_H
+
+#include "analysis/Liveness.h"
+#include "ir/Function.h"
+
+#include <array>
+
+namespace cpr {
+
+/// Peak simultaneous liveness per register class.
+struct PressureReport {
+  std::array<unsigned, NumRegClasses> Peak = {0, 0, 0, 0};
+
+  unsigned gpr() const { return Peak[static_cast<unsigned>(RegClass::GPR)]; }
+  unsigned fpr() const { return Peak[static_cast<unsigned>(RegClass::FPR)]; }
+  unsigned pred() const { return Peak[static_cast<unsigned>(RegClass::PR)]; }
+  unsigned btr() const { return Peak[static_cast<unsigned>(RegClass::BTR)]; }
+
+  /// Element-wise maximum.
+  void mergeMax(const PressureReport &O) {
+    for (unsigned I = 0; I < NumRegClasses; ++I)
+      Peak[I] = Peak[I] > O.Peak[I] ? Peak[I] : O.Peak[I];
+  }
+};
+
+/// Measures peak pressure within block \p B of \p F (walking backward
+/// from the block's live-out through every operation point).
+PressureReport measureBlockPressure(const Function &F, const Block &B,
+                                    const Liveness &LV);
+
+/// Peak pressure across all blocks of \p F.
+PressureReport measureFunctionPressure(const Function &F);
+
+} // namespace cpr
+
+#endif // ANALYSIS_REGPRESSURE_H

@@ -1,0 +1,51 @@
+//===- cpr/CPROptions.h - ICBM tuning knobs ---------------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tuning parameters for the ICBM control-CPR transformation. As in the
+/// paper (Section 7), a single set of thresholds -- tuned for the medium
+/// (4,2,2,1) machine -- is used for every processor model; the threshold
+/// ablation bench sweeps them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPR_CPROPTIONS_H
+#define CPR_CPROPTIONS_H
+
+namespace cpr {
+
+/// Options for the ICBM schema.
+struct CPROptions {
+  /// Exit-weight test: growth of a CPR block stops when the cumulative
+  /// taken frequency of its branches exceeds this fraction of the block's
+  /// entry frequency (paper Section 5.2).
+  double ExitWeightThreshold = 0.20;
+
+  /// Predict-taken test: a candidate branch whose own taken frequency
+  /// exceeds this fraction of the CPR block entry frequency ends the block
+  /// as a likely-taken CPR block (taken variation).
+  double PredictTakenThreshold = 0.60;
+
+  /// Practical cap on CPR block size (number of branches); a blocking
+  /// control in the spirit of Section 4.1's blocking discussion.
+  unsigned MaxBranchesPerBlock = 16;
+
+  /// Minimum branches for a CPR block to be worth transforming.
+  unsigned MinBranchesPerBlock = 2;
+
+  /// Run the predicate speculation phase (ablation knob; without it,
+  /// separability fails at almost every block of FRP-converted code).
+  bool EnablePredicateSpeculation = true;
+
+  /// Allow the taken variation (likely-taken final branch). When false,
+  /// the predict-taken test is disabled and only fall-through CPR blocks
+  /// form.
+  bool EnableTakenVariation = true;
+};
+
+} // namespace cpr
+
+#endif // CPR_CPROPTIONS_H

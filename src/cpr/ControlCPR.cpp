@@ -1,0 +1,93 @@
+//===- cpr/ControlCPR.cpp - The ICBM driver --------------------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpr/ControlCPR.h"
+
+#include "cpr/OffTraceMotion.h"
+#include "cpr/PredicateSpeculation.h"
+#include "cpr/Restructure.h"
+#include "regions/FRPConversion.h"
+#include "ir/Verifier.h"
+
+using namespace cpr;
+
+CPRResult cpr::runControlCPR(Function &F, const ProfileData &Profile,
+                             const CPROptions &Opts) {
+  CPRResult Result;
+
+  // Snapshot the regions to process: restructure appends compensation
+  // blocks which must not themselves be processed.
+  std::vector<BlockId> Regions;
+  for (size_t I = 0, E = F.numBlocks(); I != E; ++I)
+    if (!F.block(I).isCompensation())
+      Regions.push_back(F.block(I).getId());
+
+  for (BlockId RId : Regions) {
+    Block &B = *F.blockById(RId);
+    if (B.empty())
+      continue;
+    ++Result.RegionsProcessed;
+
+    // Snapshot: when no CPR block in this region turns out to be
+    // transformable, the region is restored to its pre-pass form -- the
+    // paper's "code is left unchanged over an input subregion" policy.
+    // (FRP conversion and speculation are only enablers for ICBM; left in
+    // place without it they merely unchain exits for no benefit.)
+    std::vector<Operation> Snapshot = B.ops();
+
+    // Phase 0: FRP conversion (paper Section 4.1) prepares the region.
+    convertToFRP(F, B);
+
+    // Phase 1: predicate speculation.
+    SpeculationStats SS;
+    if (Opts.EnablePredicateSpeculation) {
+      SS = speculatePredicates(F, B);
+    }
+
+    // Phase 2: match.
+    std::vector<CPRBlockInfo> Blocks = matchCPRBlocks(F, B, Profile, Opts);
+    bool AnyTransformable = false;
+    for (const CPRBlockInfo &Info : Blocks)
+      AnyTransformable |= Info.Transformable;
+    if (!AnyTransformable) {
+      B.ops() = std::move(Snapshot);
+      Result.CPRBlocksFormed += static_cast<unsigned>(Blocks.size());
+      for (const CPRBlockInfo &Info : Blocks)
+        ++Result.StopReasons[static_cast<unsigned>(Info.StopReason)];
+      continue;
+    }
+    Result.Promoted += SS.Promoted;
+    Result.Demoted += SS.Demoted;
+    Result.CPRBlocksFormed += static_cast<unsigned>(Blocks.size());
+    for (const CPRBlockInfo &Info : Blocks)
+      ++Result.StopReasons[static_cast<unsigned>(Info.StopReason)];
+
+    // Phases 3 and 4, CPR block by CPR block in program order: the
+    // re-wiring performed by an earlier block's restructure establishes
+    // the root predicate the next block's restructure reads.
+    for (const CPRBlockInfo &Info : Blocks) {
+      if (!Info.Transformable)
+        continue;
+      RestructurePlan Plan = restructureCPRBlock(F, B, Info);
+      MotionStats MS = moveOffTrace(F, Plan);
+      ++Result.CPRBlocksTransformed;
+      if (Info.TakenVariation)
+        ++Result.TakenVariants;
+      Result.BranchesCovered += static_cast<unsigned>(Info.size());
+      Result.LookaheadsInserted +=
+          static_cast<unsigned>(Plan.LookaheadIds.size());
+      Result.OpsMovedOffTrace += MS.Moved;
+      Result.OpsSplit += MS.Split;
+    }
+  }
+
+  // Final cleanup, as in the paper: dead code elimination removes
+  // operations computing predicates that are no longer referenced.
+  Result.DCE = eliminateDeadCode(F);
+
+  verifyOrDie(F, "after control CPR");
+  return Result;
+}

@@ -1,0 +1,50 @@
+//===- cpr/ControlCPR.h - The ICBM driver -----------------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete ICBM control-CPR pass (paper Section 5): predicate
+/// speculation, match, restructure, and off-trace motion over every linear
+/// region of a function, followed by dead code elimination. The input is
+/// expected to be FRP-converted (regions/FRPConversion.h); the driver
+/// leaves regions that do not fit the schema untouched, as the paper does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPR_CONTROLCPR_H
+#define CPR_CONTROLCPR_H
+
+#include "analysis/ProfileData.h"
+#include "cpr/CPROptions.h"
+#include "cpr/Match.h"
+#include "regions/DeadCodeElim.h"
+
+namespace cpr {
+
+/// Summary of one ICBM run.
+struct CPRResult {
+  unsigned RegionsProcessed = 0;
+  unsigned CPRBlocksFormed = 0;
+  unsigned CPRBlocksTransformed = 0;
+  unsigned TakenVariants = 0;
+  unsigned BranchesCovered = 0; ///< branches inside transformed CPR blocks
+  unsigned Promoted = 0;
+  unsigned Demoted = 0;
+  unsigned LookaheadsInserted = 0;
+  unsigned OpsMovedOffTrace = 0;
+  unsigned OpsSplit = 0;
+  DCEStats DCE;
+  /// Stop-reason histogram, indexed by MatchStopReason.
+  unsigned StopReasons[6] = {0, 0, 0, 0, 0, 0};
+};
+
+/// Runs ICBM over every non-compensation block of \p F, using \p Profile
+/// for the match heuristics. \p F is verified after the pass.
+CPRResult runControlCPR(Function &F, const ProfileData &Profile,
+                        const CPROptions &Opts = CPROptions());
+
+} // namespace cpr
+
+#endif // CPR_CONTROLCPR_H

@@ -1,0 +1,180 @@
+//===- cpr/FullCPR.cpp - The redundant all-paths baseline ------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpr/FullCPR.h"
+
+#include "support/Error.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace cpr;
+
+namespace {
+
+/// One suitable branch of a chain.
+struct ChainLink {
+  OpId BranchId;
+  OpId CmppId;
+  CompareCond Cond;
+  std::vector<Operand> Srcs;
+};
+
+/// A maximal suitable chain with a common root predicate.
+struct Chain {
+  Reg Root;
+  std::vector<ChainLink> Links;
+};
+
+/// Collects maximal suitable chains, using the same UN/SP discipline as
+/// ICBM's suitability test.
+std::vector<Chain> collectChains(const Block &B) {
+  std::vector<Chain> Chains;
+  Chain Cur;
+  std::unordered_set<Reg> SP;
+  bool Open = false;
+
+  auto Close = [&]() {
+    if (Open && Cur.Links.size() >= 2)
+      Chains.push_back(Cur);
+    Cur = Chain();
+    SP.clear();
+    Open = false;
+  };
+
+  for (size_t I = 0; I < B.size(); ++I) {
+    const Operation &Op = B.ops()[I];
+    if (!Op.isBranch())
+      continue;
+    Reg Taken = Op.branchPred();
+    int DefIdx = B.lastDefBefore(Taken, I);
+    bool Suitable = false;
+    Reg Guard;
+    Reg Fall;
+    bool HasFall = false;
+    if (DefIdx >= 0) {
+      const Operation &C = B.ops()[static_cast<size_t>(DefIdx)];
+      if (C.isCmpp()) {
+        for (const DefSlot &D : C.defs()) {
+          if (D.R == Taken && D.Act == CmppAction::UN)
+            Suitable = true;
+          if (D.Act == CmppAction::UC) {
+            Fall = D.R;
+            HasFall = true;
+          }
+        }
+        Guard = C.getGuard();
+      }
+    }
+    if (!Suitable) {
+      Close();
+      continue;
+    }
+    const Operation &C = B.ops()[static_cast<size_t>(DefIdx)];
+    if (!Open) {
+      Cur.Root = Guard;
+      SP.insert(Guard);
+      Open = true;
+    } else if (!SP.count(Guard)) {
+      Close();
+      Cur.Root = Guard;
+      SP.insert(Guard);
+      Open = true;
+    }
+    Cur.Links.push_back(ChainLink{Op.getId(), C.getId(), C.getCond(),
+                                  C.srcs()});
+    if (HasFall)
+      SP.insert(Fall);
+  }
+  Close();
+  return Chains;
+}
+
+} // namespace
+
+FullCPRStats cpr::runFullCPROnBlock(Function &F, Block &B) {
+  FullCPRStats Stats;
+  std::vector<Chain> Chains = collectChains(B);
+  if (Chains.empty())
+    return Stats;
+
+  // Per original compare id: new operations to insert right after it.
+  std::unordered_map<OpId, std::vector<Operation>> After;
+  // Per original compare id (first of a chain): initializer movs to
+  // insert right before it.
+  std::unordered_map<OpId, std::vector<Operation>> Before;
+  // Branch id -> its new fully resolved predicate.
+  std::unordered_map<OpId, Reg> NewPred;
+
+  for (const Chain &C : Chains) {
+    size_t N = C.Links.size();
+    std::vector<Reg> Frp(N);
+    for (size_t I = 0; I < N; ++I) {
+      Frp[I] = F.newReg(RegClass::PR);
+      Operation Init = F.makeOp(Opcode::Mov);
+      Init.addDef(Frp[I]);
+      Init.addSrc(C.Root.isTruePred() ? Operand::imm(1)
+                                      : Operand::reg(C.Root));
+      Before[C.Links[0].CmppId].push_back(std::move(Init));
+      NewPred[C.Links[I].BranchId] = Frp[I];
+      ++Stats.BranchesAccelerated;
+    }
+    // Lookahead terms: after compare j, accumulate its condition into
+    // every FRP that needs it -- complemented (AC) into the FRPs of later
+    // branches, plain (AN) into branch j's own FRP. This is the quadratic
+    // compare growth of the full technique.
+    for (size_t J = 0; J < N; ++J) {
+      const ChainLink &L = C.Links[J];
+      for (size_t I = J; I < N; ++I) {
+        Operation Look = F.makeOp(Opcode::Cmpp);
+        Look.setGuard(C.Root);
+        Look.setCond(L.Cond);
+        Look.addDef(Frp[I], I == J ? CmppAction::AN : CmppAction::AC);
+        for (const Operand &S : L.Srcs)
+          Look.addSrc(S);
+        After[L.CmppId].push_back(std::move(Look));
+        ++Stats.LookaheadsInserted;
+      }
+    }
+  }
+
+  // Rebuild the block with the insertions applied and branches re-wired.
+  std::vector<Operation> Out;
+  Out.reserve(B.size() + Stats.LookaheadsInserted +
+              Stats.BranchesAccelerated);
+  for (Operation &Op : B.ops()) {
+    auto BeforeIt = Before.find(Op.getId());
+    if (BeforeIt != Before.end())
+      for (Operation &NewOp : BeforeIt->second)
+        Out.push_back(std::move(NewOp));
+    OpId Id = Op.getId();
+    if (Op.isBranch()) {
+      auto It = NewPred.find(Id);
+      if (It != NewPred.end())
+        Op.srcs()[0] = Operand::reg(It->second);
+    }
+    Out.push_back(std::move(Op));
+    auto AfterIt = After.find(Id);
+    if (AfterIt != After.end())
+      for (Operation &NewOp : AfterIt->second)
+        Out.push_back(std::move(NewOp));
+  }
+  B.ops() = std::move(Out);
+  return Stats;
+}
+
+FullCPRStats cpr::runFullCPR(Function &F) {
+  FullCPRStats Total;
+  for (size_t I = 0, E = F.numBlocks(); I != E; ++I) {
+    Block &B = F.block(I);
+    if (B.isCompensation())
+      continue;
+    FullCPRStats S = runFullCPROnBlock(F, B);
+    Total.BranchesAccelerated += S.BranchesAccelerated;
+    Total.LookaheadsInserted += S.LookaheadsInserted;
+  }
+  return Total;
+}

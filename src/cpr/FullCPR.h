@@ -1,0 +1,60 @@
+//===- cpr/FullCPR.h - The redundant all-paths baseline ---------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Full CPR" after Schlansker & Kathail, "Critical Path Reduction for
+/// Scalar Programs" (MICRO-28, 1995) [SK95] -- the prior technique the
+/// paper positions ICBM against (Section 4): it "aggressively accelerates
+/// all paths within a region at the cost of a quadratic growth in the
+/// number of compares".
+///
+/// This implementation height-reduces every branch of a region
+/// independently: branch i's fully resolved predicate
+///
+///     FRP_i = root & !c_1 & ... & !c_{i-1} & c_i
+///
+/// is recomputed from scratch with i wired-and lookahead compares (AC
+/// terms for the earlier conditions, an AN term for the branch's own
+/// condition), all guarded by the root predicate and hence mutually
+/// independent and freely re-associable. Every branch's dependence height
+/// collapses to the height of its own condition -- on *all* paths, not
+/// just the predominant one -- but the static and dynamic compare count
+/// grows quadratically with the branch count, which is exactly the
+/// trade-off Table 2's sequential/narrow columns punish and the
+/// bench_ablation_fullcpr binary measures.
+///
+/// The transformation needs no profile, produces no compensation code,
+/// and performs no code motion: it is the natural redundant baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPR_FULLCPR_H
+#define CPR_FULLCPR_H
+
+#include "ir/Function.h"
+
+namespace cpr {
+
+/// Statistics from one full-CPR run.
+struct FullCPRStats {
+  unsigned BranchesAccelerated = 0;
+  unsigned LookaheadsInserted = 0; ///< grows quadratically with branches
+};
+
+/// Applies full CPR to every suitable branch chain of block \p B.
+/// Branches whose controlling compare does not match the UN-computed
+/// suitability shape are left untouched (and end the chain, as in ICBM's
+/// suitability test).
+FullCPRStats runFullCPROnBlock(Function &F, Block &B);
+
+/// Applies full CPR to every non-compensation block of \p F, followed by
+/// no cleanup (callers run DCE). The input is expected to be original
+/// superblock code; the pass performs its own FRP-style analysis.
+FullCPRStats runFullCPR(Function &F);
+
+} // namespace cpr
+
+#endif // CPR_FULLCPR_H

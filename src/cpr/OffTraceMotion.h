@@ -1,0 +1,44 @@
+//===- cpr/OffTraceMotion.h - ICBM phase 4 ----------------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ICBM off-trace motion phase (paper Section 5.4). Three passes over
+/// the restructured region compute:
+///
+///  - set 1: the original compares and branches of the CPR block plus all
+///    their data-dependence successors -- these must move off-trace;
+///  - set 2: the subset of set 1 whose effect is also needed on-trace
+///    (most commonly stores) -- these are split, leaving a copy on-trace
+///    guarded by the on-trace FRP;
+///  - set 3: operations outside set 1 whose results are used only by
+///    moved operations (typically the pbr operations feeding moved
+///    branches) -- moved as a pure benefit to the on-trace path.
+///
+/// A final step performs the splitting and the motion into the
+/// compensation block (fall-through variation) or to the start of the
+/// region tail after the final branch (taken variation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPR_OFFTRACEMOTION_H
+#define CPR_OFFTRACEMOTION_H
+
+#include "cpr/Restructure.h"
+
+namespace cpr {
+
+/// Statistics from one motion run.
+struct MotionStats {
+  unsigned Moved = 0; ///< operations moved off-trace (sets 1 and 3)
+  unsigned Split = 0; ///< operations replicated on-trace (set 2)
+};
+
+/// Performs off-trace motion for one restructured CPR block.
+MotionStats moveOffTrace(Function &F, const RestructurePlan &Plan);
+
+} // namespace cpr
+
+#endif // CPR_OFFTRACEMOTION_H

@@ -1,0 +1,193 @@
+//===- cpr/Restructure.cpp - ICBM phase 3: height reduction ---------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpr/Restructure.h"
+
+#include "support/Error.h"
+
+#include <unordered_set>
+
+using namespace cpr;
+
+namespace {
+
+/// Returns the index of the op with \p Id in \p B, aborting if absent.
+size_t indexOfOrDie(const Block &B, OpId Id) {
+  int I = B.indexOfOp(Id);
+  if (I < 0)
+    reportFatalError("restructure lost track of operation id " +
+                     std::to_string(Id));
+  return static_cast<size_t>(I);
+}
+
+} // namespace
+
+RestructurePlan cpr::restructureCPRBlock(Function &F, Block &B,
+                                         const CPRBlockInfo &Info) {
+  assert(Info.Transformable && "restructure requires a transformable block");
+  RestructurePlan Plan;
+  Plan.TakenVariation = Info.TakenVariation;
+  Plan.Region = B.getId();
+  Plan.BranchIds = Info.BranchIds;
+  Plan.CmppIds = Info.CmppIds;
+
+  size_t N = Info.BranchIds.size();
+
+  // The root predicate is the *current* guard of the first compare: for a
+  // second or later CPR block the previous block's re-wiring has already
+  // replaced it with that block's on-trace FRP.
+  size_t FirstCmppIdx = indexOfOrDie(B, Info.CmppIds[0]);
+  Plan.RootPred = B.ops()[FirstCmppIdx].getGuard();
+
+  Plan.OnTracePred = F.newReg(RegClass::PR);
+  bool FallThroughVariation = !Info.TakenVariation;
+  if (FallThroughVariation)
+    Plan.OffTracePred = F.newReg(RegClass::PR);
+
+  // --- Insert the on-trace / off-trace FRP initializers -----------------
+  // The off-trace FRP (wired-or) initializes to 0; the on-trace FRP
+  // (wired-and) initializes to the root predicate. Both are placed
+  // immediately before the first lookahead compare (i.e. right after the
+  // first original compare), which dominates every use and follows the
+  // root predicate's definition.
+  {
+    std::vector<Operation> Inits;
+    if (FallThroughVariation) {
+      Operation OffInit = F.makeOp(Opcode::Mov);
+      OffInit.addDef(Plan.OffTracePred);
+      OffInit.addSrc(Operand::imm(0));
+      Inits.push_back(std::move(OffInit));
+    }
+    Operation OnInit = F.makeOp(Opcode::Mov);
+    OnInit.addDef(Plan.OnTracePred);
+    OnInit.addSrc(Plan.RootPred.isTruePred() ? Operand::imm(1)
+                                             : Operand::reg(Plan.RootPred));
+    Inits.push_back(std::move(OnInit));
+    B.ops().insert(B.ops().begin() +
+                       static_cast<ptrdiff_t>(indexOfOrDie(B, Info.CmppIds[0])),
+                   Inits.begin(), Inits.end());
+  }
+
+  // --- Insert one lookahead compare after each original compare ---------
+  // Each lookahead mirrors the original compare's condition and sources
+  // but is guarded by the root predicate (legal by suitability) and
+  // accumulates into the wired FRPs. For the taken variation the final
+  // compare's sense is inverted and no off-trace target exists.
+  for (size_t I = 0; I < N; ++I) {
+    size_t CmppIdx = indexOfOrDie(B, Info.CmppIds[I]);
+    const Operation &Orig = B.ops()[CmppIdx];
+    assert(Orig.isCmpp() && "controlling operation must be a compare");
+
+    Operation Look = F.makeOp(Opcode::Cmpp);
+    Look.setGuard(Plan.RootPred);
+    bool InvertSense = Info.TakenVariation && I + 1 == N;
+    Look.setCond(InvertSense ? invertCompareCond(Orig.getCond())
+                             : Orig.getCond());
+    Look.addDef(Plan.OnTracePred, CmppAction::AC);
+    if (FallThroughVariation)
+      Look.addDef(Plan.OffTracePred, CmppAction::ON);
+    for (const Operand &S : Orig.srcs())
+      Look.addSrc(S);
+    Plan.LookaheadIds.push_back(Look.getId());
+    B.ops().insert(B.ops().begin() + static_cast<ptrdiff_t>(CmppIdx) + 1,
+                   std::move(Look));
+  }
+
+  size_t LastBranchIdx = indexOfOrDie(B, Info.BranchIds[N - 1]);
+
+  if (FallThroughVariation) {
+    // --- Create the compensation block and the bypass branch ------------
+    Block &Comp = F.addBlock(B.getName() + "_cmp" +
+                             std::to_string(B.getId()) + "_" +
+                             std::to_string(Info.BranchIds[0]));
+    Comp.setCompensation(true);
+    Plan.CompBlock = Comp.getId();
+    // The suitability theorem guarantees some original branch takes when
+    // the bypass is taken; a trap documents (and dynamically checks) that
+    // control never falls through the compensation block.
+    Operation Trap = F.makeOp(Opcode::Trap);
+    Comp.ops().push_back(std::move(Trap));
+
+    Reg Btr = F.newReg(RegClass::BTR);
+    Operation Pbr = F.makeOp(Opcode::Pbr);
+    Pbr.addDef(Btr);
+    Pbr.addSrc(Operand::label(Comp.getId()));
+    Operation Bypass = F.makeOp(Opcode::Branch);
+    Bypass.addSrc(Operand::reg(Plan.OffTracePred));
+    Bypass.addSrc(Operand::reg(Btr));
+    Plan.BypassBranchId = Bypass.getId();
+    std::vector<Operation> Two;
+    Two.push_back(std::move(Pbr));
+    Two.push_back(std::move(Bypass));
+    B.ops().insert(B.ops().begin() + static_cast<ptrdiff_t>(LastBranchIdx) + 1,
+                   Two.begin(), Two.end());
+  } else {
+    // --- Taken variation: the final branch becomes the bypass -----------
+    // Its taken direction is the accelerated path; its taken predicate is
+    // replaced by the on-trace FRP (whose final lookahead term used the
+    // inverted sense, i.e. "the final branch takes").
+    Operation &Final = B.ops()[LastBranchIdx];
+    Final.srcs()[0] = Operand::reg(Plan.OnTracePred);
+    Plan.BypassBranchId = Final.getId();
+  }
+
+  // --- Re-wire original-predicate uses after the bypass point -----------
+  // Registers written by the original compares must have no uses after the
+  // bypass branch so the compares can move off-trace. Such uses read a
+  // fall-through FRP of the block, whose value on the surviving path
+  // equals the on-trace FRP.
+  // Fall-through (UC) predicates are true on the surviving path and map
+  // to the on-trace FRP; taken (UN) predicates are false there and map to
+  // a constant-false predicate (their original value moves off-trace, so
+  // leaving the stale register would be wrong).
+  std::unordered_set<Reg> FallPreds, TakenPreds;
+  for (size_t K = 0; K < Info.CmppIds.size(); ++K) {
+    const Operation &C = B.ops()[indexOfOrDie(B, Info.CmppIds[K])];
+    const Operation &Br = B.ops()[indexOfOrDie(B, Info.BranchIds[K])];
+    for (const DefSlot &D : C.defs()) {
+      if (D.R == Br.branchPred())
+        TakenPreds.insert(D.R);
+      else
+        FallPreds.insert(D.R);
+    }
+  }
+  size_t BypassIdx = indexOfOrDie(B, Plan.BypassBranchId);
+  if (FallThroughVariation) {
+    Reg FalsePred;
+    auto GetFalsePred = [&]() {
+      if (FalsePred.isValid())
+        return FalsePred;
+      FalsePred = F.newReg(RegClass::PR);
+      Operation Init = F.makeOp(Opcode::Mov);
+      Init.addDef(FalsePred);
+      Init.addSrc(Operand::imm(0));
+      B.ops().insert(B.ops().begin(), std::move(Init));
+      ++BypassIdx;
+      return FalsePred;
+    };
+    for (size_t I = BypassIdx + 1; I < B.size(); ++I) {
+      Operation &Op = B.ops()[I];
+      if (FallPreds.count(Op.getGuard())) {
+        Op.setGuard(Plan.OnTracePred);
+        Op.setFrpGuard(false);
+      } else if (TakenPreds.count(Op.getGuard())) {
+        Op.setGuard(GetFalsePred());
+        Op.setFrpGuard(false);
+      }
+      for (Operand &S : Op.srcs())
+        if (S.isReg() && S.getReg().isPred()) {
+          if (FallPreds.count(S.getReg()))
+            S = Operand::reg(Plan.OnTracePred);
+          else if (TakenPreds.count(S.getReg()))
+            S = Operand::reg(GetFalsePred());
+        }
+    }
+  }
+  // Taken variation: code after the final branch *is* the off-trace path
+  // and keeps the original predicates (their compares move there).
+
+  return Plan;
+}

@@ -1,0 +1,58 @@
+//===- cpr/Restructure.h - ICBM phase 3: height reduction -------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ICBM restructure phase (paper Section 5.3): for each non-trivial
+/// CPR block it inserts the on-trace / off-trace FRP computation (lookahead
+/// compares with AC/ON wired targets, all guarded by the CPR block's root
+/// predicate), adds the bypass branch and its compensation block
+/// (fall-through variation) or re-purposes the likely-taken final branch
+/// (taken variation), and re-wires uses of the original predicates after
+/// the bypass point to the on-trace FRP.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPR_RESTRUCTURE_H
+#define CPR_RESTRUCTURE_H
+
+#include "cpr/Match.h"
+#include "ir/Function.h"
+
+namespace cpr {
+
+/// Everything off-trace motion needs to know about one restructured CPR
+/// block. Operations are identified by id (stable across the insertions
+/// and motions that follow).
+struct RestructurePlan {
+  bool TakenVariation = false;
+  /// Block the CPR block lives in.
+  BlockId Region = InvalidBlockId;
+  /// Original branches and controlling compares (program order).
+  std::vector<OpId> BranchIds;
+  std::vector<OpId> CmppIds;
+  /// The inserted lookahead compares (program order).
+  std::vector<OpId> LookaheadIds;
+  /// The on-trace FRP register; guard of the accelerated path.
+  Reg OnTracePred;
+  /// The off-trace FRP register (fall-through variation only).
+  Reg OffTracePred;
+  /// Root predicate of the CPR block at restructure time.
+  Reg RootPred;
+  /// The bypass branch: new for the fall-through variation, the final
+  /// original branch for the taken variation.
+  OpId BypassBranchId = InvalidOpId;
+  /// Compensation block (fall-through variation only).
+  BlockId CompBlock = InvalidBlockId;
+};
+
+/// Restructures one CPR block of \p B (which must be block \p Info was
+/// matched on). Returns the plan for off-trace motion.
+RestructurePlan restructureCPRBlock(Function &F, Block &B,
+                                    const CPRBlockInfo &Info);
+
+} // namespace cpr
+
+#endif // CPR_RESTRUCTURE_H

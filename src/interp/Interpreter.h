@@ -1,0 +1,109 @@
+//===- interp/Interpreter.h - Functional EPIC interpreter -------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A functional (non-timed) interpreter for the EPIC IR. It executes
+/// operations in program order with PlayDoh predication semantics:
+/// operations whose guard is false are nullified, except cmpp
+/// unconditional targets, which write 0 under a false guard (Table 1).
+///
+/// Three project roles:
+///  - correctness oracle: property tests run original and transformed code
+///    on identical inputs and compare final memory + observable registers;
+///  - profiler: collects branch reach/taken counts and block entry counts
+///    (via Profiler.h);
+///  - dynamic statistics: operation and branch counts for the paper's
+///    Table 3 ("D tot", "D br").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INTERP_INTERPRETER_H
+#define INTERP_INTERPRETER_H
+
+#include "analysis/ProfileData.h"
+#include "interp/Memory.h"
+#include "ir/Function.h"
+
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+/// Dynamic operation counts from one run.
+struct DynStats {
+  /// Operations dispatched (fetched into issue slots), including nullified
+  /// predicated operations -- the EPIC notion of "executed operations" the
+  /// paper's Table 3 counts.
+  uint64_t OpsDispatched = 0;
+  /// Operations whose guard was true.
+  uint64_t OpsEffective = 0;
+  /// Branch operations dispatched.
+  uint64_t BranchesDispatched = 0;
+  /// Branch operations that took.
+  uint64_t BranchesTaken = 0;
+
+  DynStats &operator+=(const DynStats &O) {
+    OpsDispatched += O.OpsDispatched;
+    OpsEffective += O.OpsEffective;
+    BranchesDispatched += O.BranchesDispatched;
+    BranchesTaken += O.BranchesTaken;
+    return *this;
+  }
+};
+
+/// Result of one interpreter run.
+struct RunResult {
+  enum class Status {
+    Halted,    ///< reached Halt
+    Trapped,   ///< reached Trap (a correctness canary fired)
+    StepLimit, ///< exceeded the step budget
+    Error,     ///< malformed execution (fell off the end, bad target, ...)
+  };
+
+  Status St = Status::Error;
+  std::string ErrorMsg;
+  uint64_t Steps = 0;
+  DynStats Stats;
+  /// Values of the function's observable registers at Halt.
+  std::vector<int64_t> Observed;
+
+  bool halted() const { return St == Status::Halted; }
+};
+
+/// Initial register bindings for a run.
+struct RegBinding {
+  Reg R;
+  int64_t Value;
+};
+
+/// One recorded store (for trace-based debugging and tests).
+struct StoreEvent {
+  OpId Op;
+  int64_t Addr;
+  int64_t Value;
+  bool operator==(const StoreEvent &O) const {
+    return Addr == O.Addr && Value == O.Value;
+  }
+};
+
+/// Interpreter options.
+struct InterpOptions {
+  uint64_t MaxSteps = 100'000'000;
+  /// When set, branch/block frequencies are accumulated here.
+  ProfileData *Profile = nullptr;
+  /// When set, every executed store appends an event here.
+  std::vector<StoreEvent> *StoreTrace = nullptr;
+};
+
+/// Executes \p F starting at its entry block against \p Mem.
+/// \p InitRegs seeds GPR values (e.g. array base addresses).
+RunResult interpret(const Function &F, Memory &Mem,
+                    const std::vector<RegBinding> &InitRegs,
+                    const InterpOptions &Opts = InterpOptions());
+
+} // namespace cpr
+
+#endif // INTERP_INTERPRETER_H

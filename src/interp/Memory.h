@@ -1,0 +1,46 @@
+//===- interp/Memory.h - Sparse interpreter memory --------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sparse word-addressed memory for the functional interpreter. Every cell
+/// reads as zero until written. Snapshots support the store-for-store
+/// equivalence checks the property tests run between original and
+/// CPR-transformed code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INTERP_MEMORY_H
+#define INTERP_MEMORY_H
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace cpr {
+
+/// Sparse 64-bit-word memory; unwritten cells read as zero.
+class Memory {
+public:
+  int64_t load(int64_t Addr) const {
+    auto It = Cells.find(Addr);
+    return It == Cells.end() ? 0 : It->second;
+  }
+
+  void store(int64_t Addr, int64_t Value) { Cells[Addr] = Value; }
+
+  size_t numWrittenCells() const { return Cells.size(); }
+
+  bool operator==(const Memory &O) const { return Cells == O.Cells; }
+  bool operator!=(const Memory &O) const { return !(*this == O); }
+
+  const std::unordered_map<int64_t, int64_t> &cells() const { return Cells; }
+
+private:
+  std::unordered_map<int64_t, int64_t> Cells;
+};
+
+} // namespace cpr
+
+#endif // INTERP_MEMORY_H

@@ -1,0 +1,72 @@
+//===- interp/Profiler.cpp - Interpreter-driven profiling -----------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Profiler.h"
+
+#include "support/Error.h"
+
+using namespace cpr;
+
+ProfileData cpr::profileRun(const Function &F, Memory &Mem,
+                            const std::vector<RegBinding> &InitRegs,
+                            DynStats *StatsOut) {
+  ProfileData Profile;
+  InterpOptions Opts;
+  Opts.Profile = &Profile;
+  RunResult R = interpret(F, Mem, InitRegs, Opts);
+  if (!R.halted())
+    reportFatalError("profiling run of @" + F.getName() +
+                     " did not halt: " + R.ErrorMsg);
+  if (StatsOut)
+    *StatsOut = R.Stats;
+  return Profile;
+}
+
+EquivResult cpr::checkEquivalence(const Function &A, const Function &B,
+                                  const Memory &Mem,
+                                  const std::vector<RegBinding> &InitRegs) {
+  EquivResult Res;
+  Memory MemA = Mem;
+  Memory MemB = Mem;
+  RunResult RA = interpret(A, MemA, InitRegs);
+  RunResult RB = interpret(B, MemB, InitRegs);
+
+  if (RA.St != RB.St) {
+    Res.Detail = "halt status differs: @" + A.getName() + " " +
+                 (RA.halted() ? "halted" : RA.ErrorMsg) + " vs @" +
+                 B.getName() + " " + (RB.halted() ? "halted" : RB.ErrorMsg);
+    return Res;
+  }
+  if (RA.St != RunResult::Status::Halted) {
+    Res.Detail = "both runs failed to halt: " + RA.ErrorMsg;
+    return Res;
+  }
+  if (RA.Observed != RB.Observed) {
+    Res.Detail = "observable register values differ";
+    return Res;
+  }
+  // Semantic memory comparison: every address written by either run must
+  // read identically (a write of zero to an otherwise-untouched cell is
+  // equivalent to no write).
+  for (const auto &[Addr, Val] : MemA.cells()) {
+    if (MemB.load(Addr) != Val) {
+      Res.Detail = "memory differs at address " + std::to_string(Addr) +
+                   ": " + std::to_string(Val) + " vs " +
+                   std::to_string(MemB.load(Addr));
+      return Res;
+    }
+  }
+  for (const auto &[Addr, Val] : MemB.cells()) {
+    if (MemA.load(Addr) != Val) {
+      Res.Detail = "memory differs at address " + std::to_string(Addr) +
+                   ": " + std::to_string(MemA.load(Addr)) + " vs " +
+                   std::to_string(Val);
+      return Res;
+    }
+  }
+  Res.Equivalent = true;
+  return Res;
+}

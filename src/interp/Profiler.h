@@ -1,0 +1,42 @@
+//===- interp/Profiler.h - Interpreter-driven profiling ---------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience wrappers: profile a function by running it, and check two
+/// functions for observational equivalence on identical inputs (the
+/// correctness oracle of the transformation property tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INTERP_PROFILER_H
+#define INTERP_PROFILER_H
+
+#include "interp/Interpreter.h"
+
+namespace cpr {
+
+/// Runs \p F once and returns its profile. \p Mem is mutated.
+/// Aborts if the run does not halt cleanly.
+ProfileData profileRun(const Function &F, Memory &Mem,
+                       const std::vector<RegBinding> &InitRegs,
+                       DynStats *StatsOut = nullptr);
+
+/// Result of an equivalence comparison.
+struct EquivResult {
+  bool Equivalent = false;
+  std::string Detail; ///< human-readable mismatch description
+};
+
+/// Runs \p A and \p B from identical initial memory (\p Mem, copied) and
+/// register bindings, then compares halt status, final memory, and
+/// observable register values.
+EquivResult checkEquivalence(const Function &A, const Function &B,
+                             const Memory &Mem,
+                             const std::vector<RegBinding> &InitRegs);
+
+} // namespace cpr
+
+#endif // INTERP_PROFILER_H

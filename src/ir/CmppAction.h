@@ -1,0 +1,71 @@
+//===- ir/CmppAction.h - PlayDoh cmpp destination actions -------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Destination action specifiers for PlayDoh two-target compare-to-predicate
+/// operations, exactly as defined in Table 1 of the paper. The first letter
+/// selects the action type (Unconditional, wired-Or, wired-And); the second
+/// selects the mode (Normal or Complemented). Unconditional targets always
+/// write; wired targets conditionally write a fixed value, which is what
+/// makes concurrent wired writes to one register well-defined and lets the
+/// scheduler treat them as unordered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_CMPPACTION_H
+#define IR_CMPPACTION_H
+
+#include <cstdint>
+#include <optional>
+
+namespace cpr {
+
+/// Action specifier for one destination of a cmpp operation.
+enum class CmppAction : uint8_t {
+  None, ///< Not a cmpp destination (normal operation result).
+  UN,   ///< Unconditional-normal: dest = guard & cmp (always writes).
+  UC,   ///< Unconditional-complement: dest = guard & !cmp (always writes).
+  ON,   ///< Wired-or-normal: writes 1 iff guard & cmp.
+  OC,   ///< Wired-or-complement: writes 1 iff guard & !cmp.
+  AN,   ///< Wired-and-normal: writes 0 iff guard & !cmp.
+  AC,   ///< Wired-and-complement: writes 0 iff guard & cmp.
+};
+
+/// Returns the lowercase mnemonic ("un", "uc", "on", "oc", "an", "ac").
+const char *cmppActionName(CmppAction Act);
+
+/// Parses a mnemonic; returns std::nullopt if \p Name is not an action.
+std::optional<CmppAction> parseCmppAction(const char *Name);
+
+/// Evaluates one destination per Table 1 of the paper.
+///
+/// \param Act the action specifier (must not be None).
+/// \param Guard the value of the operation's guard predicate.
+/// \param Cmp the result of the comparison.
+/// \returns the value written to the destination, or std::nullopt when the
+/// destination is left untouched.
+std::optional<bool> evalCmppAction(CmppAction Act, bool Guard, bool Cmp);
+
+/// Returns true for the wired actions (ON/OC/AN/AC), whose same-register
+/// writes commute and are treated as unordered by the scheduler.
+inline bool isWiredAction(CmppAction Act) {
+  return Act == CmppAction::ON || Act == CmppAction::OC ||
+         Act == CmppAction::AN || Act == CmppAction::AC;
+}
+
+/// Returns true for the wired-or actions (ON/OC).
+inline bool isWiredOrAction(CmppAction Act) {
+  return Act == CmppAction::ON || Act == CmppAction::OC;
+}
+
+/// Returns true for the wired-and actions (AN/AC).
+inline bool isWiredAndAction(CmppAction Act) {
+  return Act == CmppAction::AN || Act == CmppAction::AC;
+}
+
+} // namespace cpr
+
+#endif // IR_CMPPACTION_H

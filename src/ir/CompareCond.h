@@ -1,0 +1,47 @@
+//===- ir/CompareCond.h - Comparison conditions -----------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Signed integer comparison conditions for cmpp operations, with the
+/// inversion helper used by the ICBM "taken variation", which flips the
+/// sense of the final lookahead compare (paper section 5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_COMPARECOND_H
+#define IR_COMPARECOND_H
+
+#include <cstdint>
+#include <optional>
+
+namespace cpr {
+
+/// Signed comparison condition of a cmpp operation.
+enum class CompareCond : uint8_t {
+  None, ///< Not a compare operation.
+  EQ,
+  NE,
+  LT,
+  LE,
+  GT,
+  GE,
+};
+
+/// Returns the lowercase mnemonic ("eq", "ne", ...).
+const char *compareCondName(CompareCond C);
+
+/// Parses a mnemonic; returns std::nullopt if \p Name is not a condition.
+std::optional<CompareCond> parseCompareCond(const char *Name);
+
+/// Evaluates \p C on signed operands.
+bool evalCompareCond(CompareCond C, int64_t A, int64_t B);
+
+/// Returns the logically complemented condition (EQ <-> NE, LT <-> GE, ...).
+CompareCond invertCompareCond(CompareCond C);
+
+} // namespace cpr
+
+#endif // IR_COMPARECOND_H

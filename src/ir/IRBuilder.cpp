@@ -1,0 +1,137 @@
+//===- ir/IRBuilder.cpp - Convenience IR construction ---------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include "support/Error.h"
+
+using namespace cpr;
+
+Operation &IRBuilder::append(Operation Op) {
+  assert(B && "no insertion block selected");
+  B->ops().push_back(std::move(Op));
+  return B->ops().back();
+}
+
+Reg IRBuilder::emitArith(Opcode Opc, Operand A, Operand Bo, Reg Guard) {
+  Reg Dst = F.newReg(opcodeIsFloatArith(Opc) ? RegClass::FPR : RegClass::GPR);
+  emitArithTo(Dst, Opc, A, Bo, Guard);
+  return Dst;
+}
+
+void IRBuilder::emitArithTo(Reg Dst, Opcode Opc, Operand A, Operand Bo,
+                            Reg Guard) {
+  assert((opcodeIsIntArith(Opc) || opcodeIsFloatArith(Opc)) &&
+         "emitArithTo requires an arithmetic opcode");
+  Operation Op = F.makeOp(Opc);
+  Op.setGuard(Guard);
+  Op.addDef(Dst);
+  Op.addSrc(A);
+  Op.addSrc(Bo);
+  append(std::move(Op));
+}
+
+void IRBuilder::emitMovTo(Reg Dst, Operand Src, Reg Guard) {
+  Operation Op = F.makeOp(Opcode::Mov);
+  Op.setGuard(Guard);
+  Op.addDef(Dst);
+  Op.addSrc(Src);
+  append(std::move(Op));
+}
+
+Reg IRBuilder::emitMovImm(int64_t V, Reg Guard) {
+  Reg Dst = F.newReg(RegClass::GPR);
+  emitMovTo(Dst, Operand::imm(V), Guard);
+  return Dst;
+}
+
+Reg IRBuilder::emitLoad(Reg Addr, uint8_t AliasClass, Reg Guard) {
+  Reg Dst = F.newReg(RegClass::GPR);
+  emitLoadTo(Dst, Addr, AliasClass, Guard);
+  return Dst;
+}
+
+void IRBuilder::emitLoadTo(Reg Dst, Reg Addr, uint8_t AliasClass, Reg Guard) {
+  Operation Op = F.makeOp(Opcode::Load);
+  Op.setGuard(Guard);
+  Op.addDef(Dst);
+  Op.addSrc(Operand::reg(Addr));
+  Op.setAliasClass(AliasClass);
+  append(std::move(Op));
+}
+
+void IRBuilder::emitStore(Reg Addr, Operand Value, uint8_t AliasClass,
+                          Reg Guard) {
+  Operation Op = F.makeOp(Opcode::Store);
+  Op.setGuard(Guard);
+  Op.addSrc(Operand::reg(Addr));
+  Op.addSrc(Value);
+  Op.setAliasClass(AliasClass);
+  append(std::move(Op));
+}
+
+std::pair<Reg, Reg> IRBuilder::emitCmpp2(CompareCond Cond, Operand A,
+                                         Operand Bo, CmppAction Act1,
+                                         CmppAction Act2, Reg Guard) {
+  Reg D1 = F.newReg(RegClass::PR);
+  Reg D2 = F.newReg(RegClass::PR);
+  emitCmppTo(D1, Act1, D2, Act2, Cond, A, Bo, Guard);
+  return {D1, D2};
+}
+
+Reg IRBuilder::emitCmpp1(CompareCond Cond, Operand A, Operand Bo,
+                         CmppAction Act, Reg Guard) {
+  Reg D = F.newReg(RegClass::PR);
+  emitCmppTo(D, Act, Reg(), CmppAction::None, Cond, A, Bo, Guard);
+  return D;
+}
+
+void IRBuilder::emitCmppTo(Reg Dst1, CmppAction Act1, Reg Dst2,
+                           CmppAction Act2, CompareCond Cond, Operand A,
+                           Operand Bo, Reg Guard) {
+  assert(Act1 != CmppAction::None && "first cmpp destination needs an action");
+  Operation Op = F.makeOp(Opcode::Cmpp);
+  Op.setGuard(Guard);
+  Op.setCond(Cond);
+  Op.addDef(Dst1, Act1);
+  if (Dst2.isValid()) {
+    assert(Act2 != CmppAction::None && "second destination needs an action");
+    Op.addDef(Dst2, Act2);
+  }
+  Op.addSrc(A);
+  Op.addSrc(Bo);
+  append(std::move(Op));
+}
+
+Reg IRBuilder::emitPbr(const Block &Target, Reg Guard) {
+  Reg Dst = F.newReg(RegClass::BTR);
+  Operation Op = F.makeOp(Opcode::Pbr);
+  Op.setGuard(Guard);
+  Op.addDef(Dst);
+  Op.addSrc(Operand::label(Target.getId()));
+  append(std::move(Op));
+  return Dst;
+}
+
+void IRBuilder::emitBranch(Reg Pred, Reg Btr) {
+  assert(Pred.isPred() && Btr.getClass() == RegClass::BTR &&
+         "branch operands are (predicate, branch-target)");
+  Operation Op = F.makeOp(Opcode::Branch);
+  Op.addSrc(Operand::reg(Pred));
+  Op.addSrc(Operand::reg(Btr));
+  append(std::move(Op));
+}
+
+void IRBuilder::emitBranchTo(const Block &Target, Reg Pred, Reg PbrGuard) {
+  Reg Btr = emitPbr(Target, PbrGuard);
+  emitBranch(Pred, Btr);
+}
+
+void IRBuilder::emitHalt() { append(F.makeOp(Opcode::Halt)); }
+
+void IRBuilder::emitTrap() { append(F.makeOp(Opcode::Trap)); }
+
+void IRBuilder::emitNop() { append(F.makeOp(Opcode::Nop)); }

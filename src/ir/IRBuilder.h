@@ -1,0 +1,96 @@
+//===- ir/IRBuilder.h - Convenience IR construction -------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A convenience builder for constructing IR programs in tests, examples,
+/// and workload generators. Appends operations to the current insertion
+/// block, allocating fresh registers and operation ids from the Function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_IRBUILDER_H
+#define IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+namespace cpr {
+
+/// Appends operations to a block, one call per operation.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &F) : F(F), B(nullptr) {}
+  IRBuilder(Function &F, Block &B) : F(F), B(&B) {}
+
+  Function &function() { return F; }
+
+  /// Selects the block subsequent emissions append to.
+  void setInsertBlock(Block &NewBlock) { B = &NewBlock; }
+  Block &insertBlock() { return *B; }
+
+  /// Emits a two-source arithmetic operation into a fresh register.
+  Reg emitArith(Opcode Opc, Operand A, Operand Bo, Reg Guard = Reg::truePred());
+
+  /// Emits a two-source arithmetic operation into \p Dst.
+  void emitArithTo(Reg Dst, Opcode Opc, Operand A, Operand Bo,
+                   Reg Guard = Reg::truePred());
+
+  /// Emits dst = mov(src). The destination class is taken from \p Dst.
+  void emitMovTo(Reg Dst, Operand Src, Reg Guard = Reg::truePred());
+
+  /// Emits a move of an immediate into a fresh GPR.
+  Reg emitMovImm(int64_t V, Reg Guard = Reg::truePred());
+
+  /// Emits a load from address register \p Addr into a fresh GPR.
+  Reg emitLoad(Reg Addr, uint8_t AliasClass = 0, Reg Guard = Reg::truePred());
+
+  /// Emits a load into \p Dst.
+  void emitLoadTo(Reg Dst, Reg Addr, uint8_t AliasClass = 0,
+                  Reg Guard = Reg::truePred());
+
+  /// Emits a store of \p Value to address register \p Addr.
+  void emitStore(Reg Addr, Operand Value, uint8_t AliasClass = 0,
+                 Reg Guard = Reg::truePred());
+
+  /// Emits a two-destination cmpp into fresh predicate registers.
+  /// \returns {first dest, second dest}.
+  std::pair<Reg, Reg> emitCmpp2(CompareCond Cond, Operand A, Operand Bo,
+                                CmppAction Act1, CmppAction Act2,
+                                Reg Guard = Reg::truePred());
+
+  /// Emits a single-destination cmpp into a fresh predicate register.
+  Reg emitCmpp1(CompareCond Cond, Operand A, Operand Bo, CmppAction Act,
+                Reg Guard = Reg::truePred());
+
+  /// Emits a cmpp with explicit destination registers. Pass an invalid Reg
+  /// as \p Dst2 to emit a single-destination compare.
+  void emitCmppTo(Reg Dst1, CmppAction Act1, Reg Dst2, CmppAction Act2,
+                  CompareCond Cond, Operand A, Operand Bo,
+                  Reg Guard = Reg::truePred());
+
+  /// Emits a prepare-to-branch targeting \p Target into a fresh BTR.
+  Reg emitPbr(const Block &Target, Reg Guard = Reg::truePred());
+
+  /// Emits a branch that takes when \p Pred is true, to the target in \p Btr.
+  void emitBranch(Reg Pred, Reg Btr);
+
+  /// Emits the PlayDoh pbr + branch pair targeting \p Target.
+  void emitBranchTo(const Block &Target, Reg Pred,
+                    Reg PbrGuard = Reg::truePred());
+
+  void emitHalt();
+  void emitTrap();
+  void emitNop();
+
+private:
+  Operation &append(Operation Op);
+
+  Function &F;
+  Block *B;
+};
+
+} // namespace cpr
+
+#endif // IR_IRBUILDER_H

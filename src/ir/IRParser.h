@@ -1,0 +1,42 @@
+//===- ir/IRParser.h - Textual IR input -------------------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual IR format produced by IRPrinter. Used heavily by
+/// tests: transformation inputs can be written as readable listings instead
+/// of builder call chains. The parser reports the first error with a line
+/// number; it does not run the verifier (callers do).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_IRPARSER_H
+#define IR_IRPARSER_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+
+namespace cpr {
+
+/// Result of parsing: a function on success, otherwise an error message.
+struct ParseResult {
+  std::unique_ptr<Function> Func;
+  std::string Error; ///< empty on success
+  unsigned Line = 0; ///< 1-based line of the first error
+
+  explicit operator bool() const { return Func != nullptr; }
+};
+
+/// Parses one function from \p Text.
+ParseResult parseFunction(const std::string &Text);
+
+/// Parses one function or aborts with a diagnostic. For tests.
+std::unique_ptr<Function> parseFunctionOrDie(const std::string &Text);
+
+} // namespace cpr
+
+#endif // IR_IRPARSER_H

@@ -1,0 +1,114 @@
+//===- ir/IRPrinter.cpp - Textual IR output -------------------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "support/Error.h"
+
+using namespace cpr;
+
+namespace {
+
+std::string printOperand(const Function &F, const Operand &O) {
+  switch (O.kind()) {
+  case Operand::Kind::Register:
+    return O.getReg().str();
+  case Operand::Kind::Imm:
+    return std::to_string(O.getImm());
+  case Operand::Kind::Label: {
+    const Block *B = F.blockById(O.getLabel());
+    return "@" + (B ? B->getName() : std::string("<badlabel>"));
+  }
+  }
+  CPR_UNREACHABLE("bad operand kind");
+}
+
+std::string printSrcList(const Function &F, const Operation &Op) {
+  std::string Out = "(";
+  for (size_t I = 0, E = Op.srcs().size(); I != E; ++I) {
+    if (I)
+      Out += ", ";
+    Out += printOperand(F, Op.srcs()[I]);
+  }
+  Out += ")";
+  return Out;
+}
+
+} // namespace
+
+std::string cpr::printOperation(const Function &F, const Operation &Op,
+                                const PrintOptions &Opts) {
+  std::string Out;
+  if (Opts.ShowOpIds)
+    Out += "[" + std::to_string(Op.getId()) + "] ";
+
+  // Destination list.
+  if (!Op.defs().empty()) {
+    for (size_t I = 0, E = Op.defs().size(); I != E; ++I) {
+      const DefSlot &D = Op.defs()[I];
+      if (I)
+        Out += ", ";
+      Out += D.R.str();
+      if (D.Act != CmppAction::None) {
+        Out += ":";
+        Out += cmppActionName(D.Act);
+      }
+    }
+    Out += " = ";
+  }
+
+  // Mnemonic with cmpp condition / alias class decorations.
+  Out += opcodeName(Op.getOpcode());
+  if (Op.isCmpp()) {
+    Out += ".";
+    Out += compareCondName(Op.getCond());
+  }
+  if (opcodeIsMemory(Op.getOpcode()) && Op.getAliasClass() != 0)
+    Out += ".m" + std::to_string(Op.getAliasClass());
+
+  if (!Op.srcs().empty() || Op.getOpcode() != Opcode::Halt)
+    if (Op.getOpcode() != Opcode::Halt && Op.getOpcode() != Opcode::Trap &&
+        Op.getOpcode() != Opcode::Nop)
+      Out += printSrcList(F, Op);
+
+  if (!Op.getGuard().isTruePred()) {
+    Out += " if " + Op.getGuard().str();
+    if (Op.isFrpGuard())
+      Out += " frp";
+  }
+  return Out;
+}
+
+std::string cpr::printBlock(const Function &F, const Block &B,
+                            const PrintOptions &Opts) {
+  std::string Out = "block @" + B.getName() + ":";
+  if (B.isCompensation())
+    Out += " compensation";
+  Out += "\n";
+  for (const Operation &Op : B.ops()) {
+    Out += "  ";
+    Out += printOperation(F, Op, Opts);
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string cpr::printFunction(const Function &F, const PrintOptions &Opts) {
+  std::string Out = "func @" + F.getName() + " {\n";
+  if (!F.observableRegs().empty()) {
+    Out += "  observable ";
+    for (size_t I = 0, E = F.observableRegs().size(); I != E; ++I) {
+      if (I)
+        Out += ", ";
+      Out += F.observableRegs()[I].str();
+    }
+    Out += "\n";
+  }
+  for (size_t I = 0, E = F.numBlocks(); I != E; ++I)
+    Out += printBlock(F, F.block(I), Opts);
+  Out += "}\n";
+  return Out;
+}

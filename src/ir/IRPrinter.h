@@ -1,0 +1,58 @@
+//===- ir/IRPrinter.h - Textual IR output -----------------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints IR in a textual form close to the paper's PlayDoh listings, e.g.
+///
+/// \code
+/// func @strcpy {
+/// block @Loop:
+///   r21 = add(r2, 0)
+///   store.m1(r21, r34)
+///   p51:un, p61:uc = cmpp.eq(r31, 0)
+///   b41 = pbr(@Exit)
+///   branch(p51, b41)
+/// }
+/// \endcode
+///
+/// The guard suffix "if pN" is omitted for the true predicate; memory
+/// operations print their alias class as ".m<k>" when nonzero. The format
+/// round-trips through IRParser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_IRPRINTER_H
+#define IR_IRPRINTER_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace cpr {
+
+/// Printing options.
+struct PrintOptions {
+  /// Prefix each operation with its id in brackets ("[12] ..."). Ids are
+  /// stable across transformation, so this makes before/after walkthroughs
+  /// (like the paper's Figures 6-7) easy to follow. Not parseable.
+  bool ShowOpIds = false;
+};
+
+/// Renders one operation (no trailing newline).
+std::string printOperation(const Function &F, const Operation &Op,
+                           const PrintOptions &Opts = PrintOptions());
+
+/// Renders one block, including its "block @Name:" header line.
+std::string printBlock(const Function &F, const Block &B,
+                       const PrintOptions &Opts = PrintOptions());
+
+/// Renders the whole function.
+std::string printFunction(const Function &F,
+                          const PrintOptions &Opts = PrintOptions());
+
+} // namespace cpr
+
+#endif // IR_IRPRINTER_H

@@ -1,0 +1,82 @@
+//===- ir/Opcode.cpp - Operation opcodes and traits -----------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include "support/Error.h"
+
+#include <cstring>
+
+using namespace cpr;
+
+namespace {
+struct OpcodeInfo {
+  const char *Name;
+  UnitKind Unit;
+  bool SideEffects;
+  bool Control;
+};
+
+// Indexed by Opcode value; order must match the enum.
+constexpr OpcodeInfo Infos[NumOpcodes] = {
+    {"add", UnitKind::Int, false, false},
+    {"sub", UnitKind::Int, false, false},
+    {"mul", UnitKind::Int, false, false},
+    {"div", UnitKind::Int, false, false},
+    {"rem", UnitKind::Int, false, false},
+    {"and", UnitKind::Int, false, false},
+    {"or", UnitKind::Int, false, false},
+    {"xor", UnitKind::Int, false, false},
+    {"shl", UnitKind::Int, false, false},
+    {"shr", UnitKind::Int, false, false},
+    {"min", UnitKind::Int, false, false},
+    {"max", UnitKind::Int, false, false},
+    {"mov", UnitKind::Int, false, false},
+    {"fadd", UnitKind::Float, false, false},
+    {"fsub", UnitKind::Float, false, false},
+    {"fmul", UnitKind::Float, false, false},
+    {"fdiv", UnitKind::Float, false, false},
+    {"load", UnitKind::Mem, false, false},
+    {"store", UnitKind::Mem, true, false},
+    {"cmpp", UnitKind::Int, false, false},
+    {"pbr", UnitKind::Branch, false, false},
+    {"branch", UnitKind::Branch, true, true},
+    {"halt", UnitKind::Branch, true, true},
+    {"trap", UnitKind::Branch, true, true},
+    {"nop", UnitKind::Int, false, false},
+};
+} // namespace
+
+const char *cpr::opcodeName(Opcode Opc) {
+  return Infos[static_cast<unsigned>(Opc)].Name;
+}
+
+std::optional<Opcode> cpr::parseOpcode(const char *Name) {
+  for (unsigned I = 0; I < NumOpcodes; ++I)
+    if (std::strcmp(Infos[I].Name, Name) == 0)
+      return static_cast<Opcode>(I);
+  return std::nullopt;
+}
+
+UnitKind cpr::opcodeUnit(Opcode Opc) {
+  return Infos[static_cast<unsigned>(Opc)].Unit;
+}
+
+bool cpr::opcodeHasSideEffects(Opcode Opc) {
+  return Infos[static_cast<unsigned>(Opc)].SideEffects;
+}
+
+bool cpr::opcodeIsControl(Opcode Opc) {
+  return Infos[static_cast<unsigned>(Opc)].Control;
+}
+
+bool cpr::opcodeIsIntArith(Opcode Opc) {
+  return Opc >= Opcode::Add && Opc <= Opcode::Max;
+}
+
+bool cpr::opcodeIsFloatArith(Opcode Opc) {
+  return Opc >= Opcode::FAdd && Opc <= Opcode::FDiv;
+}

@@ -1,0 +1,99 @@
+//===- ir/Operand.h - Operation source operands -----------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source operands of IR operations: a register, a signed immediate, or a
+/// block label (used by pbr). A small tagged value type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_OPERAND_H
+#define IR_OPERAND_H
+
+#include "ir/Register.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace cpr {
+
+/// Identifies a Block within a Function. Stable across block reordering.
+using BlockId = uint32_t;
+
+/// An invalid block id.
+inline constexpr BlockId InvalidBlockId = ~0u;
+
+/// A source operand: register, immediate, or block label.
+class Operand {
+public:
+  enum class Kind : uint8_t { Register, Imm, Label };
+
+  Operand() : K(Kind::Imm), ImmVal(0) {}
+
+  static Operand reg(Reg R) {
+    Operand O;
+    O.K = Kind::Register;
+    O.R = R;
+    return O;
+  }
+  static Operand imm(int64_t V) {
+    Operand O;
+    O.K = Kind::Imm;
+    O.ImmVal = V;
+    return O;
+  }
+  static Operand label(BlockId B) {
+    Operand O;
+    O.K = Kind::Label;
+    O.LabelVal = B;
+    return O;
+  }
+
+  Kind kind() const { return K; }
+  bool isReg() const { return K == Kind::Register; }
+  bool isImm() const { return K == Kind::Imm; }
+  bool isLabel() const { return K == Kind::Label; }
+
+  Reg getReg() const {
+    assert(isReg() && "not a register operand");
+    return R;
+  }
+  int64_t getImm() const {
+    assert(isImm() && "not an immediate operand");
+    return ImmVal;
+  }
+  BlockId getLabel() const {
+    assert(isLabel() && "not a label operand");
+    return LabelVal;
+  }
+
+  bool operator==(const Operand &O) const {
+    if (K != O.K)
+      return false;
+    switch (K) {
+    case Kind::Register:
+      return R == O.R;
+    case Kind::Imm:
+      return ImmVal == O.ImmVal;
+    case Kind::Label:
+      return LabelVal == O.LabelVal;
+    }
+    return false;
+  }
+  bool operator!=(const Operand &O) const { return !(*this == O); }
+
+private:
+  Kind K;
+  Reg R;
+  union {
+    int64_t ImmVal;
+    BlockId LabelVal;
+  };
+};
+
+} // namespace cpr
+
+#endif // IR_OPERAND_H

@@ -1,0 +1,42 @@
+//===- ir/Verifier.h - Structural IR validity checks ------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validity checks for IR functions. The verifier runs after
+/// construction, after parsing, and between every transformation phase in
+/// tests; it is the first line of defense against malformed rewrites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IR_VERIFIER_H
+#define IR_VERIFIER_H
+
+#include "ir/Function.h"
+
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+/// Verifies structural invariants of \p F:
+///  - the function has an entry block;
+///  - operation ids are unique and valid;
+///  - guards are predicate registers; the opcode-specific shapes of
+///    destinations and sources hold (classes, counts, cmpp actions);
+///  - label operands reference existing blocks;
+///  - every branch's BTR operand has a defining pbr earlier in its block;
+///  - moves to predicate registers use a 0/1 immediate or a PR source.
+///
+/// \returns the list of violations (empty when valid).
+std::vector<std::string> verifyFunction(const Function &F);
+
+/// Aborts with a diagnostic if \p F fails verification. \p Context is
+/// included in the message (e.g. the phase that just ran).
+void verifyOrDie(const Function &F, const std::string &Context);
+
+} // namespace cpr
+
+#endif // IR_VERIFIER_H

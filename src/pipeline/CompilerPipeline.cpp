@@ -1,0 +1,111 @@
+//===- pipeline/CompilerPipeline.cpp - End-to-end harness ------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/CompilerPipeline.h"
+
+#include "interp/Profiler.h"
+#include "ir/Verifier.h"
+#include "regions/FRPConversion.h"
+#include "regions/LoopUnroller.h"
+#include "regions/Simplify.h"
+#include "support/Error.h"
+
+using namespace cpr;
+
+size_t cpr::countStaticBranches(const Function &F) {
+  size_t N = 0;
+  for (size_t BI = 0, BE = F.numBlocks(); BI != BE; ++BI)
+    for (const Operation &Op : F.block(BI).ops())
+      if (Op.isBranch())
+        ++N;
+  return N;
+}
+
+double PipelineResult::speedupOn(const std::string &MachineName) const {
+  for (const MachineComparison &M : Machines)
+    if (M.MachineName == MachineName)
+      return M.speedup();
+  return 0.0;
+}
+
+std::unique_ptr<Function> cpr::applyControlCPR(const Function &Baseline,
+                                               const ProfileData &Profile,
+                                               const CPROptions &Opts,
+                                               CPRResult *CPROut) {
+  std::unique_ptr<Function> Treated = Baseline.clone();
+  // FRP conversion happens per region inside the ICBM driver, which
+  // restores regions where the transformation does not apply.
+  CPRResult R = runControlCPR(*Treated, Profile, Opts);
+  if (CPROut)
+    *CPROut = R;
+  return Treated;
+}
+
+PipelineResult cpr::runPipeline(const KernelProgram &Program,
+                                const PipelineOptions &Opts) {
+  PipelineResult Res;
+  Function &Baseline = *Program.Func;
+  Res.Name = Baseline.getName();
+  verifyOrDie(Baseline, "pipeline input");
+
+  // Optional preparation: unroll self-loop blocks (applies to the shared
+  // baseline, like the paper's IMPACT preprocessing).
+  if (Opts.UnrollFactor >= 2) {
+    for (size_t I = 0; I < Baseline.numBlocks(); ++I)
+      unrollLoop(Baseline, Baseline.block(I), Opts.UnrollFactor);
+    // "Unrolling and other traditional code optimizations" (paper
+    // Section 6): clean the materialized offset arithmetic.
+    simplifyFunction(Baseline);
+    eliminateDeadCode(Baseline);
+    verifyOrDie(Baseline, "after unrolling");
+  }
+
+  // 1. Profile the baseline.
+  Memory MemBase = Program.InitMem;
+  DynStats BaseStats;
+  ProfileData BaseProfile =
+      profileRun(Baseline, MemBase, Program.InitRegs, &BaseStats);
+  Res.DynBaseline = BaseStats;
+
+  // 2. Transform.
+  Res.Treated = applyControlCPR(Baseline, BaseProfile, Opts.CPR, &Res.CPR);
+
+  // 3. Equivalence oracle.
+  if (Opts.CheckEquivalence) {
+    EquivResult E = checkEquivalence(Baseline, *Res.Treated, Program.InitMem,
+                                     Program.InitRegs);
+    if (!E.Equivalent)
+      reportFatalError("control CPR changed observable behavior of @" +
+                       Baseline.getName() + ": " + E.Detail);
+  }
+
+  // 4. Re-profile the treated code (schedule weights must describe the
+  // code being scheduled).
+  Memory MemTreated = Program.InitMem;
+  DynStats TreatedStats;
+  ProfileData TreatedProfile =
+      profileRun(*Res.Treated, MemTreated, Program.InitRegs, &TreatedStats);
+  Res.DynTreated = TreatedStats;
+
+  // Static counts.
+  Res.StaticOpsBaseline = Baseline.totalOps();
+  Res.StaticOpsTreated = Res.Treated->totalOps();
+  Res.StaticBranchesBaseline = countStaticBranches(Baseline);
+  Res.StaticBranchesTreated = countStaticBranches(*Res.Treated);
+
+  // 5. Schedule and estimate per machine.
+  for (const MachineDesc &MD : Opts.Machines) {
+    MachineComparison MC;
+    MC.MachineName = MD.getName();
+    MC.BaselineCycles =
+        estimatePerformance(Baseline, MD, BaseProfile, Opts.Perf).TotalCycles;
+    MC.TreatedCycles =
+        estimatePerformance(*Res.Treated, MD, TreatedProfile, Opts.Perf)
+            .TotalCycles;
+    Res.Machines.push_back(MC);
+  }
+  return Res;
+}

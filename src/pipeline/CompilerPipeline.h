@@ -1,0 +1,128 @@
+//===- pipeline/CompilerPipeline.h - End-to-end harness ---------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end experimental harness reproducing the paper's methodology
+/// (Section 7): given a runnable program, it
+///
+///  1. profiles the baseline superblock code in the interpreter;
+///  2. produces the height-reduced version (FRP conversion + ICBM + DCE);
+///  3. checks baseline/treated observational equivalence (not part of the
+///     paper -- cheap insurance unique to having an interpreter);
+///  4. re-profiles the treated code and gathers dynamic operation counts;
+///  5. schedules both versions for each requested machine model and
+///     estimates cycles, yielding the speedups of Table 2 and the
+///     static/dynamic ratios of Table 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIPELINE_COMPILERPIPELINE_H
+#define PIPELINE_COMPILERPIPELINE_H
+
+#include "cpr/ControlCPR.h"
+#include "sched/PerfModel.h"
+#include "workloads/Kernels.h"
+
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+/// Options for one pipeline run.
+struct PipelineOptions {
+  CPROptions CPR;
+  PerfModelOptions Perf;
+  /// When >= 2, self-loop blocks of the input are unrolled by this factor
+  /// in BOTH the baseline and the treated code before anything else --
+  /// the paper's inputs are unrolled superblocks prepared by the IMPACT
+  /// compiler, so unrolling is part of the common substrate, not of the
+  /// ICBM treatment.
+  unsigned UnrollFactor = 1;
+  /// Machines to estimate for; defaults to the paper's five.
+  std::vector<MachineDesc> Machines = MachineDesc::paperModels();
+  /// Abort if the treated code is not observationally equivalent.
+  bool CheckEquivalence = true;
+};
+
+/// Per-machine timing comparison.
+struct MachineComparison {
+  std::string MachineName;
+  double BaselineCycles = 0.0;
+  double TreatedCycles = 0.0;
+  double speedup() const {
+    return TreatedCycles > 0.0 ? BaselineCycles / TreatedCycles : 0.0;
+  }
+};
+
+/// Everything measured for one program.
+struct PipelineResult {
+  std::string Name;
+
+  // Static operation counts ("S tot" / "S br" of Table 3).
+  size_t StaticOpsBaseline = 0;
+  size_t StaticOpsTreated = 0;
+  size_t StaticBranchesBaseline = 0;
+  size_t StaticBranchesTreated = 0;
+
+  // Dynamic operation counts ("D tot" / "D br" of Table 3).
+  DynStats DynBaseline;
+  DynStats DynTreated;
+
+  // Per-machine cycle estimates (Table 2).
+  std::vector<MachineComparison> Machines;
+
+  CPRResult CPR;
+
+  /// The treated function, for inspection/printing.
+  std::unique_ptr<Function> Treated;
+
+  double staticOpRatio() const {
+    return StaticOpsBaseline
+               ? static_cast<double>(StaticOpsTreated) /
+                     static_cast<double>(StaticOpsBaseline)
+               : 0.0;
+  }
+  double staticBranchRatio() const {
+    return StaticBranchesBaseline
+               ? static_cast<double>(StaticBranchesTreated) /
+                     static_cast<double>(StaticBranchesBaseline)
+               : 0.0;
+  }
+  double dynOpRatio() const {
+    return DynBaseline.OpsDispatched
+               ? static_cast<double>(DynTreated.OpsDispatched) /
+                     static_cast<double>(DynBaseline.OpsDispatched)
+               : 0.0;
+  }
+  double dynBranchRatio() const {
+    return DynBaseline.BranchesDispatched
+               ? static_cast<double>(DynTreated.BranchesDispatched) /
+                     static_cast<double>(DynBaseline.BranchesDispatched)
+               : 0.0;
+  }
+
+  /// Speedup on the machine named \p Name, or 0 if absent.
+  double speedupOn(const std::string &MachineName) const;
+};
+
+/// Produces the height-reduced (FRP + ICBM + DCE) version of \p Baseline,
+/// profiled with \p Profile. Returns the treated function and fills
+/// \p CPROut when non-null.
+std::unique_ptr<Function> applyControlCPR(const Function &Baseline,
+                                          const ProfileData &Profile,
+                                          const CPROptions &Opts,
+                                          CPRResult *CPROut = nullptr);
+
+/// Runs the full measurement pipeline on \p Program.
+PipelineResult runPipeline(const KernelProgram &Program,
+                           const PipelineOptions &Opts = PipelineOptions());
+
+/// Counts static branch operations in \p F.
+size_t countStaticBranches(const Function &F);
+
+} // namespace cpr
+
+#endif // PIPELINE_COMPILERPIPELINE_H

@@ -1,0 +1,88 @@
+//===- pipeline/Reports.cpp - Suite-level report rendering -----------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Reports.h"
+
+#include "support/Statistics.h"
+#include "support/TableFormat.h"
+
+using namespace cpr;
+
+std::vector<SuiteRow> cpr::runSuite(const PipelineOptions &Opts) {
+  std::vector<SuiteRow> Rows;
+  for (const BenchmarkSpec &Spec : paperBenchmarkSuite()) {
+    KernelProgram P = Spec.Build();
+    SuiteRow Row;
+    Row.Name = Spec.Name;
+    Row.InSpec95Mean = Spec.InSpec95Mean;
+    Row.Result = runPipeline(P, Opts);
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+std::string cpr::renderTable2(const std::vector<SuiteRow> &Rows) {
+  if (Rows.empty())
+    return "";
+  const std::vector<MachineComparison> &Machines = Rows[0].Result.Machines;
+
+  TextTable T;
+  std::vector<std::string> Header{"Benchmark"};
+  for (const MachineComparison &M : Machines)
+    Header.push_back(M.MachineName.substr(0, 3));
+  T.setHeader(Header);
+
+  size_t NumM = Machines.size();
+  std::vector<std::vector<double>> All(NumM), Spec95(NumM);
+  for (const SuiteRow &Row : Rows) {
+    std::vector<std::string> Cells{Row.Name};
+    for (size_t M = 0; M < NumM; ++M) {
+      double S = Row.Result.Machines[M].speedup();
+      Cells.push_back(TextTable::fmt(S));
+      All[M].push_back(S);
+      if (Row.InSpec95Mean)
+        Spec95[M].push_back(S);
+    }
+    T.addRow(Cells);
+  }
+  T.addSeparator();
+  std::vector<std::string> GS{"Gmean-spec95"}, GA{"Gmean-all"};
+  for (size_t M = 0; M < NumM; ++M) {
+    GS.push_back(TextTable::fmt(geometricMean(Spec95[M])));
+    GA.push_back(TextTable::fmt(geometricMean(All[M])));
+  }
+  T.addRow(GS);
+  T.addRow(GA);
+  return T.render();
+}
+
+std::string cpr::renderTable3(const std::vector<SuiteRow> &Rows) {
+  TextTable T;
+  T.setHeader({"Benchmark", "S tot", "S br", "D tot", "D br"});
+  std::vector<std::vector<double>> All(4), Spec95(4);
+  for (const SuiteRow &Row : Rows) {
+    const PipelineResult &R = Row.Result;
+    double Vals[4] = {R.staticOpRatio(), R.staticBranchRatio(),
+                      R.dynOpRatio(), R.dynBranchRatio()};
+    std::vector<std::string> Cells{Row.Name};
+    for (int C = 0; C < 4; ++C) {
+      Cells.push_back(TextTable::fmt(Vals[C]));
+      All[static_cast<size_t>(C)].push_back(Vals[C]);
+      if (Row.InSpec95Mean)
+        Spec95[static_cast<size_t>(C)].push_back(Vals[C]);
+    }
+    T.addRow(Cells);
+  }
+  T.addSeparator();
+  std::vector<std::string> GS{"Gmean-spec95"}, GA{"Gmean-all"};
+  for (int C = 0; C < 4; ++C) {
+    GS.push_back(TextTable::fmt(geometricMean(Spec95[static_cast<size_t>(C)])));
+    GA.push_back(TextTable::fmt(geometricMean(All[static_cast<size_t>(C)])));
+  }
+  T.addRow(GS);
+  T.addRow(GA);
+  return T.render();
+}

@@ -1,0 +1,46 @@
+//===- pipeline/Reports.h - Suite-level report rendering --------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the paper's Table 2 and Table 3 from a set of pipeline results,
+/// including the geometric-mean rows over the SPEC-95 subset and over the
+/// whole suite. Shared by the benchmark binaries and usable from client
+/// code to compare configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIPELINE_REPORTS_H
+#define PIPELINE_REPORTS_H
+
+#include "pipeline/CompilerPipeline.h"
+#include "workloads/BenchmarkSuite.h"
+
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+/// One suite row: benchmark name + its pipeline result.
+struct SuiteRow {
+  std::string Name;
+  bool InSpec95Mean = false;
+  PipelineResult Result;
+};
+
+/// Runs the whole paper suite under \p Opts.
+std::vector<SuiteRow> runSuite(const PipelineOptions &Opts =
+                                   PipelineOptions());
+
+/// Renders Table 2 (speedups per machine, Gmean rows). The machine list
+/// is taken from the first row's results.
+std::string renderTable2(const std::vector<SuiteRow> &Rows);
+
+/// Renders Table 3 (static/dynamic operation-count ratios, Gmean rows).
+std::string renderTable3(const std::vector<SuiteRow> &Rows);
+
+} // namespace cpr
+
+#endif // PIPELINE_REPORTS_H

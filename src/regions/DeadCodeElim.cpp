@@ -1,0 +1,123 @@
+//===- regions/DeadCodeElim.cpp - Dead code elimination --------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regions/DeadCodeElim.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Liveness.h"
+
+using namespace cpr;
+
+namespace {
+
+/// One DCE sweep. Returns true if anything changed.
+bool sweepOnce(Function &F, DCEStats &Stats) {
+  Liveness LV(F);
+  bool Changed = false;
+
+  for (size_t BI = 0, BE = F.numBlocks(); BI != BE; ++BI) {
+    Block &B = F.block(BI);
+
+    // Intra-block backward liveness over sets, seeded from the block-level
+    // results, folding in interior exit contributions at their positions.
+    RegSet Live = LV.liveOut(B.getId());
+    // liveOut over-approximates (it unions all exits); recompute the
+    // fall-through component precisely.
+    Live.clear();
+    if (BI + 1 < F.numBlocks()) {
+      const RegSet &NextIn = LV.liveIn(F.block(BI + 1).getId());
+      Live.insert(NextIn.begin(), NextIn.end());
+    }
+    for (Reg R : F.observableRegs())
+      Live.insert(R);
+
+    // Walk backward, marking dead defs.
+    std::vector<bool> RemoveOp(B.size(), false);
+    std::vector<std::vector<bool>> RemoveDef(B.size());
+    for (size_t OI = B.size(); OI-- > 0;) {
+      Operation &Op = B.ops()[OI];
+      if (Op.isBranch()) {
+        RegSet ExitLive = LV.liveAtExit(F, B, OI);
+        Live.insert(ExitLive.begin(), ExitLive.end());
+      } else if (Op.getOpcode() == Opcode::Halt ||
+                 Op.getOpcode() == Opcode::Trap) {
+        for (Reg R : F.observableRegs())
+          Live.insert(R);
+      }
+
+      RemoveDef[OI].assign(Op.defs().size(), false);
+      bool AnyLiveDef = false;
+      for (size_t DI = 0; DI < Op.defs().size(); ++DI) {
+        if (Live.count(Op.defs()[DI].R))
+          AnyLiveDef = true;
+        else
+          RemoveDef[OI][DI] = true;
+      }
+
+      bool MustKeep = Op.hasSideEffects() || Op.getOpcode() == Opcode::Pbr;
+      // Pbr results feed branches; keep them only if some branch uses the
+      // BTR (covered by liveness: if the branch exists, the BTR is live).
+      if (Op.getOpcode() == Opcode::Pbr && !AnyLiveDef &&
+          !Live.count(Op.defs()[0].R))
+        MustKeep = false;
+
+      if (!MustKeep && !AnyLiveDef && !Op.defs().empty()) {
+        RemoveOp[OI] = true;
+        continue; // a removed op contributes no uses or kills
+      }
+      if (Op.getOpcode() == Opcode::Nop) {
+        RemoveOp[OI] = true;
+        continue;
+      }
+
+      // Standard backward transfer.
+      for (size_t DI = 0; DI < Op.defs().size(); ++DI) {
+        const DefSlot &D = Op.defs()[DI];
+        bool AlwaysWrites =
+            Op.isCmpp()
+                ? (D.Act == CmppAction::UN || D.Act == CmppAction::UC)
+                : (Op.getGuard().isTruePred() || Op.isFrpGuard());
+        if (AlwaysWrites && !RemoveDef[OI][DI])
+          Live.erase(D.R);
+      }
+      if (!Op.getGuard().isTruePred())
+        Live.insert(Op.getGuard());
+      for (const Operand &S : Op.srcs())
+        if (S.isReg())
+          Live.insert(S.getReg());
+    }
+
+    // Apply removals (backward so indices stay valid).
+    for (size_t OI = B.size(); OI-- > 0;) {
+      if (RemoveOp[OI]) {
+        B.ops().erase(B.ops().begin() + static_cast<ptrdiff_t>(OI));
+        ++Stats.OpsRemoved;
+        Changed = true;
+        continue;
+      }
+      Operation &Op = B.ops()[OI];
+      if (!Op.isCmpp() || Op.defs().size() < 2)
+        continue;
+      for (size_t DI = Op.defs().size(); DI-- > 0;) {
+        if (RemoveDef[OI][DI] && Op.defs().size() > 1) {
+          Op.defs().erase(Op.defs().begin() + static_cast<ptrdiff_t>(DI));
+          ++Stats.DestsRemoved;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+DCEStats cpr::eliminateDeadCode(Function &F) {
+  DCEStats Stats;
+  while (sweepOnce(F, Stats)) {
+  }
+  return Stats;
+}

@@ -1,0 +1,229 @@
+//===- regions/FRPConversion.cpp - Fully-resolved predicates --------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The conversion walks the region once, maintaining a symbolic (BDD)
+// expression for the path predicate -- the condition under which control
+// reaches the current position -- and for every predicate register defined
+// so far. For each operation it compares the guard's value expression gE
+// with the path expression PathE:
+//
+//   - gE implies PathE: the guard already refines the position; keep it.
+//     (This is the common case for if-converted code whose compare was
+//     itself re-guarded by the path predicate earlier in this walk.)
+//   - PathE implies gE: the guard is weaker than the position (guard T, or
+//     an outer path predicate); replace it with the current path predicate
+//     register and mark it positional (isFrpGuard) so predicate
+//     speculation may freely promote it back.
+//   - otherwise: materialize newGuard = Path & oldGuard with two moves
+//     (rare: predication unrelated to the branch structure).
+//
+// At each branch the controlling compare gains a UC fall-through
+// destination which becomes the next path predicate register, provided the
+// compare's guard expression equals the path expression exactly (otherwise
+// the walk continues with a path expression but no register, and later
+// re-guards materialize).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regions/FRPConversion.h"
+
+#include "analysis/BDD.h"
+#include "support/Error.h"
+
+#include <unordered_map>
+
+using namespace cpr;
+
+FRPConversionStats cpr::convertToFRP(Function &F, Block &B) {
+  FRPConversionStats Stats;
+  std::vector<Operation> &Ops = B.ops();
+
+  BDD Mgr;
+  uint32_t NextVar = 0;
+  // Value expression per predicate register (fresh atom when unknown).
+  std::unordered_map<Reg, BDD::NodeRef> PredVal;
+  auto PredExpr = [&](Reg R) -> BDD::NodeRef {
+    if (R.isTruePred())
+      return BDD::True;
+    auto [It, Inserted] = PredVal.try_emplace(R, BDD::Invalid);
+    if (Inserted)
+      It->second = Mgr.var(NextVar++);
+    return It->second;
+  };
+
+  BDD::NodeRef PathE = BDD::True;
+  Reg PathReg = Reg::truePred();
+  bool PathRegExact = true; // PathReg's value expression equals PathE
+
+  // One fresh condition atom per compare operation (conservative: no
+  // sharing; the conversion needs only implication structure).
+  std::unordered_map<OpId, BDD::NodeRef> CondAtom;
+  auto CondExpr = [&](const Operation &Cmpp) -> BDD::NodeRef {
+    auto [It, Inserted] = CondAtom.try_emplace(Cmpp.getId(), BDD::Invalid);
+    if (Inserted)
+      It->second = Mgr.var(NextVar++);
+    return It->second;
+  };
+
+  auto Implies = [&](BDD::NodeRef A, BDD::NodeRef Bn) {
+    return Mgr.implies(A, Bn);
+  };
+
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    // --- Re-guard the operation ---------------------------------------
+    if (!Ops[I].isBranch()) {
+      Reg G = Ops[I].getGuard();
+      BDD::NodeRef GE = PredExpr(G);
+      if (G == PathReg || Implies(GE, PathE)) {
+        // Keep: the guard already encodes (at least) the position.
+      } else if (PathRegExact && Implies(PathE, GE)) {
+        Ops[I].setGuard(PathReg);
+        Ops[I].setFrpGuard(true);
+        ++Stats.GuardsRewritten;
+      } else {
+        // Materialize newGuard = Path & oldGuard.
+        Reg NewGuard = F.newReg(RegClass::PR);
+        Operation Init = F.makeOp(Opcode::Mov);
+        Init.addDef(NewGuard);
+        Init.addSrc(Operand::imm(0));
+        Operation Copy = F.makeOp(Opcode::Mov);
+        Copy.setGuard(PathRegExact ? PathReg : Reg::truePred());
+        Copy.addDef(NewGuard);
+        Copy.addSrc(Operand::reg(G));
+        // Without an exact path register the conjunction degenerates to a
+        // plain copy, which is still correct (weaker guard, original
+        // position still protects the operation).
+        Ops.insert(Ops.begin() + static_cast<ptrdiff_t>(I), {Init, Copy});
+        I += 2;
+        Ops[I].setGuard(NewGuard);
+        PredVal[NewGuard] =
+            Mgr.mkAnd(PathRegExact ? PathE : BDD::True, PredExpr(G));
+        ++Stats.MaterializedConjunctions;
+      }
+    }
+
+    Operation &Op = Ops[I];
+
+    // --- Update predicate value expressions ----------------------------
+    BDD::NodeRef GE = PredExpr(Op.getGuard());
+    if (Op.isCmpp()) {
+      BDD::NodeRef C = CondExpr(Op);
+      for (const DefSlot &D : Op.defs()) {
+        BDD::NodeRef Old = PredExpr(D.R);
+        BDD::NodeRef New = BDD::Invalid;
+        switch (D.Act) {
+        case CmppAction::UN:
+          New = Mgr.mkAnd(GE, C);
+          break;
+        case CmppAction::UC:
+          New = Mgr.mkAnd(GE, Mgr.mkNot(C));
+          break;
+        case CmppAction::ON:
+          New = Mgr.mkOr(Old, Mgr.mkAnd(GE, C));
+          break;
+        case CmppAction::OC:
+          New = Mgr.mkOr(Old, Mgr.mkAnd(GE, Mgr.mkNot(C)));
+          break;
+        case CmppAction::AN:
+          New = Mgr.mkAnd(Old, Mgr.mkOr(Mgr.mkNot(GE), C));
+          break;
+        case CmppAction::AC:
+          New = Mgr.mkAnd(Old, Mgr.mkOr(Mgr.mkNot(GE), Mgr.mkNot(C)));
+          break;
+        case CmppAction::None:
+          CPR_UNREACHABLE("cmpp destination without action");
+        }
+        if (New == BDD::Invalid)
+          New = Mgr.var(NextVar++);
+        PredVal[D.R] = New;
+      }
+    } else if (Op.getOpcode() == Opcode::Mov && !Op.defs().empty() &&
+               Op.defs()[0].R.isPred()) {
+      const Operand &Src = Op.srcs()[0];
+      BDD::NodeRef SrcE = Src.isImm()
+                              ? (Src.getImm() ? BDD::True : BDD::False)
+                              : PredExpr(Src.getReg());
+      BDD::NodeRef Old = PredExpr(Op.defs()[0].R);
+      BDD::NodeRef New = Mgr.ite(GE, SrcE, Old);
+      if (New == BDD::Invalid)
+        New = Mgr.var(NextVar++);
+      PredVal[Op.defs()[0].R] = New;
+    }
+
+    if (!Op.isBranch())
+      continue;
+
+    // --- Cross a branch: refine the path --------------------------------
+    Reg TakenPred = Op.branchPred();
+    BDD::NodeRef TakenE = PredExpr(TakenPred);
+    BDD::NodeRef NewPathE = Mgr.mkAnd(PathE, Mgr.mkNot(TakenE));
+    if (NewPathE == BDD::Invalid)
+      NewPathE = Mgr.var(NextVar++);
+
+    // Locate the controlling compare to obtain/install the fall-through
+    // predicate register.
+    int CmppIdx = B.lastDefBefore(TakenPred, I);
+    Reg FallPred;
+    bool HaveFall = false;
+    bool Exact = false;
+    if (CmppIdx >= 0) {
+      Operation &Cmpp = Ops[static_cast<size_t>(CmppIdx)];
+      bool IsUN = false;
+      if (Cmpp.isCmpp())
+        for (const DefSlot &D : Cmpp.defs())
+          if (D.R == TakenPred && D.Act == CmppAction::UN)
+            IsUN = true;
+      if (IsUN) {
+        ++Stats.BranchesConverted;
+        for (const DefSlot &D : Cmpp.defs())
+          if (D.Act == CmppAction::UC) {
+            FallPred = D.R;
+            HaveFall = true;
+          }
+        bool IsLastOp = I + 1 == Ops.size();
+        if (!HaveFall && !IsLastOp) {
+          FallPred = F.newReg(RegClass::PR);
+          Cmpp.addDef(FallPred, CmppAction::UC);
+          PredVal[FallPred] = Mgr.mkAnd(PredExpr(Cmpp.getGuard()),
+                                        Mgr.mkNot(CondExpr(Cmpp)));
+          ++Stats.CmppDestsAdded;
+          HaveFall = true;
+        }
+        // The fall-through predicate is an exact path register only when
+        // the compare's guard expression equals the path expression.
+        if (HaveFall)
+          Exact = PredVal[FallPred] == NewPathE;
+      }
+    }
+
+    PathE = NewPathE;
+    if (HaveFall && Exact) {
+      PathReg = FallPred;
+      PathRegExact = true;
+    } else if (HaveFall) {
+      PathReg = FallPred;
+      PathRegExact = false;
+    } else {
+      PathRegExact = false;
+    }
+  }
+  return Stats;
+}
+
+FRPConversionStats cpr::convertFunctionToFRP(Function &F) {
+  FRPConversionStats Total;
+  for (size_t I = 0, E = F.numBlocks(); I != E; ++I) {
+    Block &B = F.block(I);
+    if (B.isCompensation())
+      continue;
+    FRPConversionStats S = convertToFRP(F, B);
+    Total.BranchesConverted += S.BranchesConverted;
+    Total.CmppDestsAdded += S.CmppDestsAdded;
+    Total.GuardsRewritten += S.GuardsRewritten;
+    Total.MaterializedConjunctions += S.MaterializedConjunctions;
+  }
+  return Total;
+}

@@ -1,0 +1,52 @@
+//===- regions/FRPConversion.h - Fully-resolved predicates ------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FRP conversion of linear regions (paper Section 4.1 and Figure 6(b->c)).
+///
+/// In a conventional superblock, operations below a side-exit branch are
+/// guarded by their position: they execute only because the branch fell
+/// through. FRP conversion makes that guard explicit: each exit branch's
+/// controlling compare gains a UC (fall-through) predicate destination,
+/// compares are themselves guarded by the path predicate reaching them, and
+/// every operation after the branch is re-guarded by the fall-through
+/// predicate. Afterwards the branch predicates of the region are mutually
+/// exclusive, which converts the chain of branch dependences into a chain
+/// of data dependences through the compares -- the precondition for ICBM's
+/// height reduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGIONS_FRPCONVERSION_H
+#define REGIONS_FRPCONVERSION_H
+
+#include "ir/Function.h"
+
+namespace cpr {
+
+/// Statistics from one conversion.
+struct FRPConversionStats {
+  unsigned BranchesConverted = 0;
+  unsigned CmppDestsAdded = 0;
+  unsigned GuardsRewritten = 0;
+  unsigned MaterializedConjunctions = 0;
+};
+
+/// FRP-converts block \p B of \p F in place.
+///
+/// Preconditions: every interior branch's taken predicate is produced by a
+/// cmpp (with an unconditional target) earlier in the block. Branches whose
+/// predicate has no in-block compare definition (or a non-UN definition)
+/// terminate the converted prefix: conversion stops there, leaving the
+/// remainder of the block untouched (conservative, still correct).
+FRPConversionStats convertToFRP(Function &F, Block &B);
+
+/// Converts every non-compensation block of \p F.
+FRPConversionStats convertFunctionToFRP(Function &F);
+
+} // namespace cpr
+
+#endif // REGIONS_FRPCONVERSION_H

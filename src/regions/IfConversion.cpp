@@ -1,0 +1,173 @@
+//===- regions/IfConversion.cpp - Hyperblock formation ---------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regions/IfConversion.h"
+
+#include "analysis/CFG.h"
+#include "analysis/ProfileData.h"
+#include "support/Error.h"
+
+using namespace cpr;
+
+namespace {
+
+/// Counts control-flow edges into \p Target across the function.
+unsigned countEntries(const Function &F, BlockId Target) {
+  unsigned N = 0;
+  for (size_t BI = 0, BE = F.numBlocks(); BI != BE; ++BI)
+    for (const BlockExit &E : blockExits(F, BI))
+      if (E.Target == Target)
+        ++N;
+  return N;
+}
+
+/// True if \p Op may be folded into the region under a guard: pure or a
+/// store, unconditional, and not a compare (unconditional cmpp targets
+/// write even under a false guard, which would clobber state the
+/// not-taken path must preserve).
+bool predicable(const Operation &Op) {
+  if (!Op.getGuard().isTruePred())
+    return false;
+  switch (Op.getOpcode()) {
+  case Opcode::Cmpp:
+  case Opcode::Branch:
+  case Opcode::Pbr:
+  case Opcode::Halt:
+  case Opcode::Trap:
+    return false;
+  default:
+    return true;
+  }
+}
+
+} // namespace
+
+IfConversionStats cpr::ifConvert(Function &F,
+                                 const IfConversionOptions &Opts) {
+  IfConversionStats Stats;
+
+  for (size_t PI = 0; PI < F.numBlocks(); ++PI) {
+    Block &P = F.block(PI);
+    if (P.isCompensation() || PI + 1 >= F.numBlocks())
+      continue;
+    BlockId JoinId = F.block(PI + 1).getId();
+
+    // Scan for a convertible branch; restart after each conversion (the
+    // block changed under us).
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t OI = 0; OI < P.size(); ++OI) {
+        const Operation &Br = P.ops()[OI];
+        if (!Br.isBranch())
+          continue;
+        BlockId TargetId = resolveBranchTarget(P, OI);
+        if (TargetId == InvalidBlockId || TargetId == P.getId() ||
+            TargetId == JoinId)
+          continue;
+        Block *T = F.blockById(TargetId);
+        if (!T || T->isCompensation())
+          continue;
+
+        // Profile gate.
+        if (Opts.Profile &&
+            Opts.Profile->takenRatio(Br.getId()) > Opts.MaxTakenRatio)
+          continue;
+
+        // The side block must be singly entered, small, fully predicable,
+        // and end with an unconditional branch back to the join block.
+        if (countEntries(F, TargetId) != 1)
+          continue;
+        if (T->size() < 2 || T->size() > Opts.MaxSideOps + 2)
+          continue;
+        const Operation &TBr = T->ops().back();
+        if (!TBr.isBranch() || !TBr.branchPred().isTruePred() ||
+            !TBr.getGuard().isTruePred())
+          continue;
+        if (resolveBranchTarget(*T, T->size() - 1) != JoinId)
+          continue;
+        const Operation &TPbr = T->ops()[T->size() - 2];
+        if (TPbr.getOpcode() != Opcode::Pbr)
+          continue;
+        bool AllPredicable = true;
+        for (size_t I = 0; I + 2 < T->size(); ++I)
+          if (!predicable(T->ops()[I]))
+            AllPredicable = false;
+        if (!AllPredicable)
+          continue;
+
+        // The remainder of P must be re-guardable by the fall-through
+        // predicate: plain unconditional non-control operations (a halt
+        // is fine; it simply becomes guarded).
+        bool RestOk = true;
+        for (size_t I = OI + 1; I < P.size(); ++I) {
+          const Operation &Op = P.ops()[I];
+          if (Op.isCmpp() || Op.isBranch() ||
+              Op.getOpcode() == Opcode::Pbr ||
+              !Op.getGuard().isTruePred()) {
+            RestOk = false;
+            break;
+          }
+        }
+        if (!RestOk)
+          continue;
+
+        // The branch's controlling compare must expose (or gain) a UC
+        // fall-through destination.
+        Reg Taken = Br.branchPred();
+        int CmppIdx = P.lastDefBefore(Taken, OI);
+        if (CmppIdx < 0 || !P.ops()[static_cast<size_t>(CmppIdx)].isCmpp())
+          continue;
+        Operation &Cmpp = P.ops()[static_cast<size_t>(CmppIdx)];
+        bool IsUN = false;
+        Reg Fall;
+        bool HasFall = false;
+        for (const DefSlot &D : Cmpp.defs()) {
+          if (D.R == Taken && D.Act == CmppAction::UN)
+            IsUN = true;
+          if (D.Act == CmppAction::UC) {
+            Fall = D.R;
+            HasFall = true;
+          }
+        }
+        if (!IsUN)
+          continue;
+        if (!HasFall) {
+          Fall = F.newReg(RegClass::PR);
+          Cmpp.addDef(Fall, CmppAction::UC);
+        }
+
+        // --- Apply -------------------------------------------------------
+        // 1. Re-guard the remainder of P by the fall-through predicate.
+        for (size_t I = OI + 1; I < P.size(); ++I) {
+          P.ops()[I].setGuard(Fall);
+          ++Stats.OpsPredicated;
+        }
+        // 2. Splice T's body (minus its terminator pair) to P's end,
+        //    guarded by the taken predicate.
+        for (size_t I = 0; I + 2 < T->size(); ++I) {
+          Operation Op = T->ops()[I];
+          Op.setGuard(Taken);
+          P.ops().push_back(std::move(Op));
+          ++Stats.OpsPredicated;
+        }
+        T->ops().clear(); // T is now unreachable and empty
+        // 3. Remove the branch and its pbr (the BTR has no other reader:
+        //    pbr results are single-use by construction).
+        int PbrIdx = P.lastDefBefore(Br.branchTargetReg(), OI);
+        P.ops().erase(P.ops().begin() + static_cast<ptrdiff_t>(OI));
+        if (PbrIdx >= 0 &&
+            P.ops()[static_cast<size_t>(PbrIdx)].getOpcode() == Opcode::Pbr)
+          P.ops().erase(P.ops().begin() + PbrIdx);
+
+        ++Stats.BranchesConverted;
+        Changed = true;
+        break;
+      }
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,63 @@
+//===- regions/IfConversion.h - Hyperblock formation ------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// If-conversion (Allen et al. [AKPW83], Mahlke et al. [MLC+92]): folds a
+/// rarely taken side path back into its region using predication instead
+/// of control flow, producing the hyperblock inputs the paper's ICBM is
+/// designed to accept ("predicated execution is often introduced prior to
+/// control CPR").
+///
+/// Pattern handled: a branch in block P targeting a small block T, where T
+/// ends with an unconditional branch back to P's layout successor J (the
+/// "if-then, rejoin" diamond half):
+///
+///   P: ... branch(p, @T) ... (rest)        T: ops...; branch(T, @J)
+///
+/// becomes
+///
+///   P: ... cmpp-guarded rest ... T's ops guarded by p ...
+///
+/// i.e. the branch disappears, the remainder of P is guarded by the
+/// fall-through predicate, and T's operations run predicated on the taken
+/// predicate at the end of P. Operations of T that are unsafe to
+/// predicate this way (further branches, halt) disqualify the pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGIONS_IFCONVERSION_H
+#define REGIONS_IFCONVERSION_H
+
+#include "ir/Function.h"
+
+namespace cpr {
+
+/// Options for if-conversion.
+struct IfConversionOptions {
+  /// Maximum operation count of a side block to fold.
+  unsigned MaxSideOps = 8;
+  /// Only fold when the branch's profiled taken ratio is below this (use
+  /// 1.0 to ignore profiles). Requires a profile via the pointer below.
+  double MaxTakenRatio = 1.0;
+  const class ProfileData *Profile = nullptr;
+};
+
+/// Results of one if-conversion run.
+struct IfConversionStats {
+  unsigned BranchesConverted = 0;
+  unsigned OpsPredicated = 0;
+};
+
+/// If-converts eligible side exits of every non-compensation block of
+/// \p F. Side blocks that become unreachable are left for dead-block
+/// cleanup (they are simply never entered).
+IfConversionStats ifConvert(Function &F,
+                            const IfConversionOptions &Opts =
+                                IfConversionOptions());
+
+} // namespace cpr
+
+#endif // REGIONS_IFCONVERSION_H

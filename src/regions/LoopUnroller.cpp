@@ -1,0 +1,261 @@
+//===- regions/LoopUnroller.cpp - Superblock loop unrolling ---------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regions/LoopUnroller.h"
+
+#include "analysis/Liveness.h"
+#include "support/Error.h"
+
+#include <unordered_map>
+
+using namespace cpr;
+
+namespace {
+
+/// Remaps a register through the per-copy renaming table.
+Reg remap(const std::unordered_map<Reg, Reg> &Map, Reg R) {
+  auto It = Map.find(R);
+  return It == Map.end() ? R : It->second;
+}
+
+} // namespace
+
+UnrollResult cpr::unrollLoop(Function &F, Block &B, unsigned Factor) {
+  UnrollResult Res;
+  if (Factor < 2) {
+    Res.Reason = "unroll factor must be at least 2";
+    return Res;
+  }
+  if (B.size() < 2) {
+    Res.Reason = "block too small to be a loop";
+    return Res;
+  }
+
+  // Recognize the backedge: the final operation must be a branch whose
+  // pbr targets this very block.
+  const Operation &Back = B.ops().back();
+  if (!Back.isBranch()) {
+    Res.Reason = "block does not end in a branch";
+    return Res;
+  }
+  int PbrIdx = B.lastDefBefore(Back.branchTargetReg(), B.size() - 1);
+  if (PbrIdx < 0 ||
+      B.ops()[static_cast<size_t>(PbrIdx)].getOpcode() != Opcode::Pbr) {
+    Res.Reason = "backedge target not prepared in the block";
+    return Res;
+  }
+  if (B.ops()[static_cast<size_t>(PbrIdx)].pbrTarget() != B.getId()) {
+    Res.Reason = "final branch is not a self backedge";
+    return Res;
+  }
+  // The fall-through successor is where a failed backedge leaves the
+  // loop; every replicated backedge test exits there as well.
+  int LayoutIdx = F.layoutIndex(B.getId());
+  if (LayoutIdx < 0 || static_cast<size_t>(LayoutIdx) + 1 >= F.numBlocks()) {
+    Res.Reason = "loop has no fall-through exit block";
+    return Res;
+  }
+  const Block &ExitBlock = F.block(static_cast<size_t>(LayoutIdx) + 1);
+
+  // The backedge predicate must be computed in the block with a UN
+  // target, so the copies can branch on its complement... equivalently,
+  // the copies keep the same compare but redirect the branch: copy k's
+  // "stay in the loop" test becomes "leave if the condition fails", i.e.
+  // a branch on a UC destination of the same compare.
+  Reg BackPred = Back.branchPred();
+  int CmppIdx = B.lastDefBefore(BackPred, B.size() - 1);
+  if (CmppIdx < 0 || !B.ops()[static_cast<size_t>(CmppIdx)].isCmpp()) {
+    Res.Reason = "backedge predicate has no in-block compare";
+    return Res;
+  }
+
+  // Registers visible outside the block (live in or out, or observable)
+  // must keep their names: renaming exists only to break false
+  // dependences between block-local temporaries of different copies.
+  std::unordered_map<Reg, bool> Escapes;
+  {
+    Liveness LV(F);
+    for (Reg R : LV.liveIn(B.getId()))
+      Escapes[R] = true;
+    for (Reg R : LV.liveOut(B.getId()))
+      Escapes[R] = true;
+    for (Reg R : F.observableRegs())
+      Escapes[R] = true;
+  }
+
+  std::vector<Operation> Body = B.ops();
+  std::vector<Operation> Out;
+  Out.reserve(Body.size() * Factor);
+
+  // Induction variables: escaping GPRs whose only definition in the body
+  // is a single unguarded "r = add(r, C)" / "r = sub(r, C)". Their
+  // updates are strength-reduced: non-final copies drop the update and
+  // materialize "r + k*C" offsets at uses instead, so the copies' address
+  // arithmetic stays parallel (as in the paper's IMPACT-prepared unrolled
+  // code); the final copy applies one cumulative update.
+  struct Induction {
+    size_t DefIdx;
+    int64_t Step;
+  };
+  std::unordered_map<Reg, Induction> Inductions;
+  {
+    std::unordered_map<Reg, unsigned> DefCount;
+    for (const Operation &Op : Body)
+      for (const DefSlot &D : Op.defs())
+        ++DefCount[D.R];
+    for (size_t I = 0; I < Body.size(); ++I) {
+      const Operation &Op = Body[I];
+      if ((Op.getOpcode() != Opcode::Add && Op.getOpcode() != Opcode::Sub) ||
+          !Op.getGuard().isTruePred() || Op.defs().size() != 1)
+        continue;
+      Reg R = Op.defs()[0].R;
+      if (R.getClass() != RegClass::GPR || !Escapes.count(R) ||
+          DefCount[R] != 1)
+        continue;
+      if (Op.srcs().size() != 2 || !Op.srcs()[0].isReg() ||
+          Op.srcs()[0].getReg() != R || !Op.srcs()[1].isImm())
+        continue;
+      int64_t Step = Op.srcs()[1].getImm();
+      if (Op.getOpcode() == Opcode::Sub)
+        Step = -Step;
+      Inductions[R] = Induction{I, Step};
+    }
+  }
+  // Accumulated offset of each induction variable relative to its value
+  // at loop entry, and the materialized "base + offset" registers.
+  std::unordered_map<Reg, int64_t> Pending;
+  std::unordered_map<Reg, std::unordered_map<int64_t, Reg>> OffsetRegs;
+
+  // Running renaming: register -> current name. Starts empty (copy 0 uses
+  // original names). Each copy renames the registers it defines; uses read
+  // the previous copy's names.
+  std::unordered_map<Reg, Reg> Names;
+
+  for (unsigned Copy = 0; Copy < Factor; ++Copy) {
+    bool Last = Copy + 1 == Factor;
+    for (size_t I = 0; I < Body.size(); ++I) {
+      bool IsBackedgeBranch = I + 1 == Body.size();
+      bool IsBackedgePbr = static_cast<int>(I) == PbrIdx;
+      Operation Op = Body[I];
+      Op.setId(Copy == 0 ? Op.getId() : F.newOpId());
+
+      // Induction update handling: non-final copies drop the update and
+      // accumulate the offset; the final copy applies the total.
+      {
+        bool IsInductionDef = false;
+        for (const auto &[R, Ind] : Inductions)
+          if (Ind.DefIdx == I) {
+            IsInductionDef = true;
+            if (!Last) {
+              Pending[R] += Ind.Step;
+            } else {
+              int64_t Total = Pending[R] + Ind.Step;
+              Op = F.makeOp(Opcode::Add);
+              Op.setId(Copy == 0 ? Body[I].getId() : Op.getId());
+              Op.addDef(R);
+              Op.addSrc(Operand::reg(R));
+              Op.addSrc(Operand::imm(Total));
+              Pending[R] = 0;
+              OffsetRegs[R].clear();
+            }
+            break;
+          }
+        if (IsInductionDef && !Last)
+          continue; // dropped; offsets carry the effect
+      }
+
+      // Rewire uses through the current renaming, materializing
+      // base+offset registers for induction variables with a pending
+      // offset.
+      Op.setGuard(remap(Names, Op.getGuard()));
+      for (Operand &S : Op.srcs()) {
+        if (!S.isReg())
+          continue;
+        Reg R = S.getReg();
+        auto IndIt = Inductions.find(R);
+        if (IndIt != Inductions.end() && Pending[R] != 0) {
+          int64_t Off = Pending[R];
+          auto [OffIt, Inserted] = OffsetRegs[R].try_emplace(Off, Reg());
+          if (Inserted) {
+            OffIt->second = F.newReg(RegClass::GPR);
+            Operation Mat = F.makeOp(Opcode::Add);
+            Mat.addDef(OffIt->second);
+            Mat.addSrc(Operand::reg(R));
+            Mat.addSrc(Operand::imm(Off));
+            Out.push_back(std::move(Mat));
+          }
+          S = Operand::reg(OffIt->second);
+          continue;
+        }
+        S = Operand::reg(remap(Names, R));
+      }
+
+      // Non-final copies: the backedge pair becomes a side exit taken
+      // when the loop condition FAILS. Realized by branching on the UC
+      // complement of the backedge compare (added below if missing).
+      if (!Last && IsBackedgePbr) {
+        Op.srcs()[0] = Operand::label(ExitBlock.getId());
+      }
+      if (!Last && IsBackedgeBranch) {
+        // The copy's exit condition is the *complement* of the backedge
+        // test. ICBM's suitability test requires branch predicates to be
+        // computed by an unconditional-normal (UN) compare target, so a
+        // fresh inverted-sense compare is emitted rather than branching
+        // on a UC complement of the original.
+        Reg Pred = Op.branchPred();
+        int DefIdx = -1;
+        for (size_t J = Out.size(); J-- > 0;)
+          if (Out[J].definesReg(Pred)) {
+            DefIdx = static_cast<int>(J);
+            break;
+          }
+        if (DefIdx < 0 || !Out[static_cast<size_t>(DefIdx)].isCmpp()) {
+          Res.Reason = "renamed backedge compare not found";
+          return Res;
+        }
+        const Operation &Cmpp = Out[static_cast<size_t>(DefIdx)];
+        Reg ExitPred = F.newReg(RegClass::PR);
+        Operation ExitCmpp = F.makeOp(Opcode::Cmpp);
+        ExitCmpp.setGuard(Cmpp.getGuard());
+        ExitCmpp.setFrpGuard(Cmpp.isFrpGuard());
+        ExitCmpp.setCond(invertCompareCond(Cmpp.getCond()));
+        ExitCmpp.addDef(ExitPred, CmppAction::UN);
+        for (const Operand &S : Cmpp.srcs())
+          ExitCmpp.addSrc(S);
+        Out.push_back(std::move(ExitCmpp));
+        Op.srcs()[0] = Operand::reg(ExitPred);
+      }
+
+      // Rename definitions. Only *unconditional* writes may take a fresh
+      // per-copy name; a guarded or wired definition merges with the
+      // register's previous value, so it must keep the current name (the
+      // renaming exists to break false dependences, and keeping a name is
+      // always correct, merely less parallel).
+      for (DefSlot &D : Op.defs()) {
+        bool Unconditional =
+            Op.isCmpp()
+                ? (D.Act == CmppAction::UN || D.Act == CmppAction::UC)
+                : Op.getGuard().isTruePred();
+        if (Copy == 0) {
+          Names[D.R] = D.R;
+          continue;
+        }
+        if (Unconditional && !Escapes.count(D.R)) {
+          Reg NewName = F.newReg(D.R.getClass());
+          Names[D.R] = NewName;
+          D.R = NewName;
+        } else {
+          D.R = remap(Names, D.R);
+        }
+      }
+      Out.push_back(std::move(Op));
+    }
+  }
+
+  B.ops() = std::move(Out);
+  Res.Unrolled = true;
+  return Res;
+}

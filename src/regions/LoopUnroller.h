@@ -1,0 +1,44 @@
+//===- regions/LoopUnroller.h - Superblock loop unrolling -------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unrolls single-block loops. The paper's evaluation consumes unrolled
+/// superblock loops (its strcpy example is unrolled four times by the
+/// IMPACT baseline before ICBM sees it); this pass provides that
+/// preparation for loops written at unroll factor one.
+///
+/// A candidate loop is one block whose final operation is a backedge
+/// branch to itself (with its pbr and controlling compare in the block).
+/// Unrolling replicates the body, renaming every register defined in the
+/// body per copy and rewiring uses to the most recent definition, so
+/// loop-carried values flow copy to copy. Each copy's backedge test turns
+/// into a side exit that leaves the loop when the original condition
+/// fails (branching to the loop's layout successor via a fresh exit
+/// trampoline); the final copy keeps the backedge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGIONS_LOOPUNROLLER_H
+#define REGIONS_LOOPUNROLLER_H
+
+#include "ir/Function.h"
+
+namespace cpr {
+
+/// Result of an unrolling attempt.
+struct UnrollResult {
+  bool Unrolled = false;
+  std::string Reason; ///< why unrolling was refused (when !Unrolled)
+};
+
+/// Tries to unroll the self-loop block \p B of \p F by \p Factor.
+/// Returns why it could not when the block does not match the supported
+/// shape. \p Factor must be at least 2.
+UnrollResult unrollLoop(Function &F, Block &B, unsigned Factor);
+
+} // namespace cpr
+
+#endif // REGIONS_LOOPUNROLLER_H

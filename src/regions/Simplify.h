@@ -1,0 +1,47 @@
+//===- regions/Simplify.h - Local scalar optimizations ----------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Local (per-block) scalar optimizations: constant folding, copy
+/// propagation, and common-subexpression elimination for pure integer
+/// operations. The paper's inputs are "after unrolling and other
+/// traditional code optimizations" (Section 6); this pass provides that
+/// preparation, and in particular cleans up the base+offset arithmetic the
+/// loop unroller materializes.
+///
+/// The pass is predication-aware in the conservative direction: facts
+/// (constant values, copies, available expressions) are only recorded for
+/// unconditional definitions, and any definition of a register invalidates
+/// facts about it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REGIONS_SIMPLIFY_H
+#define REGIONS_SIMPLIFY_H
+
+#include "ir/Function.h"
+
+namespace cpr {
+
+/// Results of one simplification run.
+struct SimplifyStats {
+  unsigned ConstantsFolded = 0;
+  unsigned CopiesPropagated = 0;
+  unsigned ExpressionsReused = 0; ///< CSE hits (op rewritten to a mov)
+};
+
+/// Simplifies block \p B of \p F in place. Does not remove operations
+/// (dead ones become movs for DCE to collect), so operation ids and
+/// positions stay stable for profiles.
+SimplifyStats simplifyBlock(Function &F, Block &B);
+
+/// Simplifies every non-compensation block, then runs nothing else
+/// (callers chain DCE).
+SimplifyStats simplifyFunction(Function &F);
+
+} // namespace cpr
+
+#endif // REGIONS_SIMPLIFY_H

@@ -1,0 +1,71 @@
+//===- sched/PerfModel.h - Compiler-estimation performance model -*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's performance methodology (Section 7): code is scheduled for a
+/// processor configuration and execution time is estimated from static
+/// schedule lengths weighted by profiled execution frequencies, ignoring
+/// dynamic effects (caches, predictors).
+///
+/// Two weighting modes are provided:
+///  - BlockLength: the paper's literal formula, sum over blocks of
+///    scheduleLength * entryFrequency;
+///  - ExitAware (default): an entry that departs through a taken exit is
+///    charged up to that exit's departure cycle instead of the full block
+///    length. This realizes the exit-delay penalties Section 7 discusses
+///    (delayed exit branches hurting narrow machines) that the literal
+///    formula cannot express.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHED_PERFMODEL_H
+#define SCHED_PERFMODEL_H
+
+#include "analysis/ProfileData.h"
+#include "machine/MachineDesc.h"
+#include "sched/Schedule.h"
+
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+/// Cycle-estimation options.
+struct PerfModelOptions {
+  enum class Mode {
+    BlockLength, ///< schedule length x entry frequency (paper's formula)
+    ExitAware,   ///< charge taken exits their departure cycle
+  };
+  Mode WeightMode = Mode::ExitAware;
+  bool AllowSpeculation = true;
+};
+
+/// Per-block detail of one estimate.
+struct BlockEstimate {
+  BlockId Id;
+  std::string Name;
+  uint64_t Entries = 0;
+  int ScheduleLength = 0;
+  int CriticalPath = 0;
+  double Cycles = 0.0;
+};
+
+/// A whole-function estimate.
+struct PerfEstimate {
+  double TotalCycles = 0.0;
+  std::vector<BlockEstimate> Blocks;
+};
+
+/// Schedules every block of \p F for \p MD and estimates total cycles
+/// under profile \p Profile.
+PerfEstimate estimatePerformance(const Function &F, const MachineDesc &MD,
+                                 const ProfileData &Profile,
+                                 const PerfModelOptions &Opts =
+                                     PerfModelOptions());
+
+} // namespace cpr
+
+#endif // SCHED_PERFMODEL_H

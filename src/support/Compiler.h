@@ -1,0 +1,25 @@
+//===- support/Compiler.h - Compiler abstraction macros ---------*- C++ -*-===//
+//
+// Part of the control-cpr project, a reproduction of "Control CPR: A Branch
+// Height Reduction Optimization for EPIC Architectures" (Schlansker, Mahlke,
+// Johnson; PLDI 1999).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler abstraction macros shared by every library in the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_COMPILER_H
+#define SUPPORT_COMPILER_H
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CPR_LIKELY(x) __builtin_expect(!!(x), 1)
+#define CPR_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define CPR_LIKELY(x) (x)
+#define CPR_UNLIKELY(x) (x)
+#endif
+
+#endif // SUPPORT_COMPILER_H

@@ -1,0 +1,26 @@
+//===- support/Error.cpp - Fatal error reporting --------------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cpr;
+
+void cpr::reportFatalError(const std::string &Msg) {
+  std::fprintf(stderr, "fatal error: %s\n", Msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void cpr::unreachableInternal(const char *Msg, const char *File,
+                              unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line,
+               Msg ? Msg : "");
+  std::fflush(stderr);
+  std::abort();
+}

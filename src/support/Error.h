@@ -1,0 +1,37 @@
+//===- support/Error.h - Fatal error reporting ------------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and an unreachable marker, in the spirit of LLVM's
+/// report_fatal_error / llvm_unreachable. The project does not use C++
+/// exceptions; unrecoverable conditions abort with a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_ERROR_H
+#define SUPPORT_ERROR_H
+
+#include <string>
+
+namespace cpr {
+
+/// Prints \p Msg to stderr and aborts. Used for conditions that can be
+/// triggered by malformed user input (e.g. IR parse errors in tools).
+[[noreturn]] void reportFatalError(const std::string &Msg);
+
+/// Internal implementation of CPR_UNREACHABLE.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace cpr
+
+/// Marks a point in code that must never be reached. Always checks, even in
+/// release builds: this project is a research artifact and prefers loud
+/// failures over silent miscompiles.
+#define CPR_UNREACHABLE(msg)                                                   \
+  ::cpr::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // SUPPORT_ERROR_H

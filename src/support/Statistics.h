@@ -1,0 +1,47 @@
+//===- support/Statistics.h - Simple numeric helpers ------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Numeric aggregation helpers used when reducing per-benchmark results to
+/// the geometric-mean rows of the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_STATISTICS_H
+#define SUPPORT_STATISTICS_H
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace cpr {
+
+/// Geometric mean of \p Values. All values must be positive. Returns 0 for
+/// an empty input.
+inline double geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+/// Arithmetic mean of \p Values. Returns 0 for an empty input.
+inline double arithmeticMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+} // namespace cpr
+
+#endif // SUPPORT_STATISTICS_H

@@ -1,0 +1,88 @@
+//===- support/TableFormat.cpp - Plain-text table rendering ---------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TableFormat.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace cpr;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert(Header.empty() || Cells.size() == Header.size());
+  Rows.push_back(Row{std::move(Cells), /*Separator=*/false});
+}
+
+void TextTable::addSeparator() {
+  Rows.push_back(Row{{}, /*Separator=*/true});
+}
+
+std::string TextTable::fmt(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string TextTable::render() const {
+  size_t NumCols = Header.size();
+  for (const Row &R : Rows)
+    if (R.Cells.size() > NumCols)
+      NumCols = R.Cells.size();
+
+  std::vector<size_t> Widths(NumCols, 0);
+  auto Measure = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I)
+      if (Cells[I].size() > Widths[I])
+        Widths[I] = Cells[I].size();
+  };
+  Measure(Header);
+  for (const Row &R : Rows)
+    Measure(R.Cells);
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < NumCols; ++I) {
+      const std::string Cell = I < Cells.size() ? Cells[I] : "";
+      size_t Pad = Widths[I] >= Cell.size() ? Widths[I] - Cell.size() : 0;
+      if (I == 0) {
+        Out += Cell;
+        Out.append(Pad, ' ');
+      } else {
+        Out.append(Pad, ' ');
+        Out += Cell;
+      }
+      if (I + 1 != NumCols)
+        Out += "  ";
+    }
+    // Trim trailing spaces.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  if (!Header.empty()) {
+    Emit(Header);
+    Out.append(TotalWidth, '-');
+    Out += '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.Separator) {
+      Out.append(TotalWidth, '-');
+      Out += '\n';
+      continue;
+    }
+    Emit(R.Cells);
+  }
+  return Out;
+}

@@ -1,0 +1,51 @@
+//===- support/TableFormat.h - Plain-text table rendering -------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal column-aligned plain-text table renderer. The benchmark
+/// binaries use it to print reproductions of the paper's Tables 1-3 in a
+/// layout close to the original.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_TABLEFORMAT_H
+#define SUPPORT_TABLEFORMAT_H
+
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+public:
+  /// Sets the header row. Column count is fixed by the header.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row; must match the header's column count.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table. Column 0 is left-aligned, the rest right-aligned.
+  std::string render() const;
+
+  /// Formats a double with \p Digits fractional digits ("1.18").
+  static std::string fmt(double Value, int Digits = 2);
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool Separator = false;
+  };
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace cpr
+
+#endif // SUPPORT_TABLEFORMAT_H

@@ -1,0 +1,155 @@
+//===- workloads/BenchmarkSuite.cpp - The paper's benchmark list ----------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Parameter choices: each synthetic application's branch structure is
+// tuned to the qualitative description the paper gives of its behavior
+// (or, absent any, to a generic application profile):
+//
+//  - 099.go is "dominated by unbiased branches" -> high UnbiasedFrac;
+//  - 023.eqntott forms long superblocks whose delayed exits hurt the
+//    sequential/narrow machines -> long regions, moderate bias, low
+//    inseparability;
+//  - big compilers/interpreters (gcc, cc1, li, perl, vortex) -> shorter
+//    regions, moderate bias, some inseparable memory;
+//  - numeric/media codes (ear, ijpeg) -> more parallel arithmetic and
+//    floating-point mix, well-biased branches.
+//
+// The utilities are real kernels from workloads/Kernels.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/BenchmarkSuite.h"
+
+#include "support/Error.h"
+#include "workloads/SyntheticProgram.h"
+
+using namespace cpr;
+
+namespace {
+
+KernelProgram synth(const char *Name, unsigned SBs, unsigned Rungs,
+                    double Bias, double Unbiased, double Insep,
+                    unsigned Chain, unsigned Par, unsigned Stores,
+                    unsigned FloatOps, unsigned Trips, uint64_t Seed) {
+  SyntheticParams P;
+  P.Superblocks = SBs;
+  P.RungsPerSuperblock = Rungs;
+  P.FallThroughBias = Bias;
+  P.UnbiasedFrac = Unbiased;
+  P.InseparableFrac = Insep;
+  P.ChainLen = Chain;
+  P.ParallelOps = Par;
+  P.StoresPerRung = Stores;
+  P.FloatOps = FloatOps;
+  P.Trips = Trips;
+  P.Seed = Seed;
+  return buildSyntheticProgram(Name, P);
+}
+
+} // namespace
+
+std::vector<BenchmarkSpec> cpr::paperBenchmarkSuite() {
+  std::vector<BenchmarkSpec> Suite;
+  auto Add = [&](const std::string &Name, std::function<KernelProgram()> B,
+                 bool Spec95 = false) {
+    Suite.push_back(BenchmarkSpec{Name, std::move(B), Spec95});
+  };
+
+  // --- SPEC-92 -----------------------------------------------------------
+  Add("008.espresso", [] {
+    return synth("espresso", 5, 6, 0.985, 0.06, 0.10, 2, 3, 1, 0, 300, 9201);
+  });
+  Add("022.li", [] {
+    return synth("li", 6, 4, 0.98, 0.1, 0.20, 3, 2, 1, 0, 300, 9202);
+  });
+  Add("023.eqntott", [] {
+    return synth("eqntott", 3, 12, 0.975, 0.04, 0.05, 2, 3, 1, 0, 300, 9203);
+  });
+  Add("026.compress", [] {
+    return synth("compress92", 4, 5, 0.98, 0.08, 0.15, 3, 2, 1, 0, 300,
+                 9204);
+  });
+  Add("056.ear", [] {
+    return synth("ear", 4, 4, 0.99, 0.03, 0.05, 2, 4, 1, 4, 300, 9205);
+  });
+  Add("072.sc", [] {
+    return synth("sc", 5, 5, 0.985, 0.06, 0.12, 2, 3, 1, 0, 300, 9206);
+  });
+  Add("085.cc1", [] {
+    return synth("cc1", 7, 4, 0.98, 0.1, 0.18, 2, 2, 1, 0, 300, 9207);
+  });
+
+  // --- SPEC-95 -----------------------------------------------------------
+  Add("099.go",
+      [] {
+        return synth("go", 6, 4, 0.93, 0.55, 0.15, 2, 3, 1, 0, 300, 9501);
+      },
+      /*Spec95=*/true);
+  Add("124.m88ksim",
+      [] {
+        return synth("m88ksim", 5, 5, 0.985, 0.08, 0.12, 2, 3, 1, 0, 300,
+                     9502);
+      },
+      true);
+  Add("126.gcc",
+      [] {
+        return synth("gcc", 8, 3, 0.975, 0.18, 0.20, 2, 2, 1, 0, 300, 9503);
+      },
+      true);
+  Add("129.compress",
+      [] {
+        return synth("compress95", 4, 5, 0.98, 0.08, 0.15, 3, 2, 1, 0, 300,
+                     9504);
+      },
+      true);
+  Add("130.li",
+      [] {
+        return synth("li95", 6, 4, 0.98, 0.12, 0.20, 3, 2, 1, 0, 300, 9505);
+      },
+      true);
+  Add("132.ijpeg",
+      [] {
+        return synth("ijpeg", 4, 5, 0.99, 0.05, 0.08, 2, 4, 1, 2, 300,
+                     9506);
+      },
+      true);
+  Add("134.perl",
+      [] {
+        return synth("perl", 6, 4, 0.98, 0.1, 0.18, 2, 2, 1, 0, 300, 9507);
+      },
+      true);
+  Add("147.vortex",
+      [] {
+        return synth("vortex", 7, 4, 0.985, 0.08, 0.15, 2, 2, 1, 0, 300,
+                     9508);
+      },
+      true);
+
+  // --- Unix utilities (real kernels) --------------------------------------
+  Add("cccp", [] { return buildCccpKernel(4, 16384, 61); });
+  Add("cmp", [] { return buildCmpKernel(8, 16384, 16000, 62); });
+  Add("eqn", [] {
+    return synth("eqn", 4, 5, 0.98, 0.08, 0.10, 2, 2, 1, 0, 300, 9601);
+  });
+  Add("grep", [] { return buildGrepKernel(8, 16384, 0.01, 63); });
+  Add("lex", [] { return buildLexKernel(4, 16384, 64); });
+  Add("strcpy", [] { return buildStrcpyKernel(8, 16384, 65); });
+  Add("tbl", [] {
+    return synth("tbl", 4, 5, 0.975, 0.1, 0.12, 2, 2, 1, 0, 300, 9602);
+  });
+  Add("wc", [] { return buildWcKernel(4, 16384, 66); });
+  Add("yacc", [] { return buildYaccKernel(4, 16384, 67); });
+
+  return Suite;
+}
+
+const BenchmarkSpec &cpr::findBenchmark(
+    const std::vector<BenchmarkSpec> &Suite, const std::string &Name) {
+  for (const BenchmarkSpec &S : Suite)
+    if (S.Name == Name)
+      return S;
+  reportFatalError("unknown benchmark '" + Name + "'");
+}

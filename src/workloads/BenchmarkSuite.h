@@ -1,0 +1,44 @@
+//===- workloads/BenchmarkSuite.h - The paper's benchmark list --*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's benchmark suite (Section 7): SPEC-92 and SPEC-95
+/// applications plus common Unix utilities. The utilities are real IR
+/// kernels (workloads/Kernels.h); the SPEC applications are synthetic
+/// substitutes with per-application branch-structure parameters
+/// (workloads/SyntheticProgram.h and DESIGN.md's substitution notes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_BENCHMARKSUITE_H
+#define WORKLOADS_BENCHMARKSUITE_H
+
+#include "workloads/Kernels.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+/// One suite entry.
+struct BenchmarkSpec {
+  std::string Name;                      ///< the paper's row label
+  std::function<KernelProgram()> Build;  ///< program factory
+  bool InSpec95Mean = false; ///< contributes to the Gmean-spec95 row
+};
+
+/// The 24 rows of the paper's Tables 2 and 3 (SPEC-92, SPEC-95, Unix
+/// utilities), in the paper's order.
+std::vector<BenchmarkSpec> paperBenchmarkSuite();
+
+/// Returns the suite entry named \p Name, aborting if absent.
+const BenchmarkSpec &findBenchmark(const std::vector<BenchmarkSpec> &Suite,
+                                   const std::string &Name);
+
+} // namespace cpr
+
+#endif // WORKLOADS_BENCHMARKSUITE_H

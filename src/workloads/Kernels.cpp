@@ -1,0 +1,635 @@
+//===- workloads/Kernels.cpp - Hand-written IR kernels ---------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Kernels.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/RNG.h"
+
+using namespace cpr;
+
+namespace {
+
+/// Memory layout constants shared by the kernels. Regions are far apart so
+/// workloads never overlap them.
+constexpr int64_t SrcBase = 1'000'000;
+constexpr int64_t SrcBase2 = 2'000'000;
+constexpr int64_t DstBase = 3'000'000;
+constexpr int64_t CounterBase = 4'000'000;
+
+/// Alias classes for the kernels' distinct memory regions.
+constexpr uint8_t AliasSrc = 1;
+constexpr uint8_t AliasSrc2 = 2;
+constexpr uint8_t AliasDst = 3;
+constexpr uint8_t AliasCounter = 4;
+
+} // namespace
+
+KernelProgram cpr::buildStrcpyKernel(unsigned Unroll, size_t StringLen,
+                                     uint64_t Seed) {
+  assert(Unroll >= 1);
+  KernelProgram P;
+  P.Description = "strcpy (unroll " + std::to_string(Unroll) + ", len " +
+                  std::to_string(StringLen) + ")";
+  P.Func = std::make_unique<Function>("strcpy_u" + std::to_string(Unroll));
+  Function &F = *P.Func;
+
+  Block &Entry = F.addBlock("Entry");
+  Block &Loop = F.addBlock("Loop");
+  Block &Exit = F.addBlock("Exit");
+
+  // r1 = source cursor, r2 = destination cursor, rCarry = previously
+  // loaded character (software-pipelined as in Figure 6(b)).
+  Reg R1 = F.newReg(RegClass::GPR);
+  Reg R2 = F.newReg(RegClass::GPR);
+  Reg Carry = F.newReg(RegClass::GPR);
+
+  IRBuilder B(F, Entry);
+  // Preheader: load A[0]; skip the loop entirely on an empty string.
+  B.emitLoadTo(Carry, R1, AliasSrc);
+  Reg PEmpty = B.emitCmpp1(CompareCond::EQ, Operand::reg(Carry),
+                           Operand::imm(0), CmppAction::UN);
+  B.emitBranchTo(Exit, PEmpty);
+
+  B.setInsertBlock(Loop);
+  // Body: per unrolled copy i (0-based):
+  //   dst  = add(r2, i); store(dst, carry-or-previous-load)
+  //   src  = add(r1, i+1); next = load(src)
+  //   exit if next == 0 (all but last copy) / loop back if != 0 (last).
+  Reg Prev = Carry;
+  for (unsigned I = 0; I < Unroll; ++I) {
+    Reg Dst = B.emitArith(Opcode::Add, Operand::reg(R2),
+                          Operand::imm(static_cast<int64_t>(I)));
+    B.emitStore(Dst, Operand::reg(Prev), AliasDst);
+    Reg Src = B.emitArith(Opcode::Add, Operand::reg(R1),
+                          Operand::imm(static_cast<int64_t>(I) + 1));
+    Reg Next = F.newReg(RegClass::GPR);
+    bool Last = I + 1 == Unroll;
+    if (!Last) {
+      B.emitLoadTo(Next, Src, AliasSrc);
+      Reg PExit = B.emitCmpp1(CompareCond::EQ, Operand::reg(Next),
+                              Operand::imm(0), CmppAction::UN);
+      B.emitBranchTo(Exit, PExit);
+      Prev = Next;
+      continue;
+    }
+    // Final copy: load into the loop-carried register, bump the cursors,
+    // and take the backedge while the character is nonzero.
+    B.emitLoadTo(Carry, Src, AliasSrc);
+    B.emitArithTo(R1, Opcode::Add, Operand::reg(R1),
+                  Operand::imm(static_cast<int64_t>(Unroll)));
+    B.emitArithTo(R2, Opcode::Add, Operand::reg(R2),
+                  Operand::imm(static_cast<int64_t>(Unroll)));
+    Reg PBack = B.emitCmpp1(CompareCond::NE, Operand::reg(Carry),
+                            Operand::imm(0), CmppAction::UN);
+    B.emitBranchTo(Loop, PBack);
+  }
+
+  B.setInsertBlock(Exit);
+  B.emitHalt();
+
+  verifyOrDie(F, "strcpy kernel");
+
+  // Inputs: a NUL-terminated string of nonzero bytes.
+  RNG Rng(Seed);
+  for (size_t I = 0; I < StringLen; ++I)
+    P.InitMem.store(SrcBase + static_cast<int64_t>(I),
+                    Rng.nextRange(1, 255));
+  P.InitMem.store(SrcBase + static_cast<int64_t>(StringLen), 0);
+  P.InitRegs = {{R1, SrcBase}, {R2, DstBase}};
+  return P;
+}
+
+KernelProgram cpr::buildCmpKernel(unsigned Unroll, size_t Len,
+                                  size_t MatchPrefix, uint64_t Seed) {
+  assert(Unroll >= 1);
+  KernelProgram P;
+  P.Description = "cmp (unroll " + std::to_string(Unroll) + ", len " +
+                  std::to_string(Len) + ")";
+  P.Func = std::make_unique<Function>("cmp_u" + std::to_string(Unroll));
+  Function &F = *P.Func;
+
+  Block &Entry = F.addBlock("Entry");
+  Block &Loop = F.addBlock("Loop");
+  Block &Differ = F.addBlock("Differ");
+  Block &Exit = F.addBlock("Exit");
+
+  Reg PA = F.newReg(RegClass::GPR);   // cursor into buffer A
+  Reg PB = F.newReg(RegClass::GPR);   // cursor into buffer B
+  Reg End = F.newReg(RegClass::GPR);  // one-past-end of A
+  Reg Res = F.newReg(RegClass::GPR);  // 0 = equal, 1 = differ
+  F.observableRegs().push_back(Res);
+
+  IRBuilder B(F, Entry);
+  B.emitMovTo(Res, Operand::imm(0));
+
+  B.setInsertBlock(Loop);
+  for (unsigned I = 0; I < Unroll; ++I) {
+    Reg AddrA = B.emitArith(Opcode::Add, Operand::reg(PA),
+                            Operand::imm(static_cast<int64_t>(I)));
+    Reg AddrB = B.emitArith(Opcode::Add, Operand::reg(PB),
+                            Operand::imm(static_cast<int64_t>(I)));
+    Reg VA = B.emitLoad(AddrA, AliasSrc);
+    Reg VB = B.emitLoad(AddrB, AliasSrc2);
+    Reg PDiff = B.emitCmpp1(CompareCond::NE, Operand::reg(VA),
+                            Operand::reg(VB), CmppAction::UN);
+    B.emitBranchTo(Differ, PDiff);
+  }
+  B.emitArithTo(PA, Opcode::Add, Operand::reg(PA),
+                Operand::imm(static_cast<int64_t>(Unroll)));
+  B.emitArithTo(PB, Opcode::Add, Operand::reg(PB),
+                Operand::imm(static_cast<int64_t>(Unroll)));
+  Reg PMore = B.emitCmpp1(CompareCond::LT, Operand::reg(PA),
+                          Operand::reg(End), CmppAction::UN);
+  B.emitBranchTo(Loop, PMore);
+  B.emitBranchTo(Exit, Reg::truePred());
+
+  B.setInsertBlock(Differ);
+  B.emitMovTo(Res, Operand::imm(1));
+
+  B.setInsertBlock(Exit);
+  B.emitHalt();
+
+  verifyOrDie(F, "cmp kernel");
+
+  RNG Rng(Seed);
+  for (size_t I = 0; I < Len; ++I) {
+    int64_t V = Rng.nextRange(0, 255);
+    P.InitMem.store(SrcBase + static_cast<int64_t>(I), V);
+    // Identical prefix, then guaranteed-different bytes.
+    int64_t W = I < MatchPrefix ? V : V + 1 + Rng.nextRange(0, 100);
+    P.InitMem.store(SrcBase2 + static_cast<int64_t>(I), W);
+  }
+  P.InitRegs = {{PA, SrcBase},
+                {PB, SrcBase2},
+                {End, SrcBase + static_cast<int64_t>(Len)}};
+  return P;
+}
+
+KernelProgram cpr::buildGrepKernel(unsigned Unroll, size_t Len,
+                                   double HitRate, uint64_t Seed) {
+  assert(Unroll >= 1);
+  KernelProgram P;
+  P.Description = "grep scan (unroll " + std::to_string(Unroll) + ", len " +
+                  std::to_string(Len) + ")";
+  P.Func = std::make_unique<Function>("grep_u" + std::to_string(Unroll));
+  Function &F = *P.Func;
+
+  constexpr int64_t Target = 42;
+
+  Block &Entry = F.addBlock("Entry");
+  Block &Loop = F.addBlock("Loop");
+  Block &Hit = F.addBlock("Hit");
+  Block &Resume = F.addBlock("Resume");
+  Block &Exit = F.addBlock("Exit");
+
+  Reg Cur = F.newReg(RegClass::GPR);
+  Reg End = F.newReg(RegClass::GPR);
+  Reg Hits = F.newReg(RegClass::GPR);
+  Reg HitPos = F.newReg(RegClass::GPR); // cursor snapshot at a hit
+  F.observableRegs().push_back(Hits);
+
+  IRBuilder B(F, Entry);
+  B.emitMovTo(Hits, Operand::imm(0));
+
+  B.setInsertBlock(Loop);
+  for (unsigned I = 0; I < Unroll; ++I) {
+    Reg Addr = B.emitArith(Opcode::Add, Operand::reg(Cur),
+                           Operand::imm(static_cast<int64_t>(I)));
+    Reg V = B.emitLoad(Addr, AliasSrc);
+    Reg PHit = B.emitCmpp1(CompareCond::EQ, Operand::reg(V),
+                           Operand::imm(Target), CmppAction::UN);
+    // Record where the hit happened, then leave the trace.
+    B.emitMovTo(HitPos, Operand::reg(Addr), PHit);
+    B.emitBranchTo(Hit, PHit);
+  }
+  B.emitArithTo(Cur, Opcode::Add, Operand::reg(Cur),
+                Operand::imm(static_cast<int64_t>(Unroll)));
+  Reg PMore = B.emitCmpp1(CompareCond::LT, Operand::reg(Cur),
+                          Operand::reg(End), CmppAction::UN);
+  B.emitBranchTo(Loop, PMore);
+  B.emitBranchTo(Exit, Reg::truePred());
+
+  // Off-trace: count the hit, store its position, resume after it.
+  B.setInsertBlock(Hit);
+  B.emitArithTo(Hits, Opcode::Add, Operand::reg(Hits), Operand::imm(1));
+  Reg Slot = B.emitArith(Opcode::Add, Operand::reg(Hits),
+                         Operand::imm(CounterBase));
+  B.emitStore(Slot, Operand::reg(HitPos), AliasCounter);
+  B.emitArithTo(Cur, Opcode::Add, Operand::reg(HitPos), Operand::imm(1));
+  B.setInsertBlock(Resume);
+  Reg PMore2 = B.emitCmpp1(CompareCond::LT, Operand::reg(Cur),
+                           Operand::reg(End), CmppAction::UN);
+  B.emitBranchTo(Loop, PMore2);
+
+  B.setInsertBlock(Exit);
+  B.emitHalt();
+
+  verifyOrDie(F, "grep kernel");
+
+  RNG Rng(Seed);
+  for (size_t I = 0; I < Len; ++I) {
+    bool IsHit = Rng.nextBool(HitRate);
+    int64_t V = IsHit ? Target : Rng.nextRange(0, 255);
+    if (!IsHit && V == Target)
+      V = Target + 1;
+    P.InitMem.store(SrcBase + static_cast<int64_t>(I), V);
+  }
+  P.InitRegs = {{Cur, SrcBase},
+                {End, SrcBase + static_cast<int64_t>(Len)}};
+  return P;
+}
+
+KernelProgram cpr::buildWcKernel(unsigned Unroll, size_t Len, uint64_t Seed) {
+  assert(Unroll >= 1);
+  KernelProgram P;
+  P.Description = "wc (unroll " + std::to_string(Unroll) + ", len " +
+                  std::to_string(Len) + ")";
+  P.Func = std::make_unique<Function>("wc_u" + std::to_string(Unroll));
+  Function &F = *P.Func;
+
+  constexpr int64_t Newline = 10;
+  constexpr int64_t Space = 32;
+
+  Block &Entry = F.addBlock("Entry");
+  Block &Loop = F.addBlock("Loop");
+  Block &Nl = F.addBlock("SawNewline");
+  Block &Exit = F.addBlock("Exit");
+
+  Reg Cur = F.newReg(RegClass::GPR);
+  Reg End = F.newReg(RegClass::GPR);
+  Reg Chars = F.newReg(RegClass::GPR);
+  Reg Lines = F.newReg(RegClass::GPR);
+  Reg Words = F.newReg(RegClass::GPR);
+  F.observableRegs().push_back(Chars);
+  F.observableRegs().push_back(Lines);
+  F.observableRegs().push_back(Words);
+
+  IRBuilder B(F, Entry);
+  B.emitMovTo(Chars, Operand::imm(0));
+  B.emitMovTo(Lines, Operand::imm(0));
+  B.emitMovTo(Words, Operand::imm(0));
+
+  B.setInsertBlock(Loop);
+  for (unsigned I = 0; I < Unroll; ++I) {
+    Reg Addr = B.emitArith(Opcode::Add, Operand::reg(Cur),
+                           Operand::imm(static_cast<int64_t>(I)));
+    Reg V = B.emitLoad(Addr, AliasSrc);
+    B.emitArithTo(Chars, Opcode::Add, Operand::reg(Chars), Operand::imm(1));
+    // Word boundary: predicated counter bump, no branch (if-converted).
+    Reg PSpace = B.emitCmpp1(CompareCond::EQ, Operand::reg(V),
+                             Operand::imm(Space), CmppAction::UN);
+    B.emitArithTo(Words, Opcode::Add, Operand::reg(Words), Operand::imm(1),
+                  PSpace);
+    // Newline: rare branch off-trace.
+    Reg PNl = B.emitCmpp1(CompareCond::EQ, Operand::reg(V),
+                          Operand::imm(Newline), CmppAction::UN);
+    B.emitBranchTo(Nl, PNl);
+  }
+  B.emitArithTo(Cur, Opcode::Add, Operand::reg(Cur),
+                Operand::imm(static_cast<int64_t>(Unroll)));
+  Reg PMore = B.emitCmpp1(CompareCond::LT, Operand::reg(Cur),
+                          Operand::reg(End), CmppAction::UN);
+  B.emitBranchTo(Loop, PMore);
+  B.emitBranchTo(Exit, Reg::truePred());
+
+  // Off-trace: bump the line counter and restart the chunk after the
+  // newline position (approximate resume as in a buffered scanner).
+  B.setInsertBlock(Nl);
+  B.emitArithTo(Lines, Opcode::Add, Operand::reg(Lines), Operand::imm(1));
+  B.emitArithTo(Cur, Opcode::Add, Operand::reg(Cur),
+                Operand::imm(static_cast<int64_t>(Unroll)));
+  Reg PMore2 = B.emitCmpp1(CompareCond::LT, Operand::reg(Cur),
+                           Operand::reg(End), CmppAction::UN);
+  B.emitBranchTo(Loop, PMore2);
+  B.emitBranchTo(Exit, Reg::truePred());
+
+  B.setInsertBlock(Exit);
+  B.emitHalt();
+
+  verifyOrDie(F, "wc kernel");
+
+  RNG Rng(Seed);
+  for (size_t I = 0; I < Len; ++I) {
+    // ~2% newlines, ~15% spaces, rest letters.
+    int64_t V;
+    double D = Rng.nextDouble();
+    if (D < 0.02)
+      V = Newline;
+    else if (D < 0.17)
+      V = Space;
+    else
+      V = Rng.nextRange(97, 122);
+    P.InitMem.store(SrcBase + static_cast<int64_t>(I), V);
+  }
+  P.InitRegs = {{Cur, SrcBase},
+                {End, SrcBase + static_cast<int64_t>(Len)}};
+  return P;
+}
+
+KernelProgram cpr::buildLexKernel(unsigned Unroll, size_t Len,
+                                  uint64_t Seed) {
+  assert(Unroll >= 1);
+  KernelProgram P;
+  P.Description = "lex scanner (unroll " + std::to_string(Unroll) + ")";
+  P.Func = std::make_unique<Function>("lex_u" + std::to_string(Unroll));
+  Function &F = *P.Func;
+
+  // Character classification goes through a class table, as lex-generated
+  // scanners do: cls = classTable[c]; a cascade of single-compare tests
+  // then dispatches rare classes to the token-action block.
+  constexpr int64_t ClassTableBase = SrcBase2;
+  constexpr int64_t ClsIdent = 0, ClsNewline = 1, ClsDigit = 2, ClsOper = 3;
+
+  Block &Entry = F.addBlock("Entry");
+  Block &Loop = F.addBlock("Loop");
+  Block &TokenAction = F.addBlock("TokenAction");
+  Block &Exit = F.addBlock("Exit");
+
+  Reg Cur = F.newReg(RegClass::GPR);
+  Reg End = F.newReg(RegClass::GPR);
+  Reg Tokens = F.newReg(RegClass::GPR);
+  Reg Lines = F.newReg(RegClass::GPR);
+  Reg ClassCode = F.newReg(RegClass::GPR);
+  F.observableRegs().push_back(Tokens);
+  F.observableRegs().push_back(Lines);
+
+  IRBuilder B(F, Entry);
+  B.emitMovTo(Tokens, Operand::imm(0));
+  B.emitMovTo(Lines, Operand::imm(0));
+  B.emitMovTo(ClassCode, Operand::imm(0));
+
+  B.setInsertBlock(Loop);
+  for (unsigned I = 0; I < Unroll; ++I) {
+    Reg Addr = B.emitArith(Opcode::Add, Operand::reg(Cur),
+                           Operand::imm(static_cast<int64_t>(I)));
+    Reg V = B.emitLoad(Addr, AliasSrc);
+    Reg ClsAddr = B.emitArith(Opcode::Add, Operand::reg(V),
+                              Operand::imm(ClassTableBase));
+    Reg Cls = B.emitLoad(ClsAddr, AliasSrc2);
+    // Three rarely-taken class exits per character.
+    Reg PNl = B.emitCmpp1(CompareCond::EQ, Operand::reg(Cls),
+                          Operand::imm(ClsNewline), CmppAction::UN);
+    B.emitMovTo(ClassCode, Operand::imm(ClsNewline), PNl);
+    B.emitBranchTo(TokenAction, PNl);
+    Reg PDig = B.emitCmpp1(CompareCond::EQ, Operand::reg(Cls),
+                           Operand::imm(ClsDigit), CmppAction::UN);
+    B.emitMovTo(ClassCode, Operand::imm(ClsDigit), PDig);
+    B.emitBranchTo(TokenAction, PDig);
+    Reg POp = B.emitCmpp1(CompareCond::EQ, Operand::reg(Cls),
+                          Operand::imm(ClsOper), CmppAction::UN);
+    B.emitMovTo(ClassCode, Operand::imm(ClsOper), POp);
+    B.emitBranchTo(TokenAction, POp);
+  }
+  B.emitArithTo(Cur, Opcode::Add, Operand::reg(Cur),
+                Operand::imm(static_cast<int64_t>(Unroll)));
+  Reg PMore = B.emitCmpp1(CompareCond::LT, Operand::reg(Cur),
+                          Operand::reg(End), CmppAction::UN);
+  B.emitBranchTo(Loop, PMore);
+  B.emitBranchTo(Exit, Reg::truePred());
+
+  // Token action: count the token, count lines when it was a newline,
+  // skip past the interesting character.
+  B.setInsertBlock(TokenAction);
+  B.emitArithTo(Tokens, Opcode::Add, Operand::reg(Tokens), Operand::imm(1));
+  Reg PWasNl = B.emitCmpp1(CompareCond::EQ, Operand::reg(ClassCode),
+                           Operand::imm(ClsNewline), CmppAction::UN);
+  B.emitArithTo(Lines, Opcode::Add, Operand::reg(Lines), Operand::imm(1),
+                PWasNl);
+  B.emitArithTo(Cur, Opcode::Add, Operand::reg(Cur),
+                Operand::imm(static_cast<int64_t>(Unroll)));
+  Reg PMore2 = B.emitCmpp1(CompareCond::LT, Operand::reg(Cur),
+                           Operand::reg(End), CmppAction::UN);
+  B.emitBranchTo(Loop, PMore2);
+  B.emitBranchTo(Exit, Reg::truePred());
+
+  B.setInsertBlock(Exit);
+  B.emitHalt();
+
+  verifyOrDie(F, "lex kernel");
+
+  RNG Rng(Seed);
+  // Class table over byte values.
+  for (int64_t C = 0; C < 256; ++C) {
+    int64_t Cls = ClsIdent;
+    if (C == 10)
+      Cls = ClsNewline;
+    else if (C >= 48 && C <= 57)
+      Cls = ClsDigit;
+    else if (C >= 33 && C <= 47)
+      Cls = ClsOper;
+    P.InitMem.store(ClassTableBase + C, Cls);
+  }
+  for (size_t I = 0; I < Len; ++I) {
+    double D = Rng.nextDouble();
+    int64_t V;
+    if (D < 0.01)
+      V = 10; // newline
+    else if (D < 0.03)
+      V = Rng.nextRange(48, 57); // digit
+    else if (D < 0.05)
+      V = Rng.nextRange(33, 47); // operator
+    else
+      V = Rng.nextRange(97, 122); // identifier characters
+    P.InitMem.store(SrcBase + static_cast<int64_t>(I), V);
+  }
+  P.InitRegs = {{Cur, SrcBase},
+                {End, SrcBase + static_cast<int64_t>(Len)}};
+  return P;
+}
+
+KernelProgram cpr::buildCccpKernel(unsigned Unroll, size_t Len,
+                                   uint64_t Seed) {
+  assert(Unroll >= 1);
+  KernelProgram P;
+  P.Description = "cccp scan (unroll " + std::to_string(Unroll) + ")";
+  P.Func = std::make_unique<Function>("cccp_u" + std::to_string(Unroll));
+  Function &F = *P.Func;
+
+  constexpr int64_t Hash = 35;   // '#': directive start
+  constexpr int64_t Slash = 47;  // '/': possible comment
+  constexpr int64_t Newline = 10;
+
+  Block &Entry = F.addBlock("Entry");
+  Block &Loop = F.addBlock("Loop");
+  Block &Special = F.addBlock("Special");
+  Block &Exit = F.addBlock("Exit");
+
+  Reg Cur = F.newReg(RegClass::GPR);
+  Reg End = F.newReg(RegClass::GPR);
+  Reg Directives = F.newReg(RegClass::GPR);
+  Reg Comments = F.newReg(RegClass::GPR);
+  Reg Lines = F.newReg(RegClass::GPR);
+  Reg Kind = F.newReg(RegClass::GPR);
+  F.observableRegs().push_back(Directives);
+  F.observableRegs().push_back(Comments);
+  F.observableRegs().push_back(Lines);
+
+  IRBuilder B(F, Entry);
+  B.emitMovTo(Directives, Operand::imm(0));
+  B.emitMovTo(Comments, Operand::imm(0));
+  B.emitMovTo(Lines, Operand::imm(0));
+  B.emitMovTo(Kind, Operand::imm(0));
+
+  B.setInsertBlock(Loop);
+  for (unsigned I = 0; I < Unroll; ++I) {
+    Reg Addr = B.emitArith(Opcode::Add, Operand::reg(Cur),
+                           Operand::imm(static_cast<int64_t>(I)));
+    Reg V = B.emitLoad(Addr, AliasSrc);
+    // Newline bumps the line counter inline (if-converted, no branch).
+    Reg PNl = B.emitCmpp1(CompareCond::EQ, Operand::reg(V),
+                          Operand::imm(Newline), CmppAction::UN);
+    B.emitArithTo(Lines, Opcode::Add, Operand::reg(Lines), Operand::imm(1),
+                  PNl);
+    // Directive and comment starts leave the fast path.
+    Reg PHash = B.emitCmpp1(CompareCond::EQ, Operand::reg(V),
+                            Operand::imm(Hash), CmppAction::UN);
+    B.emitMovTo(Kind, Operand::imm(1), PHash);
+    B.emitBranchTo(Special, PHash);
+    Reg PSlash = B.emitCmpp1(CompareCond::EQ, Operand::reg(V),
+                             Operand::imm(Slash), CmppAction::UN);
+    B.emitMovTo(Kind, Operand::imm(2), PSlash);
+    B.emitBranchTo(Special, PSlash);
+  }
+  B.emitArithTo(Cur, Opcode::Add, Operand::reg(Cur),
+                Operand::imm(static_cast<int64_t>(Unroll)));
+  Reg PMore = B.emitCmpp1(CompareCond::LT, Operand::reg(Cur),
+                          Operand::reg(End), CmppAction::UN);
+  B.emitBranchTo(Loop, PMore);
+  B.emitBranchTo(Exit, Reg::truePred());
+
+  B.setInsertBlock(Special);
+  Reg PDir = B.emitCmpp1(CompareCond::EQ, Operand::reg(Kind),
+                         Operand::imm(1), CmppAction::UN);
+  B.emitArithTo(Directives, Opcode::Add, Operand::reg(Directives),
+                Operand::imm(1), PDir);
+  Reg PCom = B.emitCmpp1(CompareCond::EQ, Operand::reg(Kind),
+                         Operand::imm(2), CmppAction::UN);
+  B.emitArithTo(Comments, Opcode::Add, Operand::reg(Comments),
+                Operand::imm(1), PCom);
+  B.emitArithTo(Cur, Opcode::Add, Operand::reg(Cur),
+                Operand::imm(static_cast<int64_t>(Unroll)));
+  Reg PMore2 = B.emitCmpp1(CompareCond::LT, Operand::reg(Cur),
+                           Operand::reg(End), CmppAction::UN);
+  B.emitBranchTo(Loop, PMore2);
+  B.emitBranchTo(Exit, Reg::truePred());
+
+  B.setInsertBlock(Exit);
+  B.emitHalt();
+
+  verifyOrDie(F, "cccp kernel");
+
+  RNG Rng(Seed);
+  for (size_t I = 0; I < Len; ++I) {
+    double D = Rng.nextDouble();
+    int64_t V;
+    if (D < 0.015)
+      V = Hash;
+    else if (D < 0.035)
+      V = Slash;
+    else if (D < 0.07)
+      V = Newline;
+    else
+      V = Rng.nextRange(97, 122);
+    P.InitMem.store(SrcBase + static_cast<int64_t>(I), V);
+  }
+  P.InitRegs = {{Cur, SrcBase},
+                {End, SrcBase + static_cast<int64_t>(Len)}};
+  return P;
+}
+
+KernelProgram cpr::buildYaccKernel(unsigned Unroll, size_t Steps,
+                                   uint64_t Seed) {
+  assert(Unroll >= 1);
+  KernelProgram P;
+  P.Description = "yacc parser loop (unroll " + std::to_string(Unroll) + ")";
+  P.Func = std::make_unique<Function>("yacc_u" + std::to_string(Unroll));
+  Function &F = *P.Func;
+
+  // Transition table: next = table[state*8 + sym], states 0..7, error
+  // encoded as a negative entry (never produced by this input).
+  constexpr int64_t TableBase = SrcBase2;
+
+  Block &Entry = F.addBlock("Entry");
+  Block &Loop = F.addBlock("Loop");
+  Block &ErrorBlk = F.addBlock("Error");
+  Block &Exit = F.addBlock("Exit");
+
+  Reg Cur = F.newReg(RegClass::GPR);
+  Reg End = F.newReg(RegClass::GPR);
+  Reg State = F.newReg(RegClass::GPR);
+  Reg Sp = F.newReg(RegClass::GPR);
+  Reg Errors = F.newReg(RegClass::GPR);
+  F.observableRegs().push_back(State);
+  F.observableRegs().push_back(Errors);
+
+  IRBuilder B(F, Entry);
+  B.emitMovTo(State, Operand::imm(0));
+  B.emitMovTo(Errors, Operand::imm(0));
+
+  B.setInsertBlock(Loop);
+  for (unsigned I = 0; I < Unroll; ++I) {
+    Reg SymAddr = B.emitArith(Opcode::Add, Operand::reg(Cur),
+                              Operand::imm(static_cast<int64_t>(I)));
+    Reg Sym = B.emitLoad(SymAddr, AliasSrc);
+    // Serial chain: index = state*8 + sym; state = table[index].
+    Reg Scaled = B.emitArith(Opcode::Shl, Operand::reg(State),
+                             Operand::imm(3));
+    Reg Idx = B.emitArith(Opcode::Add, Operand::reg(Scaled),
+                          Operand::reg(Sym));
+    Reg TblAddr = B.emitArith(Opcode::Add, Operand::reg(Idx),
+                              Operand::imm(TableBase));
+    Reg Next = B.emitLoad(TblAddr, AliasSrc2);
+    // Rare error exit.
+    Reg PErr = B.emitCmpp1(CompareCond::LT, Operand::reg(Next),
+                           Operand::imm(0), CmppAction::UN);
+    B.emitBranchTo(ErrorBlk, PErr);
+    // Push the state (value stack).
+    Reg Slot = B.emitArith(Opcode::Add, Operand::reg(Sp),
+                           Operand::imm(static_cast<int64_t>(I)));
+    B.emitStore(Slot, Operand::reg(Next), AliasDst);
+    B.emitMovTo(State, Operand::reg(Next));
+  }
+  B.emitArithTo(Cur, Opcode::Add, Operand::reg(Cur),
+                Operand::imm(static_cast<int64_t>(Unroll)));
+  B.emitArithTo(Sp, Opcode::Add, Operand::reg(Sp),
+                Operand::imm(static_cast<int64_t>(Unroll)));
+  Reg PMore = B.emitCmpp1(CompareCond::LT, Operand::reg(Cur),
+                          Operand::reg(End), CmppAction::UN);
+  B.emitBranchTo(Loop, PMore);
+  B.emitBranchTo(Exit, Reg::truePred());
+
+  B.setInsertBlock(ErrorBlk);
+  B.emitArithTo(Errors, Opcode::Add, Operand::reg(Errors), Operand::imm(1));
+  B.emitMovTo(State, Operand::imm(0));
+  B.emitArithTo(Cur, Opcode::Add, Operand::reg(Cur),
+                Operand::imm(static_cast<int64_t>(Unroll)));
+  B.emitArithTo(Sp, Opcode::Add, Operand::reg(Sp),
+                Operand::imm(static_cast<int64_t>(Unroll)));
+  Reg PMore2 = B.emitCmpp1(CompareCond::LT, Operand::reg(Cur),
+                           Operand::reg(End), CmppAction::UN);
+  B.emitBranchTo(Loop, PMore2);
+  B.emitBranchTo(Exit, Reg::truePred());
+
+  B.setInsertBlock(Exit);
+  B.emitHalt();
+
+  verifyOrDie(F, "yacc kernel");
+
+  RNG Rng(Seed);
+  // Symbols 0..7; the transition table is total (no errors on this input),
+  // so the error branches are always fall-through, as in a correct parse.
+  for (size_t I = 0; I < Steps; ++I)
+    P.InitMem.store(SrcBase + static_cast<int64_t>(I), Rng.nextRange(0, 7));
+  for (int64_t S = 0; S < 8; ++S)
+    for (int64_t Y = 0; Y < 8; ++Y)
+      P.InitMem.store(TableBase + S * 8 + Y, (S * 3 + Y * 5 + 1) % 8);
+  P.InitRegs = {{Cur, SrcBase},
+                {End, SrcBase + static_cast<int64_t>(Steps)},
+                {Sp, DstBase}};
+  return P;
+}

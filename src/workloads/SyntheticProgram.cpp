@@ -1,0 +1,193 @@
+//===- workloads/SyntheticProgram.cpp - SPEC-like program generator -------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SyntheticProgram.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/RNG.h"
+
+#include <algorithm>
+
+using namespace cpr;
+
+namespace {
+constexpr int64_t DataBase = 10'000'000;
+constexpr int64_t OutBase = 20'000'000;
+constexpr uint8_t AliasData = 1;
+constexpr uint8_t AliasOut = 2;
+/// Branch condition values are uniform in [0, CondRange).
+constexpr int64_t CondRange = 1000;
+} // namespace
+
+KernelProgram cpr::buildSyntheticProgram(const std::string &Name,
+                                         const SyntheticParams &Params) {
+  KernelProgram P;
+  P.Description = "synthetic application '" + Name + "'";
+  P.Func = std::make_unique<Function>(Name);
+  Function &F = *P.Func;
+  RNG Rng(Params.Seed);
+
+  unsigned S = std::max(1u, Params.Superblocks);
+  unsigned R = std::max(1u, Params.RungsPerSuperblock);
+
+  // Blocks: Entry, SB_0..SB_{S-1}, Tail, Stub_0..Stub_{S-1}, Exit.
+  Block &Entry = F.addBlock("Entry");
+  std::vector<Block *> SBs;
+  for (unsigned K = 0; K < S; ++K)
+    SBs.push_back(&F.addBlock("SB" + std::to_string(K)));
+  Block &Tail = F.addBlock("Tail");
+  std::vector<Block *> Stubs;
+  for (unsigned K = 0; K < S; ++K)
+    Stubs.push_back(&F.addBlock("Stub" + std::to_string(K)));
+  Block &Exit = F.addBlock("Exit");
+
+  Reg Trip = F.newReg(RegClass::GPR);   // remaining trips
+  Reg Cursor = F.newReg(RegClass::GPR); // data cursor (one word per rung)
+  Reg OutPtr = F.newReg(RegClass::GPR); // output cursor
+  Reg Acc = F.newReg(RegClass::GPR);    // live accumulator (observable)
+  // Rotating partial accumulators: rungs fold into Lanes[J % NumLanes]
+  // and the lanes combine once per superblock, so the data-dependence
+  // height through the arithmetic stays shallow and the *branch* chain is
+  // the region's height bottleneck -- the application profile control CPR
+  // targets.
+  constexpr unsigned NumLanes = 4;
+  Reg Lanes[NumLanes];
+  for (unsigned Q = 0; Q < NumLanes; ++Q)
+    Lanes[Q] = F.newReg(RegClass::GPR);
+  F.observableRegs().push_back(Acc);
+
+  IRBuilder B(F, Entry);
+  B.emitMovTo(Acc, Operand::imm(0));
+  for (unsigned Q = 0; Q < NumLanes; ++Q)
+    B.emitMovTo(Lanes[Q], Operand::imm(static_cast<int64_t>(Q)));
+
+  // Per-rung fall-through bias, fixed at generation time so the input
+  // data below realizes it.
+  std::vector<std::vector<double>> Bias(S, std::vector<double>(R));
+  std::vector<std::vector<bool>> Insep(S, std::vector<bool>(R));
+  for (unsigned K = 0; K < S; ++K)
+    for (unsigned J = 0; J < R; ++J) {
+      if (Rng.nextBool(Params.UnbiasedFrac))
+        Bias[K][J] = 0.45 + 0.10 * Rng.nextDouble();
+      else
+        Bias[K][J] = std::min(
+            0.999, std::max(0.5, Params.FallThroughBias +
+                                     0.04 * (Rng.nextDouble() - 0.5)));
+      Insep[K][J] = Rng.nextBool(Params.InseparableFrac);
+    }
+
+  // --- Superblocks -------------------------------------------------------
+  for (unsigned K = 0; K < S; ++K) {
+    B.setInsertBlock(*SBs[K]);
+    for (unsigned J = 0; J < R; ++J) {
+      Reg Lane = Lanes[J % NumLanes];
+      // Parallel arithmetic feeding this rung's lane (kept live).
+      Reg Par = Lane;
+      for (unsigned Q = 0; Q < Params.ParallelOps; ++Q) {
+        Reg T = B.emitArith(Opcode::Add, Operand::reg(Cursor),
+                            Operand::imm(static_cast<int64_t>(Q + 3)));
+        Par = B.emitArith(Opcode::Xor, Operand::reg(Par), Operand::reg(T));
+      }
+      // Dependent chain.
+      Reg Chain = Par;
+      for (unsigned Q = 0; Q < Params.ChainLen; ++Q)
+        Chain = B.emitArith(Q % 2 ? Opcode::Add : Opcode::Xor,
+                            Operand::reg(Chain), Operand::imm(17 + Q));
+      B.emitMovTo(Lane, Operand::reg(Chain));
+
+      // Stores of intermediate results.
+      for (unsigned Q = 0; Q < Params.StoresPerRung; ++Q) {
+        Reg Slot = B.emitArith(Opcode::Add, Operand::reg(OutPtr),
+                               Operand::imm(static_cast<int64_t>(Q)));
+        B.emitStore(Slot, Operand::reg(Chain), AliasOut);
+      }
+
+      // Branch condition: load this rung's data word (a fixed offset from
+      // the loop-entry cursor, so all rung conditions of a trip are
+      // mutually independent) and compare against the per-rung threshold.
+      // An inseparable rung's load carries alias class 0 (may alias the
+      // stores above), defeating separability.
+      Reg CondAddr = B.emitArith(
+          Opcode::Add, Operand::reg(Cursor),
+          Operand::imm(static_cast<int64_t>(K) * R + J));
+      Reg CondVal =
+          B.emitLoad(CondAddr, Insep[K][J] ? uint8_t{0} : AliasData);
+      int64_t Threshold = static_cast<int64_t>(
+          static_cast<double>(CondRange) * (1.0 - Bias[K][J]));
+      Reg PTake = B.emitCmpp1(CompareCond::LT, Operand::reg(CondVal),
+                              Operand::imm(Threshold), CmppAction::UN);
+      B.emitBranchTo(*Stubs[K], PTake);
+    }
+    // Fold the lanes into the live accumulator (short tree per block).
+    {
+      Reg T01 = B.emitArith(Opcode::Xor, Operand::reg(Lanes[0]),
+                            Operand::reg(Lanes[1]));
+      Reg T23 = B.emitArith(Opcode::Xor, Operand::reg(Lanes[2]),
+                            Operand::reg(Lanes[3]));
+      Reg T = B.emitArith(Opcode::Xor, Operand::reg(T01), Operand::reg(T23));
+      B.emitArithTo(Acc, Opcode::Xor, Operand::reg(Acc), Operand::reg(T));
+    }
+    // Floating-point filler (uses the F units; result stored to stay
+    // live through dead-code elimination).
+    if (Params.FloatOps > 0) {
+      Reg FAcc = F.newReg(RegClass::FPR);
+      B.emitMovTo(FAcc, Operand::imm(1));
+      for (unsigned Q = 0; Q < Params.FloatOps; ++Q)
+        FAcc = B.emitArith(Opcode::FAdd, Operand::reg(FAcc),
+                           Operand::reg(FAcc));
+      Reg FSlot = B.emitArith(Opcode::Add, Operand::reg(OutPtr),
+                              Operand::imm(61));
+      B.emitStore(FSlot, Operand::reg(FAcc), AliasOut);
+    }
+    B.emitArithTo(OutPtr, Opcode::Add, Operand::reg(OutPtr),
+                  Operand::imm(static_cast<int64_t>(Params.StoresPerRung) *
+                               R));
+    // Fall through to the next superblock (or the tail).
+  }
+
+  // --- Loop tail ---------------------------------------------------------
+  B.setInsertBlock(Tail);
+  B.emitArithTo(Cursor, Opcode::Add, Operand::reg(Cursor),
+                Operand::imm(static_cast<int64_t>(S) * R));
+  B.emitArithTo(Trip, Opcode::Sub, Operand::reg(Trip), Operand::imm(1));
+  Reg PMore = B.emitCmpp1(CompareCond::GT, Operand::reg(Trip),
+                          Operand::imm(0), CmppAction::UN);
+  B.emitBranchTo(*SBs[0], PMore);
+  B.emitBranchTo(Exit, Reg::truePred());
+
+  // --- Off-path stubs ----------------------------------------------------
+  for (unsigned K = 0; K < S; ++K) {
+    B.setInsertBlock(*Stubs[K]);
+    // A little off-trace work, then rejoin at the next superblock.
+    B.emitArithTo(Acc, Opcode::Add, Operand::reg(Acc), Operand::imm(1));
+    Reg Slot = B.emitArith(Opcode::Add, Operand::reg(OutPtr),
+                           Operand::imm(59));
+    B.emitStore(Slot, Operand::reg(Acc), AliasOut);
+    Block &Rejoin = K + 1 < S ? *SBs[K + 1] : Tail;
+    B.emitBranchTo(Rejoin, Reg::truePred());
+  }
+
+  B.setInsertBlock(Exit);
+  B.emitHalt();
+
+  verifyOrDie(F, "synthetic program " + Name);
+
+  // --- Input data --------------------------------------------------------
+  // One condition word per rung per trip. The cursor never resets, so
+  // every trip sees fresh data realizing the per-rung biases on average.
+  size_t TotalWords =
+      static_cast<size_t>(Params.Trips) * static_cast<size_t>(S) *
+          static_cast<size_t>(R) +
+      64;
+  for (size_t I = 0; I < TotalWords; ++I)
+    P.InitMem.store(DataBase + static_cast<int64_t>(I),
+                    Rng.nextRange(0, CondRange - 1));
+  P.InitRegs = {{Trip, static_cast<int64_t>(Params.Trips)},
+                {Cursor, DataBase},
+                {OutPtr, OutBase}};
+  return P;
+}

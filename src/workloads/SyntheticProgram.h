@@ -1,0 +1,68 @@
+//===- workloads/SyntheticProgram.h - SPEC-like program generator *- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized generator of SPEC-like application programs. The paper's
+/// SPEC92/95 binaries and inputs are unavailable, so each application is
+/// substituted by a synthetic program whose *branch structure* carries the
+/// characteristics that control CPR responds to (see DESIGN.md):
+///
+///  - branch density and bias distribution (go ~= unbiased, eqntott ~=
+///    long superblocks with heavy cumulative exit weight, gcc ~= many
+///    short regions, ...);
+///  - separability (fraction of branch conditions fed by loads that the
+///    "compiler" cannot disambiguate from nearby stores);
+///  - available ILP around the branches (dependence chain length vs.
+///    parallel width, memory and floating-point operation mix).
+///
+/// The generated program is fully executable: an outer counted loop walks
+/// a table of seeded random data; each branch condition loads from that
+/// table and compares against a per-branch threshold chosen so the
+/// profiled taken ratio realizes the requested bias.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WORKLOADS_SYNTHETICPROGRAM_H
+#define WORKLOADS_SYNTHETICPROGRAM_H
+
+#include "workloads/Kernels.h"
+
+namespace cpr {
+
+/// Shape parameters of one synthetic application.
+struct SyntheticParams {
+  /// Number of superblocks chained in the loop body.
+  unsigned Superblocks = 4;
+  /// Branch rungs per superblock.
+  unsigned RungsPerSuperblock = 5;
+  /// Mean probability that a rung's exit branch falls through.
+  double FallThroughBias = 0.96;
+  /// Fraction of rungs whose bias is ~0.5 instead (unpredictable).
+  double UnbiasedFrac = 0.0;
+  /// Fraction of rungs whose condition load shares an alias class with a
+  /// preceding store (defeats separability there).
+  double InseparableFrac = 0.0;
+  /// Length of the dependent arithmetic chain feeding each rung.
+  unsigned ChainLen = 2;
+  /// Independent (parallel) arithmetic operations per rung.
+  unsigned ParallelOps = 2;
+  /// Stores per rung (word results written to an output table).
+  unsigned StoresPerRung = 1;
+  /// Floating-point operations per superblock (exercises the F units).
+  unsigned FloatOps = 0;
+  /// Outer loop trip count (dynamic scale).
+  unsigned Trips = 256;
+  /// Data seed.
+  uint64_t Seed = 1;
+};
+
+/// Builds one synthetic application named \p Name.
+KernelProgram buildSyntheticProgram(const std::string &Name,
+                                    const SyntheticParams &Params);
+
+} // namespace cpr
+
+#endif // WORKLOADS_SYNTHETICPROGRAM_H

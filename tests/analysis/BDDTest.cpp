@@ -1,0 +1,203 @@
+//===- tests/analysis/BDDTest.cpp - BDD package tests ---------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BDD.h"
+
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+TEST(BDDTest, Terminals) {
+  BDD M;
+  EXPECT_TRUE(M.isFalse(BDD::False));
+  EXPECT_TRUE(M.isTrue(BDD::True));
+  EXPECT_EQ(M.mkNot(BDD::True), BDD::False);
+  EXPECT_EQ(M.mkNot(BDD::False), BDD::True);
+}
+
+TEST(BDDTest, BasicAlgebra) {
+  BDD M;
+  BDD::NodeRef A = M.var(0), B = M.var(1);
+  EXPECT_EQ(M.mkAnd(A, BDD::True), A);
+  EXPECT_EQ(M.mkAnd(A, BDD::False), BDD::False);
+  EXPECT_EQ(M.mkOr(A, BDD::False), A);
+  EXPECT_EQ(M.mkOr(A, BDD::True), BDD::True);
+  EXPECT_EQ(M.mkAnd(A, A), A);
+  EXPECT_EQ(M.mkOr(A, A), A);
+  EXPECT_EQ(M.mkAnd(A, M.mkNot(A)), BDD::False);
+  EXPECT_EQ(M.mkOr(A, M.mkNot(A)), BDD::True);
+  // Canonicity: structurally equal functions share a node.
+  EXPECT_EQ(M.mkAnd(A, B), M.mkAnd(B, A));
+  EXPECT_EQ(M.mkOr(A, B), M.mkOr(B, A));
+  EXPECT_EQ(M.mkNot(M.mkNot(A)), A);
+}
+
+TEST(BDDTest, DeMorgan) {
+  BDD M;
+  BDD::NodeRef A = M.var(0), B = M.var(1);
+  EXPECT_EQ(M.mkNot(M.mkAnd(A, B)), M.mkOr(M.mkNot(A), M.mkNot(B)));
+  EXPECT_EQ(M.mkNot(M.mkOr(A, B)), M.mkAnd(M.mkNot(A), M.mkNot(B)));
+}
+
+TEST(BDDTest, DisjointAndImplies) {
+  BDD M;
+  BDD::NodeRef A = M.var(0), B = M.var(1);
+  BDD::NodeRef AandB = M.mkAnd(A, B);
+  BDD::NodeRef AandNotB = M.mkAnd(A, M.mkNot(B));
+
+  EXPECT_TRUE(M.disjoint(AandB, AandNotB));
+  EXPECT_FALSE(M.disjoint(A, B));
+  EXPECT_TRUE(M.implies(AandB, A));
+  EXPECT_TRUE(M.implies(AandB, B));
+  EXPECT_FALSE(M.implies(A, AandB));
+  EXPECT_TRUE(M.implies(BDD::False, A));
+  EXPECT_TRUE(M.implies(A, BDD::True));
+}
+
+/// The FRP structure of an n-branch superblock: branch i's taken FRP is
+/// c_i & !c_1 & ... & !c_{i-1}. All taken FRPs must be mutually disjoint,
+/// and the fall-through FRP must be disjoint from each of them.
+TEST(BDDTest, FrpChainMutualExclusion) {
+  BDD M;
+  constexpr int N = 12;
+  std::vector<BDD::NodeRef> Taken;
+  BDD::NodeRef Path = BDD::True;
+  for (int I = 0; I < N; ++I) {
+    BDD::NodeRef C = M.var(static_cast<uint32_t>(I));
+    Taken.push_back(M.mkAnd(Path, C));
+    Path = M.mkAnd(Path, M.mkNot(C));
+  }
+  for (int I = 0; I < N; ++I) {
+    EXPECT_TRUE(M.disjoint(Taken[static_cast<size_t>(I)], Path));
+    for (int J = I + 1; J < N; ++J)
+      EXPECT_TRUE(M.disjoint(Taken[static_cast<size_t>(I)],
+                             Taken[static_cast<size_t>(J)]));
+  }
+  // The disjunction of all exits equals the negation of the on-trace FRP.
+  BDD::NodeRef AnyExit = BDD::False;
+  for (BDD::NodeRef T : Taken)
+    AnyExit = M.mkOr(AnyExit, T);
+  EXPECT_EQ(AnyExit, M.mkNot(Path));
+}
+
+/// Random expression pairs: BDD queries must agree with brute-force
+/// truth-table evaluation.
+class BDDRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// A tiny random expression tree evaluator over `NVars` variables.
+struct RandomExpr {
+  enum Kind { Var, Not, And, Or } K;
+  int A = -1, B = -1; // child indices or variable index
+};
+
+int buildRandom(std::vector<RandomExpr> &Pool, RNG &Rng, int Depth,
+                int NVars) {
+  RandomExpr E;
+  if (Depth == 0 || Rng.nextBelow(4) == 0) {
+    E.K = RandomExpr::Var;
+    E.A = static_cast<int>(Rng.nextBelow(static_cast<uint64_t>(NVars)));
+  } else {
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      E.K = RandomExpr::Not;
+      E.A = buildRandom(Pool, Rng, Depth - 1, NVars);
+      break;
+    case 1:
+      E.K = RandomExpr::And;
+      E.A = buildRandom(Pool, Rng, Depth - 1, NVars);
+      E.B = buildRandom(Pool, Rng, Depth - 1, NVars);
+      break;
+    default:
+      E.K = RandomExpr::Or;
+      E.A = buildRandom(Pool, Rng, Depth - 1, NVars);
+      E.B = buildRandom(Pool, Rng, Depth - 1, NVars);
+      break;
+    }
+  }
+  Pool.push_back(E);
+  return static_cast<int>(Pool.size()) - 1;
+}
+
+bool evalExpr(const std::vector<RandomExpr> &Pool, int Idx, unsigned Assign) {
+  const RandomExpr &E = Pool[static_cast<size_t>(Idx)];
+  switch (E.K) {
+  case RandomExpr::Var:
+    return (Assign >> E.A) & 1;
+  case RandomExpr::Not:
+    return !evalExpr(Pool, E.A, Assign);
+  case RandomExpr::And:
+    return evalExpr(Pool, E.A, Assign) && evalExpr(Pool, E.B, Assign);
+  case RandomExpr::Or:
+    return evalExpr(Pool, E.A, Assign) || evalExpr(Pool, E.B, Assign);
+  }
+  return false;
+}
+
+BDD::NodeRef toBdd(BDD &M, const std::vector<RandomExpr> &Pool, int Idx) {
+  const RandomExpr &E = Pool[static_cast<size_t>(Idx)];
+  switch (E.K) {
+  case RandomExpr::Var:
+    return M.var(static_cast<uint32_t>(E.A));
+  case RandomExpr::Not:
+    return M.mkNot(toBdd(M, Pool, E.A));
+  case RandomExpr::And:
+    return M.mkAnd(toBdd(M, Pool, E.A), toBdd(M, Pool, E.B));
+  case RandomExpr::Or:
+    return M.mkOr(toBdd(M, Pool, E.A), toBdd(M, Pool, E.B));
+  }
+  return BDD::Invalid;
+}
+
+TEST_P(BDDRandomTest, AgreesWithTruthTables) {
+  RNG Rng(GetParam());
+  constexpr int NVars = 6;
+  BDD M;
+  std::vector<RandomExpr> Pool;
+  int F = buildRandom(Pool, Rng, 5, NVars);
+  int G = buildRandom(Pool, Rng, 5, NVars);
+  BDD::NodeRef FB = toBdd(M, Pool, F);
+  BDD::NodeRef GB = toBdd(M, Pool, G);
+
+  bool AnyBoth = false, FImpliesG = true;
+  for (unsigned Assign = 0; Assign < (1u << NVars); ++Assign) {
+    bool FV = evalExpr(Pool, F, Assign);
+    bool GV = evalExpr(Pool, G, Assign);
+    AnyBoth |= FV && GV;
+    if (FV && !GV)
+      FImpliesG = false;
+  }
+  EXPECT_EQ(M.disjoint(FB, GB), !AnyBoth);
+  EXPECT_EQ(M.implies(FB, GB), FImpliesG);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BDDRandomTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+TEST(BDDTest, BudgetExhaustionIsConservative) {
+  BDD M(/*MaxNodes=*/8); // tiny budget
+  BDD::NodeRef F = BDD::True;
+  for (uint32_t I = 0; I < 16; ++I) {
+    BDD::NodeRef V = M.var(2 * I);
+    BDD::NodeRef W = M.var(2 * I + 1);
+    if (V == BDD::Invalid || W == BDD::Invalid) {
+      F = BDD::Invalid;
+      break;
+    }
+    F = M.mkAnd(F, M.mkOr(V, W));
+    if (F == BDD::Invalid)
+      break;
+  }
+  EXPECT_EQ(F, BDD::Invalid);
+  // Queries on Invalid answer conservatively.
+  EXPECT_FALSE(M.disjoint(F, BDD::True));
+  EXPECT_FALSE(M.implies(F, BDD::False));
+}
+
+} // namespace

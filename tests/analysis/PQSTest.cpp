@@ -1,0 +1,200 @@
+//===- tests/analysis/PQSTest.cpp - Predicate Query System tests ----------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PQS.h"
+
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+/// Finds the index of the op with id \p Id in block 0.
+size_t idx(const Function &F, OpId Id) {
+  int I = F.block(0).indexOfOp(Id);
+  EXPECT_GE(I, 0);
+  return static_cast<size_t>(I);
+}
+
+TEST(PQSTest, UnUcPairIsComplementary) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un, p2:uc = cmpp.lt(r1, 10)
+  r2 = add(r3, 1) if p1
+  r4 = add(r3, 2) if p2
+  halt
+}
+)");
+  const Block &B = F->block(0);
+  RegionPQS PQS(*F, B);
+  BDD::NodeRef E1 = PQS.guardExpr(1);
+  BDD::NodeRef E2 = PQS.guardExpr(2);
+  EXPECT_TRUE(PQS.disjoint(E1, E2));
+  // Together they cover everything: !(p1 | p2) == false.
+  EXPECT_EQ(PQS.bdd().mkOr(E1, E2), BDD::True);
+}
+
+TEST(PQSTest, DuplicateComparesShareAtoms) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un = cmpp.eq(r1, 0)
+  p2:un = cmpp.eq(r1, 0)
+  p3:un = cmpp.ne(r1, 0)
+  halt
+}
+)");
+  const Block &B = F->block(0);
+  RegionPQS PQS(*F, B);
+  BDD::NodeRef P1 = PQS.predValueAfter(0, Reg::pred(1));
+  BDD::NodeRef P2 = PQS.predValueAfter(1, Reg::pred(2));
+  BDD::NodeRef P3 = PQS.predValueAfter(2, Reg::pred(3));
+  EXPECT_EQ(P1, P2) << "same comparison must share an atom";
+  EXPECT_EQ(P3, PQS.bdd().mkNot(P1)) << "ne is the complement of eq";
+}
+
+TEST(PQSTest, RedefinitionBreaksAtomSharing) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un = cmpp.eq(r1, 0)
+  r1 = add(r1, 1)
+  p2:un = cmpp.eq(r1, 0)
+  halt
+}
+)");
+  const Block &B = F->block(0);
+  RegionPQS PQS(*F, B);
+  BDD::NodeRef P1 = PQS.predValueAfter(0, Reg::pred(1));
+  BDD::NodeRef P2 = PQS.predValueAfter(2, Reg::pred(2));
+  EXPECT_NE(P1, P2) << "r1 changed between the compares";
+  EXPECT_FALSE(PQS.disjoint(P1, P2));
+}
+
+TEST(PQSTest, WiredOrAccumulation) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1 = mov(0)
+  p1:on = cmpp.eq(r1, 1)
+  p1:on = cmpp.eq(r2, 2)
+  p2:un = cmpp.eq(r1, 1)
+  p3:un = cmpp.eq(r2, 2)
+  halt
+}
+)");
+  const Block &B = F->block(0);
+  RegionPQS PQS(*F, B);
+  BDD &M = PQS.bdd();
+  BDD::NodeRef Or = PQS.predValueAfter(2, Reg::pred(1));
+  BDD::NodeRef C1 = PQS.predValueAfter(3, Reg::pred(2));
+  BDD::NodeRef C2 = PQS.predValueAfter(4, Reg::pred(3));
+  EXPECT_EQ(Or, M.mkOr(C1, C2));
+}
+
+TEST(PQSTest, WiredAndWithRootInitialization) {
+  // The ICBM on-trace FRP: init to root, then AC terms.
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p9:un = cmpp.lt(r9, 5)
+  p1 = mov(p9)
+  p1:ac = cmpp.eq(r1, 0) if p9
+  p1:ac = cmpp.eq(r2, 0) if p9
+  p2:un = cmpp.eq(r1, 0)
+  p3:un = cmpp.eq(r2, 0)
+  halt
+}
+)");
+  const Block &B = F->block(0);
+  RegionPQS PQS(*F, B);
+  BDD &M = PQS.bdd();
+  BDD::NodeRef Root = PQS.predValueAfter(0, Reg::pred(9));
+  BDD::NodeRef OnTrace = PQS.predValueAfter(3, Reg::pred(1));
+  BDD::NodeRef C1 = PQS.predValueAfter(4, Reg::pred(2));
+  BDD::NodeRef C2 = PQS.predValueAfter(5, Reg::pred(3));
+  // root & !c1 & !c2
+  BDD::NodeRef Expected =
+      M.mkAnd(Root, M.mkAnd(M.mkNot(C1), M.mkNot(C2)));
+  EXPECT_EQ(OnTrace, Expected);
+}
+
+TEST(PQSTest, GuardedMovMergesValues) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un, p2:uc = cmpp.lt(r1, 3)
+  p3 = mov(0)
+  p3 = mov(1) if p1
+  halt
+}
+)");
+  const Block &B = F->block(0);
+  RegionPQS PQS(*F, B);
+  // p3 = p1 ? 1 : 0 == p1.
+  BDD::NodeRef P3 = PQS.predValueAfter(2, Reg::pred(3));
+  BDD::NodeRef P1 = PQS.predValueAfter(0, Reg::pred(1));
+  EXPECT_EQ(P3, P1);
+}
+
+TEST(PQSTest, FrpChainBranchesAreDisjoint) {
+  // The structure FRP conversion produces: each taken predicate excludes
+  // all earlier taken predicates.
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un, p2:uc = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  p3:un, p4:uc = cmpp.eq(r2, 0) if p2
+  b2 = pbr(@X)
+  branch(p3, b2)
+  p5:un, p6:uc = cmpp.eq(r3, 0) if p4
+  b3 = pbr(@X)
+  branch(p5, b3)
+  halt
+block @X:
+  halt
+}
+)");
+  const Block &B = F->block(0);
+  RegionPQS PQS(*F, B);
+  std::vector<size_t> Branches;
+  for (size_t I = 0; I < B.size(); ++I)
+    if (B.ops()[I].isBranch())
+      Branches.push_back(I);
+  ASSERT_EQ(Branches.size(), 3u);
+  for (size_t I = 0; I < 3; ++I)
+    for (size_t J = I + 1; J < 3; ++J)
+      EXPECT_TRUE(PQS.disjoint(PQS.takenExpr(Branches[I]),
+                               PQS.takenExpr(Branches[J])));
+  // Each taken predicate implies the preceding fall-through predicate.
+  EXPECT_TRUE(PQS.implies(PQS.takenExpr(Branches[1]),
+                          PQS.predValueAfter(0, Reg::pred(2))));
+}
+
+TEST(PQSTest, LiveInPredicatesAreOpaque) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  r1 = add(r2, 1) if p7
+  r3 = add(r2, 2) if p8
+  halt
+}
+)");
+  const Block &B = F->block(0);
+  RegionPQS PQS(*F, B);
+  // Nothing is known about live-in predicates: not disjoint, no
+  // implication either way.
+  EXPECT_FALSE(PQS.disjoint(PQS.guardExpr(0), PQS.guardExpr(1)));
+  EXPECT_FALSE(PQS.implies(PQS.guardExpr(0), PQS.guardExpr(1)));
+  (void)idx;
+}
+
+} // namespace

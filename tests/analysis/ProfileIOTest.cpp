@@ -1,0 +1,88 @@
+//===- tests/analysis/ProfileIOTest.cpp - Profile serialization tests -----===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ProfileIO.h"
+
+#include "interp/Profiler.h"
+#include "pipeline/CompilerPipeline.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+TEST(ProfileIOTest, RoundTrip) {
+  KernelProgram P = buildWcKernel(4, 2048, 17);
+  Memory Mem = P.InitMem;
+  ProfileData Prof = profileRun(*P.Func, Mem, P.InitRegs);
+
+  std::string Text = serializeProfile(Prof, *P.Func);
+  ProfileParseResult R = parseProfile(Text);
+  ASSERT_TRUE(R) << R.Error;
+
+  for (size_t BI = 0; BI < P.Func->numBlocks(); ++BI) {
+    BlockId Id = P.Func->block(BI).getId();
+    EXPECT_EQ(R.Profile.blockEntries(Id), Prof.blockEntries(Id));
+    for (const Operation &Op : P.Func->block(BI).ops()) {
+      if (!Op.isBranch())
+        continue;
+      EXPECT_EQ(R.Profile.branchReached(Op.getId()),
+                Prof.branchReached(Op.getId()));
+      EXPECT_EQ(R.Profile.branchTaken(Op.getId()),
+                Prof.branchTaken(Op.getId()));
+    }
+  }
+}
+
+TEST(ProfileIOTest, DeterministicOutput) {
+  KernelProgram P = buildStrcpyKernel(4, 512, 3);
+  Memory M1 = P.InitMem, M2 = P.InitMem;
+  ProfileData A = profileRun(*P.Func, M1, P.InitRegs);
+  ProfileData B = profileRun(*P.Func, M2, P.InitRegs);
+  EXPECT_EQ(serializeProfile(A, *P.Func), serializeProfile(B, *P.Func));
+}
+
+TEST(ProfileIOTest, CommentsAndErrors) {
+  ProfileParseResult Ok = parseProfile(
+      "# a comment\nprofile v1\nblock 3 100 # trailing\nbranch 7 100 25\n");
+  ASSERT_TRUE(Ok) << Ok.Error;
+  EXPECT_EQ(Ok.Profile.blockEntries(3), 100u);
+  EXPECT_DOUBLE_EQ(Ok.Profile.takenRatio(7), 0.25);
+
+  EXPECT_FALSE(parseProfile("block 1 2\n"));            // missing header
+  EXPECT_FALSE(parseProfile("profile v2\n"));           // bad version
+  EXPECT_FALSE(parseProfile("profile v1\nbogus 1\n"));  // unknown record
+  EXPECT_FALSE(parseProfile("profile v1\nbranch 1 5 9\n")); // taken>reached
+  EXPECT_FALSE(parseProfile("profile v1\nblock xyz\n")); // malformed
+}
+
+TEST(ProfileIOTest, SavedProfileDrivesICBM) {
+  // The [FF92] workflow the paper cites: profile on one input, transform,
+  // run on another input -- behavior must hold and the transformation
+  // still fires.
+  KernelProgram Train = buildStrcpyKernel(8, 4096, 100);
+  Memory Mem = Train.InitMem;
+  ProfileData Prof = profileRun(*Train.Func, Mem, Train.InitRegs);
+  std::string Text = serializeProfile(Prof, *Train.Func);
+
+  ProfileParseResult Loaded = parseProfile(Text);
+  ASSERT_TRUE(Loaded);
+
+  CPRResult CR;
+  std::unique_ptr<Function> Treated =
+      applyControlCPR(*Train.Func, Loaded.Profile, CPROptions(), &CR);
+  EXPECT_GE(CR.CPRBlocksTransformed, 1u);
+
+  // A different data set (the profile transfers, per [FF92]).
+  KernelProgram Test = buildStrcpyKernel(8, 1024, 999);
+  EquivResult E = checkEquivalence(*Test.Func, *Treated, Test.InitMem,
+                                   Test.InitRegs);
+  EXPECT_TRUE(E.Equivalent) << E.Detail;
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+//===- tests/analysis/RegPressureTest.cpp - Register pressure tests -------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RegPressure.h"
+
+#include "interp/Profiler.h"
+#include "ir/IRParser.h"
+#include "pipeline/CompilerPipeline.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+TEST(RegPressureTest, SerialChainHasLowPressure) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+  observable r4
+block @A:
+  r1 = mov(1)
+  r2 = add(r1, 1)
+  r3 = add(r2, 1)
+  r4 = add(r3, 1)
+  halt
+}
+)");
+  PressureReport P = measureFunctionPressure(*F);
+  // A pure chain keeps at most one value (plus its consumer's input)
+  // alive.
+  EXPECT_LE(P.gpr(), 2u);
+}
+
+TEST(RegPressureTest, ParallelValuesRaisePressure) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+  observable r9
+block @A:
+  r1 = mov(1)
+  r2 = mov(2)
+  r3 = mov(3)
+  r4 = mov(4)
+  r5 = add(r1, r2)
+  r6 = add(r3, r4)
+  r9 = add(r5, r6)
+  halt
+}
+)");
+  PressureReport P = measureFunctionPressure(*F);
+  EXPECT_GE(P.gpr(), 4u);
+}
+
+TEST(RegPressureTest, PredicatePressureCounted) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un, p2:uc = cmpp.eq(r1, 0)
+  p3:un, p4:uc = cmpp.eq(r2, 0)
+  store(r3, 1) if p1
+  store(r3, 2) if p2
+  store(r3, 3) if p3
+  store(r3, 4) if p4
+  halt
+}
+)");
+  PressureReport P = measureFunctionPressure(*F);
+  EXPECT_GE(P.pred(), 4u);
+}
+
+TEST(RegPressureTest, ControlCPRPressureEffect) {
+  // A real second-order cost of control CPR the paper does not quantify:
+  // on-trace values (the loaded characters feeding the split stores after
+  // the bypass) stay live across the whole CPR block, so GPR pressure
+  // grows roughly with the CPR block length -- here from ~8 to ~17 at
+  // unroll 8. Predicate pressure grows by a couple of FRP registers.
+  // The test pins the scale of both effects.
+  KernelProgram P = buildStrcpyKernel(8, 2048, 5);
+  std::unique_ptr<Function> Base = P.Func->clone();
+  Memory Mem = P.InitMem;
+  ProfileData Prof = profileRun(*Base, Mem, P.InitRegs);
+  std::unique_ptr<Function> Treated =
+      applyControlCPR(*Base, Prof, CPROptions());
+
+  PressureReport Before = measureFunctionPressure(*Base);
+  PressureReport After = measureFunctionPressure(*Treated);
+  EXPECT_GT(After.gpr(), Before.gpr())
+      << "split operands live across the CPR block";
+  EXPECT_LE(After.gpr(), Before.gpr() + 2 * 8) << "bounded by block size";
+  EXPECT_LE(After.pred(), Before.pred() + 6);
+  EXPECT_GE(After.pred(), Before.pred())
+      << "the on-trace FRP adds at least one live predicate";
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===- tests/cpr/ControlCPRDriverTest.cpp - ICBM driver tests -------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpr/ControlCPR.h"
+
+#include "interp/Profiler.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "pipeline/CompilerPipeline.h"
+#include "workloads/SyntheticProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+TEST(ControlCPRDriverTest, UntransformedRegionsAreRestored) {
+  // A region with unbiased branches (exit-weight stops everything): the
+  // driver must leave it byte-identical to the input (no stray FRP
+  // conversion or speculation).
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  r5 = add(r9, 1)
+  p2:un = cmpp.eq(r2, 0)
+  b2 = pbr(@X)
+  branch(p2, b2)
+  store(r5, r5)
+  halt
+block @X:
+  halt
+}
+)");
+  std::string Before = printFunction(*F);
+
+  ProfileData Prof;
+  for (const Operation &Op : F->block(0).ops())
+    if (Op.isBranch()) {
+      Prof.addBranchReached(Op.getId(), 100);
+      Prof.addBranchTaken(Op.getId(), 50); // unbiased
+    }
+  CPROptions Opts;
+  Opts.ExitWeightThreshold = 0.10;
+  Opts.EnableTakenVariation = false;
+  CPRResult R = runControlCPR(*F, Prof, Opts);
+  EXPECT_EQ(R.CPRBlocksTransformed, 0u);
+  EXPECT_EQ(printFunction(*F), Before);
+}
+
+TEST(ControlCPRDriverTest, MultiRegionFunctions) {
+  // Several superblocks in one function: the driver transforms each
+  // independently and the stats aggregate.
+  SyntheticParams SP;
+  SP.Superblocks = 3;
+  SP.RungsPerSuperblock = 4;
+  SP.FallThroughBias = 0.99;
+  SP.Trips = 200;
+  SP.Seed = 404;
+  KernelProgram P = buildSyntheticProgram("multi", SP);
+  std::unique_ptr<Function> Base = P.Func->clone();
+  Memory Mem = P.InitMem;
+  ProfileData Prof = profileRun(*Base, Mem, P.InitRegs);
+
+  CPRResult R = runControlCPR(*P.Func, Prof, CPROptions());
+  EXPECT_GE(R.RegionsProcessed, 3u);
+  EXPECT_GE(R.CPRBlocksTransformed, 3u);
+  EXPECT_GE(R.BranchesCovered, 9u);
+
+  EquivResult E = checkEquivalence(*Base, *P.Func, P.InitMem, P.InitRegs);
+  EXPECT_TRUE(E.Equivalent) << E.Detail;
+}
+
+TEST(ControlCPRDriverTest, CompensationBlocksAreNotReprocessed) {
+  // Two rounds of the driver must not explode: compensation blocks are
+  // skipped and the second round's output still behaves identically.
+  SyntheticParams SP;
+  SP.Superblocks = 1;
+  SP.RungsPerSuperblock = 5;
+  SP.FallThroughBias = 0.99;
+  SP.Trips = 100;
+  SP.Seed = 405;
+  KernelProgram P = buildSyntheticProgram("reproc", SP);
+  std::unique_ptr<Function> Base = P.Func->clone();
+  Memory Mem = P.InitMem;
+  ProfileData Prof = profileRun(*Base, Mem, P.InitRegs);
+
+  runControlCPR(*P.Func, Prof, CPROptions());
+  size_t BlocksAfterOne = P.Func->numBlocks();
+
+  Memory Mem2 = P.InitMem;
+  ProfileData Prof2 = profileRun(*P.Func, Mem2, P.InitRegs);
+  runControlCPR(*P.Func, Prof2, CPROptions());
+  // Compensation blocks were skipped (no compensation-of-compensation).
+  for (size_t I = 0; I < P.Func->numBlocks(); ++I) {
+    const std::string &Name = P.Func->block(I).getName();
+    EXPECT_EQ(Name.find("_cmp"), Name.rfind("_cmp"))
+        << "nested compensation block: " << Name;
+  }
+  (void)BlocksAfterOne;
+  EquivResult E = checkEquivalence(*Base, *P.Func, P.InitMem, P.InitRegs);
+  EXPECT_TRUE(E.Equivalent) << E.Detail;
+}
+
+TEST(ControlCPRDriverTest, StatsAreConsistent) {
+  KernelProgram P = buildStrcpyKernel(8, 2048, 55);
+  PipelineResult R = runPipeline(P);
+  const CPRResult &C = R.CPR;
+  // Stop-reason histogram covers every formed CPR block.
+  unsigned StopSum = 0;
+  for (unsigned S : C.StopReasons)
+    StopSum += S;
+  EXPECT_EQ(StopSum, C.CPRBlocksFormed);
+  // Transformed blocks are a subset of formed ones; covered branches need
+  // at least MinBranches per transformed block.
+  EXPECT_LE(C.CPRBlocksTransformed, C.CPRBlocksFormed);
+  EXPECT_GE(C.BranchesCovered, 2 * C.CPRBlocksTransformed);
+  EXPECT_EQ(C.LookaheadsInserted, C.BranchesCovered)
+      << "one lookahead per covered branch";
+}
+
+TEST(ControlCPRDriverTest, TrapNeverExecutes) {
+  // The compensation-block trap canary: run a workload with frequent
+  // off-trace entries and assert no trap fires (the suitability theorem
+  // holds dynamically).
+  KernelProgram P = buildStrcpyKernel(4, 9, 77); // short string: hot exits
+  Memory Mem = P.InitMem;
+  ProfileData Prof = profileRun(*P.Func, Mem, P.InitRegs);
+  std::unique_ptr<Function> T = applyControlCPR(*P.Func, Prof, CPROptions());
+  Memory Mem2 = P.InitMem;
+  RunResult R = interpret(*T, Mem2, P.InitRegs);
+  EXPECT_TRUE(R.halted()) << R.ErrorMsg;
+  EXPECT_NE(R.St, RunResult::Status::Trapped);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+//===- tests/cpr/FullCPRTest.cpp - Full CPR baseline tests ----------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpr/FullCPR.h"
+
+#include "analysis/PQS.h"
+#include "interp/Profiler.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "regions/DeadCodeElim.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+const char *ThreeBranchSrc = R"(
+func @f {
+  observable r5
+block @A:
+  r5 = mov(0)
+  p1:un = cmpp.lt(r1, 10)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  r5 = add(r5, 1)
+  p2:un = cmpp.lt(r2, 10)
+  b2 = pbr(@X)
+  branch(p2, b2)
+  r5 = add(r5, 2)
+  p3:un = cmpp.lt(r3, 10)
+  b3 = pbr(@X)
+  branch(p3, b3)
+  r5 = add(r5, 4)
+  halt
+block @X:
+  r5 = add(r5, 100)
+  halt
+}
+)";
+
+TEST(FullCPRTest, QuadraticLookaheadGrowth) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(ThreeBranchSrc);
+  FullCPRStats S = runFullCPR(*F);
+  verifyOrDie(*F, "after full CPR");
+  EXPECT_EQ(S.BranchesAccelerated, 3u);
+  // Branch i needs i compares: 1 + 2 + 3 = 6 for a 3-branch chain.
+  EXPECT_EQ(S.LookaheadsInserted, 6u);
+}
+
+TEST(FullCPRTest, AllBranchPredicatesBecomeDisjointAndIndependent) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(ThreeBranchSrc);
+  runFullCPR(*F);
+  const Block &A = F->block(0);
+  RegionPQS PQS(*F, A);
+  std::vector<size_t> Brs;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A.ops()[I].isBranch())
+      Brs.push_back(I);
+  ASSERT_EQ(Brs.size(), 3u);
+  for (size_t I = 0; I < Brs.size(); ++I)
+    for (size_t J = I + 1; J < Brs.size(); ++J)
+      EXPECT_TRUE(
+          PQS.disjoint(PQS.takenExpr(Brs[I]), PQS.takenExpr(Brs[J])));
+}
+
+TEST(FullCPRTest, PreservesBehaviorExhaustively) {
+  std::unique_ptr<Function> Base = parseFunctionOrDie(ThreeBranchSrc);
+  std::unique_ptr<Function> Full = parseFunctionOrDie(ThreeBranchSrc);
+  runFullCPR(*Full);
+  eliminateDeadCode(*Full);
+  for (int64_t V1 : {5, 15})
+    for (int64_t V2 : {5, 15})
+      for (int64_t V3 : {5, 15}) {
+        Memory Mem;
+        std::vector<RegBinding> Init = {{Reg::gpr(1), V1},
+                                        {Reg::gpr(2), V2},
+                                        {Reg::gpr(3), V3}};
+        EquivResult E = checkEquivalence(*Base, *Full, Mem, Init);
+        EXPECT_TRUE(E.Equivalent)
+            << V1 << "," << V2 << "," << V3 << ": " << E.Detail;
+      }
+}
+
+TEST(FullCPRTest, PreservesKernelBehavior) {
+  for (unsigned Unroll : {2u, 4u, 8u}) {
+    KernelProgram P = buildStrcpyKernel(Unroll, 512, 31);
+    std::unique_ptr<Function> Base = P.Func->clone();
+    runFullCPR(*P.Func);
+    eliminateDeadCode(*P.Func);
+    verifyOrDie(*P.Func, "full CPR on strcpy");
+    EquivResult E = checkEquivalence(*Base, *P.Func, P.InitMem, P.InitRegs);
+    EXPECT_TRUE(E.Equivalent) << "unroll " << Unroll << ": " << E.Detail;
+  }
+}
+
+TEST(FullCPRTest, NeedsNoProfile) {
+  // Unlike ICBM, full CPR fires on cold code (no heuristics).
+  std::unique_ptr<Function> F = parseFunctionOrDie(ThreeBranchSrc);
+  FullCPRStats S = runFullCPR(*F);
+  EXPECT_EQ(S.BranchesAccelerated, 3u);
+}
+
+TEST(FullCPRTest, StopsAtUnsuitableBranches) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un = cmpp.lt(r1, 10)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  p2 = mov(0)
+  p2:on = cmpp.lt(r2, 10)
+  b2 = pbr(@X)
+  branch(p2, b2)
+  p3:un = cmpp.lt(r3, 10)
+  b3 = pbr(@X)
+  branch(p3, b3)
+  halt
+block @X:
+  halt
+}
+)");
+  FullCPRStats S = runFullCPR(*F);
+  // The wired-or-controlled branch splits the chain; neither remnant has
+  // two suitable branches, so nothing is accelerated.
+  EXPECT_EQ(S.BranchesAccelerated, 0u);
+}
+
+} // namespace

@@ -1,0 +1,273 @@
+//===- tests/cpr/MatchTest.cpp - ICBM match phase tests -------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+// Exercises the four match tests of Figure 5 on hand-written IR with
+// fabricated profiles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpr/Match.h"
+
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+/// A 3-branch FRP-converted superblock (the Figure 1 shape).
+const char *ThreeBranchSrc = R"(
+func @f {
+block @A:
+  r11 = add(r1, 1)
+  r21 = load.m1(r11)
+  p1:un, p2:uc = cmpp.eq(r21, 0)
+  b1 = pbr(@E1)
+  branch(p1, b1)
+  r12 = add(r1, 2)
+  r22 = load.m1(r12)
+  p3:un, p4:uc = cmpp.eq(r22, 0) if p2
+  b2 = pbr(@E2)
+  branch(p3, b2)
+  r13 = add(r1, 3)
+  r23 = load.m1(r13)
+  p5:un, p6:uc = cmpp.eq(r23, 0) if p4
+  b3 = pbr(@E3)
+  branch(p5, b3)
+  halt
+block @E1:
+  halt
+block @E2:
+  halt
+block @E3:
+  halt
+}
+)";
+
+/// Branch op ids in @A of ThreeBranchSrc (1-based op ids from the parser).
+struct Branches {
+  OpId B1, B2, B3;
+};
+
+Branches branchIds(const Function &F) {
+  std::vector<OpId> Ids;
+  for (const Operation &Op : F.block(0).ops())
+    if (Op.isBranch())
+      Ids.push_back(Op.getId());
+  EXPECT_EQ(Ids.size(), 3u);
+  return Branches{Ids[0], Ids[1], Ids[2]};
+}
+
+/// Builds a profile where every branch is reached \p Reached times and
+/// takes with the given per-branch counts.
+ProfileData makeProfile(const Function &F, uint64_t Reached,
+                        std::vector<uint64_t> Taken) {
+  ProfileData P;
+  size_t I = 0;
+  uint64_t Remaining = Reached;
+  for (const Operation &Op : F.block(0).ops()) {
+    if (!Op.isBranch())
+      continue;
+    P.addBranchReached(Op.getId(), Remaining);
+    uint64_t T = I < Taken.size() ? Taken[I] : 0;
+    P.addBranchTaken(Op.getId(), T);
+    Remaining -= T;
+    ++I;
+  }
+  P.addBlockEntry(F.block(0).getId(), Reached);
+  return P;
+}
+
+TEST(MatchTest, BiasedBranchesFormOneBlock) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(ThreeBranchSrc);
+  ProfileData P = makeProfile(*F, 1000, {10, 10, 10});
+  CPROptions Opts;
+  std::vector<CPRBlockInfo> Blocks =
+      matchCPRBlocks(*F, F->block(0), P, Opts);
+  ASSERT_EQ(Blocks.size(), 1u);
+  EXPECT_EQ(Blocks[0].size(), 3u);
+  EXPECT_TRUE(Blocks[0].Transformable);
+  EXPECT_FALSE(Blocks[0].TakenVariation);
+  EXPECT_EQ(Blocks[0].StopReason, MatchStopReason::NoMoreBranches);
+}
+
+TEST(MatchTest, ExitWeightTruncatesGrowth) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(ThreeBranchSrc);
+  // Cumulative exits: 10% after b1, 25% after b2 -> with threshold 0.20
+  // the block must stop before appending b2's successor... precisely:
+  // b1+b2 = 250/1000 > 0.20 stops b2 from joining.
+  ProfileData P = makeProfile(*F, 1000, {100, 150, 10});
+  CPROptions Opts;
+  Opts.ExitWeightThreshold = 0.20;
+  std::vector<CPRBlockInfo> Blocks =
+      matchCPRBlocks(*F, F->block(0), P, Opts);
+  ASSERT_GE(Blocks.size(), 2u);
+  EXPECT_EQ(Blocks[0].size(), 1u);
+  EXPECT_EQ(Blocks[0].StopReason, MatchStopReason::ExitWeight);
+}
+
+TEST(MatchTest, PredictTakenFormsTakenVariation) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(ThreeBranchSrc);
+  // The third branch takes 90% of the block's entries.
+  ProfileData P = makeProfile(*F, 1000, {5, 5, 900});
+  CPROptions Opts;
+  std::vector<CPRBlockInfo> Blocks =
+      matchCPRBlocks(*F, F->block(0), P, Opts);
+  ASSERT_EQ(Blocks.size(), 1u);
+  EXPECT_EQ(Blocks[0].size(), 3u);
+  EXPECT_TRUE(Blocks[0].TakenVariation);
+  EXPECT_TRUE(Blocks[0].Transformable);
+  EXPECT_EQ(Blocks[0].StopReason, MatchStopReason::PredictTaken);
+}
+
+TEST(MatchTest, PredictTakenHasPriorityOverExitWeight) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(ThreeBranchSrc);
+  // b2 exceeds the exit-weight threshold but is itself predicted taken:
+  // the paper's rule appends it anyway and ends the block.
+  ProfileData P = makeProfile(*F, 1000, {5, 800, 10});
+  CPROptions Opts;
+  Opts.ExitWeightThreshold = 0.20;
+  Opts.PredictTakenThreshold = 0.60;
+  std::vector<CPRBlockInfo> Blocks =
+      matchCPRBlocks(*F, F->block(0), P, Opts);
+  ASSERT_GE(Blocks.size(), 1u);
+  EXPECT_EQ(Blocks[0].size(), 2u);
+  EXPECT_TRUE(Blocks[0].TakenVariation);
+  EXPECT_EQ(Blocks[0].StopReason, MatchStopReason::PredictTaken);
+}
+
+TEST(MatchTest, DisabledTakenVariation) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(ThreeBranchSrc);
+  ProfileData P = makeProfile(*F, 1000, {5, 800, 10});
+  CPROptions Opts;
+  Opts.EnableTakenVariation = false;
+  Opts.ExitWeightThreshold = 0.20;
+  std::vector<CPRBlockInfo> Blocks =
+      matchCPRBlocks(*F, F->block(0), P, Opts);
+  for (const CPRBlockInfo &Info : Blocks)
+    EXPECT_FALSE(Info.TakenVariation);
+}
+
+TEST(MatchTest, SizeCapLimitsGrowth) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(ThreeBranchSrc);
+  ProfileData P = makeProfile(*F, 1000, {1, 1, 1});
+  CPROptions Opts;
+  Opts.MaxBranchesPerBlock = 2;
+  std::vector<CPRBlockInfo> Blocks =
+      matchCPRBlocks(*F, F->block(0), P, Opts);
+  ASSERT_GE(Blocks.size(), 2u);
+  EXPECT_EQ(Blocks[0].size(), 2u);
+  EXPECT_EQ(Blocks[0].StopReason, MatchStopReason::SizeCap);
+}
+
+TEST(MatchTest, SuitabilityRequiresUnComputedPredicate) {
+  // The second branch's predicate comes from a wired-or compare: not a
+  // UN-computed predicate, so suitability must stop the block.
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un, p2:uc = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  p3 = mov(0)
+  p3:on = cmpp.eq(r2, 0) if p2
+  b2 = pbr(@X)
+  branch(p3, b2)
+  halt
+block @X:
+  halt
+}
+)");
+  ProfileData P = makeProfile(*F, 1000, {10, 10});
+  CPROptions Opts;
+  std::vector<CPRBlockInfo> Blocks =
+      matchCPRBlocks(*F, F->block(0), P, Opts);
+  ASSERT_GE(Blocks.size(), 1u);
+  EXPECT_EQ(Blocks[0].size(), 1u);
+  EXPECT_EQ(Blocks[0].StopReason, MatchStopReason::Suitability);
+}
+
+TEST(MatchTest, SuitabilityRequiresGuardInSP) {
+  // The second compare is guarded by an unrelated live-in predicate, not
+  // by a member of the suitable-predicate set.
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un, p2:uc = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  p3:un = cmpp.eq(r2, 0) if p9
+  b2 = pbr(@X)
+  branch(p3, b2)
+  halt
+block @X:
+  halt
+}
+)");
+  ProfileData P = makeProfile(*F, 1000, {10, 10});
+  std::vector<CPRBlockInfo> Blocks =
+      matchCPRBlocks(*F, F->block(0), P, CPROptions());
+  ASSERT_GE(Blocks.size(), 1u);
+  EXPECT_EQ(Blocks[0].size(), 1u);
+  EXPECT_EQ(Blocks[0].StopReason, MatchStopReason::Suitability);
+}
+
+TEST(MatchTest, SeparabilityStopsOnDataChain) {
+  // The paper's Section 5.2 example: the second compare's source value
+  // flows (through a store/load pair in one alias class) from code that
+  // depends on the first compare.
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  r21 = load.m1(r1)
+  p1:un, p2:uc = cmpp.eq(r21, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  store.m1(r3, r21) if p2
+  r22 = load.m1(r4)
+  p3:un, p4:uc = cmpp.eq(r22, 0) if p2
+  b2 = pbr(@X)
+  branch(p3, b2)
+  halt
+block @X:
+  halt
+}
+)");
+  ProfileData P;
+  for (const Operation &Op : F->block(0).ops())
+    if (Op.isBranch()) {
+      P.addBranchReached(Op.getId(), 1000);
+      P.addBranchTaken(Op.getId(), 5);
+    }
+  std::vector<CPRBlockInfo> Blocks =
+      matchCPRBlocks(*F, F->block(0), P, CPROptions());
+  ASSERT_GE(Blocks.size(), 1u);
+  EXPECT_EQ(Blocks[0].size(), 1u);
+  EXPECT_EQ(Blocks[0].StopReason, MatchStopReason::Separability);
+}
+
+TEST(MatchTest, UcGuardChainIsIgnorable) {
+  // The pure UC-guard chain (suitability-licensed) must NOT trip
+  // separability: this is the FRP-converted shape.
+  std::unique_ptr<Function> F = parseFunctionOrDie(ThreeBranchSrc);
+  ProfileData P = makeProfile(*F, 1000, {10, 10, 10});
+  std::vector<CPRBlockInfo> Blocks =
+      matchCPRBlocks(*F, F->block(0), P, CPROptions());
+  ASSERT_EQ(Blocks.size(), 1u);
+  EXPECT_EQ(Blocks[0].size(), 3u);
+}
+
+TEST(MatchTest, NeverReachedBranchesStillMatch) {
+  // A zero-entry profile (cold code): heuristics must not divide by zero;
+  // blocks still form structurally.
+  std::unique_ptr<Function> F = parseFunctionOrDie(ThreeBranchSrc);
+  ProfileData P; // empty
+  std::vector<CPRBlockInfo> Blocks =
+      matchCPRBlocks(*F, F->block(0), P, CPROptions());
+  ASSERT_GE(Blocks.size(), 1u);
+  EXPECT_TRUE(Blocks[0].Transformable);
+  (void)branchIds(*F);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+//===- tests/cpr/OffTraceMotionTest.cpp - Motion set tests ----------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+// Direct assertions on the three sets of paper Section 5.4: moved
+// operations (set 1), split operations (set 2), and beneficial sinks
+// (set 3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpr/OffTraceMotion.h"
+
+#include "cpr/Restructure.h"
+#include "interp/Profiler.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+/// Two-branch FRP-converted block with a store trapped between branches
+/// and a pbr feeding each branch.
+const char *Src = R"(
+func @f {
+block @A:
+  r21 = load.m1(r1)
+  p1:un, p2:uc = cmpp.eq(r21, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  store.m2(r5, r21) if p2
+  r22 = load.m1(r2)
+  p3:un, p4:uc = cmpp.lt(r22, 5) if p2
+  b2 = pbr(@X)
+  branch(p3, b2)
+  store.m2(r6, r22) if p4
+  halt
+block @X:
+  halt
+}
+)";
+
+struct Prepared {
+  std::unique_ptr<Function> F;
+  RestructurePlan Plan;
+  MotionStats Stats;
+};
+
+Prepared prepare() {
+  Prepared P;
+  P.F = parseFunctionOrDie(Src);
+  Block &A = P.F->block(0);
+  CPRBlockInfo Info;
+  for (size_t I = 0; I < A.size(); ++I) {
+    if (!A.ops()[I].isBranch())
+      continue;
+    Info.BranchIds.push_back(A.ops()[I].getId());
+    int C = A.lastDefBefore(A.ops()[I].branchPred(), I);
+    Info.CmppIds.push_back(A.ops()[static_cast<size_t>(C)].getId());
+  }
+  Info.Transformable = true;
+  P.Plan = restructureCPRBlock(*P.F, A, Info);
+  P.Stats = moveOffTrace(*P.F, P.Plan);
+  verifyOrDie(*P.F, "after motion");
+  return P;
+}
+
+TEST(OffTraceMotionTest, OriginalComparesAndBranchesMove) {
+  Prepared P = prepare();
+  const Block &A = P.F->block(0);
+  const Block *Comp = P.F->blockById(P.Plan.CompBlock);
+  ASSERT_NE(Comp, nullptr);
+
+  // On-trace: exactly one branch (the bypass) remains.
+  unsigned OnTraceBranches = 0;
+  for (const Operation &Op : A.ops())
+    if (Op.isBranch())
+      ++OnTraceBranches;
+  EXPECT_EQ(OnTraceBranches, 1u);
+  EXPECT_EQ(A.ops()[static_cast<size_t>(
+                        A.indexOfOp(P.Plan.BypassBranchId))]
+                .branchPred(),
+            P.Plan.OffTracePred);
+
+  // Off-trace: both original branches and compares, in order, plus the
+  // trap canary at the end.
+  unsigned CompBranches = 0, CompCmpps = 0;
+  for (const Operation &Op : Comp->ops()) {
+    CompBranches += Op.isBranch();
+    CompCmpps += Op.isCmpp();
+  }
+  EXPECT_EQ(CompBranches, 2u);
+  EXPECT_EQ(CompCmpps, 2u);
+  EXPECT_EQ(Comp->ops().back().getOpcode(), Opcode::Trap);
+}
+
+TEST(OffTraceMotionTest, StoresAreSplit) {
+  Prepared P = prepare();
+  // Only the store trapped *between* the branches moves and splits; the
+  // store after the final branch is merely re-wired in place to the
+  // on-trace FRP.
+  EXPECT_EQ(P.Stats.Split, 1u);
+  // Both now sit after the bypass with the on-trace FRP as guard.
+  const Block &A = P.F->block(0);
+  int BypassIdx = A.indexOfOp(P.Plan.BypassBranchId);
+  unsigned Copies = 0;
+  for (size_t I = static_cast<size_t>(BypassIdx) + 1; I < A.size(); ++I)
+    if (A.ops()[I].isStore()) {
+      ++Copies;
+      EXPECT_EQ(A.ops()[I].getGuard(), P.Plan.OnTracePred);
+    }
+  EXPECT_EQ(Copies, 2u);
+  // Off-trace originals keep their original fall-through predicates.
+  const Block *Comp = P.F->blockById(P.Plan.CompBlock);
+  for (const Operation &Op : Comp->ops())
+    if (Op.isStore()) {
+      EXPECT_NE(Op.getGuard(), P.Plan.OnTracePred);
+    }
+}
+
+TEST(OffTraceMotionTest, PbrsSinkWithTheirBranches) {
+  Prepared P = prepare();
+  const Block *Comp = P.F->blockById(P.Plan.CompBlock);
+  // Each moved branch's BTR is prepared inside the compensation block
+  // (set 3 / forced split).
+  for (size_t I = 0; I < Comp->size(); ++I)
+    if (Comp->ops()[I].isBranch()) {
+      EXPECT_GE(Comp->lastDefBefore(Comp->ops()[I].branchTargetReg(), I),
+                0);
+    }
+}
+
+TEST(OffTraceMotionTest, LookaheadsStayOnTrace) {
+  Prepared P = prepare();
+  const Block &A = P.F->block(0);
+  for (OpId Id : P.Plan.LookaheadIds)
+    EXPECT_GE(A.indexOfOp(Id), 0) << "lookahead moved off-trace";
+  const Block *Comp = P.F->blockById(P.Plan.CompBlock);
+  for (OpId Id : P.Plan.LookaheadIds)
+    EXPECT_LT(Comp->indexOfOp(Id), 0);
+}
+
+TEST(OffTraceMotionTest, BehaviorAcrossAllPaths) {
+  for (int64_t V1 : {0, 3})
+    for (int64_t V2 : {2, 9}) {
+      std::unique_ptr<Function> Base = parseFunctionOrDie(Src);
+      Prepared P = prepare();
+      Memory Mem;
+      Mem.store(100, V1);
+      Mem.store(200, V2);
+      std::vector<RegBinding> Init = {{Reg::gpr(1), 100},
+                                      {Reg::gpr(2), 200},
+                                      {Reg::gpr(5), 300},
+                                      {Reg::gpr(6), 301}};
+      EquivResult E = checkEquivalence(*Base, *P.F, Mem, Init);
+      EXPECT_TRUE(E.Equivalent)
+          << V1 << "," << V2 << ": " << E.Detail;
+    }
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+//===- tests/cpr/RandomProgram.h - Shared random program generator --------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+// Shared between the property tests and debugging tools.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TESTS_CPR_RANDOMPROGRAM_H
+#define TESTS_CPR_RANDOMPROGRAM_H
+
+#include "interp/Profiler.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/RNG.h"
+#include "workloads/Kernels.h"
+
+namespace cpr_test {
+using namespace cpr;
+
+constexpr int64_t DataBase = 1'000'000;
+constexpr int64_t OutBase = 2'000'000;
+
+/// Generates a random, executable loop whose body is one superblock with
+/// RungCount exit branches, assorted arithmetic, predicated (if-converted)
+/// updates, loop-carried registers, and stores.
+KernelProgram makeRandomProgram(uint64_t Seed) {
+  RNG Rng(Seed);
+  KernelProgram P;
+  P.Func = std::make_unique<Function>("rand" + std::to_string(Seed));
+  Function &F = *P.Func;
+
+  unsigned Rungs = 2 + static_cast<unsigned>(Rng.nextBelow(6));
+  unsigned Trips = 8 + static_cast<unsigned>(Rng.nextBelow(40));
+  bool SingleAliasClass = Rng.nextBool(0.3);
+  double Bias = 0.5 + 0.5 * Rng.nextDouble();
+
+  Block &Entry = F.addBlock("Entry");
+  Block &Loop = F.addBlock("Loop");
+  Block &Off = F.addBlock("Off");
+  Block &Exit = F.addBlock("Exit");
+
+  Reg Trip = F.newReg(RegClass::GPR);
+  Reg Cursor = F.newReg(RegClass::GPR);
+  Reg Out = F.newReg(RegClass::GPR);
+  Reg Acc = F.newReg(RegClass::GPR);
+  Reg Carry = F.newReg(RegClass::GPR); // loop-carried scratch value
+  F.observableRegs().push_back(Acc);
+  F.observableRegs().push_back(Carry);
+
+  IRBuilder B(F, Entry);
+  B.emitMovTo(Acc, Operand::imm(1));
+  B.emitMovTo(Carry, Operand::imm(2));
+
+  B.setInsertBlock(Loop);
+  uint8_t LoadClass = SingleAliasClass ? 0 : 1;
+  uint8_t StoreClass = SingleAliasClass ? 0 : 2;
+  for (unsigned J = 0; J < Rungs; ++J) {
+    // Random arithmetic over the accumulator / carry.
+    unsigned Ops = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+    Reg V = Acc;
+    for (unsigned Q = 0; Q < Ops; ++Q) {
+      Opcode Opc = Rng.nextBool(0.5) ? Opcode::Add : Opcode::Xor;
+      V = B.emitArith(Opc, Operand::reg(V),
+                      Rng.nextBool(0.5)
+                          ? Operand::reg(Carry)
+                          : Operand::imm(Rng.nextRange(1, 9)));
+    }
+    if (Rng.nextBool(0.7))
+      B.emitMovTo(Acc, Operand::reg(V));
+    if (Rng.nextBool(0.4))
+      B.emitMovTo(Carry, Operand::reg(V));
+
+    // Occasional store.
+    if (Rng.nextBool(0.7)) {
+      Reg Slot = B.emitArith(Opcode::Add, Operand::reg(Out),
+                             Operand::imm(static_cast<int64_t>(J)));
+      B.emitStore(Slot, Operand::reg(V), StoreClass);
+    }
+
+    // Branch condition from data.
+    Reg Addr = B.emitArith(Opcode::Add, Operand::reg(Cursor),
+                           Operand::imm(static_cast<int64_t>(J)));
+    Reg CondV = B.emitLoad(Addr, LoadClass);
+    int64_t Thr = static_cast<int64_t>(100.0 * (1.0 - Bias));
+    Reg PT = B.emitCmpp1(CompareCond::LT, Operand::reg(CondV),
+                         Operand::imm(Thr), CmppAction::UN);
+    // Occasional if-converted update guarded by the taken predicate.
+    if (Rng.nextBool(0.5))
+      B.emitArithTo(Acc, Opcode::Add, Operand::reg(Acc), Operand::imm(1),
+                    PT);
+    B.emitBranchTo(Off, PT);
+  }
+  B.emitArithTo(Cursor, Opcode::Add, Operand::reg(Cursor),
+                Operand::imm(static_cast<int64_t>(Rungs)));
+  B.emitArithTo(Out, Opcode::Add, Operand::reg(Out),
+                Operand::imm(static_cast<int64_t>(Rungs)));
+  B.emitArithTo(Trip, Opcode::Sub, Operand::reg(Trip), Operand::imm(1));
+  Reg PMore = B.emitCmpp1(CompareCond::GT, Operand::reg(Trip),
+                          Operand::imm(0), CmppAction::UN);
+  B.emitBranchTo(Loop, PMore);
+  B.emitBranchTo(Exit, Reg::truePred());
+
+  // Off-trace path: touch the live state, then resume the loop.
+  B.setInsertBlock(Off);
+  B.emitArithTo(Acc, Opcode::Xor, Operand::reg(Acc), Operand::imm(85));
+  Reg Slot = B.emitArith(Opcode::Add, Operand::reg(Out), Operand::imm(50));
+  B.emitStore(Slot, Operand::reg(Acc), StoreClass);
+  B.emitArithTo(Cursor, Opcode::Add, Operand::reg(Cursor),
+                Operand::imm(static_cast<int64_t>(Rungs)));
+  B.emitArithTo(Out, Opcode::Add, Operand::reg(Out),
+                Operand::imm(static_cast<int64_t>(Rungs)));
+  B.emitArithTo(Trip, Opcode::Sub, Operand::reg(Trip), Operand::imm(1));
+  Reg PMore2 = B.emitCmpp1(CompareCond::GT, Operand::reg(Trip),
+                           Operand::imm(0), CmppAction::UN);
+  B.emitBranchTo(Loop, PMore2);
+  B.emitBranchTo(Exit, Reg::truePred());
+
+  B.setInsertBlock(Exit);
+  B.emitHalt();
+
+  verifyOrDie(F, "random program");
+
+  for (size_t I = 0; I < static_cast<size_t>(Trips) * Rungs + 64; ++I)
+    P.InitMem.store(DataBase + static_cast<int64_t>(I),
+                    Rng.nextRange(0, 99));
+  P.InitRegs = {{Trip, static_cast<int64_t>(Trips)},
+                {Cursor, DataBase},
+                {Out, OutBase}};
+  return P;
+}
+
+
+} // namespace cpr_test
+
+#endif // TESTS_CPR_RANDOMPROGRAM_H

@@ -1,0 +1,200 @@
+//===- tests/cpr/RestructureTest.cpp - ICBM restructure phase tests -------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+// Structural assertions on the code restructure emits: lookahead compares
+// with AC/ON wired targets guarded by the root predicate, bypass branch +
+// compensation block (fall-through variation), re-purposed final branch
+// with inverted final compare sense (taken variation), and re-wiring of
+// original predicates after the bypass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpr/Restructure.h"
+
+#include "cpr/OffTraceMotion.h"
+#include "interp/Profiler.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+const char *TwoBranchSrc = R"(
+func @f {
+block @A:
+  r21 = load.m1(r1)
+  p1:un, p2:uc = cmpp.eq(r21, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  r22 = load.m1(r2)
+  p3:un, p4:uc = cmpp.lt(r22, 5) if p2
+  b2 = pbr(@X)
+  branch(p3, b2)
+  store.m2(r5, r22) if p4
+  halt
+block @X:
+  halt
+}
+)";
+
+CPRBlockInfo makeInfo(const Function &F, bool Taken) {
+  CPRBlockInfo Info;
+  const Block &B = F.block(0);
+  for (size_t I = 0; I < B.size(); ++I) {
+    if (!B.ops()[I].isBranch())
+      continue;
+    Info.BranchIds.push_back(B.ops()[I].getId());
+    int C = B.lastDefBefore(B.ops()[I].branchPred(), I);
+    Info.CmppIds.push_back(B.ops()[static_cast<size_t>(C)].getId());
+  }
+  Info.TakenVariation = Taken;
+  Info.Transformable = true;
+  return Info;
+}
+
+TEST(RestructureTest, FallThroughVariationStructure) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(TwoBranchSrc);
+  Block &A = F->block(0);
+  CPRBlockInfo Info = makeInfo(*F, /*Taken=*/false);
+  RestructurePlan Plan = restructureCPRBlock(*F, A, Info);
+  verifyOrDie(*F, "after restructure");
+
+  // Two lookaheads inserted, one per original compare.
+  ASSERT_EQ(Plan.LookaheadIds.size(), 2u);
+  for (size_t K = 0; K < 2; ++K) {
+    int LI = A.indexOfOp(Plan.LookaheadIds[K]);
+    ASSERT_GE(LI, 0);
+    const Operation &Look = A.ops()[static_cast<size_t>(LI)];
+    ASSERT_TRUE(Look.isCmpp());
+    // AC target on the on-trace FRP, ON target on the off-trace FRP,
+    // guarded by the root predicate.
+    ASSERT_EQ(Look.defs().size(), 2u);
+    EXPECT_EQ(Look.defs()[0].R, Plan.OnTracePred);
+    EXPECT_EQ(Look.defs()[0].Act, CmppAction::AC);
+    EXPECT_EQ(Look.defs()[1].R, Plan.OffTracePred);
+    EXPECT_EQ(Look.defs()[1].Act, CmppAction::ON);
+    EXPECT_EQ(Look.getGuard(), Plan.RootPred);
+    // Each lookahead directly follows its original compare and mirrors
+    // its condition and sources.
+    const Operation &Orig = A.ops()[static_cast<size_t>(LI) - 1];
+    EXPECT_EQ(Orig.getId(), Info.CmppIds[K]);
+    EXPECT_EQ(Look.getCond(), Orig.getCond());
+    EXPECT_EQ(Look.srcs(), Orig.srcs());
+  }
+
+  // Bypass branch after the final original branch, reading the off-trace
+  // FRP and targeting the compensation block.
+  int BI = A.indexOfOp(Plan.BypassBranchId);
+  ASSERT_GE(BI, 0);
+  const Operation &Bypass = A.ops()[static_cast<size_t>(BI)];
+  EXPECT_EQ(Bypass.branchPred(), Plan.OffTracePred);
+  ASSERT_NE(Plan.CompBlock, InvalidBlockId);
+  const Block *Comp = F->blockById(Plan.CompBlock);
+  ASSERT_NE(Comp, nullptr);
+  EXPECT_TRUE(Comp->isCompensation());
+  // Compensation block currently holds only the self-check trap.
+  ASSERT_EQ(Comp->size(), 1u);
+  EXPECT_EQ(Comp->ops()[0].getOpcode(), Opcode::Trap);
+
+  // Re-wiring: the store after the bypass now reads the on-trace FRP.
+  bool FoundStore = false;
+  for (size_t I = static_cast<size_t>(BI) + 1; I < A.size(); ++I)
+    if (A.ops()[I].isStore()) {
+      FoundStore = true;
+      EXPECT_EQ(A.ops()[I].getGuard(), Plan.OnTracePred);
+    }
+  EXPECT_TRUE(FoundStore);
+}
+
+TEST(RestructureTest, TakenVariationStructure) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(TwoBranchSrc);
+  Block &A = F->block(0);
+  CPRBlockInfo Info = makeInfo(*F, /*Taken=*/true);
+  OpId FinalBranch = Info.BranchIds.back();
+  RestructurePlan Plan = restructureCPRBlock(*F, A, Info);
+  verifyOrDie(*F, "after restructure (taken)");
+
+  // The final original branch is the bypass; its predicate was replaced
+  // by the on-trace FRP; no compensation block exists.
+  EXPECT_EQ(Plan.BypassBranchId, FinalBranch);
+  EXPECT_EQ(Plan.CompBlock, InvalidBlockId);
+  int BI = A.indexOfOp(FinalBranch);
+  ASSERT_GE(BI, 0);
+  EXPECT_EQ(A.ops()[static_cast<size_t>(BI)].branchPred(),
+            Plan.OnTracePred);
+
+  // The final lookahead's sense is inverted (lt -> ge); earlier ones are
+  // not. No off-trace FRP targets exist.
+  ASSERT_EQ(Plan.LookaheadIds.size(), 2u);
+  const Operation &L0 =
+      A.ops()[static_cast<size_t>(A.indexOfOp(Plan.LookaheadIds[0]))];
+  const Operation &L1 =
+      A.ops()[static_cast<size_t>(A.indexOfOp(Plan.LookaheadIds[1]))];
+  EXPECT_EQ(L0.getCond(), CompareCond::EQ);
+  EXPECT_EQ(L1.getCond(), CompareCond::GE); // inverted from lt
+  EXPECT_EQ(L0.defs().size(), 1u);
+  EXPECT_EQ(L1.defs().size(), 1u);
+  EXPECT_EQ(L0.defs()[0].Act, CmppAction::AC);
+}
+
+TEST(RestructureTest, OnTraceFrpInitializedFromRoot) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(TwoBranchSrc);
+  Block &A = F->block(0);
+  CPRBlockInfo Info = makeInfo(*F, false);
+  RestructurePlan Plan = restructureCPRBlock(*F, A, Info);
+
+  // Find the initializing movs: off-trace = 0, on-trace = root (imm 1
+  // when the root is the true predicate).
+  int OffInit = -1, OnInit = -1;
+  for (size_t I = 0; I < A.size(); ++I) {
+    const Operation &Op = A.ops()[I];
+    if (Op.getOpcode() != Opcode::Mov || Op.defs().empty())
+      continue;
+    if (Op.defs()[0].R == Plan.OffTracePred)
+      OffInit = static_cast<int>(I);
+    if (Op.defs()[0].R == Plan.OnTracePred)
+      OnInit = static_cast<int>(I);
+  }
+  ASSERT_GE(OffInit, 0);
+  ASSERT_GE(OnInit, 0);
+  const Operation &Off = A.ops()[static_cast<size_t>(OffInit)];
+  const Operation &On = A.ops()[static_cast<size_t>(OnInit)];
+  EXPECT_EQ(Off.srcs()[0].getImm(), 0);
+  ASSERT_TRUE(Plan.RootPred.isTruePred());
+  EXPECT_EQ(On.srcs()[0].getImm(), 1);
+  // Both initializers precede the first lookahead.
+  EXPECT_LT(OnInit, A.indexOfOp(Plan.LookaheadIds[0]));
+}
+
+TEST(RestructureTest, FullTransformOnThisShapeIsEquivalent) {
+  // Drive restructure + motion end to end on the two-branch block and
+  // execute both versions.
+  for (bool Taken : {false, true}) {
+    std::unique_ptr<Function> F = parseFunctionOrDie(TwoBranchSrc);
+    std::unique_ptr<Function> Base = F->clone();
+    Block &A = F->block(0);
+    CPRBlockInfo Info = makeInfo(*F, Taken);
+    RestructurePlan Plan = restructureCPRBlock(*F, A, Info);
+    moveOffTrace(*F, Plan);
+    verifyOrDie(*F, "after motion");
+
+    for (int64_t V1 : {0, 7})
+      for (int64_t V2 : {3, 9}) {
+        Memory Mem;
+        Mem.store(100, V1);
+        Mem.store(200, V2);
+        std::vector<RegBinding> Init = {{Reg::gpr(1), 100},
+                                        {Reg::gpr(2), 200},
+                                        {Reg::gpr(5), 300}};
+        EquivResult E = checkEquivalence(*Base, *F, Mem, Init);
+        EXPECT_TRUE(E.Equivalent)
+            << "taken=" << Taken << " v1=" << V1 << " v2=" << V2 << ": "
+            << E.Detail;
+      }
+  }
+}
+
+} // namespace

@@ -1,0 +1,238 @@
+//===- tests/cpr/StrcpyWalkthroughTest.cpp - Paper Section 6 example ------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+// Drives the paper's worked example (Figures 6-7): the unrolled strcpy
+// superblock through FRP conversion, predicate speculation, match,
+// restructure, off-trace motion, and DCE, asserting the structural
+// properties the paper calls out at each stage and full observational
+// equivalence at the end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepGraph.h"
+#include "cpr/ControlCPR.h"
+#include "cpr/PredicateSpeculation.h"
+#include "interp/Profiler.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "pipeline/CompilerPipeline.h"
+#include "regions/FRPConversion.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+/// Counts operations of \p Opc in \p B.
+size_t countOps(const Block &B, Opcode Opc) {
+  size_t N = 0;
+  for (const Operation &Op : B.ops())
+    if (Op.getOpcode() == Opc)
+      ++N;
+  return N;
+}
+
+int regionHeight(const Function &F, const Block &B) {
+  RegionPQS PQS(F, B);
+  Liveness LV(F);
+  MachineDesc MD = MachineDesc::infinite();
+  DepGraph DG(F, B, MD, PQS, LV);
+  return DG.criticalPathLength();
+}
+
+TEST(StrcpyWalkthrough, BaselineShapeMatchesFigure6b) {
+  KernelProgram P = buildStrcpyKernel(/*Unroll=*/4, /*StringLen=*/64);
+  Block &Loop = *P.Func->blockByName("Loop");
+  // Figure 6(b): four branches, four compares, four stores, four loads in
+  // the unrolled loop body.
+  EXPECT_EQ(countOps(Loop, Opcode::Branch), 4u);
+  EXPECT_EQ(countOps(Loop, Opcode::Cmpp), 4u);
+  EXPECT_EQ(countOps(Loop, Opcode::Store), 4u);
+  EXPECT_EQ(countOps(Loop, Opcode::Load), 4u);
+  EXPECT_EQ(countOps(Loop, Opcode::Pbr), 4u);
+}
+
+TEST(StrcpyWalkthrough, FrpConversionMakesBranchesDisjoint) {
+  KernelProgram P = buildStrcpyKernel(4, 64);
+  Function &F = *P.Func;
+  Block &Loop = *F.blockByName("Loop");
+
+  FRPConversionStats Stats = convertToFRP(F, Loop);
+  verifyOrDie(F, "after FRP conversion");
+  EXPECT_EQ(Stats.BranchesConverted, 4u);
+  // The first three compares gain UC fall-through destinations; the final
+  // (backedge) compare does not need one.
+  EXPECT_EQ(Stats.CmppDestsAdded, 3u);
+
+  // All branch predicates must now be pairwise disjoint.
+  RegionPQS PQS(F, Loop);
+  std::vector<size_t> BranchIdx;
+  for (size_t I = 0; I < Loop.size(); ++I)
+    if (Loop.ops()[I].isBranch())
+      BranchIdx.push_back(I);
+  ASSERT_EQ(BranchIdx.size(), 4u);
+  for (size_t I = 0; I < BranchIdx.size(); ++I)
+    for (size_t J = I + 1; J < BranchIdx.size(); ++J)
+      EXPECT_TRUE(PQS.disjoint(PQS.takenExpr(BranchIdx[I]),
+                               PQS.takenExpr(BranchIdx[J])))
+          << "branches " << I << " and " << J << " not disjoint";
+}
+
+TEST(StrcpyWalkthrough, FrpPlusSpeculationPreservesBehavior) {
+  KernelProgram P = buildStrcpyKernel(4, 128);
+  std::unique_ptr<Function> Baseline = P.Func->clone();
+  Function &F = *P.Func;
+  Block &Loop = *F.blockByName("Loop");
+
+  convertToFRP(F, Loop);
+  SpeculationStats SS = speculatePredicates(F, Loop);
+  verifyOrDie(F, "after speculation");
+  EXPECT_GT(SS.Promoted, 0u);
+
+  EquivResult E = checkEquivalence(*Baseline, F, P.InitMem, P.InitRegs);
+  EXPECT_TRUE(E.Equivalent) << E.Detail;
+}
+
+TEST(StrcpyWalkthrough, SpeculationKeepsStoresGuarded) {
+  KernelProgram P = buildStrcpyKernel(4, 64);
+  Function &F = *P.Func;
+  Block &Loop = *F.blockByName("Loop");
+  convertToFRP(F, Loop);
+  speculatePredicates(F, Loop);
+  // The paper's example: stores dependent on prior branches keep (are
+  // demoted back to) their fall-through predicates; address arithmetic
+  // and loads are promoted to true.
+  size_t GuardedStores = 0, UnguardedLoads = 0;
+  for (const Operation &Op : Loop.ops()) {
+    if (Op.isStore() && !Op.getGuard().isTruePred())
+      ++GuardedStores;
+    if (Op.isLoad() && Op.getGuard().isTruePred())
+      ++UnguardedLoads;
+  }
+  EXPECT_EQ(GuardedStores, 3u); // stores 2..4 of the unrolled body
+  EXPECT_EQ(UnguardedLoads, 4u);
+}
+
+TEST(StrcpyWalkthrough, MatchFormsExpectedBlocks) {
+  KernelProgram P = buildStrcpyKernel(4, 4096);
+  Function &F = *P.Func;
+  Block &Loop = *F.blockByName("Loop");
+
+  Memory Mem = P.InitMem;
+  ProfileData Profile = profileRun(F, Mem, P.InitRegs);
+
+  convertToFRP(F, Loop);
+  speculatePredicates(F, Loop);
+
+  CPROptions Opts;
+  std::vector<CPRBlockInfo> Blocks = matchCPRBlocks(F, Loop, Profile, Opts);
+  ASSERT_FALSE(Blocks.empty());
+
+  // With a long string the three early-exit branches are rarely taken and
+  // the backedge is predominantly taken: match should cover all four
+  // branches with one likely-taken CPR block.
+  EXPECT_EQ(Blocks.size(), 1u);
+  EXPECT_EQ(Blocks[0].size(), 4u);
+  EXPECT_TRUE(Blocks[0].TakenVariation);
+  EXPECT_TRUE(Blocks[0].Transformable);
+  EXPECT_EQ(Blocks[0].StopReason, MatchStopReason::PredictTaken);
+}
+
+TEST(StrcpyWalkthrough, AliasedStoresBreakSeparability) {
+  // Section 5.2 / Section 6: if the compiler cannot prove the copied-to
+  // array distinct from the copied-from array, the load feeding the next
+  // compare depends on the previous store and separability must fail.
+  KernelProgram P = buildStrcpyKernel(4, 4096);
+  Function &F = *P.Func;
+  Block &Loop = *F.blockByName("Loop");
+  // Force all memory into one alias class.
+  for (Operation &Op : Loop.ops())
+    if (opcodeIsMemory(Op.getOpcode()))
+      Op.setAliasClass(0);
+
+  Memory Mem = P.InitMem;
+  ProfileData Profile = profileRun(F, Mem, P.InitRegs);
+  convertToFRP(F, Loop);
+  speculatePredicates(F, Loop);
+
+  CPROptions Opts;
+  std::vector<CPRBlockInfo> Blocks = matchCPRBlocks(F, Loop, Profile, Opts);
+  ASSERT_FALSE(Blocks.empty());
+  // No CPR block may span a store -> load dependence: every multi-branch
+  // growth attempt stops at separability.
+  for (const CPRBlockInfo &Info : Blocks)
+    EXPECT_LE(Info.size(), 1u) << "separability failed to stop growth";
+  bool SawSeparabilityStop = false;
+  for (const CPRBlockInfo &Info : Blocks)
+    if (Info.StopReason == MatchStopReason::Separability)
+      SawSeparabilityStop = true;
+  EXPECT_TRUE(SawSeparabilityStop);
+}
+
+TEST(StrcpyWalkthrough, FullTransformIsEquivalentAndIrredundant) {
+  for (unsigned Unroll : {2u, 4u, 8u, 16u}) {
+    SCOPED_TRACE("unroll " + std::to_string(Unroll));
+    KernelProgram P = buildStrcpyKernel(Unroll, 2048);
+    PipelineOptions Opts;
+    PipelineResult R = runPipeline(P, Opts); // aborts on non-equivalence
+
+    // ICBM must fire.
+    EXPECT_GE(R.CPR.CPRBlocksTransformed, 1u);
+
+    // Irredundance: the dynamic operation count must not grow (the paper's
+    // central claim for ICBM), and dynamic branches must drop sharply.
+    EXPECT_LE(R.dynOpRatio(), 1.001);
+    EXPECT_LT(R.dynBranchRatio(), 0.7);
+
+    // Static code grows (compensation blocks) but stays bounded.
+    EXPECT_GE(R.staticOpRatio(), 1.0);
+    EXPECT_LT(R.staticOpRatio(), 2.0);
+  }
+}
+
+TEST(StrcpyWalkthrough, HeightIsReduced) {
+  KernelProgram P = buildStrcpyKernel(4, 4096);
+  std::unique_ptr<Function> Baseline = P.Func->clone();
+
+  Memory Mem = P.InitMem;
+  ProfileData Profile = profileRun(*Baseline, Mem, P.InitRegs);
+  CPROptions Opts;
+  std::unique_ptr<Function> Treated =
+      applyControlCPR(*Baseline, Profile, Opts);
+
+  int HBase = regionHeight(*Baseline, *Baseline->blockByName("Loop"));
+  int HTreated = regionHeight(*Treated, *Treated->blockByName("Loop"));
+  // Paper Section 6: dependence height through the loop drops (8 -> 7 for
+  // their latencies; the shape, not the absolute value, is asserted).
+  EXPECT_LT(HTreated, HBase);
+}
+
+TEST(StrcpyWalkthrough, TransformedOnTraceHasOneExitBranchPerCPRBlock) {
+  KernelProgram P = buildStrcpyKernel(4, 4096);
+  std::unique_ptr<Function> Baseline = P.Func->clone();
+  Memory Mem = P.InitMem;
+  ProfileData Profile = profileRun(*Baseline, Mem, P.InitRegs);
+  CPRResult CR;
+  std::unique_ptr<Function> Treated =
+      applyControlCPR(*Baseline, Profile, CPROptions(), &CR);
+
+  // One likely-taken CPR block covering all four branches: the on-trace
+  // loop body ends with a single (bypass = backedge) branch.
+  ASSERT_EQ(CR.CPRBlocksTransformed, 1u);
+  EXPECT_EQ(CR.TakenVariants, 1u);
+  const Block &Loop = *Treated->blockByName("Loop");
+  // On-trace = ops up to and including the bypass branch. The taken
+  // variation keeps the original branches in the tail; count branches
+  // before the first branch (the bypass) to check the on-trace region.
+  size_t FirstBranch = 0;
+  while (FirstBranch < Loop.size() && !Loop.ops()[FirstBranch].isBranch())
+    ++FirstBranch;
+  ASSERT_LT(FirstBranch, Loop.size());
+  // Everything before the bypass is branch-free on-trace code.
+  for (size_t I = 0; I < FirstBranch; ++I)
+    EXPECT_FALSE(Loop.ops()[I].isBranch());
+}
+
+} // namespace

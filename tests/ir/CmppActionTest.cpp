@@ -1,0 +1,160 @@
+//===- tests/ir/CmppActionTest.cpp - Table 1 semantics --------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+// Exhaustively checks cmpp destination-action semantics against Table 1 of
+// the paper, plus the algebraic properties (wired-write commutativity) the
+// scheduler and ICBM rely on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CmppAction.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+// Table 1 of the paper. Rows: (guard, cmp). Columns: un uc on oc an ac.
+// Entry: -1 = untouched, 0/1 = value written.
+struct Table1Row {
+  bool Guard;
+  bool Cmp;
+  int Expected[6]; // UN, UC, ON, OC, AN, AC
+};
+
+constexpr Table1Row Table1[] = {
+    //            un  uc  on  oc  an  ac
+    {false, false, {0, 0, -1, -1, -1, -1}},
+    {false, true, {0, 0, -1, -1, -1, -1}},
+    {true, false, {0, 1, -1, 1, 0, -1}},
+    {true, true, {1, 0, 1, -1, -1, 0}},
+};
+
+constexpr CmppAction AllActions[6] = {CmppAction::UN, CmppAction::UC,
+                                      CmppAction::ON, CmppAction::OC,
+                                      CmppAction::AN, CmppAction::AC};
+
+TEST(CmppActionTest, MatchesPaperTable1Exactly) {
+  for (const Table1Row &Row : Table1) {
+    for (int Col = 0; Col < 6; ++Col) {
+      std::optional<bool> R =
+          evalCmppAction(AllActions[Col], Row.Guard, Row.Cmp);
+      SCOPED_TRACE(std::string("action=") + cmppActionName(AllActions[Col]) +
+                   " guard=" + std::to_string(Row.Guard) +
+                   " cmp=" + std::to_string(Row.Cmp));
+      if (Row.Expected[Col] < 0) {
+        EXPECT_FALSE(R.has_value()) << "destination should be untouched";
+      } else {
+        ASSERT_TRUE(R.has_value()) << "destination should be written";
+        EXPECT_EQ(*R, Row.Expected[Col] != 0);
+      }
+    }
+  }
+}
+
+TEST(CmppActionTest, UnconditionalTargetsAlwaysWrite) {
+  for (bool G : {false, true})
+    for (bool C : {false, true}) {
+      EXPECT_TRUE(evalCmppAction(CmppAction::UN, G, C).has_value());
+      EXPECT_TRUE(evalCmppAction(CmppAction::UC, G, C).has_value());
+    }
+}
+
+TEST(CmppActionTest, WiredOrWritesOnlyTrue) {
+  for (CmppAction A : {CmppAction::ON, CmppAction::OC})
+    for (bool G : {false, true})
+      for (bool C : {false, true}) {
+        std::optional<bool> R = evalCmppAction(A, G, C);
+        if (R) {
+          EXPECT_TRUE(*R) << "wired-or may only deposit true";
+        }
+      }
+}
+
+TEST(CmppActionTest, WiredAndWritesOnlyFalse) {
+  for (CmppAction A : {CmppAction::AN, CmppAction::AC})
+    for (bool G : {false, true})
+      for (bool C : {false, true}) {
+        std::optional<bool> R = evalCmppAction(A, G, C);
+        if (R) {
+          EXPECT_FALSE(*R) << "wired-and may only deposit false";
+        }
+      }
+}
+
+/// Simulates a sequence of wired writes applied to an initial value.
+bool applySequence(bool Init, const std::vector<std::pair<bool, bool>> &Writes,
+                   CmppAction Act) {
+  bool V = Init;
+  for (auto [G, C] : Writes) {
+    std::optional<bool> W = evalCmppAction(Act, G, C);
+    if (W)
+      V = *W;
+  }
+  return V;
+}
+
+TEST(CmppActionTest, WiredWritesCommute) {
+  // Any permutation of wired writes to one register yields the same final
+  // value -- the property that lets the scheduler treat them as unordered.
+  for (CmppAction Act : {CmppAction::ON, CmppAction::OC, CmppAction::AN,
+                         CmppAction::AC}) {
+    for (int Mask = 0; Mask < 16; ++Mask) {
+      std::vector<std::pair<bool, bool>> Writes = {
+          {(Mask & 1) != 0, (Mask & 2) != 0},
+          {(Mask & 4) != 0, (Mask & 8) != 0},
+      };
+      for (bool Init : {false, true}) {
+        bool Fwd = applySequence(Init, Writes, Act);
+        std::swap(Writes[0], Writes[1]);
+        bool Rev = applySequence(Init, Writes, Act);
+        std::swap(Writes[0], Writes[1]);
+        EXPECT_EQ(Fwd, Rev)
+            << "action " << cmppActionName(Act) << " mask " << Mask;
+      }
+    }
+  }
+}
+
+TEST(CmppActionTest, DisjunctionAccumulation) {
+  // Computing c1 | c2 | c3 by wired-or into a zero-initialized register,
+  // as the off-trace FRP evaluation does.
+  for (int Mask = 0; Mask < 8; ++Mask) {
+    bool C1 = Mask & 1, C2 = Mask & 2, C3 = Mask & 4;
+    bool V = false; // initialized to 0
+    for (bool C : {C1, C2, C3}) {
+      std::optional<bool> W = evalCmppAction(CmppAction::ON, true, C);
+      if (W)
+        V = *W;
+    }
+    EXPECT_EQ(V, C1 || C2 || C3);
+  }
+}
+
+TEST(CmppActionTest, ConjunctionAccumulation) {
+  // Computing !c1 & !c2 by wired-and (AC) into a register initialized to
+  // the root predicate, as the on-trace FRP evaluation does.
+  for (int Mask = 0; Mask < 8; ++Mask) {
+    bool Root = Mask & 1, C1 = Mask & 2, C2 = Mask & 4;
+    bool V = Root;
+    for (bool C : {C1, C2}) {
+      std::optional<bool> W = evalCmppAction(CmppAction::AC, true, C);
+      if (W)
+        V = *W;
+    }
+    EXPECT_EQ(V, Root && !C1 && !C2);
+  }
+}
+
+TEST(CmppActionTest, NameRoundTrip) {
+  for (CmppAction A : AllActions) {
+    auto P = parseCmppAction(cmppActionName(A));
+    ASSERT_TRUE(P.has_value());
+    EXPECT_EQ(*P, A);
+  }
+  EXPECT_FALSE(parseCmppAction("xx").has_value());
+  EXPECT_FALSE(parseCmppAction("none").has_value());
+}
+
+} // namespace

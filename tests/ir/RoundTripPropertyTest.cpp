@@ -1,0 +1,64 @@
+//===- tests/ir/RoundTripPropertyTest.cpp - Random round trips ------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+// Property: for random generated programs, print -> parse -> print is a
+// fixed point, the parsed program verifies, and it behaves identically to
+// the original in the interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Profiler.h"
+#include "pipeline/CompilerPipeline.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "../cpr/RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+class RoundTripPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripPropertyTest, PrintParsePrintIsFixedPoint) {
+  KernelProgram P = cpr_test::makeRandomProgram(GetParam());
+  std::string Once = printFunction(*P.Func);
+  ParseResult R = parseFunction(Once);
+  ASSERT_TRUE(R) << "seed " << GetParam() << ": " << R.Error << "\n"
+                 << Once;
+  EXPECT_TRUE(verifyFunction(*R.Func).empty());
+  EXPECT_EQ(printFunction(*R.Func), Once);
+}
+
+TEST_P(RoundTripPropertyTest, ParsedProgramBehavesIdentically) {
+  KernelProgram P = cpr_test::makeRandomProgram(GetParam());
+  std::string Text = printFunction(*P.Func);
+  ParseResult R = parseFunction(Text);
+  ASSERT_TRUE(R);
+  EquivResult E =
+      checkEquivalence(*P.Func, *R.Func, P.InitMem, P.InitRegs);
+  EXPECT_TRUE(E.Equivalent) << "seed " << GetParam() << ": " << E.Detail;
+}
+
+TEST_P(RoundTripPropertyTest, TransformedProgramsAlsoRoundTrip) {
+  // The ICBM output uses the full vocabulary (wired actions, frp markers,
+  // compensation blocks): it must survive the text format too.
+  KernelProgram P = cpr_test::makeRandomProgram(GetParam());
+  Memory Mem = P.InitMem;
+  ProfileData Prof = profileRun(*P.Func, Mem, P.InitRegs);
+  std::unique_ptr<Function> T =
+      applyControlCPR(*P.Func, Prof, CPROptions());
+  std::string Once = printFunction(*T);
+  ParseResult R = parseFunction(Once);
+  ASSERT_TRUE(R) << "seed " << GetParam() << ": " << R.Error;
+  EXPECT_EQ(printFunction(*R.Func), Once);
+  EquivResult E = checkEquivalence(*T, *R.Func, P.InitMem, P.InitRegs);
+  EXPECT_TRUE(E.Equivalent) << "seed " << GetParam() << ": " << E.Detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripPropertyTest,
+                         ::testing::Range<uint64_t>(100, 130));
+
+} // namespace

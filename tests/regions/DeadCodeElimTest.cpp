@@ -1,0 +1,195 @@
+//===- tests/regions/DeadCodeElimTest.cpp - DCE tests ---------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regions/DeadCodeElim.h"
+
+#include "interp/Profiler.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+TEST(DeadCodeElimTest, RemovesUnusedArithmetic) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+  observable r9
+block @A:
+  r1 = add(r8, 1)
+  r2 = add(r1, 1)
+  r9 = mov(5)
+  halt
+}
+)");
+  DCEStats S = eliminateDeadCode(*F);
+  EXPECT_EQ(S.OpsRemoved, 2u);
+  EXPECT_EQ(F->block(0).size(), 2u);
+  verifyOrDie(*F, "after DCE");
+}
+
+TEST(DeadCodeElimTest, KeepsStoresBranchesAndInputsOfKeptOps) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  r1 = add(r8, 1)
+  store(r1, r1)
+  p1:un = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  halt
+block @X:
+  halt
+}
+)");
+  DCEStats S = eliminateDeadCode(*F);
+  EXPECT_EQ(S.OpsRemoved, 0u);
+}
+
+TEST(DeadCodeElimTest, DropsDeadCmppDestination) {
+  // The paper's example: after re-wiring, a compare's UC destination goes
+  // unused; DCE removes the destination slot but keeps the compare.
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un, p2:uc = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  halt
+block @X:
+  halt
+}
+)");
+  DCEStats S = eliminateDeadCode(*F);
+  EXPECT_EQ(S.DestsRemoved, 1u);
+  const Operation &Cmpp = F->block(0).ops()[0];
+  ASSERT_EQ(Cmpp.defs().size(), 1u);
+  EXPECT_EQ(Cmpp.defs()[0].Act, CmppAction::UN);
+  verifyOrDie(*F, "after DCE");
+}
+
+TEST(DeadCodeElimTest, RemovesFullyDeadCompare) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un, p2:uc = cmpp.eq(r1, 0)
+  halt
+}
+)");
+  DCEStats S = eliminateDeadCode(*F);
+  EXPECT_EQ(S.OpsRemoved, 1u);
+  EXPECT_EQ(F->block(0).size(), 1u);
+}
+
+TEST(DeadCodeElimTest, CascadingRemoval) {
+  // A dead chain: the whole thing disappears across sweeps.
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  r1 = mov(1)
+  r2 = add(r1, 1)
+  r3 = add(r2, 1)
+  r4 = add(r3, 1)
+  halt
+}
+)");
+  DCEStats S = eliminateDeadCode(*F);
+  EXPECT_EQ(S.OpsRemoved, 4u);
+}
+
+TEST(DeadCodeElimTest, ObservableKeepsChainAlive) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+  observable r4
+block @A:
+  r1 = mov(1)
+  r2 = add(r1, 1)
+  r3 = add(r2, 1)
+  r4 = add(r3, 1)
+  halt
+}
+)");
+  DCEStats S = eliminateDeadCode(*F);
+  EXPECT_EQ(S.OpsRemoved, 0u);
+}
+
+TEST(DeadCodeElimTest, GuardUseKeepsPredicateAlive) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un = cmpp.eq(r1, 0)
+  store(r2, 7) if p1
+  halt
+}
+)");
+  DCEStats S = eliminateDeadCode(*F);
+  EXPECT_EQ(S.OpsRemoved, 0u);
+}
+
+TEST(DeadCodeElimTest, PredicatedDeadDefStillRemovable) {
+  // A guarded def whose value is never read is dead even though the def
+  // is conditional.
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un = cmpp.eq(r1, 0)
+  r5 = mov(3) if p1
+  store(r2, 7) if p1
+  halt
+}
+)");
+  DCEStats S = eliminateDeadCode(*F);
+  EXPECT_EQ(S.OpsRemoved, 1u);
+}
+
+TEST(DeadCodeElimTest, PreservesBehaviorOnKernel) {
+  // DCE on live code must be a no-op behaviorally.
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+  observable r5
+block @A:
+  r5 = mov(0)
+  r6 = mov(99)
+  p1:un, p2:uc = cmpp.lt(r1, 10)
+  r5 = add(r5, 3) if p1
+  r5 = add(r5, 5) if p2
+  r7 = add(r6, 1)
+  halt
+}
+)");
+  std::unique_ptr<Function> Base = F->clone();
+  eliminateDeadCode(*F);
+  for (int64_t V : {5, 15}) {
+    Memory Mem;
+    EquivResult E =
+        checkEquivalence(*Base, *F, Mem, {{Reg::gpr(1), V}});
+    EXPECT_TRUE(E.Equivalent) << E.Detail;
+  }
+}
+
+TEST(DeadCodeElimTest, Idempotent) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  r1 = mov(1)
+  r2 = add(r1, 1)
+  p1:un, p2:uc = cmpp.eq(r2, 0)
+  store(r9, 1) if p1
+  halt
+}
+)");
+  eliminateDeadCode(*F);
+  std::string Once = printFunction(*F);
+  DCEStats Second = eliminateDeadCode(*F);
+  EXPECT_EQ(Second.OpsRemoved, 0u);
+  EXPECT_EQ(Second.DestsRemoved, 0u);
+  EXPECT_EQ(printFunction(*F), Once);
+}
+
+} // namespace

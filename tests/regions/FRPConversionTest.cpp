@@ -1,0 +1,212 @@
+//===- tests/regions/FRPConversionTest.cpp - FRP conversion tests ---------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regions/FRPConversion.h"
+
+#include "analysis/PQS.h"
+#include "interp/Profiler.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+TEST(FRPConversionTest, GuardsBelowBranchBecomePathPredicates) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  r2 = add(r9, 1)
+  store(r2, r2)
+  halt
+block @X:
+  halt
+}
+)");
+  Block &A = F->block(0);
+  FRPConversionStats Stats = convertToFRP(*F, A);
+  verifyOrDie(*F, "after conversion");
+  EXPECT_EQ(Stats.BranchesConverted, 1u);
+  EXPECT_EQ(Stats.CmppDestsAdded, 1u);
+  EXPECT_EQ(Stats.GuardsRewritten, 3u); // add, store, halt
+  EXPECT_EQ(Stats.MaterializedConjunctions, 0u);
+
+  // The compare gained a UC destination; the ops below the branch carry
+  // it as a positional guard.
+  const Operation &Cmpp = A.ops()[0];
+  ASSERT_EQ(Cmpp.defs().size(), 2u);
+  Reg Fall = Cmpp.defs()[1].R;
+  EXPECT_EQ(Cmpp.defs()[1].Act, CmppAction::UC);
+  for (size_t I = 3; I < A.size(); ++I) {
+    EXPECT_EQ(A.ops()[I].getGuard(), Fall);
+    EXPECT_TRUE(A.ops()[I].isFrpGuard());
+  }
+}
+
+TEST(FRPConversionTest, AlreadyRefinedGuardsAreKept) {
+  // An op whose guard already implies the position (classic if-converted
+  // code whose compare sits on the same path) is left untouched: no
+  // conjunction movs.
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un, p2:uc = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  p3:un = cmpp.eq(r2, 5) if p2
+  r4 = add(r9, 1) if p3
+  halt
+block @X:
+  halt
+}
+)");
+  Block &A = F->block(0);
+  size_t Before = A.size();
+  FRPConversionStats Stats = convertToFRP(*F, A);
+  EXPECT_EQ(Stats.MaterializedConjunctions, 0u);
+  EXPECT_EQ(A.size(), Before); // no ops inserted
+  // The if-converted add keeps p3 (p3 implies the path).
+  EXPECT_EQ(A.ops()[3].getGuard(), Reg::pred(2));
+  EXPECT_EQ(A.ops()[4].getGuard(), Reg::pred(3));
+  EXPECT_FALSE(A.ops()[4].isFrpGuard());
+}
+
+TEST(FRPConversionTest, UnrelatedGuardIsMaterialized) {
+  // A guard unrelated to the branch structure (live-in predicate) below a
+  // branch needs an explicit conjunction.
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  r4 = add(r9, 1) if p7
+  halt
+block @X:
+  halt
+}
+)");
+  Block &A = F->block(0);
+  std::unique_ptr<Function> Base = F->clone();
+  FRPConversionStats Stats = convertToFRP(*F, A);
+  verifyOrDie(*F, "after conversion");
+  EXPECT_EQ(Stats.MaterializedConjunctions, 1u);
+
+  // Behavior preserved for both p7 values and both branch outcomes.
+  for (int64_t P7 : {0, 1})
+    for (int64_t R1 : {0, 3}) {
+      Memory Mem;
+      std::vector<RegBinding> Init = {{Reg::pred(7), P7},
+                                      {Reg::gpr(1), R1},
+                                      {Reg::gpr(9), 5}};
+      EquivResult E = checkEquivalence(*Base, *F, Mem, Init);
+      EXPECT_TRUE(E.Equivalent) << E.Detail;
+    }
+}
+
+TEST(FRPConversionTest, StopsAtNonUnControlledBranch) {
+  // A branch whose predicate comes from a wired-or compare cannot be
+  // converted; conversion stops there and leaves the suffix untouched.
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1 = mov(0)
+  p1:on = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  r4 = add(r9, 1)
+  halt
+block @X:
+  halt
+}
+)");
+  Block &A = F->block(0);
+  FRPConversionStats Stats = convertToFRP(*F, A);
+  EXPECT_EQ(Stats.BranchesConverted, 0u);
+  // Suffix unchanged: the add keeps its true guard.
+  EXPECT_TRUE(A.ops()[4].getGuard().isTruePred());
+}
+
+TEST(FRPConversionTest, BranchPredicatesBecomeDisjoint) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  p2:un = cmpp.eq(r2, 0)
+  b2 = pbr(@X)
+  branch(p2, b2)
+  p3:un = cmpp.eq(r3, 0)
+  b3 = pbr(@X)
+  branch(p3, b3)
+  halt
+block @X:
+  halt
+}
+)");
+  Block &A = F->block(0);
+  convertToFRP(*F, A);
+  RegionPQS PQS(*F, A);
+  std::vector<size_t> Brs;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A.ops()[I].isBranch())
+      Brs.push_back(I);
+  ASSERT_EQ(Brs.size(), 3u);
+  for (size_t I = 0; I < Brs.size(); ++I)
+    for (size_t J = I + 1; J < Brs.size(); ++J)
+      EXPECT_TRUE(
+          PQS.disjoint(PQS.takenExpr(Brs[I]), PQS.takenExpr(Brs[J])));
+}
+
+TEST(FRPConversionTest, RoundTripBehaviorOnRandomInputs) {
+  const char *Src = R"(
+func @f {
+  observable r5
+block @A:
+  r5 = mov(0)
+  p1:un = cmpp.lt(r1, 10)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  r5 = add(r5, 1)
+  p2:un = cmpp.lt(r2, 10)
+  b2 = pbr(@X)
+  branch(p2, b2)
+  r5 = add(r5, 2)
+  p3:un = cmpp.lt(r3, 10)
+  b3 = pbr(@X)
+  branch(p3, b3)
+  r5 = add(r5, 4)
+  halt
+block @X:
+  r5 = add(r5, 100)
+  halt
+}
+)";
+  std::unique_ptr<Function> Base = parseFunctionOrDie(Src);
+  std::unique_ptr<Function> Conv = parseFunctionOrDie(Src);
+  convertToFRP(*Conv, Conv->block(0));
+  verifyOrDie(*Conv, "after conversion");
+
+  for (int64_t V1 : {5, 15})
+    for (int64_t V2 : {5, 15})
+      for (int64_t V3 : {5, 15}) {
+        Memory Mem;
+        std::vector<RegBinding> Init = {{Reg::gpr(1), V1},
+                                        {Reg::gpr(2), V2},
+                                        {Reg::gpr(3), V3}};
+        EquivResult E = checkEquivalence(*Base, *Conv, Mem, Init);
+        EXPECT_TRUE(E.Equivalent)
+            << V1 << "," << V2 << "," << V3 << ": " << E.Detail;
+      }
+}
+
+} // namespace

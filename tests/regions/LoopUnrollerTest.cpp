@@ -1,0 +1,170 @@
+//===- tests/regions/LoopUnrollerTest.cpp - Unroller tests ----------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regions/LoopUnroller.h"
+
+#include "interp/Profiler.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "pipeline/CompilerPipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+/// A rolled byte-summing loop with a side exit on zero bytes.
+const char *RolledSrc = R"(
+func @sum {
+  observable r5
+block @Entry:
+  r5 = mov(0)
+block @Loop:
+  r10 = load.m1(r1)
+  p1:un = cmpp.eq(r10, 0)
+  b1 = pbr(@Exit)
+  branch(p1, b1)
+  r5 = add(r5, r10)
+  r1 = add(r1, 1)
+  r2 = sub(r2, 1)
+  p2:un = cmpp.gt(r2, 0)
+  b2 = pbr(@Loop)
+  branch(p2, b2)
+block @Exit:
+  halt
+}
+)";
+
+Memory makeInput(size_t Len) {
+  Memory Mem;
+  for (size_t I = 0; I < Len; ++I)
+    Mem.store(1000 + static_cast<int64_t>(I),
+              1 + static_cast<int64_t>((I * 7) % 90));
+  Mem.store(1000 + static_cast<int64_t>(Len), 0);
+  return Mem;
+}
+
+TEST(LoopUnrollerTest, UnrollPreservesBehavior) {
+  for (unsigned Factor : {2u, 3u, 4u, 8u}) {
+    std::unique_ptr<Function> Base = parseFunctionOrDie(RolledSrc);
+    std::unique_ptr<Function> Unrolled = parseFunctionOrDie(RolledSrc);
+    UnrollResult R =
+        unrollLoop(*Unrolled, *Unrolled->blockByName("Loop"), Factor);
+    ASSERT_TRUE(R.Unrolled) << R.Reason;
+    verifyOrDie(*Unrolled, "after unrolling");
+
+    // Per-copy exits and one backedge.
+    size_t Branches = 0;
+    for (const Operation &Op : Unrolled->blockByName("Loop")->ops())
+      if (Op.isBranch())
+        ++Branches;
+    EXPECT_EQ(Branches, 2 * Factor);
+
+    for (size_t Len : {0u, 1u, 5u, 17u, 64u}) {
+      Memory Mem = makeInput(Len);
+      std::vector<RegBinding> Init = {{Reg::gpr(1), 1000},
+                                      {Reg::gpr(2), 40}};
+      EquivResult E = checkEquivalence(*Base, *Unrolled, Mem, Init);
+      EXPECT_TRUE(E.Equivalent)
+          << "factor " << Factor << " len " << Len << ": " << E.Detail;
+    }
+  }
+}
+
+TEST(LoopUnrollerTest, UnrolledLoopFeedsControlCPR) {
+  // The paper's preparation pipeline: unroll, then ICBM. The unrolled
+  // loop must form CPR blocks and stay equivalent end to end.
+  std::unique_ptr<Function> Base = parseFunctionOrDie(RolledSrc);
+  std::unique_ptr<Function> Prepared = parseFunctionOrDie(RolledSrc);
+  ASSERT_TRUE(
+      unrollLoop(*Prepared, *Prepared->blockByName("Loop"), 4).Unrolled);
+
+  Memory ProfMem = makeInput(512);
+  std::vector<RegBinding> Init = {{Reg::gpr(1), 1000}, {Reg::gpr(2), 500}};
+  ProfileData Prof = profileRun(*Prepared, ProfMem, Init);
+
+  CPRResult CR;
+  std::unique_ptr<Function> Treated =
+      applyControlCPR(*Prepared, Prof, CPROptions(), &CR);
+  EXPECT_GE(CR.CPRBlocksTransformed, 1u);
+
+  Memory Mem = makeInput(512);
+  EquivResult E = checkEquivalence(*Base, *Treated, Mem, Init);
+  EXPECT_TRUE(E.Equivalent) << E.Detail;
+}
+
+TEST(LoopUnrollerTest, StrengthReducesInductionVariables) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(RolledSrc);
+  Block &Loop = *F->blockByName("Loop");
+  ASSERT_TRUE(unrollLoop(*F, Loop, 4).Unrolled);
+  // Exactly one update of each induction variable survives (the final
+  // cumulative one), and it adds the full factor.
+  unsigned R1Updates = 0, R2Updates = 0, R1Offsets = 0;
+  for (const Operation &Op : Loop.ops()) {
+    if (Op.defs().size() != 1 || Op.getOpcode() != Opcode::Add ||
+        (!Op.readsReg(Reg::gpr(1)) && !Op.readsReg(Reg::gpr(2))))
+      continue;
+    if (Op.defs()[0].R == Reg::gpr(1)) {
+      ++R1Updates;
+      EXPECT_EQ(Op.srcs()[1].getImm(), 4); // one cumulative update
+    } else if (Op.defs()[0].R == Reg::gpr(2)) {
+      ++R2Updates;
+      EXPECT_EQ(Op.srcs()[1].getImm(), -4); // accumulated "sub 1" x4
+    } else if (Op.readsReg(Reg::gpr(1))) {
+      ++R1Offsets; // materialized base+offset for copies 1..3
+    }
+  }
+  EXPECT_EQ(R1Updates, 1u);
+  EXPECT_EQ(R2Updates, 1u);
+  EXPECT_EQ(R1Offsets, 3u);
+}
+
+TEST(LoopUnrollerTest, PipelineUnrollOption) {
+  // The pipeline's preparation path: rolled loop in, unrolled baseline
+  // and ICBM-treated code out, equivalence enforced inside.
+  KernelProgram P;
+  P.Func = parseFunctionOrDie(RolledSrc);
+  P.InitMem = makeInput(512);
+  P.InitRegs = {{Reg::gpr(1), 1000}, {Reg::gpr(2), 500}};
+  PipelineOptions Opts;
+  Opts.UnrollFactor = 4;
+  PipelineResult R = runPipeline(P, Opts);
+  EXPECT_GE(R.CPR.CPRBlocksTransformed, 1u);
+  EXPECT_GT(R.speedupOn("wide"), 1.2);
+  EXPECT_LT(R.dynBranchRatio(), 0.6);
+}
+
+TEST(LoopUnrollerTest, RefusesNonLoops) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  r1 = add(r1, 1)
+  halt
+}
+)");
+  UnrollResult R = unrollLoop(*F, F->block(0), 4);
+  EXPECT_FALSE(R.Unrolled);
+  EXPECT_FALSE(R.Reason.empty());
+}
+
+TEST(LoopUnrollerTest, RefusesForeignBackedge) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  p1:un = cmpp.gt(r2, 0)
+  b1 = pbr(@B)
+  branch(p1, b1)
+block @B:
+  halt
+}
+)");
+  UnrollResult R = unrollLoop(*F, F->block(0), 2);
+  EXPECT_FALSE(R.Unrolled);
+  EXPECT_NE(R.Reason.find("self backedge"), std::string::npos);
+}
+
+} // namespace

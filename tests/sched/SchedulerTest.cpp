@@ -1,0 +1,242 @@
+//===- tests/sched/SchedulerTest.cpp - List scheduler tests ---------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/ListScheduler.h"
+
+#include "ir/IRParser.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+struct SchedCase {
+  std::unique_ptr<Function> F;
+  std::unique_ptr<RegionPQS> PQS;
+  std::unique_ptr<Liveness> LV;
+  std::unique_ptr<DepGraph> DG;
+  Schedule S;
+};
+
+SchedCase schedule(const std::string &Src, const MachineDesc &MD) {
+  SchedCase C;
+  C.F = parseFunctionOrDie(Src);
+  const Block &B = C.F->block(0);
+  C.PQS = std::make_unique<RegionPQS>(*C.F, B);
+  C.LV = std::make_unique<Liveness>(*C.F);
+  C.DG = std::make_unique<DepGraph>(*C.F, B, MD, *C.PQS, *C.LV);
+  C.S = scheduleBlock(B, *C.DG, MD);
+  EXPECT_TRUE(checkScheduleLegality(B, *C.DG, MD, C.S).empty());
+  return C;
+}
+
+TEST(SchedulerTest, SerialChainLengthEqualsLatencySum) {
+  const char *Src = R"(
+func @f {
+block @A:
+  r1 = load(r9)
+  r2 = add(r1, 1)
+  r3 = mul(r2, r2)
+  r4 = add(r3, 1)
+  halt
+}
+)";
+  SchedCase C = schedule(Src, MachineDesc::infinite());
+  // load(2) + add(1) + mul(3) + add(1) = 7, plus the halt cycle.
+  EXPECT_EQ(C.S.cycleOf(0), 0);
+  EXPECT_EQ(C.S.cycleOf(1), 2);
+  EXPECT_EQ(C.S.cycleOf(2), 3);
+  EXPECT_EQ(C.S.cycleOf(3), 6);
+}
+
+TEST(SchedulerTest, IndependentOpsPackOnWideMachine) {
+  const char *Src = R"(
+func @f {
+block @A:
+  r1 = add(r9, 1)
+  r2 = add(r9, 2)
+  r3 = add(r9, 3)
+  r4 = add(r9, 4)
+  halt
+}
+)";
+  SchedCase Wide = schedule(Src, MachineDesc::wide()); // 8 integer units
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Wide.S.cycleOf(static_cast<size_t>(I)), 0);
+
+  // The medium machine has 4 integer units: still one cycle.
+  SchedCase Med = schedule(Src, MachineDesc::medium());
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Med.S.cycleOf(static_cast<size_t>(I)), 0);
+
+  // The narrow machine has 2: two cycles.
+  SchedCase Nar = schedule(Src, MachineDesc::narrow());
+  int MaxCycle = 0;
+  for (int I = 0; I < 4; ++I)
+    MaxCycle = std::max(MaxCycle, Nar.S.cycleOf(static_cast<size_t>(I)));
+  EXPECT_EQ(MaxCycle, 1);
+}
+
+TEST(SchedulerTest, SequentialMachineIssuesOnePerCycle) {
+  const char *Src = R"(
+func @f {
+block @A:
+  r1 = add(r9, 1)
+  r2 = add(r9, 2)
+  f1 = fadd(f9, f9)
+  store(r1, r2)
+  halt
+}
+)";
+  SchedCase Seq = schedule(Src, MachineDesc::sequential());
+  // Five ops, one per cycle, all distinct cycles.
+  std::vector<bool> Used(16, false);
+  for (size_t I = 0; I < 5; ++I) {
+    int Cyc = Seq.S.cycleOf(I);
+    ASSERT_LT(Cyc, 16);
+    EXPECT_FALSE(Used[static_cast<size_t>(Cyc)]);
+    Used[static_cast<size_t>(Cyc)] = true;
+  }
+}
+
+TEST(SchedulerTest, UnitKindsLimitIssue) {
+  // Four loads on a machine with one memory port take four cycles even
+  // though other units idle.
+  const char *Src = R"(
+func @f {
+block @A:
+  r1 = load(r9)
+  r2 = load(r8)
+  r3 = load(r7)
+  r4 = load(r6)
+  halt
+}
+)";
+  SchedCase Nar = schedule(Src, MachineDesc::narrow()); // M = 1
+  int MaxCycle = 0;
+  for (size_t I = 0; I < 4; ++I)
+    MaxCycle = std::max(MaxCycle, Nar.S.cycleOf(I));
+  EXPECT_EQ(MaxCycle, 3);
+}
+
+TEST(SchedulerTest, DisjointBranchesSharePortsOnWide) {
+  // FRP-style disjoint branches may issue in the same cycle on a machine
+  // with two branch units.
+  const char *Src = R"(
+func @f {
+block @A:
+  p1:un, p2:uc = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  b2 = pbr(@Y)
+  branch(p1, b1)
+  branch(p2, b2)
+  halt
+block @X:
+  halt
+block @Y:
+  halt
+}
+)";
+  SchedCase Wide = schedule(Src, MachineDesc::wide()); // B = 2
+  EXPECT_EQ(Wide.S.cycleOf(3), Wide.S.cycleOf(4))
+      << "disjoint branches should overlap";
+  // With only one branch unit they must serialize.
+  SchedCase Med = schedule(Src, MachineDesc::medium()); // B = 1
+  EXPECT_NE(Med.S.cycleOf(3), Med.S.cycleOf(4));
+}
+
+TEST(SchedulerTest, ExitOrderBoostKeepsBranchesEarly) {
+  // A deep arithmetic chain after a ready branch: the branch must not be
+  // starved on a narrow machine (exit-order priority boost).
+  const char *Src = R"(
+func @f {
+block @A:
+  p1:un = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  r2 = xor(r9, 1)
+  r3 = xor(r2, 2)
+  r4 = xor(r3, 3)
+  r5 = xor(r4, 4)
+  store(r5, r5)
+  halt
+block @X:
+  halt
+}
+)";
+  SchedCase Seq = schedule(Src, MachineDesc::sequential());
+  // The branch issues before the tail of the xor chain completes.
+  EXPECT_LT(Seq.S.cycleOf(2), Seq.S.cycleOf(6));
+}
+
+TEST(SchedulerTest, DepartureCycles) {
+  const char *Src = R"(
+func @f {
+block @A:
+  p1:un = cmpp.eq(r1, 0)
+  b1 = pbr(@X)
+  branch(p1, b1)
+  halt
+block @X:
+  halt
+}
+)";
+  std::unique_ptr<Function> F = parseFunctionOrDie(Src);
+  const Block &B = F->block(0);
+  for (int Lat : {1, 2, 3}) {
+    MachineDesc MD("m", 4, 2, 2, 1, false, Lat);
+    RegionPQS PQS(*F, B);
+    Liveness LV(*F);
+    DepGraph DG(*F, B, MD, PQS, LV);
+    Schedule S = scheduleBlock(B, DG, MD);
+    EXPECT_EQ(S.departureCycle(2, B, MD), S.cycleOf(2) + Lat);
+  }
+}
+
+TEST(SchedulerTest, KernelsScheduleLegallyOnAllMachines) {
+  for (auto Build : {+[] { return buildStrcpyKernel(4, 64); },
+                     +[] { return buildWcKernel(2, 64); },
+                     +[] { return buildCmpKernel(4, 64, 60); }}) {
+    KernelProgram P = Build();
+    Liveness LV(*P.Func);
+    for (const MachineDesc &MD : MachineDesc::paperModels()) {
+      for (size_t BI = 0; BI < P.Func->numBlocks(); ++BI) {
+        const Block &B = P.Func->block(BI);
+        if (B.empty())
+          continue;
+        RegionPQS PQS(*P.Func, B);
+        DepGraph DG(*P.Func, B, MD, PQS, LV);
+        Schedule S = scheduleBlock(B, DG, MD);
+        std::vector<std::string> Errors =
+            checkScheduleLegality(B, DG, MD, S);
+        EXPECT_TRUE(Errors.empty())
+            << MD.getName() << " @" << B.getName() << ": "
+            << (Errors.empty() ? "" : Errors.front());
+      }
+    }
+  }
+}
+
+TEST(SchedulerTest, WiderMachinesNeverSlower) {
+  KernelProgram P = buildStrcpyKernel(8, 64);
+  const Block &Loop = *P.Func->blockByName("Loop");
+  Liveness LV(*P.Func);
+  int PrevLen = 1 << 30;
+  for (const MachineDesc &MD :
+       {MachineDesc::sequential(), MachineDesc::narrow(),
+        MachineDesc::medium(), MachineDesc::wide(),
+        MachineDesc::infinite()}) {
+    RegionPQS PQS(*P.Func, Loop);
+    DepGraph DG(*P.Func, Loop, MD, PQS, LV);
+    Schedule S = scheduleBlock(Loop, DG, MD);
+    EXPECT_LE(S.length(), PrevLen) << MD.getName();
+    PrevLen = S.length();
+  }
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+//===- tests/support/SupportTest.cpp - Support library tests --------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RNG.h"
+#include "support/Statistics.h"
+#include "support/TableFormat.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+TEST(RNGTest, Deterministic) {
+  RNG A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    (void)C.next();
+  }
+  RNG A2(42), C2(43);
+  EXPECT_NE(A2.next(), C2.next());
+}
+
+TEST(RNGTest, RangesRespected) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.nextRange(-5, 9);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 9);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+    EXPECT_LT(R.nextBelow(17), 17u);
+  }
+}
+
+TEST(RNGTest, BoolProbabilityIsPlausible) {
+  RNG R(11);
+  int Hits = 0;
+  constexpr int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.nextBool(0.25) ? 1 : 0;
+  double Rate = static_cast<double>(Hits) / N;
+  EXPECT_GT(Rate, 0.22);
+  EXPECT_LT(Rate, 0.28);
+}
+
+TEST(StatisticsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geometricMean({2.0, 2.0, 2.0}), 2.0);
+  EXPECT_NEAR(geometricMean({1.0, 8.0}), 2.8284271, 1e-6);
+  EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+}
+
+TEST(StatisticsTest, ArithmeticMean) {
+  EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+}
+
+TEST(TableFormatTest, AlignsColumns) {
+  TextTable T;
+  T.setHeader({"name", "x", "y"});
+  T.addRow({"alpha", "1", "2.50"});
+  T.addRow({"b", "100", "3"});
+  std::string Out = T.render();
+  // Header present, separator line present, right-aligned numerics.
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("---"), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  // Each line has the same trailing column position for "y" values:
+  // check that "100" and "  1" align right by looking at line lengths.
+  size_t FirstNl = Out.find('\n');
+  std::string HeaderLine = Out.substr(0, FirstNl);
+  EXPECT_FALSE(HeaderLine.empty());
+}
+
+TEST(TableFormatTest, SeparatorRows) {
+  TextTable T;
+  T.setHeader({"a", "b"});
+  T.addRow({"1", "2"});
+  T.addSeparator();
+  T.addRow({"3", "4"});
+  std::string Out = T.render();
+  // Two separator lines: one under the header, one explicit.
+  size_t First = Out.find("--");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_NE(Out.find("--", First + 3), std::string::npos);
+}
+
+TEST(TableFormatTest, FormatsDoubles) {
+  EXPECT_EQ(TextTable::fmt(1.234567), "1.23");
+  EXPECT_EQ(TextTable::fmt(1.235, 2), "1.24");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+  EXPECT_EQ(TextTable::fmt(0.07, 3), "0.070");
+}
+
+} // namespace

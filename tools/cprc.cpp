@@ -1,0 +1,361 @@
+//===- tools/cprc.cpp - Command-line control CPR driver -------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// A command-line driver over the library: reads a program in the textual
+// IR, runs the requested phases, and prints the result. Initial register
+// values and memory cells come from flags, so small experiments need no
+// C++ at all.
+//
+//   cprc input.cpr [options]
+//
+//   --phase=<frp|speculate|cpr|all>   stop after the named phase (default all)
+//   --reg r1=1000                     initial register value (repeatable)
+//   --mem 1000=7                      initial memory cell (repeatable)
+//   --observable                      print observed registers after a run
+//   --run                             interpret the (final) program
+//   --schedule=<machine>             print the schedule for one machine
+//   --estimate                        per-machine cycle estimates (needs a
+//                                     profileable program)
+//   --exit-weight=<f> --predict-taken=<f> --max-branches=<n>
+//   --no-speculation --no-taken-variation
+//   --show-ids                        print stable operation ids
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ProfileIO.h"
+#include "interp/Profiler.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "cpr/PredicateSpeculation.h"
+#include "pipeline/CompilerPipeline.h"
+#include "regions/FRPConversion.h"
+#include "regions/DeadCodeElim.h"
+#include "regions/IfConversion.h"
+#include "regions/LoopUnroller.h"
+#include "regions/Simplify.h"
+#include "sched/ListScheduler.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace cpr;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: cprc <input.cpr> [--phase=frp|speculate|cpr|all] [--run]\n"
+      "            [--reg rN=V]... [--mem A=V]... [--schedule=<machine>]\n"
+      "            [--estimate] [--exit-weight=F] [--predict-taken=F]\n"
+      "            [--max-branches=N] [--no-speculation]\n"
+      "            [--no-taken-variation] [--show-ids]\n"
+      "            [--profile-out=<file>] [--profile-in=<file>]\n"
+      "            [--unroll=N] [--simplify] [--if-convert]\n");
+}
+
+bool parseReg(const std::string &Spec, RegBinding &Out) {
+  size_t Eq = Spec.find('=');
+  if (Eq == std::string::npos || Eq < 2)
+    return false;
+  std::string Name = Spec.substr(0, Eq);
+  RegClass RC;
+  switch (Name[0]) {
+  case 'r':
+    RC = RegClass::GPR;
+    break;
+  case 'f':
+    RC = RegClass::FPR;
+    break;
+  case 'p':
+    RC = RegClass::PR;
+    break;
+  default:
+    return false;
+  }
+  Out.R = Reg(RC, static_cast<uint32_t>(std::strtoul(Name.c_str() + 1,
+                                                     nullptr, 10)));
+  Out.Value = std::strtoll(Spec.c_str() + Eq + 1, nullptr, 10);
+  return true;
+}
+
+const MachineDesc *findMachine(const std::vector<MachineDesc> &Machines,
+                               const std::string &Name) {
+  for (const MachineDesc &M : Machines)
+    if (M.getName() == Name)
+      return &M;
+  return nullptr;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+
+  std::string InputPath;
+  std::string Phase = "all";
+  std::string ScheduleFor;
+  std::string ProfileOut, ProfileIn;
+  unsigned UnrollFactor = 1;
+  bool Simplify = false, IfConvertFlag = false;
+  bool Run = false, Estimate = false;
+  PrintOptions PO;
+  CPROptions CPR;
+  std::vector<RegBinding> InitRegs;
+  Memory InitMem;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      return Arg.c_str() + std::strlen(Prefix);
+    };
+    if (Arg.rfind("--phase=", 0) == 0) {
+      Phase = Value("--phase=");
+    } else if (Arg == "--run") {
+      Run = true;
+    } else if (Arg == "--estimate") {
+      Estimate = true;
+    } else if (Arg.rfind("--schedule=", 0) == 0) {
+      ScheduleFor = Value("--schedule=");
+    } else if (Arg == "--reg" && I + 1 < argc) {
+      RegBinding B;
+      if (!parseReg(argv[++I], B)) {
+        std::fprintf(stderr, "bad --reg spec '%s'\n", argv[I]);
+        return 2;
+      }
+      InitRegs.push_back(B);
+    } else if (Arg == "--mem" && I + 1 < argc) {
+      std::string Spec = argv[++I];
+      size_t Eq = Spec.find('=');
+      if (Eq == std::string::npos) {
+        std::fprintf(stderr, "bad --mem spec '%s'\n", Spec.c_str());
+        return 2;
+      }
+      InitMem.store(std::strtoll(Spec.c_str(), nullptr, 10),
+                    std::strtoll(Spec.c_str() + Eq + 1, nullptr, 10));
+    } else if (Arg.rfind("--exit-weight=", 0) == 0) {
+      CPR.ExitWeightThreshold = std::strtod(Value("--exit-weight="), nullptr);
+    } else if (Arg.rfind("--predict-taken=", 0) == 0) {
+      CPR.PredictTakenThreshold =
+          std::strtod(Value("--predict-taken="), nullptr);
+    } else if (Arg.rfind("--max-branches=", 0) == 0) {
+      CPR.MaxBranchesPerBlock = static_cast<unsigned>(
+          std::strtoul(Value("--max-branches="), nullptr, 10));
+    } else if (Arg == "--no-speculation") {
+      CPR.EnablePredicateSpeculation = false;
+    } else if (Arg == "--no-taken-variation") {
+      CPR.EnableTakenVariation = false;
+    } else if (Arg == "--simplify") {
+      Simplify = true;
+    } else if (Arg == "--if-convert") {
+      IfConvertFlag = true;
+    } else if (Arg.rfind("--unroll=", 0) == 0) {
+      UnrollFactor =
+          static_cast<unsigned>(std::strtoul(Value("--unroll="), nullptr, 10));
+    } else if (Arg.rfind("--profile-out=", 0) == 0) {
+      ProfileOut = Value("--profile-out=");
+    } else if (Arg.rfind("--profile-in=", 0) == 0) {
+      ProfileIn = Value("--profile-in=");
+    } else if (Arg == "--show-ids") {
+      PO.ShowOpIds = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      InputPath = Arg;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (InputPath.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(InputPath);
+  if (!In) {
+    std::fprintf(stderr, "cannot open '%s'\n", InputPath.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  ParseResult PR = parseFunction(Buf.str());
+  if (!PR) {
+    std::fprintf(stderr, "%s:%u: error: %s\n", InputPath.c_str(), PR.Line,
+                 PR.Error.c_str());
+    return 1;
+  }
+  std::unique_ptr<Function> F = std::move(PR.Func);
+  std::vector<std::string> Errors = verifyFunction(*F);
+  if (!Errors.empty()) {
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "%s: verifier: %s\n", InputPath.c_str(),
+                   E.c_str());
+    return 1;
+  }
+
+  // Optional preparation passes (applied to the shared baseline, as the
+  // paper's IMPACT preprocessing was).
+  if (IfConvertFlag) {
+    IfConversionStats IS = ifConvert(*F);
+    verifyOrDie(*F, "after if-conversion");
+    std::fprintf(stderr, "if-convert: %u branch(es) folded, %u ops "
+                 "predicated\n",
+                 IS.BranchesConverted, IS.OpsPredicated);
+  }
+  if (UnrollFactor >= 2) {
+    unsigned Unrolled = 0;
+    for (size_t I = 0; I < F->numBlocks(); ++I)
+      if (unrollLoop(*F, F->block(I), UnrollFactor).Unrolled)
+        ++Unrolled;
+    verifyOrDie(*F, "after unrolling");
+    std::fprintf(stderr, "unroll: %u loop(s) unrolled x%u\n", Unrolled,
+                 UnrollFactor);
+  }
+  if (Simplify || UnrollFactor >= 2) {
+    SimplifyStats SS = simplifyFunction(*F);
+    eliminateDeadCode(*F);
+    verifyOrDie(*F, "after simplify");
+    std::fprintf(stderr,
+                 "simplify: %u folded, %u copies propagated, %u CSE\n",
+                 SS.ConstantsFolded, SS.CopiesPropagated,
+                 SS.ExpressionsReused);
+  }
+
+  // A profile is required for match; load one or obtain it by running
+  // the input.
+  std::unique_ptr<Function> Baseline = F->clone();
+  ProfileData Profile;
+  if (!ProfileIn.empty()) {
+    std::ifstream PIn(ProfileIn);
+    if (!PIn) {
+      std::fprintf(stderr, "cannot open profile '%s'\n", ProfileIn.c_str());
+      return 1;
+    }
+    std::stringstream PBuf;
+    PBuf << PIn.rdbuf();
+    ProfileParseResult PP = parseProfile(PBuf.str());
+    if (!PP) {
+      std::fprintf(stderr, "%s: %s\n", ProfileIn.c_str(), PP.Error.c_str());
+      return 1;
+    }
+    Profile = std::move(PP.Profile);
+  } else if (Phase == "cpr" || Phase == "all" || Estimate ||
+             !ProfileOut.empty()) {
+    Memory Mem = InitMem;
+    InterpOptions IO;
+    IO.Profile = &Profile;
+    RunResult R = interpret(*F, Mem, InitRegs, IO);
+    if (!R.halted()) {
+      std::fprintf(stderr,
+                   "profiling run failed (%s); provide --reg/--mem inputs "
+                   "that drive the program to halt\n",
+                   R.ErrorMsg.c_str());
+      return 1;
+    }
+  }
+  if (!ProfileOut.empty()) {
+    std::ofstream POut(ProfileOut);
+    if (!POut) {
+      std::fprintf(stderr, "cannot write profile '%s'\n",
+                   ProfileOut.c_str());
+      return 1;
+    }
+    POut << serializeProfile(Profile, *F);
+  }
+
+  // Phases.
+  if (Phase == "frp" || Phase == "speculate") {
+    for (size_t I = 0; I < F->numBlocks(); ++I)
+      if (!F->block(I).isCompensation())
+        convertToFRP(*F, F->block(I));
+    if (Phase == "speculate")
+      for (size_t I = 0; I < F->numBlocks(); ++I)
+        if (!F->block(I).isCompensation())
+          speculatePredicates(*F, F->block(I));
+  } else if (Phase == "cpr" || Phase == "all") {
+    CPRResult CR = runControlCPR(*F, Profile, CPR);
+    std::fprintf(stderr,
+                 "cpr: %u region(s), %u CPR block(s) formed, %u "
+                 "transformed (%u taken variation), %u ops moved "
+                 "off-trace, %u split\n",
+                 CR.RegionsProcessed, CR.CPRBlocksFormed,
+                 CR.CPRBlocksTransformed, CR.TakenVariants,
+                 CR.OpsMovedOffTrace, CR.OpsSplit);
+  } else if (Phase != "none") {
+    std::fprintf(stderr, "unknown phase '%s'\n", Phase.c_str());
+    return 2;
+  }
+  verifyOrDie(*F, "cprc output");
+
+  std::printf("%s", printFunction(*F, PO).c_str());
+
+  if (Run) {
+    Memory Mem = InitMem;
+    RunResult R = interpret(*F, Mem, InitRegs);
+    std::printf("\n; run: %s after %llu steps",
+                R.halted() ? "halted" : R.ErrorMsg.c_str(),
+                static_cast<unsigned long long>(R.Steps));
+    if (!R.Observed.empty()) {
+      std::printf("; observables:");
+      for (size_t I = 0; I < R.Observed.size(); ++I)
+        std::printf(" %s=%lld", F->observableRegs()[I].str().c_str(),
+                    static_cast<long long>(R.Observed[I]));
+    }
+    std::printf("\n");
+  }
+
+  std::vector<MachineDesc> Machines = MachineDesc::paperModels();
+  if (!ScheduleFor.empty()) {
+    const MachineDesc *MD = findMachine(Machines, ScheduleFor);
+    if (!MD) {
+      std::fprintf(stderr, "unknown machine '%s'\n", ScheduleFor.c_str());
+      return 2;
+    }
+    for (size_t BI = 0; BI < F->numBlocks(); ++BI) {
+      const Block &B = F->block(BI);
+      if (B.empty())
+        continue;
+      Schedule S = scheduleBlockWithAnalyses(*F, B, *MD);
+      std::printf("\n; schedule of @%s on %s (length %d):\n",
+                  B.getName().c_str(), MD->getName().c_str(), S.length());
+      for (size_t OI = 0; OI < B.size(); ++OI)
+        std::printf(";   cycle %3d  %s\n", S.cycleOf(OI),
+                    printOperation(*F, B.ops()[OI], PO).c_str());
+    }
+  }
+
+  if (Estimate) {
+    // Re-profile the transformed code, then estimate both versions.
+    Memory Mem = InitMem;
+    ProfileData TreatedProfile;
+    InterpOptions IO;
+    IO.Profile = &TreatedProfile;
+    RunResult R = interpret(*F, Mem, InitRegs, IO);
+    if (!R.halted()) {
+      std::fprintf(stderr, "estimate run failed: %s\n", R.ErrorMsg.c_str());
+      return 1;
+    }
+    std::printf("\n; estimated cycles (baseline -> this output):\n");
+    for (const MachineDesc &MD : Machines) {
+      double Before =
+          estimatePerformance(*Baseline, MD, Profile).TotalCycles;
+      double After =
+          estimatePerformance(*F, MD, TreatedProfile).TotalCycles;
+      std::printf(";   %-10s %10.0f -> %10.0f   (%.2fx)\n",
+                  MD.getName().c_str(), Before, After,
+                  After > 0 ? Before / After : 0.0);
+    }
+  }
+  return 0;
+}

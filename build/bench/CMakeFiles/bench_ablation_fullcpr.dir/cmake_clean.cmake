@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fullcpr.dir/bench_ablation_fullcpr.cpp.o"
+  "CMakeFiles/bench_ablation_fullcpr.dir/bench_ablation_fullcpr.cpp.o.d"
+  "bench_ablation_fullcpr"
+  "bench_ablation_fullcpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fullcpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_frp.dir/bench_fig1_frp.cpp.o"
+  "CMakeFiles/bench_fig1_frp.dir/bench_fig1_frp.cpp.o.d"
+  "bench_fig1_frp"
+  "bench_fig1_frp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_frp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_bypass.dir/bench_fig2_bypass.cpp.o"
+  "CMakeFiles/bench_fig2_bypass.dir/bench_fig2_bypass.cpp.o.d"
+  "bench_fig2_bypass"
+  "bench_fig2_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

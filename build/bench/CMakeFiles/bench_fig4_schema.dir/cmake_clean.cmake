@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_schema.dir/bench_fig4_schema.cpp.o"
+  "CMakeFiles/bench_fig4_schema.dir/bench_fig4_schema.cpp.o.d"
+  "bench_fig4_schema"
+  "bench_fig4_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_strcpy.dir/bench_fig6_strcpy.cpp.o"
+  "CMakeFiles/bench_fig6_strcpy.dir/bench_fig6_strcpy.cpp.o.d"
+  "bench_fig6_strcpy"
+  "bench_fig6_strcpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_strcpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

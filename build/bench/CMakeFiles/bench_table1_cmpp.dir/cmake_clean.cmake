@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cmpp.dir/bench_table1_cmpp.cpp.o"
+  "CMakeFiles/bench_table1_cmpp.dir/bench_table1_cmpp.cpp.o.d"
+  "bench_table1_cmpp"
+  "bench_table1_cmpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cmpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grep_scan.dir/grep_scan.cpp.o"
+  "CMakeFiles/grep_scan.dir/grep_scan.cpp.o.d"
+  "grep_scan"
+  "grep_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grep_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

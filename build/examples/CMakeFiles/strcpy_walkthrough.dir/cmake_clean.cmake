@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strcpy_walkthrough.dir/strcpy_walkthrough.cpp.o"
+  "CMakeFiles/strcpy_walkthrough.dir/strcpy_walkthrough.cpp.o.d"
+  "strcpy_walkthrough"
+  "strcpy_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strcpy_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

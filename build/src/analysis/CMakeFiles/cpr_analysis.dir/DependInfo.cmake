@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/BDD.cpp" "src/analysis/CMakeFiles/cpr_analysis.dir/BDD.cpp.o" "gcc" "src/analysis/CMakeFiles/cpr_analysis.dir/BDD.cpp.o.d"
+  "/root/repo/src/analysis/CFG.cpp" "src/analysis/CMakeFiles/cpr_analysis.dir/CFG.cpp.o" "gcc" "src/analysis/CMakeFiles/cpr_analysis.dir/CFG.cpp.o.d"
+  "/root/repo/src/analysis/DepGraph.cpp" "src/analysis/CMakeFiles/cpr_analysis.dir/DepGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/cpr_analysis.dir/DepGraph.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/analysis/CMakeFiles/cpr_analysis.dir/Liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/cpr_analysis.dir/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/PQS.cpp" "src/analysis/CMakeFiles/cpr_analysis.dir/PQS.cpp.o" "gcc" "src/analysis/CMakeFiles/cpr_analysis.dir/PQS.cpp.o.d"
+  "/root/repo/src/analysis/ProfileData.cpp" "src/analysis/CMakeFiles/cpr_analysis.dir/ProfileData.cpp.o" "gcc" "src/analysis/CMakeFiles/cpr_analysis.dir/ProfileData.cpp.o.d"
+  "/root/repo/src/analysis/ProfileIO.cpp" "src/analysis/CMakeFiles/cpr_analysis.dir/ProfileIO.cpp.o" "gcc" "src/analysis/CMakeFiles/cpr_analysis.dir/ProfileIO.cpp.o.d"
+  "/root/repo/src/analysis/RegPressure.cpp" "src/analysis/CMakeFiles/cpr_analysis.dir/RegPressure.cpp.o" "gcc" "src/analysis/CMakeFiles/cpr_analysis.dir/RegPressure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cpr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cpr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cpr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_analysis.dir/BDD.cpp.o"
+  "CMakeFiles/cpr_analysis.dir/BDD.cpp.o.d"
+  "CMakeFiles/cpr_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/cpr_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/cpr_analysis.dir/DepGraph.cpp.o"
+  "CMakeFiles/cpr_analysis.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/cpr_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/cpr_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/cpr_analysis.dir/PQS.cpp.o"
+  "CMakeFiles/cpr_analysis.dir/PQS.cpp.o.d"
+  "CMakeFiles/cpr_analysis.dir/ProfileData.cpp.o"
+  "CMakeFiles/cpr_analysis.dir/ProfileData.cpp.o.d"
+  "CMakeFiles/cpr_analysis.dir/ProfileIO.cpp.o"
+  "CMakeFiles/cpr_analysis.dir/ProfileIO.cpp.o.d"
+  "CMakeFiles/cpr_analysis.dir/RegPressure.cpp.o"
+  "CMakeFiles/cpr_analysis.dir/RegPressure.cpp.o.d"
+  "libcpr_analysis.a"
+  "libcpr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpr/ControlCPR.cpp" "src/cpr/CMakeFiles/cpr_cpr.dir/ControlCPR.cpp.o" "gcc" "src/cpr/CMakeFiles/cpr_cpr.dir/ControlCPR.cpp.o.d"
+  "/root/repo/src/cpr/FullCPR.cpp" "src/cpr/CMakeFiles/cpr_cpr.dir/FullCPR.cpp.o" "gcc" "src/cpr/CMakeFiles/cpr_cpr.dir/FullCPR.cpp.o.d"
+  "/root/repo/src/cpr/Match.cpp" "src/cpr/CMakeFiles/cpr_cpr.dir/Match.cpp.o" "gcc" "src/cpr/CMakeFiles/cpr_cpr.dir/Match.cpp.o.d"
+  "/root/repo/src/cpr/OffTraceMotion.cpp" "src/cpr/CMakeFiles/cpr_cpr.dir/OffTraceMotion.cpp.o" "gcc" "src/cpr/CMakeFiles/cpr_cpr.dir/OffTraceMotion.cpp.o.d"
+  "/root/repo/src/cpr/PredicateSpeculation.cpp" "src/cpr/CMakeFiles/cpr_cpr.dir/PredicateSpeculation.cpp.o" "gcc" "src/cpr/CMakeFiles/cpr_cpr.dir/PredicateSpeculation.cpp.o.d"
+  "/root/repo/src/cpr/Restructure.cpp" "src/cpr/CMakeFiles/cpr_cpr.dir/Restructure.cpp.o" "gcc" "src/cpr/CMakeFiles/cpr_cpr.dir/Restructure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/regions/CMakeFiles/cpr_regions.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cpr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cpr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cpr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cpr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_cpr.dir/ControlCPR.cpp.o"
+  "CMakeFiles/cpr_cpr.dir/ControlCPR.cpp.o.d"
+  "CMakeFiles/cpr_cpr.dir/FullCPR.cpp.o"
+  "CMakeFiles/cpr_cpr.dir/FullCPR.cpp.o.d"
+  "CMakeFiles/cpr_cpr.dir/Match.cpp.o"
+  "CMakeFiles/cpr_cpr.dir/Match.cpp.o.d"
+  "CMakeFiles/cpr_cpr.dir/OffTraceMotion.cpp.o"
+  "CMakeFiles/cpr_cpr.dir/OffTraceMotion.cpp.o.d"
+  "CMakeFiles/cpr_cpr.dir/PredicateSpeculation.cpp.o"
+  "CMakeFiles/cpr_cpr.dir/PredicateSpeculation.cpp.o.d"
+  "CMakeFiles/cpr_cpr.dir/Restructure.cpp.o"
+  "CMakeFiles/cpr_cpr.dir/Restructure.cpp.o.d"
+  "libcpr_cpr.a"
+  "libcpr_cpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_cpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/cpr_interp.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/cpr_interp.dir/Profiler.cpp.o"
+  "CMakeFiles/cpr_interp.dir/Profiler.cpp.o.d"
+  "libcpr_interp.a"
+  "libcpr_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_ir.dir/Function.cpp.o"
+  "CMakeFiles/cpr_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/cpr_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/cpr_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/cpr_ir.dir/IRParser.cpp.o"
+  "CMakeFiles/cpr_ir.dir/IRParser.cpp.o.d"
+  "CMakeFiles/cpr_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/cpr_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/cpr_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/cpr_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/cpr_ir.dir/Support.cpp.o"
+  "CMakeFiles/cpr_ir.dir/Support.cpp.o.d"
+  "CMakeFiles/cpr_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/cpr_ir.dir/Verifier.cpp.o.d"
+  "libcpr_ir.a"
+  "libcpr_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

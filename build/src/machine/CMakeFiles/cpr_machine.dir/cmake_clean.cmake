@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_machine.dir/MachineDesc.cpp.o"
+  "CMakeFiles/cpr_machine.dir/MachineDesc.cpp.o.d"
+  "libcpr_machine.a"
+  "libcpr_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

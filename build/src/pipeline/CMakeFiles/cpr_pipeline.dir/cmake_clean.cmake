@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_pipeline.dir/CompilerPipeline.cpp.o"
+  "CMakeFiles/cpr_pipeline.dir/CompilerPipeline.cpp.o.d"
+  "CMakeFiles/cpr_pipeline.dir/Reports.cpp.o"
+  "CMakeFiles/cpr_pipeline.dir/Reports.cpp.o.d"
+  "libcpr_pipeline.a"
+  "libcpr_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

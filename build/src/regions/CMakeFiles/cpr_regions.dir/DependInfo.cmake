@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regions/DeadCodeElim.cpp" "src/regions/CMakeFiles/cpr_regions.dir/DeadCodeElim.cpp.o" "gcc" "src/regions/CMakeFiles/cpr_regions.dir/DeadCodeElim.cpp.o.d"
+  "/root/repo/src/regions/FRPConversion.cpp" "src/regions/CMakeFiles/cpr_regions.dir/FRPConversion.cpp.o" "gcc" "src/regions/CMakeFiles/cpr_regions.dir/FRPConversion.cpp.o.d"
+  "/root/repo/src/regions/IfConversion.cpp" "src/regions/CMakeFiles/cpr_regions.dir/IfConversion.cpp.o" "gcc" "src/regions/CMakeFiles/cpr_regions.dir/IfConversion.cpp.o.d"
+  "/root/repo/src/regions/LoopUnroller.cpp" "src/regions/CMakeFiles/cpr_regions.dir/LoopUnroller.cpp.o" "gcc" "src/regions/CMakeFiles/cpr_regions.dir/LoopUnroller.cpp.o.d"
+  "/root/repo/src/regions/Simplify.cpp" "src/regions/CMakeFiles/cpr_regions.dir/Simplify.cpp.o" "gcc" "src/regions/CMakeFiles/cpr_regions.dir/Simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cpr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cpr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cpr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cpr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_regions.dir/DeadCodeElim.cpp.o"
+  "CMakeFiles/cpr_regions.dir/DeadCodeElim.cpp.o.d"
+  "CMakeFiles/cpr_regions.dir/FRPConversion.cpp.o"
+  "CMakeFiles/cpr_regions.dir/FRPConversion.cpp.o.d"
+  "CMakeFiles/cpr_regions.dir/IfConversion.cpp.o"
+  "CMakeFiles/cpr_regions.dir/IfConversion.cpp.o.d"
+  "CMakeFiles/cpr_regions.dir/LoopUnroller.cpp.o"
+  "CMakeFiles/cpr_regions.dir/LoopUnroller.cpp.o.d"
+  "CMakeFiles/cpr_regions.dir/Simplify.cpp.o"
+  "CMakeFiles/cpr_regions.dir/Simplify.cpp.o.d"
+  "libcpr_regions.a"
+  "libcpr_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/ListScheduler.cpp" "src/sched/CMakeFiles/cpr_sched.dir/ListScheduler.cpp.o" "gcc" "src/sched/CMakeFiles/cpr_sched.dir/ListScheduler.cpp.o.d"
+  "/root/repo/src/sched/PerfModel.cpp" "src/sched/CMakeFiles/cpr_sched.dir/PerfModel.cpp.o" "gcc" "src/sched/CMakeFiles/cpr_sched.dir/PerfModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/cpr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cpr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cpr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cpr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

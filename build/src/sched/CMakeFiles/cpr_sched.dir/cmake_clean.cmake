@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_sched.dir/ListScheduler.cpp.o"
+  "CMakeFiles/cpr_sched.dir/ListScheduler.cpp.o.d"
+  "CMakeFiles/cpr_sched.dir/PerfModel.cpp.o"
+  "CMakeFiles/cpr_sched.dir/PerfModel.cpp.o.d"
+  "libcpr_sched.a"
+  "libcpr_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

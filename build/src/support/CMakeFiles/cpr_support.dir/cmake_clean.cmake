@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_support.dir/Error.cpp.o"
+  "CMakeFiles/cpr_support.dir/Error.cpp.o.d"
+  "CMakeFiles/cpr_support.dir/TableFormat.cpp.o"
+  "CMakeFiles/cpr_support.dir/TableFormat.cpp.o.d"
+  "libcpr_support.a"
+  "libcpr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/BenchmarkSuite.cpp" "src/workloads/CMakeFiles/cpr_workloads.dir/BenchmarkSuite.cpp.o" "gcc" "src/workloads/CMakeFiles/cpr_workloads.dir/BenchmarkSuite.cpp.o.d"
+  "/root/repo/src/workloads/Kernels.cpp" "src/workloads/CMakeFiles/cpr_workloads.dir/Kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/cpr_workloads.dir/Kernels.cpp.o.d"
+  "/root/repo/src/workloads/SyntheticProgram.cpp" "src/workloads/CMakeFiles/cpr_workloads.dir/SyntheticProgram.cpp.o" "gcc" "src/workloads/CMakeFiles/cpr_workloads.dir/SyntheticProgram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/cpr_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cpr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cpr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cpr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cpr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

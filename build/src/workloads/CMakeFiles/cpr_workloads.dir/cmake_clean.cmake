@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_workloads.dir/BenchmarkSuite.cpp.o"
+  "CMakeFiles/cpr_workloads.dir/BenchmarkSuite.cpp.o.d"
+  "CMakeFiles/cpr_workloads.dir/Kernels.cpp.o"
+  "CMakeFiles/cpr_workloads.dir/Kernels.cpp.o.d"
+  "CMakeFiles/cpr_workloads.dir/SyntheticProgram.cpp.o"
+  "CMakeFiles/cpr_workloads.dir/SyntheticProgram.cpp.o.d"
+  "libcpr_workloads.a"
+  "libcpr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_bdd_test.dir/analysis/BDDTest.cpp.o"
+  "CMakeFiles/analysis_bdd_test.dir/analysis/BDDTest.cpp.o.d"
+  "analysis_bdd_test"
+  "analysis_bdd_test.pdb"
+  "analysis_bdd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_bdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

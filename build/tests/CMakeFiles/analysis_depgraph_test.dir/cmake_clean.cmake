@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_depgraph_test.dir/analysis/DepGraphTest.cpp.o"
+  "CMakeFiles/analysis_depgraph_test.dir/analysis/DepGraphTest.cpp.o.d"
+  "analysis_depgraph_test"
+  "analysis_depgraph_test.pdb"
+  "analysis_depgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_depgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_liveness_test.dir/analysis/LivenessTest.cpp.o"
+  "CMakeFiles/analysis_liveness_test.dir/analysis/LivenessTest.cpp.o.d"
+  "analysis_liveness_test"
+  "analysis_liveness_test.pdb"
+  "analysis_liveness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_liveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_pqs_test.dir/analysis/PQSTest.cpp.o"
+  "CMakeFiles/analysis_pqs_test.dir/analysis/PQSTest.cpp.o.d"
+  "analysis_pqs_test"
+  "analysis_pqs_test.pdb"
+  "analysis_pqs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_pqs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_profileio_test.dir/analysis/ProfileIOTest.cpp.o"
+  "CMakeFiles/analysis_profileio_test.dir/analysis/ProfileIOTest.cpp.o.d"
+  "analysis_profileio_test"
+  "analysis_profileio_test.pdb"
+  "analysis_profileio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_profileio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

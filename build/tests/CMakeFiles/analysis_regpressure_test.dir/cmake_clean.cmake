@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_regpressure_test.dir/analysis/RegPressureTest.cpp.o"
+  "CMakeFiles/analysis_regpressure_test.dir/analysis/RegPressureTest.cpp.o.d"
+  "analysis_regpressure_test"
+  "analysis_regpressure_test.pdb"
+  "analysis_regpressure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_regpressure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

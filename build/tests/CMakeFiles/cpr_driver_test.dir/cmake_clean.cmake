@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_driver_test.dir/cpr/ControlCPRDriverTest.cpp.o"
+  "CMakeFiles/cpr_driver_test.dir/cpr/ControlCPRDriverTest.cpp.o.d"
+  "cpr_driver_test"
+  "cpr_driver_test.pdb"
+  "cpr_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_fullcpr_test.dir/cpr/FullCPRTest.cpp.o"
+  "CMakeFiles/cpr_fullcpr_test.dir/cpr/FullCPRTest.cpp.o.d"
+  "cpr_fullcpr_test"
+  "cpr_fullcpr_test.pdb"
+  "cpr_fullcpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_fullcpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

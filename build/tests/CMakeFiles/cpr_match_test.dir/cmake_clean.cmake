@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_match_test.dir/cpr/MatchTest.cpp.o"
+  "CMakeFiles/cpr_match_test.dir/cpr/MatchTest.cpp.o.d"
+  "cpr_match_test"
+  "cpr_match_test.pdb"
+  "cpr_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

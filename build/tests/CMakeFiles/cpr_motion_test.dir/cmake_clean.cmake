@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_motion_test.dir/cpr/OffTraceMotionTest.cpp.o"
+  "CMakeFiles/cpr_motion_test.dir/cpr/OffTraceMotionTest.cpp.o.d"
+  "cpr_motion_test"
+  "cpr_motion_test.pdb"
+  "cpr_motion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_motion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

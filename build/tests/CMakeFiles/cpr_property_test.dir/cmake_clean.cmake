@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_property_test.dir/cpr/PropertyTest.cpp.o"
+  "CMakeFiles/cpr_property_test.dir/cpr/PropertyTest.cpp.o.d"
+  "cpr_property_test"
+  "cpr_property_test.pdb"
+  "cpr_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_restructure_test.dir/cpr/RestructureTest.cpp.o"
+  "CMakeFiles/cpr_restructure_test.dir/cpr/RestructureTest.cpp.o.d"
+  "cpr_restructure_test"
+  "cpr_restructure_test.pdb"
+  "cpr_restructure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_restructure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_speculation_test.dir/cpr/SpeculationTest.cpp.o"
+  "CMakeFiles/cpr_speculation_test.dir/cpr/SpeculationTest.cpp.o.d"
+  "cpr_speculation_test"
+  "cpr_speculation_test.pdb"
+  "cpr_speculation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_speculation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

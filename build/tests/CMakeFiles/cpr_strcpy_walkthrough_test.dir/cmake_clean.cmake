@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_strcpy_walkthrough_test.dir/cpr/StrcpyWalkthroughTest.cpp.o"
+  "CMakeFiles/cpr_strcpy_walkthrough_test.dir/cpr/StrcpyWalkthroughTest.cpp.o.d"
+  "cpr_strcpy_walkthrough_test"
+  "cpr_strcpy_walkthrough_test.pdb"
+  "cpr_strcpy_walkthrough_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_strcpy_walkthrough_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

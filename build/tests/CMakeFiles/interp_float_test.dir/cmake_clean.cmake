@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_float_test.dir/interp/FloatOpsTest.cpp.o"
+  "CMakeFiles/interp_float_test.dir/interp/FloatOpsTest.cpp.o.d"
+  "interp_float_test"
+  "interp_float_test.pdb"
+  "interp_float_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_float_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

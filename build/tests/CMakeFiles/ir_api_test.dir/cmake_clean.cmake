@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_api_test.dir/ir/IRApiTest.cpp.o"
+  "CMakeFiles/ir_api_test.dir/ir/IRApiTest.cpp.o.d"
+  "ir_api_test"
+  "ir_api_test.pdb"
+  "ir_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_cmpp_action_test.dir/ir/CmppActionTest.cpp.o"
+  "CMakeFiles/ir_cmpp_action_test.dir/ir/CmppActionTest.cpp.o.d"
+  "ir_cmpp_action_test"
+  "ir_cmpp_action_test.pdb"
+  "ir_cmpp_action_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_cmpp_action_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_roundtrip_property_test.dir/ir/RoundTripPropertyTest.cpp.o"
+  "CMakeFiles/ir_roundtrip_property_test.dir/ir/RoundTripPropertyTest.cpp.o.d"
+  "ir_roundtrip_property_test"
+  "ir_roundtrip_property_test.pdb"
+  "ir_roundtrip_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_roundtrip_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_verifier_test.dir/ir/VerifierTest.cpp.o"
+  "CMakeFiles/ir_verifier_test.dir/ir/VerifierTest.cpp.o.d"
+  "ir_verifier_test"
+  "ir_verifier_test.pdb"
+  "ir_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_desc_test.dir/machine/MachineDescTest.cpp.o"
+  "CMakeFiles/machine_desc_test.dir/machine/MachineDescTest.cpp.o.d"
+  "machine_desc_test"
+  "machine_desc_test.pdb"
+  "machine_desc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_desc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

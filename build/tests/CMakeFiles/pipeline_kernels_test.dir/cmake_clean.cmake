@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_kernels_test.dir/pipeline/PipelineKernelsTest.cpp.o"
+  "CMakeFiles/pipeline_kernels_test.dir/pipeline/PipelineKernelsTest.cpp.o.d"
+  "pipeline_kernels_test"
+  "pipeline_kernels_test.pdb"
+  "pipeline_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

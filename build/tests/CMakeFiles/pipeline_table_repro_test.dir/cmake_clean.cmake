@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_table_repro_test.dir/pipeline/TableReproTest.cpp.o"
+  "CMakeFiles/pipeline_table_repro_test.dir/pipeline/TableReproTest.cpp.o.d"
+  "pipeline_table_repro_test"
+  "pipeline_table_repro_test.pdb"
+  "pipeline_table_repro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_table_repro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_dce_test.dir/regions/DeadCodeElimTest.cpp.o"
+  "CMakeFiles/regions_dce_test.dir/regions/DeadCodeElimTest.cpp.o.d"
+  "regions_dce_test"
+  "regions_dce_test.pdb"
+  "regions_dce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_dce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

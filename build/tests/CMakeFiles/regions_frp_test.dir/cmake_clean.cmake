@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_frp_test.dir/regions/FRPConversionTest.cpp.o"
+  "CMakeFiles/regions_frp_test.dir/regions/FRPConversionTest.cpp.o.d"
+  "regions_frp_test"
+  "regions_frp_test.pdb"
+  "regions_frp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_frp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_ifconversion_test.dir/regions/IfConversionTest.cpp.o"
+  "CMakeFiles/regions_ifconversion_test.dir/regions/IfConversionTest.cpp.o.d"
+  "regions_ifconversion_test"
+  "regions_ifconversion_test.pdb"
+  "regions_ifconversion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_ifconversion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_simplify_test.dir/regions/SimplifyTest.cpp.o"
+  "CMakeFiles/regions_simplify_test.dir/regions/SimplifyTest.cpp.o.d"
+  "regions_simplify_test"
+  "regions_simplify_test.pdb"
+  "regions_simplify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

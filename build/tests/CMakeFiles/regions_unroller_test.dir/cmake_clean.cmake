@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regions_unroller_test.dir/regions/LoopUnrollerTest.cpp.o"
+  "CMakeFiles/regions_unroller_test.dir/regions/LoopUnrollerTest.cpp.o.d"
+  "regions_unroller_test"
+  "regions_unroller_test.pdb"
+  "regions_unroller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regions_unroller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_perfmodel_test.dir/sched/PerfModelTest.cpp.o"
+  "CMakeFiles/sched_perfmodel_test.dir/sched/PerfModelTest.cpp.o.d"
+  "sched_perfmodel_test"
+  "sched_perfmodel_test.pdb"
+  "sched_perfmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_perfmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/WorkloadTest.cpp" "tests/CMakeFiles/workloads_test.dir/workloads/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/WorkloadTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/cpr_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cpr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpr/CMakeFiles/cpr_cpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cpr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/regions/CMakeFiles/cpr_regions.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/cpr_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cpr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cpr_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cpr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cpr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cprc.dir/cprc.cpp.o"
+  "CMakeFiles/cprc.dir/cprc.cpp.o.d"
+  "cprc"
+  "cprc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cprc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

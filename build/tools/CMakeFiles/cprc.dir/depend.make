@@ -1,0 +1,2 @@
+# Empty dependencies file for cprc.
+# This may be replaced when dependencies are built.

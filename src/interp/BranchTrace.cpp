@@ -1,0 +1,123 @@
+//===- interp/BranchTrace.cpp - Dynamic branch event traces ---------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/BranchTrace.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+using namespace cpr;
+
+void BranchTrace::record(OpId Op, bool Taken) {
+  ++Total;
+  if (Capacity == 0 || Buf.size() < Capacity) {
+    Buf.push_back(BranchEvent{Op, Taken});
+    return;
+  }
+  // Ring full: overwrite the oldest slot and advance the head.
+  Buf[Head] = BranchEvent{Op, Taken};
+  Head = (Head + 1) % Capacity;
+}
+
+const BranchEvent &BranchTrace::event(size_t I) const {
+  assert(I < Buf.size() && "event index out of range");
+  return Buf[(Head + I) % Buf.size()];
+}
+
+void BranchTrace::clear() {
+  Buf.clear();
+  Head = 0;
+  Total = 0;
+  Terminal = InvalidOpId;
+}
+
+std::string cpr::serializeBranchTrace(const BranchTrace &T) {
+  std::string Out = "btrace v1\n";
+  char Line[96];
+  if (T.droppedEvents() != 0) {
+    std::snprintf(Line, sizeof(Line), "drop %" PRIu64 "\n",
+                  T.droppedEvents());
+    Out += Line;
+  }
+  for (size_t I = 0, E = T.size(); I != E;) {
+    const BranchEvent &Ev = T.event(I);
+    size_t Run = 1;
+    while (I + Run != E && T.event(I + Run) == Ev)
+      ++Run;
+    std::snprintf(Line, sizeof(Line), "ev %u %c %zu\n", Ev.Op,
+                  Ev.Taken ? 't' : 'n', Run);
+    Out += Line;
+    I += Run;
+  }
+  if (T.hasTerminal()) {
+    std::snprintf(Line, sizeof(Line), "term %u\n", T.terminalOp());
+    Out += Line;
+  }
+  return Out;
+}
+
+TraceParseResult cpr::parseBranchTrace(const std::string &Text) {
+  TraceParseResult Res;
+  std::istringstream In(Text);
+  std::string LineStr;
+  unsigned LineNo = 0;
+  bool SawHeader = false;
+  auto fail = [&](const std::string &Msg) {
+    Res.Error = "line " + std::to_string(LineNo) + ": " + Msg;
+  };
+  while (std::getline(In, LineStr)) {
+    ++LineNo;
+    size_t Hash = LineStr.find('#');
+    if (Hash != std::string::npos)
+      LineStr.resize(Hash);
+    std::istringstream L(LineStr);
+    std::string Kind;
+    if (!(L >> Kind))
+      continue;
+    if (!SawHeader) {
+      std::string Version;
+      if (Kind != "btrace" || !(L >> Version) || Version != "v1") {
+        fail("expected 'btrace v1' header");
+        return Res;
+      }
+      SawHeader = true;
+      continue;
+    }
+    if (Kind == "ev") {
+      uint64_t Id, Count;
+      std::string Dir;
+      if (!(L >> Id >> Dir >> Count) || (Dir != "t" && Dir != "n") ||
+          Count == 0) {
+        fail("bad ev record");
+        return Res;
+      }
+      for (uint64_t I = 0; I != Count; ++I)
+        Res.Trace.record(static_cast<OpId>(Id), Dir == "t");
+    } else if (Kind == "term") {
+      uint64_t Id;
+      if (!(L >> Id)) {
+        fail("bad term record");
+        return Res;
+      }
+      Res.Trace.markTerminal(static_cast<OpId>(Id));
+    } else if (Kind == "drop") {
+      uint64_t N;
+      if (!(L >> N)) {
+        fail("bad drop record");
+        return Res;
+      }
+      Res.Trace.addDropped(N);
+    } else {
+      fail("unknown record '" + Kind + "'");
+      return Res;
+    }
+  }
+  if (!SawHeader)
+    Res.Error = "missing 'btrace v1' header";
+  return Res;
+}

@@ -1,0 +1,113 @@
+//===- interp/BranchTrace.h - Dynamic branch event traces -------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic branch stream of one interpreter run: every dispatched
+/// branch operation, in execution order, with its taken outcome, plus a
+/// terminal marker naming the halt/trap that ended the run. The trace is
+/// what separates the paper's static performance methodology from a
+/// dynamic one: replayed through a branch predictor (sim/BranchPredictor.h)
+/// it exposes exactly the mispredictions the paper's frequency-weighted
+/// formula ignores.
+///
+/// Storage is an in-memory ring: with a capacity the oldest events are
+/// dropped once full (cheap always-on recording); with capacity 0 the
+/// trace is unbounded (required for cycle simulation, which must replay
+/// the run from its first branch).
+///
+/// A compact line-oriented serialization lives alongside, in the format
+/// family of analysis/ProfileIO.h. Consecutive identical (branch, outcome)
+/// events are run-length encoded, which collapses the single-branch-loop
+/// traces unrolled kernels produce:
+///
+///   btrace v1
+///   drop <count>              # events lost to the ring (omitted when 0)
+///   ev <opId> <t|n> <count>   # <count> consecutive identical events
+///   term <opId>               # the halt/trap that ended the run
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INTERP_BRANCHTRACE_H
+#define INTERP_BRANCHTRACE_H
+
+#include "ir/Operation.h"
+
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+/// One dispatched branch: which operation, and whether it took. Nullified
+/// branches (false guard) are recorded as not taken, mirroring the
+/// profiler's reached/taken accounting.
+struct BranchEvent {
+  OpId Op = InvalidOpId;
+  bool Taken = false;
+
+  bool operator==(const BranchEvent &O) const {
+    return Op == O.Op && Taken == O.Taken;
+  }
+};
+
+/// Execution-ordered branch events with bounded (ring) or unbounded
+/// storage.
+class BranchTrace {
+public:
+  /// \p Capacity of 0 keeps every event; otherwise the trace is a ring
+  /// that retains only the newest \p Capacity events.
+  explicit BranchTrace(size_t Capacity = 0) : Capacity(Capacity) {}
+
+  /// Appends one event, evicting the oldest when the ring is full.
+  void record(OpId Op, bool Taken);
+
+  /// Notes the halt/trap operation that ended the run.
+  void markTerminal(OpId Op) { Terminal = Op; }
+  bool hasTerminal() const { return Terminal != InvalidOpId; }
+  OpId terminalOp() const { return Terminal; }
+
+  /// Number of retained events.
+  size_t size() const { return Buf.size(); }
+  bool empty() const { return Buf.empty(); }
+
+  /// The \p I-th retained event, oldest first.
+  const BranchEvent &event(size_t I) const;
+
+  /// Total events ever recorded, including evicted ones.
+  uint64_t totalRecorded() const { return Total; }
+
+  /// Events lost to ring eviction. A simulation requires 0.
+  uint64_t droppedEvents() const { return Total - Buf.size(); }
+
+  /// Accounts \p N externally dropped events (used by deserialization to
+  /// preserve the drop count of a serialized ring trace).
+  void addDropped(uint64_t N) { Total += N; }
+
+  void clear();
+
+private:
+  size_t Capacity;
+  size_t Head = 0; ///< index of the oldest event when the ring wrapped
+  uint64_t Total = 0;
+  OpId Terminal = InvalidOpId;
+  std::vector<BranchEvent> Buf;
+};
+
+/// Serializes \p T in the run-length-encoded text format above.
+std::string serializeBranchTrace(const BranchTrace &T);
+
+/// Parse result for branch traces.
+struct TraceParseResult {
+  BranchTrace Trace;
+  std::string Error; ///< empty on success
+  explicit operator bool() const { return Error.empty(); }
+};
+
+/// Parses a trace serialized by serializeBranchTrace.
+TraceParseResult parseBranchTrace(const std::string &Text);
+
+} // namespace cpr
+
+#endif // INTERP_BRANCHTRACE_H

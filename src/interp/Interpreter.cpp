@@ -187,6 +187,8 @@ RunResult cpr::interpret(const Function &F, Memory &Mem,
       if (Opts.Profile)
         Opts.Profile->addBranchReached(Op.getId());
       bool Take = Guard && Regs.pred(Op.branchPred().getId());
+      if (Opts.Trace)
+        Opts.Trace->record(Op.getId(), Take);
       if (Take) {
         ++Res.Stats.BranchesTaken;
         if (Opts.Profile)
@@ -253,12 +255,16 @@ RunResult cpr::interpret(const Function &F, Memory &Mem,
       break;
     case Opcode::Halt: {
       Res.St = RunResult::Status::Halted;
+      if (Opts.Trace)
+        Opts.Trace->markTerminal(Op.getId());
       for (Reg R : F.observableRegs())
         Res.Observed.push_back(Regs.gpr(R.getId()));
       return Res;
     }
     case Opcode::Trap:
       Res.St = RunResult::Status::Trapped;
+      if (Opts.Trace)
+        Opts.Trace->markTerminal(Op.getId());
       Res.ErrorMsg = "trap executed in block @" + B.getName();
       return Res;
     case Opcode::Nop:

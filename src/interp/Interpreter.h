@@ -24,6 +24,7 @@
 #define INTERP_INTERPRETER_H
 
 #include "analysis/ProfileData.h"
+#include "interp/BranchTrace.h"
 #include "interp/Memory.h"
 #include "ir/Function.h"
 
@@ -96,6 +97,9 @@ struct InterpOptions {
   ProfileData *Profile = nullptr;
   /// When set, every executed store appends an event here.
   std::vector<StoreEvent> *StoreTrace = nullptr;
+  /// When set, every dispatched branch appends a BranchEvent here and the
+  /// terminating halt/trap is marked (the input of sim/TraceSimulator.h).
+  BranchTrace *Trace = nullptr;
 };
 
 /// Executes \p F starting at its entry block against \p Mem.

@@ -12,10 +12,11 @@ using namespace cpr;
 
 ProfileData cpr::profileRun(const Function &F, Memory &Mem,
                             const std::vector<RegBinding> &InitRegs,
-                            DynStats *StatsOut) {
+                            DynStats *StatsOut, BranchTrace *TraceOut) {
   ProfileData Profile;
   InterpOptions Opts;
   Opts.Profile = &Profile;
+  Opts.Trace = TraceOut;
   RunResult R = interpret(F, Mem, InitRegs, Opts);
   if (!R.halted())
     reportFatalError("profiling run of @" + F.getName() +

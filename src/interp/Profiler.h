@@ -19,10 +19,12 @@
 namespace cpr {
 
 /// Runs \p F once and returns its profile. \p Mem is mutated.
-/// Aborts if the run does not halt cleanly.
+/// Aborts if the run does not halt cleanly. When \p TraceOut is non-null
+/// the run's branch stream is recorded there as well.
 ProfileData profileRun(const Function &F, Memory &Mem,
                        const std::vector<RegBinding> &InitRegs,
-                       DynStats *StatsOut = nullptr);
+                       DynStats *StatsOut = nullptr,
+                       BranchTrace *TraceOut = nullptr);
 
 /// Result of an equivalence comparison.
 struct EquivResult {

@@ -64,11 +64,25 @@ public:
   /// The configured branch latency.
   int branchLatency() const { return BranchLatency; }
 
+  /// Cycles a mispredicted branch costs beyond its schedule position
+  /// (fetch redirect + front-end refill), used by the trace-driven
+  /// simulator (sim/TraceSimulator.h). The paper's static methodology
+  /// corresponds to a penalty of 0.
+  int mispredictPenalty() const { return MispredictPenalty; }
+  MachineDesc &setMispredictPenalty(int Cycles) {
+    assert(Cycles >= 0 && "penalty cannot be negative");
+    MispredictPenalty = Cycles;
+    return *this;
+  }
+
 private:
   std::string Name;
   int Width[4];
   bool Sequential;
   int BranchLatency;
+  /// Default pipeline-restart cost: branch latency plus a short front-end
+  /// refill, set in the constructor.
+  int MispredictPenalty;
 };
 
 } // namespace cpr

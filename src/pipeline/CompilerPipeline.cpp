@@ -31,6 +31,15 @@ double PipelineResult::speedupOn(const std::string &MachineName) const {
   return 0.0;
 }
 
+const SimComparison *
+PipelineResult::simOn(const std::string &MachineName,
+                      const std::string &PredictorName) const {
+  for (const SimComparison &S : Sim)
+    if (S.MachineName == MachineName && S.PredictorName == PredictorName)
+      return &S;
+  return nullptr;
+}
+
 std::unique_ptr<Function> cpr::applyControlCPR(const Function &Baseline,
                                                const ProfileData &Profile,
                                                const CPROptions &Opts,
@@ -63,11 +72,14 @@ PipelineResult cpr::runPipeline(const KernelProgram &Program,
     verifyOrDie(Baseline, "after unrolling");
   }
 
-  // 1. Profile the baseline.
+  // 1. Profile the baseline (recording its branch stream when the
+  // dynamic simulation is requested).
   Memory MemBase = Program.InitMem;
   DynStats BaseStats;
+  BranchTrace BaseTrace;
   ProfileData BaseProfile =
-      profileRun(Baseline, MemBase, Program.InitRegs, &BaseStats);
+      profileRun(Baseline, MemBase, Program.InitRegs, &BaseStats,
+                 Opts.Simulate ? &BaseTrace : nullptr);
   Res.DynBaseline = BaseStats;
 
   // 2. Transform.
@@ -86,8 +98,10 @@ PipelineResult cpr::runPipeline(const KernelProgram &Program,
   // code being scheduled).
   Memory MemTreated = Program.InitMem;
   DynStats TreatedStats;
+  BranchTrace TreatedTrace;
   ProfileData TreatedProfile =
-      profileRun(*Res.Treated, MemTreated, Program.InitRegs, &TreatedStats);
+      profileRun(*Res.Treated, MemTreated, Program.InitRegs, &TreatedStats,
+                 Opts.Simulate ? &TreatedTrace : nullptr);
   Res.DynTreated = TreatedStats;
 
   // Static counts.
@@ -106,6 +120,38 @@ PipelineResult cpr::runPipeline(const KernelProgram &Program,
         estimatePerformance(*Res.Treated, MD, TreatedProfile, Opts.Perf)
             .TotalCycles;
     Res.Machines.push_back(MC);
+  }
+
+  // 6. Optional dynamic refinement: replay both traces through each
+  // predictor on each machine, with misprediction penalties charged.
+  if (Opts.Simulate) {
+    SimOptions SO;
+    SO.MispredictPenalty = Opts.MispredictPenalty;
+    SO.AllowSpeculation = Opts.Perf.AllowSpeculation;
+    for (const MachineDesc &MD : Opts.Machines) {
+      for (PredictorKind K : Opts.Predictors) {
+        SimComparison SC;
+        SC.MachineName = MD.getName();
+        SC.PredictorName = predictorKindName(K);
+
+        PredictorConfig CB;
+        CB.Profile = &BaseProfile;
+        std::unique_ptr<BranchPredictor> PB = makePredictor(K, CB);
+        SC.Baseline = simulateTrace(Baseline, MD, BaseTrace, *PB, SO);
+
+        PredictorConfig CT;
+        CT.Profile = &TreatedProfile;
+        std::unique_ptr<BranchPredictor> PT = makePredictor(K, CT);
+        SC.Treated = simulateTrace(*Res.Treated, MD, TreatedTrace, *PT, SO);
+
+        if (!SC.Baseline.ok() || !SC.Treated.ok())
+          reportFatalError("trace simulation of @" + Baseline.getName() +
+                           " failed: " +
+                           (SC.Baseline.ok() ? SC.Treated.Error
+                                             : SC.Baseline.Error));
+        Res.Sim.push_back(std::move(SC));
+      }
+    }
   }
   return Res;
 }

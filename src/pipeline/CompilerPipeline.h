@@ -24,6 +24,7 @@
 
 #include "cpr/ControlCPR.h"
 #include "sched/PerfModel.h"
+#include "sim/TraceSimulator.h"
 #include "workloads/Kernels.h"
 
 #include <string>
@@ -45,6 +46,16 @@ struct PipelineOptions {
   std::vector<MachineDesc> Machines = MachineDesc::paperModels();
   /// Abort if the treated code is not observationally equivalent.
   bool CheckEquivalence = true;
+  /// When true, the profiling runs also record branch traces and the
+  /// pipeline fills PipelineResult::Sim with trace-driven dynamic
+  /// estimates (the "Table 2-dyn" data) for every machine x predictor.
+  bool Simulate = false;
+  /// Predictors simulated when Simulate is set.
+  std::vector<PredictorKind> Predictors = {
+      PredictorKind::Static, PredictorKind::Bimodal, PredictorKind::Gshare,
+      PredictorKind::Local};
+  /// Misprediction penalty in cycles; negative uses each machine's knob.
+  int MispredictPenalty = -1;
 };
 
 /// Per-machine timing comparison.
@@ -54,6 +65,19 @@ struct MachineComparison {
   double TreatedCycles = 0.0;
   double speedup() const {
     return TreatedCycles > 0.0 ? BaselineCycles / TreatedCycles : 0.0;
+  }
+};
+
+/// Per-machine, per-predictor dynamic timing comparison.
+struct SimComparison {
+  std::string MachineName;
+  std::string PredictorName;
+  SimEstimate Baseline;
+  SimEstimate Treated;
+  double speedup() const {
+    return Treated.TotalCycles > 0.0
+               ? Baseline.TotalCycles / Treated.TotalCycles
+               : 0.0;
   }
 };
 
@@ -73,6 +97,10 @@ struct PipelineResult {
 
   // Per-machine cycle estimates (Table 2).
   std::vector<MachineComparison> Machines;
+
+  // Trace-driven dynamic estimates (machine x predictor), filled only
+  // when PipelineOptions::Simulate is set.
+  std::vector<SimComparison> Sim;
 
   CPRResult CPR;
 
@@ -106,6 +134,11 @@ struct PipelineResult {
 
   /// Speedup on the machine named \p Name, or 0 if absent.
   double speedupOn(const std::string &MachineName) const;
+
+  /// The simulated comparison for (\p MachineName, \p PredictorName), or
+  /// nullptr if absent.
+  const SimComparison *simOn(const std::string &MachineName,
+                             const std::string &PredictorName) const;
 };
 
 /// Produces the height-reduced (FRP + ICBM + DCE) version of \p Baseline,

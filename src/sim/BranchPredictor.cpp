@@ -1,0 +1,212 @@
+//===- sim/BranchPredictor.cpp - Pluggable branch predictors --------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/BranchPredictor.h"
+
+#include "support/Error.h"
+
+#include <unordered_map>
+
+using namespace cpr;
+
+const char *cpr::predictorKindName(PredictorKind K) {
+  switch (K) {
+  case PredictorKind::Static:
+    return "static";
+  case PredictorKind::Bimodal:
+    return "bimodal";
+  case PredictorKind::Gshare:
+    return "gshare";
+  case PredictorKind::Local:
+    return "local";
+  }
+  CPR_UNREACHABLE("bad predictor kind");
+}
+
+bool cpr::parsePredictorKind(const std::string &Name, PredictorKind &Out) {
+  for (PredictorKind K : allPredictorKinds()) {
+    if (Name == predictorKindName(K)) {
+      Out = K;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<PredictorKind> cpr::allPredictorKinds() {
+  return {PredictorKind::Static, PredictorKind::Bimodal,
+          PredictorKind::Gshare, PredictorKind::Local};
+}
+
+uint32_t cpr::predictorTableIndex(OpId Br, unsigned Bits) {
+  uint32_t Mask = Bits >= 32 ? ~0u : ((1u << Bits) - 1);
+  return (Br ^ (Br >> Bits)) & Mask;
+}
+
+namespace {
+
+/// Saturating 2-bit counter helpers. Counters range 0..3; >= 2 predicts
+/// taken. Tables initialize to 1 (weakly not taken), matching the
+/// fall-through bias of superblock code.
+constexpr uint8_t WeaklyNotTaken = 1;
+
+void train(uint8_t &Counter, bool Taken) {
+  if (Taken) {
+    if (Counter < 3)
+      ++Counter;
+  } else if (Counter > 0) {
+    --Counter;
+  }
+}
+
+bool counterTaken(uint8_t Counter) { return Counter >= 2; }
+
+/// Profile-based static prediction: one direction per branch, chosen by
+/// its profiled taken ratio, never updated at run time.
+class StaticPredictor final : public BranchPredictor {
+public:
+  explicit StaticPredictor(const PredictorConfig &C) {
+    if (!C.Profile)
+      return;
+    // Snapshot the directions so the predictor does not dangle a profile
+    // reference beyond construction.
+    Threshold = C.PredictTakenThreshold;
+    Profile = *C.Profile;
+    HasProfile = true;
+  }
+
+  const char *name() const override { return "static"; }
+
+  bool predict(OpId Br) override {
+    if (!HasProfile || Profile.branchReached(Br) == 0)
+      return false; // fall-through bias
+    return Profile.takenRatio(Br) >= Threshold;
+  }
+
+  void update(OpId, bool) override {}
+
+  void reset() override { clearStats(); }
+
+private:
+  ProfileData Profile;
+  double Threshold = 0.5;
+  bool HasProfile = false;
+};
+
+/// Per-branch 2-bit counters in a hashed direct-mapped table.
+class BimodalPredictor final : public BranchPredictor {
+public:
+  explicit BimodalPredictor(const PredictorConfig &C)
+      : Bits(C.TableBits), Table(size_t(1) << C.TableBits, WeaklyNotTaken) {}
+
+  const char *name() const override { return "bimodal"; }
+
+  bool predict(OpId Br) override {
+    return counterTaken(Table[predictorTableIndex(Br, Bits)]);
+  }
+
+  void update(OpId Br, bool Taken) override {
+    train(Table[predictorTableIndex(Br, Bits)], Taken);
+  }
+
+  void reset() override {
+    std::fill(Table.begin(), Table.end(), WeaklyNotTaken);
+    clearStats();
+  }
+
+private:
+  unsigned Bits;
+  std::vector<uint8_t> Table;
+};
+
+/// McFarling gshare: counter table indexed by branch id XOR global
+/// taken/not-taken history.
+class GsharePredictor final : public BranchPredictor {
+public:
+  explicit GsharePredictor(const PredictorConfig &C)
+      : Bits(C.TableBits), Table(size_t(1) << C.TableBits, WeaklyNotTaken),
+        HistMask(C.HistoryBits == 0 ? 0
+                 : C.HistoryBits >= 32
+                     ? ~0u
+                     : ((1u << C.HistoryBits) - 1)) {}
+
+  const char *name() const override { return "gshare"; }
+
+  bool predict(OpId Br) override { return counterTaken(Table[index(Br)]); }
+
+  void update(OpId Br, bool Taken) override {
+    train(Table[index(Br)], Taken);
+    History = ((History << 1) | (Taken ? 1u : 0u)) & HistMask;
+  }
+
+  void reset() override {
+    std::fill(Table.begin(), Table.end(), WeaklyNotTaken);
+    History = 0;
+    clearStats();
+  }
+
+private:
+  uint32_t index(OpId Br) const {
+    uint32_t Mask = static_cast<uint32_t>(Table.size() - 1);
+    return (predictorTableIndex(Br, Bits) ^ History) & Mask;
+  }
+
+  unsigned Bits;
+  std::vector<uint8_t> Table;
+  uint32_t HistMask;
+  uint32_t History = 0;
+};
+
+/// Two-level local predictor: a per-branch history table (indexed like
+/// bimodal) selects a 2-bit counter in a shared pattern table.
+class LocalPredictor final : public BranchPredictor {
+public:
+  explicit LocalPredictor(const PredictorConfig &C)
+      : Bits(C.TableBits), Histories(size_t(1) << C.TableBits, 0),
+        Patterns(size_t(1) << C.LocalHistoryBits, WeaklyNotTaken),
+        HistMask(static_cast<uint32_t>(Patterns.size() - 1)) {}
+
+  const char *name() const override { return "local"; }
+
+  bool predict(OpId Br) override {
+    return counterTaken(Patterns[Histories[predictorTableIndex(Br, Bits)]]);
+  }
+
+  void update(OpId Br, bool Taken) override {
+    uint32_t &H = Histories[predictorTableIndex(Br, Bits)];
+    train(Patterns[H], Taken);
+    H = ((H << 1) | (Taken ? 1u : 0u)) & HistMask;
+  }
+
+  void reset() override {
+    std::fill(Histories.begin(), Histories.end(), 0u);
+    std::fill(Patterns.begin(), Patterns.end(), WeaklyNotTaken);
+    clearStats();
+  }
+
+private:
+  unsigned Bits;
+  std::vector<uint32_t> Histories;
+  std::vector<uint8_t> Patterns;
+  uint32_t HistMask;
+};
+
+} // namespace
+
+std::unique_ptr<BranchPredictor> cpr::makePredictor(PredictorKind K,
+                                                    const PredictorConfig &C) {
+  switch (K) {
+  case PredictorKind::Static:
+    return std::make_unique<StaticPredictor>(C);
+  case PredictorKind::Bimodal:
+    return std::make_unique<BimodalPredictor>(C);
+  case PredictorKind::Gshare:
+    return std::make_unique<GsharePredictor>(C);
+  case PredictorKind::Local:
+    return std::make_unique<LocalPredictor>(C);
+  }
+  CPR_UNREACHABLE("bad predictor kind");
+}

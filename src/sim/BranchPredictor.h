@@ -1,0 +1,145 @@
+//===- sim/BranchPredictor.h - Pluggable branch predictors ------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Branch direction predictors for the trace-driven simulator. The paper's
+/// performance methodology charges no misprediction cost at all; these
+/// models let the repository quantify control CPR's central dynamic
+/// trade-off -- collapsing several highly predictable exit branches into
+/// one combined bypass branch whose direction is harder to learn.
+///
+/// Four models, in increasing sophistication:
+///
+///  - Static:  profile-based predict-taken heuristic, one fixed direction
+///             per branch (the strongest model the paper's static
+///             methodology implicitly assumes);
+///  - Bimodal: per-branch 2-bit saturating counters in a hashed table;
+///  - Gshare:  2-bit counters indexed by branch id XOR global history
+///             (McFarling-style);
+///  - Local:   two-level with per-branch history registers selecting a
+///             pattern table of 2-bit counters.
+///
+/// Branches are keyed by OpId -- the IR has no instruction addresses, and
+/// ids survive transformation, so baseline and treated traces index
+/// predictor state the same way a PC would.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIM_BRANCHPREDICTOR_H
+#define SIM_BRANCHPREDICTOR_H
+
+#include "analysis/ProfileData.h"
+
+#include <memory>
+#include <string>
+
+namespace cpr {
+
+/// The available predictor models.
+enum class PredictorKind {
+  Static,  ///< profile-based fixed direction per branch
+  Bimodal, ///< hashed table of 2-bit counters
+  Gshare,  ///< global-history XOR indexing
+  Local,   ///< two-level local-history predictor
+};
+
+/// Printable name of \p K ("static", "bimodal", "gshare", "local").
+const char *predictorKindName(PredictorKind K);
+
+/// Parses a predictor name as printed by predictorKindName.
+/// Returns false on an unknown name.
+bool parsePredictorKind(const std::string &Name, PredictorKind &Out);
+
+/// All four kinds, in definition order.
+std::vector<PredictorKind> allPredictorKinds();
+
+/// Sizing and seeding for makePredictor.
+struct PredictorConfig {
+  /// log2 of the counter-table size for bimodal/gshare and of the
+  /// history-table size for local.
+  unsigned TableBits = 10;
+  /// Global history length for gshare, in bits.
+  unsigned HistoryBits = 8;
+  /// Per-branch history length for the local predictor, in bits (also
+  /// log2 of its pattern table size).
+  unsigned LocalHistoryBits = 6;
+  /// Profile consulted by the static predictor; unknown or unprofiled
+  /// branches are predicted not taken (superblock fall-through bias).
+  const ProfileData *Profile = nullptr;
+  /// A branch whose profiled taken ratio meets this threshold is
+  /// statically predicted taken.
+  double PredictTakenThreshold = 0.5;
+};
+
+/// Aggregate prediction accuracy counters.
+struct PredictorStats {
+  uint64_t Lookups = 0;
+  uint64_t Mispredicts = 0;
+
+  /// Mispredictions per lookup; 0 when never consulted.
+  double missRate() const {
+    return Lookups == 0 ? 0.0
+                        : static_cast<double>(Mispredicts) /
+                              static_cast<double>(Lookups);
+  }
+  /// Mispredicts per 1000 dispatched operations (\p DynOps).
+  double mpki(uint64_t DynOps) const {
+    return DynOps == 0 ? 0.0
+                       : 1000.0 * static_cast<double>(Mispredicts) /
+                             static_cast<double>(DynOps);
+  }
+};
+
+/// A dynamic branch direction predictor.
+class BranchPredictor {
+public:
+  virtual ~BranchPredictor() = default;
+
+  virtual const char *name() const = 0;
+
+  /// Predicted direction for branch \p Br (true = taken).
+  virtual bool predict(OpId Br) = 0;
+
+  /// Trains tables and advances history with the resolved direction.
+  virtual void update(OpId Br, bool Taken) = 0;
+
+  /// Clears all learned state and the stats.
+  virtual void reset() = 0;
+
+  /// Predict, count the outcome in stats(), then train. Returns the
+  /// prediction made.
+  bool observe(OpId Br, bool Taken) {
+    bool Predicted = predict(Br);
+    ++Stats.Lookups;
+    if (Predicted != Taken)
+      ++Stats.Mispredicts;
+    update(Br, Taken);
+    return Predicted;
+  }
+
+  const PredictorStats &stats() const { return Stats; }
+
+protected:
+  void clearStats() { Stats = PredictorStats(); }
+
+private:
+  PredictorStats Stats;
+};
+
+/// Table index of branch \p Br in a 2^\p Bits-entry table: the id folded
+/// over itself and masked. Exposed so aliasing tests can construct
+/// deliberately colliding ids.
+uint32_t predictorTableIndex(OpId Br, unsigned Bits);
+
+/// Builds a predictor of kind \p K. The static kind requires
+/// \p C.Profile to be useful; without one it predicts fall-through
+/// everywhere.
+std::unique_ptr<BranchPredictor>
+makePredictor(PredictorKind K, const PredictorConfig &C = PredictorConfig());
+
+} // namespace cpr
+
+#endif // SIM_BRANCHPREDICTOR_H

@@ -1,0 +1,92 @@
+//===- sim/TraceSimulator.h - Trace-driven cycle simulation -----*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A trace-driven cycle-level simulator: replays one interpreter run's
+/// branch stream (interp/BranchTrace.h) over the scheduled blocks of a
+/// function, charging schedule-accurate cycles per block entry -- the same
+/// departure-cycle accounting as the ExitAware performance model -- plus a
+/// configurable pipeline-restart penalty on every branch a pluggable
+/// predictor gets wrong.
+///
+/// With a zero penalty the produced SimEstimate::TotalCycles is exactly
+/// the ExitAware PerfEstimate::TotalCycles for the same run: the simulator
+/// is the dynamic refinement of the paper's Section 7 static formula, not
+/// a different model. The delta between the two is therefore purely the
+/// misprediction cost the paper ignores -- the quantity of interest when
+/// judging control CPR's predictable-branches-for-one-bypass trade.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIM_TRACESIMULATOR_H
+#define SIM_TRACESIMULATOR_H
+
+#include "interp/BranchTrace.h"
+#include "machine/MachineDesc.h"
+#include "sim/BranchPredictor.h"
+
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+/// Simulation options.
+struct SimOptions {
+  /// Cycles charged per misprediction (fetch redirect + pipeline refill).
+  /// Negative selects the machine's own penalty knob.
+  int MispredictPenalty = -1;
+  /// Passed through to block scheduling (superblock speculation).
+  bool AllowSpeculation = true;
+};
+
+/// Per-block simulation detail.
+struct SimBlockStats {
+  BlockId Id = InvalidBlockId;
+  std::string Name;
+  uint64_t Entries = 0;
+  uint64_t Mispredicts = 0;
+  double Cycles = 0.0; ///< includes penalty cycles charged in this block
+};
+
+/// Whole-run dynamic estimate, parallel to sched/PerfModel.h's
+/// PerfEstimate.
+struct SimEstimate {
+  double TotalCycles = 0.0;
+  /// Cycles of TotalCycles attributable to misprediction penalties.
+  uint64_t PenaltyCycles = 0;
+  /// Operations dispatched along the replayed path (the denominator of
+  /// MPKI; equals the interpreter's DynStats::OpsDispatched).
+  uint64_t OpsDispatched = 0;
+  uint64_t Branches = 0;
+  uint64_t Mispredicts = 0;
+  uint64_t BlockEntries = 0;
+  /// Final predictor counters (Lookups == Branches on success).
+  PredictorStats Pred;
+  std::vector<SimBlockStats> Blocks;
+  /// Non-empty when the trace could not be replayed against the function
+  /// (diverged ids, dropped ring events, missing terminal, ...).
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+  /// Mispredicts per 1000 dispatched operations.
+  double mpki() const {
+    return OpsDispatched == 0 ? 0.0
+                              : 1000.0 * static_cast<double>(Mispredicts) /
+                                    static_cast<double>(OpsDispatched);
+  }
+};
+
+/// Replays \p Trace through \p F's schedules for \p MD, predicting every
+/// branch with \p Pred (which is trained in place; reset it between runs).
+/// The trace must be complete (no ring drops) and carry a terminal marker,
+/// i.e. come from a halted interpreter run of exactly this function.
+SimEstimate simulateTrace(const Function &F, const MachineDesc &MD,
+                          const BranchTrace &Trace, BranchPredictor &Pred,
+                          const SimOptions &Opts = SimOptions());
+
+} // namespace cpr
+
+#endif // SIM_TRACESIMULATOR_H

@@ -1,0 +1,155 @@
+//===- tests/sim/BranchPredictorTest.cpp - Predictor model tests ----------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/BranchPredictor.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+TEST(BranchPredictorTest, KindNamesRoundTrip) {
+  for (PredictorKind K : allPredictorKinds()) {
+    PredictorKind Parsed;
+    ASSERT_TRUE(parsePredictorKind(predictorKindName(K), Parsed));
+    EXPECT_EQ(Parsed, K);
+  }
+  PredictorKind K;
+  EXPECT_FALSE(parsePredictorKind("tage", K));
+  EXPECT_FALSE(parsePredictorKind("", K));
+}
+
+TEST(BranchPredictorTest, StaticFollowsProfileDirections) {
+  ProfileData P;
+  P.addBranchReached(1, 100);
+  P.addBranchTaken(1, 90); // biased taken
+  P.addBranchReached(2, 100);
+  P.addBranchTaken(2, 10); // biased fall-through
+
+  PredictorConfig C;
+  C.Profile = &P;
+  std::unique_ptr<BranchPredictor> Pred =
+      makePredictor(PredictorKind::Static, C);
+  EXPECT_TRUE(Pred->predict(1));
+  EXPECT_FALSE(Pred->predict(2));
+  EXPECT_FALSE(Pred->predict(999)); // unknown: fall-through bias
+
+  // Static prediction never learns: feeding the opposite outcome does not
+  // flip the direction.
+  for (int I = 0; I < 50; ++I)
+    Pred->observe(1, false);
+  EXPECT_TRUE(Pred->predict(1));
+  EXPECT_EQ(Pred->stats().Mispredicts, 50u);
+}
+
+TEST(BranchPredictorTest, StaticWithoutProfilePredictsFallThrough) {
+  std::unique_ptr<BranchPredictor> Pred =
+      makePredictor(PredictorKind::Static);
+  EXPECT_FALSE(Pred->predict(1));
+  EXPECT_FALSE(Pred->predict(42));
+}
+
+TEST(BranchPredictorTest, BimodalLearnsABiasedBranch) {
+  std::unique_ptr<BranchPredictor> Pred =
+      makePredictor(PredictorKind::Bimodal);
+  for (int I = 0; I < 100; ++I)
+    Pred->observe(5, true);
+  // Counters start weakly not taken (1): one warmup miss, then correct.
+  EXPECT_EQ(Pred->stats().Lookups, 100u);
+  EXPECT_LE(Pred->stats().Mispredicts, 1u);
+
+  // Hysteresis: a single anomalous fall-through does not flip a saturated
+  // counter.
+  Pred->observe(5, false);
+  EXPECT_TRUE(Pred->predict(5));
+}
+
+TEST(BranchPredictorTest, BimodalCannotLearnAlternation) {
+  std::unique_ptr<BranchPredictor> Pred =
+      makePredictor(PredictorKind::Bimodal);
+  uint64_t Misses = 0;
+  for (int I = 0; I < 200; ++I) {
+    bool Taken = I % 2 == 0;
+    if (Pred->observe(7, Taken) != Taken)
+      ++Misses;
+  }
+  // The 2-bit counter oscillates between weakly-taken and weakly-not-taken
+  // and gets every alternating outcome wrong.
+  EXPECT_GE(Misses, 190u);
+}
+
+TEST(BranchPredictorTest, GshareLearnsAlternationThroughHistory) {
+  std::unique_ptr<BranchPredictor> Pred =
+      makePredictor(PredictorKind::Gshare);
+  for (int I = 0; I < 200; ++I)
+    Pred->observe(7, I % 2 == 0);
+  // After the history warms up, the two history patterns select separate
+  // counters and the alternation becomes fully predictable.
+  EXPECT_LT(Pred->stats().Mispredicts, 20u);
+}
+
+TEST(BranchPredictorTest, LocalLearnsPeriodicPattern) {
+  std::unique_ptr<BranchPredictor> Pred =
+      makePredictor(PredictorKind::Local);
+  const bool Pattern[] = {true, true, false, false};
+  for (int I = 0; I < 400; ++I)
+    Pred->observe(9, Pattern[I % 4]);
+  // 6 history bits cover the 4-long period: only warmup misses remain.
+  EXPECT_LT(Pred->stats().Mispredicts, 40u);
+}
+
+TEST(BranchPredictorTest, GshareTableAliasingCausesInterference) {
+  // Ids 1 and 17 collide in a 4-entry table: (1 ^ 1>>2) & 3 == 1 and
+  // (17 ^ 17>>2) & 3 == 1.
+  ASSERT_EQ(predictorTableIndex(1, 2), predictorTableIndex(17, 2));
+  ASSERT_NE(predictorTableIndex(1, 10), predictorTableIndex(17, 10));
+
+  auto run = [](unsigned TableBits) {
+    PredictorConfig C;
+    C.TableBits = TableBits;
+    C.HistoryBits = 0; // isolate the table-index collision
+    std::unique_ptr<BranchPredictor> Pred =
+        makePredictor(PredictorKind::Gshare, C);
+    for (int I = 0; I < 200; ++I) {
+      Pred->observe(1, true);   // branch 1: always taken
+      Pred->observe(17, false); // branch 17: never taken
+    }
+    return Pred->stats().Mispredicts;
+  };
+
+  uint64_t Aliased = run(2);
+  uint64_t Separated = run(10);
+  // Sharing one counter between anti-correlated branches destroys it.
+  EXPECT_LE(Separated, 4u);
+  EXPECT_GE(Aliased, 200u);
+}
+
+TEST(BranchPredictorTest, ResetClearsLearnedStateAndStats) {
+  for (PredictorKind K :
+       {PredictorKind::Bimodal, PredictorKind::Gshare, PredictorKind::Local}) {
+    std::unique_ptr<BranchPredictor> Pred = makePredictor(K);
+    for (int I = 0; I < 64; ++I)
+      Pred->observe(3, true);
+    ASSERT_TRUE(Pred->predict(3)) << Pred->name();
+    Pred->reset();
+    EXPECT_FALSE(Pred->predict(3)) << Pred->name();
+    EXPECT_EQ(Pred->stats().Lookups, 0u) << Pred->name();
+    EXPECT_EQ(Pred->stats().Mispredicts, 0u) << Pred->name();
+  }
+}
+
+TEST(BranchPredictorTest, StatsRatesAndMPKI) {
+  PredictorStats S;
+  EXPECT_DOUBLE_EQ(S.missRate(), 0.0);
+  EXPECT_DOUBLE_EQ(S.mpki(0), 0.0);
+  S.Lookups = 200;
+  S.Mispredicts = 50;
+  EXPECT_DOUBLE_EQ(S.missRate(), 0.25);
+  EXPECT_DOUBLE_EQ(S.mpki(10000), 5.0);
+}
+
+} // namespace

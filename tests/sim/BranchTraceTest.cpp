@@ -1,0 +1,120 @@
+//===- tests/sim/BranchTraceTest.cpp - Branch trace + serialization -------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/BranchTrace.h"
+
+#include "interp/Profiler.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+TEST(BranchTraceTest, UnboundedKeepsEverything) {
+  BranchTrace T;
+  for (OpId I = 1; I <= 100; ++I)
+    T.record(I, I % 3 == 0);
+  EXPECT_EQ(T.size(), 100u);
+  EXPECT_EQ(T.totalRecorded(), 100u);
+  EXPECT_EQ(T.droppedEvents(), 0u);
+  EXPECT_EQ(T.event(0).Op, 1u);
+  EXPECT_EQ(T.event(99).Op, 100u);
+  EXPECT_FALSE(T.hasTerminal());
+}
+
+TEST(BranchTraceTest, RingEvictsOldestInOrder) {
+  BranchTrace T(3);
+  for (OpId I = 1; I <= 5; ++I)
+    T.record(I, I % 2 == 0);
+  EXPECT_EQ(T.size(), 3u);
+  EXPECT_EQ(T.totalRecorded(), 5u);
+  EXPECT_EQ(T.droppedEvents(), 2u);
+  // Oldest-first iteration over the retained suffix: 3, 4, 5.
+  EXPECT_EQ(T.event(0).Op, 3u);
+  EXPECT_EQ(T.event(1).Op, 4u);
+  EXPECT_EQ(T.event(2).Op, 5u);
+  EXPECT_TRUE(T.event(1).Taken);
+  EXPECT_FALSE(T.event(2).Taken);
+}
+
+TEST(BranchTraceTest, ClearResetsEverything) {
+  BranchTrace T(2);
+  T.record(1, true);
+  T.record(2, false);
+  T.record(3, true);
+  T.markTerminal(9);
+  T.clear();
+  EXPECT_EQ(T.size(), 0u);
+  EXPECT_EQ(T.totalRecorded(), 0u);
+  EXPECT_FALSE(T.hasTerminal());
+  // The ring restarts cleanly after clear.
+  T.record(4, true);
+  EXPECT_EQ(T.event(0).Op, 4u);
+}
+
+TEST(BranchTraceTest, RunLengthEncodingCollapsesLoops) {
+  BranchTrace T;
+  for (int I = 0; I < 1000; ++I)
+    T.record(7, true);
+  T.record(7, false);
+  T.markTerminal(3);
+  std::string Text = serializeBranchTrace(T);
+  EXPECT_EQ(Text, "btrace v1\nev 7 t 1000\nev 7 n 1\nterm 3\n");
+}
+
+// The round-trip guarantee mirrored from ProfileIOTest: a real
+// interpreter-recorded trace survives serialize + parse bit-exactly.
+TEST(BranchTraceTest, InterpreterTraceRoundTrips) {
+  KernelProgram P = buildWcKernel(4, 2048, 17);
+  Memory Mem = P.InitMem;
+  BranchTrace T;
+  profileRun(*P.Func, Mem, P.InitRegs, nullptr, &T);
+  ASSERT_GT(T.size(), 0u);
+  ASSERT_TRUE(T.hasTerminal());
+
+  TraceParseResult R = parseBranchTrace(serializeBranchTrace(T));
+  ASSERT_TRUE(R) << R.Error;
+  ASSERT_EQ(R.Trace.size(), T.size());
+  for (size_t I = 0; I < T.size(); ++I)
+    EXPECT_TRUE(R.Trace.event(I) == T.event(I)) << "event " << I;
+  EXPECT_EQ(R.Trace.terminalOp(), T.terminalOp());
+  EXPECT_EQ(R.Trace.droppedEvents(), 0u);
+
+  // And serialization is a fixed point.
+  EXPECT_EQ(serializeBranchTrace(R.Trace), serializeBranchTrace(T));
+}
+
+TEST(BranchTraceTest, RoundTripPreservesDropCount) {
+  BranchTrace T(2);
+  for (OpId I = 1; I <= 10; ++I)
+    T.record(I, true);
+  TraceParseResult R = parseBranchTrace(serializeBranchTrace(T));
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Trace.size(), 2u);
+  EXPECT_EQ(R.Trace.droppedEvents(), 8u);
+  EXPECT_EQ(R.Trace.totalRecorded(), 10u);
+}
+
+TEST(BranchTraceTest, ParseErrors) {
+  EXPECT_FALSE(parseBranchTrace(""));                       // no header
+  EXPECT_FALSE(parseBranchTrace("ev 1 t 1\n"));             // missing header
+  EXPECT_FALSE(parseBranchTrace("btrace v2\n"));            // bad version
+  EXPECT_FALSE(parseBranchTrace("btrace v1\nbogus\n"));     // unknown record
+  EXPECT_FALSE(parseBranchTrace("btrace v1\nev 1 x 2\n"));  // bad direction
+  EXPECT_FALSE(parseBranchTrace("btrace v1\nev 1 t 0\n"));  // zero run
+  EXPECT_FALSE(parseBranchTrace("btrace v1\nterm\n"));      // missing id
+  EXPECT_FALSE(parseBranchTrace("btrace v1\ndrop x\n"));    // malformed drop
+
+  TraceParseResult Ok = parseBranchTrace(
+      "# comment\nbtrace v1\nev 4 t 2 # trailing\n\nterm 8\n");
+  ASSERT_TRUE(Ok) << Ok.Error;
+  EXPECT_EQ(Ok.Trace.size(), 2u);
+  EXPECT_EQ(Ok.Trace.terminalOp(), 8u);
+}
+
+} // namespace

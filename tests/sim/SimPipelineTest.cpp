@@ -1,0 +1,119 @@
+//===- tests/sim/SimPipelineTest.cpp - Pipeline simulation integration ----===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/CompilerPipeline.h"
+#include "pipeline/Reports.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+PipelineOptions simOptions() {
+  PipelineOptions Opts;
+  Opts.Simulate = true;
+  Opts.Machines = {MachineDesc::narrow(), MachineDesc::wide()};
+  return Opts;
+}
+
+TEST(SimPipelineTest, SimulateFillsEveryMachinePredictorPair) {
+  KernelProgram P = buildStrcpyKernel(4, 1024);
+  PipelineOptions Opts = simOptions();
+  PipelineResult R = runPipeline(P, Opts);
+
+  ASSERT_EQ(R.Sim.size(), Opts.Machines.size() * Opts.Predictors.size());
+  for (const SimComparison &S : R.Sim) {
+    EXPECT_TRUE(S.Baseline.ok()) << S.Baseline.Error;
+    EXPECT_TRUE(S.Treated.ok()) << S.Treated.Error;
+    EXPECT_GT(S.Baseline.TotalCycles, 0.0);
+    EXPECT_GT(S.Treated.TotalCycles, 0.0);
+    EXPECT_GT(S.speedup(), 0.0);
+    // The simulator replays the same runs the interpreter measured.
+    EXPECT_EQ(S.Baseline.Branches, R.DynBaseline.BranchesDispatched);
+    EXPECT_EQ(S.Treated.Branches, R.DynTreated.BranchesDispatched);
+    EXPECT_EQ(S.Baseline.OpsDispatched, R.DynBaseline.OpsDispatched);
+    EXPECT_EQ(S.Treated.OpsDispatched, R.DynTreated.OpsDispatched);
+  }
+}
+
+TEST(SimPipelineTest, SimOnLooksUpPairs) {
+  KernelProgram P = buildWcKernel(4, 1024);
+  PipelineOptions Opts = simOptions();
+  Opts.Predictors = {PredictorKind::Static, PredictorKind::Gshare};
+  PipelineResult R = runPipeline(P, Opts);
+
+  const SimComparison *S = R.simOn("wide", "gshare");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->MachineName, "wide");
+  EXPECT_EQ(S->PredictorName, "gshare");
+  EXPECT_EQ(R.simOn("wide", "local"), nullptr);
+  EXPECT_EQ(R.simOn("infinite", "gshare"), nullptr);
+}
+
+TEST(SimPipelineTest, SimulationOffLeavesSimEmpty) {
+  KernelProgram P = buildStrcpyKernel(4, 512);
+  PipelineResult R = runPipeline(P);
+  EXPECT_TRUE(R.Sim.empty());
+  EXPECT_EQ(R.simOn("wide", "gshare"), nullptr);
+}
+
+TEST(SimPipelineTest, ZeroPenaltyStaticSimMatchesTable2Estimate) {
+  // With no misprediction penalty the dynamic simulation degenerates to
+  // the ExitAware static estimate, so the "Table 2-dyn" speedup must
+  // equal the Table 2 speedup on every machine.
+  KernelProgram P = buildGrepKernel(4, 2048);
+  PipelineOptions Opts = simOptions();
+  Opts.Predictors = {PredictorKind::Static};
+  Opts.MispredictPenalty = 0;
+  PipelineResult R = runPipeline(P, Opts);
+
+  for (const MachineComparison &M : R.Machines) {
+    const SimComparison *S = R.simOn(M.MachineName, "static");
+    ASSERT_NE(S, nullptr) << M.MachineName;
+    EXPECT_DOUBLE_EQ(S->Baseline.TotalCycles, M.BaselineCycles);
+    EXPECT_DOUBLE_EQ(S->Treated.TotalCycles, M.TreatedCycles);
+  }
+}
+
+TEST(SimPipelineTest, ReportsRenderDynTables) {
+  PipelineOptions Opts = simOptions();
+  Opts.Predictors = {PredictorKind::Static, PredictorKind::Gshare};
+
+  std::vector<SuiteRow> Rows;
+  for (const char *Name : {"strcpy", "wc"}) {
+    SuiteRow Row;
+    Row.Name = Name;
+    KernelProgram P = Name == std::string("strcpy")
+                          ? buildStrcpyKernel(4, 512)
+                          : buildWcKernel(4, 512);
+    Row.Result = runPipeline(P, Opts);
+    Rows.push_back(std::move(Row));
+  }
+
+  std::string Dyn = renderTable2Dyn(Rows);
+  EXPECT_NE(Dyn.find("Table 2-dyn (static predictor):"), std::string::npos);
+  EXPECT_NE(Dyn.find("Table 2-dyn (gshare predictor):"), std::string::npos);
+  EXPECT_NE(Dyn.find("strcpy"), std::string::npos);
+  EXPECT_NE(Dyn.find("Gmean-all"), std::string::npos);
+
+  std::string MPKI = renderSimMPKI(Rows);
+  EXPECT_NE(MPKI.find("static base>cpr"), std::string::npos);
+  EXPECT_NE(MPKI.find("gshare base>cpr"), std::string::npos);
+  EXPECT_NE(MPKI.find("wc"), std::string::npos);
+
+  // Without simulation data both renderers degrade to empty output.
+  std::vector<SuiteRow> Plain;
+  SuiteRow Row;
+  Row.Name = "strcpy";
+  KernelProgram P = buildStrcpyKernel(4, 512);
+  Row.Result = runPipeline(P);
+  Plain.push_back(std::move(Row));
+  EXPECT_EQ(renderTable2Dyn(Plain), "");
+  EXPECT_EQ(renderSimMPKI(Plain), "");
+}
+
+} // namespace

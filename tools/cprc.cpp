@@ -20,6 +20,11 @@
 //   --exit-weight=<f> --predict-taken=<f> --max-branches=<n>
 //   --no-speculation --no-taken-variation
 //   --show-ids                        print stable operation ids
+//   --simulate                        trace-driven dynamic estimates for
+//                                     baseline and transformed code
+//   --predictor=<static|bimodal|gshare|local|all>   (repeatable)
+//   --mispredict-penalty=<n>          penalty cycles (default: per machine)
+//   --trace-out=<file>                save the baseline branch trace
 //
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +41,7 @@
 #include "regions/LoopUnroller.h"
 #include "regions/Simplify.h"
 #include "sched/ListScheduler.h"
+#include "sim/TraceSimulator.h"
 
 #include <cstdio>
 #include <cstring>
@@ -55,7 +61,9 @@ void usage() {
       "            [--max-branches=N] [--no-speculation]\n"
       "            [--no-taken-variation] [--show-ids]\n"
       "            [--profile-out=<file>] [--profile-in=<file>]\n"
-      "            [--unroll=N] [--simplify] [--if-convert]\n");
+      "            [--unroll=N] [--simplify] [--if-convert]\n"
+      "            [--simulate] [--predictor=<name|all>]...\n"
+      "            [--mispredict-penalty=N] [--trace-out=<file>]\n");
 }
 
 bool parseReg(const std::string &Spec, RegBinding &Out) {
@@ -102,10 +110,12 @@ int main(int argc, char **argv) {
   std::string InputPath;
   std::string Phase = "all";
   std::string ScheduleFor;
-  std::string ProfileOut, ProfileIn;
+  std::string ProfileOut, ProfileIn, TraceOut;
   unsigned UnrollFactor = 1;
   bool Simplify = false, IfConvertFlag = false;
-  bool Run = false, Estimate = false;
+  bool Run = false, Estimate = false, Simulate = false;
+  int MispredictPenalty = -1;
+  std::vector<PredictorKind> Predictors;
   PrintOptions PO;
   CPROptions CPR;
   std::vector<RegBinding> InitRegs;
@@ -159,6 +169,29 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--unroll=", 0) == 0) {
       UnrollFactor =
           static_cast<unsigned>(std::strtoul(Value("--unroll="), nullptr, 10));
+    } else if (Arg == "--simulate") {
+      Simulate = true;
+    } else if (Arg.rfind("--predictor=", 0) == 0) {
+      std::string Name = Value("--predictor=");
+      if (Name == "all") {
+        Predictors = allPredictorKinds();
+      } else {
+        PredictorKind K;
+        if (!parsePredictorKind(Name, K)) {
+          std::fprintf(stderr, "unknown predictor '%s'\n", Name.c_str());
+          return 2;
+        }
+        Predictors.push_back(K);
+      }
+    } else if (Arg.rfind("--mispredict-penalty=", 0) == 0) {
+      MispredictPenalty = static_cast<int>(
+          std::strtol(Value("--mispredict-penalty="), nullptr, 10));
+      if (MispredictPenalty < 0) {
+        std::fprintf(stderr, "mispredict penalty cannot be negative\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      TraceOut = Value("--trace-out=");
     } else if (Arg.rfind("--profile-out=", 0) == 0) {
       ProfileOut = Value("--profile-out=");
     } else if (Arg.rfind("--profile-in=", 0) == 0) {
@@ -355,6 +388,88 @@ int main(int argc, char **argv) {
       std::printf(";   %-10s %10.0f -> %10.0f   (%.2fx)\n",
                   MD.getName().c_str(), Before, After,
                   After > 0 ? Before / After : 0.0);
+    }
+  }
+
+  if (Simulate || !TraceOut.empty()) {
+    if (Predictors.empty())
+      Predictors = allPredictorKinds();
+
+    // Fresh traced runs of the baseline and of the (possibly transformed)
+    // output; the earlier profiling run recorded no trace.
+    Memory MemB = InitMem;
+    ProfileData ProfB;
+    BranchTrace TraceB;
+    InterpOptions IOB;
+    IOB.Profile = &ProfB;
+    IOB.Trace = &TraceB;
+    RunResult RB = interpret(*Baseline, MemB, InitRegs, IOB);
+    if (!RB.halted()) {
+      std::fprintf(stderr, "simulation run (baseline) failed: %s\n",
+                   RB.ErrorMsg.c_str());
+      return 1;
+    }
+    if (!TraceOut.empty()) {
+      std::ofstream TOut(TraceOut);
+      if (!TOut) {
+        std::fprintf(stderr, "cannot write trace '%s'\n", TraceOut.c_str());
+        return 1;
+      }
+      TOut << serializeBranchTrace(TraceB);
+    }
+
+    if (Simulate) {
+      Memory MemT = InitMem;
+      ProfileData ProfT;
+      BranchTrace TraceT;
+      InterpOptions IOT;
+      IOT.Profile = &ProfT;
+      IOT.Trace = &TraceT;
+      RunResult RT = interpret(*F, MemT, InitRegs, IOT);
+      if (!RT.halted()) {
+        std::fprintf(stderr, "simulation run (transformed) failed: %s\n",
+                     RT.ErrorMsg.c_str());
+        return 1;
+      }
+
+      SimOptions SO;
+      SO.MispredictPenalty = MispredictPenalty;
+      std::printf("\n; dynamic simulation (baseline -> this output, "
+                  "%llu/%llu branch events):\n",
+                  static_cast<unsigned long long>(TraceB.size()),
+                  static_cast<unsigned long long>(TraceT.size()));
+      std::printf(";   %-10s %-8s %12s %9s %6s  -> %12s %9s %6s %8s\n",
+                  "machine", "pred", "cycles", "mispred", "MPKI", "cycles",
+                  "mispred", "MPKI", "speedup");
+      for (const MachineDesc &MD : Machines) {
+        for (PredictorKind K : Predictors) {
+          PredictorConfig CB;
+          CB.Profile = &ProfB;
+          std::unique_ptr<BranchPredictor> PB = makePredictor(K, CB);
+          SimEstimate EB = simulateTrace(*Baseline, MD, TraceB, *PB, SO);
+
+          PredictorConfig CT;
+          CT.Profile = &ProfT;
+          std::unique_ptr<BranchPredictor> PT = makePredictor(K, CT);
+          SimEstimate ET = simulateTrace(*F, MD, TraceT, *PT, SO);
+
+          if (!EB.ok() || !ET.ok()) {
+            std::fprintf(stderr, "simulation failed: %s\n",
+                         (EB.ok() ? ET.Error : EB.Error).c_str());
+            return 1;
+          }
+          std::printf(";   %-10s %-8s %12.0f %9llu %6.2f  -> %12.0f %9llu "
+                      "%6.2f %7.2fx\n",
+                      MD.getName().c_str(), predictorKindName(K),
+                      EB.TotalCycles,
+                      static_cast<unsigned long long>(EB.Mispredicts),
+                      EB.mpki(), ET.TotalCycles,
+                      static_cast<unsigned long long>(ET.Mispredicts),
+                      ET.mpki(),
+                      ET.TotalCycles > 0 ? EB.TotalCycles / ET.TotalCycles
+                                         : 0.0);
+        }
+      }
     }
   }
   return 0;

@@ -13,13 +13,22 @@
 // This benchmark prints, per suite kernel, total simulated cycles and MPKI
 // for baseline vs height-reduced code under each predictor, and the
 // resulting speedup -- the dynamic analogue of a Table 2 column (wide
-// machine). Also registers google-benchmark timers for simulation cost.
+// machine).
+//
+// Each kernel is one staged PipelineRun session (profile and traces
+// computed once, shared by every predictor simulation), fanned out over
+// --threads=<n> pool workers; the table is identical at every thread
+// count. --stats-json dumps per-stage counters; --micro runs the
+// google-benchmark simulation-cost timers.
 //
 //===----------------------------------------------------------------------===//
 
+#include "DriverCommon.h"
 #include "interp/Profiler.h"
 #include "pipeline/CompilerPipeline.h"
+#include "pipeline/PipelineRun.h"
 #include "support/TableFormat.h"
+#include "support/ThreadPool.h"
 #include "workloads/BenchmarkSuite.h"
 
 #include <benchmark/benchmark.h>
@@ -30,7 +39,7 @@ using namespace cpr;
 
 namespace {
 
-void printPredictorTable() {
+void printPredictorTable(const DriverConfig &C, StatsRegistry *Stats) {
   PipelineOptions Opts;
   Opts.Simulate = true;
   Opts.Machines = {MachineDesc::wide()};
@@ -48,10 +57,31 @@ void printPredictorTable() {
   }
   T.setHeader(Header);
 
-  for (const BenchmarkSpec &Spec : paperBenchmarkSuite()) {
-    KernelProgram P = Spec.Build();
-    PipelineResult R = runPipeline(P, Opts);
-    std::vector<std::string> Cells{Spec.Name};
+  // One session per kernel in a preallocated slot; per-row registries
+  // merge in suite order so stats are identical at every thread count.
+  std::vector<BenchmarkSpec> Suite = paperBenchmarkSuite();
+  std::vector<PipelineResult> Results(Suite.size());
+  std::vector<StatsRegistry> RowStats(Stats ? Suite.size() : 0);
+  auto RunOne = [&](size_t I) {
+    KernelProgram P = Suite[I].Build();
+    PipelineRun Run(std::move(P), Opts, Stats ? &RowStats[I] : nullptr,
+                    Suite[I].Name + "/");
+    Results[I] = Run.finish();
+  };
+  if (C.Threads != 1) {
+    ThreadPool Pool(C.Threads);
+    parallelFor(&Pool, Suite.size(), RunOne);
+  } else {
+    for (size_t I = 0; I < Suite.size(); ++I)
+      RunOne(I);
+  }
+  if (Stats)
+    for (const StatsRegistry &R : RowStats)
+      Stats->mergeFrom(R);
+
+  for (size_t I = 0; I < Suite.size(); ++I) {
+    const PipelineResult &R = Results[I];
+    std::vector<std::string> Cells{Suite[I].Name};
     for (PredictorKind K : Opts.Predictors) {
       const SimComparison *S = R.simOn("wide", predictorKindName(K));
       if (!S) {
@@ -103,8 +133,10 @@ BENCHMARK(BM_PredictorObserve)->DenseRange(0, 3);
 } // namespace
 
 int main(int argc, char **argv) {
-  printPredictorTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  DriverConfig C = parseDriverOptions(argc, argv, "bench_sim_predictors");
+  StatsRegistry Stats;
+  printPredictorTable(C, C.StatsJSON.empty() ? nullptr : &Stats);
+  maybeWriteStats(C, Stats);
+  maybeRunMicroBenchmarks(C, argv[0]);
   return 0;
 }

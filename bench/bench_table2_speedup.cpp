@@ -8,11 +8,15 @@
 // narrow, medium, wide, and infinite machine models, with geometric-mean
 // rows over the SPEC-95 subset and over all benchmarks.
 //
-// Also registers google-benchmark timers for the pipeline's compile-side
-// cost on a representative input.
+// The suite runs as one staged PipelineRun session per benchmark on a
+// work-queue thread pool (--threads=<n>); the rendered table is identical
+// at every thread count. --stats-json=<file> dumps per-stage counters and
+// wall times; --micro (or any --benchmark_* flag) also runs the
+// google-benchmark timers for the pipeline's compile-side cost.
 //
 //===----------------------------------------------------------------------===//
 
+#include "DriverCommon.h"
 #include "pipeline/CompilerPipeline.h"
 #include "interp/Profiler.h"
 #include "support/Statistics.h"
@@ -28,8 +32,11 @@ using namespace cpr;
 
 namespace {
 
-void printTable2() {
-  std::vector<SuiteRow> Rows = runSuite();
+void printTable2(const DriverConfig &C, StatsRegistry *Stats) {
+  PipelineOptions Opts;
+  Opts.Threads = C.Threads;
+  Opts.Stats = Stats;
+  std::vector<SuiteRow> Rows = runSuite(Opts);
   std::printf("Table 2: speedup of control CPR (ICBM) over baseline "
               "superblock code, branch latency 1\n");
   std::printf("(paper reference Gmean-all: Seq 1.13, Nar 1.05, Med 1.18, "
@@ -64,8 +71,10 @@ BENCHMARK(BM_ControlCPROnly)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char **argv) {
-  printTable2();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  DriverConfig C = parseDriverOptions(argc, argv, "bench_table2_speedup");
+  StatsRegistry Stats;
+  printTable2(C, C.StatsJSON.empty() ? nullptr : &Stats);
+  maybeWriteStats(C, Stats);
+  maybeRunMicroBenchmarks(C, argv[0]);
   return 0;
 }

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "DriverCommon.h"
 #include "pipeline/CompilerPipeline.h"
 #include "support/Statistics.h"
 #include "support/TableFormat.h"
@@ -27,8 +28,11 @@ using namespace cpr;
 
 namespace {
 
-void printTable3() {
-  std::vector<SuiteRow> Rows = runSuite();
+void printTable3(const DriverConfig &C, StatsRegistry *Stats) {
+  PipelineOptions Opts;
+  Opts.Threads = C.Threads;
+  Opts.Stats = Stats;
+  std::vector<SuiteRow> Rows = runSuite(Opts);
   std::printf("Table 3: effect of ICBM on static and dynamic operation "
               "counts (ratios, height-reduced / baseline)\n");
   std::printf("(paper reference Gmean-all: S tot 1.08, S br 1.03, "
@@ -49,8 +53,10 @@ BENCHMARK(BM_DynamicCountsWc)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char **argv) {
-  printTable3();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  DriverConfig C = parseDriverOptions(argc, argv, "bench_table3_opcounts");
+  StatsRegistry Stats;
+  printTable3(C, C.StatsJSON.empty() ? nullptr : &Stats);
+  maybeWriteStats(C, Stats);
+  maybeRunMicroBenchmarks(C, argv[0]);
   return 0;
 }

@@ -6,12 +6,8 @@
 
 #include "pipeline/CompilerPipeline.h"
 
-#include "interp/Profiler.h"
-#include "ir/Verifier.h"
-#include "regions/FRPConversion.h"
-#include "regions/LoopUnroller.h"
-#include "regions/Simplify.h"
-#include "support/Error.h"
+#include "pipeline/PipelineRun.h"
+#include "support/ThreadPool.h"
 
 using namespace cpr;
 
@@ -55,103 +51,16 @@ std::unique_ptr<Function> cpr::applyControlCPR(const Function &Baseline,
 
 PipelineResult cpr::runPipeline(const KernelProgram &Program,
                                 const PipelineOptions &Opts) {
-  PipelineResult Res;
-  Function &Baseline = *Program.Func;
-  Res.Name = Baseline.getName();
-  verifyOrDie(Baseline, "pipeline input");
+  KernelProgram Copy;
+  Copy.Func = Program.Func->clone();
+  Copy.InitRegs = Program.InitRegs;
+  Copy.InitMem = Program.InitMem;
+  Copy.Description = Program.Description;
 
-  // Optional preparation: unroll self-loop blocks (applies to the shared
-  // baseline, like the paper's IMPACT preprocessing).
-  if (Opts.UnrollFactor >= 2) {
-    for (size_t I = 0; I < Baseline.numBlocks(); ++I)
-      unrollLoop(Baseline, Baseline.block(I), Opts.UnrollFactor);
-    // "Unrolling and other traditional code optimizations" (paper
-    // Section 6): clean the materialized offset arithmetic.
-    simplifyFunction(Baseline);
-    eliminateDeadCode(Baseline);
-    verifyOrDie(Baseline, "after unrolling");
-  }
-
-  // 1. Profile the baseline (recording its branch stream when the
-  // dynamic simulation is requested).
-  Memory MemBase = Program.InitMem;
-  DynStats BaseStats;
-  BranchTrace BaseTrace;
-  ProfileData BaseProfile =
-      profileRun(Baseline, MemBase, Program.InitRegs, &BaseStats,
-                 Opts.Simulate ? &BaseTrace : nullptr);
-  Res.DynBaseline = BaseStats;
-
-  // 2. Transform.
-  Res.Treated = applyControlCPR(Baseline, BaseProfile, Opts.CPR, &Res.CPR);
-
-  // 3. Equivalence oracle.
-  if (Opts.CheckEquivalence) {
-    EquivResult E = checkEquivalence(Baseline, *Res.Treated, Program.InitMem,
-                                     Program.InitRegs);
-    if (!E.Equivalent)
-      reportFatalError("control CPR changed observable behavior of @" +
-                       Baseline.getName() + ": " + E.Detail);
-  }
-
-  // 4. Re-profile the treated code (schedule weights must describe the
-  // code being scheduled).
-  Memory MemTreated = Program.InitMem;
-  DynStats TreatedStats;
-  BranchTrace TreatedTrace;
-  ProfileData TreatedProfile =
-      profileRun(*Res.Treated, MemTreated, Program.InitRegs, &TreatedStats,
-                 Opts.Simulate ? &TreatedTrace : nullptr);
-  Res.DynTreated = TreatedStats;
-
-  // Static counts.
-  Res.StaticOpsBaseline = Baseline.totalOps();
-  Res.StaticOpsTreated = Res.Treated->totalOps();
-  Res.StaticBranchesBaseline = countStaticBranches(Baseline);
-  Res.StaticBranchesTreated = countStaticBranches(*Res.Treated);
-
-  // 5. Schedule and estimate per machine.
-  for (const MachineDesc &MD : Opts.Machines) {
-    MachineComparison MC;
-    MC.MachineName = MD.getName();
-    MC.BaselineCycles =
-        estimatePerformance(Baseline, MD, BaseProfile, Opts.Perf).TotalCycles;
-    MC.TreatedCycles =
-        estimatePerformance(*Res.Treated, MD, TreatedProfile, Opts.Perf)
-            .TotalCycles;
-    Res.Machines.push_back(MC);
-  }
-
-  // 6. Optional dynamic refinement: replay both traces through each
-  // predictor on each machine, with misprediction penalties charged.
-  if (Opts.Simulate) {
-    SimOptions SO;
-    SO.MispredictPenalty = Opts.MispredictPenalty;
-    SO.AllowSpeculation = Opts.Perf.AllowSpeculation;
-    for (const MachineDesc &MD : Opts.Machines) {
-      for (PredictorKind K : Opts.Predictors) {
-        SimComparison SC;
-        SC.MachineName = MD.getName();
-        SC.PredictorName = predictorKindName(K);
-
-        PredictorConfig CB;
-        CB.Profile = &BaseProfile;
-        std::unique_ptr<BranchPredictor> PB = makePredictor(K, CB);
-        SC.Baseline = simulateTrace(Baseline, MD, BaseTrace, *PB, SO);
-
-        PredictorConfig CT;
-        CT.Profile = &TreatedProfile;
-        std::unique_ptr<BranchPredictor> PT = makePredictor(K, CT);
-        SC.Treated = simulateTrace(*Res.Treated, MD, TreatedTrace, *PT, SO);
-
-        if (!SC.Baseline.ok() || !SC.Treated.ok())
-          reportFatalError("trace simulation of @" + Baseline.getName() +
-                           " failed: " +
-                           (SC.Baseline.ok() ? SC.Treated.Error
-                                             : SC.Baseline.Error));
-        Res.Sim.push_back(std::move(SC));
-      }
-    }
-  }
-  return Res;
+  PipelineRun Run(std::move(Copy), Opts, Opts.Stats,
+                  Program.Func->getName() + "/");
+  if (Opts.Threads == 1)
+    return Run.finish();
+  ThreadPool Pool(Opts.Threads);
+  return Run.finish(&Pool);
 }

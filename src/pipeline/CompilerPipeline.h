@@ -17,6 +17,11 @@
 ///     estimates cycles, yielding the speedups of Table 2 and the
 ///     static/dynamic ratios of Table 3.
 ///
+/// runPipeline() is the one-shot convenience wrapper over the staged
+/// session API in pipeline/PipelineRun.h -- stage-level access, artifact
+/// reuse/injection, and concurrent per-machine / per-predictor execution
+/// live there (see docs/PIPELINE.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PIPELINE_COMPILERPIPELINE_H
@@ -31,6 +36,8 @@
 #include <vector>
 
 namespace cpr {
+
+class StatsRegistry;
 
 /// Options for one pipeline run.
 struct PipelineOptions {
@@ -56,6 +63,14 @@ struct PipelineOptions {
       PredictorKind::Local};
   /// Misprediction penalty in cycles; negative uses each machine's knob.
   int MispredictPenalty = -1;
+  /// Worker threads for the independent stages (per-machine estimates,
+  /// machine x predictor simulations, and -- in runSuite -- whole
+  /// benchmarks). 1 = serial; 0 = one per hardware thread. Results and
+  /// reported counters are identical at every setting.
+  unsigned Threads = 1;
+  /// When non-null, every stage reports wall times and outcome counters
+  /// here (see support/Statistics.h). Not owned.
+  StatsRegistry *Stats = nullptr;
 };
 
 /// Per-machine timing comparison.
@@ -149,7 +164,10 @@ std::unique_ptr<Function> applyControlCPR(const Function &Baseline,
                                           const CPROptions &Opts,
                                           CPRResult *CPROut = nullptr);
 
-/// Runs the full measurement pipeline on \p Program.
+/// Runs the full measurement pipeline on \p Program. Thin compatibility
+/// wrapper over a PipelineRun session: the program is cloned (the caller's
+/// function is no longer unrolled in place), the serial stages run once,
+/// and the per-machine / per-predictor stages fan out over Opts.Threads.
 PipelineResult runPipeline(const KernelProgram &Program,
                            const PipelineOptions &Opts = PipelineOptions());
 

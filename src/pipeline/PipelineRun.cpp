@@ -1,0 +1,289 @@
+//===- pipeline/PipelineRun.cpp - Stage-based pipeline session -------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/PipelineRun.h"
+
+#include "interp/Profiler.h"
+#include "ir/Verifier.h"
+#include "regions/DeadCodeElim.h"
+#include "regions/LoopUnroller.h"
+#include "regions/Simplify.h"
+#include "support/Error.h"
+#include "support/Statistics.h"
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace cpr;
+
+PipelineRun::PipelineRun(KernelProgram ProgramIn, PipelineOptions OptsIn,
+                         StatsRegistry *StatsIn, std::string StatsPrefix)
+    : Program(std::move(ProgramIn)), Opts(std::move(OptsIn)), Stats(StatsIn),
+      Prefix(std::move(StatsPrefix)) {
+  if (!Program.Func)
+    reportFatalError("PipelineRun requires a program with a function");
+  Name = Program.Func->getName();
+  verifyOrDie(*Program.Func, "pipeline input");
+}
+
+void PipelineRun::setBaselineProfile(ProfileData Profile) {
+  if (HaveBaselineProfile)
+    reportFatalError("PipelineRun: baseline profile already computed");
+  BaseProfile = std::move(Profile);
+  HaveBaselineProfile = true;
+  BaselineProfileInjected = true;
+}
+
+void PipelineRun::setTreated(std::unique_ptr<Function> TreatedIn) {
+  if (HaveTreated)
+    reportFatalError("PipelineRun: treated function already present");
+  if (!TreatedIn)
+    reportFatalError("PipelineRun: setTreated requires a function");
+  verifyOrDie(*TreatedIn, "injected treated function");
+  Treated = std::move(TreatedIn);
+  HaveTreated = true;
+  TreatedInjected = true;
+}
+
+const Function &PipelineRun::baseline() {
+  if (!Prepared) {
+    Prepared = true;
+    Function &Baseline = *Program.Func;
+    // Optional preparation: unroll self-loop blocks (applies to the
+    // shared baseline, like the paper's IMPACT preprocessing).
+    if (Opts.UnrollFactor >= 2) {
+      PassTimer T(Stats, Prefix + "prepare");
+      for (size_t I = 0; I < Baseline.numBlocks(); ++I)
+        unrollLoop(Baseline, Baseline.block(I), Opts.UnrollFactor);
+      // "Unrolling and other traditional code optimizations" (paper
+      // Section 6): clean the materialized offset arithmetic.
+      simplifyFunction(Baseline);
+      eliminateDeadCode(Baseline);
+      verifyOrDie(Baseline, "after unrolling");
+    }
+  }
+  return *Program.Func;
+}
+
+const ProfileData &PipelineRun::baselineProfile() {
+  if (!HaveBaselineProfile) {
+    const Function &Baseline = baseline();
+    PassTimer T(Stats, Prefix + "profile_baseline");
+    Memory Mem = Program.InitMem;
+    BaseProfile = profileRun(Baseline, Mem, Program.InitRegs, &BaseStats,
+                             Opts.Simulate ? &BaseTrace : nullptr);
+    HaveBaselineProfile = true;
+    if (Stats) {
+      Stats->addCount(Prefix + "dyn_ops_baseline",
+                      static_cast<double>(BaseStats.OpsDispatched));
+      Stats->addCount(Prefix + "dyn_branches_baseline",
+                      static_cast<double>(BaseStats.BranchesDispatched));
+    }
+  }
+  return BaseProfile;
+}
+
+const DynStats &PipelineRun::baselineDynStats() {
+  baselineProfile();
+  return BaseStats;
+}
+
+const BranchTrace &PipelineRun::baselineTrace() {
+  if (!Opts.Simulate)
+    reportFatalError("PipelineRun: baselineTrace requires Opts.Simulate");
+  if (BaselineProfileInjected)
+    reportFatalError("PipelineRun: no trace for an injected profile");
+  baselineProfile();
+  return BaseTrace;
+}
+
+void PipelineRun::recordTransformStats() {
+  if (!Stats)
+    return;
+  Stats->addCount(Prefix + "cpr/regions", CPR.RegionsProcessed);
+  Stats->addCount(Prefix + "cpr/blocks_formed", CPR.CPRBlocksFormed);
+  Stats->addCount(Prefix + "cpr/blocks_transformed",
+                  CPR.CPRBlocksTransformed);
+  Stats->addCount(Prefix + "cpr/branches_merged", CPR.BranchesCovered);
+  Stats->addCount(Prefix + "cpr/ops_moved_off_trace", CPR.OpsMovedOffTrace);
+  Stats->addCount(Prefix + "cpr/ops_split", CPR.OpsSplit);
+  Stats->addCount(Prefix + "static_ops_baseline",
+                  static_cast<double>(baseline().totalOps()));
+  Stats->addCount(Prefix + "static_ops_treated",
+                  static_cast<double>(Treated->totalOps()));
+  Stats->addCount(Prefix + "static_branches_baseline",
+                  static_cast<double>(countStaticBranches(baseline())));
+  Stats->addCount(Prefix + "static_branches_treated",
+                  static_cast<double>(countStaticBranches(*Treated)));
+}
+
+const Function &PipelineRun::treated() {
+  if (!HaveTreated) {
+    const ProfileData &Profile = baselineProfile();
+    PassTimer T(Stats, Prefix + "transform");
+    Treated = applyControlCPR(baseline(), Profile, Opts.CPR, &CPR);
+    HaveTreated = true;
+    T.stop();
+    recordTransformStats();
+  }
+  return *Treated;
+}
+
+const CPRResult &PipelineRun::cprResult() {
+  treated();
+  return CPR;
+}
+
+void PipelineRun::checkEquivalence() {
+  if (EquivalenceDone)
+    return;
+  const Function &TreatedF = treated();
+  PassTimer T(Stats, Prefix + "equivalence");
+  EquivResult E = cpr::checkEquivalence(baseline(), TreatedF,
+                                        Program.InitMem, Program.InitRegs);
+  EquivalenceDone = true;
+  if (!E.Equivalent)
+    reportFatalError("control CPR changed observable behavior of @" + Name +
+                     ": " + E.Detail);
+}
+
+const ProfileData &PipelineRun::treatedProfile() {
+  if (!HaveTreatedProfile) {
+    const Function &TreatedF = treated();
+    PassTimer T(Stats, Prefix + "profile_treated");
+    Memory Mem = Program.InitMem;
+    TreatedProf =
+        profileRun(TreatedF, Mem, Program.InitRegs, &TreatedStats,
+                   Opts.Simulate ? &TreatedTraceData : nullptr);
+    HaveTreatedProfile = true;
+    if (Stats) {
+      Stats->addCount(Prefix + "dyn_ops_treated",
+                      static_cast<double>(TreatedStats.OpsDispatched));
+      Stats->addCount(Prefix + "dyn_branches_treated",
+                      static_cast<double>(TreatedStats.BranchesDispatched));
+    }
+  }
+  return TreatedProf;
+}
+
+const DynStats &PipelineRun::treatedDynStats() {
+  treatedProfile();
+  return TreatedStats;
+}
+
+const BranchTrace &PipelineRun::treatedTrace() {
+  if (!Opts.Simulate)
+    reportFatalError("PipelineRun: treatedTrace requires Opts.Simulate");
+  treatedProfile();
+  return TreatedTraceData;
+}
+
+void PipelineRun::prepare() {
+  baselineProfile();
+  treated();
+  if (Opts.CheckEquivalence)
+    checkEquivalence();
+  treatedProfile();
+}
+
+MachineComparison PipelineRun::estimateMachine(const MachineDesc &MD) const {
+  assert(HaveBaselineProfile && HaveTreated && HaveTreatedProfile &&
+         "estimateMachine requires prepare()");
+  PassTimer T(Stats, Prefix + "estimate/" + MD.getName());
+  MachineComparison MC;
+  MC.MachineName = MD.getName();
+  MC.BaselineCycles =
+      estimatePerformance(*Program.Func, MD, BaseProfile, Opts.Perf)
+          .TotalCycles;
+  MC.TreatedCycles =
+      estimatePerformance(*Treated, MD, TreatedProf, Opts.Perf).TotalCycles;
+  T.stop();
+  if (Stats) {
+    Stats->addCount(Prefix + "estimate/" + MD.getName() + "/cycles_baseline",
+                    MC.BaselineCycles);
+    Stats->addCount(Prefix + "estimate/" + MD.getName() + "/cycles_treated",
+                    MC.TreatedCycles);
+  }
+  return MC;
+}
+
+SimComparison PipelineRun::simulate(const MachineDesc &MD,
+                                    PredictorKind K) const {
+  assert(Opts.Simulate && "simulate requires Opts.Simulate");
+  assert(HaveBaselineProfile && HaveTreated && HaveTreatedProfile &&
+         "simulate requires prepare()");
+  const std::string Key =
+      Prefix + "sim/" + MD.getName() + "/" + predictorKindName(K);
+  PassTimer T(Stats, Key);
+  SimOptions SO;
+  SO.MispredictPenalty = Opts.MispredictPenalty;
+  SO.AllowSpeculation = Opts.Perf.AllowSpeculation;
+
+  SimComparison SC;
+  SC.MachineName = MD.getName();
+  SC.PredictorName = predictorKindName(K);
+
+  PredictorConfig CB;
+  CB.Profile = &BaseProfile;
+  std::unique_ptr<BranchPredictor> PB = makePredictor(K, CB);
+  SC.Baseline = simulateTrace(*Program.Func, MD, BaseTrace, *PB, SO);
+
+  PredictorConfig CT;
+  CT.Profile = &TreatedProf;
+  std::unique_ptr<BranchPredictor> PT = makePredictor(K, CT);
+  SC.Treated = simulateTrace(*Treated, MD, TreatedTraceData, *PT, SO);
+
+  if (!SC.Baseline.ok() || !SC.Treated.ok())
+    reportFatalError(
+        "trace simulation of @" + Name + " failed: " +
+        (SC.Baseline.ok() ? SC.Treated.Error : SC.Baseline.Error));
+  T.stop();
+  if (Stats) {
+    Stats->addCount(Key + "/cycles_baseline", SC.Baseline.TotalCycles);
+    Stats->addCount(Key + "/cycles_treated", SC.Treated.TotalCycles);
+    Stats->addCount(Key + "/mispredicts_baseline",
+                    static_cast<double>(SC.Baseline.Mispredicts));
+    Stats->addCount(Key + "/mispredicts_treated",
+                    static_cast<double>(SC.Treated.Mispredicts));
+  }
+  return SC;
+}
+
+PipelineResult PipelineRun::finish(ThreadPool *Pool) {
+  prepare();
+
+  PipelineResult Res;
+  Res.Name = Name;
+  Res.DynBaseline = BaseStats;
+  Res.DynTreated = TreatedStats;
+  Res.CPR = CPR;
+  Res.StaticOpsBaseline = Program.Func->totalOps();
+  Res.StaticOpsTreated = Treated->totalOps();
+  Res.StaticBranchesBaseline = countStaticBranches(*Program.Func);
+  Res.StaticBranchesTreated = countStaticBranches(*Treated);
+
+  // Per-machine estimates: independent, read-only stages; results land
+  // in preallocated slots so the output order (and every downstream
+  // table) is identical at any thread count.
+  Res.Machines.resize(Opts.Machines.size());
+  parallelFor(Pool, Opts.Machines.size(), [&](size_t I) {
+    Res.Machines[I] = estimateMachine(Opts.Machines[I]);
+  });
+
+  // Machine x predictor dynamic refinement, machine-major like the
+  // serial pipeline always produced.
+  if (Opts.Simulate) {
+    size_t NumP = Opts.Predictors.size();
+    Res.Sim.resize(Opts.Machines.size() * NumP);
+    parallelFor(Pool, Res.Sim.size(), [&](size_t I) {
+      Res.Sim[I] =
+          simulate(Opts.Machines[I / NumP], Opts.Predictors[I % NumP]);
+    });
+  }
+
+  Res.Treated = std::move(Treated);
+  return Res;
+}

@@ -1,0 +1,144 @@
+//===- pipeline/PipelineRun.h - Stage-based pipeline session ----*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The staged form of the experimental harness. A PipelineRun is one
+/// measurement session over one program, decomposed into explicit stages
+/// whose intermediate artifacts are computed once and then shared by
+/// every downstream consumer:
+///
+///   prepare (unroll)                           [serial]
+///     -> profileBaseline  (profile + trace)    [serial]
+///     -> transform        (FRP + ICBM + DCE)   [serial]
+///     -> checkEquivalence (interpreter oracle) [serial]
+///     -> profileTreated   (profile + trace)    [serial]
+///     -> estimateMachine(M)                    [parallel over machines]
+///     -> simulate(M, P)                        [parallel over machine x
+///                                               predictor]
+///
+/// Stage accessors are lazy: asking for an artifact runs the stages it
+/// depends on (once) and caches the result, so a caller that only wants
+/// a profile pays for nothing else. Artifacts can also be injected
+/// (setBaselineProfile, setTreated) to resume a session from externally
+/// produced inputs -- a saved profile, or a transformation done by other
+/// means -- with the untouched stages still usable.
+///
+/// Thread-safety contract: the serial stage accessors and prepare() must
+/// be called from one thread at a time. After prepare() has returned (or
+/// all serial artifacts have been forced), estimateMachine() and
+/// simulate() are const over shared immutable artifacts and safe to call
+/// concurrently from many threads; each call builds its own schedules
+/// and predictor state. finish() is terminal: it forces everything,
+/// optionally fanning the per-machine / per-predictor stages out on a
+/// ThreadPool, and moves the treated function into the returned
+/// PipelineResult.
+///
+/// Every stage reports wall time and outcome counters into an optional
+/// StatsRegistry (see support/Statistics.h for the determinism rules).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PIPELINE_PIPELINERUN_H
+#define PIPELINE_PIPELINERUN_H
+
+#include "pipeline/CompilerPipeline.h"
+
+namespace cpr {
+
+class ThreadPool;
+
+/// One stage-based measurement session over one program.
+class PipelineRun {
+public:
+  /// Takes ownership of \p Program. \p Stats (optional, may outlive many
+  /// sessions) receives counters/times under keys prefixed with
+  /// \p StatsPrefix.
+  explicit PipelineRun(KernelProgram Program,
+                       PipelineOptions Opts = PipelineOptions(),
+                       StatsRegistry *Stats = nullptr,
+                       std::string StatsPrefix = "");
+
+  const PipelineOptions &options() const { return Opts; }
+  const std::string &name() const { return Name; }
+
+  /// --- Artifact injection (before the corresponding stage runs) -------
+  /// Supplies a profile for the baseline (e.g. parsed from ProfileIO
+  /// text), skipping the baseline profiling run. Dynamic baseline stats
+  /// and the baseline trace are then unavailable unless re-profiled by a
+  /// later stage; simulation requires traced profiling runs, so sessions
+  /// with injected profiles cannot simulate the baseline.
+  void setBaselineProfile(ProfileData Profile);
+
+  /// Supplies the treated function (e.g. a phase experiment's output),
+  /// skipping the transform stage; cprResult() is then all-zero.
+  void setTreated(std::unique_ptr<Function> Treated);
+
+  /// --- Serial stages (lazy, cached, single-threaded) ------------------
+  /// The prepared baseline: the input after optional unrolling.
+  const Function &baseline();
+  /// Profile of the prepared baseline (stage: profile-baseline).
+  const ProfileData &baselineProfile();
+  /// Dynamic op counts of the baseline profiling run.
+  const DynStats &baselineDynStats();
+  /// Branch trace of the baseline profiling run (Opts.Simulate only).
+  const BranchTrace &baselineTrace();
+  /// The height-reduced function (stage: transform).
+  const Function &treated();
+  /// Transformation outcome counters (zero when treated was injected).
+  const CPRResult &cprResult();
+  /// Runs the observational-equivalence oracle once; fatal on mismatch.
+  void checkEquivalence();
+  /// Profile of the treated function (stage: profile-treated).
+  const ProfileData &treatedProfile();
+  const DynStats &treatedDynStats();
+  const BranchTrace &treatedTrace();
+
+  /// Forces every serial stage above (honoring Opts.CheckEquivalence).
+  void prepare();
+
+  /// --- Concurrent stages (const; require prepare()) -------------------
+  /// Static-schedule cycle comparison on \p MD.
+  MachineComparison estimateMachine(const MachineDesc &MD) const;
+  /// Trace-driven dynamic comparison on \p MD under predictor \p K.
+  SimComparison simulate(const MachineDesc &MD, PredictorKind K) const;
+
+  /// --- Terminal -------------------------------------------------------
+  /// Runs the whole cross-product (machines, and machine x predictor
+  /// when Opts.Simulate) -- on \p Pool when given, inline otherwise --
+  /// and assembles the legacy PipelineResult. The treated function is
+  /// moved into the result; the session must not be used afterwards.
+  PipelineResult finish(ThreadPool *Pool = nullptr);
+
+private:
+  void recordTransformStats();
+
+  KernelProgram Program;
+  PipelineOptions Opts;
+  StatsRegistry *Stats;
+  std::string Prefix;
+  std::string Name;
+
+  bool Prepared = false;
+  bool HaveBaselineProfile = false;
+  bool BaselineProfileInjected = false;
+  bool HaveTreated = false;
+  bool TreatedInjected = false;
+  bool EquivalenceDone = false;
+  bool HaveTreatedProfile = false;
+
+  ProfileData BaseProfile;
+  DynStats BaseStats;
+  BranchTrace BaseTrace;
+  std::unique_ptr<Function> Treated;
+  CPRResult CPR;
+  ProfileData TreatedProf;
+  DynStats TreatedStats;
+  BranchTrace TreatedTraceData;
+};
+
+} // namespace cpr
+
+#endif // PIPELINE_PIPELINERUN_H

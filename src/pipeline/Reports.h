@@ -30,7 +30,11 @@ struct SuiteRow {
   PipelineResult Result;
 };
 
-/// Runs the whole paper suite under \p Opts.
+/// Runs the whole paper suite under \p Opts: one staged PipelineRun
+/// session per benchmark, executed on a work-queue thread pool when
+/// Opts.Threads != 1 (0 = hardware concurrency). Row order, table
+/// output, and the counters reported into Opts.Stats are identical at
+/// every thread count; only wall times vary.
 std::vector<SuiteRow> runSuite(const PipelineOptions &Opts =
                                    PipelineOptions());
 

@@ -1,0 +1,122 @@
+//===- support/JSON.h - Minimal JSON document model -------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small JSON value model with a deterministic writer and a
+/// strict parser. Used for the machine-readable statistics documents the
+/// pipeline emits (`--stats-json=`) and by the tests that round-trip them.
+/// No external dependency; no attempt at full spec coverage beyond what
+/// those documents need (UTF-8 passthrough, no \u escapes on output).
+///
+/// Determinism contract: writeJSON() output is a pure function of the
+/// value -- member order is insertion order, numbers print as "%lld" when
+/// integral and "%.17g" otherwise -- so two runs producing the same values
+/// produce byte-identical documents.
+///
+/// Thread-safety: JSONValue is a plain value type; distinct values may be
+/// used from distinct threads freely, one value needs external locking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_JSON_H
+#define SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cpr {
+
+/// One JSON value (null / bool / number / string / array / object).
+/// Objects preserve insertion order and reject duplicate keys via set().
+class JSONValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JSONValue() : K(Kind::Null) {}
+
+  static JSONValue null() { return JSONValue(); }
+  static JSONValue boolean(bool B) {
+    JSONValue V;
+    V.K = Kind::Bool;
+    V.BoolV = B;
+    return V;
+  }
+  static JSONValue number(double N) {
+    JSONValue V;
+    V.K = Kind::Number;
+    V.NumV = N;
+    return V;
+  }
+  static JSONValue str(std::string S) {
+    JSONValue V;
+    V.K = Kind::String;
+    V.StrV = std::move(S);
+    return V;
+  }
+  static JSONValue array() {
+    JSONValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JSONValue object() {
+    JSONValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  bool getBool() const { return BoolV; }
+  double getNumber() const { return NumV; }
+  const std::string &getString() const { return StrV; }
+
+  /// Array elements / element append.
+  const std::vector<JSONValue> &items() const { return Items; }
+  void append(JSONValue V) { Items.push_back(std::move(V)); }
+
+  /// Object members, in insertion order.
+  const std::vector<std::pair<std::string, JSONValue>> &members() const {
+    return Members;
+  }
+  /// Sets member \p Key (replacing an existing binding in place).
+  void set(const std::string &Key, JSONValue V);
+  /// Returns the member named \p Key, or null when absent.
+  const JSONValue *find(const std::string &Key) const;
+
+private:
+  Kind K;
+  bool BoolV = false;
+  double NumV = 0.0;
+  std::string StrV;
+  std::vector<JSONValue> Items;
+  std::vector<std::pair<std::string, JSONValue>> Members;
+};
+
+/// Serializes \p V. With \p Pretty, objects and arrays break across
+/// indented lines (2 spaces per level); otherwise the output is compact.
+std::string writeJSON(const JSONValue &V, bool Pretty = true);
+
+/// Result of parseJSON.
+struct JSONParseResult {
+  JSONValue Value;
+  std::string Error; ///< empty on success
+  size_t Offset = 0; ///< byte offset of the error
+  explicit operator bool() const { return Error.empty(); }
+};
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+JSONParseResult parseJSON(const std::string &Text);
+
+} // namespace cpr
+
+#endif // SUPPORT_JSON_H

@@ -11,6 +11,14 @@
 /// from a seed. std::mt19937 is avoided because its distributions are not
 /// guaranteed identical across standard library implementations.
 ///
+/// Thread-safety: an RNG is a single mutable 64-bit state with no internal
+/// locking and no global/shared state anywhere in this header. Each
+/// concurrent task must own its own RNG instance (seeded deterministically,
+/// e.g. from the task index); sharing one instance across threads would
+/// both race and destroy reproducibility. The benchmark-suite Build()
+/// factories follow this rule: each constructs its generators locally, so
+/// suite rows can build concurrently on the pipeline thread pool.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SUPPORT_RNG_H

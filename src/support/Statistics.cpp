@@ -1,0 +1,102 @@
+//===- support/Statistics.cpp - Pass-level stats registry ------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include "support/JSON.h"
+
+#include <fstream>
+
+using namespace cpr;
+
+void StatsRegistry::addCount(const std::string &Key, double Delta) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counts[Key] += Delta;
+}
+
+void StatsRegistry::recordTimeMs(const std::string &Key, double Ms) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Times[Key] += Ms;
+}
+
+double StatsRegistry::count(const std::string &Key) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counts.find(Key);
+  return It == Counts.end() ? 0.0 : It->second;
+}
+
+double StatsRegistry::timeMs(const std::string &Key) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Times.find(Key);
+  return It == Times.end() ? 0.0 : It->second;
+}
+
+std::vector<std::pair<std::string, double>> StatsRegistry::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return {Counts.begin(), Counts.end()};
+}
+
+std::vector<std::pair<std::string, double>> StatsRegistry::timesMs() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return {Times.begin(), Times.end()};
+}
+
+void StatsRegistry::mergeFrom(const StatsRegistry &Other,
+                              const std::string &Prefix) {
+  // Snapshot first so that merging a registry into itself (or a registry
+  // another thread is still writing) stays well-defined.
+  std::vector<std::pair<std::string, double>> OtherCounts = Other.counters();
+  std::vector<std::pair<std::string, double>> OtherTimes = Other.timesMs();
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &KV : OtherCounts)
+    Counts[Prefix + KV.first] += KV.second;
+  for (const auto &KV : OtherTimes)
+    Times[Prefix + KV.first] += KV.second;
+}
+
+JSONValue StatsRegistry::toJSON(bool IncludeTimes) const {
+  JSONValue Doc = JSONValue::object();
+  Doc.set("schema", JSONValue::str("cpr-stats-v1"));
+  JSONValue CountsObj = JSONValue::object();
+  for (const auto &KV : counters())
+    CountsObj.set(KV.first, JSONValue::number(KV.second));
+  Doc.set("counters", std::move(CountsObj));
+  if (IncludeTimes) {
+    JSONValue TimesObj = JSONValue::object();
+    for (const auto &KV : timesMs())
+      TimesObj.set(KV.first, JSONValue::number(KV.second));
+    Doc.set("times_ms", std::move(TimesObj));
+  }
+  return Doc;
+}
+
+std::string StatsRegistry::toJSONText(bool IncludeTimes) const {
+  return writeJSON(toJSON(IncludeTimes));
+}
+
+void StatsRegistry::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counts.clear();
+  Times.clear();
+}
+
+bool cpr::writeStatsJSONFile(const StatsRegistry &Registry,
+                             const std::string &Path, std::string *Error) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << Registry.toJSONText();
+  Out.flush();
+  if (!Out) {
+    if (Error)
+      *Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,67 @@
+//===- support/ThreadPool.cpp - Work-queue thread pool ---------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace cpr;
+
+unsigned ThreadPool::defaultThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = defaultThreads();
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  CV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      CV.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task(); // packaged_task captures any exception for the future
+  }
+}
+
+void cpr::parallelFor(ThreadPool *Pool, size_t N,
+                      const std::function<void(size_t)> &Fn) {
+  if (!Pool || Pool->numThreads() <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Futures.push_back(Pool->submit([&Fn, I] { Fn(I); }));
+  // Wait for everything first so that a throwing task cannot leave
+  // siblings running against destroyed caller state, then surface the
+  // lowest-index exception.
+  for (std::future<void> &F : Futures)
+    F.wait();
+  for (std::future<void> &F : Futures)
+    F.get();
+}

@@ -1,0 +1,98 @@
+//===- support/ThreadPool.h - Work-queue thread pool ------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size work-queue thread pool used to execute the
+/// embarrassingly parallel parts of the experimental methodology: the
+/// per-benchmark pipeline sessions of a suite run and the per-machine /
+/// per-predictor estimation stages within one session.
+///
+/// Thread-safety contract: submit() and parallelFor() may be called from
+/// any thread. Tasks must not submit to the pool they run on (the pool
+/// does not grow, so nested waits can deadlock); nest parallelism by
+/// running inner stages inline instead. Task results and exceptions are
+/// delivered through std::future, so a task that throws surfaces its
+/// exception at future::get() rather than killing the worker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_THREADPOOL_H
+#define SUPPORT_THREADPOOL_H
+
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cpr {
+
+/// Fixed-size FIFO work-queue thread pool. Workers are started in the
+/// constructor and joined in the destructor; queued tasks all run before
+/// destruction completes.
+class ThreadPool {
+public:
+  /// A sensible default worker count: hardware concurrency, at least 1.
+  static unsigned defaultThreads();
+
+  /// Creates a pool with \p Threads workers; 0 selects defaultThreads().
+  explicit ThreadPool(unsigned Threads = 0);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p F and returns a future for its result. Tasks are
+  /// dispatched in FIFO order (with one worker this is strict submission
+  /// order). An exception thrown by \p F is captured and rethrown from
+  /// future::get().
+  template <typename Fn>
+  auto submit(Fn &&F) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(F));
+    std::future<R> Fut = Task->get_future();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      assert(!Stopping && "submit on a stopping pool");
+      Queue.push_back([Task] { (*Task)(); });
+    }
+    CV.notify_one();
+    return Fut;
+  }
+
+private:
+  void workerLoop();
+
+  std::mutex Mu;
+  std::condition_variable CV;
+  std::deque<std::function<void()>> Queue;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+};
+
+/// Runs \p Fn(0), ..., \p Fn(N-1) and blocks until all complete. When
+/// \p Pool is null or has a single worker the calls run inline on the
+/// caller, in index order; otherwise they are submitted to \p Pool in
+/// index order and may run concurrently. If any call throws, the
+/// remaining calls still complete and the lowest-index exception is
+/// rethrown. \p Fn must be safe to invoke concurrently for distinct
+/// indices (write only to per-index state or mutex-guarded sinks).
+void parallelFor(ThreadPool *Pool, size_t N,
+                 const std::function<void(size_t)> &Fn);
+
+} // namespace cpr
+
+#endif // SUPPORT_THREADPOOL_H

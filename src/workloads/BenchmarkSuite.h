@@ -11,6 +11,13 @@
 /// substitutes with per-application branch-structure parameters
 /// (workloads/SyntheticProgram.h and DESIGN.md's substitution notes).
 ///
+/// Thread-safety: Build() factories must be pure -- deterministic from
+/// their captured parameters (any randomness via a locally seeded RNG,
+/// see support/RNG.h) and free of shared mutable state -- because
+/// runSuite() invokes them concurrently from thread-pool workers, one
+/// per suite row. paperBenchmarkSuite() returns a fresh vector per call
+/// and may itself be called from any thread.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WORKLOADS_BENCHMARKSUITE_H

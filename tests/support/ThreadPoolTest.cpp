@@ -1,0 +1,103 @@
+//===- tests/support/ThreadPoolTest.cpp - Work-queue pool tests -----------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace cpr;
+
+TEST(ThreadPool, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.numThreads(), ThreadPool::defaultThreads());
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool Pool(4);
+  std::vector<std::future<int>> Futs;
+  for (int I = 0; I < 32; ++I)
+    Futs.push_back(Pool.submit([I] { return I * I; }));
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(Futs[static_cast<size_t>(I)].get(), I * I);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInSubmissionOrder) {
+  // With one worker the FIFO queue implies strict submission order.
+  ThreadPool Pool(1);
+  std::vector<int> Order;
+  std::vector<std::future<void>> Futs;
+  for (int I = 0; I < 16; ++I)
+    Futs.push_back(Pool.submit([&Order, I] { Order.push_back(I); }));
+  for (std::future<void> &F : Futs)
+    F.get();
+  std::vector<int> Expected(16);
+  std::iota(Expected.begin(), Expected.end(), 0);
+  EXPECT_EQ(Order, Expected);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool Pool(2);
+  std::future<int> Fut =
+      Pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(Fut.get(), std::runtime_error);
+  // The worker survives the throwing task.
+  EXPECT_EQ(Pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 64; ++I)
+      Pool.submit([&Ran] { ++Ran; });
+  }
+  EXPECT_EQ(Ran.load(), 64);
+}
+
+TEST(ParallelFor, InlineWhenPoolIsNull) {
+  // Null pool: runs on the caller in index order.
+  std::vector<size_t> Order;
+  parallelFor(nullptr, 8, [&Order](size_t I) { Order.push_back(I); });
+  EXPECT_EQ(Order, (std::vector<size_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ParallelFor, CoversEveryIndexOnAPool) {
+  ThreadPool Pool(4);
+  std::vector<int> Hits(100, 0);
+  parallelFor(&Pool, Hits.size(), [&Hits](size_t I) { ++Hits[I]; });
+  for (int H : Hits)
+    EXPECT_EQ(H, 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoOp) {
+  ThreadPool Pool(2);
+  parallelFor(&Pool, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, RethrowsLowestIndexException) {
+  ThreadPool Pool(4);
+  std::atomic<int> Completed{0};
+  try {
+    parallelFor(&Pool, 16, [&Completed](size_t I) {
+      if (I == 3)
+        throw std::invalid_argument("three");
+      if (I == 11)
+        throw std::runtime_error("eleven");
+      ++Completed;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument &E) {
+    EXPECT_STREQ(E.what(), "three"); // index 3 wins over index 11
+  }
+  // All non-throwing iterations still ran to completion.
+  EXPECT_EQ(Completed.load(), 14);
+}

@@ -7,24 +7,17 @@
 // values and memory cells come from flags, so small experiments need no
 // C++ at all.
 //
-//   cprc input.cpr [options]
+//   cprc input.cpr [options]     (see --help; the option list below is
+//                                 generated from one declarative table)
 //
-//   --phase=<frp|speculate|cpr|all>   stop after the named phase (default all)
-//   --reg r1=1000                     initial register value (repeatable)
-//   --mem 1000=7                      initial memory cell (repeatable)
-//   --observable                      print observed registers after a run
-//   --run                             interpret the (final) program
-//   --schedule=<machine>             print the schedule for one machine
-//   --estimate                        per-machine cycle estimates (needs a
-//                                     profileable program)
-//   --exit-weight=<f> --predict-taken=<f> --max-branches=<n>
-//   --no-speculation --no-taken-variation
-//   --show-ids                        print stable operation ids
-//   --simulate                        trace-driven dynamic estimates for
-//                                     baseline and transformed code
-//   --predictor=<static|bimodal|gshare|local|all>   (repeatable)
-//   --mispredict-penalty=<n>          penalty cycles (default: per machine)
-//   --trace-out=<file>                save the baseline branch trace
+// The measurement paths (--estimate, --simulate, --check-equivalence,
+// --trace-out) are built on the staged pipeline session API
+// (pipeline/PipelineRun.h): one PipelineRun owns the baseline program,
+// profiles it once, and shares that artifact across every machine and
+// predictor estimate; --threads fans the independent estimates out on a
+// work-queue thread pool, and --stats-json dumps the per-stage counters
+// and wall times the session records. cprc is the exemplar caller of the
+// staged API -- see docs/PIPELINE.md.
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,7 +27,7 @@
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "cpr/PredicateSpeculation.h"
-#include "pipeline/CompilerPipeline.h"
+#include "pipeline/PipelineRun.h"
 #include "regions/FRPConversion.h"
 #include "regions/DeadCodeElim.h"
 #include "regions/IfConversion.h"
@@ -42,6 +35,9 @@
 #include "regions/Simplify.h"
 #include "sched/ListScheduler.h"
 #include "sim/TraceSimulator.h"
+#include "support/OptionParser.h"
+#include "support/Statistics.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstring>
@@ -52,19 +48,25 @@ using namespace cpr;
 
 namespace {
 
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: cprc <input.cpr> [--phase=frp|speculate|cpr|all] [--run]\n"
-      "            [--reg rN=V]... [--mem A=V]... [--schedule=<machine>]\n"
-      "            [--estimate] [--exit-weight=F] [--predict-taken=F]\n"
-      "            [--max-branches=N] [--no-speculation]\n"
-      "            [--no-taken-variation] [--show-ids]\n"
-      "            [--profile-out=<file>] [--profile-in=<file>]\n"
-      "            [--unroll=N] [--simplify] [--if-convert]\n"
-      "            [--simulate] [--predictor=<name|all>]...\n"
-      "            [--mispredict-penalty=N] [--trace-out=<file>]\n");
-}
+/// Everything the option table fills in.
+struct Config {
+  std::string InputPath;
+  std::string Phase = "all";
+  std::string ScheduleFor;
+  std::string ProfileOut, ProfileIn, TraceOut, StatsJSON;
+  unsigned UnrollFactor = 1;
+  unsigned Threads = 1;
+  bool Simplify = false, IfConvert = false;
+  bool Run = false, Estimate = false, Simulate = false;
+  bool CheckEquiv = false;
+  bool Help = false;
+  int MispredictPenalty = -1;
+  std::vector<PredictorKind> Predictors;
+  PrintOptions PO;
+  CPROptions CPR;
+  std::vector<RegBinding> InitRegs;
+  Memory InitMem;
+};
 
 bool parseReg(const std::string &Spec, RegBinding &Out) {
   size_t Eq = Spec.find('=');
@@ -91,6 +93,98 @@ bool parseReg(const std::string &Spec, RegBinding &Out) {
   return true;
 }
 
+/// The declarative option table; --help output is generated from it.
+OptionTable buildOptions(Config &C) {
+  OptionTable T;
+  T.addString("--phase", "<frp|speculate|cpr|all|none>",
+              "stop after the named phase (default all)", C.Phase);
+  T.addFlag("--run", "interpret the (final) program", C.Run);
+  T.add({"--reg", OptArg::Separate, "rN=V",
+         "initial register value, repeatable; runs need enough inputs to "
+         "halt",
+         [&C](const std::string &V) {
+           RegBinding B;
+           if (!parseReg(V, B))
+             return false;
+           C.InitRegs.push_back(B);
+           return true;
+         }});
+  T.add({"--mem", OptArg::Separate, "A=V",
+         "initial memory cell, repeatable",
+         [&C](const std::string &V) {
+           size_t Eq = V.find('=');
+           if (Eq == std::string::npos)
+             return false;
+           C.InitMem.store(std::strtoll(V.c_str(), nullptr, 10),
+                           std::strtoll(V.c_str() + Eq + 1, nullptr, 10));
+           return true;
+         }});
+  T.addString("--schedule", "<machine>",
+              "print the schedule for one machine", C.ScheduleFor);
+  T.addFlag("--estimate",
+            "per-machine cycle estimates (needs a profileable program)",
+            C.Estimate);
+  T.addDouble("--exit-weight", "<f>", "CPR exit-weight threshold",
+              C.CPR.ExitWeightThreshold);
+  T.addDouble("--predict-taken", "<f>", "CPR predict-taken threshold",
+              C.CPR.PredictTakenThreshold);
+  T.addUnsigned("--max-branches", "<n>", "CPR branches-per-block cap",
+                C.CPR.MaxBranchesPerBlock);
+  T.addFlag("--no-speculation", "disable predicate speculation",
+            C.CPR.EnablePredicateSpeculation, /*Value=*/false);
+  T.addFlag("--no-taken-variation", "disable the taken-variation schema",
+            C.CPR.EnableTakenVariation, /*Value=*/false);
+  T.addFlag("--simplify", "run simplify + DCE before the phases",
+            C.Simplify);
+  T.addFlag("--if-convert", "if-convert before the phases", C.IfConvert);
+  T.addUnsigned("--unroll", "<n>", "unroll self-loop blocks by this factor",
+                C.UnrollFactor);
+  T.addFlag("--show-ids", "print stable operation ids", C.PO.ShowOpIds);
+  T.addString("--profile-out", "<file>", "save the baseline profile",
+              C.ProfileOut);
+  T.addString("--profile-in", "<file>", "load a profile instead of running",
+              C.ProfileIn);
+  T.addFlag("--check-equivalence",
+            "run the baseline/transformed equivalence oracle", C.CheckEquiv);
+  T.addFlag("--simulate",
+            "trace-driven dynamic estimates for baseline and transformed "
+            "code",
+            C.Simulate);
+  T.add({"--predictor", OptArg::Joined, "<static|bimodal|gshare|local|all>",
+         "predictor(s) to simulate, repeatable (default all)",
+         [&C](const std::string &V) {
+           if (V == "all") {
+             C.Predictors = allPredictorKinds();
+             return true;
+           }
+           PredictorKind K;
+           if (!parsePredictorKind(V, K))
+             return false;
+           C.Predictors.push_back(K);
+           return true;
+         }});
+  T.add({"--mispredict-penalty", OptArg::Joined, "<n>",
+         "penalty cycles (default: per machine)",
+         [&C](const std::string &V) {
+           char *End = nullptr;
+           long N = std::strtol(V.c_str(), &End, 10);
+           if (V.empty() || *End != '\0' || N < 0)
+             return false;
+           C.MispredictPenalty = static_cast<int>(N);
+           return true;
+         }});
+  T.addString("--trace-out", "<file>", "save the baseline branch trace",
+              C.TraceOut);
+  T.addUnsigned("--threads", "<n>",
+                "worker threads for estimates/simulations (0 = all cores)",
+                C.Threads);
+  T.addString("--stats-json", "<file>",
+              "write per-stage counters and wall times as JSON", C.StatsJSON);
+  T.addFlag("--help", "print this help", C.Help);
+  T.addFlag("-h", "print this help", C.Help);
+  return T;
+}
+
 const MachineDesc *findMachine(const std::vector<MachineDesc> &Machines,
                                const std::string &Name) {
   for (const MachineDesc &M : Machines)
@@ -102,121 +196,30 @@ const MachineDesc *findMachine(const std::vector<MachineDesc> &Machines,
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc < 2) {
-    usage();
+  Config C;
+  OptionTable Options = buildOptions(C);
+  const std::string Usage = "usage: cprc <input.cpr> [options]";
+
+  std::string ParseError;
+  std::vector<std::string> Positional;
+  if (!Options.parse(argc, argv, ParseError, &Positional)) {
+    std::fprintf(stderr, "cprc: %s\n%s", ParseError.c_str(),
+                 Options.help(Usage).c_str());
     return 2;
   }
-
-  std::string InputPath;
-  std::string Phase = "all";
-  std::string ScheduleFor;
-  std::string ProfileOut, ProfileIn, TraceOut;
-  unsigned UnrollFactor = 1;
-  bool Simplify = false, IfConvertFlag = false;
-  bool Run = false, Estimate = false, Simulate = false;
-  int MispredictPenalty = -1;
-  std::vector<PredictorKind> Predictors;
-  PrintOptions PO;
-  CPROptions CPR;
-  std::vector<RegBinding> InitRegs;
-  Memory InitMem;
-
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    auto Value = [&](const char *Prefix) -> const char * {
-      return Arg.c_str() + std::strlen(Prefix);
-    };
-    if (Arg.rfind("--phase=", 0) == 0) {
-      Phase = Value("--phase=");
-    } else if (Arg == "--run") {
-      Run = true;
-    } else if (Arg == "--estimate") {
-      Estimate = true;
-    } else if (Arg.rfind("--schedule=", 0) == 0) {
-      ScheduleFor = Value("--schedule=");
-    } else if (Arg == "--reg" && I + 1 < argc) {
-      RegBinding B;
-      if (!parseReg(argv[++I], B)) {
-        std::fprintf(stderr, "bad --reg spec '%s'\n", argv[I]);
-        return 2;
-      }
-      InitRegs.push_back(B);
-    } else if (Arg == "--mem" && I + 1 < argc) {
-      std::string Spec = argv[++I];
-      size_t Eq = Spec.find('=');
-      if (Eq == std::string::npos) {
-        std::fprintf(stderr, "bad --mem spec '%s'\n", Spec.c_str());
-        return 2;
-      }
-      InitMem.store(std::strtoll(Spec.c_str(), nullptr, 10),
-                    std::strtoll(Spec.c_str() + Eq + 1, nullptr, 10));
-    } else if (Arg.rfind("--exit-weight=", 0) == 0) {
-      CPR.ExitWeightThreshold = std::strtod(Value("--exit-weight="), nullptr);
-    } else if (Arg.rfind("--predict-taken=", 0) == 0) {
-      CPR.PredictTakenThreshold =
-          std::strtod(Value("--predict-taken="), nullptr);
-    } else if (Arg.rfind("--max-branches=", 0) == 0) {
-      CPR.MaxBranchesPerBlock = static_cast<unsigned>(
-          std::strtoul(Value("--max-branches="), nullptr, 10));
-    } else if (Arg == "--no-speculation") {
-      CPR.EnablePredicateSpeculation = false;
-    } else if (Arg == "--no-taken-variation") {
-      CPR.EnableTakenVariation = false;
-    } else if (Arg == "--simplify") {
-      Simplify = true;
-    } else if (Arg == "--if-convert") {
-      IfConvertFlag = true;
-    } else if (Arg.rfind("--unroll=", 0) == 0) {
-      UnrollFactor =
-          static_cast<unsigned>(std::strtoul(Value("--unroll="), nullptr, 10));
-    } else if (Arg == "--simulate") {
-      Simulate = true;
-    } else if (Arg.rfind("--predictor=", 0) == 0) {
-      std::string Name = Value("--predictor=");
-      if (Name == "all") {
-        Predictors = allPredictorKinds();
-      } else {
-        PredictorKind K;
-        if (!parsePredictorKind(Name, K)) {
-          std::fprintf(stderr, "unknown predictor '%s'\n", Name.c_str());
-          return 2;
-        }
-        Predictors.push_back(K);
-      }
-    } else if (Arg.rfind("--mispredict-penalty=", 0) == 0) {
-      MispredictPenalty = static_cast<int>(
-          std::strtol(Value("--mispredict-penalty="), nullptr, 10));
-      if (MispredictPenalty < 0) {
-        std::fprintf(stderr, "mispredict penalty cannot be negative\n");
-        return 2;
-      }
-    } else if (Arg.rfind("--trace-out=", 0) == 0) {
-      TraceOut = Value("--trace-out=");
-    } else if (Arg.rfind("--profile-out=", 0) == 0) {
-      ProfileOut = Value("--profile-out=");
-    } else if (Arg.rfind("--profile-in=", 0) == 0) {
-      ProfileIn = Value("--profile-in=");
-    } else if (Arg == "--show-ids") {
-      PO.ShowOpIds = true;
-    } else if (Arg == "--help" || Arg == "-h") {
-      usage();
-      return 0;
-    } else if (!Arg.empty() && Arg[0] != '-') {
-      InputPath = Arg;
-    } else {
-      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
-      usage();
-      return 2;
-    }
+  if (C.Help) {
+    std::printf("%s", Options.help(Usage).c_str());
+    return 0;
   }
-  if (InputPath.empty()) {
-    usage();
+  if (Positional.size() != 1) {
+    std::fprintf(stderr, "%s", Options.help(Usage).c_str());
     return 2;
   }
+  C.InputPath = Positional[0];
 
-  std::ifstream In(InputPath);
+  std::ifstream In(C.InputPath);
   if (!In) {
-    std::fprintf(stderr, "cannot open '%s'\n", InputPath.c_str());
+    std::fprintf(stderr, "cannot open '%s'\n", C.InputPath.c_str());
     return 1;
   }
   std::stringstream Buf;
@@ -224,7 +227,7 @@ int main(int argc, char **argv) {
 
   ParseResult PR = parseFunction(Buf.str());
   if (!PR) {
-    std::fprintf(stderr, "%s:%u: error: %s\n", InputPath.c_str(), PR.Line,
+    std::fprintf(stderr, "%s:%u: error: %s\n", C.InputPath.c_str(), PR.Line,
                  PR.Error.c_str());
     return 1;
   }
@@ -232,30 +235,30 @@ int main(int argc, char **argv) {
   std::vector<std::string> Errors = verifyFunction(*F);
   if (!Errors.empty()) {
     for (const std::string &E : Errors)
-      std::fprintf(stderr, "%s: verifier: %s\n", InputPath.c_str(),
+      std::fprintf(stderr, "%s: verifier: %s\n", C.InputPath.c_str(),
                    E.c_str());
     return 1;
   }
 
   // Optional preparation passes (applied to the shared baseline, as the
   // paper's IMPACT preprocessing was).
-  if (IfConvertFlag) {
+  if (C.IfConvert) {
     IfConversionStats IS = ifConvert(*F);
     verifyOrDie(*F, "after if-conversion");
     std::fprintf(stderr, "if-convert: %u branch(es) folded, %u ops "
                  "predicated\n",
                  IS.BranchesConverted, IS.OpsPredicated);
   }
-  if (UnrollFactor >= 2) {
+  if (C.UnrollFactor >= 2) {
     unsigned Unrolled = 0;
     for (size_t I = 0; I < F->numBlocks(); ++I)
-      if (unrollLoop(*F, F->block(I), UnrollFactor).Unrolled)
+      if (unrollLoop(*F, F->block(I), C.UnrollFactor).Unrolled)
         ++Unrolled;
     verifyOrDie(*F, "after unrolling");
     std::fprintf(stderr, "unroll: %u loop(s) unrolled x%u\n", Unrolled,
-                 UnrollFactor);
+                 C.UnrollFactor);
   }
-  if (Simplify || UnrollFactor >= 2) {
+  if (C.Simplify || C.UnrollFactor >= 2) {
     SimplifyStats SS = simplifyFunction(*F);
     eliminateDeadCode(*F);
     verifyOrDie(*F, "after simplify");
@@ -265,59 +268,82 @@ int main(int argc, char **argv) {
                  SS.ExpressionsReused);
   }
 
-  // A profile is required for match; load one or obtain it by running
-  // the input.
-  std::unique_ptr<Function> Baseline = F->clone();
-  ProfileData Profile;
-  if (!ProfileIn.empty()) {
-    std::ifstream PIn(ProfileIn);
+  // One staged session over the prepared baseline. Phase transformation
+  // happens outside the session (cprc's --phase selection is finer than
+  // the pipeline's transform stage) and is injected via setTreated; the
+  // session then reuses one baseline profile/trace across equivalence,
+  // every machine estimate, and every predictor simulation.
+  const bool NeedTrace = C.Simulate || !C.TraceOut.empty();
+  StatsRegistry Stats;
+  PipelineOptions SessionOpts;
+  SessionOpts.CPR = C.CPR;
+  SessionOpts.Simulate = NeedTrace;
+  SessionOpts.MispredictPenalty = C.MispredictPenalty;
+  SessionOpts.CheckEquivalence = false; // driven explicitly below
+
+  KernelProgram Program;
+  Program.Func = F->clone();
+  Program.InitRegs = C.InitRegs;
+  Program.InitMem = C.InitMem;
+  PipelineRun Session(std::move(Program), SessionOpts,
+                      C.StatsJSON.empty() ? nullptr : &Stats,
+                      F->getName() + "/");
+
+  // A profile is required for the ICBM phase; load one or obtain it from
+  // the session's baseline profiling run. A loaded profile is injected
+  // into the session only when no branch trace is needed -- traces only
+  // exist for profiling runs the session performs itself.
+  ProfileData LoadedProfile;
+  bool HaveLoaded = false;
+  if (!C.ProfileIn.empty()) {
+    std::ifstream PIn(C.ProfileIn);
     if (!PIn) {
-      std::fprintf(stderr, "cannot open profile '%s'\n", ProfileIn.c_str());
+      std::fprintf(stderr, "cannot open profile '%s'\n", C.ProfileIn.c_str());
       return 1;
     }
     std::stringstream PBuf;
     PBuf << PIn.rdbuf();
     ProfileParseResult PP = parseProfile(PBuf.str());
     if (!PP) {
-      std::fprintf(stderr, "%s: %s\n", ProfileIn.c_str(), PP.Error.c_str());
+      std::fprintf(stderr, "%s: %s\n", C.ProfileIn.c_str(),
+                   PP.Error.c_str());
       return 1;
     }
-    Profile = std::move(PP.Profile);
-  } else if (Phase == "cpr" || Phase == "all" || Estimate ||
-             !ProfileOut.empty()) {
-    Memory Mem = InitMem;
-    InterpOptions IO;
-    IO.Profile = &Profile;
-    RunResult R = interpret(*F, Mem, InitRegs, IO);
-    if (!R.halted()) {
-      std::fprintf(stderr,
-                   "profiling run failed (%s); provide --reg/--mem inputs "
-                   "that drive the program to halt\n",
-                   R.ErrorMsg.c_str());
-      return 1;
-    }
+    LoadedProfile = std::move(PP.Profile);
+    HaveLoaded = true;
+    if (!NeedTrace)
+      Session.setBaselineProfile(LoadedProfile);
   }
-  if (!ProfileOut.empty()) {
-    std::ofstream POut(ProfileOut);
+
+  const bool NeedProfile = C.Phase == "cpr" || C.Phase == "all" ||
+                           C.Estimate || !C.ProfileOut.empty();
+  const ProfileData *PhaseProfile = nullptr;
+  if (HaveLoaded)
+    PhaseProfile = &LoadedProfile;
+  else if (NeedProfile)
+    PhaseProfile = &Session.baselineProfile();
+
+  if (!C.ProfileOut.empty()) {
+    std::ofstream POut(C.ProfileOut);
     if (!POut) {
       std::fprintf(stderr, "cannot write profile '%s'\n",
-                   ProfileOut.c_str());
+                   C.ProfileOut.c_str());
       return 1;
     }
-    POut << serializeProfile(Profile, *F);
+    POut << serializeProfile(*PhaseProfile, *F);
   }
 
   // Phases.
-  if (Phase == "frp" || Phase == "speculate") {
+  if (C.Phase == "frp" || C.Phase == "speculate") {
     for (size_t I = 0; I < F->numBlocks(); ++I)
       if (!F->block(I).isCompensation())
         convertToFRP(*F, F->block(I));
-    if (Phase == "speculate")
+    if (C.Phase == "speculate")
       for (size_t I = 0; I < F->numBlocks(); ++I)
         if (!F->block(I).isCompensation())
           speculatePredicates(*F, F->block(I));
-  } else if (Phase == "cpr" || Phase == "all") {
-    CPRResult CR = runControlCPR(*F, Profile, CPR);
+  } else if (C.Phase == "cpr" || C.Phase == "all") {
+    CPRResult CR = runControlCPR(*F, *PhaseProfile, C.CPR);
     std::fprintf(stderr,
                  "cpr: %u region(s), %u CPR block(s) formed, %u "
                  "transformed (%u taken variation), %u ops moved "
@@ -325,17 +351,21 @@ int main(int argc, char **argv) {
                  CR.RegionsProcessed, CR.CPRBlocksFormed,
                  CR.CPRBlocksTransformed, CR.TakenVariants,
                  CR.OpsMovedOffTrace, CR.OpsSplit);
-  } else if (Phase != "none") {
-    std::fprintf(stderr, "unknown phase '%s'\n", Phase.c_str());
+  } else if (C.Phase != "none") {
+    std::fprintf(stderr, "unknown phase '%s'\n", C.Phase.c_str());
     return 2;
   }
   verifyOrDie(*F, "cprc output");
 
-  std::printf("%s", printFunction(*F, PO).c_str());
+  std::printf("%s", printFunction(*F, C.PO).c_str());
 
-  if (Run) {
-    Memory Mem = InitMem;
-    RunResult R = interpret(*F, Mem, InitRegs);
+  const bool NeedTreated = C.Estimate || C.Simulate || C.CheckEquiv;
+  if (NeedTreated)
+    Session.setTreated(F->clone());
+
+  if (C.Run) {
+    Memory Mem = C.InitMem;
+    RunResult R = interpret(*F, Mem, C.InitRegs);
     std::printf("\n; run: %s after %llu steps",
                 R.halted() ? "halted" : R.ErrorMsg.c_str(),
                 static_cast<unsigned long long>(R.Steps));
@@ -349,10 +379,10 @@ int main(int argc, char **argv) {
   }
 
   std::vector<MachineDesc> Machines = MachineDesc::paperModels();
-  if (!ScheduleFor.empty()) {
-    const MachineDesc *MD = findMachine(Machines, ScheduleFor);
+  if (!C.ScheduleFor.empty()) {
+    const MachineDesc *MD = findMachine(Machines, C.ScheduleFor);
     if (!MD) {
-      std::fprintf(stderr, "unknown machine '%s'\n", ScheduleFor.c_str());
+      std::fprintf(stderr, "unknown machine '%s'\n", C.ScheduleFor.c_str());
       return 2;
     }
     for (size_t BI = 0; BI < F->numBlocks(); ++BI) {
@@ -364,112 +394,84 @@ int main(int argc, char **argv) {
                   B.getName().c_str(), MD->getName().c_str(), S.length());
       for (size_t OI = 0; OI < B.size(); ++OI)
         std::printf(";   cycle %3d  %s\n", S.cycleOf(OI),
-                    printOperation(*F, B.ops()[OI], PO).c_str());
+                    printOperation(*F, B.ops()[OI], C.PO).c_str());
     }
   }
 
-  if (Estimate) {
-    // Re-profile the transformed code, then estimate both versions.
-    Memory Mem = InitMem;
-    ProfileData TreatedProfile;
-    InterpOptions IO;
-    IO.Profile = &TreatedProfile;
-    RunResult R = interpret(*F, Mem, InitRegs, IO);
-    if (!R.halted()) {
-      std::fprintf(stderr, "estimate run failed: %s\n", R.ErrorMsg.c_str());
-      return 1;
-    }
+  if (C.CheckEquiv) {
+    Session.checkEquivalence(); // fatal with a diagnostic on mismatch
+    std::printf("\n; equivalence: baseline and output agree on this "
+                "input\n");
+  }
+
+  ThreadPool *Pool = nullptr;
+  std::unique_ptr<ThreadPool> PoolStorage;
+  if (NeedTreated && C.Threads != 1) {
+    PoolStorage = std::make_unique<ThreadPool>(C.Threads);
+    Pool = PoolStorage.get();
+  }
+
+  if (C.Estimate) {
+    Session.prepare();
+    std::vector<MachineComparison> Rows(Machines.size());
+    parallelFor(Pool, Machines.size(), [&](size_t I) {
+      Rows[I] = Session.estimateMachine(Machines[I]);
+    });
     std::printf("\n; estimated cycles (baseline -> this output):\n");
-    for (const MachineDesc &MD : Machines) {
-      double Before =
-          estimatePerformance(*Baseline, MD, Profile).TotalCycles;
-      double After =
-          estimatePerformance(*F, MD, TreatedProfile).TotalCycles;
+    for (const MachineComparison &MC : Rows)
       std::printf(";   %-10s %10.0f -> %10.0f   (%.2fx)\n",
-                  MD.getName().c_str(), Before, After,
-                  After > 0 ? Before / After : 0.0);
-    }
+                  MC.MachineName.c_str(), MC.BaselineCycles,
+                  MC.TreatedCycles,
+                  MC.TreatedCycles > 0
+                      ? MC.BaselineCycles / MC.TreatedCycles
+                      : 0.0);
   }
 
-  if (Simulate || !TraceOut.empty()) {
-    if (Predictors.empty())
-      Predictors = allPredictorKinds();
-
-    // Fresh traced runs of the baseline and of the (possibly transformed)
-    // output; the earlier profiling run recorded no trace.
-    Memory MemB = InitMem;
-    ProfileData ProfB;
-    BranchTrace TraceB;
-    InterpOptions IOB;
-    IOB.Profile = &ProfB;
-    IOB.Trace = &TraceB;
-    RunResult RB = interpret(*Baseline, MemB, InitRegs, IOB);
-    if (!RB.halted()) {
-      std::fprintf(stderr, "simulation run (baseline) failed: %s\n",
-                   RB.ErrorMsg.c_str());
+  if (!C.TraceOut.empty()) {
+    std::ofstream TOut(C.TraceOut);
+    if (!TOut) {
+      std::fprintf(stderr, "cannot write trace '%s'\n", C.TraceOut.c_str());
       return 1;
     }
-    if (!TraceOut.empty()) {
-      std::ofstream TOut(TraceOut);
-      if (!TOut) {
-        std::fprintf(stderr, "cannot write trace '%s'\n", TraceOut.c_str());
-        return 1;
-      }
-      TOut << serializeBranchTrace(TraceB);
-    }
+    TOut << serializeBranchTrace(Session.baselineTrace());
+  }
 
-    if (Simulate) {
-      Memory MemT = InitMem;
-      ProfileData ProfT;
-      BranchTrace TraceT;
-      InterpOptions IOT;
-      IOT.Profile = &ProfT;
-      IOT.Trace = &TraceT;
-      RunResult RT = interpret(*F, MemT, InitRegs, IOT);
-      if (!RT.halted()) {
-        std::fprintf(stderr, "simulation run (transformed) failed: %s\n",
-                     RT.ErrorMsg.c_str());
-        return 1;
-      }
+  if (C.Simulate) {
+    if (C.Predictors.empty())
+      C.Predictors = allPredictorKinds();
+    Session.prepare();
 
-      SimOptions SO;
-      SO.MispredictPenalty = MispredictPenalty;
-      std::printf("\n; dynamic simulation (baseline -> this output, "
-                  "%llu/%llu branch events):\n",
-                  static_cast<unsigned long long>(TraceB.size()),
-                  static_cast<unsigned long long>(TraceT.size()));
-      std::printf(";   %-10s %-8s %12s %9s %6s  -> %12s %9s %6s %8s\n",
-                  "machine", "pred", "cycles", "mispred", "MPKI", "cycles",
-                  "mispred", "MPKI", "speedup");
-      for (const MachineDesc &MD : Machines) {
-        for (PredictorKind K : Predictors) {
-          PredictorConfig CB;
-          CB.Profile = &ProfB;
-          std::unique_ptr<BranchPredictor> PB = makePredictor(K, CB);
-          SimEstimate EB = simulateTrace(*Baseline, MD, TraceB, *PB, SO);
+    std::printf("\n; dynamic simulation (baseline -> this output, "
+                "%llu/%llu branch events):\n",
+                static_cast<unsigned long long>(
+                    Session.baselineTrace().size()),
+                static_cast<unsigned long long>(
+                    Session.treatedTrace().size()));
+    std::printf(";   %-10s %-8s %12s %9s %6s  -> %12s %9s %6s %8s\n",
+                "machine", "pred", "cycles", "mispred", "MPKI", "cycles",
+                "mispred", "MPKI", "speedup");
+    size_t NumP = C.Predictors.size();
+    std::vector<SimComparison> Sims(Machines.size() * NumP);
+    parallelFor(Pool, Sims.size(), [&](size_t I) {
+      Sims[I] = Session.simulate(Machines[I / NumP],
+                                 C.Predictors[I % NumP]);
+    });
+    for (const SimComparison &SC : Sims)
+      std::printf(";   %-10s %-8s %12.0f %9llu %6.2f  -> %12.0f %9llu "
+                  "%6.2f %7.2fx\n",
+                  SC.MachineName.c_str(), SC.PredictorName.c_str(),
+                  SC.Baseline.TotalCycles,
+                  static_cast<unsigned long long>(SC.Baseline.Mispredicts),
+                  SC.Baseline.mpki(), SC.Treated.TotalCycles,
+                  static_cast<unsigned long long>(SC.Treated.Mispredicts),
+                  SC.Treated.mpki(), SC.speedup());
+  }
 
-          PredictorConfig CT;
-          CT.Profile = &ProfT;
-          std::unique_ptr<BranchPredictor> PT = makePredictor(K, CT);
-          SimEstimate ET = simulateTrace(*F, MD, TraceT, *PT, SO);
-
-          if (!EB.ok() || !ET.ok()) {
-            std::fprintf(stderr, "simulation failed: %s\n",
-                         (EB.ok() ? ET.Error : EB.Error).c_str());
-            return 1;
-          }
-          std::printf(";   %-10s %-8s %12.0f %9llu %6.2f  -> %12.0f %9llu "
-                      "%6.2f %7.2fx\n",
-                      MD.getName().c_str(), predictorKindName(K),
-                      EB.TotalCycles,
-                      static_cast<unsigned long long>(EB.Mispredicts),
-                      EB.mpki(), ET.TotalCycles,
-                      static_cast<unsigned long long>(ET.Mispredicts),
-                      ET.mpki(),
-                      ET.TotalCycles > 0 ? EB.TotalCycles / ET.TotalCycles
-                                         : 0.0);
-        }
-      }
+  if (!C.StatsJSON.empty()) {
+    std::string Error;
+    if (!writeStatsJSONFile(Stats, C.StatsJSON, &Error)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
+      return 1;
     }
   }
   return 0;

@@ -10,6 +10,7 @@
 #include "analysis/Liveness.h"
 #include "analysis/PQS.h"
 #include "support/Error.h"
+#include "support/TestHooks.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -305,6 +306,11 @@ MotionStats cpr::moveOffTrace(Function &F, const RestructurePlan &Plan) {
   if (!Plan.TakenVariation) {
     Block *Comp = F.blockById(Plan.CompBlock);
     assert(Comp && "compensation block disappeared");
+    // Fault injection for the fuzzer's self-test (support/TestHooks.h):
+    // drop the moved operations instead of compensating -- a planted
+    // miscompile the differential oracle must catch.
+    if (test_hooks::SkipCompensationInsertion)
+      return Stats;
     // Before the trailing trap.
     assert(!Comp->ops().empty() &&
            Comp->ops().back().getOpcode() == Opcode::Trap);

@@ -1,0 +1,116 @@
+//===- fuzz/Differential.h - Differential CPR oracle ------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer's oracle: run one PipelineRun session per
+/// (program x CPROptions variant x machine) cell, compare baseline and
+/// treated code on identical inputs, and classify the outcome:
+///
+///  - Pass            the treated code is observationally equivalent and
+///                    every downstream stage (scheduling estimates)
+///                    completed;
+///  - Mismatch        the equivalence oracle found a diverging artifact
+///                    (a miscompile -- the prize);
+///  - VerifierReject  the transform produced structurally invalid IR;
+///  - Crash           a stage died through reportFatalError /
+///                    CPR_UNREACHABLE (contained by the thread-local
+///                    ScopedFatalErrorTrap, support/Error.h).
+///
+/// Cells are independent and runCell is const, so a campaign can fan
+/// cells or cases out on the ThreadPool; results are pure functions of
+/// (program, variant, machine) and classification is identical at any
+/// thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUZZ_DIFFERENTIAL_H
+#define FUZZ_DIFFERENTIAL_H
+
+#include "interp/Profiler.h"
+#include "machine/MachineDesc.h"
+#include "pipeline/CompilerPipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+/// Outcome classification of one differential cell, ordered by rising
+/// severity (see fuzzOutcomeSeverity).
+enum class FuzzOutcome {
+  Pass,
+  VerifierReject,
+  Crash,
+  Mismatch,
+};
+
+/// Name of \p O for reports ("pass", "mismatch", ...).
+const char *fuzzOutcomeName(FuzzOutcome O);
+
+/// Severity rank: Pass (0) < VerifierReject < Crash < Mismatch (3).
+/// A mismatch outranks a crash because silent wrong code is the failure
+/// mode this subsystem exists to hunt.
+int fuzzOutcomeSeverity(FuzzOutcome O);
+
+/// One transformation configuration under test.
+struct FuzzVariant {
+  std::string Name;
+  CPROptions CPR;
+  unsigned UnrollFactor = 1;
+};
+
+/// The default variant sweep: paper-default heuristics, an aggressive
+/// formation policy, each ablation knob, and an unrolled substrate.
+std::vector<FuzzVariant> defaultFuzzVariants();
+
+/// Result of one (program x variant x machine) cell.
+struct CellResult {
+  FuzzOutcome Outcome = FuzzOutcome::Pass;
+  /// For Mismatch: which artifact diverged first.
+  EquivResult::Divergence Divergence = EquivResult::Divergence::None;
+  /// Human-readable diagnostic (empty for Pass).
+  std::string Detail;
+};
+
+/// Result of one program across every cell.
+struct CaseResult {
+  /// Most severe outcome across the cells.
+  FuzzOutcome Worst = FuzzOutcome::Pass;
+  /// Variant/machine indices of the first (variant-major order) cell
+  /// whose outcome equals Worst; 0 when every cell passed.
+  size_t WorstVariant = 0;
+  size_t WorstMachine = 0;
+  /// All cells, variant-major: Cells[V * numMachines + M].
+  std::vector<CellResult> Cells;
+};
+
+/// Drives differential sessions over a fixed (variants x machines) grid.
+class DifferentialRunner {
+public:
+  /// Empty \p Variants / \p Machines select the defaults
+  /// (defaultFuzzVariants(), {medium, wide}).
+  explicit DifferentialRunner(std::vector<FuzzVariant> Variants = {},
+                              std::vector<MachineDesc> Machines = {});
+
+  const std::vector<FuzzVariant> &variants() const { return Variants; }
+  const std::vector<MachineDesc> &machines() const { return Machines; }
+  size_t numCells() const { return Variants.size() * Machines.size(); }
+
+  /// Runs one cell on a private deep copy of \p P. Thread-safe.
+  CellResult runCell(const KernelProgram &P, size_t VariantIdx,
+                     size_t MachineIdx) const;
+
+  /// Runs every cell of the grid (serially) and aggregates.
+  CaseResult runCase(const KernelProgram &P) const;
+
+private:
+  std::vector<FuzzVariant> Variants;
+  std::vector<MachineDesc> Machines;
+};
+
+} // namespace cpr
+
+#endif // FUZZ_DIFFERENTIAL_H

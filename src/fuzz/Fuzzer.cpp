@@ -1,0 +1,204 @@
+//===- fuzz/Fuzzer.cpp - Differential fuzzing campaigns -------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Reducer.h"
+#include "support/Statistics.h"
+#include "support/TestHooks.h"
+#include "support/ThreadPool.h"
+
+#include <filesystem>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+using namespace cpr;
+
+std::string FuzzCampaignResult::summary() const {
+  std::ostringstream Out;
+  Out << "cases=" << Cases << " pass=" << Passes
+      << " mismatch=" << Mismatches << " verifier-reject=" << VerifierRejects
+      << " crash=" << Crashes;
+  return Out.str();
+}
+
+namespace {
+
+std::string hexSeed(uint64_t Seed) {
+  std::ostringstream Out;
+  Out << std::hex << Seed;
+  return Out.str();
+}
+
+/// Builds case \p Index deterministically from its seed: either a fresh
+/// generation or a mutation of a corpus entry. Pure function of
+/// (CaseSeed, corpus contents, generator config).
+KernelProgram buildCase(uint64_t CaseSeed, const FuzzCampaignOptions &Opts,
+                        const std::vector<KernelProgram> &Corpus,
+                        const ProgramMutator &Mutator) {
+  RNG CaseRng(CaseSeed);
+  if (!Corpus.empty() && CaseRng.nextBool(Opts.MutateFrac)) {
+    const KernelProgram &Base = Corpus[CaseRng.nextBelow(Corpus.size())];
+    return Mutator.mutate(Base, CaseRng);
+  }
+  return generateProgram(CaseSeed, Opts.Generator);
+}
+
+} // namespace
+
+FuzzCampaignResult cpr::runFuzzCampaign(const FuzzCampaignOptions &Opts) {
+  FuzzCampaignResult Res;
+  Res.Cases = Opts.Runs;
+
+  if (!Opts.OutDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Opts.OutDir, EC);
+    if (EC && Opts.Log)
+      *Opts.Log << "fuzz: cannot create --out directory '" << Opts.OutDir
+                << "': " << EC.message() << "\n";
+  }
+
+  // Corpus seeds, in sorted-filename order for determinism.
+  std::vector<KernelProgram> Corpus;
+  if (!Opts.CorpusDir.empty()) {
+    for (const std::string &Path : listCorpusFiles(Opts.CorpusDir)) {
+      FuzzParseResult PR = loadFuzzProgramFile(Path);
+      if (!PR) {
+        if (Opts.Log)
+          *Opts.Log << "fuzz: skipping unparseable corpus entry: " << PR.Error
+                    << "\n";
+        if (Opts.Stats)
+          Opts.Stats->addCount("fuzz/corpus_skipped");
+        continue;
+      }
+      Corpus.push_back(std::move(PR.Program));
+    }
+    if (Opts.Stats)
+      Opts.Stats->addCount("fuzz/corpus_loaded",
+                           static_cast<double>(Corpus.size()));
+  }
+
+  DifferentialRunner Runner(Opts.Variants, Opts.Machines);
+  ProgramMutator Mutator(Opts.Generator);
+
+  // Per-case seeds are drawn serially up front so case I's program never
+  // depends on scheduling.
+  std::vector<uint64_t> CaseSeeds(Opts.Runs);
+  {
+    RNG Base(Opts.Seed);
+    for (uint64_t &S : CaseSeeds)
+      S = Base.next();
+  }
+
+  // The fault-injection hook is a plain global: set it strictly before
+  // the worker pool exists (thread creation publishes it) and restore it
+  // after the pool has been joined.
+  test_hooks::ScopedSkipCompensation Inject(Opts.InjectDefect);
+
+  std::vector<CaseResult> Cases(Opts.Runs);
+  {
+    std::unique_ptr<ThreadPool> Pool;
+    if (Opts.Threads != 1)
+      Pool = std::make_unique<ThreadPool>(Opts.Threads);
+    PassTimer T(Opts.Stats, "fuzz/run_cases");
+    parallelFor(Pool.get(), Opts.Runs, [&](size_t I) {
+      PassTimer CT(Opts.Stats, "fuzz/case/" + std::to_string(I));
+      KernelProgram P = buildCase(CaseSeeds[I], Opts, Corpus, Mutator);
+      Cases[I] = Runner.runCase(P);
+    });
+  }
+
+  // Serial triage + reduction, in case order.
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    const CaseResult &Case = Cases[I];
+    switch (Case.Worst) {
+    case FuzzOutcome::Pass:
+      ++Res.Passes;
+      continue;
+    case FuzzOutcome::Mismatch:
+      ++Res.Mismatches;
+      break;
+    case FuzzOutcome::VerifierReject:
+      ++Res.VerifierRejects;
+      break;
+    case FuzzOutcome::Crash:
+      ++Res.Crashes;
+      break;
+    }
+
+    FuzzFailure Fail;
+    Fail.CaseIndex = I;
+    Fail.CaseSeed = CaseSeeds[I];
+    Fail.Outcome = Case.Worst;
+    const CellResult &Worst =
+        Case.Cells[Case.WorstVariant * Runner.machines().size() +
+                   Case.WorstMachine];
+    Fail.Divergence = Worst.Divergence;
+    Fail.Detail = Worst.Detail;
+    Fail.VariantName = Runner.variants()[Case.WorstVariant].Name;
+    Fail.MachineName = Runner.machines()[Case.WorstMachine].getName();
+
+    // The case program is a pure function of its seed, so the serial
+    // phase simply rebuilds it instead of shipping programs out of the
+    // parallel phase.
+    KernelProgram P = buildCase(CaseSeeds[I], Opts, Corpus, Mutator);
+    Fail.OriginalOps = P.Func->totalOps();
+    Fail.ReducedOps = Fail.OriginalOps;
+    if (Opts.Log)
+      *Opts.Log << "fuzz: case " << I << " (seed 0x" << hexSeed(Fail.CaseSeed)
+                << ") " << fuzzOutcomeName(Fail.Outcome) << ": "
+                << Fail.Detail << "\n";
+
+    if (Opts.Reduce) {
+      ReduceResult RR = reduceCase(P, Runner, Case.WorstVariant,
+                                   Case.WorstMachine, Opts.Reducer);
+      Fail.ReducedOps = RR.ReducedOps;
+      Fail.ReducedText = serializeFuzzProgram(RR.Reduced);
+      if (Opts.Stats) {
+        Opts.Stats->addCount("fuzz/reduce/oracle_runs",
+                             static_cast<double>(RR.OracleRuns));
+        Opts.Stats->addCount("fuzz/reduce/ops_removed",
+                             static_cast<double>(RR.OriginalOps -
+                                                 RR.ReducedOps));
+      }
+      if (!Opts.OutDir.empty()) {
+        std::string Path = Opts.OutDir + "/repro-" + hexSeed(Fail.CaseSeed) +
+                           "-" + Fail.VariantName + "-" + Fail.MachineName +
+                           ".ir";
+        std::string Error;
+        if (writeFuzzProgramFile(RR.Reduced, Path, &Error)) {
+          Fail.ReproducerPath = Path;
+        } else if (Opts.Log) {
+          *Opts.Log << "fuzz: cannot write reproducer: " << Error << "\n";
+        }
+      }
+      if (Opts.Log)
+        *Opts.Log << "fuzz:   reduced " << Fail.OriginalOps << " -> "
+                  << Fail.ReducedOps << " ops ("
+                  << (Fail.ReproducerPath.empty() ? "not written"
+                                                  : Fail.ReproducerPath)
+                  << ")\n";
+    } else {
+      Fail.ReducedText = serializeFuzzProgram(P);
+    }
+    Res.Failures.push_back(std::move(Fail));
+  }
+
+  if (Opts.Stats) {
+    Opts.Stats->addCount("fuzz/cases", Res.Cases);
+    Opts.Stats->addCount("fuzz/pass", Res.Passes);
+    Opts.Stats->addCount("fuzz/mismatch", Res.Mismatches);
+    Opts.Stats->addCount("fuzz/verifier_reject", Res.VerifierRejects);
+    Opts.Stats->addCount("fuzz/crash", Res.Crashes);
+    for (const FuzzFailure &F : Res.Failures)
+      if (F.Outcome == FuzzOutcome::Mismatch)
+        Opts.Stats->addCount(std::string("fuzz/divergence/") +
+                             divergenceName(F.Divergence));
+  }
+  return Res;
+}

@@ -1,0 +1,92 @@
+//===- fuzz/Generator.h - Random program generation and mutation *- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer's program source: a seeded, config-driven random IR
+/// generator, and IR-level mutations of existing corpus programs.
+///
+/// The generator generalizes workloads/SyntheticProgram.h from "one
+/// SPEC-shaped family" to structured random programs: a recursive region
+/// grammar emits straight-line arithmetic, predicated operations,
+/// aliased/disambiguated memory traffic, biased side exits with off-trace
+/// stubs, and counted nested loops. Every program halts by construction
+/// (all loops are counted, every side exit rejoins its region before the
+/// loop tail that decrements the trip register), verifies, and
+/// interprets in well under a second -- properties the differential
+/// oracle (fuzz/Differential.h) relies on.
+///
+/// Determinism contract: generateProgram(Seed, Cfg) is a pure function
+/// of its arguments; ProgramMutator::mutate draws only from the RNG it
+/// is handed. No global state, no wall clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUZZ_GENERATOR_H
+#define FUZZ_GENERATOR_H
+
+#include "support/RNG.h"
+#include "workloads/Kernels.h"
+
+namespace cpr {
+
+/// Shape knobs of the random program generator. Defaults produce small
+/// programs (tens to a few hundred static operations) that stress every
+/// phase of the CPR pipeline.
+struct GeneratorConfig {
+  /// Maximum loop nesting depth (0 = straight-line programs only).
+  unsigned MaxLoopDepth = 2;
+  /// Maximum region items (op runs / side exits / loops) per region.
+  unsigned MaxItemsPerRegion = 5;
+  /// Soft cap on total blocks: region expansion stops adding items once
+  /// the function reaches it (structures already begun still complete,
+  /// so the real count can exceed this slightly). Bounds the superlinear
+  /// per-block analysis cost of the CPR phases on worst-case draws.
+  unsigned MaxBlocks = 40;
+  /// Maximum operations per straight-line run.
+  unsigned MaxOpsPerRun = 6;
+  /// Probability that a non-branch operation is guarded by a computed
+  /// predicate (exercises FRP/speculation on pre-predicated inputs).
+  double PredicateDensity = 0.2;
+  /// Probability that a memory operation uses alias class 0 (aliases
+  /// everything, defeating separability) instead of a distinct class.
+  double AliasChaos = 0.3;
+  /// Probability that a side exit's taken bias is ~0.5 instead of rare.
+  double UnbiasedFrac = 0.2;
+  /// Mean fall-through probability of biased side exits.
+  double FallThroughBias = 0.9;
+  /// Loop trip count range. The generator additionally caps the product
+  /// of nested trip counts so runs stay short.
+  unsigned MinTrips = 2;
+  unsigned MaxTrips = 16;
+  /// Cap on the product of trip counts along any loop nest.
+  uint64_t MaxIterationProduct = 2048;
+  /// Fraction of cases drawn from the SPEC-shaped synthetic-application
+  /// family (workloads/SyntheticProgram.h) instead of the region grammar.
+  double SyntheticFrac = 0.25;
+};
+
+/// Generates one executable fuzz program from \p Seed. Deterministic.
+/// The result verifies and halts within ~1e6 interpreter steps.
+KernelProgram generateProgram(uint64_t Seed, const GeneratorConfig &Cfg);
+
+/// IR-level mutations of corpus programs. Each mutate() call produces a
+/// program that still verifies and halts (candidates are screened with
+/// the verifier and a bounded interpretation; after bounded retries the
+/// unmutated clone is returned).
+class ProgramMutator {
+public:
+  explicit ProgramMutator(const GeneratorConfig &Cfg) : Cfg(Cfg) {}
+
+  /// Returns a mutated deep copy of \p P, drawing from \p Rng.
+  KernelProgram mutate(const KernelProgram &P, RNG &Rng) const;
+
+private:
+  GeneratorConfig Cfg;
+};
+
+} // namespace cpr
+
+#endif // FUZZ_GENERATOR_H

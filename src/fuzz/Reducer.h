@@ -1,0 +1,60 @@
+//===- fuzz/Reducer.h - Delta-debugging test-case reduction -----*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failing fuzz program to a minimal reproducer while
+/// preserving its failure signature (outcome classification plus, for
+/// mismatches, the kind of diverging artifact) on the same
+/// (variant, machine) cell. ddmin-style passes iterate to a fixpoint:
+///
+///   1. whole-block removal;
+///   2. operation-chunk removal (halving chunk sizes down to 1);
+///   3. immediate canonicalization (toward 0);
+///   4. initial-memory-cell and initial-register removal.
+///
+/// Every candidate must still pass the IR verifier before the oracle
+/// re-runs; invalid candidates are rejected without an oracle run. The
+/// reduction itself is deterministic (pure function of the input and
+/// the runner's grid), so two reductions of the same finding emit
+/// byte-identical reproducers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUZZ_REDUCER_H
+#define FUZZ_REDUCER_H
+
+#include "fuzz/Differential.h"
+
+namespace cpr {
+
+struct ReducerOptions {
+  /// Cap on oracle invocations (each is a full differential cell).
+  size_t MaxOracleRuns = 600;
+  /// Run the immediate-canonicalization pass.
+  bool CanonicalizeImms = true;
+};
+
+struct ReduceResult {
+  KernelProgram Reduced;
+  /// Failure signature of the reduced program (same as the input's).
+  FuzzOutcome Outcome = FuzzOutcome::Pass;
+  EquivResult::Divergence Divergence = EquivResult::Divergence::None;
+  size_t OracleRuns = 0;
+  size_t OriginalOps = 0;
+  size_t ReducedOps = 0;
+};
+
+/// Reduces \p P against cell (\p VariantIdx, \p MachineIdx) of \p Runner.
+/// \p P must currently fail that cell (Outcome != Pass); when it does
+/// not, the input is returned unreduced with Outcome == Pass.
+ReduceResult reduceCase(const KernelProgram &P,
+                        const DifferentialRunner &Runner, size_t VariantIdx,
+                        size_t MachineIdx,
+                        const ReducerOptions &Opts = ReducerOptions());
+
+} // namespace cpr
+
+#endif // FUZZ_REDUCER_H

@@ -26,47 +26,126 @@ ProfileData cpr::profileRun(const Function &F, Memory &Mem,
   return Profile;
 }
 
+const char *cpr::divergenceName(EquivResult::Divergence Kind) {
+  switch (Kind) {
+  case EquivResult::Divergence::None:
+    return "none";
+  case EquivResult::Divergence::ExitPath:
+    return "exit-path";
+  case EquivResult::Divergence::Register:
+    return "register";
+  case EquivResult::Divergence::Memory:
+    return "memory";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string describeExit(const RunResult &R) {
+  switch (R.St) {
+  case RunResult::Status::Halted:
+    return "halted";
+  case RunResult::Status::Trapped:
+    return "trapped (compensation canary)";
+  case RunResult::Status::StepLimit:
+    return "hit the step limit";
+  case RunResult::Status::Error:
+    return "errored: " + R.ErrorMsg;
+  }
+  return "unknown";
+}
+
+/// The last store either run issued to \p Addr, as triage detail for a
+/// memory divergence ("who wrote this last, and what").
+std::string describeLastStore(const std::vector<StoreEvent> &Trace,
+                              int64_t Addr) {
+  for (size_t I = Trace.size(); I-- > 0;)
+    if (Trace[I].Addr == Addr)
+      return "store #" + std::to_string(I) + " (op id " +
+             std::to_string(Trace[I].Op) + ") wrote " +
+             std::to_string(Trace[I].Value);
+  return "never stored (initial value)";
+}
+
+} // namespace
+
 EquivResult cpr::checkEquivalence(const Function &A, const Function &B,
                                   const Memory &Mem,
                                   const std::vector<RegBinding> &InitRegs) {
   EquivResult Res;
   Memory MemA = Mem;
   Memory MemB = Mem;
-  RunResult RA = interpret(A, MemA, InitRegs);
-  RunResult RB = interpret(B, MemB, InitRegs);
+  std::vector<StoreEvent> StoresA, StoresB;
+  InterpOptions OptsA, OptsB;
+  OptsA.StoreTrace = &StoresA;
+  OptsB.StoreTrace = &StoresB;
+  RunResult RA = interpret(A, MemA, InitRegs, OptsA);
+  RunResult RB = interpret(B, MemB, InitRegs, OptsB);
 
   if (RA.St != RB.St) {
-    Res.Detail = "halt status differs: @" + A.getName() + " " +
-                 (RA.halted() ? "halted" : RA.ErrorMsg) + " vs @" +
-                 B.getName() + " " + (RB.halted() ? "halted" : RB.ErrorMsg);
+    Res.Kind = EquivResult::Divergence::ExitPath;
+    Res.Detail = "exit path differs: @" + A.getName() + " " +
+                 describeExit(RA) + " after " + std::to_string(RA.Steps) +
+                 " steps vs @" + B.getName() + " " + describeExit(RB) +
+                 " after " + std::to_string(RB.Steps) + " steps";
     return Res;
   }
   if (RA.St != RunResult::Status::Halted) {
+    Res.Kind = EquivResult::Divergence::ExitPath;
     Res.Detail = "both runs failed to halt: " + RA.ErrorMsg;
     return Res;
   }
   if (RA.Observed != RB.Observed) {
-    Res.Detail = "observable register values differ";
+    Res.Kind = EquivResult::Divergence::Register;
+    // Name the first diverging observable. The lists follow
+    // observableRegs() order, which both functions share (the treated
+    // code keeps the baseline's observables).
+    size_t N = std::min(RA.Observed.size(), RB.Observed.size());
+    for (size_t I = 0; I < N; ++I) {
+      if (RA.Observed[I] != RB.Observed[I]) {
+        std::string Name = I < A.observableRegs().size()
+                               ? A.observableRegs()[I].str()
+                               : "#" + std::to_string(I);
+        Res.Detail = "observable " + Name + " differs: " +
+                     std::to_string(RA.Observed[I]) + " vs " +
+                     std::to_string(RB.Observed[I]);
+        return Res;
+      }
+    }
+    Res.Detail = "observable register count differs: " +
+                 std::to_string(RA.Observed.size()) + " vs " +
+                 std::to_string(RB.Observed.size());
     return Res;
   }
   // Semantic memory comparison: every address written by either run must
   // read identically (a write of zero to an otherwise-untouched cell is
-  // equivalent to no write).
-  for (const auto &[Addr, Val] : MemA.cells()) {
-    if (MemB.load(Addr) != Val) {
-      Res.Detail = "memory differs at address " + std::to_string(Addr) +
-                   ": " + std::to_string(Val) + " vs " +
-                   std::to_string(MemB.load(Addr));
-      return Res;
+  // equivalent to no write). Report the lowest diverging address so the
+  // diagnostic is deterministic regardless of hash-map iteration order.
+  bool HaveDiverging = false;
+  int64_t DivergingAddr = 0;
+  auto NoteDivergence = [&](int64_t Addr) {
+    if (!HaveDiverging || Addr < DivergingAddr) {
+      HaveDiverging = true;
+      DivergingAddr = Addr;
     }
-  }
-  for (const auto &[Addr, Val] : MemB.cells()) {
-    if (MemA.load(Addr) != Val) {
-      Res.Detail = "memory differs at address " + std::to_string(Addr) +
-                   ": " + std::to_string(MemA.load(Addr)) + " vs " +
-                   std::to_string(Val);
-      return Res;
-    }
+  };
+  for (const auto &[Addr, Val] : MemA.cells())
+    if (MemB.load(Addr) != Val)
+      NoteDivergence(Addr);
+  for (const auto &[Addr, Val] : MemB.cells())
+    if (MemA.load(Addr) != Val)
+      NoteDivergence(Addr);
+  if (HaveDiverging) {
+    Res.Kind = EquivResult::Divergence::Memory;
+    Res.Detail = "memory differs at address " +
+                 std::to_string(DivergingAddr) + ": " +
+                 std::to_string(MemA.load(DivergingAddr)) + " vs " +
+                 std::to_string(MemB.load(DivergingAddr)) + "; @" +
+                 A.getName() + " " + describeLastStore(StoresA, DivergingAddr) +
+                 ", @" + B.getName() + " " +
+                 describeLastStore(StoresB, DivergingAddr);
+    return Res;
   }
   Res.Equivalent = true;
   return Res;

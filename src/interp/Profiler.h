@@ -26,15 +26,32 @@ ProfileData profileRun(const Function &F, Memory &Mem,
                        DynStats *StatsOut = nullptr,
                        BranchTrace *TraceOut = nullptr);
 
-/// Result of an equivalence comparison.
+/// Result of an equivalence comparison. On a mismatch, \c Detail names the
+/// first diverging artifact -- the exit path, an observable register (by
+/// name, with both values), or the lowest diverging memory address (with
+/// each run's last store to it) -- deterministically, so fuzz findings and
+/// `cprc --check-equivalence` failures are directly triageable.
 struct EquivResult {
+  /// Which kind of artifact diverged first. Comparison order is fixed:
+  /// exit path, then observable registers, then memory.
+  enum class Divergence {
+    None,     ///< equivalent
+    ExitPath, ///< halt/trap/error status differs
+    Register, ///< an observable register value differs
+    Memory,   ///< a memory cell reads differently after the runs
+  };
+
   bool Equivalent = false;
+  Divergence Kind = Divergence::None;
   std::string Detail; ///< human-readable mismatch description
 };
 
+/// Name of \p Kind for reports ("exit-path", "register", ...).
+const char *divergenceName(EquivResult::Divergence Kind);
+
 /// Runs \p A and \p B from identical initial memory (\p Mem, copied) and
-/// register bindings, then compares halt status, final memory, and
-/// observable register values.
+/// register bindings, then compares halt status, observable register
+/// values, and final memory (in that order).
 EquivResult checkEquivalence(const Function &A, const Function &B,
                              const Memory &Mem,
                              const std::vector<RegBinding> &InitRegs);

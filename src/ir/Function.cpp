@@ -58,6 +58,16 @@ Block *Function::blockByName(const std::string &BlockName) {
   return nullptr;
 }
 
+bool Function::removeBlock(BlockId Id) {
+  for (size_t I = 0, E = Blocks.size(); I != E; ++I) {
+    if (Blocks[I]->getId() == Id) {
+      Blocks.erase(Blocks.begin() + static_cast<ptrdiff_t>(I));
+      return true;
+    }
+  }
+  return false;
+}
+
 int Function::layoutIndex(BlockId Id) const {
   for (size_t I = 0, E = Blocks.size(); I != E; ++I)
     if (Blocks[I]->getId() == Id)

@@ -91,6 +91,13 @@ public:
   /// Returns the layout index of block \p Id, or -1.
   int layoutIndex(BlockId Id) const;
 
+  /// Removes the block with \p Id from the layout. Branches targeting it
+  /// are left dangling (the verifier rejects them); callers such as the
+  /// fuzzer's reducer re-verify after every removal. Returns false if no
+  /// such block exists. The entry block (layout index 0) is removable
+  /// like any other; the next block becomes the entry.
+  bool removeBlock(BlockId Id);
+
   /// The entry block (layout index 0).
   Block &entry() { return *Blocks.front(); }
   const Block &entry() const { return *Blocks.front(); }

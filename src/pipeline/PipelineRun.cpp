@@ -137,17 +137,22 @@ const CPRResult &PipelineRun::cprResult() {
   return CPR;
 }
 
-void PipelineRun::checkEquivalence() {
-  if (EquivalenceDone)
-    return;
-  const Function &TreatedF = treated();
-  PassTimer T(Stats, Prefix + "equivalence");
-  EquivResult E = cpr::checkEquivalence(baseline(), TreatedF,
+const EquivResult &PipelineRun::checkEquivalenceResult() {
+  if (!EquivalenceDone) {
+    const Function &TreatedF = treated();
+    PassTimer T(Stats, Prefix + "equivalence");
+    Equivalence = cpr::checkEquivalence(baseline(), TreatedF,
                                         Program.InitMem, Program.InitRegs);
-  EquivalenceDone = true;
+    EquivalenceDone = true;
+  }
+  return Equivalence;
+}
+
+void PipelineRun::checkEquivalence() {
+  const EquivResult &E = checkEquivalenceResult();
   if (!E.Equivalent)
     reportFatalError("control CPR changed observable behavior of @" + Name +
-                     ": " + E.Detail);
+                     " [" + divergenceName(E.Kind) + "]: " + E.Detail);
 }
 
 const ProfileData &PipelineRun::treatedProfile() {

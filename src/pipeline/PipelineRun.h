@@ -44,6 +44,7 @@
 #ifndef PIPELINE_PIPELINERUN_H
 #define PIPELINE_PIPELINERUN_H
 
+#include "interp/Profiler.h"
 #include "pipeline/CompilerPipeline.h"
 
 namespace cpr {
@@ -91,6 +92,9 @@ public:
   const CPRResult &cprResult();
   /// Runs the observational-equivalence oracle once; fatal on mismatch.
   void checkEquivalence();
+  /// Non-fatal form of the oracle for callers that triage mismatches
+  /// themselves (the differential fuzzer). Cached like every stage.
+  const EquivResult &checkEquivalenceResult();
   /// Profile of the treated function (stage: profile-treated).
   const ProfileData &treatedProfile();
   const DynStats &treatedDynStats();
@@ -128,6 +132,7 @@ private:
   bool TreatedInjected = false;
   bool EquivalenceDone = false;
   bool HaveTreatedProfile = false;
+  EquivResult Equivalence;
 
   ProfileData BaseProfile;
   DynStats BaseStats;

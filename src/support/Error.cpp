@@ -11,7 +11,20 @@
 
 using namespace cpr;
 
+namespace {
+/// Depth of nested ScopedFatalErrorTraps on this thread.
+thread_local unsigned TrapDepth = 0;
+} // namespace
+
+ScopedFatalErrorTrap::ScopedFatalErrorTrap() { ++TrapDepth; }
+
+ScopedFatalErrorTrap::~ScopedFatalErrorTrap() { --TrapDepth; }
+
+bool ScopedFatalErrorTrap::active() { return TrapDepth > 0; }
+
 void cpr::reportFatalError(const std::string &Msg) {
+  if (TrapDepth > 0)
+    throw FatalError(Msg);
   std::fprintf(stderr, "fatal error: %s\n", Msg.c_str());
   std::fflush(stderr);
   std::abort();
@@ -19,6 +32,9 @@ void cpr::reportFatalError(const std::string &Msg) {
 
 void cpr::unreachableInternal(const char *Msg, const char *File,
                               unsigned Line) {
+  if (TrapDepth > 0)
+    throw FatalError(std::string("UNREACHABLE at ") + File + ":" +
+                     std::to_string(Line) + ": " + (Msg ? Msg : ""));
   std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line,
                Msg ? Msg : "");
   std::fflush(stderr);

@@ -6,25 +6,65 @@
 ///
 /// \file
 /// Fatal-error reporting and an unreachable marker, in the spirit of LLVM's
-/// report_fatal_error / llvm_unreachable. The project does not use C++
-/// exceptions; unrecoverable conditions abort with a message.
+/// report_fatal_error / llvm_unreachable. By default unrecoverable
+/// conditions abort the process with a message.
+///
+/// The differential fuzzer (src/fuzz/) needs to survive a crashing
+/// transformation and classify it instead of dying with it, so a thread
+/// may install a ScopedFatalErrorTrap: while one is active on the calling
+/// thread, reportFatalError and CPR_UNREACHABLE throw a FatalError
+/// exception instead of aborting. Untrapped threads are unaffected; the
+/// trap is strictly thread-local, so concurrent fuzz workers contain their
+/// own crashes without perturbing each other.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SUPPORT_ERROR_H
 #define SUPPORT_ERROR_H
 
+#include <exception>
 #include <string>
 
 namespace cpr {
 
-/// Prints \p Msg to stderr and aborts. Used for conditions that can be
-/// triggered by malformed user input (e.g. IR parse errors in tools).
+/// Prints \p Msg to stderr and aborts -- unless a ScopedFatalErrorTrap is
+/// active on the calling thread, in which case a FatalError carrying
+/// \p Msg is thrown. Used for conditions that can be triggered by
+/// malformed user input (e.g. IR parse errors in tools).
 [[noreturn]] void reportFatalError(const std::string &Msg);
 
 /// Internal implementation of CPR_UNREACHABLE.
 [[noreturn]] void unreachableInternal(const char *Msg, const char *File,
                                       unsigned Line);
+
+/// The exception thrown in place of abort() while a ScopedFatalErrorTrap
+/// is installed on the current thread.
+class FatalError : public std::exception {
+public:
+  explicit FatalError(std::string Msg) : Msg(std::move(Msg)) {}
+  const char *what() const noexcept override { return Msg.c_str(); }
+  const std::string &message() const { return Msg; }
+
+private:
+  std::string Msg;
+};
+
+/// RAII guard converting fatal errors on the current thread into
+/// FatalError exceptions. Nests; the conversion stays active until the
+/// outermost trap is destroyed. Exception propagation follows the normal
+/// C++ rules, so a trap installed inside a worker task contains the
+/// failure to that task (the ThreadPool delivers task exceptions through
+/// std::future when they escape -- the fuzzer catches them before that).
+class ScopedFatalErrorTrap {
+public:
+  ScopedFatalErrorTrap();
+  ~ScopedFatalErrorTrap();
+  ScopedFatalErrorTrap(const ScopedFatalErrorTrap &) = delete;
+  ScopedFatalErrorTrap &operator=(const ScopedFatalErrorTrap &) = delete;
+
+  /// True when a trap is active on the calling thread.
+  static bool active();
+};
 
 } // namespace cpr
 

@@ -1,0 +1,15 @@
+//===- support/TestHooks.cpp - Fault injection for self-tests -------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TestHooks.h"
+
+namespace cpr {
+namespace test_hooks {
+
+bool SkipCompensationInsertion = false;
+
+} // namespace test_hooks
+} // namespace cpr

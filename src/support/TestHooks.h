@@ -1,0 +1,51 @@
+//===- support/TestHooks.h - Fault injection for self-tests -----*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hidden fault-injection hooks used to validate the correctness tooling
+/// itself: the differential fuzzer (src/fuzz/) must demonstrably *catch* a
+/// miscompile, so its self-tests plant one here and check that the oracle
+/// flags it and the reducer shrinks it. Production code paths never set
+/// these; they are not exposed through cprc.
+///
+/// Thread-safety: plain globals read on hot paths without locking. Set a
+/// hook only while no worker threads are running (before a ThreadPool is
+/// constructed); creation of the pool's threads publishes the value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_TESTHOOKS_H
+#define SUPPORT_TESTHOOKS_H
+
+namespace cpr {
+namespace test_hooks {
+
+/// When true, ICBM off-trace motion "forgets" to insert the moved
+/// operations into the compensation block of a fall-through CPR block --
+/// a deliberate miscompile: off-trace exits lose the compare/branch
+/// closure that was moved on their behalf. The differential oracle must
+/// report a mismatch whenever such an exit is actually taken.
+extern bool SkipCompensationInsertion;
+
+/// RAII setter used by tests; restores the previous value.
+class ScopedSkipCompensation {
+public:
+  explicit ScopedSkipCompensation(bool Value)
+      : Saved(SkipCompensationInsertion) {
+    SkipCompensationInsertion = Value;
+  }
+  ~ScopedSkipCompensation() { SkipCompensationInsertion = Saved; }
+  ScopedSkipCompensation(const ScopedSkipCompensation &) = delete;
+  ScopedSkipCompensation &operator=(const ScopedSkipCompensation &) = delete;
+
+private:
+  bool Saved;
+};
+
+} // namespace test_hooks
+} // namespace cpr
+
+#endif // SUPPORT_TESTHOOKS_H

@@ -23,6 +23,22 @@ constexpr uint8_t AliasOut = 2;
 constexpr int64_t CondRange = 1000;
 } // namespace
 
+SyntheticParams cpr::randomSyntheticParams(RNG &Rng) {
+  SyntheticParams P;
+  P.Superblocks = static_cast<unsigned>(Rng.nextRange(1, 4));
+  P.RungsPerSuperblock = static_cast<unsigned>(Rng.nextRange(1, 8));
+  P.FallThroughBias = 0.80 + 0.19 * Rng.nextDouble();
+  P.UnbiasedFrac = Rng.nextBool(0.3) ? Rng.nextDouble() * 0.5 : 0.0;
+  P.InseparableFrac = Rng.nextBool(0.4) ? Rng.nextDouble() * 0.6 : 0.0;
+  P.ChainLen = static_cast<unsigned>(Rng.nextRange(0, 4));
+  P.ParallelOps = static_cast<unsigned>(Rng.nextRange(0, 4));
+  P.StoresPerRung = static_cast<unsigned>(Rng.nextRange(0, 2));
+  P.FloatOps = static_cast<unsigned>(Rng.nextRange(0, 2));
+  P.Trips = static_cast<unsigned>(Rng.nextRange(4, 64));
+  P.Seed = Rng.next();
+  return P;
+}
+
 KernelProgram cpr::buildSyntheticProgram(const std::string &Name,
                                          const SyntheticParams &Params) {
   KernelProgram P;

@@ -63,6 +63,13 @@ struct SyntheticParams {
 KernelProgram buildSyntheticProgram(const std::string &Name,
                                     const SyntheticParams &Params);
 
+class RNG;
+
+/// Draws a randomized parameter set from \p Rng, bounded so the resulting
+/// program interprets in well under a second. The fuzzer's generator uses
+/// this as its "application-shaped" program family.
+SyntheticParams randomSyntheticParams(RNG &Rng);
+
 } // namespace cpr
 
 #endif // WORKLOADS_SYNTHETICPROGRAM_H

@@ -1,0 +1,119 @@
+//===- tests/fuzz/DifferentialTest.cpp - Differential oracle & campaigns --===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// End-to-end checks of the differential subsystem: a clean pipeline
+// yields all-pass campaigns, campaigns classify identically at any
+// thread count, and the planted compensation-skip miscompile (the
+// oracle's self-test) is caught.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "support/Statistics.h"
+#include "support/TestHooks.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace cpr;
+
+namespace {
+
+/// A small grid keeps these tests fast; determinism and classification
+/// do not depend on grid size.
+FuzzCampaignOptions smallCampaign(uint64_t Seed, unsigned Runs) {
+  FuzzCampaignOptions Opts;
+  Opts.Seed = Seed;
+  Opts.Runs = Runs;
+  Opts.Variants = {{"default", CPROptions(), 1}};
+  Opts.Machines = {MachineDesc::medium()};
+  return Opts;
+}
+
+std::string failureSignature(const FuzzCampaignResult &R) {
+  std::ostringstream Out;
+  Out << R.summary() << "\n";
+  for (const FuzzFailure &F : R.Failures)
+    Out << F.CaseIndex << " " << fuzzOutcomeName(F.Outcome) << " "
+        << divergenceName(F.Divergence) << " " << F.VariantName << " "
+        << F.MachineName << " " << F.Detail << "\n";
+  return Out.str();
+}
+
+TEST(DifferentialTest, CleanPipelinePassesEveryCell) {
+  DifferentialRunner Runner; // full default grid
+  GeneratorConfig Cfg;
+  for (uint64_t Seed : {2ull, 9ull}) {
+    KernelProgram P = generateProgram(Seed, Cfg);
+    CaseResult Case = Runner.runCase(P);
+    EXPECT_EQ(Case.Worst, FuzzOutcome::Pass) << "seed " << Seed;
+    EXPECT_EQ(Case.Cells.size(), Runner.numCells());
+  }
+}
+
+TEST(DifferentialTest, CleanCampaignIsClean) {
+  FuzzCampaignOptions Opts = smallCampaign(11, 8);
+  FuzzCampaignResult R = runFuzzCampaign(Opts);
+  EXPECT_TRUE(R.clean()) << failureSignature(R);
+  EXPECT_EQ(R.Passes, 8u);
+  EXPECT_EQ(R.summary(),
+            "cases=8 pass=8 mismatch=0 verifier-reject=0 crash=0");
+}
+
+TEST(DifferentialTest, CampaignIsThreadCountIndependent) {
+  FuzzCampaignOptions Opts = smallCampaign(1, 10);
+  Opts.InjectDefect = true; // guarantees some failures to compare
+  Opts.Threads = 1;
+  FuzzCampaignResult Serial = runFuzzCampaign(Opts);
+  Opts.Threads = 3;
+  FuzzCampaignResult Parallel = runFuzzCampaign(Opts);
+  EXPECT_FALSE(Serial.clean());
+  EXPECT_EQ(failureSignature(Serial), failureSignature(Parallel));
+}
+
+TEST(DifferentialTest, InjectedDefectIsCaughtAsMismatch) {
+  FuzzCampaignOptions Opts = smallCampaign(1, 10);
+  Opts.InjectDefect = true;
+  FuzzCampaignResult R = runFuzzCampaign(Opts);
+  EXPECT_GT(R.Mismatches, 0u) << R.summary();
+  for (const FuzzFailure &F : R.Failures) {
+    EXPECT_EQ(F.Outcome, FuzzOutcome::Mismatch);
+    EXPECT_FALSE(F.Detail.empty());
+    // Without reduction the failure still carries a replayable program.
+    EXPECT_NE(F.ReducedText.find("func @"), std::string::npos);
+  }
+}
+
+TEST(DifferentialTest, InjectionHookRestoresItself) {
+  ASSERT_FALSE(test_hooks::SkipCompensationInsertion);
+  FuzzCampaignOptions Opts = smallCampaign(1, 2);
+  Opts.InjectDefect = true;
+  (void)runFuzzCampaign(Opts);
+  EXPECT_FALSE(test_hooks::SkipCompensationInsertion);
+}
+
+TEST(DifferentialTest, StatsCountersTallyTheCampaign) {
+  StatsRegistry Stats;
+  FuzzCampaignOptions Opts = smallCampaign(1, 6);
+  Opts.InjectDefect = true;
+  Opts.Stats = &Stats;
+  FuzzCampaignResult R = runFuzzCampaign(Opts);
+  EXPECT_EQ(Stats.count("fuzz/cases"), 6.0);
+  EXPECT_EQ(Stats.count("fuzz/pass"), static_cast<double>(R.Passes));
+  EXPECT_EQ(Stats.count("fuzz/mismatch"),
+            static_cast<double>(R.Mismatches));
+}
+
+TEST(DifferentialTest, MismatchOutranksCrashInSeverity) {
+  EXPECT_GT(fuzzOutcomeSeverity(FuzzOutcome::Mismatch),
+            fuzzOutcomeSeverity(FuzzOutcome::Crash));
+  EXPECT_GT(fuzzOutcomeSeverity(FuzzOutcome::Crash),
+            fuzzOutcomeSeverity(FuzzOutcome::VerifierReject));
+  EXPECT_GT(fuzzOutcomeSeverity(FuzzOutcome::VerifierReject),
+            fuzzOutcomeSeverity(FuzzOutcome::Pass));
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- tests/fuzz/ReducerTest.cpp - Delta-debugging reduction -------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// The acceptance bar of the subsystem: the planted compensation-skip
+// miscompile must be reduced to a tiny reproducer (<= 20 operations)
+// that reparses from its serialized form and still fails the oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Generator.h"
+#include "ir/Verifier.h"
+#include "support/TestHooks.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+/// Finds the first generated program that trips the planted defect on
+/// the default x medium cell. The hook must already be set.
+KernelProgram findFailingProgram(const DifferentialRunner &Runner,
+                                 size_t &SeedOut) {
+  GeneratorConfig Cfg;
+  for (uint64_t Seed = 0; Seed < 64; ++Seed) {
+    KernelProgram P = generateProgram(Seed, Cfg);
+    if (Runner.runCell(P, 0, 0).Outcome == FuzzOutcome::Mismatch) {
+      SeedOut = Seed;
+      return P;
+    }
+  }
+  ADD_FAILURE() << "no seed trips the planted defect";
+  return generateProgram(0, Cfg);
+}
+
+TEST(ReducerTest, PlantedDefectReducesToTinyReproducer) {
+  test_hooks::ScopedSkipCompensation Inject(true);
+  DifferentialRunner Runner({{"default", CPROptions(), 1}},
+                            {MachineDesc::medium()});
+  size_t Seed = 0;
+  KernelProgram P = findFailingProgram(Runner, Seed);
+
+  ReduceResult R = reduceCase(P, Runner, 0, 0);
+  EXPECT_EQ(R.Outcome, FuzzOutcome::Mismatch);
+  EXPECT_LE(R.ReducedOps, 20u)
+      << "seed " << Seed << ": " << R.OriginalOps << " -> " << R.ReducedOps;
+  EXPECT_LT(R.ReducedOps, R.OriginalOps);
+  EXPECT_TRUE(verifyFunction(*R.Reduced.Func).empty());
+
+  // The reduced program still fails with the same signature.
+  CellResult Cell = Runner.runCell(R.Reduced, 0, 0);
+  EXPECT_EQ(Cell.Outcome, FuzzOutcome::Mismatch);
+  EXPECT_EQ(Cell.Divergence, R.Divergence);
+
+  // ... and survives a serialize/parse round trip still failing.
+  FuzzParseResult FR = parseFuzzProgram(serializeFuzzProgram(R.Reduced));
+  ASSERT_TRUE(FR) << FR.Error;
+  CellResult Replayed = Runner.runCell(FR.Program, 0, 0);
+  EXPECT_EQ(Replayed.Outcome, FuzzOutcome::Mismatch);
+  EXPECT_EQ(Replayed.Divergence, R.Divergence);
+}
+
+TEST(ReducerTest, ReductionIsDeterministic) {
+  test_hooks::ScopedSkipCompensation Inject(true);
+  DifferentialRunner Runner({{"default", CPROptions(), 1}},
+                            {MachineDesc::medium()});
+  size_t Seed = 0;
+  KernelProgram P = findFailingProgram(Runner, Seed);
+  ReduceResult A = reduceCase(P, Runner, 0, 0);
+  ReduceResult B = reduceCase(P, Runner, 0, 0);
+  EXPECT_EQ(serializeFuzzProgram(A.Reduced), serializeFuzzProgram(B.Reduced));
+  EXPECT_EQ(A.OracleRuns, B.OracleRuns);
+}
+
+TEST(ReducerTest, PassingProgramIsReturnedUnreduced) {
+  // No injection: the pipeline is correct and there is nothing to chase.
+  DifferentialRunner Runner({{"default", CPROptions(), 1}},
+                            {MachineDesc::medium()});
+  GeneratorConfig Cfg;
+  KernelProgram P = generateProgram(2, Cfg);
+  ReduceResult R = reduceCase(P, Runner, 0, 0);
+  EXPECT_EQ(R.Outcome, FuzzOutcome::Pass);
+  EXPECT_EQ(R.ReducedOps, R.OriginalOps);
+  EXPECT_EQ(R.OracleRuns, 1u);
+}
+
+TEST(ReducerTest, OracleBudgetIsRespected) {
+  test_hooks::ScopedSkipCompensation Inject(true);
+  DifferentialRunner Runner({{"default", CPROptions(), 1}},
+                            {MachineDesc::medium()});
+  size_t Seed = 0;
+  KernelProgram P = findFailingProgram(Runner, Seed);
+  ReducerOptions Opts;
+  Opts.MaxOracleRuns = 5;
+  ReduceResult R = reduceCase(P, Runner, 0, 0, Opts);
+  EXPECT_LE(R.OracleRuns, 5u + 1u); // +1 for the signature-seeding run
+}
+
+} // namespace

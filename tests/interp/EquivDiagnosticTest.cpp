@@ -1,0 +1,206 @@
+//===- tests/interp/EquivDiagnosticTest.cpp - Divergence diagnostics ------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// The equivalence oracle must not just say "mismatch": it names the first
+// diverging artifact (exit path, observable register, or memory cell) so
+// fuzz findings and `cprc --check-equivalence` failures are triageable.
+// These tests pin the classification, the fixed comparison order, and the
+// artifact naming.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Profiler.h"
+
+#include "ir/IRParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+EquivResult check(const std::string &SrcA, const std::string &SrcB,
+                  const Memory &Mem = Memory(),
+                  const std::vector<RegBinding> &Init = {}) {
+  std::unique_ptr<Function> A = parseFunctionOrDie(SrcA);
+  std::unique_ptr<Function> B = parseFunctionOrDie(SrcB);
+  return checkEquivalence(*A, *B, Mem, Init);
+}
+
+TEST(EquivDiagnosticTest, EquivalentProgramsReportNone) {
+  const std::string Src = R"(
+func @f {
+  observable r1
+block @A:
+  r1 = add(2, 3)
+  halt
+}
+)";
+  EquivResult E = check(Src, Src);
+  EXPECT_TRUE(E.Equivalent);
+  EXPECT_EQ(E.Kind, EquivResult::Divergence::None);
+  EXPECT_STREQ(divergenceName(E.Kind), "none");
+}
+
+TEST(EquivDiagnosticTest, RegisterDivergenceNamesTheRegister) {
+  EquivResult E = check(R"(
+func @f {
+  observable r1, r2
+block @A:
+  r1 = mov(7)
+  r2 = mov(10)
+  halt
+}
+)",
+                        R"(
+func @f {
+  observable r1, r2
+block @A:
+  r1 = mov(7)
+  r2 = mov(11)
+  halt
+}
+)");
+  ASSERT_FALSE(E.Equivalent);
+  EXPECT_EQ(E.Kind, EquivResult::Divergence::Register);
+  EXPECT_STREQ(divergenceName(E.Kind), "register");
+  // The first diverging register is named, with both values.
+  EXPECT_NE(E.Detail.find("r2"), std::string::npos) << E.Detail;
+  EXPECT_NE(E.Detail.find("10"), std::string::npos) << E.Detail;
+  EXPECT_NE(E.Detail.find("11"), std::string::npos) << E.Detail;
+  // r1 agrees and must not be blamed.
+  EXPECT_EQ(E.Detail.find("r1"), std::string::npos) << E.Detail;
+}
+
+TEST(EquivDiagnosticTest, MemoryDivergenceNamesLowestAddressAndLastStore) {
+  EquivResult E = check(R"(
+func @f {
+block @A:
+  store.m1(500, 1)
+  store.m1(100, 1)
+  halt
+}
+)",
+                        R"(
+func @f {
+block @A:
+  store.m1(500, 2)
+  store.m1(100, 2)
+  halt
+}
+)");
+  ASSERT_FALSE(E.Equivalent);
+  EXPECT_EQ(E.Kind, EquivResult::Divergence::Memory);
+  EXPECT_STREQ(divergenceName(E.Kind), "memory");
+  // Both 100 and 500 diverge; the lowest address is reported,
+  // deterministically, with the last store to it in each run.
+  EXPECT_NE(E.Detail.find("100"), std::string::npos) << E.Detail;
+  EXPECT_EQ(E.Detail.find("500"), std::string::npos) << E.Detail;
+  EXPECT_NE(E.Detail.find("store"), std::string::npos) << E.Detail;
+}
+
+TEST(EquivDiagnosticTest, MemoryDivergenceExplainsNeverStoredCells) {
+  EquivResult E = check(R"(
+func @f {
+block @A:
+  store.m1(64, 5)
+  halt
+}
+)",
+                        R"(
+func @f {
+block @A:
+  halt
+}
+)");
+  ASSERT_FALSE(E.Equivalent);
+  EXPECT_EQ(E.Kind, EquivResult::Divergence::Memory);
+  EXPECT_NE(E.Detail.find("never stored"), std::string::npos) << E.Detail;
+}
+
+TEST(EquivDiagnosticTest, ExitPathDivergenceDescribesBothExits) {
+  EquivResult E = check(R"(
+func @f {
+block @A:
+  halt
+}
+)",
+                        R"(
+func @f {
+block @A:
+  trap
+}
+)");
+  ASSERT_FALSE(E.Equivalent);
+  EXPECT_EQ(E.Kind, EquivResult::Divergence::ExitPath);
+  EXPECT_STREQ(divergenceName(E.Kind), "exit-path");
+  EXPECT_NE(E.Detail.find("halted"), std::string::npos) << E.Detail;
+  EXPECT_NE(E.Detail.find("trapped"), std::string::npos) << E.Detail;
+}
+
+TEST(EquivDiagnosticTest, ExitPathOutranksRegisterAndMemory) {
+  // The trapped run also leaves r1 and memory different; the fixed
+  // comparison order must still blame the exit path first.
+  EquivResult E = check(R"(
+func @f {
+  observable r1
+block @A:
+  r1 = mov(1)
+  store.m1(8, 1)
+  halt
+}
+)",
+                        R"(
+func @f {
+  observable r1
+block @A:
+  r1 = mov(2)
+  store.m1(8, 2)
+  trap
+}
+)");
+  ASSERT_FALSE(E.Equivalent);
+  EXPECT_EQ(E.Kind, EquivResult::Divergence::ExitPath);
+}
+
+TEST(EquivDiagnosticTest, RegisterOutranksMemory) {
+  EquivResult E = check(R"(
+func @f {
+  observable r1
+block @A:
+  r1 = mov(1)
+  store.m1(8, 1)
+  halt
+}
+)",
+                        R"(
+func @f {
+  observable r1
+block @A:
+  r1 = mov(2)
+  store.m1(8, 2)
+  halt
+}
+)");
+  ASSERT_FALSE(E.Equivalent);
+  EXPECT_EQ(E.Kind, EquivResult::Divergence::Register);
+}
+
+TEST(EquivDiagnosticTest, InputsFlowIntoComparison) {
+  // Same code, diverging only on an initial register: both runs see the
+  // same inputs, so they agree.
+  const std::string Src = R"(
+func @f {
+  observable r2
+block @A:
+  r2 = add(r1, 1)
+  halt
+}
+)";
+  Memory Mem;
+  EquivResult E = check(Src, Src, Mem, {{Reg::gpr(1), 41}});
+  EXPECT_TRUE(E.Equivalent);
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- tools/cpr-fuzz.cpp - Differential CPR fuzzing driver ---------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// Command-line front end of the fuzzing subsystem (src/fuzz/): runs
+// campaigns of random and corpus-mutated programs through the
+// differential oracle, reduces failures to minimal reproducers, and
+// replays saved `.ir` reproducers.
+//
+//   cpr-fuzz --seed=1 --runs=200 --threads=4        # campaign
+//   cpr-fuzz --corpus=dir --runs=100 --reduce --out=dir
+//   cpr-fuzz repro.ir [repro2.ir ...]               # replay mode
+//
+// Campaigns are deterministic for a fixed --seed at any --threads
+// setting; see docs/FUZZING.md for the triage workflow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Fuzzer.h"
+#include "support/OptionParser.h"
+#include "support/Statistics.h"
+#include "support/TestHooks.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+using namespace cpr;
+
+namespace {
+
+struct Config {
+  FuzzCampaignOptions Campaign;
+  std::string StatsJSON;
+  bool ExpectFailures = false;
+  bool Quiet = false;
+  bool Help = false;
+};
+
+OptionTable buildOptions(Config &C) {
+  OptionTable T;
+  T.add({"--seed", OptArg::Joined, "<n>",
+         "campaign seed (default 1)",
+         [&C](const std::string &V) {
+           char *End = nullptr;
+           unsigned long long N = std::strtoull(V.c_str(), &End, 0);
+           if (V.empty() || *End != '\0')
+             return false;
+           C.Campaign.Seed = N;
+           return true;
+         }});
+  T.addUnsigned("--runs", "<n>", "number of fuzz cases (default 100)",
+                C.Campaign.Runs);
+  T.addUnsigned("--threads", "<n>",
+                "worker threads; outcome is thread-count independent "
+                "(0 = all cores)",
+                C.Campaign.Threads);
+  T.addString("--corpus", "<dir>",
+              "directory of seed .ir programs to mutate", C.Campaign.CorpusDir);
+  T.addDouble("--mutate-frac", "<f>",
+              "fraction of cases mutated from the corpus (default 0.5)",
+              C.Campaign.MutateFrac);
+  T.addFlag("--reduce", "delta-debug failures to minimal reproducers",
+            C.Campaign.Reduce);
+  T.addString("--out", "<dir>",
+              "existing directory reduced reproducers are written to",
+              C.Campaign.OutDir);
+  T.addUnsigned("--max-loop-depth", "<n>", "generator: max loop nesting",
+                C.Campaign.Generator.MaxLoopDepth);
+  T.addDouble("--predicate-density", "<f>",
+              "generator: guarded-operation probability",
+              C.Campaign.Generator.PredicateDensity);
+  T.addDouble("--alias-chaos", "<f>",
+              "generator: probability memory ops use the "
+              "aliases-everything class",
+              C.Campaign.Generator.AliasChaos);
+  T.addDouble("--unbiased-frac", "<f>",
+              "generator: fraction of ~50/50 side exits",
+              C.Campaign.Generator.UnbiasedFrac);
+  T.addDouble("--synthetic-frac", "<f>",
+              "generator: fraction of SPEC-shaped synthetic programs",
+              C.Campaign.Generator.SyntheticFrac);
+  T.addFlag("--inject-defect",
+            "plant the hidden compensation-skip miscompile (oracle "
+            "self-test)",
+            C.Campaign.InjectDefect);
+  T.addFlag("--expect-failures",
+            "invert the exit status: succeed only if failures were found",
+            C.ExpectFailures);
+  T.addString("--stats-json", "<file>",
+              "write campaign counters and wall times as JSON", C.StatsJSON);
+  T.addFlag("--quiet", "suppress per-failure progress lines", C.Quiet);
+  T.addFlag("--help", "print this help", C.Help);
+  T.addFlag("-h", "print this help", C.Help);
+  return T;
+}
+
+/// Replays saved reproducers through the full differential grid.
+/// Returns the number of files that failed (any non-pass cell).
+int replayFiles(const std::vector<std::string> &Files, const Config &C) {
+  DifferentialRunner Runner(C.Campaign.Variants, C.Campaign.Machines);
+  int Failing = 0;
+  for (const std::string &Path : Files) {
+    FuzzParseResult PR = loadFuzzProgramFile(Path);
+    if (!PR) {
+      std::fprintf(stderr, "cpr-fuzz: %s\n", PR.Error.c_str());
+      ++Failing;
+      continue;
+    }
+    CaseResult Case = Runner.runCase(PR.Program);
+    if (Case.Worst == FuzzOutcome::Pass) {
+      std::printf("%s: pass (%zu cells)\n", Path.c_str(),
+                  Runner.numCells());
+      continue;
+    }
+    ++Failing;
+    const CellResult &Worst =
+        Case.Cells[Case.WorstVariant * Runner.machines().size() +
+                   Case.WorstMachine];
+    std::printf("%s: %s: %s\n", Path.c_str(),
+                fuzzOutcomeName(Case.Worst), Worst.Detail.c_str());
+  }
+  return Failing;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Config C;
+  OptionTable Options = buildOptions(C);
+  const std::string Usage =
+      "usage: cpr-fuzz [options]              run a fuzzing campaign\n"
+      "       cpr-fuzz [options] <repro.ir>...  replay saved reproducers";
+
+  std::string ParseError;
+  std::vector<std::string> Positional;
+  if (!Options.parse(argc, argv, ParseError, &Positional)) {
+    std::fprintf(stderr, "cpr-fuzz: %s\n%s", ParseError.c_str(),
+                 Options.help(Usage).c_str());
+    return 2;
+  }
+  if (C.Help) {
+    std::printf("%s", Options.help(Usage).c_str());
+    return 0;
+  }
+
+  // Replay mode: positional reproducer files, no campaign.
+  if (!Positional.empty()) {
+    test_hooks::ScopedSkipCompensation Inject(C.Campaign.InjectDefect);
+    int Failing = replayFiles(Positional, C);
+    if (C.ExpectFailures)
+      return Failing > 0 ? 0 : 1;
+    return Failing > 0 ? 1 : 0;
+  }
+
+  StatsRegistry Stats;
+  if (!C.StatsJSON.empty())
+    C.Campaign.Stats = &Stats;
+  if (!C.Quiet)
+    C.Campaign.Log = &std::cerr;
+
+  FuzzCampaignResult Res = runFuzzCampaign(C.Campaign);
+  std::printf("%s\n", Res.summary().c_str());
+  for (const FuzzFailure &F : Res.Failures)
+    if (!F.ReproducerPath.empty())
+      std::printf("reproducer: %s (%zu -> %zu ops)\n",
+                  F.ReproducerPath.c_str(), F.OriginalOps, F.ReducedOps);
+
+  if (!C.StatsJSON.empty()) {
+    std::string Error;
+    if (!writeStatsJSONFile(Stats, C.StatsJSON, &Error)) {
+      std::fprintf(stderr, "cpr-fuzz: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+  if (C.ExpectFailures)
+    return Res.clean() ? 1 : 0;
+  return Res.clean() ? 0 : 1;
+}

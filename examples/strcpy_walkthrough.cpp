@@ -74,13 +74,23 @@ int main(int argc, char **argv) {
   for (const CPRBlockInfo &Info : Blocks) {
     if (!Info.Transformable)
       continue;
-    RestructurePlan Plan = restructureCPRBlock(F, Loop, Info);
+    Expected<RestructurePlan> Plan = restructureCPRBlock(F, Loop, Info);
+    if (!Plan) {
+      std::printf("restructure failed: %s\n",
+                  Plan.diagnostic().str().c_str());
+      return 1;
+    }
     std::printf("### stage 4: restructure (Figure 7(b)) -- lookaheads and "
                 "bypass inserted\n\n%s\n",
                 printBlock(F, Loop, PO).c_str());
-    MotionStats MS = moveOffTrace(F, Plan);
+    Expected<MotionStats> MS = moveOffTrace(F, *Plan);
+    if (!MS) {
+      std::printf("off-trace motion failed: %s\n",
+                  MS.diagnostic().str().c_str());
+      return 1;
+    }
     std::printf("### stage 5: off-trace motion -- %u moved, %u split\n\n",
-                MS.Moved, MS.Split);
+                MS->Moved, MS->Split);
   }
   DCEStats DS = eliminateDeadCode(F);
   std::printf("### stage 6: dead code elimination -- %u ops, %u compare "

@@ -8,14 +8,35 @@
 
 #include "cpr/OffTraceMotion.h"
 #include "cpr/PredicateSpeculation.h"
+#include "cpr/RegionTransaction.h"
 #include "cpr/Restructure.h"
 #include "regions/FRPConversion.h"
 #include "ir/Verifier.h"
+#include "support/Error.h"
 
 using namespace cpr;
 
+namespace {
+
+/// Reports the failure that triggered a rollback plus a RegionRolledBack
+/// remark narrating the recovery.
+void reportRollback(const CPRContext &Ctx, BlockId Region, Diagnostic Cause,
+                    unsigned BlocksRemoved) {
+  if (!Ctx.Diags)
+    return;
+  Ctx.Diags->report(Cause);
+  Ctx.Diags->report(DiagSeverity::Remark, DiagCode::RegionRolledBack,
+                    "region " + std::to_string(Region) +
+                        " rolled back (removed " +
+                        std::to_string(BlocksRemoved) +
+                        " compensation block(s)); cause: " + Cause.Message,
+                    Cause.Site);
+}
+
+} // namespace
+
 CPRResult cpr::runControlCPR(Function &F, const ProfileData &Profile,
-                             const CPROptions &Opts) {
+                             const CPROptions &Opts, const CPRContext &Ctx) {
   CPRResult Result;
 
   // Snapshot the regions to process: restructure appends compensation
@@ -26,6 +47,19 @@ CPRResult cpr::runControlCPR(Function &F, const ProfileData &Profile,
       Regions.push_back(F.block(I).getId());
 
   for (BlockId RId : Regions) {
+    if (Ctx.Budget && Ctx.Budget->exhausted()) {
+      // Baseline fallback for everything not yet treated; an ordinary
+      // diagnostic, not a failure of the compilation.
+      if (!Result.BudgetExhausted && Ctx.Diags)
+        Ctx.Diags->report(DiagSeverity::Warning, DiagCode::BudgetExhausted,
+                          "transform " + Ctx.Budget->describeExhaustion() +
+                              "; remaining regions left untreated",
+                          "pipeline.transform");
+      Result.BudgetExhausted = true;
+      ++Result.RegionsSkippedBudget;
+      continue;
+    }
+
     Block &B = *F.blockById(RId);
     if (B.empty())
       continue;
@@ -67,20 +101,73 @@ CPRResult cpr::runControlCPR(Function &F, const ProfileData &Profile,
 
     // Phases 3 and 4, CPR block by CPR block in program order: the
     // re-wiring performed by an earlier block's restructure establishes
-    // the root predicate the next block's restructure reads.
+    // the root predicate the next block's restructure reads. Each block
+    // transforms inside its own transaction; a failure rolls back just
+    // that block's changes (strict mode escalates to a fatal error
+    // instead).
+    unsigned TransformedHere = 0;
+    bool RolledBackHere = false;
     for (const CPRBlockInfo &Info : Blocks) {
       if (!Info.Transformable)
         continue;
-      RestructurePlan Plan = restructureCPRBlock(F, B, Info);
-      MotionStats MS = moveOffTrace(F, Plan);
+      if (Ctx.Budget && !Ctx.Budget->consume()) {
+        if (!Result.BudgetExhausted && Ctx.Diags)
+          Ctx.Diags->report(DiagSeverity::Warning, DiagCode::BudgetExhausted,
+                            "transform " + Ctx.Budget->describeExhaustion() +
+                                "; remaining CPR blocks left untreated",
+                            "pipeline.transform");
+        Result.BudgetExhausted = true;
+        break;
+      }
+
+      RegionTransaction Txn(F, B.getId());
+      auto Fail = [&](Diagnostic Cause) {
+        if (!Ctx.FailSafe)
+          reportFatalError(Cause.Message);
+        unsigned Removed = Txn.rollback();
+        ++Result.BlocksRolledBack;
+        RolledBackHere = true;
+        reportRollback(Ctx, B.getId(), std::move(Cause), Removed);
+      };
+
+      Expected<RestructurePlan> Plan = restructureCPRBlock(F, B, Info);
+      if (!Plan) {
+        Fail(Plan.takeDiagnostic());
+        continue;
+      }
+      Expected<MotionStats> MS = moveOffTrace(F, *Plan);
+      if (!MS) {
+        Fail(MS.takeDiagnostic());
+        continue;
+      }
+      if (Status V = Txn.verify("after control CPR block transform"); !V) {
+        Fail(V.takeDiagnostic());
+        continue;
+      }
+      if (Ctx.RegionOracle) {
+        if (Status E = Ctx.RegionOracle(F); !E) {
+          Fail(E.takeDiagnostic());
+          continue;
+        }
+      }
+
+      ++TransformedHere;
       ++Result.CPRBlocksTransformed;
       if (Info.TakenVariation)
         ++Result.TakenVariants;
       Result.BranchesCovered += static_cast<unsigned>(Info.size());
       Result.LookaheadsInserted +=
-          static_cast<unsigned>(Plan.LookaheadIds.size());
-      Result.OpsMovedOffTrace += MS.Moved;
-      Result.OpsSplit += MS.Split;
+          static_cast<unsigned>(Plan->LookaheadIds.size());
+      Result.OpsMovedOffTrace += MS->Moved;
+      Result.OpsSplit += MS->Split;
+    }
+    if (RolledBackHere)
+      ++Result.RegionsRolledBack;
+    if (TransformedHere == 0) {
+      // Every transformable block failed (or the budget ran out before
+      // any committed): restore the pre-pass form, as for untransformable
+      // regions -- FRP conversion alone is no benefit.
+      B.ops() = std::move(Snapshot);
     }
   }
 
@@ -88,6 +175,15 @@ CPRResult cpr::runControlCPR(Function &F, const ProfileData &Profile,
   // operations computing predicates that are no longer referenced.
   Result.DCE = eliminateDeadCode(F);
 
+  // Unreachable-state shim, not a recoverable path: transactions re-verify
+  // before committing, so an invalid function here is a driver bug.
   verifyOrDie(F, "after control CPR");
   return Result;
+}
+
+CPRResult cpr::runControlCPR(Function &F, const ProfileData &Profile,
+                             const CPROptions &Opts) {
+  CPRContext Strict;
+  Strict.FailSafe = false;
+  return runControlCPR(F, Profile, Opts, Strict);
 }

@@ -11,6 +11,16 @@
 /// expected to be FRP-converted (regions/FRPConversion.h); the driver
 /// leaves regions that do not fit the schema untouched, as the paper does.
 ///
+/// Fail-safe operation (docs/ROBUSTNESS.md): each CPR block's restructure
+/// plus motion runs inside a RegionTransaction. A TransformFault from a
+/// phase, a re-verification failure, an optional equivalence-oracle
+/// mismatch, or an exhausted stage budget rolls back just that region --
+/// the rest of the function keeps its treatment and the result is always
+/// runnable. Strict mode (CPRContext::FailSafe = false, the legacy
+/// default) instead escalates the first failure to reportFatalError so the
+/// differential fuzzer keeps observing compiler defects as crashes or
+/// oracle mismatches rather than silent rollbacks.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CPR_CONTROLCPR_H
@@ -20,6 +30,10 @@
 #include "cpr/CPROptions.h"
 #include "cpr/Match.h"
 #include "regions/DeadCodeElim.h"
+#include "support/Budget.h"
+#include "support/Diagnostic.h"
+
+#include <functional>
 
 namespace cpr {
 
@@ -38,10 +52,41 @@ struct CPRResult {
   DCEStats DCE;
   /// Stop-reason histogram, indexed by MatchStopReason.
   unsigned StopReasons[6] = {0, 0, 0, 0, 0, 0};
+  /// Fail-safe accounting: CPR-block transactions rolled back, regions
+  /// with at least one rollback, regions left untreated because the
+  /// transform budget ran out, and whether it did.
+  unsigned BlocksRolledBack = 0;
+  unsigned RegionsRolledBack = 0;
+  unsigned RegionsSkippedBudget = 0;
+  bool BudgetExhausted = false;
+};
+
+/// How the driver reacts to a failing transformation.
+struct CPRContext {
+  /// Optional sink for rollback remarks and stage errors.
+  DiagnosticEngine *Diags = nullptr;
+  /// Optional per-region equivalence re-check, run on the whole function
+  /// after a transaction re-verifies. Return a failure Status (typically
+  /// DiagCode::OracleMismatch) to force a rollback. Expensive: each call
+  /// interprets the function; wire it up only when requested
+  /// (PipelineOptions::RegionEquivalence).
+  std::function<Status(const Function &)> RegionOracle;
+  /// Optional transform budget; one step is one CPR-block transform.
+  /// Exhaustion skips the remaining regions (baseline fallback).
+  BudgetTracker *Budget = nullptr;
+  /// true: roll failing regions back and continue (production).
+  /// false: escalate the first failure to reportFatalError (legacy strict
+  /// behavior; what the differential fuzzer relies on).
+  bool FailSafe = true;
 };
 
 /// Runs ICBM over every non-compensation block of \p F, using \p Profile
-/// for the match heuristics. \p F is verified after the pass.
+/// for the match heuristics. \p F is verified after the pass; in
+/// fail-safe mode the result is runnable even when regions rolled back.
+CPRResult runControlCPR(Function &F, const ProfileData &Profile,
+                        const CPROptions &Opts, const CPRContext &Ctx);
+
+/// Legacy strict entry point: FailSafe off, no oracle, no budget.
 CPRResult runControlCPR(Function &F, const ProfileData &Profile,
                         const CPROptions &Opts = CPROptions());
 

@@ -9,7 +9,7 @@
 #include "analysis/DepGraph.h"
 #include "analysis/Liveness.h"
 #include "analysis/PQS.h"
-#include "support/Error.h"
+#include "support/FaultInjector.h"
 #include "support/TestHooks.h"
 
 #include <unordered_map>
@@ -19,21 +19,33 @@ using namespace cpr;
 
 namespace {
 
-/// Returns the op index of \p Id in \p B or aborts.
-size_t indexOfOrDie(const Block &B, OpId Id) {
-  int I = B.indexOfOp(Id);
-  if (I < 0)
-    reportFatalError("off-trace motion lost track of operation id " +
+/// A motion-phase TransformFault diagnostic.
+Diagnostic motionFault(std::string Msg) {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Error;
+  D.Code = DiagCode::TransformFault;
+  D.Message = std::move(Msg);
+  D.Site = "cpr.offtrace.move";
+  return D;
+}
+
+Diagnostic motionLostTrack(OpId Id) {
+  return motionFault("off-trace motion lost track of operation id " +
                      std::to_string(Id));
-  return static_cast<size_t>(I);
 }
 
 } // namespace
 
-MotionStats cpr::moveOffTrace(Function &F, const RestructurePlan &Plan) {
+Expected<MotionStats> cpr::moveOffTrace(Function &F,
+                                        const RestructurePlan &Plan) {
+  if (fault::shouldFail("cpr.offtrace.move"))
+    return motionFault("injected fault");
+
   MotionStats Stats;
   Block *RegionPtr = F.blockById(Plan.Region);
-  assert(RegionPtr && "region block disappeared");
+  if (!RegionPtr)
+    return motionFault("region block " + std::to_string(Plan.Region) +
+                       " disappeared");
   Block &B = *RegionPtr;
 
   // Fresh analyses on the restructured code.
@@ -42,7 +54,10 @@ MotionStats cpr::moveOffTrace(Function &F, const RestructurePlan &Plan) {
   MachineDesc MD = MachineDesc::medium();
   DepGraph DG(F, B, MD, PQS, LV);
 
-  size_t BypassIdx = indexOfOrDie(B, Plan.BypassBranchId);
+  int BypassIdxSigned = B.indexOfOp(Plan.BypassBranchId);
+  if (BypassIdxSigned < 0)
+    return motionLostTrack(Plan.BypassBranchId);
+  size_t BypassIdx = static_cast<size_t>(BypassIdxSigned);
 
   // --- Pass 1: set 1 = compares + branches + data-dependence successors --
   std::unordered_set<uint32_t> MoveSet;
@@ -53,26 +68,37 @@ MotionStats cpr::moveOffTrace(Function &F, const RestructurePlan &Plan) {
                                               /*IncludeControl=*/false)) {
       // Never move the bypass branch or the lookahead/FRP machinery; their
       // presence in the successor closure would indicate a separability
-      // bug, which the assertion below catches in tests.
+      // bug, which the checks below catch.
       MoveSet.insert(S);
     }
   };
-  for (OpId Id : Plan.CmppIds)
-    AddWithSuccessors(indexOfOrDie(B, Id));
+  for (OpId Id : Plan.CmppIds) {
+    int I = B.indexOfOp(Id);
+    if (I < 0)
+      return motionLostTrack(Id);
+    AddWithSuccessors(static_cast<size_t>(I));
+  }
   for (OpId Id : Plan.BranchIds) {
     if (Id == Plan.BypassBranchId)
       continue; // taken variation: the final branch stays as the bypass
-    MoveSet.insert(static_cast<uint32_t>(indexOfOrDie(B, Id)));
+    int I = B.indexOfOp(Id);
+    if (I < 0)
+      return motionLostTrack(Id);
+    MoveSet.insert(static_cast<uint32_t>(I));
   }
 
   // The region's terminator and the bypass machinery must never move.
-  for (OpId Id : Plan.LookaheadIds)
-    if (MoveSet.count(static_cast<uint32_t>(indexOfOrDie(B, Id))))
-      reportFatalError("separability violation: lookahead compare in the "
-                       "off-trace move set");
+  for (OpId Id : Plan.LookaheadIds) {
+    int I = B.indexOfOp(Id);
+    if (I < 0)
+      return motionLostTrack(Id);
+    if (MoveSet.count(static_cast<uint32_t>(I)))
+      return motionFault("separability violation: lookahead compare in the "
+                         "off-trace move set");
+  }
   if (MoveSet.count(static_cast<uint32_t>(BypassIdx)))
-    reportFatalError("separability violation: bypass branch in the "
-                     "off-trace move set");
+    return motionFault("separability violation: bypass branch in the "
+                       "off-trace move set");
   // Nothing at or beyond the bypass point may be in the move set for the
   // taken variation (that region *is* the off-trace path already), and for
   // the fall-through variation re-wiring removed such dependences. Filter
@@ -91,8 +117,11 @@ MotionStats cpr::moveOffTrace(Function &F, const RestructurePlan &Plan) {
   BDD::NodeRef OnTraceE = BDD::Invalid;
   {
     // Expression of the on-trace FRP after the final lookahead.
-    size_t LastLook = indexOfOrDie(B, Plan.LookaheadIds.back());
-    OnTraceE = PQS.predValueAfter(LastLook, Plan.OnTracePred);
+    int LastLook = B.indexOfOp(Plan.LookaheadIds.back());
+    if (LastLook < 0)
+      return motionLostTrack(Plan.LookaheadIds.back());
+    OnTraceE = PQS.predValueAfter(static_cast<size_t>(LastLook),
+                                  Plan.OnTracePred);
   }
   std::unordered_set<uint32_t> SplitSet;
   const RegSet &FallLive = [&]() -> const RegSet & {
@@ -106,8 +135,12 @@ MotionStats cpr::moveOffTrace(Function &F, const RestructurePlan &Plan) {
   // Indices of the CPR block's controlling compares: their predicates are
   // re-wired to the on-trace FRP, so they never need on-trace copies.
   std::unordered_set<uint32_t> ControllingCmpps;
-  for (OpId Id : Plan.CmppIds)
-    ControllingCmpps.insert(static_cast<uint32_t>(indexOfOrDie(B, Id)));
+  for (OpId Id : Plan.CmppIds) {
+    int I = B.indexOfOp(Id);
+    if (I < 0)
+      return motionLostTrack(Id);
+    ControllingCmpps.insert(static_cast<uint32_t>(I));
+  }
 
   for (uint32_t Idx : MoveSet) {
     const Operation &Op = B.ops()[Idx];
@@ -203,7 +236,7 @@ MotionStats cpr::moveOffTrace(Function &F, const RestructurePlan &Plan) {
       continue;
     int PbrIdx = B.lastDefBefore(Op.branchTargetReg(), Idx);
     if (PbrIdx < 0)
-      reportFatalError("moved branch has no preparing pbr");
+      return motionFault("moved branch has no preparing pbr");
     uint32_t P = static_cast<uint32_t>(PbrIdx);
     if (!MoveSet.count(P)) {
       MoveSet.insert(P);
@@ -214,9 +247,13 @@ MotionStats cpr::moveOffTrace(Function &F, const RestructurePlan &Plan) {
   // Guards written by the moved compares: uses in on-trace copies are
   // re-wired to the on-trace FRP.
   std::unordered_set<Reg> OriginalPreds;
-  for (OpId Id : Plan.CmppIds)
-    for (const DefSlot &D : B.ops()[indexOfOrDie(B, Id)].defs())
+  for (OpId Id : Plan.CmppIds) {
+    int I = B.indexOfOp(Id);
+    if (I < 0)
+      return motionLostTrack(Id);
+    for (const DefSlot &D : B.ops()[static_cast<size_t>(I)].defs())
       OriginalPreds.insert(D.R);
+  }
 
   // --- Closure: split moved operations that feed split copies ------------
   // An on-trace copy must find its operand values on-trace: when a split
@@ -297,29 +334,40 @@ MotionStats cpr::moveOffTrace(Function &F, const RestructurePlan &Plan) {
   // Insert on-trace copies just after the bypass branch (fall-through
   // variation) or just before it (taken variation, where the on-trace path
   // continues at the branch's target).
-  size_t NewBypassIdx = indexOfOrDie(B, Plan.BypassBranchId);
-  size_t CopyPos = Plan.TakenVariation ? NewBypassIdx : NewBypassIdx + 1;
+  int NewBypassIdx = B.indexOfOp(Plan.BypassBranchId);
+  if (NewBypassIdx < 0)
+    return motionLostTrack(Plan.BypassBranchId);
+  size_t CopyPos = Plan.TakenVariation
+                       ? static_cast<size_t>(NewBypassIdx)
+                       : static_cast<size_t>(NewBypassIdx) + 1;
   B.ops().insert(B.ops().begin() + static_cast<ptrdiff_t>(CopyPos),
                  Copies.begin(), Copies.end());
 
   // Place the moved operations.
   if (!Plan.TakenVariation) {
     Block *Comp = F.blockById(Plan.CompBlock);
-    assert(Comp && "compensation block disappeared");
-    // Fault injection for the fuzzer's self-test (support/TestHooks.h):
-    // drop the moved operations instead of compensating -- a planted
-    // miscompile the differential oracle must catch.
-    if (test_hooks::SkipCompensationInsertion)
+    if (!Comp)
+      return motionFault("compensation block disappeared");
+    // Fault injection (site "cpr.restructure.compensation" and the legacy
+    // test-hook bool, support/TestHooks.h): drop the moved operations
+    // instead of compensating -- a planted miscompile the differential
+    // oracle must catch, and the region equivalence re-check must roll
+    // back (docs/ROBUSTNESS.md).
+    if (test_hooks::SkipCompensationInsertion ||
+        fault::shouldFail("cpr.restructure.compensation"))
       return Stats;
     // Before the trailing trap.
-    assert(!Comp->ops().empty() &&
-           Comp->ops().back().getOpcode() == Opcode::Trap);
+    if (Comp->ops().empty() ||
+        Comp->ops().back().getOpcode() != Opcode::Trap)
+      return motionFault("compensation block lost its trailing trap");
     Comp->ops().insert(Comp->ops().end() - 1, Moved.begin(), Moved.end());
   } else {
     // Start of the region tail, right after the final (bypass) branch.
-    size_t TailPos = indexOfOrDie(B, Plan.BypassBranchId) + 1;
-    B.ops().insert(B.ops().begin() + static_cast<ptrdiff_t>(TailPos),
-                   Moved.begin(), Moved.end());
+    int TailIdx = B.indexOfOp(Plan.BypassBranchId);
+    if (TailIdx < 0)
+      return motionLostTrack(Plan.BypassBranchId);
+    B.ops().insert(B.ops().begin() + TailIdx + 1, Moved.begin(),
+                   Moved.end());
   }
   return Stats;
 }

@@ -21,6 +21,13 @@
 /// compensation block (fall-through variation) or to the start of the
 /// region tail after the final branch (taken variation).
 ///
+/// Failure model: separability violations, lost operation ids, and
+/// injected faults (site "cpr.offtrace.move") come back as recoverable
+/// TransformFault diagnostics; the driver rolls the region's transaction
+/// back. Fault site "cpr.restructure.compensation" (and the legacy
+/// test_hooks::SkipCompensationInsertion bool) plants the deliberate
+/// miscompile of dropping the moved operations instead of compensating.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CPR_OFFTRACEMOTION_H
@@ -36,8 +43,10 @@ struct MotionStats {
   unsigned Split = 0; ///< operations replicated on-trace (set 2)
 };
 
-/// Performs off-trace motion for one restructured CPR block.
-MotionStats moveOffTrace(Function &F, const RestructurePlan &Plan);
+/// Performs off-trace motion for one restructured CPR block. On failure
+/// \p F may be left mid-motion -- callers roll the enclosing region
+/// transaction back.
+Expected<MotionStats> moveOffTrace(Function &F, const RestructurePlan &Plan);
 
 } // namespace cpr
 

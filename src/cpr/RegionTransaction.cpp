@@ -1,0 +1,60 @@
+//===- cpr/RegionTransaction.cpp - Per-region rollback --------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpr/RegionTransaction.h"
+
+#include "ir/Verifier.h"
+#include "support/FaultInjector.h"
+
+using namespace cpr;
+
+RegionTransaction::RegionTransaction(Function &F, BlockId Region)
+    : F(F), Region(Region) {
+  Block *B = F.blockById(Region);
+  assert(B && "transaction on a block that does not exist");
+  SnapshotOps = B->ops();
+  for (size_t I = 0, E = F.numBlocks(); I != E; ++I)
+    PreExistingBlocks.insert(F.block(I).getId());
+}
+
+Status RegionTransaction::verify(const std::string &Context) const {
+  if (fault::shouldFail("ir.verify"))
+    return Status::error(DiagCode::VerifyFailed,
+                         "injected fault (" + Context + ")", "ir.verify");
+  std::vector<std::string> Violations = verifyFunction(F);
+  if (Violations.empty())
+    return Status::success();
+  std::string Msg =
+      "IR verification failed (" + Context + "): " + Violations.front();
+  if (Violations.size() > 1)
+    Msg += " (+" + std::to_string(Violations.size() - 1) + " more)";
+  return Status::error(DiagCode::VerifyFailed, std::move(Msg), "ir.verify");
+}
+
+unsigned RegionTransaction::rollback() {
+  if (RolledBack)
+    return 0;
+  RolledBack = true;
+
+  // Restore the region's operations first so no block references a
+  // compensation block while we remove it.
+  if (Block *B = F.blockById(Region))
+    B->ops() = SnapshotOps;
+
+  // Remove blocks appended since the snapshot (compensation blocks of the
+  // failed transform). Collect ids first: removal shifts layout indices.
+  std::vector<BlockId> Appended;
+  for (size_t I = 0, E = F.numBlocks(); I != E; ++I) {
+    BlockId Id = F.block(I).getId();
+    if (!PreExistingBlocks.count(Id))
+      Appended.push_back(Id);
+  }
+  unsigned Removed = 0;
+  for (BlockId Id : Appended)
+    if (F.removeBlock(Id))
+      ++Removed;
+  return Removed;
+}

@@ -1,0 +1,69 @@
+//===- cpr/RegionTransaction.h - Per-region rollback ------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transactional wrapper around one region's CPR transformation. The ICBM
+/// phases (restructure, off-trace motion) mutate exactly one region block
+/// plus any compensation blocks they append at the end of the function;
+/// a transaction therefore only needs to snapshot the region's operation
+/// list and the set of pre-existing block ids. On failure -- a phase
+/// returning a TransformFault, the re-verify rejecting the result, or the
+/// optional equivalence oracle observing divergence -- rollback() restores
+/// the region's operations and removes the appended blocks, leaving every
+/// *other* region's treatment intact. Leaked virtual register and
+/// operation ids are harmless (both are monotone allocators).
+///
+/// The re-verify and oracle steps host the "ir.verify" and caller-side
+/// "interp.oracle" fault-injection sites (support/FaultInjector.h), so the
+/// rollback path itself is exercised by the fault campaign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPR_REGIONTRANSACTION_H
+#define CPR_REGIONTRANSACTION_H
+
+#include "ir/Function.h"
+#include "support/Diagnostic.h"
+
+#include <unordered_set>
+
+namespace cpr {
+
+/// Snapshot of one region taken before a (possibly failing) transform.
+/// Non-owning view of the function; must not outlive it. Rollback is
+/// explicit -- destruction without rollback() commits by doing nothing.
+class RegionTransaction {
+public:
+  /// Snapshots region \p Region of \p F (its operation list and the
+  /// current set of block ids).
+  RegionTransaction(Function &F, BlockId Region);
+
+  RegionTransaction(const RegionTransaction &) = delete;
+  RegionTransaction &operator=(const RegionTransaction &) = delete;
+
+  /// Re-verifies \p F after the transform. Returns a VerifyFailed
+  /// diagnostic (site "ir.verify") on violations; hosts the "ir.verify"
+  /// fault-injection site. \p Context names the phase for the message.
+  Status verify(const std::string &Context) const;
+
+  /// Restores the region's operations and removes every block appended
+  /// since the snapshot. Idempotent. Returns the number of blocks removed.
+  unsigned rollback();
+
+  bool rolledBack() const { return RolledBack; }
+  BlockId region() const { return Region; }
+
+private:
+  Function &F;
+  BlockId Region;
+  std::vector<Operation> SnapshotOps;
+  std::unordered_set<BlockId> PreExistingBlocks;
+  bool RolledBack = false;
+};
+
+} // namespace cpr
+
+#endif // CPR_REGIONTRANSACTION_H

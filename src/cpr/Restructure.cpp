@@ -6,7 +6,7 @@
 
 #include "cpr/Restructure.h"
 
-#include "support/Error.h"
+#include "support/FaultInjector.h"
 
 #include <unordered_set>
 
@@ -14,20 +14,29 @@ using namespace cpr;
 
 namespace {
 
-/// Returns the index of the op with \p Id in \p B, aborting if absent.
-size_t indexOfOrDie(const Block &B, OpId Id) {
-  int I = B.indexOfOp(Id);
-  if (I < 0)
-    reportFatalError("restructure lost track of operation id " +
-                     std::to_string(Id));
-  return static_cast<size_t>(I);
+/// A restructure-phase TransformFault diagnostic.
+Diagnostic restructureFault(std::string Msg) {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Error;
+  D.Code = DiagCode::TransformFault;
+  D.Message = std::move(Msg);
+  D.Site = "cpr.restructure.plan";
+  return D;
+}
+
+Diagnostic lostTrack(OpId Id) {
+  return restructureFault("restructure lost track of operation id " +
+                          std::to_string(Id));
 }
 
 } // namespace
 
-RestructurePlan cpr::restructureCPRBlock(Function &F, Block &B,
-                                         const CPRBlockInfo &Info) {
+Expected<RestructurePlan> cpr::restructureCPRBlock(Function &F, Block &B,
+                                                   const CPRBlockInfo &Info) {
   assert(Info.Transformable && "restructure requires a transformable block");
+  if (fault::shouldFail("cpr.restructure.plan"))
+    return restructureFault("injected fault");
+
   RestructurePlan Plan;
   Plan.TakenVariation = Info.TakenVariation;
   Plan.Region = B.getId();
@@ -39,8 +48,10 @@ RestructurePlan cpr::restructureCPRBlock(Function &F, Block &B,
   // The root predicate is the *current* guard of the first compare: for a
   // second or later CPR block the previous block's re-wiring has already
   // replaced it with that block's on-trace FRP.
-  size_t FirstCmppIdx = indexOfOrDie(B, Info.CmppIds[0]);
-  Plan.RootPred = B.ops()[FirstCmppIdx].getGuard();
+  int FirstCmppIdx = B.indexOfOp(Info.CmppIds[0]);
+  if (FirstCmppIdx < 0)
+    return lostTrack(Info.CmppIds[0]);
+  Plan.RootPred = B.ops()[static_cast<size_t>(FirstCmppIdx)].getGuard();
 
   Plan.OnTracePred = F.newReg(RegClass::PR);
   bool FallThroughVariation = !Info.TakenVariation;
@@ -66,9 +77,8 @@ RestructurePlan cpr::restructureCPRBlock(Function &F, Block &B,
     OnInit.addSrc(Plan.RootPred.isTruePred() ? Operand::imm(1)
                                              : Operand::reg(Plan.RootPred));
     Inits.push_back(std::move(OnInit));
-    B.ops().insert(B.ops().begin() +
-                       static_cast<ptrdiff_t>(indexOfOrDie(B, Info.CmppIds[0])),
-                   Inits.begin(), Inits.end());
+    B.ops().insert(B.ops().begin() + FirstCmppIdx, Inits.begin(),
+                   Inits.end());
   }
 
   // --- Insert one lookahead compare after each original compare ---------
@@ -77,8 +87,10 @@ RestructurePlan cpr::restructureCPRBlock(Function &F, Block &B,
   // accumulates into the wired FRPs. For the taken variation the final
   // compare's sense is inverted and no off-trace target exists.
   for (size_t I = 0; I < N; ++I) {
-    size_t CmppIdx = indexOfOrDie(B, Info.CmppIds[I]);
-    const Operation &Orig = B.ops()[CmppIdx];
+    int CmppIdx = B.indexOfOp(Info.CmppIds[I]);
+    if (CmppIdx < 0)
+      return lostTrack(Info.CmppIds[I]);
+    const Operation &Orig = B.ops()[static_cast<size_t>(CmppIdx)];
     assert(Orig.isCmpp() && "controlling operation must be a compare");
 
     Operation Look = F.makeOp(Opcode::Cmpp);
@@ -92,14 +104,21 @@ RestructurePlan cpr::restructureCPRBlock(Function &F, Block &B,
     for (const Operand &S : Orig.srcs())
       Look.addSrc(S);
     Plan.LookaheadIds.push_back(Look.getId());
-    B.ops().insert(B.ops().begin() + static_cast<ptrdiff_t>(CmppIdx) + 1,
-                   std::move(Look));
+    B.ops().insert(B.ops().begin() + CmppIdx + 1, std::move(Look));
   }
 
-  size_t LastBranchIdx = indexOfOrDie(B, Info.BranchIds[N - 1]);
+  int LastBranchIdx = B.indexOfOp(Info.BranchIds[N - 1]);
+  if (LastBranchIdx < 0)
+    return lostTrack(Info.BranchIds[N - 1]);
 
   if (FallThroughVariation) {
     // --- Create the compensation block and the bypass branch ------------
+    // Site "alloc" models a failed block/resource allocation here -- the
+    // one place restructure acquires a function-level resource that
+    // rollback must release again.
+    if (fault::shouldFail("alloc"))
+      return restructureFault(
+          "injected allocation failure creating the compensation block");
     Block &Comp = F.addBlock(B.getName() + "_cmp" +
                              std::to_string(B.getId()) + "_" +
                              std::to_string(Info.BranchIds[0]));
@@ -122,14 +141,14 @@ RestructurePlan cpr::restructureCPRBlock(Function &F, Block &B,
     std::vector<Operation> Two;
     Two.push_back(std::move(Pbr));
     Two.push_back(std::move(Bypass));
-    B.ops().insert(B.ops().begin() + static_cast<ptrdiff_t>(LastBranchIdx) + 1,
-                   Two.begin(), Two.end());
+    B.ops().insert(B.ops().begin() + LastBranchIdx + 1, Two.begin(),
+                   Two.end());
   } else {
     // --- Taken variation: the final branch becomes the bypass -----------
     // Its taken direction is the accelerated path; its taken predicate is
     // replaced by the on-trace FRP (whose final lookahead term used the
     // inverted sense, i.e. "the final branch takes").
-    Operation &Final = B.ops()[LastBranchIdx];
+    Operation &Final = B.ops()[static_cast<size_t>(LastBranchIdx)];
     Final.srcs()[0] = Operand::reg(Plan.OnTracePred);
     Plan.BypassBranchId = Final.getId();
   }
@@ -145,8 +164,14 @@ RestructurePlan cpr::restructureCPRBlock(Function &F, Block &B,
   // leaving the stale register would be wrong).
   std::unordered_set<Reg> FallPreds, TakenPreds;
   for (size_t K = 0; K < Info.CmppIds.size(); ++K) {
-    const Operation &C = B.ops()[indexOfOrDie(B, Info.CmppIds[K])];
-    const Operation &Br = B.ops()[indexOfOrDie(B, Info.BranchIds[K])];
+    int CI = B.indexOfOp(Info.CmppIds[K]);
+    int BI = B.indexOfOp(Info.BranchIds[K]);
+    if (CI < 0)
+      return lostTrack(Info.CmppIds[K]);
+    if (BI < 0)
+      return lostTrack(Info.BranchIds[K]);
+    const Operation &C = B.ops()[static_cast<size_t>(CI)];
+    const Operation &Br = B.ops()[static_cast<size_t>(BI)];
     for (const DefSlot &D : C.defs()) {
       if (D.R == Br.branchPred())
         TakenPreds.insert(D.R);
@@ -154,7 +179,10 @@ RestructurePlan cpr::restructureCPRBlock(Function &F, Block &B,
         FallPreds.insert(D.R);
     }
   }
-  size_t BypassIdx = indexOfOrDie(B, Plan.BypassBranchId);
+  int BypassIdxSigned = B.indexOfOp(Plan.BypassBranchId);
+  if (BypassIdxSigned < 0)
+    return lostTrack(Plan.BypassBranchId);
+  size_t BypassIdx = static_cast<size_t>(BypassIdxSigned);
   if (FallThroughVariation) {
     Reg FalsePred;
     auto GetFalsePred = [&]() {

@@ -13,6 +13,12 @@
 /// (taken variation), and re-wires uses of the original predicates after
 /// the bypass point to the on-trace FRP.
 ///
+/// Failure model: restructure returns a recoverable diagnostic
+/// (support/Diagnostic.h) instead of aborting when it loses track of an
+/// operation or a fault is injected at site "cpr.restructure.plan"; the
+/// driver rolls the region back (cpr/RegionTransaction.h) and leaves it
+/// untransformed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CPR_RESTRUCTURE_H
@@ -20,6 +26,7 @@
 
 #include "cpr/Match.h"
 #include "ir/Function.h"
+#include "support/Diagnostic.h"
 
 namespace cpr {
 
@@ -49,9 +56,11 @@ struct RestructurePlan {
 };
 
 /// Restructures one CPR block of \p B (which must be block \p Info was
-/// matched on). Returns the plan for off-trace motion.
-RestructurePlan restructureCPRBlock(Function &F, Block &B,
-                                    const CPRBlockInfo &Info);
+/// matched on). Returns the plan for off-trace motion, or a
+/// TransformFault diagnostic; on failure \p F may hold a partially
+/// restructured region -- callers roll the enclosing transaction back.
+Expected<RestructurePlan> restructureCPRBlock(Function &F, Block &B,
+                                              const CPRBlockInfo &Info);
 
 } // namespace cpr
 

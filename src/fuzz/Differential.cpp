@@ -118,6 +118,10 @@ CellResult DifferentialRunner::runCell(const KernelProgram &P,
   Opts.UnrollFactor = Variant.UnrollFactor;
   Opts.Machines = {Machine};
   Opts.CheckEquivalence = false; // the non-fatal oracle runs below
+  // Strict mode, explicitly: fail-safe rollback would *hide* the defects
+  // this campaign exists to find. Fatal stage failures surface through
+  // the trap below; miscompiles through the oracle.
+  Opts.FailSafe = false;
 
   // Fatal errors (reportFatalError, CPR_UNREACHABLE) on this thread now
   // throw instead of aborting, so one broken cell cannot take down the

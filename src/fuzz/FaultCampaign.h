@@ -1,0 +1,77 @@
+//===- fuzz/FaultCampaign.h - Fault-injection campaigns ---------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fail-safe counterpart of the differential fuzzing campaign
+/// (docs/ROBUSTNESS.md): instead of hunting for compiler defects, it
+/// *plants* them -- arming every registered fault site
+/// (support/FaultInjector.h) in turn, at several hit counts, over a
+/// deterministic set of generated programs run through a fail-safe
+/// pipeline session -- and asserts the recovery contract:
+///
+///   injected fault  =>  the affected region rolls back (or the session
+///   falls back to the baseline), the final output still verifies and is
+///   observationally equivalent to the baseline, and the process neither
+///   crashes nor miscompiles.
+///
+/// Campaigns run strictly serially: arming a fault site is process-global
+/// state (see FaultInjector.h's thread-safety contract).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FUZZ_FAULTCAMPAIGN_H
+#define FUZZ_FAULTCAMPAIGN_H
+
+#include "fuzz/Generator.h"
+
+#include <iosfwd>
+
+namespace cpr {
+
+class StatsRegistry;
+
+struct FaultCampaignOptions {
+  uint64_t Seed = 1;
+  /// Generated programs per fault site.
+  unsigned CasesPerSite = 3;
+  /// Each site is armed for its 1st..NthHits-th hit on every case (an
+  /// arming that never fires -- the program has too few CPR blocks -- is
+  /// counted but trivially passes).
+  unsigned NthHits = 2;
+  /// Sites to inject (empty = every registered site).
+  std::vector<std::string> Sites;
+  GeneratorConfig Generator;
+  /// Interpreter step cap for the session's profiling runs (0 = default).
+  uint64_t InterpMaxSteps = 0;
+  /// Optional counter sink (injections, fires, rollbacks, failures).
+  StatsRegistry *Stats = nullptr;
+  /// Optional progress stream (one line per contract violation).
+  std::ostream *Log = nullptr;
+};
+
+struct FaultCampaignResult {
+  unsigned Injections = 0; ///< armed runs performed
+  unsigned Fired = 0;      ///< runs whose armed fault actually fired
+  unsigned Recovered = 0;  ///< fired runs that rolled/fell back
+  unsigned Crashes = 0;    ///< fatal errors that escaped a stage
+  unsigned Mismatches = 0; ///< final output diverged from the baseline
+  unsigned VerifyFails = 0;///< final output failed verification
+  /// One line per contract violation, in deterministic order.
+  std::vector<std::string> Failures;
+
+  bool clean() const { return Failures.empty(); }
+  /// "injections=N fired=N recovered=N crash=N mismatch=N verify-fail=N".
+  std::string summary() const;
+};
+
+/// Runs one fault-injection campaign. Deterministic for a fixed
+/// Opts.Seed. Arms/disarms the process-global fault registry; must not
+/// run concurrently with any other work using it.
+FaultCampaignResult runFaultCampaign(const FaultCampaignOptions &Opts);
+
+} // namespace cpr
+
+#endif // FUZZ_FAULTCAMPAIGN_H

@@ -31,13 +31,14 @@ struct ReduceCtx {
   size_t VIdx, MIdx;
   FuzzOutcome WantOutcome;
   EquivResult::Divergence WantKind;
-  size_t MaxRuns;
-  size_t Runs = 0;
+  /// Unified oracle-run / wall-clock budget (support/Budget.h); one step
+  /// is one differential cell.
+  BudgetTracker Tracker;
   /// Step bound for the cheap halting pre-screen, derived from the
   /// original program's own run length.
   uint64_t StepBudget = 0;
 
-  bool budgetLeft() const { return Runs < MaxRuns; }
+  bool budgetLeft() const { return !Tracker.exhausted(); }
 
   /// The reduction predicate: candidate verifies, its baseline still
   /// halts quickly, and the oracle reproduces the same signature.
@@ -54,7 +55,8 @@ struct ReduceCtx {
       if (!R.halted())
         return false;
     }
-    ++Runs;
+    if (!Tracker.consume())
+      return false;
     CellResult Cell = Runner.runCell(Cand, VIdx, MIdx);
     if (Cell.Outcome != WantOutcome)
       return false;
@@ -208,8 +210,9 @@ ReduceResult cpr::reduceCase(const KernelProgram &P,
   if (Seed.Outcome == FuzzOutcome::Pass)
     return Res; // nothing to reduce
 
-  ReduceCtx Ctx{Runner,       VariantIdx,    MachineIdx,
-                Seed.Outcome, Seed.Divergence, Opts.MaxOracleRuns};
+  ReduceCtx Ctx{Runner,       VariantIdx,      MachineIdx,
+                Seed.Outcome, Seed.Divergence,
+                BudgetTracker(Opts.OracleBudget)};
   // Halting pre-screen budget: 4x the original's own run length (the
   // interesting candidates shrink the program, not grow its runtime).
   {
@@ -229,7 +232,7 @@ ReduceResult cpr::reduceCase(const KernelProgram &P,
     Progress |= inputsPass(Res.Reduced, Ctx);
   }
 
-  Res.OracleRuns += Ctx.Runs;
+  Res.OracleRuns += Ctx.Tracker.steps();
   Res.ReducedOps = Res.Reduced.Func->totalOps();
   Res.Reduced.Description =
       "reduced reproducer (" + std::string(fuzzOutcomeName(Res.Outcome)) +

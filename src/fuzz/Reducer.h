@@ -27,12 +27,16 @@
 #define FUZZ_REDUCER_H
 
 #include "fuzz/Differential.h"
+#include "support/Budget.h"
 
 namespace cpr {
 
 struct ReducerOptions {
-  /// Cap on oracle invocations (each is a full differential cell).
-  size_t MaxOracleRuns = 600;
+  /// Budget for oracle invocations (each "step" is one full differential
+  /// cell) and, optionally, reduction wall-clock (support/Budget.h).
+  /// Exhaustion stops the reduction at the best candidate so far -- a
+  /// degradation, not a failure.
+  Budget OracleBudget = {/*MaxSteps=*/600, /*MaxWallMs=*/0.0};
   /// Run the immediate-canonicalization pass.
   bool CanonicalizeImms = true;
 };

@@ -13,14 +13,36 @@ using namespace cpr;
 ProfileData cpr::profileRun(const Function &F, Memory &Mem,
                             const std::vector<RegBinding> &InitRegs,
                             DynStats *StatsOut, BranchTrace *TraceOut) {
+  Expected<ProfileData> P = tryProfileRun(F, Mem, InitRegs, StatsOut, TraceOut);
+  if (!P)
+    reportFatalError(P.diagnostic().Message);
+  return P.takeValue();
+}
+
+Expected<ProfileData> cpr::tryProfileRun(const Function &F, Memory &Mem,
+                                         const std::vector<RegBinding> &InitRegs,
+                                         DynStats *StatsOut,
+                                         BranchTrace *TraceOut,
+                                         uint64_t MaxSteps) {
   ProfileData Profile;
   InterpOptions Opts;
   Opts.Profile = &Profile;
   Opts.Trace = TraceOut;
+  if (MaxSteps != 0)
+    Opts.MaxSteps = MaxSteps;
   RunResult R = interpret(F, Mem, InitRegs, Opts);
-  if (!R.halted())
-    reportFatalError("profiling run of @" + F.getName() +
-                     " did not halt: " + R.ErrorMsg);
+  if (!R.halted()) {
+    std::string Msg = "profiling run of @" + F.getName() +
+                      " did not halt: " + R.ErrorMsg;
+    if (R.St == RunResult::Status::StepLimit)
+      return Status::error(DiagCode::BudgetExhausted,
+                           "profiling run of @" + F.getName() +
+                               " exhausted its step budget (" +
+                               std::to_string(Opts.MaxSteps) + " steps)",
+                           "interp.profile");
+    return Status::error(DiagCode::RunFailed, std::move(Msg),
+                         "interp.profile");
+  }
   if (StatsOut)
     *StatsOut = R.Stats;
   return Profile;

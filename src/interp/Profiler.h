@@ -15,6 +15,7 @@
 #define INTERP_PROFILER_H
 
 #include "interp/Interpreter.h"
+#include "support/Diagnostic.h"
 
 namespace cpr {
 
@@ -25,6 +26,16 @@ ProfileData profileRun(const Function &F, Memory &Mem,
                        const std::vector<RegBinding> &InitRegs,
                        DynStats *StatsOut = nullptr,
                        BranchTrace *TraceOut = nullptr);
+
+/// Non-fatal, budget-aware form of profileRun (docs/ROBUSTNESS.md). A run
+/// that hits the step cap comes back as a BudgetExhausted diagnostic, any
+/// other non-halt as RunFailed; both at site "interp.profile".
+/// \p MaxSteps of 0 keeps the interpreter's default cap.
+Expected<ProfileData> tryProfileRun(const Function &F, Memory &Mem,
+                                    const std::vector<RegBinding> &InitRegs,
+                                    DynStats *StatsOut = nullptr,
+                                    BranchTrace *TraceOut = nullptr,
+                                    uint64_t MaxSteps = 0);
 
 /// Result of an equivalence comparison. On a mismatch, \c Detail names the
 /// first diverging artifact -- the exit path, an observable register (by

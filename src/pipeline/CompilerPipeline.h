@@ -71,6 +71,30 @@ struct PipelineOptions {
   /// When non-null, every stage reports wall times and outcome counters
   /// here (see support/Statistics.h). Not owned.
   StatsRegistry *Stats = nullptr;
+
+  /// --- Fail-safe compilation (docs/ROBUSTNESS.md) ---------------------
+  /// When true, stage failures degrade instead of aborting: a failing
+  /// CPR-block transform rolls back just its region (the rest of the
+  /// function keeps its treatment), an equivalence mismatch falls the
+  /// whole session back to the baseline, and budget exhaustion leaves
+  /// remaining regions untreated. Off by default: the differential
+  /// fuzzer and legacy callers rely on strict (process-fatal) behavior
+  /// to observe compiler defects.
+  bool FailSafe = false;
+  /// With FailSafe: re-run the observational-equivalence oracle after
+  /// every committed region transaction and roll back diverging regions.
+  /// Catches verifier-clean miscompiles (e.g. a dropped compensation
+  /// copy) at the cost of one interpreter run per CPR block.
+  bool RegionEquivalence = false;
+  /// Step cap for the tryPrepare() profiling runs; 0 keeps the
+  /// interpreter's default. Exhaustion is a BudgetExhausted diagnostic.
+  uint64_t InterpMaxSteps = 0;
+  /// Budget for the transform stage (steps = CPR-block transforms, plus
+  /// an optional wall-clock cap). Zero-initialized = unlimited.
+  Budget TransformBudget;
+  /// Optional sink for stage diagnostics and rollback remarks. Not
+  /// owned; may be shared across sessions (it is thread-safe).
+  DiagnosticEngine *Diags = nullptr;
 };
 
 /// Per-machine timing comparison.

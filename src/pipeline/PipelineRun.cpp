@@ -12,6 +12,7 @@
 #include "regions/LoopUnroller.h"
 #include "regions/Simplify.h"
 #include "support/Error.h"
+#include "support/FaultInjector.h"
 #include "support/Statistics.h"
 #include "support/ThreadPool.h"
 
@@ -48,7 +49,39 @@ void PipelineRun::setTreated(std::unique_ptr<Function> TreatedIn) {
   TreatedInjected = true;
 }
 
+void PipelineRun::requireLive(const char *Stage) const {
+  if (Finished)
+    reportFatalError(std::string("PipelineRun: ") + Stage +
+                     " called after finish(); the session is terminal and "
+                     "its treated function has been moved out");
+}
+
+void PipelineRun::fallbackToBaseline(DiagCode Code, std::string Msg,
+                                     const char *Site) {
+  if (Opts.Diags) {
+    Opts.Diags->report(DiagSeverity::Error, Code, Msg, Site);
+    Opts.Diags->report(DiagSeverity::Remark, DiagCode::RegionRolledBack,
+                       "@" + Name + " fell back to the untreated baseline",
+                       Site);
+  }
+  Treated = baseline().clone();
+  HaveTreated = true;
+  TreatedInjected = false;
+  CPR = CPRResult();
+  FellBack = true;
+  // Invalidate the treated-side artifacts: they described the abandoned
+  // function.
+  HaveTreatedProfile = false;
+  TreatedProf = ProfileData();
+  TreatedStats = DynStats();
+  TreatedTraceData = BranchTrace();
+  EquivalenceDone = false;
+  if (Stats)
+    Stats->addCount(Prefix + "cpr/fallback_baseline", 1);
+}
+
 const Function &PipelineRun::baseline() {
+  requireLive("baseline");
   if (!Prepared) {
     Prepared = true;
     Function &Baseline = *Program.Func;
@@ -69,6 +102,7 @@ const Function &PipelineRun::baseline() {
 }
 
 const ProfileData &PipelineRun::baselineProfile() {
+  requireLive("baselineProfile");
   if (!HaveBaselineProfile) {
     const Function &Baseline = baseline();
     PassTimer T(Stats, Prefix + "profile_baseline");
@@ -110,6 +144,12 @@ void PipelineRun::recordTransformStats() {
   Stats->addCount(Prefix + "cpr/branches_merged", CPR.BranchesCovered);
   Stats->addCount(Prefix + "cpr/ops_moved_off_trace", CPR.OpsMovedOffTrace);
   Stats->addCount(Prefix + "cpr/ops_split", CPR.OpsSplit);
+  Stats->addCount(Prefix + "cpr/blocks_rolled_back", CPR.BlocksRolledBack);
+  Stats->addCount(Prefix + "cpr/regions_rolled_back", CPR.RegionsRolledBack);
+  Stats->addCount(Prefix + "cpr/regions_skipped_budget",
+                  CPR.RegionsSkippedBudget);
+  Stats->addCount(Prefix + "budget/transform_exhausted",
+                  CPR.BudgetExhausted ? 1 : 0);
   Stats->addCount(Prefix + "static_ops_baseline",
                   static_cast<double>(baseline().totalOps()));
   Stats->addCount(Prefix + "static_ops_treated",
@@ -121,11 +161,45 @@ void PipelineRun::recordTransformStats() {
 }
 
 const Function &PipelineRun::treated() {
+  requireLive("treated");
   if (!HaveTreated) {
     const ProfileData &Profile = baselineProfile();
+    const Function &Base = baseline();
     PassTimer T(Stats, Prefix + "transform");
-    Treated = applyControlCPR(baseline(), Profile, Opts.CPR, &CPR);
+    Treated = Base.clone();
     HaveTreated = true;
+    if (Opts.FailSafe && fault::shouldFail("pipeline.transform")) {
+      // Stage-level fault: skip the transform entirely; the baseline
+      // clone *is* the (untreated) result.
+      T.stop();
+      fallbackToBaseline(DiagCode::TransformFault,
+                         "injected fault in the transform stage",
+                         "pipeline.transform");
+      recordTransformStats();
+      return *Treated;
+    }
+    CPRContext Ctx;
+    Ctx.FailSafe = Opts.FailSafe;
+    Ctx.Diags = Opts.Diags;
+    BudgetTracker TransformBudget(Opts.TransformBudget);
+    if (!Opts.TransformBudget.unlimited())
+      Ctx.Budget = &TransformBudget;
+    if (Opts.FailSafe && Opts.RegionEquivalence)
+      Ctx.RegionOracle = [this, &Base](const Function &Candidate) -> Status {
+        if (fault::shouldFail("interp.oracle"))
+          return Status::error(DiagCode::OracleMismatch, "injected fault",
+                               "interp.oracle");
+        EquivResult E = cpr::checkEquivalence(
+            Base, Candidate, Program.InitMem, Program.InitRegs);
+        if (!E.Equivalent)
+          return Status::error(DiagCode::OracleMismatch,
+                               "region equivalence re-check failed [" +
+                                   std::string(divergenceName(E.Kind)) +
+                                   "]: " + E.Detail,
+                               "interp.oracle");
+        return Status::success();
+      };
+    CPR = runControlCPR(*Treated, Profile, Opts.CPR, Ctx);
     T.stop();
     recordTransformStats();
   }
@@ -138,6 +212,7 @@ const CPRResult &PipelineRun::cprResult() {
 }
 
 const EquivResult &PipelineRun::checkEquivalenceResult() {
+  requireLive("checkEquivalenceResult");
   if (!EquivalenceDone) {
     const Function &TreatedF = treated();
     PassTimer T(Stats, Prefix + "equivalence");
@@ -150,12 +225,20 @@ const EquivResult &PipelineRun::checkEquivalenceResult() {
 
 void PipelineRun::checkEquivalence() {
   const EquivResult &E = checkEquivalenceResult();
-  if (!E.Equivalent)
-    reportFatalError("control CPR changed observable behavior of @" + Name +
-                     " [" + divergenceName(E.Kind) + "]: " + E.Detail);
+  if (E.Equivalent)
+    return;
+  std::string Msg = "control CPR changed observable behavior of @" + Name +
+                    " [" + divergenceName(E.Kind) + "]: " + E.Detail;
+  if (!Opts.FailSafe)
+    reportFatalError(Msg);
+  // Fail-safe degradation: the treated function is abandoned for a
+  // baseline clone, so finish() still yields a runnable result.
+  fallbackToBaseline(DiagCode::OracleMismatch, std::move(Msg),
+                     "interp.oracle");
 }
 
 const ProfileData &PipelineRun::treatedProfile() {
+  requireLive("treatedProfile");
   if (!HaveTreatedProfile) {
     const Function &TreatedF = treated();
     PassTimer T(Stats, Prefix + "profile_treated");
@@ -192,6 +275,71 @@ void PipelineRun::prepare() {
   if (Opts.CheckEquivalence)
     checkEquivalence();
   treatedProfile();
+}
+
+Status PipelineRun::tryPrepare() {
+  requireLive("tryPrepare");
+  // Baseline profile, budgeted and non-fatal: without it nothing
+  // downstream can run, so a failure here fails the session.
+  if (!HaveBaselineProfile) {
+    const Function &Base = baseline();
+    PassTimer T(Stats, Prefix + "profile_baseline");
+    Memory Mem = Program.InitMem;
+    Expected<ProfileData> P =
+        tryProfileRun(Base, Mem, Program.InitRegs, &BaseStats,
+                      Opts.Simulate ? &BaseTrace : nullptr,
+                      Opts.InterpMaxSteps);
+    if (!P) {
+      Diagnostic D = P.takeDiagnostic();
+      if (Opts.Diags)
+        Opts.Diags->report(D);
+      return Status::failure(std::move(D));
+    }
+    BaseProfile = P.takeValue();
+    HaveBaselineProfile = true;
+    if (Stats) {
+      Stats->addCount(Prefix + "dyn_ops_baseline",
+                      static_cast<double>(BaseStats.OpsDispatched));
+      Stats->addCount(Prefix + "dyn_branches_baseline",
+                      static_cast<double>(BaseStats.BranchesDispatched));
+    }
+  }
+
+  treated();
+  if (Opts.CheckEquivalence)
+    checkEquivalence(); // falls back (never fatal) when Opts.FailSafe
+
+  // Treated profile, budgeted: an unprofilable treated function degrades
+  // to the baseline (whose profile succeeded above) in fail-safe mode.
+  for (int Attempt = 0; !HaveTreatedProfile; ++Attempt) {
+    const Function &TreatedF = treated();
+    PassTimer T(Stats, Prefix + "profile_treated");
+    Memory Mem = Program.InitMem;
+    Expected<ProfileData> P =
+        tryProfileRun(TreatedF, Mem, Program.InitRegs, &TreatedStats,
+                      Opts.Simulate ? &TreatedTraceData : nullptr,
+                      Opts.InterpMaxSteps);
+    if (!P) {
+      Diagnostic D = P.takeDiagnostic();
+      if (!Opts.FailSafe || FellBack || Attempt > 0) {
+        if (Opts.Diags)
+          Opts.Diags->report(D);
+        return Status::failure(std::move(D));
+      }
+      T.stop();
+      fallbackToBaseline(D.Code, D.Message, "interp.profile");
+      continue;
+    }
+    TreatedProf = P.takeValue();
+    HaveTreatedProfile = true;
+    if (Stats) {
+      Stats->addCount(Prefix + "dyn_ops_treated",
+                      static_cast<double>(TreatedStats.OpsDispatched));
+      Stats->addCount(Prefix + "dyn_branches_treated",
+                      static_cast<double>(TreatedStats.BranchesDispatched));
+    }
+  }
+  return Status::success();
 }
 
 MachineComparison PipelineRun::estimateMachine(const MachineDesc &MD) const {
@@ -258,6 +406,7 @@ SimComparison PipelineRun::simulate(const MachineDesc &MD,
 }
 
 PipelineResult PipelineRun::finish(ThreadPool *Pool) {
+  requireLive("finish");
   prepare();
 
   PipelineResult Res;
@@ -290,5 +439,9 @@ PipelineResult PipelineRun::finish(ThreadPool *Pool) {
   }
 
   Res.Treated = std::move(Treated);
+  // Poison the session: Treated is gone, so any further stage access
+  // would be a use-after-move. requireLive turns that into a loud error.
+  Finished = true;
+  HaveTreated = false;
   return Res;
 }

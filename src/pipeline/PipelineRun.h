@@ -103,6 +103,20 @@ public:
   /// Forces every serial stage above (honoring Opts.CheckEquivalence).
   void prepare();
 
+  /// Fail-safe form of prepare() (docs/ROBUSTNESS.md): profiling runs are
+  /// budgeted (Opts.InterpMaxSteps) and non-halting runs come back as a
+  /// diagnostic instead of aborting. A failed *baseline* profile makes
+  /// the whole session unusable and is returned; everything downstream
+  /// degrades -- failing CPR regions roll back, an equivalence mismatch
+  /// or unprofilable treated function falls back to the baseline -- and
+  /// still returns success. Most useful with Opts.FailSafe; in strict
+  /// mode only the profiling runs gain the non-fatal treatment.
+  Status tryPrepare();
+
+  /// Whether a fail-safe stage fell the session back to the untreated
+  /// baseline (the treated function is a baseline clone).
+  bool fellBack() const { return FellBack; }
+
   /// --- Concurrent stages (const; require prepare()) -------------------
   /// Static-schedule cycle comparison on \p MD.
   MachineComparison estimateMachine(const MachineDesc &MD) const;
@@ -113,11 +127,21 @@ public:
   /// Runs the whole cross-product (machines, and machine x predictor
   /// when Opts.Simulate) -- on \p Pool when given, inline otherwise --
   /// and assembles the legacy PipelineResult. The treated function is
-  /// moved into the result; the session must not be used afterwards.
+  /// moved into the result; the session is then *poisoned* -- any further
+  /// stage access (or a second finish()) is a fatal error rather than a
+  /// silent use-after-move.
   PipelineResult finish(ThreadPool *Pool = nullptr);
 
 private:
   void recordTransformStats();
+  /// Fatal if finish() already ran (the poison check).
+  void requireLive(const char *Stage) const;
+  /// Degrades the session to the untreated baseline: reports \p Msg (and
+  /// a recovery remark) to Opts.Diags, replaces the treated function with
+  /// a baseline clone, zeroes the CPR counters, and invalidates the
+  /// treated-side artifacts.
+  void fallbackToBaseline(DiagCode Code, std::string Msg,
+                          const char *Site);
 
   KernelProgram Program;
   PipelineOptions Opts;
@@ -126,6 +150,8 @@ private:
   std::string Name;
 
   bool Prepared = false;
+  bool Finished = false;
+  bool FellBack = false;
   bool HaveBaselineProfile = false;
   bool BaselineProfileInjected = false;
   bool HaveTreated = false;

@@ -1,0 +1,93 @@
+//===- support/Budget.h - Unified stage budgets -----------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One budget vocabulary for every bounded stage: the interpreter's step
+/// cap, the transform stage's wall-clock cap, and the reducer's oracle-run
+/// cap all express their limits as a Budget and check them through a
+/// BudgetTracker. Exhaustion is an ordinary recoverable diagnostic
+/// (DiagCode::BudgetExhausted, docs/ROBUSTNESS.md): the stage stops,
+/// reports, and the session falls back to the baseline-preserving path.
+///
+/// Thread-safety: Budget is a plain value. A BudgetTracker instance is
+/// meant for one stage on one thread (steps are not atomic); share
+/// budgets, not trackers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_BUDGET_H
+#define SUPPORT_BUDGET_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace cpr {
+
+/// Declarative limit for one stage. Zero means unlimited for either
+/// dimension; "steps" are whatever discrete unit the stage consumes
+/// (interpreter steps, oracle runs, regions).
+struct Budget {
+  uint64_t MaxSteps = 0;
+  double MaxWallMs = 0.0;
+
+  bool unlimited() const { return MaxSteps == 0 && MaxWallMs == 0.0; }
+};
+
+/// Consumes a Budget: count steps with step()/consume(), poll
+/// exhausted(). The wall clock starts at construction.
+class BudgetTracker {
+public:
+  explicit BudgetTracker(Budget Limit = Budget())
+      : Limit(Limit), Start(std::chrono::steady_clock::now()) {}
+
+  /// Consumes \p N steps if the budget is not already exhausted. Returns
+  /// true when the steps were granted: a budget of MaxSteps=K grants
+  /// exactly K unit steps.
+  bool consume(uint64_t N = 1) {
+    if (exhausted())
+      return false;
+    Steps += N;
+    return true;
+  }
+
+  uint64_t steps() const { return Steps; }
+
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  }
+
+  bool stepsExhausted() const {
+    return Limit.MaxSteps != 0 && Steps >= Limit.MaxSteps;
+  }
+  bool wallExhausted() const {
+    return Limit.MaxWallMs != 0.0 && elapsedMs() >= Limit.MaxWallMs;
+  }
+  bool exhausted() const { return stepsExhausted() || wallExhausted(); }
+
+  const Budget &limit() const { return Limit; }
+
+  /// "step budget (N) exhausted" / "wall-clock budget (X ms) exhausted",
+  /// for BudgetExhausted diagnostics.
+  std::string describeExhaustion() const {
+    if (stepsExhausted())
+      return "step budget (" + std::to_string(Limit.MaxSteps) +
+             ") exhausted";
+    return "wall-clock budget (" + std::to_string(Limit.MaxWallMs) +
+           " ms) exhausted";
+  }
+
+private:
+  Budget Limit;
+  uint64_t Steps = 0;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace cpr
+
+#endif // SUPPORT_BUDGET_H

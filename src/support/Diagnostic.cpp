@@ -1,0 +1,126 @@
+//===- support/Diagnostic.cpp - Recoverable diagnostics --------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+
+#include "support/Statistics.h"
+
+using namespace cpr;
+
+const char *cpr::diagSeverityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Remark:
+    return "remark";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  case DiagSeverity::Fatal:
+    return "fatal";
+  }
+  return "unknown";
+}
+
+const char *cpr::diagCodeName(DiagCode C) {
+  switch (C) {
+  case DiagCode::None:
+    return "none";
+  case DiagCode::ParseError:
+    return "parse-error";
+  case DiagCode::VerifyFailed:
+    return "verify-failed";
+  case DiagCode::OracleMismatch:
+    return "oracle-mismatch";
+  case DiagCode::BudgetExhausted:
+    return "budget-exhausted";
+  case DiagCode::TransformFault:
+    return "transform-fault";
+  case DiagCode::RegionRolledBack:
+    return "region-rolled-back";
+  case DiagCode::RunFailed:
+    return "run-failed";
+  case DiagCode::UsageError:
+    return "usage-error";
+  case DiagCode::IOError:
+    return "io-error";
+  case DiagCode::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out = diagSeverityName(Severity);
+  if (!Site.empty() || Line != 0) {
+    Out += " [";
+    Out += Site;
+    if (Line != 0) {
+      if (!Site.empty())
+        Out += ":";
+      Out += std::to_string(Line);
+    }
+    Out += "]";
+  }
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+Status Status::error(DiagCode Code, std::string Message, std::string Site) {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Error;
+  D.Code = Code;
+  D.Message = std::move(Message);
+  D.Site = std::move(Site);
+  return failure(std::move(D));
+}
+
+void DiagnosticEngine::report(Diagnostic D) {
+  DiagSeverity Severity = D.Severity;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Counts[static_cast<unsigned>(Severity)];
+    if (Kept.size() == MaxKept)
+      Kept.erase(Kept.begin());
+    Kept.push_back(std::move(D));
+  }
+  // StatsRegistry is itself thread-safe; report outside our lock to keep
+  // the lock order trivial.
+  if (Stats)
+    Stats->addCount(Prefix + "diag/" + diagSeverityName(Severity));
+}
+
+void DiagnosticEngine::report(DiagSeverity Severity, DiagCode Code,
+                              std::string Message, std::string Site) {
+  Diagnostic D;
+  D.Severity = Severity;
+  D.Code = Code;
+  D.Message = std::move(Message);
+  D.Site = std::move(Site);
+  report(std::move(D));
+}
+
+bool DiagnosticEngine::report(Status S) {
+  if (S.ok())
+    return true;
+  report(S.takeDiagnostic());
+  return false;
+}
+
+unsigned DiagnosticEngine::count(DiagSeverity S) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counts[static_cast<unsigned>(S)];
+}
+
+unsigned DiagnosticEngine::totalCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counts[0] + Counts[1] + Counts[2] + Counts[3];
+}
+
+std::vector<Diagnostic> DiagnosticEngine::diagnostics() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Kept;
+}

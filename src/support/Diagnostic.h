@@ -1,0 +1,206 @@
+//===- support/Diagnostic.h - Recoverable diagnostics -----------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recoverable-diagnostic layer of the fail-safe compilation model
+/// (docs/ROBUSTNESS.md). Historically every internal failure went through
+/// reportFatalError and killed the process; production callers instead
+/// want *degradation*: leave the failing region or stage untreated, emit a
+/// diagnostic, and keep going. This header provides the vocabulary:
+///
+///  - Diagnostic      one emitted message (severity, code, site, text);
+///  - Status          success-or-Diagnostic, for stage entry points;
+///  - Expected<T>     value-or-Diagnostic, for producing stages;
+///  - DiagnosticEngine thread-safe sink with severity counters that can
+///                    mirror into a StatsRegistry (keys "diag/<severity>",
+///                    part of the cpr-stats-v1.1 schema) and echo remarks
+///                    to a stream;
+///  - exit codes      the tools' distinct nonzero exit codes.
+///
+/// reportFatalError (support/Error.h) remains as the thin shim for
+/// genuinely-unreachable states; anything reachable from user input or a
+/// failing transformation should flow through these types instead.
+///
+/// Thread-safety: Diagnostic/Status/Expected are plain values.
+/// DiagnosticEngine is internally mutex-guarded; concurrent stages may
+/// report into one shared engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_DIAGNOSTIC_H
+#define SUPPORT_DIAGNOSTIC_H
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cpr {
+
+class StatsRegistry;
+
+/// Severity of one diagnostic. Remarks narrate recovery (e.g. a region
+/// rollback); errors mean a stage failed but the session degraded
+/// gracefully; Fatal is reserved for the reportFatalError shim's records.
+enum class DiagSeverity { Remark, Warning, Error, Fatal };
+
+/// Name of \p S for messages and counter keys ("remark", "error", ...).
+const char *diagSeverityName(DiagSeverity S);
+
+/// Machine-checkable classification of what went wrong.
+enum class DiagCode {
+  None,            ///< unset (success Status)
+  ParseError,      ///< textual IR / profile / corpus input rejected
+  VerifyFailed,    ///< IR verifier violations
+  OracleMismatch,  ///< equivalence oracle found diverging behavior
+  BudgetExhausted, ///< a stage ran out of its step/time budget
+  TransformFault,  ///< a transformation phase failed internally
+  RegionRolledBack,///< a region transaction was rolled back (remark)
+  RunFailed,       ///< an interpreter run did not halt cleanly
+  UsageError,      ///< bad tool invocation / options
+  IOError,         ///< file could not be read or written
+  Internal,        ///< invariant violation caught on a recoverable path
+};
+
+/// Name of \p C for messages ("parse-error", "budget-exhausted", ...).
+const char *diagCodeName(DiagCode C);
+
+/// One emitted diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  DiagCode Code = DiagCode::None;
+  /// Human-readable message (no trailing newline).
+  std::string Message;
+  /// Where it happened: a fault-site-style dotted path
+  /// ("cpr.offtrace.move"), a stage name, or a file path.
+  std::string Site;
+  /// 1-based source line for parse errors; 0 when not applicable.
+  unsigned Line = 0;
+
+  /// "error [cpr.offtrace.move]: <message>" (site/line omitted if unset).
+  std::string str() const;
+};
+
+/// Success-or-diagnostic result of a stage entry point. Contextually
+/// converts to bool (true = success), like llvm::Error inverted.
+class [[nodiscard]] Status {
+public:
+  /// Success.
+  Status() = default;
+  static Status success() { return Status(); }
+
+  /// Failure carrying \p D.
+  static Status failure(Diagnostic D) {
+    Status S;
+    S.Diag = std::move(D);
+    return S;
+  }
+  /// Shorthand for an error-severity failure.
+  static Status error(DiagCode Code, std::string Message,
+                      std::string Site = "");
+
+  explicit operator bool() const { return !Diag.has_value(); }
+  bool ok() const { return !Diag.has_value(); }
+
+  /// The diagnostic; only valid when !ok().
+  const Diagnostic &diagnostic() const { return *Diag; }
+  Diagnostic takeDiagnostic() { return std::move(*Diag); }
+
+private:
+  std::optional<Diagnostic> Diag;
+};
+
+/// Value-or-diagnostic result of a producing stage.
+template <typename T> class [[nodiscard]] Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Diagnostic D) : Diag(std::move(D)) {}
+  /// From a failed Status (asserting it is indeed failed is the caller's
+  /// job; a success Status produces an Internal diagnostic).
+  Expected(Status S) {
+    if (S.ok())
+      Diag = Diagnostic{DiagSeverity::Error, DiagCode::Internal,
+                        "Expected constructed from a success Status", "", 0};
+    else
+      Diag = S.takeDiagnostic();
+  }
+
+  explicit operator bool() const { return Value.has_value(); }
+  bool ok() const { return Value.has_value(); }
+
+  T &operator*() { return *Value; }
+  const T &operator*() const { return *Value; }
+  T *operator->() { return &*Value; }
+  const T *operator->() const { return &*Value; }
+  T takeValue() { return std::move(*Value); }
+
+  /// The diagnostic; only valid when !ok().
+  const Diagnostic &diagnostic() const { return *Diag; }
+  Diagnostic takeDiagnostic() { return std::move(*Diag); }
+  /// This failure as a Status (only valid when !ok()).
+  Status status() const { return Status::failure(*Diag); }
+
+private:
+  std::optional<T> Value;
+  std::optional<Diagnostic> Diag;
+};
+
+/// Thread-safe diagnostic sink. Keeps every reported diagnostic (bounded
+/// by MaxKept, oldest dropped first), maintains per-severity counters,
+/// and optionally mirrors the counters into a StatsRegistry under
+/// "<prefix>diag/<severity>" keys -- the cpr.diag.* counters of the
+/// cpr-stats-v1.1 schema.
+class DiagnosticEngine {
+public:
+  explicit DiagnosticEngine(StatsRegistry *Stats = nullptr,
+                            std::string StatsPrefix = "")
+      : Stats(Stats), Prefix(std::move(StatsPrefix)) {}
+
+  /// Records \p D. Safe from any thread.
+  void report(Diagnostic D);
+  /// Convenience: build and record.
+  void report(DiagSeverity Severity, DiagCode Code, std::string Message,
+              std::string Site = "");
+  /// Records the diagnostic of a failed \p S; no-op on success. Returns
+  /// S.ok() so callers can gate on it.
+  bool report(Status S);
+
+  /// Number of diagnostics of \p S reported so far.
+  unsigned count(DiagSeverity S) const;
+  unsigned errorCount() const { return count(DiagSeverity::Error); }
+  /// Total across severities.
+  unsigned totalCount() const;
+  bool empty() const { return totalCount() == 0; }
+
+  /// Snapshot of the kept diagnostics, oldest first.
+  std::vector<Diagnostic> diagnostics() const;
+
+  /// Upper bound on kept diagnostics (counters are unaffected).
+  static constexpr size_t MaxKept = 256;
+
+private:
+  mutable std::mutex Mu;
+  StatsRegistry *Stats;
+  std::string Prefix;
+  std::vector<Diagnostic> Kept;
+  unsigned Counts[4] = {0, 0, 0, 0};
+};
+
+/// Distinct process exit codes shared by cprc and cpr-fuzz. Anything a
+/// script needs to tell apart gets its own code; 1 remains the generic
+/// "work found a failure" code (fuzz findings, equivalence mismatches).
+namespace exit_codes {
+inline constexpr int Success = 0;
+inline constexpr int Failure = 1;     ///< generic failure (findings, I/O)
+inline constexpr int UsageError = 2;  ///< bad command line
+inline constexpr int ParseError = 3;  ///< malformed textual IR / input
+inline constexpr int VerifyError = 4; ///< input IR failed verification
+} // namespace exit_codes
+
+} // namespace cpr
+
+#endif // SUPPORT_DIAGNOSTIC_H

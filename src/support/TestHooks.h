@@ -11,6 +11,12 @@
 /// flags it and the reducer shrinks it. Production code paths never set
 /// these; they are not exposed through cprc.
 ///
+/// This bool is the legacy form of the generalized fault-site registry in
+/// support/FaultInjector.h (site "cpr.restructure.compensation" plants
+/// the same defect with deterministic nth-hit selection). It is kept
+/// because the fuzzer's self-test wants the defect in *every* CPR block
+/// of a campaign, not at one armed hit.
+///
 /// Thread-safety: plain globals read on hot paths without locking. Set a
 /// hook only while no worker threads are running (before a ThreadPool is
 /// constructed); creation of the pool's threads publishes the value.

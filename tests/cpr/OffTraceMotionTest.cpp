@@ -13,6 +13,7 @@
 #include "interp/Profiler.h"
 #include "ir/IRParser.h"
 #include "ir/Verifier.h"
+#include "support/Error.h"
 
 #include <gtest/gtest.h>
 
@@ -60,8 +61,14 @@ Prepared prepare() {
     Info.CmppIds.push_back(A.ops()[static_cast<size_t>(C)].getId());
   }
   Info.Transformable = true;
-  P.Plan = restructureCPRBlock(*P.F, A, Info);
-  P.Stats = moveOffTrace(*P.F, P.Plan);
+  Expected<RestructurePlan> Plan = restructureCPRBlock(*P.F, A, Info);
+  if (!Plan)
+    reportFatalError(Plan.diagnostic().str());
+  P.Plan = Plan.takeValue();
+  Expected<MotionStats> Stats = moveOffTrace(*P.F, P.Plan);
+  if (!Stats)
+    reportFatalError(Stats.diagnostic().str());
+  P.Stats = Stats.takeValue();
   verifyOrDie(*P.F, "after motion");
   return P;
 }

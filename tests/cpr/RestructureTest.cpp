@@ -59,7 +59,9 @@ TEST(RestructureTest, FallThroughVariationStructure) {
   std::unique_ptr<Function> F = parseFunctionOrDie(TwoBranchSrc);
   Block &A = F->block(0);
   CPRBlockInfo Info = makeInfo(*F, /*Taken=*/false);
-  RestructurePlan Plan = restructureCPRBlock(*F, A, Info);
+  Expected<RestructurePlan> PlanOr = restructureCPRBlock(*F, A, Info);
+  ASSERT_TRUE(PlanOr.ok()) << PlanOr.diagnostic().str();
+  RestructurePlan Plan = PlanOr.takeValue();
   verifyOrDie(*F, "after restructure");
 
   // Two lookaheads inserted, one per original compare.
@@ -114,7 +116,9 @@ TEST(RestructureTest, TakenVariationStructure) {
   Block &A = F->block(0);
   CPRBlockInfo Info = makeInfo(*F, /*Taken=*/true);
   OpId FinalBranch = Info.BranchIds.back();
-  RestructurePlan Plan = restructureCPRBlock(*F, A, Info);
+  Expected<RestructurePlan> PlanOr = restructureCPRBlock(*F, A, Info);
+  ASSERT_TRUE(PlanOr.ok()) << PlanOr.diagnostic().str();
+  RestructurePlan Plan = PlanOr.takeValue();
   verifyOrDie(*F, "after restructure (taken)");
 
   // The final original branch is the bypass; its predicate was replaced
@@ -144,7 +148,9 @@ TEST(RestructureTest, OnTraceFrpInitializedFromRoot) {
   std::unique_ptr<Function> F = parseFunctionOrDie(TwoBranchSrc);
   Block &A = F->block(0);
   CPRBlockInfo Info = makeInfo(*F, false);
-  RestructurePlan Plan = restructureCPRBlock(*F, A, Info);
+  Expected<RestructurePlan> PlanOr = restructureCPRBlock(*F, A, Info);
+  ASSERT_TRUE(PlanOr.ok()) << PlanOr.diagnostic().str();
+  RestructurePlan Plan = PlanOr.takeValue();
 
   // Find the initializing movs: off-trace = 0, on-trace = root (imm 1
   // when the root is the true predicate).
@@ -177,8 +183,10 @@ TEST(RestructureTest, FullTransformOnThisShapeIsEquivalent) {
     std::unique_ptr<Function> Base = F->clone();
     Block &A = F->block(0);
     CPRBlockInfo Info = makeInfo(*F, Taken);
-    RestructurePlan Plan = restructureCPRBlock(*F, A, Info);
-    moveOffTrace(*F, Plan);
+    Expected<RestructurePlan> Plan = restructureCPRBlock(*F, A, Info);
+    ASSERT_TRUE(Plan.ok()) << Plan.diagnostic().str();
+    Expected<MotionStats> MS = moveOffTrace(*F, *Plan);
+    ASSERT_TRUE(MS.ok()) << MS.diagnostic().str();
     verifyOrDie(*F, "after motion");
 
     for (int64_t V1 : {0, 7})

@@ -95,7 +95,7 @@ TEST(ReducerTest, OracleBudgetIsRespected) {
   size_t Seed = 0;
   KernelProgram P = findFailingProgram(Runner, Seed);
   ReducerOptions Opts;
-  Opts.MaxOracleRuns = 5;
+  Opts.OracleBudget.MaxSteps = 5;
   ReduceResult R = reduceCase(P, Runner, 0, 0, Opts);
   EXPECT_LE(R.OracleRuns, 5u + 1u); // +1 for the signature-seeding run
 }

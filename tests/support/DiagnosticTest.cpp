@@ -1,0 +1,149 @@
+//===- tests/support/DiagnosticTest.cpp - Recoverable diagnostics ---------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+
+#include "support/Statistics.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+TEST(DiagnosticTest, Formatting) {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Error;
+  D.Code = DiagCode::TransformFault;
+  D.Message = "something broke";
+  EXPECT_EQ(D.str(), "error: something broke");
+
+  D.Site = "cpr.offtrace.move";
+  EXPECT_EQ(D.str(), "error [cpr.offtrace.move]: something broke");
+
+  D.Site.clear();
+  D.Line = 7;
+  D.Severity = DiagSeverity::Remark;
+  EXPECT_EQ(D.str(), "remark [7]: something broke");
+
+  D.Site = "input.cpr";
+  EXPECT_EQ(D.str(), "remark [input.cpr:7]: something broke");
+}
+
+TEST(DiagnosticTest, SeverityAndCodeNames) {
+  EXPECT_STREQ(diagSeverityName(DiagSeverity::Remark), "remark");
+  EXPECT_STREQ(diagSeverityName(DiagSeverity::Warning), "warning");
+  EXPECT_STREQ(diagSeverityName(DiagSeverity::Error), "error");
+  EXPECT_STREQ(diagSeverityName(DiagSeverity::Fatal), "fatal");
+  EXPECT_STREQ(diagCodeName(DiagCode::ParseError), "parse-error");
+  EXPECT_STREQ(diagCodeName(DiagCode::BudgetExhausted), "budget-exhausted");
+  EXPECT_STREQ(diagCodeName(DiagCode::RegionRolledBack),
+               "region-rolled-back");
+}
+
+TEST(DiagnosticTest, StatusSuccessAndFailure) {
+  Status Ok;
+  EXPECT_TRUE(Ok.ok());
+  EXPECT_TRUE(static_cast<bool>(Ok));
+
+  Status Bad = Status::error(DiagCode::VerifyFailed, "bad IR", "ir.verify");
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_FALSE(static_cast<bool>(Bad));
+  EXPECT_EQ(Bad.diagnostic().Code, DiagCode::VerifyFailed);
+  EXPECT_EQ(Bad.diagnostic().Severity, DiagSeverity::Error);
+  EXPECT_EQ(Bad.diagnostic().Message, "bad IR");
+  EXPECT_EQ(Bad.diagnostic().Site, "ir.verify");
+
+  Diagnostic Taken = Bad.takeDiagnostic();
+  EXPECT_EQ(Taken.Message, "bad IR");
+}
+
+TEST(DiagnosticTest, ExpectedValueAndError) {
+  Expected<int> V(42);
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(*V, 42);
+  EXPECT_EQ(V.takeValue(), 42);
+
+  Expected<int> E(Status::error(DiagCode::RunFailed, "did not halt"));
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.diagnostic().Code, DiagCode::RunFailed);
+  Status S = E.status();
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.diagnostic().Message, "did not halt");
+}
+
+TEST(DiagnosticTest, EngineCountsAndKeeps) {
+  DiagnosticEngine Eng;
+  EXPECT_TRUE(Eng.empty());
+  Eng.report(DiagSeverity::Error, DiagCode::TransformFault, "e1");
+  Eng.report(DiagSeverity::Remark, DiagCode::RegionRolledBack, "r1");
+  Eng.report(DiagSeverity::Error, DiagCode::OracleMismatch, "e2", "site");
+  EXPECT_EQ(Eng.errorCount(), 2u);
+  EXPECT_EQ(Eng.count(DiagSeverity::Remark), 1u);
+  EXPECT_EQ(Eng.totalCount(), 3u);
+
+  std::vector<Diagnostic> Kept = Eng.diagnostics();
+  ASSERT_EQ(Kept.size(), 3u);
+  EXPECT_EQ(Kept[0].Message, "e1"); // oldest first
+  EXPECT_EQ(Kept[2].Site, "site");
+}
+
+TEST(DiagnosticTest, EngineReportStatus) {
+  DiagnosticEngine Eng;
+  EXPECT_TRUE(Eng.report(Status()));
+  EXPECT_EQ(Eng.totalCount(), 0u);
+  EXPECT_FALSE(Eng.report(Status::error(DiagCode::IOError, "io")));
+  EXPECT_EQ(Eng.errorCount(), 1u);
+}
+
+TEST(DiagnosticTest, EngineBoundsKeptDiagnostics) {
+  DiagnosticEngine Eng;
+  for (unsigned I = 0; I < DiagnosticEngine::MaxKept + 10; ++I)
+    Eng.report(DiagSeverity::Warning, DiagCode::Internal,
+               "w" + std::to_string(I));
+  // Counters keep counting; the kept list is bounded, oldest dropped.
+  EXPECT_EQ(Eng.count(DiagSeverity::Warning), DiagnosticEngine::MaxKept + 10);
+  std::vector<Diagnostic> Kept = Eng.diagnostics();
+  ASSERT_EQ(Kept.size(), DiagnosticEngine::MaxKept);
+  EXPECT_EQ(Kept.front().Message, "w10");
+}
+
+TEST(DiagnosticTest, EngineMirrorsIntoStats) {
+  StatsRegistry Stats;
+  DiagnosticEngine Eng(&Stats, "f/");
+  Eng.report(DiagSeverity::Error, DiagCode::TransformFault, "e");
+  Eng.report(DiagSeverity::Error, DiagCode::TransformFault, "e");
+  Eng.report(DiagSeverity::Remark, DiagCode::RegionRolledBack, "r");
+  EXPECT_EQ(Stats.count("f/diag/error"), 2.0);
+  EXPECT_EQ(Stats.count("f/diag/remark"), 1.0);
+  EXPECT_EQ(Stats.count("f/diag/warning"), 0.0);
+}
+
+TEST(DiagnosticTest, EngineIsThreadSafe) {
+  StatsRegistry Stats;
+  DiagnosticEngine Eng(&Stats, "");
+  ThreadPool Pool(4);
+  parallelFor(&Pool, 64, [&](size_t I) {
+    Eng.report(I % 2 ? DiagSeverity::Error : DiagSeverity::Remark,
+               DiagCode::Internal, "m" + std::to_string(I));
+  });
+  EXPECT_EQ(Eng.totalCount(), 64u);
+  EXPECT_EQ(Eng.errorCount(), 32u);
+  EXPECT_EQ(Stats.count("diag/error"), 32.0);
+}
+
+TEST(DiagnosticTest, ExitCodesAreDistinct) {
+  // Scripts depend on these exact values; changing one is an interface
+  // break (docs/ROBUSTNESS.md).
+  EXPECT_EQ(exit_codes::Success, 0);
+  EXPECT_EQ(exit_codes::Failure, 1);
+  EXPECT_EQ(exit_codes::UsageError, 2);
+  EXPECT_EQ(exit_codes::ParseError, 3);
+  EXPECT_EQ(exit_codes::VerifyError, 4);
+}
+
+} // namespace

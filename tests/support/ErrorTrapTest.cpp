@@ -1,0 +1,107 @@
+//===- tests/support/ErrorTrapTest.cpp - Fatal-error trap semantics -------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+
+using namespace cpr;
+
+namespace {
+
+TEST(ErrorTrapTest, TrapConvertsFatalToException) {
+  EXPECT_FALSE(ScopedFatalErrorTrap::active());
+  ScopedFatalErrorTrap Trap;
+  EXPECT_TRUE(ScopedFatalErrorTrap::active());
+  try {
+    reportFatalError("boom");
+    FAIL() << "reportFatalError returned";
+  } catch (const FatalError &E) {
+    EXPECT_EQ(E.message(), "boom");
+  }
+}
+
+TEST(ErrorTrapTest, TrapsNest) {
+  ScopedFatalErrorTrap Outer;
+  {
+    ScopedFatalErrorTrap Inner;
+    EXPECT_TRUE(ScopedFatalErrorTrap::active());
+    EXPECT_THROW(reportFatalError("inner"), FatalError);
+  }
+  // The inner trap's destruction must not deactivate the outer one.
+  EXPECT_TRUE(ScopedFatalErrorTrap::active());
+  EXPECT_THROW(reportFatalError("outer"), FatalError);
+}
+
+TEST(ErrorTrapTest, TrapIsThreadLocal) {
+  ScopedFatalErrorTrap Trap;
+  // A trap on this thread does not leak into pool workers.
+  ThreadPool Pool(2);
+  std::future<bool> ActiveOnWorker =
+      Pool.submit([] { return ScopedFatalErrorTrap::active(); });
+  EXPECT_FALSE(ActiveOnWorker.get());
+}
+
+TEST(ErrorTrapTest, WorkerTrapContainsItsOwnFailure) {
+  // Each worker installs its own trap; a fatal error inside one task is
+  // contained there and classified, without perturbing other tasks.
+  ThreadPool Pool(4);
+  std::atomic<unsigned> Caught{0}, Clean{0};
+  parallelFor(&Pool, 16, [&](size_t I) {
+    ScopedFatalErrorTrap Trap;
+    try {
+      if (I % 4 == 0)
+        reportFatalError("task " + std::to_string(I));
+      ++Clean;
+    } catch (const FatalError &) {
+      ++Caught;
+    }
+  });
+  EXPECT_EQ(Caught.load(), 4u);
+  EXPECT_EQ(Clean.load(), 12u);
+}
+
+TEST(ErrorTrapTest, UncaughtWorkerFatalPropagatesThroughFuture) {
+  // When the task does not catch, the FatalError travels through the
+  // std::future like any exception -- the documented escape hatch.
+  ThreadPool Pool(2);
+  std::future<void> Fut = Pool.submit([] {
+    ScopedFatalErrorTrap Trap;
+    reportFatalError("escapes the task");
+  });
+  try {
+    Fut.get();
+    FAIL() << "future.get() did not throw";
+  } catch (const FatalError &E) {
+    EXPECT_EQ(E.message(), "escapes the task");
+  }
+}
+
+TEST(ErrorTrapTest, ParallelForRethrowsLowestIndexFatal) {
+  ThreadPool Pool(4);
+  try {
+    parallelFor(&Pool, 8, [&](size_t I) {
+      ScopedFatalErrorTrap Trap;
+      if (I >= 3)
+        reportFatalError("index " + std::to_string(I));
+    });
+    FAIL() << "parallelFor did not rethrow";
+  } catch (const FatalError &E) {
+    EXPECT_EQ(E.message(), "index 3");
+  }
+}
+
+TEST(ErrorTrapTest, UnreachableIsTrappedToo) {
+  ScopedFatalErrorTrap Trap;
+  EXPECT_THROW(CPR_UNREACHABLE("canary"), FatalError);
+}
+
+} // namespace

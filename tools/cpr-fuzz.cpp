@@ -10,14 +10,22 @@
 //   cpr-fuzz --seed=1 --runs=200 --threads=4        # campaign
 //   cpr-fuzz --corpus=dir --runs=100 --reduce --out=dir
 //   cpr-fuzz repro.ir [repro2.ir ...]               # replay mode
+//   cpr-fuzz --fault-campaign                       # fault injection
 //
 // Campaigns are deterministic for a fixed --seed at any --threads
-// setting; see docs/FUZZING.md for the triage workflow.
+// setting; see docs/FUZZING.md for the triage workflow and
+// docs/ROBUSTNESS.md for the fault-injection campaign.
+//
+// Exit codes (support/Diagnostic.h): 0 clean, 1 findings/contract
+// violations, 2 usage error, 3 unloadable replay input.
 //
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Corpus.h"
+#include "fuzz/FaultCampaign.h"
 #include "fuzz/Fuzzer.h"
+#include "support/Diagnostic.h"
+#include "support/FaultInjector.h"
 #include "support/OptionParser.h"
 #include "support/Statistics.h"
 #include "support/TestHooks.h"
@@ -32,6 +40,9 @@ namespace {
 
 struct Config {
   FuzzCampaignOptions Campaign;
+  FaultCampaignOptions Fault;
+  bool FaultCampaign = false;
+  std::string FaultSites;
   std::string StatsJSON;
   bool ExpectFailures = false;
   bool Quiet = false;
@@ -81,6 +92,21 @@ OptionTable buildOptions(Config &C) {
   T.addDouble("--synthetic-frac", "<f>",
               "generator: fraction of SPEC-shaped synthetic programs",
               C.Campaign.Generator.SyntheticFrac);
+  T.addFlag("--fault-campaign",
+            "run the fault-injection campaign: arm each registered fault "
+            "site and assert rollback + equivalent output (serial)",
+            C.FaultCampaign);
+  T.addString("--fault-sites", "<s1,s2,...>",
+              "fault campaign: comma-separated site names "
+              "(default: every registered site)",
+              C.FaultSites);
+  T.addUnsigned("--fault-cases", "<n>",
+                "fault campaign: generated programs per site (default 3)",
+                C.Fault.CasesPerSite);
+  T.addUnsigned("--fault-nth", "<n>",
+                "fault campaign: arm each site for its 1st..nth hit "
+                "(default 2)",
+                C.Fault.NthHits);
   T.addFlag("--inject-defect",
             "plant the hidden compensation-skip miscompile (oracle "
             "self-test)",
@@ -97,15 +123,17 @@ OptionTable buildOptions(Config &C) {
 }
 
 /// Replays saved reproducers through the full differential grid.
-/// Returns the number of files that failed (any non-pass cell).
-int replayFiles(const std::vector<std::string> &Files, const Config &C) {
+/// Counts files whose grid had any non-pass cell (Failing) separately
+/// from files that could not even be loaded (Unloadable) so main() can
+/// exit with the distinct parse-error code for the latter.
+void replayFiles(const std::vector<std::string> &Files, const Config &C,
+                 int &Failing, int &Unloadable) {
   DifferentialRunner Runner(C.Campaign.Variants, C.Campaign.Machines);
-  int Failing = 0;
   for (const std::string &Path : Files) {
     FuzzParseResult PR = loadFuzzProgramFile(Path);
     if (!PR) {
-      std::fprintf(stderr, "cpr-fuzz: %s\n", PR.Error.c_str());
-      ++Failing;
+      std::fprintf(stderr, "cpr-fuzz: error: %s\n", PR.Error.c_str());
+      ++Unloadable;
       continue;
     }
     CaseResult Case = Runner.runCase(PR.Program);
@@ -121,7 +149,31 @@ int replayFiles(const std::vector<std::string> &Files, const Config &C) {
     std::printf("%s: %s: %s\n", Path.c_str(),
                 fuzzOutcomeName(Case.Worst), Worst.Detail.c_str());
   }
-  return Failing;
+}
+
+/// Splits a comma-separated --fault-sites list, validating each name
+/// against the registry. Returns false (with a message) on unknown sites.
+bool parseFaultSites(const std::string &List,
+                     std::vector<std::string> &Sites, std::string &Error) {
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = List.size();
+    std::string Name = List.substr(Pos, Comma - Pos);
+    if (!Name.empty()) {
+      if (!fault::isKnownSite(Name)) {
+        Error = "unknown fault site '" + Name + "' (known:";
+        for (const std::string &S : fault::sites())
+          Error += " " + S;
+        Error += ")";
+        return false;
+      }
+      Sites.push_back(Name);
+    }
+    Pos = Comma + 1;
+  }
+  return true;
 }
 
 } // namespace
@@ -131,34 +183,77 @@ int main(int argc, char **argv) {
   OptionTable Options = buildOptions(C);
   const std::string Usage =
       "usage: cpr-fuzz [options]              run a fuzzing campaign\n"
-      "       cpr-fuzz [options] <repro.ir>...  replay saved reproducers";
+      "       cpr-fuzz [options] <repro.ir>...  replay saved reproducers\n"
+      "       cpr-fuzz --fault-campaign [options]  fault-injection "
+      "campaign";
 
   std::string ParseError;
   std::vector<std::string> Positional;
   if (!Options.parse(argc, argv, ParseError, &Positional)) {
     std::fprintf(stderr, "cpr-fuzz: %s\n%s", ParseError.c_str(),
                  Options.help(Usage).c_str());
-    return 2;
+    return exit_codes::UsageError;
   }
   if (C.Help) {
     std::printf("%s", Options.help(Usage).c_str());
-    return 0;
+    return exit_codes::Success;
+  }
+  if (C.FaultCampaign && !Positional.empty()) {
+    std::fprintf(stderr,
+                 "cpr-fuzz: --fault-campaign takes no reproducer files\n");
+    return exit_codes::UsageError;
   }
 
   // Replay mode: positional reproducer files, no campaign.
   if (!Positional.empty()) {
     test_hooks::ScopedSkipCompensation Inject(C.Campaign.InjectDefect);
-    int Failing = replayFiles(Positional, C);
+    int Failing = 0, Unloadable = 0;
+    replayFiles(Positional, C, Failing, Unloadable);
     if (C.ExpectFailures)
-      return Failing > 0 ? 0 : 1;
-    return Failing > 0 ? 1 : 0;
+      return Failing + Unloadable > 0 ? exit_codes::Success
+                                      : exit_codes::Failure;
+    if (Unloadable > 0)
+      return exit_codes::ParseError;
+    return Failing > 0 ? exit_codes::Failure : exit_codes::Success;
   }
 
   StatsRegistry Stats;
-  if (!C.StatsJSON.empty())
+  if (!C.StatsJSON.empty()) {
     C.Campaign.Stats = &Stats;
-  if (!C.Quiet)
+    C.Fault.Stats = &Stats;
+  }
+  if (!C.Quiet) {
     C.Campaign.Log = &std::cerr;
+    C.Fault.Log = &std::cerr;
+  }
+
+  // Fault-injection campaign: arm every site (or the --fault-sites
+  // subset) and assert the fail-safe recovery contract. Serial by design.
+  if (C.FaultCampaign) {
+    if (!C.FaultSites.empty()) {
+      std::string Error;
+      if (!parseFaultSites(C.FaultSites, C.Fault.Sites, Error)) {
+        std::fprintf(stderr, "cpr-fuzz: %s\n", Error.c_str());
+        return exit_codes::UsageError;
+      }
+    }
+    C.Fault.Seed = C.Campaign.Seed;
+    C.Fault.Generator = C.Campaign.Generator;
+    FaultCampaignResult Res = runFaultCampaign(C.Fault);
+    std::printf("fault campaign: %s\n", Res.summary().c_str());
+    for (const std::string &F : Res.Failures)
+      std::printf("violation: %s\n", F.c_str());
+    if (!C.StatsJSON.empty()) {
+      std::string Error;
+      if (!writeStatsJSONFile(Stats, C.StatsJSON, &Error)) {
+        std::fprintf(stderr, "cpr-fuzz: %s\n", Error.c_str());
+        return exit_codes::Failure;
+      }
+    }
+    if (C.ExpectFailures)
+      return Res.clean() ? exit_codes::Failure : exit_codes::Success;
+    return Res.clean() ? exit_codes::Success : exit_codes::Failure;
+  }
 
   FuzzCampaignResult Res = runFuzzCampaign(C.Campaign);
   std::printf("%s\n", Res.summary().c_str());
@@ -171,10 +266,10 @@ int main(int argc, char **argv) {
     std::string Error;
     if (!writeStatsJSONFile(Stats, C.StatsJSON, &Error)) {
       std::fprintf(stderr, "cpr-fuzz: %s\n", Error.c_str());
-      return 1;
+      return exit_codes::Failure;
     }
   }
   if (C.ExpectFailures)
-    return Res.clean() ? 1 : 0;
-  return Res.clean() ? 0 : 1;
+    return Res.clean() ? exit_codes::Failure : exit_codes::Success;
+  return Res.clean() ? exit_codes::Success : exit_codes::Failure;
 }

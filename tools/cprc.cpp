@@ -19,9 +19,18 @@
 // and wall times the session records. cprc is the exemplar caller of the
 // staged API -- see docs/PIPELINE.md.
 //
+// --fail-safe switches the compile from strict (first failure is fatal)
+// to the recoverable model of docs/ROBUSTNESS.md: failing regions roll
+// back, budgets degrade to the baseline, and diagnostics print at exit.
+//
+// Exit codes (support/Diagnostic.h): 0 success, 1 failure (I/O,
+// recovered-but-degraded fail-safe compile), 2 usage error, 3 input IR
+// parse error, 4 input IR verification error.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/ProfileIO.h"
+#include "cpr/ControlCPR.h"
 #include "interp/Profiler.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
@@ -35,6 +44,8 @@
 #include "regions/Simplify.h"
 #include "sched/ListScheduler.h"
 #include "sim/TraceSimulator.h"
+#include "support/Budget.h"
+#include "support/Diagnostic.h"
 #include "support/OptionParser.h"
 #include "support/Statistics.h"
 #include "support/ThreadPool.h"
@@ -59,6 +70,9 @@ struct Config {
   bool Simplify = false, IfConvert = false;
   bool Run = false, Estimate = false, Simulate = false;
   bool CheckEquiv = false;
+  bool FailSafe = false, RegionEquiv = false;
+  unsigned InterpMaxSteps = 0;
+  unsigned TransformSteps = 0, TransformMs = 0;
   bool Help = false;
   int MispredictPenalty = -1;
   std::vector<PredictorKind> Predictors;
@@ -146,6 +160,24 @@ OptionTable buildOptions(Config &C) {
               C.ProfileIn);
   T.addFlag("--check-equivalence",
             "run the baseline/transformed equivalence oracle", C.CheckEquiv);
+  T.addFlag("--fail-safe",
+            "recoverable compile: roll failing regions back instead of "
+            "aborting; diagnostics print at exit",
+            C.FailSafe);
+  T.addFlag("--region-equivalence",
+            "fail-safe: re-check equivalence after each region and roll "
+            "back on mismatch (expensive)",
+            C.RegionEquiv);
+  T.addUnsigned("--interp-max-steps", "<n>",
+                "step budget for profiling/oracle runs (0 = unlimited)",
+                C.InterpMaxSteps);
+  T.addUnsigned("--transform-steps", "<n>",
+                "transform budget: max CPR block transforms "
+                "(0 = unlimited)",
+                C.TransformSteps);
+  T.addUnsigned("--transform-ms", "<n>",
+                "transform budget: wall-clock cap in ms (0 = unlimited)",
+                C.TransformMs);
   T.addFlag("--simulate",
             "trace-driven dynamic estimates for baseline and transformed "
             "code",
@@ -205,22 +237,23 @@ int main(int argc, char **argv) {
   if (!Options.parse(argc, argv, ParseError, &Positional)) {
     std::fprintf(stderr, "cprc: %s\n%s", ParseError.c_str(),
                  Options.help(Usage).c_str());
-    return 2;
+    return exit_codes::UsageError;
   }
   if (C.Help) {
     std::printf("%s", Options.help(Usage).c_str());
-    return 0;
+    return exit_codes::Success;
   }
   if (Positional.size() != 1) {
     std::fprintf(stderr, "%s", Options.help(Usage).c_str());
-    return 2;
+    return exit_codes::UsageError;
   }
   C.InputPath = Positional[0];
 
   std::ifstream In(C.InputPath);
   if (!In) {
-    std::fprintf(stderr, "cannot open '%s'\n", C.InputPath.c_str());
-    return 1;
+    std::fprintf(stderr, "cprc: error: cannot open '%s'\n",
+                 C.InputPath.c_str());
+    return exit_codes::Failure;
   }
   std::stringstream Buf;
   Buf << In.rdbuf();
@@ -229,15 +262,15 @@ int main(int argc, char **argv) {
   if (!PR) {
     std::fprintf(stderr, "%s:%u: error: %s\n", C.InputPath.c_str(), PR.Line,
                  PR.Error.c_str());
-    return 1;
+    return exit_codes::ParseError;
   }
   std::unique_ptr<Function> F = std::move(PR.Func);
   std::vector<std::string> Errors = verifyFunction(*F);
   if (!Errors.empty()) {
     for (const std::string &E : Errors)
-      std::fprintf(stderr, "%s: verifier: %s\n", C.InputPath.c_str(),
+      std::fprintf(stderr, "%s: error: verifier: %s\n", C.InputPath.c_str(),
                    E.c_str());
-    return 1;
+    return exit_codes::VerifyError;
   }
 
   // Optional preparation passes (applied to the shared baseline, as the
@@ -275,18 +308,25 @@ int main(int argc, char **argv) {
   // every machine estimate, and every predictor simulation.
   const bool NeedTrace = C.Simulate || !C.TraceOut.empty();
   StatsRegistry Stats;
+  StatsRegistry *StatsPtr = C.StatsJSON.empty() ? nullptr : &Stats;
+  DiagnosticEngine Diags(StatsPtr, F->getName() + "/");
   PipelineOptions SessionOpts;
   SessionOpts.CPR = C.CPR;
   SessionOpts.Simulate = NeedTrace;
   SessionOpts.MispredictPenalty = C.MispredictPenalty;
   SessionOpts.CheckEquivalence = false; // driven explicitly below
+  SessionOpts.FailSafe = C.FailSafe;
+  SessionOpts.RegionEquivalence = C.RegionEquiv;
+  SessionOpts.InterpMaxSteps = C.InterpMaxSteps;
+  SessionOpts.TransformBudget.MaxSteps = C.TransformSteps;
+  SessionOpts.TransformBudget.MaxWallMs = C.TransformMs;
+  SessionOpts.Diags = &Diags;
 
   KernelProgram Program;
   Program.Func = F->clone();
   Program.InitRegs = C.InitRegs;
   Program.InitMem = C.InitMem;
-  PipelineRun Session(std::move(Program), SessionOpts,
-                      C.StatsJSON.empty() ? nullptr : &Stats,
+  PipelineRun Session(std::move(Program), SessionOpts, StatsPtr,
                       F->getName() + "/");
 
   // A profile is required for the ICBM phase; load one or obtain it from
@@ -298,16 +338,17 @@ int main(int argc, char **argv) {
   if (!C.ProfileIn.empty()) {
     std::ifstream PIn(C.ProfileIn);
     if (!PIn) {
-      std::fprintf(stderr, "cannot open profile '%s'\n", C.ProfileIn.c_str());
-      return 1;
+      std::fprintf(stderr, "cprc: error: cannot open profile '%s'\n",
+                   C.ProfileIn.c_str());
+      return exit_codes::Failure;
     }
     std::stringstream PBuf;
     PBuf << PIn.rdbuf();
     ProfileParseResult PP = parseProfile(PBuf.str());
     if (!PP) {
-      std::fprintf(stderr, "%s: %s\n", C.ProfileIn.c_str(),
+      std::fprintf(stderr, "%s: error: %s\n", C.ProfileIn.c_str(),
                    PP.Error.c_str());
-      return 1;
+      return exit_codes::ParseError;
     }
     LoadedProfile = std::move(PP.Profile);
     HaveLoaded = true;
@@ -326,9 +367,9 @@ int main(int argc, char **argv) {
   if (!C.ProfileOut.empty()) {
     std::ofstream POut(C.ProfileOut);
     if (!POut) {
-      std::fprintf(stderr, "cannot write profile '%s'\n",
+      std::fprintf(stderr, "cprc: error: cannot write profile '%s'\n",
                    C.ProfileOut.c_str());
-      return 1;
+      return exit_codes::Failure;
     }
     POut << serializeProfile(*PhaseProfile, *F);
   }
@@ -343,7 +384,34 @@ int main(int argc, char **argv) {
         if (!F->block(I).isCompensation())
           speculatePredicates(*F, F->block(I));
   } else if (C.Phase == "cpr" || C.Phase == "all") {
-    CPRResult CR = runControlCPR(*F, *PhaseProfile, C.CPR);
+    // Strict by default (legacy fatal-on-failure); --fail-safe swaps in
+    // the transactional context: rollback on faults, optional per-region
+    // equivalence re-check against the prepared baseline, and budgets.
+    CPRContext Ctx;
+    Ctx.FailSafe = C.FailSafe;
+    Ctx.Diags = &Diags;
+    Budget TransformLimit;
+    TransformLimit.MaxSteps = C.TransformSteps;
+    TransformLimit.MaxWallMs = C.TransformMs;
+    BudgetTracker TransformBudget(TransformLimit);
+    if (!TransformLimit.unlimited())
+      Ctx.Budget = &TransformBudget;
+    std::unique_ptr<Function> OracleBaseline;
+    if (C.FailSafe && C.RegionEquiv) {
+      OracleBaseline = F->clone();
+      Ctx.RegionOracle = [&](const Function &Candidate) -> Status {
+        EquivResult E = checkEquivalence(*OracleBaseline, Candidate,
+                                         C.InitMem, C.InitRegs);
+        if (!E.Equivalent)
+          return Status::error(DiagCode::OracleMismatch,
+                               "region equivalence re-check failed [" +
+                                   std::string(divergenceName(E.Kind)) +
+                                   "]: " + E.Detail,
+                               "interp.oracle");
+        return Status::success();
+      };
+    }
+    CPRResult CR = runControlCPR(*F, *PhaseProfile, C.CPR, Ctx);
     std::fprintf(stderr,
                  "cpr: %u region(s), %u CPR block(s) formed, %u "
                  "transformed (%u taken variation), %u ops moved "
@@ -351,9 +419,35 @@ int main(int argc, char **argv) {
                  CR.RegionsProcessed, CR.CPRBlocksFormed,
                  CR.CPRBlocksTransformed, CR.TakenVariants,
                  CR.OpsMovedOffTrace, CR.OpsSplit);
+    if (CR.BlocksRolledBack > 0 || CR.RegionsSkippedBudget > 0)
+      std::fprintf(stderr,
+                   "cpr: fail-safe: %u block(s) rolled back in %u "
+                   "region(s), %u region(s) skipped on budget\n",
+                   CR.BlocksRolledBack, CR.RegionsRolledBack,
+                   CR.RegionsSkippedBudget);
+    if (StatsPtr) {
+      // The phase transform runs outside the session (it is injected via
+      // setTreated below), so mirror its outcome counters into the stats
+      // document by hand -- same keys the pipeline's transform stage uses.
+      const std::string P = F->getName() + "/";
+      StatsPtr->addCount(P + "cpr/regions", CR.RegionsProcessed);
+      StatsPtr->addCount(P + "cpr/blocks_formed", CR.CPRBlocksFormed);
+      StatsPtr->addCount(P + "cpr/blocks_transformed",
+                         CR.CPRBlocksTransformed);
+      StatsPtr->addCount(P + "cpr/branches_merged", CR.BranchesCovered);
+      StatsPtr->addCount(P + "cpr/ops_moved_off_trace", CR.OpsMovedOffTrace);
+      StatsPtr->addCount(P + "cpr/ops_split", CR.OpsSplit);
+      StatsPtr->addCount(P + "cpr/blocks_rolled_back", CR.BlocksRolledBack);
+      StatsPtr->addCount(P + "cpr/regions_rolled_back",
+                         CR.RegionsRolledBack);
+      StatsPtr->addCount(P + "cpr/regions_skipped_budget",
+                         CR.RegionsSkippedBudget);
+      StatsPtr->addCount(P + "budget/transform_exhausted",
+                         CR.BudgetExhausted ? 1 : 0);
+    }
   } else if (C.Phase != "none") {
     std::fprintf(stderr, "unknown phase '%s'\n", C.Phase.c_str());
-    return 2;
+    return exit_codes::UsageError;
   }
   verifyOrDie(*F, "cprc output");
 
@@ -399,9 +493,13 @@ int main(int argc, char **argv) {
   }
 
   if (C.CheckEquiv) {
-    Session.checkEquivalence(); // fatal with a diagnostic on mismatch
-    std::printf("\n; equivalence: baseline and output agree on this "
-                "input\n");
+    Session.checkEquivalence(); // fatal on mismatch unless --fail-safe
+    if (Session.fellBack())
+      std::printf("\n; equivalence: MISMATCH; the session fell back to "
+                  "the baseline (see diagnostics)\n");
+    else
+      std::printf("\n; equivalence: baseline and output agree on this "
+                  "input\n");
   }
 
   ThreadPool *Pool = nullptr;
@@ -430,8 +528,9 @@ int main(int argc, char **argv) {
   if (!C.TraceOut.empty()) {
     std::ofstream TOut(C.TraceOut);
     if (!TOut) {
-      std::fprintf(stderr, "cannot write trace '%s'\n", C.TraceOut.c_str());
-      return 1;
+      std::fprintf(stderr, "cprc: error: cannot write trace '%s'\n",
+                   C.TraceOut.c_str());
+      return exit_codes::Failure;
     }
     TOut << serializeBranchTrace(Session.baselineTrace());
   }
@@ -470,9 +569,18 @@ int main(int argc, char **argv) {
   if (!C.StatsJSON.empty()) {
     std::string Error;
     if (!writeStatsJSONFile(Stats, C.StatsJSON, &Error)) {
-      std::fprintf(stderr, "%s\n", Error.c_str());
-      return 1;
+      std::fprintf(stderr, "cprc: error: %s\n", Error.c_str());
+      return exit_codes::Failure;
     }
   }
-  return 0;
+
+  // Fail-safe epilogue: every failure above was recovered, but the
+  // compile may have been degraded (rollbacks, budget skips, baseline
+  // fallback). Surface the collected diagnostics and report the
+  // degradation through a distinct nonzero-but-clean exit.
+  for (const Diagnostic &D : Diags.diagnostics())
+    std::fprintf(stderr, "cprc: %s\n", D.str().c_str());
+  if (Diags.errorCount() > 0)
+    return exit_codes::Failure;
+  return exit_codes::Success;
 }

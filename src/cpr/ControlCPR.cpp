@@ -140,9 +140,17 @@ CPRResult cpr::runControlCPR(Function &F, const ProfileData &Profile,
         Fail(MS.takeDiagnostic());
         continue;
       }
-      if (Status V = Txn.verify("after control CPR block transform"); !V) {
+      if (Status V = Txn.verify("after control CPR block transform",
+                                Ctx.Diags);
+          !V) {
         Fail(V.takeDiagnostic());
         continue;
+      }
+      if (Ctx.RegionLint) {
+        if (Status LS = Ctx.RegionLint(F); !LS) {
+          Fail(LS.takeDiagnostic());
+          continue;
+        }
       }
       if (Ctx.RegionOracle) {
         if (Status E = Ctx.RegionOracle(F); !E) {

@@ -71,6 +71,12 @@ struct CPRContext {
   /// interprets the function; wire it up only when requested
   /// (PipelineOptions::RegionEquivalence).
   std::function<Status(const Function &)> RegionOracle;
+  /// Optional static lint re-check (src/lint/), run on the whole function
+  /// after a transaction re-verifies and *before* the (more expensive)
+  /// RegionOracle. Return a failure Status (typically one of the
+  /// DiagCode::Lint* codes) to force a rollback. Unlike the oracle it
+  /// never executes the program; wire it up via PipelineOptions::Lint.
+  std::function<Status(const Function &)> RegionLint;
   /// Optional transform budget; one step is one CPR-block transform.
   /// Exhaustion skips the remaining regions (baseline fallback).
   BudgetTracker *Budget = nullptr;

@@ -20,16 +20,26 @@ RegionTransaction::RegionTransaction(Function &F, BlockId Region)
     PreExistingBlocks.insert(F.block(I).getId());
 }
 
-Status RegionTransaction::verify(const std::string &Context) const {
+Status RegionTransaction::verify(const std::string &Context,
+                                 DiagnosticEngine *Diags) const {
   if (fault::shouldFail("ir.verify"))
     return Status::error(DiagCode::VerifyFailed,
                          "injected fault (" + Context + ")", "ir.verify");
   std::vector<std::string> Violations = verifyFunction(F);
   if (Violations.empty())
     return Status::success();
+  // The first violation travels in the returned Status (the caller
+  // reports it); the rest go straight to the engine so one fail-safe run
+  // surfaces the complete list instead of "(+N more)".
+  if (Diags)
+    for (size_t I = 1; I < Violations.size(); ++I)
+      Diags->report(DiagSeverity::Error, DiagCode::VerifyFailed,
+                    "IR verification failed (" + Context + "): " +
+                        Violations[I],
+                    "ir.verify");
   std::string Msg =
       "IR verification failed (" + Context + "): " + Violations.front();
-  if (Violations.size() > 1)
+  if (Violations.size() > 1 && !Diags)
     Msg += " (+" + std::to_string(Violations.size() - 1) + " more)";
   return Status::error(DiagCode::VerifyFailed, std::move(Msg), "ir.verify");
 }

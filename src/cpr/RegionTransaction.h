@@ -47,7 +47,12 @@ public:
   /// Re-verifies \p F after the transform. Returns a VerifyFailed
   /// diagnostic (site "ir.verify") on violations; hosts the "ir.verify"
   /// fault-injection site. \p Context names the phase for the message.
-  Status verify(const std::string &Context) const;
+  /// The returned Status carries the first violation; when \p Diags is
+  /// non-null, every *further* violation is reported into it as its own
+  /// VerifyFailed diagnostic (the caller reports the returned Status),
+  /// so a fail-safe compile shows the complete per-region list.
+  Status verify(const std::string &Context,
+                DiagnosticEngine *Diags = nullptr) const;
 
   /// Restores the region's operations and removes every block appended
   /// since the snapshot. Idempotent. Returns the number of blocks removed.

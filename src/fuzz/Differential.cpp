@@ -20,6 +20,8 @@ const char *cpr::fuzzOutcomeName(FuzzOutcome O) {
     return "pass";
   case FuzzOutcome::VerifierReject:
     return "verifier-reject";
+  case FuzzOutcome::LintReject:
+    return "lint-reject";
   case FuzzOutcome::Crash:
     return "crash";
   case FuzzOutcome::Mismatch:
@@ -34,10 +36,12 @@ int cpr::fuzzOutcomeSeverity(FuzzOutcome O) {
     return 0;
   case FuzzOutcome::VerifierReject:
     return 1;
-  case FuzzOutcome::Crash:
+  case FuzzOutcome::LintReject:
     return 2;
-  case FuzzOutcome::Mismatch:
+  case FuzzOutcome::Crash:
     return 3;
+  case FuzzOutcome::Mismatch:
+    return 4;
   }
   return 0;
 }

@@ -15,6 +15,10 @@
 ///  - Mismatch        the equivalence oracle found a diverging artifact
 ///                    (a miscompile -- the prize);
 ///  - VerifierReject  the transform produced structurally invalid IR;
+///  - LintReject      the transform produced verifier-clean IR that the
+///                    static checks of src/lint/ prove violates a CPR
+///                    invariant (the static-oracle campaign's prize --
+///                    caught without ever running the interpreter);
 ///  - Crash           a stage died through reportFatalError /
 ///                    CPR_UNREACHABLE (contained by the thread-local
 ///                    ScopedFatalErrorTrap, support/Error.h).
@@ -43,6 +47,7 @@ namespace cpr {
 enum class FuzzOutcome {
   Pass,
   VerifierReject,
+  LintReject,
   Crash,
   Mismatch,
 };
@@ -50,9 +55,11 @@ enum class FuzzOutcome {
 /// Name of \p O for reports ("pass", "mismatch", ...).
 const char *fuzzOutcomeName(FuzzOutcome O);
 
-/// Severity rank: Pass (0) < VerifierReject < Crash < Mismatch (3).
-/// A mismatch outranks a crash because silent wrong code is the failure
-/// mode this subsystem exists to hunt.
+/// Severity rank: Pass (0) < VerifierReject < LintReject < Crash <
+/// Mismatch (4). A mismatch outranks a crash because silent wrong code is
+/// the failure mode this subsystem exists to hunt; a lint reject outranks
+/// a verifier reject because it is a proved semantic violation, not just
+/// a malformed artifact.
 int fuzzOutcomeSeverity(FuzzOutcome O);
 
 /// One transformation configuration under test.

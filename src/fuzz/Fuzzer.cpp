@@ -8,6 +8,9 @@
 
 #include "fuzz/Corpus.h"
 #include "fuzz/Reducer.h"
+#include "lint/Lint.h"
+#include "regions/LoopUnroller.h"
+#include "support/Error.h"
 #include "support/Statistics.h"
 #include "support/TestHooks.h"
 #include "support/ThreadPool.h"
@@ -24,6 +27,10 @@ std::string FuzzCampaignResult::summary() const {
   Out << "cases=" << Cases << " pass=" << Passes
       << " mismatch=" << Mismatches << " verifier-reject=" << VerifierRejects
       << " crash=" << Crashes;
+  if (LintRejects > 0)
+    Out << " lint-reject=" << LintRejects;
+  if (LintBaselineDirty > 0)
+    Out << " lint-baseline-dirty=" << LintBaselineDirty;
   return Out.str();
 }
 
@@ -49,6 +56,44 @@ KernelProgram buildCase(uint64_t CaseSeed, const FuzzCampaignOptions &Opts,
   return generateProgram(CaseSeed, Opts.Generator);
 }
 
+/// Loads Opts.CorpusDir in sorted-filename order for determinism.
+std::vector<KernelProgram> loadCorpus(const FuzzCampaignOptions &Opts) {
+  std::vector<KernelProgram> Corpus;
+  if (Opts.CorpusDir.empty())
+    return Corpus;
+  for (const std::string &Path : listCorpusFiles(Opts.CorpusDir)) {
+    FuzzParseResult PR = loadFuzzProgramFile(Path);
+    if (!PR) {
+      if (Opts.Log)
+        *Opts.Log << "fuzz: skipping unparseable corpus entry: " << PR.Error
+                  << "\n";
+      if (Opts.Stats)
+        Opts.Stats->addCount("fuzz/corpus_skipped");
+      continue;
+    }
+    Corpus.push_back(std::move(PR.Program));
+  }
+  if (Opts.Stats)
+    Opts.Stats->addCount("fuzz/corpus_loaded",
+                         static_cast<double>(Corpus.size()));
+  return Corpus;
+}
+
+/// The static campaign's stand-in for a profiling run: every branch is
+/// hot and almost never taken -- exactly the bias the CPR heuristics
+/// form on-trace blocks for -- so the transform exercises its full
+/// machinery on every case without an interpreter in the loop.
+ProfileData syntheticBiasedProfile(const Function &F) {
+  ProfileData Prof;
+  for (size_t B = 0; B < F.numBlocks(); ++B)
+    for (const Operation &Op : F.block(B).ops())
+      if (Op.isBranch()) {
+        Prof.addBranchReached(Op.getId(), 100);
+        Prof.addBranchTaken(Op.getId(), 2);
+      }
+  return Prof;
+}
+
 } // namespace
 
 FuzzCampaignResult cpr::runFuzzCampaign(const FuzzCampaignOptions &Opts) {
@@ -63,25 +108,7 @@ FuzzCampaignResult cpr::runFuzzCampaign(const FuzzCampaignOptions &Opts) {
                 << "': " << EC.message() << "\n";
   }
 
-  // Corpus seeds, in sorted-filename order for determinism.
-  std::vector<KernelProgram> Corpus;
-  if (!Opts.CorpusDir.empty()) {
-    for (const std::string &Path : listCorpusFiles(Opts.CorpusDir)) {
-      FuzzParseResult PR = loadFuzzProgramFile(Path);
-      if (!PR) {
-        if (Opts.Log)
-          *Opts.Log << "fuzz: skipping unparseable corpus entry: " << PR.Error
-                    << "\n";
-        if (Opts.Stats)
-          Opts.Stats->addCount("fuzz/corpus_skipped");
-        continue;
-      }
-      Corpus.push_back(std::move(PR.Program));
-    }
-    if (Opts.Stats)
-      Opts.Stats->addCount("fuzz/corpus_loaded",
-                           static_cast<double>(Corpus.size()));
-  }
+  std::vector<KernelProgram> Corpus = loadCorpus(Opts);
 
   DifferentialRunner Runner(Opts.Variants, Opts.Machines);
   ProgramMutator Mutator(Opts.Generator);
@@ -125,6 +152,9 @@ FuzzCampaignResult cpr::runFuzzCampaign(const FuzzCampaignOptions &Opts) {
       break;
     case FuzzOutcome::VerifierReject:
       ++Res.VerifierRejects;
+      break;
+    case FuzzOutcome::LintReject: // static-oracle campaigns only
+      ++Res.LintRejects;
       break;
     case FuzzOutcome::Crash:
       ++Res.Crashes;
@@ -199,6 +229,145 @@ FuzzCampaignResult cpr::runFuzzCampaign(const FuzzCampaignOptions &Opts) {
       if (F.Outcome == FuzzOutcome::Mismatch)
         Opts.Stats->addCount(std::string("fuzz/divergence/") +
                              divergenceName(F.Divergence));
+  }
+  return Res;
+}
+
+FuzzCampaignResult
+cpr::runStaticLintCampaign(const FuzzCampaignOptions &Opts) {
+  FuzzCampaignResult Res;
+  Res.Cases = Opts.Runs;
+
+  std::vector<KernelProgram> Corpus = loadCorpus(Opts);
+  ProgramMutator Mutator(Opts.Generator);
+  std::vector<FuzzVariant> Variants =
+      Opts.Variants.empty() ? defaultFuzzVariants() : Opts.Variants;
+  LintOptions LintOpts;
+  LintOpts.Machines =
+      Opts.Machines.empty()
+          ? std::vector<MachineDesc>{MachineDesc::medium(),
+                                     MachineDesc::wide()}
+          : Opts.Machines;
+  LintDriver Linter = LintDriver::withBuiltinPasses(std::move(LintOpts));
+
+  std::vector<uint64_t> CaseSeeds(Opts.Runs);
+  {
+    RNG Base(Opts.Seed);
+    for (uint64_t &S : CaseSeeds)
+      S = Base.next();
+  }
+
+  test_hooks::ScopedSkipCompensation Inject(Opts.InjectDefect);
+
+  /// Worst outcome of one case across the variant sweep.
+  struct StaticCase {
+    FuzzOutcome Outcome = FuzzOutcome::Pass;
+    bool BaselineDirty = false;
+    size_t Variant = 0;
+    std::string Detail;
+  };
+  std::vector<StaticCase> Cases(Opts.Runs);
+  {
+    std::unique_ptr<ThreadPool> Pool;
+    if (Opts.Threads != 1)
+      Pool = std::make_unique<ThreadPool>(Opts.Threads);
+    PassTimer T(Opts.Stats, "fuzz/lint/run_cases");
+    parallelFor(Pool.get(), Opts.Runs, [&](size_t I) {
+      KernelProgram P = buildCase(CaseSeeds[I], Opts, Corpus, Mutator);
+      StaticCase &SC = Cases[I];
+      auto Worsen = [&SC](FuzzOutcome O, size_t V, std::string Detail) {
+        if (fuzzOutcomeSeverity(O) <= fuzzOutcomeSeverity(SC.Outcome))
+          return;
+        SC.Outcome = O;
+        SC.Variant = V;
+        SC.Detail = std::move(Detail);
+      };
+      for (size_t V = 0; V < Variants.size(); ++V) {
+        const FuzzVariant &Variant = Variants[V];
+        ScopedFatalErrorTrap Trap;
+        try {
+          std::unique_ptr<Function> F = P.Func->clone();
+          if (Variant.UnrollFactor >= 2)
+            for (size_t B = 0; B < F->numBlocks(); ++B)
+              unrollLoop(*F, F->block(B), Variant.UnrollFactor);
+          // Differential gate: findings the substrate already has are
+          // the generator's, not the transform's.
+          LintResult BL = Linter.run(*F);
+          if (BL.errorCount() > 0) {
+            SC.BaselineDirty = true;
+            continue;
+          }
+          // Fail-safe context: ordinary transform failures roll back and
+          // stay silent; a verifier-clean invariant break (the planted
+          // compensation-skip defect) commits and is the lint's to find.
+          CPRContext Ctx;
+          Ctx.FailSafe = true;
+          ProfileData Prof = syntheticBiasedProfile(*F);
+          runControlCPR(*F, Prof, Variant.CPR, Ctx);
+          LintResult TL = Linter.run(*F);
+          for (const LintFinding &Finding : TL.Findings)
+            if (Finding.Severity == DiagSeverity::Error) {
+              Worsen(FuzzOutcome::LintReject, V,
+                     "[" + Variant.Name + "] " + Finding.str());
+              break;
+            }
+        } catch (const FatalError &E) {
+          bool Verifier =
+              E.message().rfind("IR verification failed (", 0) == 0;
+          Worsen(Verifier ? FuzzOutcome::VerifierReject : FuzzOutcome::Crash,
+                 V, "[" + Variant.Name + "] " + E.message());
+        }
+      }
+    });
+  }
+
+  // Serial triage, in case order (no reduction in static mode: the
+  // reducer's oracle is the differential runner).
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    const StaticCase &Case = Cases[I];
+    if (Case.BaselineDirty)
+      ++Res.LintBaselineDirty;
+    switch (Case.Outcome) {
+    case FuzzOutcome::Pass:
+      ++Res.Passes;
+      continue;
+    case FuzzOutcome::Mismatch: // not produced by this oracle
+      ++Res.Mismatches;
+      break;
+    case FuzzOutcome::VerifierReject:
+      ++Res.VerifierRejects;
+      break;
+    case FuzzOutcome::LintReject:
+      ++Res.LintRejects;
+      break;
+    case FuzzOutcome::Crash:
+      ++Res.Crashes;
+      break;
+    }
+
+    FuzzFailure Fail;
+    Fail.CaseIndex = I;
+    Fail.CaseSeed = CaseSeeds[I];
+    Fail.Outcome = Case.Outcome;
+    Fail.VariantName = Variants[Case.Variant].Name;
+    Fail.Detail = Case.Detail;
+    KernelProgram P = buildCase(CaseSeeds[I], Opts, Corpus, Mutator);
+    Fail.OriginalOps = P.Func->totalOps();
+    Fail.ReducedOps = Fail.OriginalOps;
+    Fail.ReducedText = serializeFuzzProgram(P);
+    if (Opts.Log)
+      *Opts.Log << "fuzz: case " << I << " (seed 0x" << hexSeed(Fail.CaseSeed)
+                << ") " << fuzzOutcomeName(Fail.Outcome) << ": "
+                << Fail.Detail << "\n";
+    Res.Failures.push_back(std::move(Fail));
+  }
+
+  if (Opts.Stats) {
+    Opts.Stats->addCount("fuzz/lint/cases", Res.Cases);
+    Opts.Stats->addCount("fuzz/lint/pass", Res.Passes);
+    Opts.Stats->addCount("fuzz/lint/reject", Res.LintRejects);
+    Opts.Stats->addCount("fuzz/lint/baseline_dirty", Res.LintBaselineDirty);
+    Opts.Stats->addCount("fuzz/lint/crash", Res.Crashes);
   }
   return Res;
 }

@@ -82,12 +82,17 @@ struct FuzzCampaignResult {
   unsigned Passes = 0;
   unsigned Mismatches = 0;
   unsigned VerifierRejects = 0;
+  unsigned LintRejects = 0;
   unsigned Crashes = 0;
+  /// Static-oracle campaigns: cases whose *baseline* already carried a
+  /// lint finding, excluded from the differential comparison.
+  unsigned LintBaselineDirty = 0;
   /// Failures in case order (deterministic).
   std::vector<FuzzFailure> Failures;
 
   bool clean() const { return Failures.empty(); }
-  /// One-line deterministic summary ("cases=... pass=... mismatch=...").
+  /// One-line deterministic summary ("cases=... pass=... mismatch=...";
+  /// lint-reject and baseline-dirty tallies appear when nonzero).
   std::string summary() const;
 };
 
@@ -95,6 +100,18 @@ struct FuzzCampaignResult {
 /// comment). InjectDefect toggles a process-global hook and must not be
 /// used concurrently with other campaigns.
 FuzzCampaignResult runFuzzCampaign(const FuzzCampaignOptions &Opts);
+
+/// The static-oracle campaign (docs/LINT.md): same case construction as
+/// runFuzzCampaign, but the oracle never executes a program. Each case is
+/// given a synthetic heavily-biased profile (every branch reached often
+/// and rarely taken, the shape CPR forms blocks for), transformed under a
+/// fail-safe CPRContext, and judged *differentially* by the cpr-lint
+/// checks: a case whose baseline already carries an error finding is
+/// excluded (LintBaselineDirty), and a finding that is new in the treated
+/// function is a LintReject failure. Reduction is unsupported here
+/// (failures keep their full program text). Deterministic at any
+/// Opts.Threads.
+FuzzCampaignResult runStaticLintCampaign(const FuzzCampaignOptions &Opts);
 
 } // namespace cpr
 

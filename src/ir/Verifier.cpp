@@ -7,6 +7,7 @@
 #include "ir/Verifier.h"
 
 #include "ir/IRPrinter.h"
+#include "support/Diagnostic.h"
 #include "support/Error.h"
 
 #include <unordered_set>
@@ -242,4 +243,14 @@ void cpr::verifyOrDie(const Function &F, const std::string &Context) {
     Msg += "  " + E + "\n";
   Msg += printFunction(F);
   reportFatalError(Msg);
+}
+
+unsigned cpr::reportVerification(const Function &F, DiagnosticEngine &Diags,
+                                 const std::string &Context,
+                                 const std::string &Site) {
+  std::vector<std::string> Errors = verifyFunction(F);
+  for (const std::string &E : Errors)
+    Diags.report(DiagSeverity::Error, DiagCode::VerifyFailed,
+                 Context.empty() ? E : E + " (" + Context + ")", Site);
+  return static_cast<unsigned>(Errors.size());
 }

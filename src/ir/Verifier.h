@@ -21,6 +21,8 @@
 
 namespace cpr {
 
+class DiagnosticEngine;
+
 /// Verifies structural invariants of \p F:
 ///  - the function has an entry block;
 ///  - operation ids are unique and valid;
@@ -36,6 +38,15 @@ std::vector<std::string> verifyFunction(const Function &F);
 /// Aborts with a diagnostic if \p F fails verification. \p Context is
 /// included in the message (e.g. the phase that just ran).
 void verifyOrDie(const Function &F, const std::string &Context);
+
+/// Reports *every* verifier violation of \p F into \p Diags as an
+/// error-severity VerifyFailed diagnostic at \p Site, so one run shows
+/// the complete list instead of stopping at the first (cpr-lint and
+/// `cprc --fail-safe` both rely on this). \p Context names the phase.
+/// Returns the number of violations reported.
+unsigned reportVerification(const Function &F, DiagnosticEngine &Diags,
+                            const std::string &Context,
+                            const std::string &Site = "ir.verify");
 
 } // namespace cpr
 

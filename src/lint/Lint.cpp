@@ -1,0 +1,263 @@
+//===- lint/Lint.cpp - Lint framework --------------------------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+using namespace cpr;
+
+std::string LintFinding::str() const {
+  std::string Out = diagSeverityName(Severity);
+  Out += " [";
+  Out += diagCodeName(Code);
+  Out += "]";
+  if (!Block.empty()) {
+    Out += " @";
+    Out += Block;
+  }
+  if (Op != InvalidOpId)
+    Out += " op %" + std::to_string(Op);
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+Diagnostic LintFinding::toDiagnostic() const {
+  Diagnostic D;
+  D.Severity = Severity;
+  D.Code = Code;
+  D.Site = "lint." + Check;
+  D.Message = Message;
+  if (!Block.empty()) {
+    D.Message += " in block @" + Block;
+    if (Op != InvalidOpId)
+      D.Message += " at op %" + std::to_string(Op);
+  }
+  return D;
+}
+
+unsigned LintResult::countAtLeast(DiagSeverity S) const {
+  unsigned N = 0;
+  for (const LintFinding &F : Findings)
+    if (static_cast<unsigned>(F.Severity) >= static_cast<unsigned>(S))
+      ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// LintContext
+//===----------------------------------------------------------------------===//
+
+struct LintContext::Impl {
+  std::unique_ptr<Liveness> LV;
+  /// Reach[I] = layout indices reachable from block I via one or more
+  /// control-flow edges (successor closure; includes I itself only when I
+  /// sits on a cycle).
+  std::vector<std::vector<bool>> Reach;
+  /// Layout indices of the blocks defining each register.
+  std::map<Reg, std::vector<size_t>> DefBlocks;
+  bool GraphBuilt = false;
+};
+
+LintContext::LintContext(const Function &F, const LintOptions &Opts)
+    : F(F), Opts(Opts), I(new Impl) {}
+
+LintContext::~LintContext() = default;
+
+Liveness &LintContext::liveness() {
+  if (!I->LV)
+    I->LV.reset(new Liveness(F));
+  return *I->LV;
+}
+
+bool LintContext::defReachesEntry(Reg R, size_t LayoutIdx) {
+  if (!I->GraphBuilt) {
+    size_t N = F.numBlocks();
+    std::vector<std::vector<size_t>> Succ(N);
+    for (size_t B = 0; B < N; ++B)
+      for (BlockId S : blockSuccessors(F, B)) {
+        int L = F.layoutIndex(S);
+        if (L >= 0)
+          Succ[B].push_back(static_cast<size_t>(L));
+      }
+    I->Reach.assign(N, std::vector<bool>(N, false));
+    for (size_t B = 0; B < N; ++B) {
+      std::vector<size_t> Work = Succ[B];
+      while (!Work.empty()) {
+        size_t Cur = Work.back();
+        Work.pop_back();
+        if (I->Reach[B][Cur])
+          continue;
+        I->Reach[B][Cur] = true;
+        for (size_t S : Succ[Cur])
+          Work.push_back(S);
+      }
+    }
+    for (size_t B = 0; B < N; ++B)
+      for (const Operation &Op : F.block(B).ops())
+        for (const DefSlot &D : Op.defs())
+          I->DefBlocks[D.R].push_back(B);
+    for (auto &Entry : I->DefBlocks) {
+      std::sort(Entry.second.begin(), Entry.second.end());
+      Entry.second.erase(
+          std::unique(Entry.second.begin(), Entry.second.end()),
+          Entry.second.end());
+    }
+    I->GraphBuilt = true;
+  }
+  auto It = I->DefBlocks.find(R);
+  if (It == I->DefBlocks.end())
+    return false;
+  for (size_t D : It->second)
+    if (I->Reach[D][LayoutIdx])
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// LintDriver
+//===----------------------------------------------------------------------===//
+
+LintDriver::LintDriver(LintOptions Opts) : Opts(std::move(Opts)) {}
+LintDriver::~LintDriver() = default;
+LintDriver::LintDriver(LintDriver &&) = default;
+LintDriver &LintDriver::operator=(LintDriver &&) = default;
+
+void LintDriver::addPass(std::unique_ptr<LintPass> P) {
+  Passes.push_back(std::move(P));
+}
+
+const std::vector<std::unique_ptr<LintPass>> &LintDriver::passes() const {
+  return Passes;
+}
+
+LintDriver LintDriver::withBuiltinPasses(LintOptions Opts) {
+  LintDriver D(std::move(Opts));
+  addBuiltinLintPasses(D);
+  return D;
+}
+
+LintResult LintDriver::run(const Function &F) const {
+  LintResult R;
+  LintContext Ctx(F, Opts);
+  for (const std::unique_ptr<LintPass> &P : Passes) {
+    if (!Opts.OnlyChecks.empty() &&
+        std::find(Opts.OnlyChecks.begin(), Opts.OnlyChecks.end(),
+                  P->name()) == Opts.OnlyChecks.end())
+      continue;
+    P->run(Ctx, R.Findings);
+    R.ChecksRun.push_back(P->name());
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Reporting
+//===----------------------------------------------------------------------===//
+
+void cpr::reportLintFindings(const LintResult &R, DiagnosticEngine &Diags) {
+  for (const LintFinding &F : R.Findings)
+    Diags.report(F.toDiagnostic());
+}
+
+JSONValue cpr::lintResultToJSON(const std::string &FunctionName,
+                                const LintResult &R) {
+  JSONValue Root = JSONValue::object();
+  Root.set("function", JSONValue::str(FunctionName));
+  JSONValue Checks = JSONValue::array();
+  for (const std::string &C : R.ChecksRun)
+    Checks.append(JSONValue::str(C));
+  Root.set("checks", std::move(Checks));
+  JSONValue Findings = JSONValue::array();
+  for (const LintFinding &F : R.Findings) {
+    JSONValue J = JSONValue::object();
+    J.set("check", JSONValue::str(F.Check));
+    J.set("severity", JSONValue::str(diagSeverityName(F.Severity)));
+    J.set("code", JSONValue::str(diagCodeName(F.Code)));
+    J.set("block", JSONValue::str(F.Block));
+    J.set("op", F.Op == InvalidOpId
+                    ? JSONValue::null()
+                    : JSONValue::number(static_cast<double>(F.Op)));
+    J.set("op_index", F.OpIndex < 0
+                          ? JSONValue::null()
+                          : JSONValue::number(static_cast<double>(F.OpIndex)));
+    J.set("message", JSONValue::str(F.Message));
+    Findings.append(std::move(J));
+  }
+  Root.set("findings", std::move(Findings));
+  JSONValue Counts = JSONValue::object();
+  unsigned NRemark = 0, NWarning = 0, NError = 0;
+  for (const LintFinding &F : R.Findings) {
+    if (F.Severity == DiagSeverity::Remark)
+      ++NRemark;
+    else if (F.Severity == DiagSeverity::Warning)
+      ++NWarning;
+    else
+      ++NError;
+  }
+  Counts.set("remark", JSONValue::number(NRemark));
+  Counts.set("warning", JSONValue::number(NWarning));
+  Counts.set("error", JSONValue::number(NError));
+  Root.set("counts", std::move(Counts));
+  return Root;
+}
+
+Status cpr::lintStatus(const LintResult &R, bool Werror) {
+  DiagSeverity Floor = Werror ? DiagSeverity::Warning : DiagSeverity::Error;
+  for (const LintFinding &F : R.Findings)
+    if (static_cast<unsigned>(F.Severity) >= static_cast<unsigned>(Floor)) {
+      Diagnostic D = F.toDiagnostic();
+      D.Severity = DiagSeverity::Error;
+      return Status::failure(std::move(D));
+    }
+  return Status::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Sidecar schedule directives
+//===----------------------------------------------------------------------===//
+
+Status cpr::parseInjectedSchedules(const std::string &Text,
+                                   std::vector<InjectedSchedule> &Out) {
+  std::istringstream In(Text);
+  std::string Line;
+  const std::string Tag = "; lint-schedule(";
+  while (std::getline(In, Line)) {
+    size_t Pos = Line.find(Tag);
+    if (Pos == std::string::npos)
+      continue;
+    std::string Rest = Line.substr(Pos + Tag.size());
+    size_t Close = Rest.find(')');
+    size_t At = Rest.find('@');
+    size_t Colon = Rest.find(':');
+    if (Close == std::string::npos || At == std::string::npos ||
+        Colon == std::string::npos || At < Close || Colon < At)
+      return Status::error(DiagCode::ParseError,
+                           "malformed lint-schedule directive: " + Line);
+    InjectedSchedule S;
+    S.MachineName = Rest.substr(0, Close);
+    S.BlockName = Rest.substr(At + 1, Colon - At - 1);
+    while (!S.BlockName.empty() && S.BlockName.back() == ' ')
+      S.BlockName.pop_back();
+    std::istringstream Cycles(Rest.substr(Colon + 1));
+    int C;
+    while (Cycles >> C)
+      S.Cycles.push_back(C);
+    if (!Cycles.eof())
+      return Status::error(DiagCode::ParseError,
+                           "non-integer cycle in lint-schedule directive: " +
+                               Line);
+    Out.push_back(std::move(S));
+  }
+  return Status::success();
+}

@@ -1,0 +1,201 @@
+//===- lint/Lint.h - Static semantic checks for CPR IR ----------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// cpr-lint: a pluggable static-analysis framework that proves the paper's
+/// structural correctness invariants (Sections 4-6) on concrete IR, pre-
+/// and post-transformation, without executing it (docs/LINT.md). Where the
+/// interpreter-based equivalence oracle checks one input, these checks use
+/// PQS/BDD predicate reasoning to cover *all* inputs of the properties
+/// they encode:
+///
+///  - frp-consistency          the bypass branch's fully-resolved predicate
+///                             is implied by the OR of the branch conditions
+///                             the compensation block re-executes, and the
+///                             on-/off-trace FRPs are disjoint and exhaust
+///                             the root predicate (paper Section 4);
+///  - use-before-def           a register read under predicate p has a
+///                             definition on every path where p can be true
+///                             (predicate-aware dataflow, [JS96]);
+///  - speculation-safety       promoted (guard-weakened) operations are
+///                             side-effect free and do not clobber values
+///                             the bypass path still needs (Section 6);
+///  - compensation-completeness every exit collapsed into the bypass is
+///                             re-established off-trace, and every register
+///                             an off-trace exit needs is defined on the
+///                             off-trace path (Section 5);
+///  - schedule-legality        emitted schedules respect the dependence
+///                             latencies and per-unit resource limits of
+///                             the machine model (Section 7).
+///
+/// Findings carry a stable DiagCode, severity, and operation location, and
+/// render both as text and as `cpr-lint-v1` JSON. The driver is wired into
+/// three layers: the standalone cpr-lint tool, the PipelineOptions::Lint
+/// stage of PipelineRun (post-transform findings on a fail-safe region
+/// trigger RegionTransaction rollback), and cpr-fuzz's static-oracle mode.
+///
+/// Conservatism contract: a check reports a finding only when the BDD
+/// proof of the violated property is exact; on node-budget exhaustion
+/// (BDD::Invalid) the check stays silent rather than guessing. Lint
+/// findings are therefore high-confidence, but silence is not a proof.
+///
+/// Thread-safety: LintDriver is immutable after construction and may be
+/// shared across threads; run() builds all per-function analyses locally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LINT_LINT_H
+#define LINT_LINT_H
+
+#include "ir/Function.h"
+#include "machine/MachineDesc.h"
+#include "support/Diagnostic.h"
+#include "support/JSON.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+class Liveness;
+
+/// One lint finding: a violated invariant at a program location.
+struct LintFinding {
+  DiagSeverity Severity = DiagSeverity::Error;
+  /// Stable machine-checkable code (one of the DiagCode::Lint* values).
+  DiagCode Code = DiagCode::None;
+  /// Name of the check that produced it ("frp-consistency", ...).
+  std::string Check;
+  /// Name of the block the finding is in.
+  std::string Block;
+  /// Id of the anchoring operation; InvalidOpId for block-level findings.
+  OpId Op = InvalidOpId;
+  /// Index of the anchoring operation in its block; -1 for block-level.
+  int OpIndex = -1;
+  std::string Message;
+
+  /// "error [lint-frp] @Loop op %12: <message>".
+  std::string str() const;
+  /// The finding as a reportable Diagnostic (Site = "lint.<check>").
+  Diagnostic toDiagnostic() const;
+};
+
+/// An externally supplied (pinned) schedule to validate instead of the
+/// list scheduler's own output, e.g. parsed from a `; lint-schedule`
+/// sidecar directive in a fixture file.
+struct InjectedSchedule {
+  std::string BlockName;
+  std::string MachineName;
+  std::vector<int> Cycles; // one issue cycle per operation, in block order
+};
+
+/// Options shared by all checks of one driver.
+struct LintOptions {
+  /// Machine models schedule-legality validates against.
+  std::vector<MachineDesc> Machines = {MachineDesc::medium()};
+  /// When non-empty, only checks whose name appears here run.
+  std::vector<std::string> OnlyChecks;
+  /// Pinned schedules to validate instead of scheduling from scratch.
+  std::vector<InjectedSchedule> Schedules;
+};
+
+/// Result of linting one function.
+struct LintResult {
+  std::vector<LintFinding> Findings;
+  /// Names of the checks that ran, in order.
+  std::vector<std::string> ChecksRun;
+
+  bool clean() const { return Findings.empty(); }
+  unsigned countAtLeast(DiagSeverity S) const;
+  unsigned errorCount() const { return countAtLeast(DiagSeverity::Error); }
+};
+
+/// Shared per-function state handed to every check.
+class LintContext {
+public:
+  LintContext(const Function &F, const LintOptions &Opts);
+  ~LintContext();
+
+  const Function &func() const { return F; }
+  const LintOptions &options() const { return Opts; }
+
+  /// Lazily built function-level liveness.
+  Liveness &liveness();
+
+  /// True when a definition of \p R in some block can reach the entry of
+  /// block \p LayoutIdx (including around loops). Reads of such registers
+  /// are conservatively treated as initialized by use-before-def and
+  /// compensation-completeness.
+  bool defReachesEntry(Reg R, size_t LayoutIdx);
+
+private:
+  const Function &F;
+  const LintOptions &Opts;
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// One pluggable check.
+class LintPass {
+public:
+  virtual ~LintPass() = default;
+  /// Stable check name ("frp-consistency", ...).
+  virtual const char *name() const = 0;
+  /// One-line description for --help and docs.
+  virtual const char *description() const = 0;
+  /// Appends findings for Ctx.func() to \p Out.
+  virtual void run(LintContext &Ctx, std::vector<LintFinding> &Out) = 0;
+};
+
+/// Runs an ordered list of checks over functions.
+class LintDriver {
+public:
+  explicit LintDriver(LintOptions Opts = LintOptions());
+  ~LintDriver();
+  LintDriver(LintDriver &&);
+  LintDriver &operator=(LintDriver &&);
+
+  void addPass(std::unique_ptr<LintPass> P);
+  const std::vector<std::unique_ptr<LintPass>> &passes() const;
+
+  /// A driver loaded with the five built-in checks.
+  static LintDriver withBuiltinPasses(LintOptions Opts = LintOptions());
+
+  /// Runs every (enabled) pass over \p F.
+  LintResult run(const Function &F) const;
+
+private:
+  LintOptions Opts;
+  std::vector<std::unique_ptr<LintPass>> Passes;
+};
+
+/// Registers the five built-in checks, in their canonical order.
+void addBuiltinLintPasses(LintDriver &D);
+
+/// Reports every finding of \p R into \p Diags.
+void reportLintFindings(const LintResult &R, DiagnosticEngine &Diags);
+
+/// Renders \p R as one per-function entry of the `cpr-lint-v1` report
+/// (docs/LINT.md): {"function", "checks", "findings", "counts"}. Tools
+/// wrap entries in the {"schema": "cpr-lint-v1", "functions": [...]}
+/// envelope.
+JSONValue lintResultToJSON(const std::string &FunctionName,
+                           const LintResult &R);
+
+/// Success when no finding reaches error severity (warning severity with
+/// \p Werror). The diagnostic carries the first offending finding.
+Status lintStatus(const LintResult &R, bool Werror = false);
+
+/// Parses `; lint-schedule(<machine>) @<block>: <c0> <c1> ...` sidecar
+/// directives from raw fixture text (the IR tokenizer skips them as
+/// comments). Returns an error Status on a malformed directive.
+Status parseInjectedSchedules(const std::string &Text,
+                              std::vector<InjectedSchedule> &Out);
+
+} // namespace cpr
+
+#endif // LINT_LINT_H

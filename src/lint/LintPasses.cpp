@@ -1,0 +1,627 @@
+//===- lint/LintPasses.cpp - The five built-in checks -----------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The built-in checks (docs/LINT.md). Each encodes one of the paper's
+/// structural invariants as an exact BDD proof over the PQS predicate
+/// expressions of the block under inspection; on BDD node-budget
+/// exhaustion a check silently skips the obligation it cannot decide
+/// (silence is not a proof, findings are).
+///
+/// The CPR-specific checks recognize transformed structure post hoc: a
+/// *bypass* is a branch whose resolved target is a compensation block, and
+/// its *lookaheads* are the earlier cmpps accumulating the branch predicate
+/// through wired-or actions (the paper's fully-resolved off-trace
+/// predicate), with the wired-and twin forming the on-trace FRP. To relate
+/// the lookahead conditions with the original compares re-executed in the
+/// compensation block, checks build a synthetic *path block* -- the
+/// on-trace prefix up to the bypass followed by the compensation code,
+/// which is exactly the instruction sequence an off-trace execution
+/// retires -- and run PQS over it, so value numbering assigns the same
+/// atom to a lookahead and to the re-executed original compare whenever
+/// their sources are provably the same values.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include "analysis/CFG.h"
+#include "analysis/DepGraph.h"
+#include "analysis/Liveness.h"
+#include "analysis/PQS.h"
+#include "ir/CmppAction.h"
+#include "sched/ListScheduler.h"
+
+#include <string>
+#include <vector>
+
+using namespace cpr;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// CPR structure recognition
+//===----------------------------------------------------------------------===//
+
+/// One recognized bypass branch of a CPR-transformed block.
+struct Bypass {
+  size_t BranchIdx;        ///< index of the bypass branch in its block
+  const Block *Comp;       ///< the compensation block it targets
+  Reg OffPred;             ///< the bypass branch predicate (off-trace FRP)
+  Reg OnPred;              ///< the wired-and twin (on-trace FRP); may be
+                           ///< invalid when the structure is unrecognized
+  std::vector<size_t> Lookaheads; ///< cmpps accumulating OffPred wired-or
+  size_t FirstLookahead = 0;
+};
+
+std::vector<Bypass> findBypasses(const Function &F, const Block &B) {
+  std::vector<Bypass> Out;
+  const std::vector<Operation> &Ops = B.ops();
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    if (!Ops[I].isBranch())
+      continue;
+    BlockId Target = resolveBranchTarget(B, I);
+    const Block *Comp = Target == InvalidBlockId ? nullptr : F.blockById(Target);
+    if (!Comp || !Comp->isCompensation())
+      continue;
+    Bypass BP;
+    BP.BranchIdx = I;
+    BP.Comp = Comp;
+    BP.OffPred = Ops[I].branchPred();
+    BP.OnPred = Reg();
+    bool OnConsistent = true;
+    for (size_t J = 0; J < I; ++J) {
+      if (!Ops[J].isCmpp())
+        continue;
+      bool Accumulates = false;
+      for (const DefSlot &D : Ops[J].defs())
+        if (D.R == BP.OffPred && isWiredOrAction(D.Act))
+          Accumulates = true;
+      if (!Accumulates)
+        continue;
+      BP.Lookaheads.push_back(J);
+      for (const DefSlot &D : Ops[J].defs())
+        if (isWiredAndAction(D.Act)) {
+          if (!BP.OnPred.isValid())
+            BP.OnPred = D.R;
+          else if (BP.OnPred != D.R)
+            OnConsistent = false;
+        }
+    }
+    if (!OnConsistent)
+      BP.OnPred = Reg();
+    if (!BP.Lookaheads.empty())
+      BP.FirstLookahead = BP.Lookaheads.front();
+    Out.push_back(std::move(BP));
+  }
+  return Out;
+}
+
+/// The instruction sequence an off-trace execution retires: the on-trace
+/// prefix up to and including the bypass, then the compensation code.
+Block makePathBlock(const Block &B, const Bypass &BP) {
+  Block Path(B.getId(), B.getName() + ".offtrace-path");
+  for (size_t I = 0; I <= BP.BranchIdx; ++I)
+    Path.ops().push_back(B.ops()[I]);
+  for (const Operation &Op : BP.Comp->ops())
+    Path.ops().push_back(Op);
+  return Path;
+}
+
+LintFinding makeFinding(DiagCode Code, const char *Check, const Block &B,
+                        int OpIdx, std::string Message,
+                        DiagSeverity Sev = DiagSeverity::Error) {
+  LintFinding F;
+  F.Severity = Sev;
+  F.Code = Code;
+  F.Check = Check;
+  F.Block = B.getName();
+  if (OpIdx >= 0 && static_cast<size_t>(OpIdx) < B.size()) {
+    F.Op = B.ops()[OpIdx].getId();
+    F.OpIndex = OpIdx;
+  }
+  F.Message = std::move(Message);
+  return F;
+}
+
+/// OR of the conditions under which the exits of the compensation portion
+/// of \p Path (indices > BP.BranchIdx) leave the program or the block:
+/// branch taken conditions plus halt execution conditions. Trap does not
+/// count -- reaching it means the off-trace path lost an exit.
+BDD::NodeRef compExitCond(RegionPQS &PQS, const Block &Path,
+                          const Bypass &BP) {
+  BDD::NodeRef Cond = BDD::False;
+  for (size_t K = BP.BranchIdx + 1; K < Path.size(); ++K) {
+    const Operation &Op = Path.ops()[K];
+    BDD::NodeRef E = BDD::Invalid;
+    if (Op.isBranch())
+      E = PQS.takenExpr(K);
+    else if (Op.getOpcode() == Opcode::Halt)
+      E = PQS.execExpr(K);
+    else
+      continue;
+    Cond = PQS.bdd().mkOr(Cond, E);
+    if (!PQS.bdd().isValid(Cond))
+      return BDD::Invalid;
+  }
+  return Cond;
+}
+
+/// True when the bypass path through \p Comp can read the value register
+/// \p R holds at the bypass point. Sharper than liveIn(Comp): the trailing
+/// trap keeps every observable register live in the dataflow sense, but
+/// frp-consistency separately proves the trap unreachable, so a value
+/// only matters off-trace if a compensation op reads it, an exit leaves
+/// with it live, or a halt makes it observable first.
+bool compNeedsValue(const Function &F, Liveness &LV, const Block &Comp,
+                    Reg R) {
+  for (size_t K = 0; K < Comp.size(); ++K) {
+    const Operation &Op = Comp.ops()[K];
+    if (Op.getOpcode() == Opcode::Trap)
+      continue;
+    if (Op.readsReg(R))
+      return true;
+    if (Op.getOpcode() == Opcode::Halt) {
+      for (Reg Obs : F.observableRegs())
+        if (Obs == R)
+          return true;
+      continue;
+    }
+    if (Op.isBranch()) {
+      BlockId T = resolveBranchTarget(Comp, K);
+      if (T == InvalidBlockId || !F.blockById(T) || LV.liveIn(T).count(R))
+        return true; // unknown target: stay conservative
+      continue;      // fall-through keeps scanning
+    }
+    // Only an unguarded redefinition kills the incoming value on every
+    // remaining off-trace path.
+    if (Op.getGuard().isTruePred() && Op.definesReg(R))
+      return false;
+  }
+  return false;
+}
+
+/// Condition under which the definition slots of \p Op write register
+/// \p R, as an expression over \p PQS. Wired cmpp targets are
+/// conservatively treated as not writing (their accumulators are
+/// mov-initialized in well-formed code, so this only under-approximates).
+BDD::NodeRef writeCond(RegionPQS &PQS, const Operation &Op, size_t OpIdx,
+                       Reg R) {
+  BDD::NodeRef Cond = BDD::False;
+  for (const DefSlot &D : Op.defs()) {
+    if (D.R != R)
+      continue;
+    BDD::NodeRef E;
+    if (D.Act == CmppAction::UN || D.Act == CmppAction::UC)
+      E = BDD::True; // unconditional cmpp targets write under a false guard
+    else if (isWiredAction(D.Act))
+      continue;
+    else
+      E = PQS.guardExpr(OpIdx);
+    Cond = PQS.bdd().mkOr(Cond, E);
+  }
+  return Cond;
+}
+
+//===----------------------------------------------------------------------===//
+// Check 1: frp-consistency
+//===----------------------------------------------------------------------===//
+
+class FRPConsistencyPass : public LintPass {
+public:
+  const char *name() const override { return "frp-consistency"; }
+  const char *description() const override {
+    return "bypass FRP covers the re-executed branch conditions; on-/off-"
+           "trace FRPs disjoint and exhaustive (paper Section 4)";
+  }
+
+  void run(LintContext &Ctx, std::vector<LintFinding> &Out) override {
+    const Function &F = Ctx.func();
+    for (size_t L = 0; L < F.numBlocks(); ++L) {
+      const Block &B = F.block(L);
+      if (B.isCompensation())
+        continue;
+      for (const Bypass &BP : findBypasses(F, B)) {
+        if (BP.Lookaheads.empty()) {
+          Out.push_back(makeFinding(
+              DiagCode::LintFRP, name(), B, static_cast<int>(BP.BranchIdx),
+              "branch to compensation block @" + BP.Comp->getName() +
+                  " is not guarded by a recognizable wired-or FRP "
+                  "accumulation",
+              DiagSeverity::Warning));
+          continue;
+        }
+        Block Path = makePathBlock(B, BP);
+        RegionPQS PQS(F, Path);
+        BDD &Mgr = PQS.bdd();
+
+        // Soundness: everything the compensation block does must be
+        // justified by the bypass -- the OR of the re-executed branch
+        // conditions may not exceed the bypass predicate. (The converse
+        // direction, completeness, is compensation-completeness's job.)
+        BDD::NodeRef OffTaken = PQS.takenExpr(BP.BranchIdx);
+        BDD::NodeRef Exits = compExitCond(PQS, Path, BP);
+        if (Mgr.isValid(OffTaken) && Mgr.isValid(Exits) &&
+            !PQS.implies(Exits, OffTaken))
+          Out.push_back(makeFinding(
+              DiagCode::LintFRP, name(), B, static_cast<int>(BP.BranchIdx),
+              "off-trace FRP is not the OR of the collapsed branch "
+              "conditions: compensation block @" + BP.Comp->getName() +
+                  " can take an exit on executions that do not satisfy "
+                  "the bypass predicate " + BP.OffPred.str()));
+
+        // Disjointness and exhaustiveness of the on-/off-trace pair at the
+        // bypass point (wired-and vs wired-or twins of the lookaheads).
+        if (!BP.OnPred.isValid())
+          continue;
+        BDD::NodeRef OnE = PQS.predValueAfter(BP.BranchIdx, BP.OnPred);
+        BDD::NodeRef OffE = PQS.predValueAfter(BP.BranchIdx, BP.OffPred);
+        if (Mgr.isValid(OnE) && Mgr.isValid(OffE) && !PQS.disjoint(OnE, OffE))
+          Out.push_back(makeFinding(
+              DiagCode::LintFRP, name(), B, static_cast<int>(BP.BranchIdx),
+              "on-trace FRP " + BP.OnPred.str() + " and off-trace FRP " +
+                  BP.OffPred.str() + " are not disjoint at the bypass"));
+        BDD::NodeRef Root = PQS.guardExpr(BP.FirstLookahead);
+        BDD::NodeRef Either = Mgr.mkOr(OnE, OffE);
+        if (Mgr.isValid(Root) && Mgr.isValid(Either) &&
+            !PQS.implies(Root, Either))
+          Out.push_back(makeFinding(
+              DiagCode::LintFRP, name(), B, static_cast<int>(BP.BranchIdx),
+              "on-trace FRP " + BP.OnPred.str() + " and off-trace FRP " +
+                  BP.OffPred.str() +
+                  " do not exhaust the root predicate at the bypass"));
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Check 2: use-before-def
+//===----------------------------------------------------------------------===//
+
+class UseBeforeDefPass : public LintPass {
+public:
+  const char *name() const override { return "use-before-def"; }
+  const char *description() const override {
+    return "a register read under predicate p is defined wherever p can "
+           "be true (predicate-aware dataflow, [JS96])";
+  }
+
+  void run(LintContext &Ctx, std::vector<LintFinding> &Out) override {
+    const Function &F = Ctx.func();
+    for (size_t L = 0; L < F.numBlocks(); ++L) {
+      const Block &B = F.block(L);
+      if (B.empty())
+        continue;
+      RegionPQS PQS(F, B);
+      BDD &Mgr = PQS.bdd();
+      for (size_t I = 0; I < B.size(); ++I) {
+        const Operation &Op = B.ops()[I];
+        std::vector<Reg> Reads;
+        if (!Op.getGuard().isTruePred())
+          Reads.push_back(Op.getGuard());
+        for (const Operand &S : Op.srcs())
+          if (S.isReg() && !S.getReg().isTruePred())
+            Reads.push_back(S.getReg());
+        for (Reg R : Reads) {
+          // Registers whose definitions can reach the block entry (from
+          // other blocks or around a loop) and registers never defined
+          // before the use (function inputs by convention) are exempt;
+          // the check targets *partial* in-block definitions whose
+          // predicate is weaker than the use's.
+          if (Ctx.defReachesEntry(R, L))
+            continue;
+          BDD::NodeRef DefCond = BDD::False;
+          bool AnyDef = false;
+          for (size_t J = 0; J < I; ++J)
+            if (B.ops()[J].definesReg(R)) {
+              AnyDef = true;
+              DefCond =
+                  Mgr.mkOr(DefCond, writeCond(PQS, B.ops()[J], J, R));
+            }
+          if (!AnyDef)
+            continue;
+          BDD::NodeRef UseE = PQS.guardExpr(I);
+          if (!Mgr.isValid(UseE) || !Mgr.isValid(DefCond))
+            continue;
+          if (!PQS.implies(UseE, DefCond))
+            Out.push_back(makeFinding(
+                DiagCode::LintUseBeforeDef, name(), B, static_cast<int>(I),
+                "register " + R.str() +
+                    " is read under a predicate that can be true where no "
+                    "prior definition of it has executed"));
+        }
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Check 3: speculation-safety
+//===----------------------------------------------------------------------===//
+
+class SpeculationSafetyPass : public LintPass {
+public:
+  const char *name() const override { return "speculation-safety"; }
+  const char *description() const override {
+    return "unguarded operations in the bypass window are side-effect "
+           "free and clobber nothing the bypass path needs (Section 6)";
+  }
+
+  void run(LintContext &Ctx, std::vector<LintFinding> &Out) override {
+    const Function &F = Ctx.func();
+    Liveness &LV = Ctx.liveness();
+    for (size_t L = 0; L < F.numBlocks(); ++L) {
+      const Block &B = F.block(L);
+      if (B.isCompensation())
+        continue;
+      for (const Bypass &BP : findBypasses(F, B)) {
+        if (BP.Lookaheads.empty())
+          continue;
+        const RegSet &BlockLive = LV.liveIn(B.getId());
+        // The bypass window: between the first lookahead (where the
+        // collapsed branches conceptually begin) and the bypass branch.
+        for (size_t I = BP.FirstLookahead; I < BP.BranchIdx; ++I) {
+          const Operation &Op = B.ops()[I];
+          if (Op.isCmpp() || Op.isControl() || Op.getOpcode() == Opcode::Pbr)
+            continue;
+          if (!Op.getGuard().isTruePred())
+            continue; // still guarded: not (or faithfully) promoted
+          if (Op.hasSideEffects()) {
+            Out.push_back(makeFinding(
+                DiagCode::LintSpeculation, name(), B, static_cast<int>(I),
+                "side-effecting operation executes unguarded inside the "
+                "bypass window; it also runs on executions that take the "
+                "bypass to @" + BP.Comp->getName()));
+            continue;
+          }
+          for (const DefSlot &D : Op.defs()) {
+            Reg R = D.R;
+            if (!compNeedsValue(F, LV, *BP.Comp, R))
+              continue; // the bypass path never reads it
+            if (Op.readsReg(R))
+              continue; // self-update: the path sees the updated value,
+                        // exactly as the re-executed compares expect
+            bool HadValue = BlockLive.count(R) != 0;
+            for (size_t J = 0; J < I && !HadValue; ++J)
+              if (B.ops()[J].definesReg(R))
+                HadValue = true;
+            if (HadValue)
+              Out.push_back(makeFinding(
+                  DiagCode::LintSpeculation, name(), B,
+                  static_cast<int>(I),
+                  "promoted operation overwrites " + R.str() +
+                      ", whose previous value is still live on the bypass "
+                      "path through @" + BP.Comp->getName()));
+          }
+        }
+      }
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Check 4: compensation-completeness
+//===----------------------------------------------------------------------===//
+
+class CompensationCompletenessPass : public LintPass {
+public:
+  const char *name() const override { return "compensation-completeness"; }
+  const char *description() const override {
+    return "every exit collapsed into a bypass is re-established off-"
+           "trace, with every register it needs defined (Section 5)";
+  }
+
+  void run(LintContext &Ctx, std::vector<LintFinding> &Out) override {
+    const Function &F = Ctx.func();
+    Liveness &LV = Ctx.liveness();
+    for (size_t L = 0; L < F.numBlocks(); ++L) {
+      const Block &B = F.block(L);
+      if (B.isCompensation())
+        continue;
+      for (const Bypass &BP : findBypasses(F, B)) {
+        if (BP.Lookaheads.empty())
+          continue;
+        Block Path = makePathBlock(B, BP);
+        RegionPQS PQS(F, Path);
+        BDD &Mgr = PQS.bdd();
+        BDD::NodeRef OffTaken = PQS.takenExpr(BP.BranchIdx);
+        BDD::NodeRef Exits = compExitCond(PQS, Path, BP);
+
+        // Completeness: whenever the bypass is taken, some re-executed
+        // exit must fire; otherwise the off-trace path falls through to
+        // the trailing trap (the planted compensation-skip defect).
+        if (Mgr.isValid(OffTaken) && Mgr.isValid(Exits) &&
+            !PQS.implies(OffTaken, Exits)) {
+          int Anchor = BP.Comp->empty()
+                           ? -1
+                           : static_cast<int>(BP.Comp->size()) - 1;
+          Out.push_back(makeFinding(
+              DiagCode::LintCompensation, name(), *BP.Comp, Anchor,
+              "bypass predicate " + BP.OffPred.str() +
+                  " can be true with no re-established exit taken: the "
+                  "off-trace path loses the branch closure moved on its "
+                  "behalf"));
+        }
+
+        // Definition completeness: every register live at an off-trace
+        // exit must be defined along the off-trace path under the exit's
+        // condition (or be available at the region entry already).
+        for (size_t K = BP.BranchIdx + 1; K < Path.size(); ++K) {
+          const Operation &Op = Path.ops()[K];
+          if (!Op.isBranch() && Op.getOpcode() != Opcode::Halt)
+            continue;
+          BDD::NodeRef ExitE =
+              Op.isBranch() ? PQS.takenExpr(K) : PQS.execExpr(K);
+          if (!Mgr.isValid(ExitE))
+            continue;
+          RegSet Need = LV.liveAtExit(F, Path, K);
+          int CompIdx = static_cast<int>(K - (BP.BranchIdx + 1));
+          for (Reg R : sorted(Need)) {
+            // Same conventions as use-before-def: the true predicate is
+            // always available, registers defined in predecessor blocks
+            // (or around a loop) arrive at the region entry, and a
+            // register with no definition on the path at all is a region
+            // input. The target is a *partial* re-establishment -- a def
+            // present on the path but under too weak a predicate.
+            if (R.isTruePred() || Ctx.defReachesEntry(R, L))
+              continue;
+            BDD::NodeRef DefCond = BDD::False;
+            bool AnyDef = false;
+            for (size_t J = 0; J < K; ++J)
+              if (Path.ops()[J].definesReg(R)) {
+                AnyDef = true;
+                DefCond =
+                    Mgr.mkOr(DefCond, writeCond(PQS, Path.ops()[J], J, R));
+              }
+            if (!AnyDef || !Mgr.isValid(DefCond))
+              continue;
+            if (!PQS.implies(ExitE, DefCond))
+              Out.push_back(makeFinding(
+                  DiagCode::LintCompensation, name(), *BP.Comp, CompIdx,
+                  "register " + R.str() +
+                      " is live at this off-trace exit but is not "
+                      "re-established on the off-trace path"));
+          }
+        }
+      }
+    }
+  }
+
+private:
+  /// Deterministic iteration order over an unordered register set.
+  static std::vector<Reg> sorted(const RegSet &S) {
+    std::vector<Reg> V(S.begin(), S.end());
+    std::sort(V.begin(), V.end());
+    return V;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Check 5: schedule-legality
+//===----------------------------------------------------------------------===//
+
+class ScheduleLegalityPass : public LintPass {
+public:
+  const char *name() const override { return "schedule-legality"; }
+  const char *description() const override {
+    return "emitted schedules respect dependence latencies and per-unit "
+           "resource limits of the machine model (Section 7)";
+  }
+
+  void run(LintContext &Ctx, std::vector<LintFinding> &Out) override {
+    const Function &F = Ctx.func();
+    Liveness &LV = Ctx.liveness();
+    for (size_t L = 0; L < F.numBlocks(); ++L) {
+      const Block &B = F.block(L);
+      if (B.empty())
+        continue;
+      RegionPQS PQS(F, B);
+      for (const MachineDesc &MD : Ctx.options().Machines) {
+        DepGraph DG(F, B, MD, PQS, LV);
+        Schedule S = scheduleBlock(B, DG, MD);
+        validate(B, DG, MD, S, Out);
+      }
+      for (const InjectedSchedule &Inj : Ctx.options().Schedules) {
+        if (Inj.BlockName != B.getName())
+          continue;
+        const MachineDesc *MD = nullptr;
+        static const std::vector<MachineDesc> Models =
+            MachineDesc::paperModels();
+        for (const MachineDesc &M : Models)
+          if (M.getName() == Inj.MachineName)
+            MD = &M;
+        if (!MD) {
+          Out.push_back(makeFinding(
+              DiagCode::LintSchedule, name(), B, -1,
+              "pinned schedule names unknown machine '" + Inj.MachineName +
+                  "'"));
+          continue;
+        }
+        if (Inj.Cycles.size() != B.size()) {
+          Out.push_back(makeFinding(
+              DiagCode::LintSchedule, name(), B, -1,
+              "pinned schedule has " + std::to_string(Inj.Cycles.size()) +
+                  " cycles for a block of " + std::to_string(B.size()) +
+                  " operations"));
+          continue;
+        }
+        DepGraph DG(F, B, *MD, PQS, LV);
+        Schedule S(Inj.Cycles, B, *MD);
+        validate(B, DG, *MD, S, Out);
+      }
+    }
+  }
+
+private:
+  static const char *unitName(UnitKind K) {
+    switch (K) {
+    case UnitKind::Int:
+      return "integer";
+    case UnitKind::Float:
+      return "float";
+    case UnitKind::Mem:
+      return "memory";
+    case UnitKind::Branch:
+      return "branch";
+    }
+    return "unknown";
+  }
+
+  void validate(const Block &B, const DepGraph &DG, const MachineDesc &MD,
+                const Schedule &S, std::vector<LintFinding> &Out) {
+    for (const DepEdge &E : DG.edges())
+      if (S.cycleOf(E.To) < S.cycleOf(E.From) + E.Latency)
+        Out.push_back(makeFinding(
+            DiagCode::LintSchedule, name(), B, static_cast<int>(E.To),
+            "operation issues in cycle " + std::to_string(S.cycleOf(E.To)) +
+                " before its " + depKindName(E.Kind) + " dependence on op %" +
+                std::to_string(B.ops()[E.From].getId()) + " (cycle " +
+                std::to_string(S.cycleOf(E.From)) + " + latency " +
+                std::to_string(E.Latency) + ") is satisfied on machine '" +
+                MD.getName() + "'"));
+    int MaxCycle = 0;
+    for (size_t I = 0; I < S.size(); ++I)
+      MaxCycle = std::max(MaxCycle, S.cycleOf(I));
+    for (int C = 0; C <= MaxCycle; ++C) {
+      int PerKind[4] = {0, 0, 0, 0};
+      int Total = 0;
+      for (size_t I = 0; I < S.size(); ++I) {
+        if (S.cycleOf(I) != C)
+          continue;
+        ++Total;
+        UnitKind K = opcodeUnit(B.ops()[I].getOpcode());
+        ++PerKind[static_cast<unsigned>(K)];
+        if (MD.isSequential()) {
+          if (Total == 2)
+            Out.push_back(makeFinding(
+                DiagCode::LintSchedule, name(), B, static_cast<int>(I),
+                "sequential machine issues more than one operation in "
+                "cycle " + std::to_string(C)));
+          continue;
+        }
+        int Cap = MD.unitCount(K);
+        if (PerKind[static_cast<unsigned>(K)] == Cap + 1)
+          Out.push_back(makeFinding(
+              DiagCode::LintSchedule, name(), B, static_cast<int>(I),
+              std::string("issue slot oversubscribed: more than ") +
+                  std::to_string(Cap) + " " + unitName(K) +
+                  "-unit operations in cycle " + std::to_string(C) +
+                  " on machine '" + MD.getName() + "'"));
+      }
+    }
+  }
+};
+
+} // namespace
+
+void cpr::addBuiltinLintPasses(LintDriver &D) {
+  D.addPass(std::make_unique<FRPConsistencyPass>());
+  D.addPass(std::make_unique<UseBeforeDefPass>());
+  D.addPass(std::make_unique<SpeculationSafetyPass>());
+  D.addPass(std::make_unique<CompensationCompletenessPass>());
+  D.addPass(std::make_unique<ScheduleLegalityPass>());
+}

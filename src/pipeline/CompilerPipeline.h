@@ -92,6 +92,16 @@ struct PipelineOptions {
   /// Budget for the transform stage (steps = CPR-block transforms, plus
   /// an optional wall-clock cap). Zero-initialized = unlimited.
   Budget TransformBudget;
+  /// Run the static semantic checks of src/lint/ (docs/LINT.md) around
+  /// the transform: the baseline is linted before CPR and the treated
+  /// function after it, with findings reported to Diags and counted in
+  /// Stats. When the baseline is lint-clean, post-transform error
+  /// findings mean the transform broke an invariant: with FailSafe each
+  /// offending region rolls back as its transaction commits (via
+  /// CPRContext::RegionLint) and a finding that still survives falls the
+  /// session back to the baseline; in strict mode it is fatal. Purely
+  /// static -- no interpreter runs, unlike RegionEquivalence.
+  bool Lint = false;
   /// Optional sink for stage diagnostics and rollback remarks. Not
   /// owned; may be shared across sessions (it is thread-safe).
   DiagnosticEngine *Diags = nullptr;

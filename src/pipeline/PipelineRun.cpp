@@ -8,6 +8,7 @@
 
 #include "interp/Profiler.h"
 #include "ir/Verifier.h"
+#include "lint/Lint.h"
 #include "regions/DeadCodeElim.h"
 #include "regions/LoopUnroller.h"
 #include "regions/Simplify.h"
@@ -184,6 +185,27 @@ const Function &PipelineRun::treated() {
     BudgetTracker TransformBudget(Opts.TransformBudget);
     if (!Opts.TransformBudget.unlimited())
       Ctx.Budget = &TransformBudget;
+    // Static-lint stage (docs/LINT.md). The baseline result gates the
+    // post-transform policy: findings the input already had are not the
+    // transform's fault, so regression detection is differential.
+    LintOptions LintOpts;
+    LintOpts.Machines = Opts.Machines;
+    LintDriver Linter = LintDriver::withBuiltinPasses(std::move(LintOpts));
+    bool BaselineLintClean = true;
+    if (Opts.Lint) {
+      PassTimer LT(Stats, Prefix + "lint_baseline");
+      LintResult LR = Linter.run(Base);
+      if (Opts.Diags)
+        reportLintFindings(LR, *Opts.Diags);
+      if (Stats)
+        Stats->addCount(Prefix + "lint/baseline_findings",
+                        static_cast<double>(LR.Findings.size()));
+      BaselineLintClean = LR.errorCount() == 0;
+    }
+    if (Opts.Lint && Opts.FailSafe && BaselineLintClean)
+      Ctx.RegionLint = [&Linter](const Function &Candidate) -> Status {
+        return lintStatus(Linter.run(Candidate));
+      };
     if (Opts.FailSafe && Opts.RegionEquivalence)
       Ctx.RegionOracle = [this, &Base](const Function &Candidate) -> Status {
         if (fault::shouldFail("interp.oracle"))
@@ -201,6 +223,30 @@ const Function &PipelineRun::treated() {
       };
     CPR = runControlCPR(*Treated, Profile, Opts.CPR, Ctx);
     T.stop();
+    if (Opts.Lint) {
+      PassTimer LT(Stats, Prefix + "lint_treated");
+      LintResult LR = Linter.run(*Treated);
+      if (Opts.Diags)
+        reportLintFindings(LR, *Opts.Diags);
+      if (Stats)
+        Stats->addCount(Prefix + "lint/treated_findings",
+                        static_cast<double>(LR.Findings.size()));
+      if (BaselineLintClean && LR.errorCount() > 0) {
+        const LintFinding *First = nullptr;
+        for (const LintFinding &F : LR.Findings)
+          if (F.Severity == DiagSeverity::Error && !First)
+            First = &F;
+        std::string Msg = "post-transform lint found " +
+                          std::to_string(LR.errorCount()) +
+                          " invariant violation(s) in @" + Name + "; first: " +
+                          First->str();
+        if (!Opts.FailSafe)
+          reportFatalError(Msg);
+        LT.stop();
+        fallbackToBaseline(First->Code, std::move(Msg),
+                           "lint.pipeline");
+      }
+    }
     recordTransformStats();
   }
   return *Treated;

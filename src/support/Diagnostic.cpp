@@ -48,6 +48,16 @@ const char *cpr::diagCodeName(DiagCode C) {
     return "io-error";
   case DiagCode::Internal:
     return "internal";
+  case DiagCode::LintFRP:
+    return "lint-frp";
+  case DiagCode::LintUseBeforeDef:
+    return "lint-use-before-def";
+  case DiagCode::LintSpeculation:
+    return "lint-speculation";
+  case DiagCode::LintCompensation:
+    return "lint-compensation";
+  case DiagCode::LintSchedule:
+    return "lint-schedule";
   }
   return "unknown";
 }

@@ -64,6 +64,13 @@ enum class DiagCode {
   UsageError,      ///< bad tool invocation / options
   IOError,         ///< file could not be read or written
   Internal,        ///< invariant violation caught on a recoverable path
+  // Static-semantic lint findings (src/lint/, docs/LINT.md). One stable
+  // code per check so tools and tests can match findings exactly.
+  LintFRP,          ///< bypass FRP not equal to the ORed branch conditions
+  LintUseBeforeDef, ///< read under a predicate with no dominating def
+  LintSpeculation,  ///< unsafe promoted (guard-weakened) operation
+  LintCompensation, ///< compensation block misses a moved definition/exit
+  LintSchedule,     ///< schedule violates latency or resource limits
 };
 
 /// Name of \p C for messages ("parse-error", "budget-exhausted", ...).

@@ -1,0 +1,69 @@
+//===- tests/lint/LintOracleTest.cpp - Static-oracle fuzz campaign --------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// cpr-fuzz's --static-oracle mode judges cases with the cpr-lint checks
+// instead of the interpreter: a clean campaign passes, the planted
+// compensation-skip miscompile is flagged as lint-reject on every case it
+// corrupts -- without a single execution -- and the outcome is
+// deterministic at any thread count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace cpr;
+
+namespace {
+
+std::string failures(const FuzzCampaignResult &R) {
+  std::ostringstream OS;
+  for (const FuzzFailure &F : R.Failures)
+    OS << "case " << F.CaseIndex << " [" << F.VariantName
+       << "]: " << F.Detail << "\n";
+  return OS.str();
+}
+
+TEST(LintStaticOracle, CleanCampaignPasses) {
+  FuzzCampaignOptions Opts;
+  Opts.Seed = 7;
+  Opts.Runs = 10;
+  FuzzCampaignResult R = runStaticLintCampaign(Opts);
+  EXPECT_EQ(R.Cases, 10u);
+  EXPECT_TRUE(R.clean()) << failures(R);
+  EXPECT_EQ(R.LintRejects, 0u);
+}
+
+TEST(LintStaticOracle, PlantedDefectIsFlaggedWithoutExecution) {
+  FuzzCampaignOptions Opts;
+  Opts.Seed = 7;
+  Opts.Runs = 10;
+  Opts.InjectDefect = true;
+  FuzzCampaignResult R = runStaticLintCampaign(Opts);
+  EXPECT_GE(R.LintRejects, 1u) << "static oracle missed the miscompile";
+  for (const FuzzFailure &F : R.Failures) {
+    EXPECT_EQ(F.Outcome, FuzzOutcome::LintReject);
+    EXPECT_NE(F.Detail.find("lint-"), std::string::npos) << F.Detail;
+    EXPECT_FALSE(F.ReducedText.empty())
+        << "failures keep their reproducer text";
+  }
+}
+
+TEST(LintStaticOracle, DeterministicAtAnyThreadCount) {
+  FuzzCampaignOptions Opts;
+  Opts.Seed = 11;
+  Opts.Runs = 8;
+  Opts.InjectDefect = true;
+  Opts.Threads = 1;
+  FuzzCampaignResult A = runStaticLintCampaign(Opts);
+  Opts.Threads = 3;
+  FuzzCampaignResult B = runStaticLintCampaign(Opts);
+  EXPECT_EQ(A.summary(), B.summary());
+  EXPECT_EQ(failures(A), failures(B));
+}
+
+} // namespace

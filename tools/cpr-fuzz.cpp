@@ -11,6 +11,7 @@
 //   cpr-fuzz --corpus=dir --runs=100 --reduce --out=dir
 //   cpr-fuzz repro.ir [repro2.ir ...]               # replay mode
 //   cpr-fuzz --fault-campaign                       # fault injection
+//   cpr-fuzz --static-oracle --runs=200             # lint-judged campaign
 //
 // Campaigns are deterministic for a fixed --seed at any --threads
 // setting; see docs/FUZZING.md for the triage workflow and
@@ -42,6 +43,7 @@ struct Config {
   FuzzCampaignOptions Campaign;
   FaultCampaignOptions Fault;
   bool FaultCampaign = false;
+  bool StaticOracle = false;
   std::string FaultSites;
   std::string StatsJSON;
   bool ExpectFailures = false;
@@ -107,6 +109,10 @@ OptionTable buildOptions(Config &C) {
                 "fault campaign: arm each site for its 1st..nth hit "
                 "(default 2)",
                 C.Fault.NthHits);
+  T.addFlag("--static-oracle",
+            "judge cases with the cpr-lint static checks instead of the "
+            "interpreter (differential: pre-existing findings excluded)",
+            C.StaticOracle);
   T.addFlag("--inject-defect",
             "plant the hidden compensation-skip miscompile (oracle "
             "self-test)",
@@ -255,7 +261,16 @@ int main(int argc, char **argv) {
     return Res.clean() ? exit_codes::Success : exit_codes::Failure;
   }
 
-  FuzzCampaignResult Res = runFuzzCampaign(C.Campaign);
+  if (C.StaticOracle && C.Campaign.Reduce) {
+    std::fprintf(stderr,
+                 "cpr-fuzz: --reduce is not supported with "
+                 "--static-oracle (the reducer's oracle is the "
+                 "differential runner)\n");
+    return exit_codes::UsageError;
+  }
+  FuzzCampaignResult Res = C.StaticOracle
+                               ? runStaticLintCampaign(C.Campaign)
+                               : runFuzzCampaign(C.Campaign);
   std::printf("%s\n", Res.summary().c_str());
   for (const FuzzFailure &F : Res.Failures)
     if (!F.ReproducerPath.empty())

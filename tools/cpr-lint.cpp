@@ -1,0 +1,254 @@
+//===- tools/cpr-lint.cpp - Static semantic checker for CPR IR ------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// Runs the five static checks of src/lint/ (docs/LINT.md) over a textual
+// IR file, or -- with --workloads -- over every benchmark of the paper's
+// suite both before and after the CPR treatment:
+//
+//   cpr-lint input.ir [options]
+//   cpr-lint --workloads [options]
+//
+// Findings print as text; --stats-json additionally writes the
+// `cpr-lint-v1` report. Fixture files may pin a schedule for the
+// schedule-legality check with a sidecar comment the IR parser ignores:
+//
+//   ; lint-schedule(medium) @Block: 0 0 1 2 ...
+//
+// Exit codes (support/Diagnostic.h): 0 clean, 1 findings at error
+// severity (or warning severity with --werror), 2 usage error, 3 input
+// parse error, 4 input verification error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Profiler.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "lint/Lint.h"
+#include "pipeline/CompilerPipeline.h"
+#include "support/OptionParser.h"
+#include "workloads/BenchmarkSuite.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace cpr;
+
+namespace {
+
+struct Config {
+  std::string Checks;
+  std::string Machine = "medium";
+  std::string StatsJSON;
+  bool Workloads = false;
+  bool Werror = false;
+  bool Quiet = false;
+  bool ListChecks = false;
+  bool Help = false;
+};
+
+OptionTable buildOptions(Config &C) {
+  OptionTable T;
+  T.addFlag("--workloads",
+            "lint every paper benchmark pre- and post-CPR instead of a file",
+            C.Workloads);
+  T.addString("--checks", "<a,b,...>",
+              "run only the named checks (default: all)", C.Checks);
+  T.addString("--machine", "<name|all>",
+              "machine model(s) for schedule-legality (default: medium)",
+              C.Machine);
+  T.addString("--stats-json", "<file>",
+              "write the cpr-lint-v1 JSON report to <file> ('-' = stdout)",
+              C.StatsJSON);
+  T.addFlag("--werror", "treat warning-severity findings as errors",
+            C.Werror);
+  T.addFlag("--list-checks", "print the available checks and exit",
+            C.ListChecks);
+  T.addFlag("--quiet", "suppress per-function progress lines", C.Quiet);
+  T.addFlag("--help", "show this help", C.Help);
+  return T;
+}
+
+std::vector<std::string> splitList(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char Ch : S) {
+    if (Ch == ',') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += Ch;
+    }
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+/// Resolves --machine into the model list for schedule-legality.
+bool resolveMachines(const std::string &Name,
+                     std::vector<MachineDesc> &Out) {
+  std::vector<MachineDesc> Models = MachineDesc::paperModels();
+  if (Name == "all") {
+    Out = std::move(Models);
+    return true;
+  }
+  for (MachineDesc &M : Models)
+    if (M.getName() == Name) {
+      Out = {std::move(M)};
+      return true;
+    }
+  return false;
+}
+
+struct Report {
+  JSONValue Functions = JSONValue::array();
+  unsigned Errors = 0;
+  unsigned Warnings = 0;
+};
+
+/// Lints one function, prints findings, and appends to the report.
+/// \p Label names the entry in output ("<func>" or "<func> (post-cpr)").
+void lintOne(const LintDriver &Driver, const Function &F,
+             const std::string &Label, const Config &C, Report &R) {
+  LintResult Res = Driver.run(F);
+  if (!C.Quiet)
+    std::printf("cpr-lint: %s: %zu finding(s)\n", Label.c_str(),
+                Res.Findings.size());
+  for (const LintFinding &Finding : Res.Findings)
+    std::printf("%s\n", Finding.str().c_str());
+  R.Errors += Res.errorCount();
+  R.Warnings +=
+      Res.countAtLeast(DiagSeverity::Warning) - Res.errorCount();
+  JSONValue Entry = lintResultToJSON(Label, Res);
+  R.Functions.append(std::move(Entry));
+}
+
+int finish(const Config &C, Report &R) {
+  if (!C.StatsJSON.empty()) {
+    JSONValue Root = JSONValue::object();
+    Root.set("schema", JSONValue::str("cpr-lint-v1"));
+    Root.set("functions", std::move(R.Functions));
+    JSONValue Totals = JSONValue::object();
+    Totals.set("error", JSONValue::number(R.Errors));
+    Totals.set("warning", JSONValue::number(R.Warnings));
+    Root.set("totals", std::move(Totals));
+    std::string Out = writeJSON(Root);
+    if (C.StatsJSON == "-") {
+      std::printf("%s\n", Out.c_str());
+    } else {
+      std::ofstream OS(C.StatsJSON);
+      if (!OS) {
+        std::fprintf(stderr, "cpr-lint: cannot write %s\n",
+                     C.StatsJSON.c_str());
+        return exit_codes::Failure;
+      }
+      OS << Out << "\n";
+    }
+  }
+  if (R.Errors > 0 || (C.Werror && R.Warnings > 0))
+    return exit_codes::Failure;
+  return exit_codes::Success;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Config C;
+  OptionTable T = buildOptions(C);
+  std::string Error;
+  std::vector<std::string> Inputs;
+  if (!T.parse(argc, argv, Error, &Inputs)) {
+    std::fprintf(stderr, "cpr-lint: %s\n", Error.c_str());
+    return exit_codes::UsageError;
+  }
+  if (C.Help) {
+    std::printf("%s", T.help("cpr-lint <input.ir> [options]\n"
+                             "cpr-lint --workloads [options]")
+                          .c_str());
+    return exit_codes::Success;
+  }
+
+  LintOptions Opts;
+  if (!resolveMachines(C.Machine, Opts.Machines)) {
+    std::fprintf(stderr, "cpr-lint: unknown machine '%s'\n",
+                 C.Machine.c_str());
+    return exit_codes::UsageError;
+  }
+  Opts.OnlyChecks = splitList(C.Checks);
+  LintDriver Probe = LintDriver::withBuiltinPasses();
+  if (C.ListChecks) {
+    for (const std::unique_ptr<LintPass> &P : Probe.passes())
+      std::printf("%-26s %s\n", P->name(), P->description());
+    return exit_codes::Success;
+  }
+  for (const std::string &Name : Opts.OnlyChecks) {
+    bool Known = false;
+    for (const std::unique_ptr<LintPass> &P : Probe.passes())
+      if (Name == P->name())
+        Known = true;
+    if (!Known) {
+      std::fprintf(stderr, "cpr-lint: unknown check '%s'\n", Name.c_str());
+      return exit_codes::UsageError;
+    }
+  }
+
+  Report R;
+  if (C.Workloads) {
+    if (!Inputs.empty()) {
+      std::fprintf(stderr,
+                   "cpr-lint: --workloads takes no input files\n");
+      return exit_codes::UsageError;
+    }
+    LintDriver Driver = LintDriver::withBuiltinPasses(Opts);
+    for (const BenchmarkSpec &Spec : paperBenchmarkSuite()) {
+      KernelProgram P = Spec.Build();
+      lintOne(Driver, *P.Func, Spec.Name, C, R);
+      Memory Mem = P.InitMem;
+      ProfileData Prof = profileRun(*P.Func, Mem, P.InitRegs);
+      std::unique_ptr<Function> Treated =
+          applyControlCPR(*P.Func, Prof, CPROptions());
+      lintOne(Driver, *Treated, Spec.Name + " (post-cpr)", C, R);
+    }
+    return finish(C, R);
+  }
+
+  if (Inputs.size() != 1) {
+    std::fprintf(stderr,
+                 "cpr-lint: expected exactly one input file (see --help)\n");
+    return exit_codes::UsageError;
+  }
+  std::ifstream In(Inputs[0]);
+  if (!In) {
+    std::fprintf(stderr, "cpr-lint: cannot read %s\n", Inputs[0].c_str());
+    return exit_codes::Failure;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+
+  ParseResult PR = parseFunction(Text);
+  if (!PR.Func) {
+    std::fprintf(stderr, "cpr-lint: %s:%u: error: %s\n", Inputs[0].c_str(),
+                 PR.Line, PR.Error.c_str());
+    return exit_codes::ParseError;
+  }
+  // Complete verification report, not just the first violation
+  // (ir/Verifier reportVerification).
+  DiagnosticEngine VerifyDiags;
+  if (reportVerification(*PR.Func, VerifyDiags, "cpr-lint input") > 0) {
+    for (const Diagnostic &D : VerifyDiags.diagnostics())
+      std::fprintf(stderr, "cpr-lint: %s\n", D.str().c_str());
+    return exit_codes::VerifyError;
+  }
+
+  if (Status S = parseInjectedSchedules(Text, Opts.Schedules); !S) {
+    std::fprintf(stderr, "cpr-lint: %s\n", S.diagnostic().str().c_str());
+    return exit_codes::ParseError;
+  }
+  LintDriver Driver = LintDriver::withBuiltinPasses(Opts);
+  lintOne(Driver, *PR.Func, PR.Func->getName(), C, R);
+  return finish(C, R);
+}

@@ -36,6 +36,7 @@
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "cpr/PredicateSpeculation.h"
+#include "lint/Lint.h"
 #include "pipeline/PipelineRun.h"
 #include "regions/FRPConversion.h"
 #include "regions/DeadCodeElim.h"
@@ -71,6 +72,7 @@ struct Config {
   bool Run = false, Estimate = false, Simulate = false;
   bool CheckEquiv = false;
   bool FailSafe = false, RegionEquiv = false;
+  bool Lint = false, Werror = false;
   unsigned InterpMaxSteps = 0;
   unsigned TransformSteps = 0, TransformMs = 0;
   bool Help = false;
@@ -168,6 +170,15 @@ OptionTable buildOptions(Config &C) {
             "fail-safe: re-check equivalence after each region and roll "
             "back on mismatch (expensive)",
             C.RegionEquiv);
+  T.addFlag("--lint",
+            "run the static semantic checks before and after the phases; "
+            "with --fail-safe, regions whose transform introduces a "
+            "finding roll back",
+            C.Lint);
+  T.addFlag("--werror",
+            "exit nonzero when any warning-severity diagnostic was "
+            "reported (budget exhaustion, lint warnings, ...)",
+            C.Werror);
   T.addUnsigned("--interp-max-steps", "<n>",
                 "step budget for profiling/oracle runs (0 = unlimited)",
                 C.InterpMaxSteps);
@@ -374,6 +385,19 @@ int main(int argc, char **argv) {
     POut << serializeProfile(*PhaseProfile, *F);
   }
 
+  // Static semantic checks (docs/LINT.md), differential around the
+  // phases: pre-phase findings belong to the input and only downgrade
+  // the post-phase policy; new post-phase findings are the transform's.
+  LintDriver Linter = LintDriver::withBuiltinPasses();
+  bool BaselineLintClean = true;
+  if (C.Lint) {
+    LintResult LR = Linter.run(*F);
+    reportLintFindings(LR, Diags);
+    BaselineLintClean = LR.errorCount() == 0;
+    std::fprintf(stderr, "lint: input: %zu finding(s)\n",
+                 LR.Findings.size());
+  }
+
   // Phases.
   if (C.Phase == "frp" || C.Phase == "speculate") {
     for (size_t I = 0; I < F->numBlocks(); ++I)
@@ -396,6 +420,10 @@ int main(int argc, char **argv) {
     BudgetTracker TransformBudget(TransformLimit);
     if (!TransformLimit.unlimited())
       Ctx.Budget = &TransformBudget;
+    if (C.FailSafe && C.Lint && BaselineLintClean)
+      Ctx.RegionLint = [&Linter](const Function &Candidate) -> Status {
+        return lintStatus(Linter.run(Candidate));
+      };
     std::unique_ptr<Function> OracleBaseline;
     if (C.FailSafe && C.RegionEquiv) {
       OracleBaseline = F->clone();
@@ -450,6 +478,16 @@ int main(int argc, char **argv) {
     return exit_codes::UsageError;
   }
   verifyOrDie(*F, "cprc output");
+
+  if (C.Lint) {
+    LintResult LR = Linter.run(*F);
+    // Findings the input already had are not re-reported as new errors;
+    // any error here on a lint-clean input is a transform regression.
+    if (BaselineLintClean)
+      reportLintFindings(LR, Diags);
+    std::fprintf(stderr, "lint: output: %zu finding(s)\n",
+                 LR.Findings.size());
+  }
 
   std::printf("%s", printFunction(*F, C.PO).c_str());
 
@@ -581,6 +619,8 @@ int main(int argc, char **argv) {
   for (const Diagnostic &D : Diags.diagnostics())
     std::fprintf(stderr, "cprc: %s\n", D.str().c_str());
   if (Diags.errorCount() > 0)
+    return exit_codes::Failure;
+  if (C.Werror && Diags.count(DiagSeverity::Warning) > 0)
     return exit_codes::Failure;
   return exit_codes::Success;
 }

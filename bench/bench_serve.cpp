@@ -1,0 +1,406 @@
+//===- bench/bench_serve.cpp - cprd load driver (cpr-bench-serve) ---------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// Load driver for the compile service: replays a mixed workload (the
+// built-in Unix-utility kernels, seeded fuzz-generated programs, and the
+// committed fuzz regression corpus) against an in-process CompileService
+// at several client thread counts, and reports
+//
+//   - throughput (regions compiled per second),
+//   - request latency percentiles (p50 / p95 / p99),
+//   - region-cache hit rate and eviction count,
+//   - a byte-identity audit: every repeat of a request must produce a
+//     response frame byte-identical to the first (cache replay is
+//     indistinguishable from a cold compile on the wire).
+//
+// Each request in the schedule repeats every unique program several
+// times (round-robin), so a healthy cache shows a hit rate well above
+// 50% -- the committed BENCH_serve.json baseline records it.
+//
+// Results are written as a cpr-stats-v1.2 document: deterministic facts
+// (request/hit/miss counts, identity failures) in "counters", wall-clock
+// derived numbers (latency percentiles, regions/s) in "times_ms".
+//
+//   cpr-bench-serve --out=BENCH_serve.json
+//   cpr-bench-serve --quick --out=/tmp/b.json     (CI smoke)
+//   cpr-bench-serve --validate=BENCH_serve.json   (schema check only)
+//
+// Exit codes: 0 success, 1 failure (identity mismatch, bad validate
+// target, I/O), 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Generator.h"
+#include "serve/CompileService.h"
+#include "support/Diagnostic.h"
+#include "support/JSON.h"
+#include "support/OptionParser.h"
+#include "support/Statistics.h"
+#include "workloads/Kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace cpr;
+using namespace cpr::serve;
+
+namespace {
+
+struct Config {
+  std::string Out;
+  std::string Validate;
+  std::string CorpusDir = "tests/fuzz/regressions";
+  unsigned FuzzPrograms = 6;
+  unsigned Repeats = 4;
+  unsigned Seed = 1;
+  unsigned CacheMB = 64;
+  bool Quick = false;
+  bool Help = false;
+};
+
+OptionTable buildOptions(Config &C) {
+  OptionTable T;
+  T.addString("--out", "<file>",
+              "write the cpr-stats-v1.2 result document here", C.Out);
+  T.addString("--validate", "<file>",
+              "validate an existing result document against the "
+              "cpr-stats-v1.2 schema and exit (no load run)",
+              C.Validate);
+  T.addString("--corpus", "<dir>",
+              "fuzz regression corpus to replay (default "
+              "tests/fuzz/regressions)",
+              C.CorpusDir);
+  T.addUnsigned("--fuzz-programs", "<n>",
+                "seeded generator programs to include", C.FuzzPrograms);
+  T.addUnsigned("--repeats", "<n>",
+                "times each unique program is requested per thread "
+                "count (repeats exercise the region cache)",
+                C.Repeats);
+  T.addUnsigned("--seed", "<n>", "generator seed base", C.Seed);
+  T.addUnsigned("--cache-mb", "<n>",
+                "region-cache budget in MiB (0 = unlimited)", C.CacheMB);
+  T.addFlag("--quick", "small workload for CI smoke runs", C.Quick);
+  T.addFlag("--help", "print this help", C.Help);
+  T.addFlag("-h", "print this help", C.Help);
+  return T;
+}
+
+/// One schedulable request: the frame plus bookkeeping for the
+/// byte-identity audit (UniqueIdx groups repeats of the same program).
+struct WorkItem {
+  CompileRequest Req;
+  size_t UniqueIdx = 0;
+};
+
+/// Builds the unique-program list: built-in kernels (small parameters --
+/// the bench measures the service, not the kernels), seeded fuzz
+/// programs, and whatever regression corpus is present.
+std::vector<std::string> buildPrograms(const Config &C) {
+  std::vector<std::string> IRs;
+  const size_t Len = C.Quick ? 256 : 1024;
+  IRs.push_back(serializeFuzzProgram(buildStrcpyKernel(4, Len, 1)));
+  IRs.push_back(serializeFuzzProgram(buildCmpKernel(4, Len, Len - 8, 2)));
+  IRs.push_back(serializeFuzzProgram(buildGrepKernel(4, Len, 0.02, 3)));
+  IRs.push_back(serializeFuzzProgram(buildWcKernel(4, Len, 4)));
+  if (!C.Quick) {
+    IRs.push_back(serializeFuzzProgram(buildLexKernel(4, Len, 5)));
+    IRs.push_back(serializeFuzzProgram(buildCccpKernel(4, Len, 6)));
+  }
+  GeneratorConfig GC;
+  unsigned NumFuzz = C.Quick ? std::min(C.FuzzPrograms, 2u)
+                             : C.FuzzPrograms;
+  for (unsigned I = 0; I < NumFuzz; ++I)
+    IRs.push_back(serializeFuzzProgram(generateProgram(C.Seed + I, GC)));
+  for (const std::string &Path : listCorpusFiles(C.CorpusDir)) {
+    FuzzParseResult FP = loadFuzzProgramFile(Path);
+    if (FP)
+      IRs.push_back(serializeFuzzProgram(FP.Program));
+  }
+  return IRs;
+}
+
+/// The request schedule: every unique program repeated Repeats times,
+/// round-robin (u0 u1 ... u0 u1 ...), so repeats of a program arrive
+/// interleaved with other work -- the cache-adversarial order.
+std::vector<WorkItem> buildSchedule(const std::vector<std::string> &IRs,
+                                    unsigned Repeats) {
+  std::vector<WorkItem> Items;
+  for (unsigned R = 0; R < Repeats; ++R)
+    for (size_t U = 0; U < IRs.size(); ++U) {
+      WorkItem W;
+      W.Req.Id = "u" + std::to_string(U) + "r" + std::to_string(R);
+      W.Req.IR = IRs[U];
+      W.UniqueIdx = U;
+      Items.push_back(std::move(W));
+    }
+  return Items;
+}
+
+struct RunResultRow {
+  unsigned Threads = 0;
+  size_t Requests = 0;
+  size_t OkResponses = 0;
+  uint64_t Regions = 0;
+  uint64_t CacheHits = 0, CacheMisses = 0, CacheEvictions = 0;
+  size_t IdentityFailures = 0;
+  double WallMs = 0.0;
+  double P50Ms = 0.0, P95Ms = 0.0, P99Ms = 0.0;
+
+  double hitRate() const {
+    uint64_t Total = CacheHits + CacheMisses;
+    return Total ? static_cast<double>(CacheHits) / Total : 0.0;
+  }
+  double regionsPerSec() const {
+    return WallMs > 0.0 ? 1000.0 * static_cast<double>(Regions) / WallMs
+                        : 0.0;
+  }
+};
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(Sorted.size()));
+  if (Idx >= Sorted.size())
+    Idx = Sorted.size() - 1;
+  return Sorted[Idx];
+}
+
+/// Replays the schedule against a fresh service on \p Threads client
+/// threads. The byte-identity audit canonicalizes each response frame by
+/// re-encoding it with the id of the first repeat (ids differ per repeat
+/// by construction; everything else must match byte for byte).
+RunResultRow runLoad(const Config &C, const std::vector<WorkItem> &Items,
+                     size_t NumUnique, unsigned Threads) {
+  ServiceOptions SO;
+  SO.CacheBytes = static_cast<size_t>(C.CacheMB) << 20;
+  CompileService Service(SO);
+
+  std::vector<double> Latencies(Items.size(), 0.0);
+  std::vector<std::string> Canonical(Items.size());
+  std::atomic<size_t> Next{0};
+  std::atomic<uint64_t> Regions{0};
+  std::atomic<size_t> Ok{0};
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      for (;;) {
+        size_t I = Next.fetch_add(1);
+        if (I >= Items.size())
+          return;
+        auto T0 = std::chrono::steady_clock::now();
+        CompileResponse Res = Service.compile(Items[I].Req);
+        Latencies[I] = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - T0)
+                           .count();
+        if (Res.ok()) {
+          Ok.fetch_add(1);
+          Regions.fetch_add(Res.CPR.RegionsProcessed);
+        }
+        // Canonical frame: the response as if it answered repeat 0.
+        Res.Id = "u" + std::to_string(Items[I].UniqueIdx) + "r0";
+        // Per-request hit/miss counts legitimately differ between cold
+        // and cached runs; blank them for the identity audit (the wire
+        // check in tests/serve covers their correctness).
+        Res.CacheHits = Res.CacheMisses = 0;
+        Canonical[I] = encodeResponse(Res);
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  RunResultRow Row;
+  Row.Threads = Threads;
+  Row.Requests = Items.size();
+  Row.OkResponses = Ok.load();
+  Row.Regions = Regions.load();
+  Row.WallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count();
+
+  // Byte-identity audit: all repeats of a unique program produced the
+  // same canonical frame.
+  std::vector<const std::string *> First(NumUnique, nullptr);
+  for (size_t I = 0; I < Items.size(); ++I) {
+    const std::string *&F = First[Items[I].UniqueIdx];
+    if (!F)
+      F = &Canonical[I];
+    else if (*F != Canonical[I])
+      ++Row.IdentityFailures;
+  }
+
+  RegionCacheStats CS = Service.cacheStats();
+  Row.CacheHits = CS.Hits;
+  Row.CacheMisses = CS.Misses;
+  Row.CacheEvictions = CS.Evictions;
+
+  std::sort(Latencies.begin(), Latencies.end());
+  Row.P50Ms = percentile(Latencies, 0.50);
+  Row.P95Ms = percentile(Latencies, 0.95);
+  Row.P99Ms = percentile(Latencies, 0.99);
+  return Row;
+}
+
+/// --validate: the committed baseline (and CI artifacts) must be a
+/// cpr-stats-v1.2 document with the serve keys present and numeric.
+int validateDocument(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "cpr-bench-serve: cannot open '%s'\n",
+                 Path.c_str());
+    return exit_codes::Failure;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  JSONParseResult PR = parseJSON(Buf.str());
+  if (!PR) {
+    std::fprintf(stderr, "cpr-bench-serve: %s: %s\n", Path.c_str(),
+                 PR.Error.c_str());
+    return exit_codes::Failure;
+  }
+  const JSONValue &Doc = PR.Value;
+  const JSONValue *Schema = Doc.find("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->getString() != "cpr-stats-v1.2") {
+    std::fprintf(stderr,
+                 "cpr-bench-serve: %s: missing or wrong \"schema\" "
+                 "(want cpr-stats-v1.2)\n",
+                 Path.c_str());
+    return exit_codes::Failure;
+  }
+  const JSONValue *Counters = Doc.find("counters");
+  if (!Counters || !Counters->isObject()) {
+    std::fprintf(stderr, "cpr-bench-serve: %s: missing \"counters\"\n",
+                 Path.c_str());
+    return exit_codes::Failure;
+  }
+  for (const auto &M : Counters->members())
+    if (!M.second.isNumber()) {
+      std::fprintf(stderr,
+                   "cpr-bench-serve: %s: counter \"%s\" is not a "
+                   "number\n",
+                   Path.c_str(), M.first.c_str());
+      return exit_codes::Failure;
+    }
+  size_t ThreadRows = 0;
+  for (const auto &M : Counters->members())
+    if (M.first.size() > 6 && M.first.compare(0, 7, "serve/t") == 0 &&
+        M.first.find("/requests") != std::string::npos)
+      ++ThreadRows;
+  if (ThreadRows < 4) {
+    std::fprintf(stderr,
+                 "cpr-bench-serve: %s: want serve/t*/requests rows for "
+                 ">=4 thread counts, found %zu\n",
+                 Path.c_str(), ThreadRows);
+    return exit_codes::Failure;
+  }
+  const JSONValue *Identity = Counters->find("serve/identity_failures");
+  if (!Identity || !Identity->isNumber() || Identity->getNumber() != 0) {
+    std::fprintf(stderr,
+                 "cpr-bench-serve: %s: serve/identity_failures missing "
+                 "or nonzero\n",
+                 Path.c_str());
+    return exit_codes::Failure;
+  }
+  std::printf("cpr-bench-serve: %s: valid cpr-stats-v1.2 document "
+              "(%zu thread rows)\n",
+              Path.c_str(), ThreadRows);
+  return exit_codes::Success;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Config C;
+  OptionTable Options = buildOptions(C);
+  const std::string Usage = "usage: cpr-bench-serve [options]";
+
+  std::string ParseError;
+  std::vector<std::string> Positional;
+  if (!Options.parse(argc, argv, ParseError, &Positional) ||
+      !Positional.empty()) {
+    if (!ParseError.empty())
+      std::fprintf(stderr, "cpr-bench-serve: %s\n", ParseError.c_str());
+    std::fprintf(stderr, "%s", Options.help(Usage).c_str());
+    return exit_codes::UsageError;
+  }
+  if (C.Help) {
+    std::printf("%s", Options.help(Usage).c_str());
+    return exit_codes::Success;
+  }
+  if (!C.Validate.empty())
+    return validateDocument(C.Validate);
+
+  std::vector<std::string> IRs = buildPrograms(C);
+  if (C.Quick && C.Repeats > 2)
+    C.Repeats = 2;
+  std::vector<WorkItem> Items = buildSchedule(IRs, C.Repeats);
+  std::fprintf(stderr,
+               "cpr-bench-serve: %zu unique program(s), %u repeat(s), "
+               "%zu request(s) per thread count\n",
+               IRs.size(), C.Repeats, Items.size());
+
+  const unsigned ThreadCounts[] = {1, 2, 4, 8};
+  StatsRegistry Stats;
+  size_t TotalIdentityFailures = 0;
+  for (unsigned T : ThreadCounts) {
+    RunResultRow Row = runLoad(C, Items, IRs.size(), T);
+    TotalIdentityFailures += Row.IdentityFailures;
+    std::fprintf(stderr,
+                 "  t=%u: %zu req in %.0f ms, %.0f regions/s, "
+                 "p50=%.2f p95=%.2f p99=%.2f ms, hit rate %.1f%%, "
+                 "%llu eviction(s)%s\n",
+                 T, Row.Requests, Row.WallMs, Row.regionsPerSec(),
+                 Row.P50Ms, Row.P95Ms, Row.P99Ms, 100.0 * Row.hitRate(),
+                 static_cast<unsigned long long>(Row.CacheEvictions),
+                 Row.IdentityFailures ? "  IDENTITY FAILURES" : "");
+
+    const std::string P = "serve/t" + std::to_string(T) + "/";
+    Stats.addCount(P + "requests", static_cast<double>(Row.Requests));
+    Stats.addCount(P + "ok", static_cast<double>(Row.OkResponses));
+    Stats.addCount(P + "regions", static_cast<double>(Row.Regions));
+    Stats.addCount(P + "cache_hits", static_cast<double>(Row.CacheHits));
+    Stats.addCount(P + "cache_misses",
+                   static_cast<double>(Row.CacheMisses));
+    Stats.addCount(P + "cache_evictions",
+                   static_cast<double>(Row.CacheEvictions));
+    Stats.addCount(P + "hit_rate_pct", 100.0 * Row.hitRate());
+    Stats.recordTimeMs(P + "wall_ms", Row.WallMs);
+    Stats.recordTimeMs(P + "p50_ms", Row.P50Ms);
+    Stats.recordTimeMs(P + "p95_ms", Row.P95Ms);
+    Stats.recordTimeMs(P + "p99_ms", Row.P99Ms);
+    Stats.recordTimeMs(P + "regions_per_sec", Row.regionsPerSec());
+  }
+  Stats.addCount("serve/identity_failures",
+                 static_cast<double>(TotalIdentityFailures));
+  Stats.addCount("serve/unique_programs", static_cast<double>(IRs.size()));
+  Stats.addCount("serve/repeats", C.Repeats);
+
+  if (!C.Out.empty()) {
+    std::string Error;
+    if (!writeStatsJSONFile(Stats, C.Out, &Error)) {
+      std::fprintf(stderr, "cpr-bench-serve: %s\n", Error.c_str());
+      return exit_codes::Failure;
+    }
+    std::fprintf(stderr, "cpr-bench-serve: wrote %s\n", C.Out.c_str());
+  } else {
+    std::printf("%s\n", Stats.toJSONText().c_str());
+  }
+
+  if (TotalIdentityFailures > 0) {
+    std::fprintf(stderr,
+                 "cpr-bench-serve: FAILED: %zu response(s) were not "
+                 "byte-identical across repeats\n",
+                 TotalIdentityFailures);
+    return exit_codes::Failure;
+  }
+  return exit_codes::Success;
+}

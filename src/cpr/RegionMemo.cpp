@@ -1,0 +1,75 @@
+//===- cpr/RegionMemo.cpp - Content-addressed region memoization -----------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpr/RegionMemo.h"
+
+#include "ir/IRPrinter.h"
+#include "support/Hash.h"
+
+using namespace cpr;
+
+RegionMemoStore::~RegionMemoStore() = default;
+
+static size_t opBytes(const Operation &Op) {
+  return sizeof(Operation) + Op.defs().capacity() * sizeof(DefSlot) +
+         Op.srcs().capacity() * sizeof(Operand);
+}
+
+size_t RegionMemoEntry::approximateBytes() const {
+  size_t N = sizeof(RegionMemoEntry);
+  for (const Operation &Op : RegionOps)
+    N += opBytes(Op);
+  for (const RegionMemoAppendedBlock &AB : AppendedBlocks) {
+    N += sizeof(RegionMemoAppendedBlock) + AB.Name.size();
+    for (const Operation &Op : AB.Ops)
+      N += opBytes(Op);
+  }
+  return N;
+}
+
+uint64_t cpr::regionMemoKey(const std::string &Salt, unsigned Ordinal,
+                            const Function &F, const Block &B,
+                            const ProfileData &Profile,
+                            const CPROptions &Opts) {
+  Hasher H;
+  H.str(Salt);
+  H.u64(Ordinal);
+  H.u64(B.getId());
+  H.str(B.getName());
+
+  // Canonical region text with stable op ids: two regions hash equal only
+  // when their ops, ids, guards and operands are identical.
+  PrintOptions PO;
+  PO.ShowOpIds = true;
+  H.str(printBlock(F, B, PO));
+
+  // Allocator position: replay reissues ids with addBlock/setAllocatorState,
+  // which is only byte-identical from the same starting counters.
+  AllocatorState S = F.allocatorState();
+  H.u64(S.NextBlockId);
+  for (unsigned I = 0; I < NumRegClasses; ++I)
+    H.u64(S.NextRegId[I]);
+  H.u64(S.NextOpId);
+
+  // Profile slice: the match heuristics read the region's entry count and
+  // each branch's reach/taken counts. Hash them in op order (deterministic;
+  // non-branch ops contribute zeros).
+  H.u64(Profile.blockEntries(B.getId()));
+  for (const Operation &Op : B.ops()) {
+    H.u64(Op.getId());
+    H.u64(Profile.branchReached(Op.getId()));
+    H.u64(Profile.branchTaken(Op.getId()));
+  }
+
+  // Every CPROptions knob feeds the match / speculation phases.
+  H.f64(Opts.ExitWeightThreshold);
+  H.f64(Opts.PredictTakenThreshold);
+  H.u64(Opts.MaxBranchesPerBlock);
+  H.u64(Opts.MinBranchesPerBlock);
+  H.u64(Opts.EnablePredicateSpeculation ? 1 : 0);
+  H.u64(Opts.EnableTakenVariation ? 1 : 0);
+  return H.digest();
+}

@@ -1,0 +1,132 @@
+//===- cpr/RegionMemo.h - Content-addressed region memoization --*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content-addressed memoization of per-region ICBM results. The compile
+/// service (src/serve/) compiles many near-identical requests; regions
+/// whose inputs hash to a previously seen key can skip FRP conversion,
+/// speculation, match, restructure and off-trace motion entirely and
+/// replay the recorded transform instead -- with byte-identical output.
+///
+/// Soundness. A region's transform is NOT a pure function of its own
+/// text: off-trace motion consults liveness across the whole function,
+/// ids come from function-wide allocators, and the validation hooks
+/// (RegionLint / RegionOracle) close over whole-request state. The key
+/// therefore starts from a caller-provided *salt* that must fingerprint
+/// the entire request (serialized program including interpreter inputs,
+/// CPROptions, budget configuration, validation mode). Given equal salts,
+/// function evolution through the region loop is deterministic, so equal
+/// (salt, region ordinal, region text, allocator state, profile slice)
+/// implies the whole compilation reached an identical state -- and the
+/// recorded result can be replayed verbatim.
+///
+/// Only *clean* regions are memoized: no rollback, no budget event, no
+/// diagnostic emitted. A replayed hit therefore produces the exact ops,
+/// ids, counters and (absence of) diagnostics the cold compile produced.
+/// Function-level DCE stays outside the memo: it runs identically on the
+/// hit and cold paths.
+///
+/// The store interface lives here (src/cpr/ cannot depend on src/serve/);
+/// the LRU implementation with eviction and hit/miss counters is
+/// serve/RegionCache.h. docs/SERVICE.md documents the keying contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CPR_REGIONMEMO_H
+#define CPR_REGIONMEMO_H
+
+#include "analysis/ProfileData.h"
+#include "cpr/CPROptions.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cpr {
+
+/// One block appended while a region was transformed (always a
+/// compensation block in the current schema). Replaying addBlock calls in
+/// record order against an identical allocator state reissues the
+/// identical BlockIds, so ids are not stored.
+struct RegionMemoAppendedBlock {
+  std::string Name;
+  bool Compensation = false;
+  std::vector<Operation> Ops;
+};
+
+/// CPRResult counter increments contributed by one region. DCE and the
+/// fail-safe counters are absent by design: DCE is function-level, and a
+/// region with rollback / budget activity is never committed.
+struct RegionMemoDelta {
+  unsigned RegionsProcessed = 0;
+  unsigned CPRBlocksFormed = 0;
+  unsigned CPRBlocksTransformed = 0;
+  unsigned TakenVariants = 0;
+  unsigned BranchesCovered = 0;
+  unsigned Promoted = 0;
+  unsigned Demoted = 0;
+  unsigned LookaheadsInserted = 0;
+  unsigned OpsMovedOffTrace = 0;
+  unsigned OpsSplit = 0;
+  unsigned StopReasons[6] = {0, 0, 0, 0, 0, 0};
+};
+
+/// Everything needed to replay one region's transform byte-identically:
+/// the region's final ops, the blocks appended behind the function, the
+/// post-transform allocator position, the statistics counters the region
+/// contributed, and the transform-budget steps it consumed.
+struct RegionMemoEntry {
+  std::vector<Operation> RegionOps;
+  std::vector<RegionMemoAppendedBlock> AppendedBlocks;
+  AllocatorState PostAlloc;
+  RegionMemoDelta Delta;
+  uint64_t BudgetSteps = 0;
+
+  /// Rough heap footprint, used by the cache's memory budget.
+  size_t approximateBytes() const;
+};
+
+/// Abstract memo store. Implementations must be thread-safe; the contract
+/// below makes hit/miss counters deterministic at any thread count.
+///
+/// lookup() either returns a recorded entry (a hit) or returns nullopt
+/// and hands the caller an *in-flight claim* on the key: the caller now
+/// owns producing the entry and must call commit() or abandon() exactly
+/// once. A lookup racing an in-flight claim blocks until the claim
+/// resolves -- commit turns the waiters into hits, abandon lets one
+/// waiter take over the claim (its lookup returns nullopt). Each
+/// committed key therefore counts exactly one miss no matter how many
+/// threads race it.
+class RegionMemoStore {
+public:
+  virtual ~RegionMemoStore();
+
+  /// Hit: returns a copy of the recorded entry. Miss: returns nullopt and
+  /// transfers the in-flight claim for \p Key to the caller.
+  virtual std::optional<RegionMemoEntry> lookup(uint64_t Key) = 0;
+
+  /// Records \p Entry and releases the claim; pending waiters get hits.
+  virtual void commit(uint64_t Key, RegionMemoEntry Entry) = 0;
+
+  /// Drops the claim without recording (unclean region); one pending
+  /// waiter inherits the claim.
+  virtual void abandon(uint64_t Key) = 0;
+};
+
+/// Computes the content-addressed key for region \p B of \p F, about to
+/// be processed as the \p Ordinal-th region of the current ICBM run.
+/// \p Salt must fingerprint the whole request (see file comment). The
+/// machine model is deliberately excluded: it affects cycle estimation,
+/// never the transform.
+uint64_t regionMemoKey(const std::string &Salt, unsigned Ordinal,
+                       const Function &F, const Block &B,
+                       const ProfileData &Profile, const CPROptions &Opts);
+
+} // namespace cpr
+
+#endif // CPR_REGIONMEMO_H

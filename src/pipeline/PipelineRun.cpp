@@ -182,6 +182,8 @@ const Function &PipelineRun::treated() {
     CPRContext Ctx;
     Ctx.FailSafe = Opts.FailSafe;
     Ctx.Diags = Opts.Diags;
+    Ctx.Memo = Opts.Memo;
+    Ctx.MemoSalt = Opts.MemoSalt;
     BudgetTracker TransformBudget(Opts.TransformBudget);
     if (!Opts.TransformBudget.unlimited())
       Ctx.Budget = &TransformBudget;

@@ -1,0 +1,94 @@
+//===- serve/Client.cpp - cprd-v1 client -----------------------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace cpr;
+using namespace cpr::serve;
+
+namespace {
+
+Diagnostic ioError(std::string Msg) {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Error;
+  D.Code = DiagCode::IOError;
+  D.Message = std::move(Msg);
+  D.Site = "cprd.client";
+  return D;
+}
+
+} // namespace
+
+Client::Client(int FD) : FD(FD), Reader(std::make_unique<LineReader>(FD)) {}
+
+Client::Client(Client &&O) noexcept
+    : FD(O.FD), Reader(std::move(O.Reader)) {
+  O.FD = -1;
+}
+
+Client &Client::operator=(Client &&O) noexcept {
+  if (this != &O) {
+    if (FD >= 0)
+      ::close(FD);
+    FD = O.FD;
+    Reader = std::move(O.Reader);
+    O.FD = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (FD >= 0)
+    ::close(FD);
+}
+
+Expected<Client> Client::connect(const std::string &SocketPath) {
+  int FD = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (FD < 0)
+    return ioError(std::string("socket: ") + std::strerror(errno));
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    ::close(FD);
+    return ioError("socket path too long: " + SocketPath);
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  if (::connect(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    int E = errno;
+    ::close(FD);
+    return ioError("connect " + SocketPath + ": " + std::strerror(E));
+  }
+  return Client(FD);
+}
+
+Expected<CompileResponse> Client::roundTrip(const CompileRequest &Req) {
+  if (FD < 0)
+    return ioError("client is not connected");
+  if (!writeAll(FD, encodeRequest(Req) + "\n"))
+    return ioError("send failed (daemon gone?)");
+  std::string Line;
+  for (;;) {
+    if (!Reader->readLine(Line)) {
+      if (!Reader->error().empty())
+        return ioError("receive failed: " + Reader->error());
+      return ioError("connection closed before a response arrived");
+    }
+    Expected<CompileResponse> Res = decodeResponse(Line);
+    if (!Res)
+      return Res;
+    // Responses correlate by id; skip frames for other requests (a
+    // pipelined peer sharing the connection).
+    if (Res->Id == Req.Id)
+      return Res;
+  }
+}

@@ -1,0 +1,55 @@
+//===- serve/Client.h - cprd-v1 client --------------------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synchronous cprd-v1 client over a Unix-domain socket, used by
+/// `cprc --server=` and the serve smoke tests. One roundTrip() writes a
+/// request frame and blocks for the matching response (correlated by id,
+/// skipping unrelated frames a pipelined peer might interleave).
+///
+/// Thread-safety: one Client per thread; the connection carries no
+/// framing state that could be shared safely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVE_CLIENT_H
+#define SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+#include "support/Framing.h"
+
+#include <memory>
+
+namespace cpr {
+namespace serve {
+
+/// Blocking cprd-v1 client connection.
+class Client {
+public:
+  /// Connects to the daemon at \p SocketPath. Failures (no daemon,
+  /// refused) come back as IOError diagnostics.
+  static Expected<Client> connect(const std::string &SocketPath);
+
+  Client(Client &&O) noexcept;
+  Client &operator=(Client &&O) noexcept;
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  ~Client();
+
+  /// Sends \p Req and blocks for the response with the same id.
+  Expected<CompileResponse> roundTrip(const CompileRequest &Req);
+
+private:
+  explicit Client(int FD);
+
+  int FD = -1;
+  std::unique_ptr<LineReader> Reader;
+};
+
+} // namespace serve
+} // namespace cpr
+
+#endif // SERVE_CLIENT_H

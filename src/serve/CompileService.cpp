@@ -1,0 +1,224 @@
+//===- serve/CompileService.cpp - One compile request, isolated ------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/CompileService.h"
+
+#include "fuzz/Corpus.h"
+#include "ir/Verifier.h"
+#include "pipeline/PipelineRun.h"
+#include "support/Error.h"
+#include "support/Hash.h"
+
+#include <chrono>
+
+using namespace cpr;
+using namespace cpr::serve;
+
+namespace {
+
+/// Per-request view of the shared cache: forwards everything, counts this
+/// request's hits and misses (the shared counters aggregate across
+/// requests and would race).
+class CountingMemoStore : public RegionMemoStore {
+public:
+  explicit CountingMemoStore(RegionMemoStore &Inner) : Inner(Inner) {}
+
+  std::optional<RegionMemoEntry> lookup(uint64_t Key) override {
+    std::optional<RegionMemoEntry> R = Inner.lookup(Key);
+    if (R)
+      ++NHits;
+    else
+      ++NMisses;
+    return R;
+  }
+  void commit(uint64_t Key, RegionMemoEntry Entry) override {
+    Inner.commit(Key, std::move(Entry));
+  }
+  void abandon(uint64_t Key) override { Inner.abandon(Key); }
+
+  uint64_t hits() const { return NHits; }
+  uint64_t misses() const { return NMisses; }
+
+private:
+  RegionMemoStore &Inner;
+  uint64_t NHits = 0, NMisses = 0;
+};
+
+Diagnostic requestError(DiagCode Code, std::string Msg, std::string Site) {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Error;
+  D.Code = Code;
+  D.Message = std::move(Msg);
+  D.Site = std::move(Site);
+  return D;
+}
+
+} // namespace
+
+std::string serve::requestFingerprint(const CompileRequest &Req,
+                                      uint64_t InterpMaxSteps,
+                                      const Budget &TransformBudget) {
+  Hasher H;
+  H.str(ProtocolName);
+  H.str(Req.IR);
+  H.f64(Req.CPR.ExitWeightThreshold);
+  H.f64(Req.CPR.PredictTakenThreshold);
+  H.u64(Req.CPR.MaxBranchesPerBlock);
+  H.u64(Req.CPR.MinBranchesPerBlock);
+  H.u64(Req.CPR.EnablePredicateSpeculation ? 1 : 0);
+  H.u64(Req.CPR.EnableTakenVariation ? 1 : 0);
+  H.u64(Req.UnrollFactor);
+  H.u64(Req.Lint ? 1 : 0);
+  H.u64(Req.RegionEquivalence ? 1 : 0);
+  H.u64(InterpMaxSteps);
+  H.u64(TransformBudget.MaxSteps);
+  H.f64(TransformBudget.MaxWallMs);
+  return H.hex();
+}
+
+CompileService::CompileService(ServiceOptions Opts)
+    : Opts(Opts), Cache(Opts.CacheBytes) {}
+
+CompileResponse CompileService::compile(const CompileRequest &Req) {
+  auto T0 = std::chrono::steady_clock::now();
+
+  CompileResponse Res;
+  Res.Id = Req.Id;
+  if (Req.Kind == RequestKind::Ping) {
+    Res.Status = "pong";
+    return Res;
+  }
+  if (Req.Kind == RequestKind::Stats) {
+    RegionCacheStats S = Cache.stats();
+    Res.Status = "stats";
+    Res.Extra.emplace_back("cache_hits", static_cast<double>(S.Hits));
+    Res.Extra.emplace_back("cache_misses", static_cast<double>(S.Misses));
+    Res.Extra.emplace_back("cache_evictions",
+                           static_cast<double>(S.Evictions));
+    Res.Extra.emplace_back("cache_entries", static_cast<double>(S.Entries));
+    Res.Extra.emplace_back("cache_bytes", static_cast<double>(S.Bytes));
+    Res.Extra.emplace_back("cache_max_bytes",
+                           static_cast<double>(S.MaxBytes));
+    return Res;
+  }
+
+  // Admission: bound the payload before any parsing work.
+  if (Opts.MaxIRBytes != 0 && Req.IR.size() > Opts.MaxIRBytes) {
+    Res = errorResponse(
+        Req.Id,
+        requestError(DiagCode::BudgetExhausted,
+                     "request rejected: ir payload (" +
+                         std::to_string(Req.IR.size()) + " bytes) exceeds " +
+                         std::to_string(Opts.MaxIRBytes) + " byte cap",
+                     "cprd.admission"));
+    return Res;
+  }
+
+  // Failure isolation: everything below runs trapped -- an internal
+  // fatal error becomes an error response, not a dead worker.
+  DiagnosticEngine Diags;
+  try {
+    ScopedFatalErrorTrap Trap;
+    Res = compileLocked(Req, Diags);
+  } catch (const FatalError &E) {
+    Res = errorResponse(Req.Id,
+                        requestError(DiagCode::Internal,
+                                     std::string("internal fault: ") +
+                                         E.message(),
+                                     "cprd.request"));
+  }
+
+  // Attach every diagnostic the request produced (rollback remarks,
+  // budget warnings, lint findings, ...), after any error placed by the
+  // handlers above.
+  for (const Diagnostic &D : Diags.diagnostics())
+    Res.Diagnostics.push_back(toWire(D));
+  Res.WallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - T0)
+                   .count();
+  return Res;
+}
+
+CompileResponse CompileService::compileLocked(const CompileRequest &Req,
+                                              DiagnosticEngine &Diags) {
+  // Parse the fuzz-program payload (IR + input directives).
+  FuzzParseResult FP = parseFuzzProgram(Req.IR);
+  if (!FP)
+    return errorResponse(Req.Id,
+                         requestError(DiagCode::ParseError, FP.Error,
+                                      "cprd.request.ir"));
+  std::vector<std::string> Violations = verifyFunction(*FP.Program.Func);
+  if (!Violations.empty()) {
+    std::string Msg = "request IR failed verification: " + Violations.front();
+    if (Violations.size() > 1)
+      Msg += " (+" + std::to_string(Violations.size() - 1) + " more)";
+    return errorResponse(Req.Id, requestError(DiagCode::VerifyFailed,
+                                              std::move(Msg),
+                                              "cprd.request.ir"));
+  }
+
+  // Admission: resolve the request budgets against the service defaults
+  // and ceilings. The resolved values feed the fingerprint -- two
+  // requests clamped to the same effective budgets share cache entries.
+  uint64_t InterpSteps = Req.InterpMaxSteps != 0 ? Req.InterpMaxSteps
+                                                 : Opts.DefaultInterpMaxSteps;
+  if (Opts.MaxInterpSteps != 0 &&
+      (InterpSteps == 0 || InterpSteps > Opts.MaxInterpSteps))
+    InterpSteps = Opts.MaxInterpSteps;
+  Budget TB = Req.TransformBudget.unlimited() ? Opts.DefaultTransformBudget
+                                              : Req.TransformBudget;
+  if (Opts.MaxTransformSteps != 0 &&
+      (TB.MaxSteps == 0 || TB.MaxSteps > Opts.MaxTransformSteps))
+    TB.MaxSteps = Opts.MaxTransformSteps;
+
+  PipelineOptions PO;
+  PO.CPR = Req.CPR;
+  PO.UnrollFactor = Req.UnrollFactor;
+  PO.Machines.clear(); // the service transforms; it does not estimate
+  PO.CheckEquivalence = false;
+  PO.Simulate = false;
+  PO.FailSafe = true;
+  PO.Lint = Req.Lint;
+  PO.RegionEquivalence = Req.RegionEquivalence;
+  PO.InterpMaxSteps = InterpSteps;
+  PO.TransformBudget = TB;
+  PO.Diags = &Diags;
+
+  CountingMemoStore Counting(Cache);
+  PO.Memo = &Counting;
+  PO.MemoSalt = requestFingerprint(Req, InterpSteps, TB);
+
+  // Keep the inputs: the response echoes them so it is itself a runnable
+  // corpus entry.
+  std::vector<RegBinding> InitRegs = FP.Program.InitRegs;
+  Memory InitMem = FP.Program.InitMem;
+  std::string Description = FP.Program.Description;
+
+  PipelineRun Run(std::move(FP.Program), PO);
+  if (Status S = Run.tryPrepare(); !S) {
+    Diagnostic D = S.takeDiagnostic();
+    Diags.report(D);
+    CompileResponse Res;
+    Res.Id = Req.Id;
+    Res.Status = "error";
+    return Res; // the engine snapshot carries the details
+  }
+
+  CompileResponse Res;
+  Res.Id = Req.Id;
+  Res.Status = "ok";
+  KernelProgram Out;
+  Out.Func = Run.treated().clone();
+  Out.InitRegs = std::move(InitRegs);
+  Out.InitMem = std::move(InitMem);
+  Out.Description = std::move(Description);
+  Res.IR = serializeFuzzProgram(Out);
+  Res.CPR = Run.cprResult();
+  Res.FellBack = Run.fellBack();
+  Res.CacheHits = Counting.hits();
+  Res.CacheMisses = Counting.misses();
+  return Res;
+}

@@ -1,0 +1,94 @@
+//===- serve/CompileService.h - One compile request, isolated ---*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport-independent core of the cprd daemon: compile() turns one
+/// decoded cprd-v1 request into one response, with
+///
+///  - per-request *failure isolation*: the request runs under a
+///    ScopedFatalErrorTrap and the fail-safe pipeline (FailSafe=true), so
+///    a malformed program, a non-halting profile run, or an internal
+///    fault produces an error response with diagnostics -- never a dead
+///    daemon, and never cross-request contamination (every request gets
+///    its own DiagnosticEngine and BudgetTrackers);
+///
+///  - per-request *admission control* via support/Budget.h: the payload
+///    size, interpreter step cap and transform budget are clamped to the
+///    service ceilings before any work starts, so one hostile request
+///    cannot monopolize a worker;
+///
+///  - *content-addressed memoization*: all requests share one
+///    RegionCache; the per-request salt (requestFingerprint) covers the
+///    program text, inputs, options and resolved budgets, so equal
+///    regions of equal requests replay byte-identically.
+///
+/// compile() is thread-safe: the server calls it concurrently from its
+/// ThreadPool workers. See docs/SERVICE.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVE_COMPILESERVICE_H
+#define SERVE_COMPILESERVICE_H
+
+#include "serve/Protocol.h"
+#include "serve/RegionCache.h"
+
+namespace cpr {
+namespace serve {
+
+/// Service-level knobs (the daemon's command line maps onto these).
+struct ServiceOptions {
+  /// Region cache memory budget in bytes; 0 = unlimited.
+  size_t CacheBytes = 64u << 20;
+  /// Interpreter step cap applied when a request does not set one.
+  uint64_t DefaultInterpMaxSteps = 2000000;
+  /// Admission ceiling on the per-request interpreter step cap
+  /// (requests asking for more are clamped); 0 = no ceiling.
+  uint64_t MaxInterpSteps = 20000000;
+  /// Transform budget applied when a request does not set one.
+  /// Zero-initialized = unlimited.
+  Budget DefaultTransformBudget;
+  /// Admission ceiling on the per-request transform step budget; 0 = no
+  /// ceiling. (An unlimited request budget stays unlimited only when
+  /// this is 0.)
+  uint64_t MaxTransformSteps = 0;
+  /// Admission cap on the request IR payload; 0 = no cap.
+  size_t MaxIRBytes = 4u << 20;
+};
+
+/// The request fingerprint used as the region-memo salt: a stable hash
+/// over the protocol version, the program text (including its input
+/// directives), every CPR/pipeline option, and the *resolved* budgets
+/// (after service defaults and admission clamps). Exposed for tests.
+std::string requestFingerprint(const CompileRequest &Req,
+                               uint64_t InterpMaxSteps,
+                               const Budget &TransformBudget);
+
+/// Transport-independent compile service; one instance per daemon.
+class CompileService {
+public:
+  explicit CompileService(ServiceOptions Opts = ServiceOptions());
+
+  /// Handles one request (Compile, Ping or Stats). Thread-safe.
+  CompileResponse compile(const CompileRequest &Req);
+
+  /// Shared region-cache counters (for `cmd:"stats"` and the bench).
+  RegionCacheStats cacheStats() const { return Cache.stats(); }
+
+  const ServiceOptions &options() const { return Opts; }
+
+private:
+  CompileResponse compileLocked(const CompileRequest &Req,
+                                DiagnosticEngine &Diags);
+
+  ServiceOptions Opts;
+  RegionCache Cache;
+};
+
+} // namespace serve
+} // namespace cpr
+
+#endif // SERVE_COMPILESERVICE_H

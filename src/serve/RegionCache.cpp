@@ -1,0 +1,108 @@
+//===- serve/RegionCache.cpp - LRU region memo cache -----------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/RegionCache.h"
+
+#include <cassert>
+
+using namespace cpr;
+using namespace cpr::serve;
+
+RegionCache::RegionCache(size_t MaxBytes) : MaxBytes(MaxBytes) {}
+
+std::optional<RegionMemoEntry> RegionCache::lookup(uint64_t Key) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    auto It = Map.find(Key);
+    if (It != Map.end()) {
+      LRU.splice(LRU.begin(), LRU, It->second);
+      ++NHits;
+      return It->second->Entry;
+    }
+    auto CIt = Claims.find(Key);
+    if (CIt == Claims.end()) {
+      Claims.emplace(Key, std::make_shared<Claim>());
+      ++NMisses;
+      return std::nullopt;
+    }
+    // Coalesce: wait for the claimant instead of compiling the same
+    // region twice. shared_ptr keeps the claim alive past its erasure.
+    std::shared_ptr<Claim> C = CIt->second;
+    ++NCoalesced;
+    CV.wait(Lock, [&] { return C->Done; });
+    if (C->Committed) {
+      ++NHits;
+      return C->Entry;
+    }
+    // Abandoned: loop -- the first waiter through takes over the claim.
+  }
+}
+
+void RegionCache::commit(uint64_t Key, RegionMemoEntry Entry) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto CIt = Claims.find(Key);
+  assert(CIt != Claims.end() && "commit without a lookup miss");
+  if (CIt != Claims.end()) {
+    CIt->second->Entry = Entry;
+    CIt->second->Committed = true;
+    CIt->second->Done = true;
+    Claims.erase(CIt);
+  }
+  insertLocked(Key, std::move(Entry));
+  CV.notify_all();
+}
+
+void RegionCache::abandon(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto CIt = Claims.find(Key);
+  assert(CIt != Claims.end() && "abandon without a lookup miss");
+  if (CIt != Claims.end()) {
+    CIt->second->Done = true;
+    Claims.erase(CIt);
+  }
+  CV.notify_all();
+}
+
+void RegionCache::insertLocked(uint64_t Key, RegionMemoEntry Entry) {
+  // A racing commit for the same key cannot happen (the claim serializes
+  // producers), but be safe against double insertion anyway.
+  if (Map.count(Key))
+    return;
+  size_t Bytes = Entry.approximateBytes();
+  LRU.push_front(Node{Key, std::move(Entry), Bytes});
+  Map[Key] = LRU.begin();
+  TotalBytes += Bytes;
+  // Evict strictly past the budget, oldest first. An entry larger than
+  // the whole budget evicts immediately (waiters already hold copies via
+  // the claim), keeping TotalBytes <= MaxBytes invariant.
+  while (MaxBytes != 0 && TotalBytes > MaxBytes && !LRU.empty()) {
+    Node &Victim = LRU.back();
+    TotalBytes -= Victim.Bytes;
+    Map.erase(Victim.Key);
+    LRU.pop_back();
+    ++NEvictions;
+  }
+}
+
+RegionCacheStats RegionCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  RegionCacheStats S;
+  S.Hits = NHits;
+  S.Misses = NMisses;
+  S.Evictions = NEvictions;
+  S.CoalescedWaits = NCoalesced;
+  S.Entries = Map.size();
+  S.Bytes = TotalBytes;
+  S.MaxBytes = MaxBytes;
+  return S;
+}
+
+void RegionCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  LRU.clear();
+  Map.clear();
+  TotalBytes = 0;
+}

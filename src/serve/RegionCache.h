@@ -1,0 +1,101 @@
+//===- serve/RegionCache.h - LRU region memo cache --------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile service's implementation of cpr::RegionMemoStore: a
+/// thread-safe, content-addressed LRU cache of per-region ICBM results
+/// with a configurable memory budget.
+///
+/// Determinism of the hit/miss counters at any thread count comes from
+/// *in-flight coalescing*: the first lookup of an uncached key claims it
+/// (one miss) and concurrent lookups of the same key block until the
+/// claimant commits (they become hits) or abandons (one waiter inherits
+/// the claim and the miss). A key that always compiles unclean (never
+/// commits) therefore counts one miss per attempt, and a key that commits
+/// counts exactly one miss -- regardless of scheduling. Eviction is
+/// triggered only by commit, so eviction counts are deterministic for any
+/// serial request sequence; under concurrency they stay deterministic as
+/// long as the budget does not force still-live keys out mid-run (the
+/// regression tests pin both regimes).
+///
+/// Entries are stored and returned by value: a returned entry is the
+/// caller's copy, never invalidated by eviction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVE_REGIONCACHE_H
+#define SERVE_REGIONCACHE_H
+
+#include "cpr/RegionMemo.h"
+
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace cpr {
+namespace serve {
+
+/// Counter snapshot for `cpr-stats-v1.2` / the `cache` section of cprd
+/// responses.
+struct RegionCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t CoalescedWaits = 0; ///< lookups that blocked on a claim (timing-dependent)
+  uint64_t Entries = 0;        ///< resident entries
+  uint64_t Bytes = 0;          ///< resident approximate bytes
+  uint64_t MaxBytes = 0;       ///< configured budget (0 = unlimited)
+};
+
+/// Thread-safe LRU RegionMemoStore (see file comment).
+class RegionCache : public RegionMemoStore {
+public:
+  /// \p MaxBytes bounds the resident entries' approximate footprint;
+  /// 0 means unlimited.
+  explicit RegionCache(size_t MaxBytes = 64u << 20);
+
+  std::optional<RegionMemoEntry> lookup(uint64_t Key) override;
+  void commit(uint64_t Key, RegionMemoEntry Entry) override;
+  void abandon(uint64_t Key) override;
+
+  RegionCacheStats stats() const;
+
+  /// Drops every resident entry (claims are unaffected). Counters keep
+  /// their values; evictions are not counted for a clear().
+  void clear();
+
+private:
+  struct Node {
+    uint64_t Key;
+    RegionMemoEntry Entry;
+    size_t Bytes;
+  };
+  /// Resolution state of one in-flight claim, shared with its waiters.
+  struct Claim {
+    bool Done = false;
+    bool Committed = false;
+    RegionMemoEntry Entry; ///< valid when Committed
+  };
+
+  /// Inserts under the lock and evicts from the LRU tail past the budget.
+  void insertLocked(uint64_t Key, RegionMemoEntry Entry);
+
+  mutable std::mutex Mu;
+  std::condition_variable CV;
+  std::list<Node> LRU; ///< front = most recently used
+  std::unordered_map<uint64_t, std::list<Node>::iterator> Map;
+  std::unordered_map<uint64_t, std::shared_ptr<Claim>> Claims;
+  size_t MaxBytes;
+  size_t TotalBytes = 0;
+  uint64_t NHits = 0, NMisses = 0, NEvictions = 0, NCoalesced = 0;
+};
+
+} // namespace serve
+} // namespace cpr
+
+#endif // SERVE_REGIONCACHE_H

@@ -1,0 +1,212 @@
+//===- serve/Server.cpp - The cprd daemon's transport loop -----------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "support/Framing.h"
+#include "support/ThreadPool.h"
+
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace cpr;
+using namespace cpr::serve;
+
+/// One client connection: the descriptor plus the write lock that keeps
+/// concurrently finishing tasks from interleaving their frames. Tasks
+/// hold the Connection via shared_ptr, so the descriptor stays open until
+/// the last response is written.
+struct Server::Connection {
+  int FD;
+  bool OwnsFD;
+  std::mutex WriteMu;
+
+  Connection(int FD, bool OwnsFD) : FD(FD), OwnsFD(OwnsFD) {}
+  ~Connection() {
+    if (OwnsFD && FD >= 0)
+      ::close(FD);
+  }
+
+  bool writeLine(const std::string &Frame) {
+    std::lock_guard<std::mutex> Lock(WriteMu);
+    return writeAll(FD, Frame + "\n");
+  }
+};
+
+Server::Server(ServerOptions Opts)
+    : Opts(std::move(Opts)), Service(this->Opts.Service) {}
+
+Server::~Server() = default;
+
+namespace {
+
+CompileResponse busyResponse(std::string Id, std::string Why) {
+  CompileResponse Res;
+  Res.Id = std::move(Id);
+  Res.Status = "busy";
+  WireDiagnostic W;
+  W.Severity = "warning";
+  W.Code = diagCodeName(DiagCode::BudgetExhausted);
+  W.Message = std::move(Why);
+  W.Site = "cprd.admission";
+  Res.Diagnostics.push_back(std::move(W));
+  return Res;
+}
+
+/// Waits until \p FD is readable, polling \p Stop every 200 ms. Returns
+/// false when stopped or on a poll error.
+bool waitReadable(int FD, const std::atomic<bool> &Stop) {
+  for (;;) {
+    if (Stop.load())
+      return false;
+    pollfd P;
+    P.fd = FD;
+    P.events = POLLIN;
+    P.revents = 0;
+    int R = ::poll(&P, 1, 200);
+    if (R > 0)
+      return true;
+    if (R < 0 && errno != EINTR)
+      return false;
+  }
+}
+
+} // namespace
+
+void Server::handleLine(const std::shared_ptr<Connection> &Conn,
+                        std::string Line) {
+  // Tolerate blank lines between frames (e.g. hand-typed stdio input).
+  if (Line.find_first_not_of(" \t\r") == std::string::npos)
+    return;
+  Expected<CompileRequest> Req = decodeRequest(Line);
+  if (!Req) {
+    // Malformed frame: a clean protocol-level error response with no id
+    // to correlate -- the client sees exactly what was wrong.
+    Conn->writeLine(encodeResponse(errorResponse("", Req.diagnostic())));
+    return;
+  }
+  if (StopFlag.load()) {
+    Conn->writeLine(encodeResponse(
+        busyResponse(Req->Id, "server is shutting down")));
+    return;
+  }
+  if (Opts.MaxQueue != 0 && Pending.load() >= Opts.MaxQueue) {
+    Conn->writeLine(encodeResponse(busyResponse(
+        Req->Id, "server at capacity (" + std::to_string(Opts.MaxQueue) +
+                     " requests queued or running)")));
+    return;
+  }
+  ++Pending;
+  Pool->submit([this, Conn, R = Req.takeValue()] {
+    // compile() already traps per-request faults; the belt-and-braces
+    // catch keeps an unexpected exception from leaking Pending or the
+    // response.
+    CompileResponse Res;
+    try {
+      Res = Service.compile(R);
+    } catch (const std::exception &E) {
+      Diagnostic D;
+      D.Severity = DiagSeverity::Error;
+      D.Code = DiagCode::Internal;
+      D.Message = std::string("unhandled exception: ") + E.what();
+      D.Site = "cprd.request";
+      Res = errorResponse(R.Id, D);
+    }
+    Conn->writeLine(encodeResponse(Res));
+    --Pending;
+  });
+}
+
+void Server::serveConnection(const std::shared_ptr<Connection> &Conn,
+                             int ReadFD) {
+  LineReader Reader(ReadFD);
+  std::string Line;
+  for (;;) {
+    if (!Reader.hasBuffered() && !waitReadable(ReadFD, StopFlag))
+      break;
+    if (!Reader.readLine(Line))
+      break;
+    handleLine(Conn, std::move(Line));
+  }
+  if (!Reader.error().empty()) {
+    Diagnostic D;
+    D.Severity = DiagSeverity::Error;
+    D.Code = DiagCode::ParseError;
+    D.Message = "frame rejected: " + Reader.error();
+    D.Site = "cprd.frame";
+    Conn->writeLine(encodeResponse(errorResponse("", D)));
+  }
+}
+
+int Server::runStdio() {
+  Pool = std::make_unique<ThreadPool>(Opts.Threads);
+  auto Conn = std::make_shared<Connection>(STDOUT_FILENO, /*OwnsFD=*/false);
+  serveConnection(Conn, STDIN_FILENO);
+  // EOF or stop: drain every queued request; each writes its response.
+  Pool->stop();
+  return exit_codes::Success;
+}
+
+int Server::runSocket() {
+  int ListenFD = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFD < 0)
+    return exit_codes::Failure;
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    ::close(ListenFD);
+    return exit_codes::UsageError;
+  }
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+  ::unlink(Opts.SocketPath.c_str()); // replace a stale socket file
+  if (::bind(ListenFD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(ListenFD, 64) < 0) {
+    ::close(ListenFD);
+    return exit_codes::Failure;
+  }
+
+  Pool = std::make_unique<ThreadPool>(Opts.Threads);
+  std::vector<std::thread> Readers;
+  std::mutex ConnMu;
+  std::vector<std::weak_ptr<Connection>> Conns;
+
+  while (!StopFlag.load()) {
+    if (!waitReadable(ListenFD, StopFlag))
+      break;
+    int CFd = ::accept(ListenFD, nullptr, nullptr);
+    if (CFd < 0)
+      continue;
+    auto Conn = std::make_shared<Connection>(CFd, /*OwnsFD=*/true);
+    {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      Conns.push_back(Conn);
+    }
+    Readers.emplace_back(
+        [this, Conn, CFd] { serveConnection(Conn, CFd); });
+  }
+
+  // Graceful drain: no new connections, no new frames (SHUT_RD wakes the
+  // readers with EOF), then let every queued compile finish and write its
+  // response before the descriptors close.
+  ::close(ListenFD);
+  ::unlink(Opts.SocketPath.c_str());
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (const std::weak_ptr<Connection> &W : Conns)
+      if (std::shared_ptr<Connection> C = W.lock())
+        ::shutdown(C->FD, SHUT_RD);
+  }
+  for (std::thread &T : Readers)
+    T.join();
+  Pool->stop();
+  return exit_codes::Success;
+}

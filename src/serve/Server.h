@@ -1,0 +1,103 @@
+//===- serve/Server.h - The cprd daemon's transport loop --------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cprd daemon: accepts cprd-v1 frames over a Unix-domain stream
+/// socket or over the stdin/stdout pipe, dispatches each request to a
+/// shared ThreadPool, and writes one response frame per request
+/// (responses correlate by "id", not by order).
+///
+/// Concurrency model: one reader thread per connection decodes frames and
+/// submits compile tasks; the tasks write their own responses under a
+/// per-connection write mutex. Admission control caps the number of
+/// requests queued-or-running (MaxQueue); excess requests are refused
+/// immediately with status "busy" rather than queued without bound.
+///
+/// Graceful shutdown (the SIGTERM path): requestStop() is safe to call
+/// from a signal handler. The server then stops accepting connections,
+/// stops reading new frames, and drains -- ThreadPool::stop() lets every
+/// queued compile finish and write its response before the descriptors
+/// close. In-flight work is never dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVE_SERVER_H
+#define SERVE_SERVER_H
+
+#include "serve/CompileService.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cpr {
+class ThreadPool;
+
+namespace serve {
+
+/// Daemon-level knobs (cprd's command line maps onto these).
+struct ServerOptions {
+  /// Unix-domain socket path for runSocket(); a stale socket file at the
+  /// path is replaced.
+  std::string SocketPath;
+  /// Worker threads compiling concurrently; 0 = one per hardware thread.
+  unsigned Threads = 0;
+  /// Admission cap: requests queued-or-running before new ones are
+  /// refused with status "busy". 0 = unbounded.
+  size_t MaxQueue = 256;
+  ServiceOptions Service;
+};
+
+/// One daemon instance. Construct, then call exactly one of runStdio()
+/// or runSocket(); both return an exit_codes value when the serve loop
+/// ends (EOF / requestStop()).
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Serves frames from stdin, responses to stdout, until EOF or
+  /// requestStop(); drains before returning.
+  int runStdio();
+
+  /// Binds SocketPath and serves connections until requestStop();
+  /// drains, closes and unlinks the socket before returning.
+  int runSocket();
+
+  /// Initiates graceful shutdown. Async-signal-safe (an atomic store):
+  /// call it from the SIGTERM/SIGINT handler.
+  void requestStop() { StopFlag.store(true); }
+
+  bool stopRequested() const { return StopFlag.load(); }
+
+  /// The shared compile service (cache counters for tests/tools).
+  CompileService &service() { return Service; }
+
+private:
+  struct Connection;
+
+  /// Reads frames from \p ReadFD until EOF, error, or stop; dispatches
+  /// each via handleLine.
+  void serveConnection(const std::shared_ptr<Connection> &Conn, int ReadFD);
+  void handleLine(const std::shared_ptr<Connection> &Conn, std::string Line);
+
+  ServerOptions Opts;
+  CompileService Service;
+  std::unique_ptr<ThreadPool> Pool;
+  std::atomic<bool> StopFlag{false};
+  std::atomic<size_t> Pending{0};
+};
+
+} // namespace serve
+} // namespace cpr
+
+#endif // SERVE_SERVER_H

@@ -1,0 +1,73 @@
+//===- support/Framing.cpp - Newline-delimited frame I/O -------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Framing.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+using namespace cpr;
+
+bool LineReader::readLine(std::string &Out) {
+  if (!Err.empty())
+    return false;
+  for (;;) {
+    // Scan the buffered bytes for a newline.
+    size_t NL = Buf.find('\n', Pos);
+    if (NL != std::string::npos) {
+      Out.assign(Buf, Pos, NL - Pos);
+      Pos = NL + 1;
+      // Compact once the consumed prefix dominates the buffer.
+      if (Pos > (MaxLineBytes >> 1)) {
+        Buf.erase(0, Pos);
+        Pos = 0;
+      }
+      return true;
+    }
+    if (Eof) {
+      if (Pos < Buf.size()) {
+        // Final unterminated line.
+        Out.assign(Buf, Pos, Buf.size() - Pos);
+        Pos = Buf.size();
+        return true;
+      }
+      return false;
+    }
+    if (Buf.size() - Pos >= MaxLineBytes) {
+      Err = "line exceeds " + std::to_string(MaxLineBytes) + " bytes";
+      return false;
+    }
+
+    char Chunk[65536];
+    ssize_t N = ::read(FD, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = std::string("read failed: ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      Eof = true;
+      continue;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+bool cpr::writeAll(int FD, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::write(FD, Data.data() + Off, Data.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}

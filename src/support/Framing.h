@@ -1,0 +1,73 @@
+//===- support/Framing.h - Newline-delimited frame I/O ----------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level framing for the `cprd-v1` protocol (docs/SERVICE.md): one
+/// frame is one newline-terminated line, read from and written to POSIX
+/// file descriptors, so the same code serves Unix-domain sockets and the
+/// daemon's stdin/stdout pipe mode.
+///
+/// The reader is defensive by design -- frames come from untrusted
+/// clients: a line longer than the configured cap is an error (not an
+/// unbounded buffer), EINTR is retried, and a final unterminated line is
+/// delivered as a frame so `printf '...' | cprd --stdio` works without a
+/// trailing newline.
+///
+/// Thread-safety: a LineReader is single-owner (one reader thread per
+/// connection). writeAll() performs one complete write but callers that
+/// share a descriptor must serialize calls themselves (the server holds a
+/// per-connection write mutex).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_FRAMING_H
+#define SUPPORT_FRAMING_H
+
+#include <cstddef>
+#include <string>
+
+namespace cpr {
+
+/// Buffered line reader over a POSIX file descriptor (not owned).
+class LineReader {
+public:
+  /// Default cap on one line, including the newline (16 MiB -- generous
+  /// for any realistic request IR, small enough to bound a hostile peer).
+  static constexpr size_t DefaultMaxLineBytes = 16u << 20;
+
+  explicit LineReader(int FD, size_t MaxLineBytes = DefaultMaxLineBytes)
+      : FD(FD), MaxLineBytes(MaxLineBytes) {}
+
+  /// Reads the next line into \p Out (newline stripped). Returns false at
+  /// end of input: clean EOF leaves error() empty, a read failure or an
+  /// over-long line records a message. A non-empty final line without a
+  /// terminating newline is returned as a frame.
+  bool readLine(std::string &Out);
+
+  /// Empty unless a read failed or a line exceeded the cap.
+  const std::string &error() const { return Err; }
+
+  /// True when unconsumed bytes are buffered -- readLine() may complete
+  /// without touching the descriptor, so callers that poll() before
+  /// reading must drain buffered data first.
+  bool hasBuffered() const { return Pos < Buf.size(); }
+
+private:
+  int FD;
+  size_t MaxLineBytes;
+  std::string Buf;   ///< bytes read but not yet returned
+  size_t Pos = 0;    ///< consumed prefix of Buf
+  bool Eof = false;
+  std::string Err;
+};
+
+/// Writes all of \p Data to \p FD, retrying short writes and EINTR.
+/// Returns false on a write error (e.g. the peer hung up).
+bool writeAll(int FD, const std::string &Data);
+
+} // namespace cpr
+
+#endif // SUPPORT_FRAMING_H

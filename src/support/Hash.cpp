@@ -1,0 +1,36 @@
+//===- support/Hash.cpp - Stable content hashing ---------------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hash.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace cpr;
+
+Hasher &Hasher::f64(double V) {
+  // +0.0 and -0.0 have distinct bit patterns but compare equal; canonical
+  // keys should not depend on the sign of a zero.
+  if (V == 0.0)
+    V = 0.0;
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "double must be 64-bit");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return u64(Bits);
+}
+
+std::string Hasher::hex() const {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(State));
+  return Buf;
+}
+
+uint64_t cpr::hashString(const std::string &S) {
+  Hasher H;
+  H.bytes(S.data(), S.size());
+  return H.digest();
+}

@@ -174,6 +174,7 @@ private:
     if (Res.Error.empty()) {
       Res.Error = Msg;
       Res.Offset = Pos;
+      Res.Code = DiagCode::ParseError;
     }
   }
 
@@ -240,6 +241,10 @@ private:
       std::string Key = parseString();
       if (!Res.Error.empty())
         return V;
+      if (V.find(Key)) {
+        fail("duplicate object key \"" + Key + "\"");
+        return V;
+      }
       skipWS();
       if (!consume(':')) {
         fail("expected ':' after object key");
@@ -390,4 +395,19 @@ JSONParseResult cpr::parseJSON(const std::string &Text) {
   Parser P(Text, Res);
   P.run();
   return Res;
+}
+
+Diagnostic JSONParseResult::diagnostic(std::string Site) const {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Error;
+  D.Code = Code == DiagCode::None ? DiagCode::ParseError : Code;
+  D.Message = "JSON: " + Error + " at offset " + std::to_string(Offset);
+  D.Site = std::move(Site);
+  return D;
+}
+
+Status JSONParseResult::status(std::string Site) const {
+  if (Error.empty())
+    return Status::success();
+  return Status::failure(diagnostic(std::move(Site)));
 }

@@ -24,6 +24,8 @@
 #ifndef SUPPORT_JSON_H
 #define SUPPORT_JSON_H
 
+#include "support/Diagnostic.h"
+
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -105,16 +107,31 @@ private:
 /// indented lines (2 spaces per level); otherwise the output is compact.
 std::string writeJSON(const JSONValue &V, bool Pretty = true);
 
-/// Result of parseJSON.
+/// Result of parseJSON. Failures are recoverable data, not fatal errors:
+/// protocol frames (`cprd-v1`, docs/SERVICE.md) come from untrusted
+/// clients, so a malformed document must flow back as a diagnostic the
+/// caller can report, never abort the process.
 struct JSONParseResult {
   JSONValue Value;
-  std::string Error; ///< empty on success
-  size_t Offset = 0; ///< byte offset of the error
+  std::string Error;                ///< empty on success
+  size_t Offset = 0;                ///< byte offset of the error
+  DiagCode Code = DiagCode::None;   ///< ParseError on any failure
   explicit operator bool() const { return Error.empty(); }
+
+  /// The failure as a Diagnostic (only meaningful when parsing failed):
+  /// error severity, the parse DiagCode, and the offset folded into the
+  /// message. \p Site names the input for the report ("cprd.frame", a
+  /// file path, ...).
+  Diagnostic diagnostic(std::string Site = "") const;
+  /// The failure as a Status (success Status when parsing succeeded).
+  Status status(std::string Site = "") const;
 };
 
 /// Parses \p Text as one JSON document (trailing whitespace allowed,
-/// trailing garbage rejected).
+/// trailing garbage rejected). Strict by design: duplicate object keys
+/// and unterminated strings are rejected -- for documents crossing a
+/// trust boundary, last-key-wins silently discards data an attacker
+/// controls.
 JSONParseResult parseJSON(const std::string &Text);
 
 } // namespace cpr

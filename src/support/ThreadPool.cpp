@@ -21,14 +21,27 @@ ThreadPool::ThreadPool(unsigned Threads) {
     Workers.emplace_back([this] { workerLoop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     std::lock_guard<std::mutex> Lock(Mu);
     Stopping = true;
   }
   CV.notify_all();
+  // Workers only exit once the queue is empty, so joining here *is* the
+  // drain: every task submitted before stop() runs to completion. JoinMu
+  // makes concurrent stop() calls safe: the second caller blocks until
+  // the first finishes joining, then sees non-joinable workers.
+  std::lock_guard<std::mutex> JoinLock(JoinMu);
   for (std::thread &W : Workers)
-    W.join();
+    if (W.joinable())
+      W.join();
+}
+
+bool ThreadPool::stopping() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stopping;
 }
 
 void ThreadPool::workerLoop() {

@@ -46,11 +46,23 @@ public:
   /// Creates a pool with \p Threads workers; 0 selects defaultThreads().
   explicit ThreadPool(unsigned Threads = 0);
 
-  /// Drains the queue and joins all workers.
+  /// Drains the queue and joins all workers (equivalent to stop()).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Graceful, drain-safe shutdown: rejects further submissions, lets the
+  /// workers finish every task already queued, then joins them. Blocks
+  /// until the drain completes; idempotent, and safe to call from any
+  /// thread that is not itself a pool worker (a worker calling stop()
+  /// would join itself). This is the daemon's SIGTERM path: in-flight and
+  /// queued requests complete, new ones are refused.
+  void stop();
+
+  /// True once stop() has begun (or the destructor has). submit() on a
+  /// stopping pool is a programming error.
+  bool stopping() const;
 
   unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
 
@@ -76,10 +88,12 @@ public:
 private:
   void workerLoop();
 
-  std::mutex Mu;
+  mutable std::mutex Mu;
   std::condition_variable CV;
   std::deque<std::function<void()>> Queue;
   bool Stopping = false;
+  /// Serializes the join phase of concurrent stop() calls.
+  std::mutex JoinMu;
   std::vector<std::thread> Workers;
 };
 

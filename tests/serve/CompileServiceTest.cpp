@@ -1,0 +1,250 @@
+//===- tests/serve/CompileServiceTest.cpp - service-level tests ------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// The service's two load-bearing guarantees:
+//
+//  1. Byte-identity: a request answered from the region cache produces
+//     the same response frame as a cold compile of the same request --
+//     modulo the "cache" telemetry section, which is how a hit is
+//     observed at all (docs/SERVICE.md). Verified over the built-in
+//     kernels and the committed fuzz regression corpus.
+//
+//  2. Failure isolation: malformed programs, verifier rejects and
+//     oversized payloads produce error responses with diagnostics and
+//     leave the service fully usable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/CompileService.h"
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Generator.h"
+#include "workloads/Kernels.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+
+using namespace cpr;
+using namespace cpr::serve;
+
+namespace {
+
+CompileRequest requestFor(std::string IR, std::string Id = "r") {
+  CompileRequest Req;
+  Req.Id = std::move(Id);
+  Req.IR = std::move(IR);
+  return Req;
+}
+
+/// The response frame with the cache telemetry normalized away -- the
+/// identity the service guarantees between cold and cached compiles.
+std::string canonicalFrame(CompileResponse Res, const std::string &Id) {
+  Res.Id = Id;
+  Res.CacheHits = 0;
+  Res.CacheMisses = 0;
+  return encodeResponse(Res);
+}
+
+void expectColdVsCachedIdentical(const std::string &IR,
+                                 const std::string &Label) {
+  CompileService Service;
+  CompileResponse Cold = Service.compile(requestFor(IR, "cold"));
+  CompileResponse Warm = Service.compile(requestFor(IR, "warm"));
+
+  EXPECT_EQ(canonicalFrame(Cold, "x"), canonicalFrame(Warm, "x"))
+      << Label << ": cached response differs from cold compile";
+  // Whatever the cold run committed, the warm run must replay: a warm
+  // miss is only legal for regions the cold run could not commit
+  // (rollback / budget activity), and then both runs miss alike.
+  EXPECT_EQ(Warm.CacheHits + Warm.CacheMisses,
+            Cold.CacheHits + Cold.CacheMisses)
+      << Label;
+  EXPECT_GE(Warm.CacheHits, Cold.CacheHits) << Label;
+}
+
+TEST(CompileService, PingAndStats) {
+  CompileService Service;
+  CompileRequest Ping;
+  Ping.Kind = RequestKind::Ping;
+  Ping.Id = "p";
+  EXPECT_EQ(Service.compile(Ping).Status, "pong");
+
+  CompileRequest Stats;
+  Stats.Kind = RequestKind::Stats;
+  Stats.Id = "s";
+  CompileResponse Res = Service.compile(Stats);
+  EXPECT_EQ(Res.Status, "stats");
+  bool SawHits = false;
+  for (const auto &KV : Res.Extra)
+    if (KV.first == "cache_hits")
+      SawHits = true;
+  EXPECT_TRUE(SawHits);
+}
+
+TEST(CompileService, KernelCompilesAndCaches) {
+  CompileService Service;
+  std::string IR = serializeFuzzProgram(buildStrcpyKernel(4, 512, 1));
+
+  CompileResponse Cold = Service.compile(requestFor(IR, "c"));
+  ASSERT_TRUE(Cold.ok()) << Cold.Status;
+  EXPECT_GT(Cold.CPR.RegionsProcessed, 0u);
+  EXPECT_GT(Cold.CacheMisses, 0u);
+  EXPECT_EQ(Cold.CacheHits, 0u);
+  EXPECT_FALSE(Cold.IR.empty());
+
+  CompileResponse Warm = Service.compile(requestFor(IR, "w"));
+  ASSERT_TRUE(Warm.ok());
+  EXPECT_EQ(Warm.CacheMisses, 0u); // every region replayed
+  EXPECT_EQ(Warm.CacheHits, Cold.CacheMisses);
+  EXPECT_EQ(canonicalFrame(Cold, "x"), canonicalFrame(Warm, "x"));
+}
+
+TEST(CompileService, ColdVsCachedOverBuiltinKernels) {
+  expectColdVsCachedIdentical(
+      serializeFuzzProgram(buildStrcpyKernel(4, 512, 1)), "strcpy");
+  expectColdVsCachedIdentical(
+      serializeFuzzProgram(buildCmpKernel(4, 512, 480, 2)), "cmp");
+  expectColdVsCachedIdentical(
+      serializeFuzzProgram(buildGrepKernel(4, 512, 0.02, 3)), "grep");
+  expectColdVsCachedIdentical(
+      serializeFuzzProgram(buildWcKernel(4, 512, 4)), "wc");
+}
+
+TEST(CompileService, ColdVsCachedOverGeneratedPrograms) {
+  GeneratorConfig GC;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed)
+    expectColdVsCachedIdentical(
+        serializeFuzzProgram(generateProgram(Seed, GC)),
+        "seed " + std::to_string(Seed));
+}
+
+TEST(CompileService, ColdVsCachedOverRegressionCorpus) {
+  std::vector<std::string> Files =
+      listCorpusFiles(CPR_SERVE_REGRESSION_DIR);
+  ASSERT_FALSE(Files.empty());
+  for (const std::string &Path : Files) {
+    FuzzParseResult FP = loadFuzzProgramFile(Path);
+    ASSERT_TRUE(FP) << Path << ": " << FP.Error;
+    expectColdVsCachedIdentical(serializeFuzzProgram(FP.Program), Path);
+  }
+}
+
+TEST(CompileService, ParseErrorIsIsolated) {
+  CompileService Service;
+  CompileResponse Res = Service.compile(requestFor("func @broken {", "b"));
+  EXPECT_EQ(Res.Status, "error");
+  ASSERT_FALSE(Res.Diagnostics.empty());
+  EXPECT_EQ(Res.Diagnostics[0].Code, "parse-error");
+
+  // The service survives and still compiles.
+  std::string IR = serializeFuzzProgram(buildWcKernel(4, 256, 4));
+  EXPECT_TRUE(Service.compile(requestFor(IR, "ok")).ok());
+}
+
+TEST(CompileService, VerifierRejectIsIsolated) {
+  CompileService Service;
+  // Parses, but moves a GPR into a float register: a class mismatch the
+  // verifier rejects (same shape as tests/fixtures/verify_error.ir).
+  CompileResponse Res = Service.compile(
+      requestFor("func @bad {\nblock @A:\n  f1 = mov(r1)\n  halt\n}\n",
+                 "v"));
+  EXPECT_EQ(Res.Status, "error");
+  ASSERT_FALSE(Res.Diagnostics.empty());
+  EXPECT_EQ(Res.Diagnostics[0].Code, "verify-failed");
+}
+
+TEST(CompileService, PayloadCapRefusesAdmission) {
+  ServiceOptions SO;
+  SO.MaxIRBytes = 16;
+  CompileService Service(SO);
+  CompileResponse Res = Service.compile(
+      requestFor(serializeFuzzProgram(buildWcKernel(4, 256, 4)), "big"));
+  EXPECT_EQ(Res.Status, "error");
+  ASSERT_FALSE(Res.Diagnostics.empty());
+  EXPECT_EQ(Res.Diagnostics[0].Code, "budget-exhausted");
+  EXPECT_EQ(Res.Diagnostics[0].Site, "cprd.admission");
+}
+
+TEST(CompileService, FingerprintSeparatesOptionsAndBudgets) {
+  CompileRequest A = requestFor("func @f {}", "a");
+  CompileRequest B = A;
+  B.CPR.ExitWeightThreshold = A.CPR.ExitWeightThreshold + 0.125;
+
+  Budget Resolved;
+  Resolved.MaxSteps = 100;
+  EXPECT_NE(requestFingerprint(A, 1000, Resolved),
+            requestFingerprint(B, 1000, Resolved));
+  EXPECT_NE(requestFingerprint(A, 1000, Resolved),
+            requestFingerprint(A, 2000, Resolved));
+  Budget Other;
+  Other.MaxSteps = 101;
+  EXPECT_NE(requestFingerprint(A, 1000, Resolved),
+            requestFingerprint(A, 1000, Other));
+  EXPECT_EQ(requestFingerprint(A, 1000, Resolved),
+            requestFingerprint(A, 1000, Resolved));
+}
+
+/// Concurrent identical requests: coalescing makes the cache-wide
+/// hit/miss totals a deterministic function of the workload, and every
+/// response is byte-identical to every other.
+void runConcurrentIdenticalRequests(unsigned Threads) {
+  CompileService Service;
+  std::string IR = serializeFuzzProgram(buildGrepKernel(4, 512, 0.02, 3));
+
+  std::vector<CompileResponse> Responses(Threads);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Responses[T] =
+          Service.compile(requestFor(IR, "t" + std::to_string(T)));
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  uint64_t PerRequest = Responses[0].CacheHits + Responses[0].CacheMisses;
+  ASSERT_GT(PerRequest, 0u);
+  uint64_t TotalMisses = 0;
+  for (unsigned T = 0; T < Threads; ++T) {
+    ASSERT_TRUE(Responses[T].ok());
+    EXPECT_EQ(Responses[T].CacheHits + Responses[T].CacheMisses,
+              PerRequest);
+    TotalMisses += Responses[T].CacheMisses;
+    EXPECT_EQ(canonicalFrame(Responses[0], "x"),
+              canonicalFrame(Responses[T], "x"))
+        << "thread " << T;
+  }
+  // Each region key was claimed (missed) exactly once across all
+  // threads; everyone else coalesced into hits.
+  EXPECT_EQ(TotalMisses, PerRequest) << "threads=" << Threads;
+  RegionCacheStats S = Service.cacheStats();
+  EXPECT_EQ(S.Misses, PerRequest);
+  EXPECT_EQ(S.Hits, (Threads - 1) * PerRequest);
+}
+
+TEST(CompileService, ConcurrentRequestsAt2Threads) {
+  runConcurrentIdenticalRequests(2);
+}
+TEST(CompileService, ConcurrentRequestsAt4Threads) {
+  runConcurrentIdenticalRequests(4);
+}
+TEST(CompileService, ConcurrentRequestsAt8Threads) {
+  runConcurrentIdenticalRequests(8);
+}
+
+TEST(CompileService, InterpStepCapIsClamped) {
+  ServiceOptions SO;
+  SO.MaxInterpSteps = 50; // absurdly low ceiling
+  CompileService Service(SO);
+  // The kernel needs far more steps to profile; admission clamps the
+  // request's cap to 50 and the profile run fails recoverably.
+  CompileRequest Req =
+      requestFor(serializeFuzzProgram(buildWcKernel(4, 256, 4)), "clamp");
+  Req.InterpMaxSteps = 1000000000;
+  CompileResponse Res = Service.compile(Req);
+  EXPECT_EQ(Res.Status, "error");
+  EXPECT_FALSE(Res.Diagnostics.empty());
+}
+
+} // namespace

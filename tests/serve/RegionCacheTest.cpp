@@ -1,0 +1,178 @@
+//===- tests/serve/RegionCacheTest.cpp - RegionCache unit tests ------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// The cache's contract (serve/RegionCache.h): LRU residency under a byte
+// budget, and hit/miss counters that are a deterministic function of the
+// request sequence at ANY thread count -- the in-flight coalescing rule
+// (first lookup claims, concurrent lookups wait, abandon hands the claim
+// to one waiter) is what the concurrency tests pin.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/RegionCache.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+#include <vector>
+
+using namespace cpr;
+using namespace cpr::serve;
+
+namespace {
+
+/// An entry tagged through a counter (so a returned copy identifies which
+/// commit produced it) and padded to a controllable footprint.
+RegionMemoEntry makeEntry(unsigned Tag, size_t PadBytes = 0) {
+  RegionMemoEntry E;
+  E.Delta.RegionsProcessed = Tag;
+  if (PadBytes > 0) {
+    RegionMemoAppendedBlock AB;
+    AB.Name.assign(PadBytes, 'x');
+    E.AppendedBlocks.push_back(std::move(AB));
+  }
+  return E;
+}
+
+TEST(RegionCache, MissClaimCommitHit) {
+  RegionCache Cache(/*MaxBytes=*/0);
+  EXPECT_FALSE(Cache.lookup(42).has_value()); // miss, claim taken
+  Cache.commit(42, makeEntry(7));
+  std::optional<RegionMemoEntry> E = Cache.lookup(42);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->Delta.RegionsProcessed, 7u);
+
+  RegionCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.Evictions, 0u);
+}
+
+TEST(RegionCache, AbandonedKeyMissesAgain) {
+  RegionCache Cache(0);
+  EXPECT_FALSE(Cache.lookup(1).has_value());
+  Cache.abandon(1); // the compile was unclean; nothing recorded
+  EXPECT_FALSE(Cache.lookup(1).has_value());
+  Cache.abandon(1);
+
+  RegionCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 2u); // one miss per attempt, never a false hit
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Entries, 0u);
+}
+
+TEST(RegionCache, EvictsLeastRecentlyUsedUnderBudget) {
+  // Budget sized for about two padded entries.
+  const size_t Pad = 4096;
+  RegionCache Cache(2 * (sizeof(RegionMemoEntry) +
+                         sizeof(RegionMemoAppendedBlock) + Pad) +
+                    64);
+  for (uint64_t K = 0; K < 2; ++K) {
+    EXPECT_FALSE(Cache.lookup(K).has_value());
+    Cache.commit(K, makeEntry(static_cast<unsigned>(K), Pad));
+  }
+  EXPECT_EQ(Cache.stats().Entries, 2u);
+
+  // Touch key 0 so key 1 is the LRU tail, then insert key 2.
+  EXPECT_TRUE(Cache.lookup(0).has_value());
+  EXPECT_FALSE(Cache.lookup(2).has_value());
+  Cache.commit(2, makeEntry(2, Pad));
+
+  RegionCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Entries, 2u);
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_LE(S.Bytes, S.MaxBytes);
+  EXPECT_TRUE(Cache.lookup(0).has_value());  // recently touched: resident
+  EXPECT_TRUE(Cache.lookup(2).has_value());  // just inserted: resident
+  EXPECT_FALSE(Cache.lookup(1).has_value()); // LRU tail: evicted
+  Cache.abandon(1);                          // release the re-claim
+}
+
+TEST(RegionCache, OversizeEntryNeverResident) {
+  RegionCache Cache(/*MaxBytes=*/64); // smaller than any entry
+  EXPECT_FALSE(Cache.lookup(5).has_value());
+  Cache.commit(5, makeEntry(1, 4096));
+
+  RegionCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Entries, 0u);
+  EXPECT_EQ(S.Bytes, 0u);
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_FALSE(Cache.lookup(5).has_value());
+  Cache.abandon(5);
+}
+
+TEST(RegionCache, ClearDropsEntriesKeepsCounters) {
+  RegionCache Cache(0);
+  EXPECT_FALSE(Cache.lookup(9).has_value());
+  Cache.commit(9, makeEntry(9));
+  EXPECT_TRUE(Cache.lookup(9).has_value());
+  Cache.clear();
+
+  RegionCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Entries, 0u);
+  EXPECT_EQ(S.Bytes, 0u);
+  EXPECT_EQ(S.Hits, 1u); // counters survive the clear
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_FALSE(Cache.lookup(9).has_value());
+  Cache.abandon(9);
+}
+
+/// The determinism claim: Keys distinct keys looked up by every one of
+/// Threads workers concurrently produce exactly Keys misses (one per
+/// key, the claimant's) and Threads*Keys - Keys hits (everyone else),
+/// regardless of scheduling.
+void runDeterministicCounters(unsigned Threads, uint64_t Keys) {
+  RegionCache Cache(0);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&Cache, Keys] {
+      for (uint64_t K = 0; K < Keys; ++K)
+        if (!Cache.lookup(K).has_value())
+          Cache.commit(K, makeEntry(static_cast<unsigned>(K)));
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  RegionCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, Keys) << "threads=" << Threads;
+  EXPECT_EQ(S.Hits, Threads * Keys - Keys) << "threads=" << Threads;
+  EXPECT_EQ(S.Entries, Keys);
+}
+
+TEST(RegionCache, DeterministicCountersAt1Thread) {
+  runDeterministicCounters(1, 16);
+}
+TEST(RegionCache, DeterministicCountersAt2Threads) {
+  runDeterministicCounters(2, 16);
+}
+TEST(RegionCache, DeterministicCountersAt4Threads) {
+  runDeterministicCounters(4, 16);
+}
+TEST(RegionCache, DeterministicCountersAt8Threads) {
+  runDeterministicCounters(8, 16);
+}
+
+/// Abandon under contention: the claim passes to exactly one waiter, so
+/// an always-unclean key still counts one miss per lookup and the entry
+/// count stays zero.
+TEST(RegionCache, AbandonUnderContentionTransfersClaim) {
+  const unsigned Threads = 8;
+  RegionCache Cache(0);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&Cache] {
+      if (!Cache.lookup(77).has_value())
+        Cache.abandon(77);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  RegionCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, Threads); // every lookup became a (transferred) claim
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Entries, 0u);
+}
+
+} // namespace

@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 using namespace cpr;
@@ -61,6 +63,45 @@ TEST(ThreadPool, DestructorDrainsQueue) {
       Pool.submit([&Ran] { ++Ran; });
   }
   EXPECT_EQ(Ran.load(), 64);
+}
+
+TEST(ThreadPool, StopDrainsPendingTasksBeforeJoining) {
+  // The daemon's SIGTERM path: every task queued before stop() must run
+  // to completion -- stop() may not drop work. One worker plus a slow
+  // head task guarantees a deep backlog when stop() is called.
+  std::atomic<int> Ran{0};
+  ThreadPool Pool(1);
+  std::vector<std::future<int>> Futures;
+  Futures.push_back(Pool.submit([&Ran] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return Ran.fetch_add(1);
+  }));
+  for (int I = 1; I < 32; ++I)
+    Futures.push_back(Pool.submit([&Ran] { return Ran.fetch_add(1); }));
+
+  EXPECT_FALSE(Pool.stopping());
+  Pool.stop(); // blocks until the drain completes
+  EXPECT_TRUE(Pool.stopping());
+  EXPECT_EQ(Ran.load(), 32);
+  for (std::future<int> &F : Futures)
+    EXPECT_NO_THROW(F.get()); // every future was fulfilled, none dropped
+
+  Pool.stop(); // idempotent
+  EXPECT_EQ(Ran.load(), 32);
+}
+
+TEST(ThreadPool, ConcurrentStopCallsAllDrain) {
+  std::atomic<int> Ran{0};
+  ThreadPool Pool(2);
+  for (int I = 0; I < 64; ++I)
+    Pool.submit([&Ran] { ++Ran; });
+  std::vector<std::thread> Stoppers;
+  for (int I = 0; I < 4; ++I)
+    Stoppers.emplace_back([&Pool] { Pool.stop(); });
+  for (std::thread &S : Stoppers)
+    S.join();
+  EXPECT_EQ(Ran.load(), 64);
+  EXPECT_TRUE(Pool.stopping());
 }
 
 TEST(ParallelFor, InlineWhenPoolIsNull) {

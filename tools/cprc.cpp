@@ -38,12 +38,14 @@
 #include "cpr/PredicateSpeculation.h"
 #include "lint/Lint.h"
 #include "pipeline/PipelineRun.h"
+#include "fuzz/Corpus.h"
 #include "regions/FRPConversion.h"
 #include "regions/DeadCodeElim.h"
 #include "regions/IfConversion.h"
 #include "regions/LoopUnroller.h"
 #include "regions/Simplify.h"
 #include "sched/ListScheduler.h"
+#include "serve/Client.h"
 #include "sim/TraceSimulator.h"
 #include "support/Budget.h"
 #include "support/Diagnostic.h"
@@ -63,6 +65,7 @@ namespace {
 /// Everything the option table fills in.
 struct Config {
   std::string InputPath;
+  std::string Server;
   std::string Phase = "all";
   std::string ScheduleFor;
   std::string ProfileOut, ProfileIn, TraceOut, StatsJSON;
@@ -223,9 +226,94 @@ OptionTable buildOptions(Config &C) {
                 C.Threads);
   T.addString("--stats-json", "<file>",
               "write per-stage counters and wall times as JSON", C.StatsJSON);
+  T.addString("--server", "<socket>",
+              "compile on the cprd daemon at this socket instead of "
+              "in-process (docs/SERVICE.md); CPR/budget flags travel "
+              "with the request",
+              C.Server);
   T.addFlag("--help", "print this help", C.Help);
   T.addFlag("-h", "print this help", C.Help);
   return T;
+}
+
+/// --server=: ship the compile to a cprd daemon and render its response
+/// the way a local compile would have. The file is normalized through the
+/// fuzz-program serializer first so --reg/--mem flags merge with any
+/// `; reg`/`; mem` directives the file already carries, and so the frame
+/// is deterministic (docs/SERVICE.md: equal frames hit the region cache).
+int runServerMode(const Config &C, const std::string &Text) {
+  FuzzParseResult FP = parseFuzzProgram(Text);
+  if (!FP) {
+    std::fprintf(stderr, "%s: error: %s\n", C.InputPath.c_str(),
+                 FP.Error.c_str());
+    return exit_codes::ParseError;
+  }
+  for (const RegBinding &B : C.InitRegs)
+    FP.Program.InitRegs.push_back(B);
+  for (const auto &Cell : C.InitMem.cells())
+    FP.Program.InitMem.store(Cell.first, Cell.second);
+
+  serve::CompileRequest Req;
+  Req.Id = "cprc";
+  Req.IR = serializeFuzzProgram(FP.Program);
+  Req.CPR = C.CPR;
+  Req.UnrollFactor = C.UnrollFactor;
+  Req.Lint = C.Lint;
+  Req.RegionEquivalence = C.RegionEquiv;
+  Req.InterpMaxSteps = C.InterpMaxSteps;
+  Req.TransformBudget.MaxSteps = C.TransformSteps;
+  Req.TransformBudget.MaxWallMs = C.TransformMs;
+
+  Expected<serve::Client> Conn = serve::Client::connect(C.Server);
+  if (!Conn) {
+    std::fprintf(stderr, "cprc: error: %s\n",
+                 Conn.diagnostic().str().c_str());
+    return exit_codes::Failure;
+  }
+  Expected<serve::CompileResponse> Res = Conn->roundTrip(Req);
+  if (!Res) {
+    std::fprintf(stderr, "cprc: error: %s\n",
+                 Res.diagnostic().str().c_str());
+    return exit_codes::Failure;
+  }
+
+  unsigned Errors = 0, Warnings = 0;
+  for (const serve::WireDiagnostic &D : Res->Diagnostics) {
+    std::fprintf(stderr, "cprc: %s: %s [%s] (%s)\n", D.Severity.c_str(),
+                 D.Message.c_str(), D.Code.c_str(), D.Site.c_str());
+    if (D.Severity == "error" || D.Severity == "fatal")
+      ++Errors;
+    else if (D.Severity == "warning")
+      ++Warnings;
+  }
+
+  if (!Res->ok()) {
+    std::fprintf(stderr, "cprc: error: daemon answered status \"%s\"\n",
+                 Res->Status.c_str());
+    // Map the first error code onto the local exit-code convention so
+    // scripts see the same exits either way.
+    for (const serve::WireDiagnostic &D : Res->Diagnostics) {
+      if (D.Code == "parse-error")
+        return exit_codes::ParseError;
+      if (D.Code == "verify-failed")
+        return exit_codes::VerifyError;
+    }
+    return exit_codes::Failure;
+  }
+
+  std::fprintf(stderr,
+               "cpr: %u region(s), %u CPR block(s) formed, %u "
+               "transformed; cache: %llu hit(s), %llu miss(es)\n",
+               Res->CPR.RegionsProcessed, Res->CPR.CPRBlocksFormed,
+               Res->CPR.CPRBlocksTransformed,
+               static_cast<unsigned long long>(Res->CacheHits),
+               static_cast<unsigned long long>(Res->CacheMisses));
+  std::printf("%s", Res->IR.c_str());
+  if (Errors > 0)
+    return exit_codes::Failure;
+  if (C.Werror && Warnings > 0)
+    return exit_codes::Failure;
+  return exit_codes::Success;
 }
 
 const MachineDesc *findMachine(const std::vector<MachineDesc> &Machines,
@@ -268,6 +356,9 @@ int main(int argc, char **argv) {
   }
   std::stringstream Buf;
   Buf << In.rdbuf();
+
+  if (!C.Server.empty())
+    return runServerMode(C, Buf.str());
 
   ParseResult PR = parseFunction(Buf.str());
   if (!PR) {

@@ -18,7 +18,7 @@
 // times (round-robin), so a healthy cache shows a hit rate well above
 // 50% -- the committed BENCH_serve.json baseline records it.
 //
-// Results are written as a cpr-stats-v1.2 document: deterministic facts
+// Results are written as a cpr-stats-v1.3 document: deterministic facts
 // (request/hit/miss counts, identity failures) in "counters", wall-clock
 // derived numbers (latency percentiles, regions/s) in "times_ms".
 //
@@ -68,10 +68,10 @@ struct Config {
 OptionTable buildOptions(Config &C) {
   OptionTable T;
   T.addString("--out", "<file>",
-              "write the cpr-stats-v1.2 result document here", C.Out);
+              "write the cpr-stats-v1.3 result document here", C.Out);
   T.addString("--validate", "<file>",
               "validate an existing result document against the "
-              "cpr-stats-v1.2 schema and exit (no load run)",
+              "cpr-stats schema and exit (no load run)",
               C.Validate);
   T.addString("--corpus", "<dir>",
               "fuzz regression corpus to replay (default "
@@ -250,7 +250,7 @@ RunResultRow runLoad(const Config &C, const std::vector<WorkItem> &Items,
 }
 
 /// --validate: the committed baseline (and CI artifacts) must be a
-/// cpr-stats-v1.2 document with the serve keys present and numeric.
+/// cpr-stats-v1.2/v1.3 document with the serve keys present and numeric.
 int validateDocument(const std::string &Path) {
   std::ifstream In(Path);
   if (!In) {
@@ -267,12 +267,16 @@ int validateDocument(const std::string &Path) {
     return exit_codes::Failure;
   }
   const JSONValue &Doc = PR.Value;
+  // v1.3 added the additive sim/* counter families; serve documents are
+  // unchanged between the two, so baselines written under either schema
+  // validate.
   const JSONValue *Schema = Doc.find("schema");
   if (!Schema || !Schema->isString() ||
-      Schema->getString() != "cpr-stats-v1.2") {
+      (Schema->getString() != "cpr-stats-v1.2" &&
+       Schema->getString() != "cpr-stats-v1.3")) {
     std::fprintf(stderr,
                  "cpr-bench-serve: %s: missing or wrong \"schema\" "
-                 "(want cpr-stats-v1.2)\n",
+                 "(want cpr-stats-v1.2 or cpr-stats-v1.3)\n",
                  Path.c_str());
     return exit_codes::Failure;
   }
@@ -310,7 +314,7 @@ int validateDocument(const std::string &Path) {
                  Path.c_str());
     return exit_codes::Failure;
   }
-  std::printf("cpr-bench-serve: %s: valid cpr-stats-v1.2 document "
+  std::printf("cpr-bench-serve: %s: valid cpr-stats document "
               "(%zu thread rows)\n",
               Path.c_str(), ThreadRows);
   return exit_codes::Success;

@@ -1,4 +1,4 @@
-//===- bench/bench_sim_predictors.cpp - Dynamic predictor comparison ------===//
+//===- bench/bench_sim_predictors.cpp - Table 2-dyn frontend sweep --------===//
 //
 // Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
 //
@@ -10,96 +10,241 @@
 // prices in the cost Section 8 warns about: the merged bypass branch is
 // harder to predict than the branches it replaced.
 //
-// This benchmark prints, per suite kernel, total simulated cycles and MPKI
-// for baseline vs height-reduced code under each predictor, and the
-// resulting speedup -- the dynamic analogue of a Table 2 column (wide
-// machine).
+// This driver runs the full Table 2-dyn frontend sweep (docs/SIMULATOR.md):
+// workloads x machines x predictors (static, bimodal, gshare, local,
+// tage-sc-l) x frontend configurations (flat penalty model, decoupled
+// fetch + BTB), printing the per-(predictor, frontend) speedup tables and
+// the MPKI / BTB-MPKI / fetch-stall detail. Each workload is one staged
+// PipelineRun session (profile and traces computed once, shared by every
+// cell), fanned out over --threads=<n>; every table and counter is
+// byte-identical at any thread count.
 //
-// Each kernel is one staged PipelineRun session (profile and traces
-// computed once, shared by every predictor simulation), fanned out over
-// --threads=<n> pool workers; the table is identical at every thread
-// count. --stats-json dumps per-stage counters; --micro runs the
-// google-benchmark simulation-cost timers.
+// Sweep results are written as a deterministic cpr-stats-v1.3 document
+// (counters only, no wall times) -- the committed bench/BENCH_sim.json
+// baseline records one cell family per sweep point:
+//
+//   cpr-bench: bench_sim_predictors --out=bench/BENCH_sim.json
+//              bench_sim_predictors --quick --out=/tmp/b.json   (CI smoke)
+//              bench_sim_predictors --validate=bench/BENCH_sim.json
+//
+// --micro runs the google-benchmark simulation-cost timers. Exit codes:
+// 0 success, 1 failure (bad validate target, I/O), 2 usage error.
 //
 //===----------------------------------------------------------------------===//
 
 #include "DriverCommon.h"
 #include "interp/Profiler.h"
-#include "pipeline/CompilerPipeline.h"
 #include "pipeline/PipelineRun.h"
-#include "support/TableFormat.h"
+#include "pipeline/Reports.h"
+#include "support/JSON.h"
 #include "support/ThreadPool.h"
 #include "workloads/BenchmarkSuite.h"
+#include "workloads/Kernels.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 using namespace cpr;
 
 namespace {
 
-void printPredictorTable(const DriverConfig &C, StatsRegistry *Stats) {
-  PipelineOptions Opts;
-  Opts.Simulate = true;
-  Opts.Machines = {MachineDesc::wide()};
+struct SimBenchConfig {
+  std::string Out;
+  std::string Validate;
+  unsigned MaxWorkloads = 0; ///< 0 = the whole paper suite
+  bool Quick = false;
+  DriverConfig Driver; ///< --threads / --stats-json / --micro
+};
 
-  std::printf("Dynamic simulation, wide machine: cycles, speedup, and "
-              "post-CPR MPKI per predictor\n");
-  std::printf("(static = profile-direction prediction; penalty = machine "
-              "default restart cost)\n\n");
+OptionTable buildOptions(SimBenchConfig &C) {
+  OptionTable T;
+  T.addString("--out", "<file>",
+              "write the deterministic cpr-stats-v1.3 sweep document "
+              "here (the committed baseline is bench/BENCH_sim.json)",
+              C.Out);
+  T.addString("--validate", "<file>",
+              "validate an existing sweep document against the "
+              "cpr-stats-v1.3 schema and exit (no sweep run)",
+              C.Validate);
+  T.addUnsigned("--max-workloads", "<n>",
+                "cap the sweep at the first n suite workloads (0 = all)",
+                C.MaxWorkloads);
+  T.addFlag("--quick", "small sweep for CI smoke runs (4 workloads)",
+            C.Quick);
+  T.addUnsigned("--threads", "<n>",
+                "worker threads for the sweep (0 = all cores)",
+                C.Driver.Threads);
+  T.addString("--stats-json", "<file>",
+              "write per-stage counters and wall times as JSON",
+              C.Driver.StatsJSON);
+  T.addFlag("--micro", "also run the google-benchmark micro timers",
+            C.Driver.Micro);
+  T.addFlag("--help", "print this help", C.Driver.Help);
+  T.addFlag("-h", "print this help", C.Driver.Help);
+  return T;
+}
 
-  TextTable T;
-  std::vector<std::string> Header{"Benchmark"};
-  for (PredictorKind K : Opts.Predictors) {
-    Header.push_back(std::string(predictorKindName(K)) + " spd");
-    Header.push_back(std::string(predictorKindName(K)) + " mpki");
+/// One cell's counter family in the sweep document. Only deterministic
+/// facts are recorded (cycle totals, mispredict/BTB/stall counts, and the
+/// ratios derived from them) so the document is a pure function of the
+/// sweep shape.
+void recordCell(StatsRegistry &Doc, const FrontendCell &Cell) {
+  const std::string P = "sim/" + Cell.Workload + "/" + Cell.Machine + "/" +
+                        Cell.Predictor + "/" + Cell.Frontend + "/";
+  const SimComparison &SC = Cell.Sim;
+  Doc.addCount(P + "speedup", SC.speedup());
+  Doc.addCount(P + "cycles_baseline", SC.Baseline.TotalCycles);
+  Doc.addCount(P + "cycles_treated", SC.Treated.TotalCycles);
+  Doc.addCount(P + "mpki_baseline", SC.Baseline.mpki());
+  Doc.addCount(P + "mpki_treated", SC.Treated.mpki());
+  Doc.addCount(P + "btb_mpki_treated", SC.Treated.btbMpki());
+  Doc.addCount(P + "fetch_stalls_treated",
+               static_cast<double>(SC.Treated.FetchStallCycles));
+}
+
+/// --validate: the committed baseline (and CI artifacts) must be a
+/// cpr-stats-v1.3 document whose sim/ cell families are complete and
+/// numeric, with the advertised sweep shape.
+int validateDocument(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "bench_sim_predictors: cannot open '%s'\n",
+                 Path.c_str());
+    return 1;
   }
-  T.setHeader(Header);
-
-  // One session per kernel in a preallocated slot; per-row registries
-  // merge in suite order so stats are identical at every thread count.
-  std::vector<BenchmarkSpec> Suite = paperBenchmarkSuite();
-  std::vector<PipelineResult> Results(Suite.size());
-  std::vector<StatsRegistry> RowStats(Stats ? Suite.size() : 0);
-  auto RunOne = [&](size_t I) {
-    KernelProgram P = Suite[I].Build();
-    PipelineRun Run(std::move(P), Opts, Stats ? &RowStats[I] : nullptr,
-                    Suite[I].Name + "/");
-    Results[I] = Run.finish();
-  };
-  if (C.Threads != 1) {
-    ThreadPool Pool(C.Threads);
-    parallelFor(&Pool, Suite.size(), RunOne);
-  } else {
-    for (size_t I = 0; I < Suite.size(); ++I)
-      RunOne(I);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  JSONParseResult PR = parseJSON(Buf.str());
+  if (!PR) {
+    std::fprintf(stderr, "bench_sim_predictors: %s: %s\n", Path.c_str(),
+                 PR.Error.c_str());
+    return 1;
   }
-  if (Stats)
-    for (const StatsRegistry &R : RowStats)
-      Stats->mergeFrom(R);
-
-  for (size_t I = 0; I < Suite.size(); ++I) {
-    const PipelineResult &R = Results[I];
-    std::vector<std::string> Cells{Suite[I].Name};
-    for (PredictorKind K : Opts.Predictors) {
-      const SimComparison *S = R.simOn("wide", predictorKindName(K));
-      if (!S) {
-        Cells.push_back("-");
-        Cells.push_back("-");
-        continue;
-      }
-      Cells.push_back(TextTable::fmt(S->speedup()));
-      Cells.push_back(TextTable::fmt(S->Baseline.mpki()) + ">" +
-                      TextTable::fmt(S->Treated.mpki()));
+  const JSONValue &Doc = PR.Value;
+  const JSONValue *Schema = Doc.find("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->getString() != "cpr-stats-v1.3") {
+    std::fprintf(stderr,
+                 "bench_sim_predictors: %s: missing or wrong \"schema\" "
+                 "(want cpr-stats-v1.3)\n",
+                 Path.c_str());
+    return 1;
+  }
+  const JSONValue *Counters = Doc.find("counters");
+  if (!Counters || !Counters->isObject()) {
+    std::fprintf(stderr, "bench_sim_predictors: %s: missing \"counters\"\n",
+                 Path.c_str());
+    return 1;
+  }
+  for (const auto &M : Counters->members())
+    if (!M.second.isNumber()) {
+      std::fprintf(stderr,
+                   "bench_sim_predictors: %s: counter \"%s\" is not a "
+                   "number\n",
+                   Path.c_str(), M.first.c_str());
+      return 1;
     }
-    T.addRow(Cells);
+  // Every cell family must be complete: a /speedup row implies its six
+  // sibling rows, and the family count must match the advertised shape.
+  static const char *const Leaves[] = {
+      "cycles_baseline",   "cycles_treated", "mpki_baseline",
+      "mpki_treated",      "btb_mpki_treated",
+      "fetch_stalls_treated"};
+  size_t CellRows = 0;
+  for (const auto &M : Counters->members()) {
+    const std::string &Key = M.first;
+    const std::string Suffix = "/speedup";
+    if (Key.compare(0, 4, "sim/") != 0 || Key.size() <= Suffix.size() ||
+        Key.compare(Key.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+      continue;
+    ++CellRows;
+    const std::string Prefix = Key.substr(0, Key.size() - Suffix.size());
+    for (const char *Leaf : Leaves)
+      if (!Counters->find(Prefix + "/" + Leaf)) {
+        std::fprintf(stderr,
+                     "bench_sim_predictors: %s: cell \"%s\" misses "
+                     "\"%s\"\n",
+                     Path.c_str(), Prefix.c_str(), Leaf);
+        return 1;
+      }
   }
-  std::printf("%s\n", T.render().c_str());
-  std::printf("Reading: 'spd' is CPR speedup under that predictor (compare "
-              "against the static column\nto see how much of the paper's "
-              "speedup survives real prediction); 'mpki' is\nbaseline>treated "
-              "mispredicts per 1000 dispatched operations.\n");
+  const JSONValue *Cells = Counters->find("sim/cells");
+  if (!Cells || !Cells->isNumber() ||
+      Cells->getNumber() != static_cast<double>(CellRows) || CellRows == 0) {
+    std::fprintf(stderr,
+                 "bench_sim_predictors: %s: sim/cells (%s) does not match "
+                 "the %zu cell families found\n",
+                 Path.c_str(), Cells ? "present" : "missing", CellRows);
+    return 1;
+  }
+  for (const char *Shape : {"sim/workloads", "sim/machines",
+                            "sim/predictors", "sim/frontends"}) {
+    const JSONValue *V = Counters->find(Shape);
+    if (!V || !V->isNumber() || V->getNumber() <= 0) {
+      std::fprintf(stderr,
+                   "bench_sim_predictors: %s: missing shape counter "
+                   "\"%s\"\n",
+                   Path.c_str(), Shape);
+      return 1;
+    }
+  }
+  std::printf("bench_sim_predictors: %s: valid cpr-stats-v1.3 sweep "
+              "document (%zu cells)\n",
+              Path.c_str(), CellRows);
+  return 0;
+}
+
+int runSweep(const SimBenchConfig &C) {
+  StatsRegistry StageStats;
+  FrontendSweepOptions SO;
+  SO.Threads = C.Driver.Threads;
+  SO.MaxWorkloads = C.Quick ? 4 : C.MaxWorkloads;
+  SO.Stats = C.Driver.StatsJSON.empty() ? nullptr : &StageStats;
+
+  FrontendSweepResult R = runFrontendSweep(SO);
+  std::printf("%s", renderFrontendSweep(R).c_str());
+  std::printf("%s", renderFrontendDetail(R).c_str());
+
+  // The deterministic sweep document: counters only, so equal sweeps
+  // produce byte-equal files (the determinism tests rely on this).
+  StatsRegistry Doc;
+  for (const FrontendCell &Cell : R.Cells)
+    recordCell(Doc, Cell);
+  std::vector<std::string> Machines, Predictors, Frontends;
+  for (const FrontendCell &Cell : R.Cells) {
+    auto Note = [](std::vector<std::string> &Seen, const std::string &V) {
+      for (const std::string &S : Seen)
+        if (S == V)
+          return;
+      Seen.push_back(V);
+    };
+    Note(Machines, Cell.Machine);
+    Note(Predictors, Cell.Predictor);
+    Note(Frontends, Cell.Frontend);
+  }
+  Doc.addCount("sim/cells", static_cast<double>(R.Cells.size()));
+  Doc.addCount("sim/workloads", static_cast<double>(R.Workloads.size()));
+  Doc.addCount("sim/machines", static_cast<double>(Machines.size()));
+  Doc.addCount("sim/predictors", static_cast<double>(Predictors.size()));
+  Doc.addCount("sim/frontends", static_cast<double>(Frontends.size()));
+
+  if (!C.Out.empty()) {
+    std::ofstream Out(C.Out);
+    if (Out)
+      Out << Doc.toJSONText(/*IncludeTimes=*/false) << "\n";
+    if (!Out) {
+      std::fprintf(stderr, "bench_sim_predictors: cannot write '%s'\n",
+                   C.Out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "bench_sim_predictors: wrote %s (%zu cells)\n",
+                 C.Out.c_str(), R.Cells.size());
+  }
+  maybeWriteStats(C.Driver, StageStats);
+  return 0;
 }
 
 /// Simulation cost: one trace replay through gshare on the wide machine.
@@ -118,7 +263,8 @@ void BM_SimulateGshare(benchmark::State &State) {
 }
 BENCHMARK(BM_SimulateGshare)->Unit(benchmark::kMillisecond);
 
-/// Predictor-model throughput on a synthetic alternating stream.
+/// Predictor-model throughput on a synthetic alternating stream; the
+/// dense range covers every registered kind, tage-sc-l included.
 void BM_PredictorObserve(benchmark::State &State) {
   std::unique_ptr<BranchPredictor> Pred =
       makePredictor(static_cast<PredictorKind>(State.range(0)));
@@ -128,15 +274,40 @@ void BM_PredictorObserve(benchmark::State &State) {
     ++I;
   }
 }
-BENCHMARK(BM_PredictorObserve)->DenseRange(0, 3);
+BENCHMARK(BM_PredictorObserve)->DenseRange(0, 4);
 
 } // namespace
 
 int main(int argc, char **argv) {
-  DriverConfig C = parseDriverOptions(argc, argv, "bench_sim_predictors");
-  StatsRegistry Stats;
-  printPredictorTable(C, C.StatsJSON.empty() ? nullptr : &Stats);
-  maybeWriteStats(C, Stats);
-  maybeRunMicroBenchmarks(C, argv[0]);
+  SimBenchConfig C;
+  OptionTable Options = buildOptions(C);
+  const std::string Usage = "usage: bench_sim_predictors [options]";
+
+  std::string Error;
+  if (!Options.parse(argc, argv, Error, /*Positional=*/nullptr,
+                     &C.Driver.Forwarded)) {
+    std::fprintf(stderr, "bench_sim_predictors: %s\n%s", Error.c_str(),
+                 Options.help(Usage).c_str());
+    return 2;
+  }
+  for (const std::string &Arg : C.Driver.Forwarded) {
+    if (Arg.rfind("--benchmark_", 0) != 0) {
+      std::fprintf(stderr, "bench_sim_predictors: unknown option '%s'\n%s",
+                   Arg.c_str(), Options.help(Usage).c_str());
+      return 2;
+    }
+    C.Driver.Micro = true;
+  }
+  if (C.Driver.Help) {
+    std::printf("%s", Options.help(Usage).c_str());
+    return 0;
+  }
+  if (!C.Validate.empty())
+    return validateDocument(C.Validate);
+
+  int Ret = runSweep(C);
+  if (Ret != 0)
+    return Ret;
+  maybeRunMicroBenchmarks(C.Driver, argv[0]);
   return 0;
 }

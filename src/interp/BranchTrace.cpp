@@ -9,6 +9,7 @@
 #include <cassert>
 #include <cinttypes>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 using namespace cpr;
@@ -61,14 +62,22 @@ std::string cpr::serializeBranchTrace(const BranchTrace &T) {
   return Out;
 }
 
-TraceParseResult cpr::parseBranchTrace(const std::string &Text) {
-  TraceParseResult Res;
+Expected<BranchTrace> cpr::tryParseBranchTrace(const std::string &Text) {
+  BranchTrace Trace;
   std::istringstream In(Text);
   std::string LineStr;
   unsigned LineNo = 0;
   bool SawHeader = false;
-  auto fail = [&](const std::string &Msg) {
-    Res.Error = "line " + std::to_string(LineNo) + ": " + Msg;
+  auto fail = [&](const std::string &Msg) -> Diagnostic {
+    return Diagnostic{DiagSeverity::Error, DiagCode::ParseError,
+                      "line " + std::to_string(LineNo) + ": " + Msg,
+                      "btrace", LineNo};
+  };
+  // Numeric fields must fit an OpId: the serializer never writes wider
+  // ids, so anything larger (including stream-wrapped negatives) is
+  // malformed rather than silently truncated.
+  auto validId = [](uint64_t Id) {
+    return Id <= std::numeric_limits<OpId>::max();
   };
   while (std::getline(In, LineStr)) {
     ++LineNo;
@@ -79,12 +88,12 @@ TraceParseResult cpr::parseBranchTrace(const std::string &Text) {
     std::string Kind;
     if (!(L >> Kind))
       continue;
+    std::string Extra;
     if (!SawHeader) {
       std::string Version;
-      if (Kind != "btrace" || !(L >> Version) || Version != "v1") {
-        fail("expected 'btrace v1' header");
-        return Res;
-      }
+      if (Kind != "btrace" || !(L >> Version) || Version != "v1" ||
+          L >> Extra)
+        return fail("expected 'btrace v1' header");
       SawHeader = true;
       continue;
     }
@@ -92,32 +101,52 @@ TraceParseResult cpr::parseBranchTrace(const std::string &Text) {
       uint64_t Id, Count;
       std::string Dir;
       if (!(L >> Id >> Dir >> Count) || (Dir != "t" && Dir != "n") ||
-          Count == 0) {
-        fail("bad ev record");
-        return Res;
-      }
+          Count == 0 || (L >> Extra))
+        return fail("bad ev record");
+      if (!validId(Id))
+        return fail("ev id " + std::to_string(Id) + " is out of range");
+      if (Count > MaxTraceRunLength)
+        return fail("ev run length " + std::to_string(Count) +
+                    " exceeds the limit of " +
+                    std::to_string(MaxTraceRunLength));
+      if (Trace.hasTerminal())
+        return fail("ev record after the term marker");
       for (uint64_t I = 0; I != Count; ++I)
-        Res.Trace.record(static_cast<OpId>(Id), Dir == "t");
+        Trace.record(static_cast<OpId>(Id), Dir == "t");
     } else if (Kind == "term") {
       uint64_t Id;
-      if (!(L >> Id)) {
-        fail("bad term record");
-        return Res;
-      }
-      Res.Trace.markTerminal(static_cast<OpId>(Id));
+      if (!(L >> Id) || (L >> Extra))
+        return fail("bad term record");
+      if (!validId(Id))
+        return fail("term id " + std::to_string(Id) + " is out of range");
+      if (Trace.hasTerminal())
+        return fail("duplicate term record");
+      Trace.markTerminal(static_cast<OpId>(Id));
     } else if (Kind == "drop") {
       uint64_t N;
-      if (!(L >> N)) {
-        fail("bad drop record");
-        return Res;
-      }
-      Res.Trace.addDropped(N);
+      if (!(L >> N) || (L >> Extra))
+        return fail("bad drop record");
+      // The serializer writes at most one drop record, before any event;
+      // anything else corrupts the Total/retained accounting.
+      if (Trace.totalRecorded() != 0 || Trace.hasTerminal())
+        return fail("drop record must appear once, before any ev record");
+      Trace.addDropped(N);
     } else {
-      fail("unknown record '" + Kind + "'");
-      return Res;
+      return fail("unknown record '" + Kind + "'");
     }
   }
   if (!SawHeader)
-    Res.Error = "missing 'btrace v1' header";
+    return Diagnostic{DiagSeverity::Error, DiagCode::ParseError,
+                      "missing 'btrace v1' header", "btrace", 0};
+  return Trace;
+}
+
+TraceParseResult cpr::parseBranchTrace(const std::string &Text) {
+  TraceParseResult Res;
+  Expected<BranchTrace> E = tryParseBranchTrace(Text);
+  if (E)
+    Res.Trace = E.takeValue();
+  else
+    Res.Error = E.diagnostic().Message;
   return Res;
 }

@@ -34,6 +34,7 @@
 #define INTERP_BRANCHTRACE_H
 
 #include "ir/Operation.h"
+#include "support/Diagnostic.h"
 
 #include <string>
 #include <vector>
@@ -98,14 +99,29 @@ private:
 /// Serializes \p T in the run-length-encoded text format above.
 std::string serializeBranchTrace(const BranchTrace &T);
 
-/// Parse result for branch traces.
+/// Upper bound on one "ev" record's run length. Legitimate traces are
+/// produced by budgeted interpreter runs and stay far below this; a
+/// larger count is malformed input that would otherwise materialize an
+/// attacker-chosen number of events (the parser expands RLE runs).
+inline constexpr uint64_t MaxTraceRunLength = uint64_t(1) << 30;
+
+/// Parses a trace serialized by serializeBranchTrace, rejecting
+/// malformed input -- bad records, trailing tokens, operation ids wider
+/// than OpId, run lengths above MaxTraceRunLength, records in an order
+/// the serializer never emits (events after term, a duplicate or late
+/// drop) -- with a recoverable ParseError diagnostic (Line set to the
+/// offending 1-based line).
+Expected<BranchTrace> tryParseBranchTrace(const std::string &Text);
+
+/// Parse result for branch traces (legacy string-error form).
 struct TraceParseResult {
   BranchTrace Trace;
   std::string Error; ///< empty on success
   explicit operator bool() const { return Error.empty(); }
 };
 
-/// Parses a trace serialized by serializeBranchTrace.
+/// Parses a trace serialized by serializeBranchTrace. Compatibility shim
+/// over tryParseBranchTrace.
 TraceParseResult parseBranchTrace(const std::string &Text);
 
 } // namespace cpr

@@ -15,7 +15,8 @@ using namespace cpr;
 MachineDesc::MachineDesc(std::string Name, int I, int F, int M, int B,
                          bool Sequential, int BranchLatency)
     : Name(std::move(Name)), Width{I, F, M, B}, Sequential(Sequential),
-      BranchLatency(BranchLatency), MispredictPenalty(BranchLatency + 4) {
+      BranchLatency(BranchLatency), MispredictPenalty(BranchLatency + 4),
+      BTBMissPenalty(BranchLatency + 1) {
   assert(I >= 1 && F >= 0 && M >= 1 && B >= 1 && "degenerate machine");
   assert(BranchLatency >= 1 && "branch latency must be at least 1");
 }

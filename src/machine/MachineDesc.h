@@ -75,6 +75,27 @@ public:
     return *this;
   }
 
+  /// Operations the front end can fetch per cycle, used by the simulator's
+  /// decoupled-frontend model (sim/TraceSimulator.h). Defaults to the
+  /// issue width: a balanced frontend that only stalls on taken-branch
+  /// fetch breaks. Narrower widths model a fetch-limited machine.
+  int fetchWidth() const { return FetchWidth > 0 ? FetchWidth : issueWidth(); }
+  MachineDesc &setFetchWidth(int Ops) {
+    assert(Ops >= 1 && "fetch width must be at least 1");
+    FetchWidth = Ops;
+    return *this;
+  }
+
+  /// Cycles a taken branch costs when its target misses the BTB despite a
+  /// correct direction prediction (a fetch redirect without a full
+  /// pipeline restart); smaller than mispredictPenalty().
+  int btbMissPenalty() const { return BTBMissPenalty; }
+  MachineDesc &setBTBMissPenalty(int Cycles) {
+    assert(Cycles >= 0 && "penalty cannot be negative");
+    BTBMissPenalty = Cycles;
+    return *this;
+  }
+
 private:
   std::string Name;
   int Width[4];
@@ -83,6 +104,11 @@ private:
   /// Default pipeline-restart cost: branch latency plus a short front-end
   /// refill, set in the constructor.
   int MispredictPenalty;
+  /// 0 = track the issue width.
+  int FetchWidth = 0;
+  /// Default redirect cost: the branch latency plus one bubble, set in
+  /// the constructor.
+  int BTBMissPenalty;
 };
 
 } // namespace cpr

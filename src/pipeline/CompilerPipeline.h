@@ -57,12 +57,16 @@ struct PipelineOptions {
   /// pipeline fills PipelineResult::Sim with trace-driven dynamic
   /// estimates (the "Table 2-dyn" data) for every machine x predictor.
   bool Simulate = false;
-  /// Predictors simulated when Simulate is set.
-  std::vector<PredictorKind> Predictors = {
-      PredictorKind::Static, PredictorKind::Bimodal, PredictorKind::Gshare,
-      PredictorKind::Local};
+  /// Predictors simulated when Simulate is set; defaults to the whole
+  /// registry (sim/BranchPredictor.h), tage-sc-l included.
+  std::vector<PredictorKind> Predictors = allPredictorKinds();
   /// Misprediction penalty in cycles; negative uses each machine's knob.
   int MispredictPenalty = -1;
+  /// Decoupled-frontend refinement for the simulator (fetch bandwidth,
+  /// BTB target misses -- see sim/TraceSimulator.h). Off by default,
+  /// which preserves the legacy flat-penalty accounting and the
+  /// penalty-0 == ExitAware invariant.
+  FrontendOptions Frontend;
   /// Worker threads for the independent stages (per-machine estimates,
   /// machine x predictor simulations, and -- in runSuite -- whole
   /// benchmarks). 1 = serial; 0 = one per hardware thread. Results and

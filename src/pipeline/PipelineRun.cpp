@@ -413,15 +413,24 @@ MachineComparison PipelineRun::estimateMachine(const MachineDesc &MD) const {
 
 SimComparison PipelineRun::simulate(const MachineDesc &MD,
                                     PredictorKind K) const {
+  return simulate(MD, K, Opts.Frontend);
+}
+
+SimComparison PipelineRun::simulate(const MachineDesc &MD, PredictorKind K,
+                                    const FrontendOptions &FE,
+                                    const std::string &CellName) const {
   assert(Opts.Simulate && "simulate requires Opts.Simulate");
   assert(HaveBaselineProfile && HaveTreated && HaveTreatedProfile &&
          "simulate requires prepare()");
-  const std::string Key =
+  std::string Key =
       Prefix + "sim/" + MD.getName() + "/" + predictorKindName(K);
+  if (!CellName.empty())
+    Key += "/" + CellName;
   PassTimer T(Stats, Key);
   SimOptions SO;
   SO.MispredictPenalty = Opts.MispredictPenalty;
   SO.AllowSpeculation = Opts.Perf.AllowSpeculation;
+  SO.Frontend = FE;
 
   SimComparison SC;
   SC.MachineName = MD.getName();
@@ -449,6 +458,26 @@ SimComparison PipelineRun::simulate(const MachineDesc &MD,
                     static_cast<double>(SC.Baseline.Mispredicts));
     Stats->addCount(Key + "/mispredicts_treated",
                     static_cast<double>(SC.Treated.Mispredicts));
+    Stats->addCount(Key + "/pred_lookups_baseline",
+                    static_cast<double>(SC.Baseline.Pred.Lookups));
+    Stats->addCount(Key + "/pred_lookups_treated",
+                    static_cast<double>(SC.Treated.Pred.Lookups));
+    if (FE.UseBTB) {
+      Stats->addCount(Key + "/btb_hits_baseline",
+                      static_cast<double>(SC.Baseline.BTBHits));
+      Stats->addCount(Key + "/btb_hits_treated",
+                      static_cast<double>(SC.Treated.BTBHits));
+      Stats->addCount(Key + "/btb_misses_baseline",
+                      static_cast<double>(SC.Baseline.BTBMisses));
+      Stats->addCount(Key + "/btb_misses_treated",
+                      static_cast<double>(SC.Treated.BTBMisses));
+    }
+    if (FE.Decoupled) {
+      Stats->addCount(Key + "/fetch_stalls_baseline",
+                      static_cast<double>(SC.Baseline.FetchStallCycles));
+      Stats->addCount(Key + "/fetch_stalls_treated",
+                      static_cast<double>(SC.Treated.FetchStallCycles));
+    }
   }
   return SC;
 }

@@ -120,8 +120,17 @@ public:
   /// --- Concurrent stages (const; require prepare()) -------------------
   /// Static-schedule cycle comparison on \p MD.
   MachineComparison estimateMachine(const MachineDesc &MD) const;
-  /// Trace-driven dynamic comparison on \p MD under predictor \p K.
+  /// Trace-driven dynamic comparison on \p MD under predictor \p K,
+  /// using Opts.Frontend for the frontend cost model.
   SimComparison simulate(const MachineDesc &MD, PredictorKind K) const;
+  /// Same, with an explicit frontend configuration -- lets one prepared
+  /// session sweep several BTB/fetch geometries without re-profiling
+  /// (pipeline/Reports.h's runFrontendSweep). \p CellName, when
+  /// non-empty, distinguishes the stats keys of different frontend
+  /// configurations of the same (machine, predictor) pair.
+  SimComparison simulate(const MachineDesc &MD, PredictorKind K,
+                         const FrontendOptions &FE,
+                         const std::string &CellName = "") const;
 
   /// --- Terminal -------------------------------------------------------
   /// Runs the whole cross-product (machines, and machine x predictor

@@ -40,7 +40,7 @@
 namespace cpr {
 namespace serve {
 
-/// Counter snapshot for `cpr-stats-v1.2` / the `cache` section of cprd
+/// Counter snapshot for `cpr-stats-v1.3` / the `cache` section of cprd
 /// responses.
 struct RegionCacheStats {
   uint64_t Hits = 0;

@@ -6,30 +6,51 @@
 
 #include "sim/BranchPredictor.h"
 
+#include "sim/frontend/TAGE.h"
 #include "support/Error.h"
 
 #include <unordered_map>
 
 using namespace cpr;
 
-const char *cpr::predictorKindName(PredictorKind K) {
-  switch (K) {
-  case PredictorKind::Static:
-    return "static";
-  case PredictorKind::Bimodal:
-    return "bimodal";
-  case PredictorKind::Gshare:
-    return "gshare";
-  case PredictorKind::Local:
-    return "local";
+const std::vector<PredictorInfo> &cpr::predictorRegistry() {
+  static const std::vector<PredictorInfo> Registry = {
+      {PredictorKind::Static, "static",
+       "profile-based fixed direction per branch"},
+      {PredictorKind::Bimodal, "bimodal",
+       "hashed table of 2-bit saturating counters"},
+      {PredictorKind::Gshare, "gshare",
+       "2-bit counters indexed by branch id XOR global history"},
+      {PredictorKind::Local, "local",
+       "two-level predictor with per-branch history registers"},
+      {PredictorKind::TageScL, "tage-sc-l",
+       "tagged geometric-history tables + statistical corrector + loop "
+       "predictor"},
+  };
+  return Registry;
+}
+
+std::string cpr::predictorNamesList() {
+  std::string Out;
+  for (const PredictorInfo &I : predictorRegistry()) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += I.Name;
   }
+  return Out;
+}
+
+const char *cpr::predictorKindName(PredictorKind K) {
+  for (const PredictorInfo &I : predictorRegistry())
+    if (I.Kind == K)
+      return I.Name;
   CPR_UNREACHABLE("bad predictor kind");
 }
 
 bool cpr::parsePredictorKind(const std::string &Name, PredictorKind &Out) {
-  for (PredictorKind K : allPredictorKinds()) {
-    if (Name == predictorKindName(K)) {
-      Out = K;
+  for (const PredictorInfo &I : predictorRegistry()) {
+    if (Name == I.Name) {
+      Out = I.Kind;
       return true;
     }
   }
@@ -37,8 +58,10 @@ bool cpr::parsePredictorKind(const std::string &Name, PredictorKind &Out) {
 }
 
 std::vector<PredictorKind> cpr::allPredictorKinds() {
-  return {PredictorKind::Static, PredictorKind::Bimodal,
-          PredictorKind::Gshare, PredictorKind::Local};
+  std::vector<PredictorKind> Kinds;
+  for (const PredictorInfo &I : predictorRegistry())
+    Kinds.push_back(I.Kind);
+  return Kinds;
 }
 
 uint32_t cpr::predictorTableIndex(OpId Br, unsigned Bits) {
@@ -207,6 +230,8 @@ std::unique_ptr<BranchPredictor> cpr::makePredictor(PredictorKind K,
     return std::make_unique<GsharePredictor>(C);
   case PredictorKind::Local:
     return std::make_unique<LocalPredictor>(C);
+  case PredictorKind::TageScL:
+    return makeTageScLPredictor(C);
   }
   CPR_UNREACHABLE("bad predictor kind");
 }

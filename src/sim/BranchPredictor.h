@@ -11,16 +11,21 @@
 /// trade-off -- collapsing several highly predictable exit branches into
 /// one combined bypass branch whose direction is harder to learn.
 ///
-/// Four models, in increasing sophistication:
+/// Five models, in increasing sophistication:
 ///
-///  - Static:  profile-based predict-taken heuristic, one fixed direction
-///             per branch (the strongest model the paper's static
-///             methodology implicitly assumes);
-///  - Bimodal: per-branch 2-bit saturating counters in a hashed table;
-///  - Gshare:  2-bit counters indexed by branch id XOR global history
-///             (McFarling-style);
-///  - Local:   two-level with per-branch history registers selecting a
-///             pattern table of 2-bit counters.
+///  - Static:    profile-based predict-taken heuristic, one fixed direction
+///               per branch (the strongest model the paper's static
+///               methodology implicitly assumes);
+///  - Bimodal:   per-branch 2-bit saturating counters in a hashed table;
+///  - Gshare:    2-bit counters indexed by branch id XOR global history
+///               (McFarling-style);
+///  - Local:     two-level with per-branch history registers selecting a
+///               pattern table of 2-bit counters;
+///  - TageScL:   TAGE-SC-L-class predictor (sim/frontend/TAGE.h): bimodal
+///               base plus tagged geometric-history tables with usefulness
+///               counters, a statistical corrector, and a loop predictor --
+///               the production-grade model the modern-relevance question
+///               of ROADMAP O2 needs.
 ///
 /// Branches are keyed by OpId -- the IR has no instruction addresses, and
 /// ids survive transformation, so baseline and treated traces index
@@ -44,16 +49,34 @@ enum class PredictorKind {
   Bimodal, ///< hashed table of 2-bit counters
   Gshare,  ///< global-history XOR indexing
   Local,   ///< two-level local-history predictor
+  TageScL, ///< TAGE-SC-L class (tagged geometric tables + SC + loop)
 };
 
-/// Printable name of \p K ("static", "bimodal", "gshare", "local").
+/// One registered predictor model: the single source of truth tools and
+/// benches enumerate (names, parsing, factory dispatch all derive from
+/// this table).
+struct PredictorInfo {
+  PredictorKind Kind;
+  const char *Name;    ///< stable CLI/report name, e.g. "tage-sc-l"
+  const char *Summary; ///< one-line description for --help and docs
+};
+
+/// The registry of all predictor models, in definition order.
+const std::vector<PredictorInfo> &predictorRegistry();
+
+/// Comma-separated registered predictor names, for diagnostics
+/// ("static, bimodal, gshare, local, tage-sc-l").
+std::string predictorNamesList();
+
+/// Printable name of \p K ("static", "bimodal", "gshare", "local",
+/// "tage-sc-l").
 const char *predictorKindName(PredictorKind K);
 
 /// Parses a predictor name as printed by predictorKindName.
 /// Returns false on an unknown name.
 bool parsePredictorKind(const std::string &Name, PredictorKind &Out);
 
-/// All four kinds, in definition order.
+/// All registered kinds, in definition order.
 std::vector<PredictorKind> allPredictorKinds();
 
 /// Sizing and seeding for makePredictor.
@@ -72,6 +95,23 @@ struct PredictorConfig {
   /// A branch whose profiled taken ratio meets this threshold is
   /// statically predicted taken.
   double PredictTakenThreshold = 0.5;
+
+  /// --- TAGE-SC-L sizing (sim/frontend/TAGE.h) -------------------------
+  /// Number of tagged geometric-history tables.
+  unsigned TageTables = 4;
+  /// log2 entries per tagged table.
+  unsigned TageTableBits = 9;
+  /// Partial-tag width per tagged-table entry, in bits.
+  unsigned TageTagBits = 8;
+  /// Shortest and longest global-history lengths; the lengths of the
+  /// tables in between follow a geometric series.
+  unsigned TageMinHistory = 4;
+  unsigned TageMaxHistory = 64;
+  /// Enable the statistical-corrector and loop-predictor side predictors.
+  bool TageUseSC = true;
+  bool TageUseLoop = true;
+  /// log2 entries of the loop-predictor table.
+  unsigned LoopTableBits = 6;
 };
 
 /// Aggregate prediction accuracy counters.

@@ -59,8 +59,14 @@ SimEstimate cpr::simulateTrace(const Function &F, const MachineDesc &MD,
                                const SimOptions &Opts) {
   SimEstimate Est;
   std::vector<SimBlockStats> BlockStats(F.numBlocks());
+  std::optional<BTB> TargetBuffer;
   auto finish = [&]() -> SimEstimate & {
     Est.Pred = Pred.stats();
+    if (TargetBuffer) {
+      Est.BTBLookups = TargetBuffer->stats().Lookups;
+      Est.BTBHits = TargetBuffer->stats().Hits;
+      Est.BTBMisses = TargetBuffer->stats().Misses;
+    }
     for (SimBlockStats &BS : BlockStats)
       if (BS.Entries != 0)
         Est.Blocks.push_back(std::move(BS));
@@ -82,7 +88,34 @@ SimEstimate cpr::simulateTrace(const Function &F, const MachineDesc &MD,
   int Penalty =
       Opts.MispredictPenalty >= 0 ? Opts.MispredictPenalty
                                   : MD.mispredictPenalty();
+  const FrontendOptions &FE = Opts.Frontend;
+  int BTBMissPenalty = FE.BTBMissPenalty >= 0 ? FE.BTBMissPenalty
+                                              : MD.btbMissPenalty();
+  int FetchWidth = FE.FetchWidth > 0 ? FE.FetchWidth : MD.fetchWidth();
+  if (FE.UseBTB)
+    TargetBuffer.emplace(FE.BTB);
   ScheduleCache Schedules(F, MD, Opts.AllowSpeculation);
+
+  // Decoupled frontend: a block entry that dispatches N operations needs
+  // ceil(N / FetchWidth) fetch cycles (the taken branch or halt that ends
+  // the entry also ends its last fetch packet); when the schedule retires
+  // faster than that, the backend stalls for the difference.
+  auto chargeFetch = [&](SimBlockStats &BS, double BackendCycles,
+                         uint64_t OpsFetched) {
+    if (!FE.Decoupled || OpsFetched == 0)
+      return;
+    uint64_t FetchCycles =
+        (OpsFetched + static_cast<uint64_t>(FetchWidth) - 1) /
+        static_cast<uint64_t>(FetchWidth);
+    double Backend = BackendCycles;
+    if (static_cast<double>(FetchCycles) > Backend) {
+      uint64_t Stall = FetchCycles - static_cast<uint64_t>(Backend);
+      BS.FetchStallCycles += Stall;
+      BS.Cycles += static_cast<double>(Stall);
+      Est.FetchStallCycles += Stall;
+      Est.TotalCycles += static_cast<double>(Stall);
+    }
+  };
 
   size_t Cursor = 0; // next unconsumed trace event
   size_t BI = 0;     // layout index of the current block
@@ -111,6 +144,7 @@ SimEstimate cpr::simulateTrace(const Function &F, const MachineDesc &MD,
         BS.Cycles += C;
         Est.TotalCycles += C;
         Est.OpsDispatched += OI + 1;
+        chargeFetch(BS, C, OI + 1);
         if (Cursor != Trace.size())
           return fail("trace has " + std::to_string(Trace.size() - Cursor) +
                       " event(s) past the terminal operation");
@@ -160,6 +194,19 @@ SimEstimate cpr::simulateTrace(const Function &F, const MachineDesc &MD,
         if (Target == InvalidBlockId)
           return fail("branch id " + std::to_string(Op.getId()) +
                       " in @" + B.getName() + " has no resolvable target");
+        if (TargetBuffer) {
+          // The frontend needs the target to redirect without a bubble.
+          // A direction mispredict already paid the full restart above;
+          // only a direction-correct target miss costs extra here.
+          bool Hit = TargetBuffer->access(Op.getId(), Target);
+          if (!Hit && Predicted == Ev.Taken) {
+            ++BS.BTBMisses;
+            Est.BTBPenaltyCycles += static_cast<uint64_t>(BTBMissPenalty);
+            BS.Cycles += BTBMissPenalty;
+            Est.TotalCycles += BTBMissPenalty;
+          }
+        }
+        chargeFetch(BS, C, OI + 1);
         int TargetIdx = F.layoutIndex(Target);
         if (TargetIdx < 0)
           return fail("branch id " + std::to_string(Op.getId()) +
@@ -177,6 +224,7 @@ SimEstimate cpr::simulateTrace(const Function &F, const MachineDesc &MD,
     BS.Cycles += C;
     Est.TotalCycles += C;
     Est.OpsDispatched += B.size();
+    chargeFetch(BS, C, B.size());
     if (BI + 1 >= F.numBlocks())
       return fail("control fell off the end of the function in @" +
                   B.getName());

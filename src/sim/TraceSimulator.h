@@ -12,12 +12,26 @@
 /// configurable pipeline-restart penalty on every branch a pluggable
 /// predictor gets wrong.
 ///
-/// With a zero penalty the produced SimEstimate::TotalCycles is exactly
-/// the ExitAware PerfEstimate::TotalCycles for the same run: the simulator
-/// is the dynamic refinement of the paper's Section 7 static formula, not
-/// a different model. The delta between the two is therefore purely the
+/// With a zero penalty (and the frontend model off) the produced
+/// SimEstimate::TotalCycles is exactly the ExitAware
+/// PerfEstimate::TotalCycles for the same run: the simulator is the
+/// dynamic refinement of the paper's Section 7 static formula, not a
+/// different model. The delta between the two is therefore purely the
 /// misprediction cost the paper ignores -- the quantity of interest when
 /// judging control CPR's predictable-branches-for-one-bypass trade.
+///
+/// The optional decoupled-frontend model (FrontendOptions) refines the
+/// flat penalty further, charging three separate cost classes
+/// (docs/SIMULATOR.md):
+///
+///  - direction mispredicts: the full MispredictPenalty, as before;
+///  - BTB target misses: a taken branch whose target is not resident in
+///    the set-associative BTB (sim/frontend/BTB.h) pays the (smaller)
+///    BTB-miss redirect penalty even when its direction was right;
+///  - fetch-bandwidth stalls: each block entry can dispatch at most
+///    FetchWidth operations per cycle and a taken branch ends its fetch
+///    packet, so a block whose schedule finishes faster than its
+///    operations can be fetched stalls for the difference.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,11 +41,34 @@
 #include "interp/BranchTrace.h"
 #include "machine/MachineDesc.h"
 #include "sim/BranchPredictor.h"
+#include "sim/frontend/BTB.h"
 
 #include <string>
 #include <vector>
 
 namespace cpr {
+
+/// The decoupled-frontend cost model, off by default (the legacy flat
+/// mispredict-penalty accounting, which preserves the penalty-0 ==
+/// ExitAware invariant above).
+struct FrontendOptions {
+  /// Model fetch bandwidth: every block entry is limited to FetchWidth
+  /// operations fetched per cycle, and a taken branch breaks the fetch
+  /// packet (the block entry's fetch ends there).
+  bool Decoupled = false;
+  /// Operations fetched per cycle; non-positive selects the machine's
+  /// fetchWidth() knob.
+  int FetchWidth = 0;
+  /// Model a branch target buffer: taken branches look their targets up
+  /// and pay BTBMissPenalty on a target miss that a correct direction
+  /// prediction would otherwise have hidden.
+  bool UseBTB = false;
+  /// BTB geometry when UseBTB is set.
+  BTBConfig BTB;
+  /// Cycles charged per BTB target miss on a direction-correct taken
+  /// branch. Negative selects the machine's btbMissPenalty() knob.
+  int BTBMissPenalty = -1;
+};
 
 /// Simulation options.
 struct SimOptions {
@@ -40,6 +77,8 @@ struct SimOptions {
   int MispredictPenalty = -1;
   /// Passed through to block scheduling (superblock speculation).
   bool AllowSpeculation = true;
+  /// Decoupled-frontend refinement (BTB + fetch bandwidth).
+  FrontendOptions Frontend;
 };
 
 /// Per-block simulation detail.
@@ -48,6 +87,8 @@ struct SimBlockStats {
   std::string Name;
   uint64_t Entries = 0;
   uint64_t Mispredicts = 0;
+  uint64_t BTBMisses = 0;
+  uint64_t FetchStallCycles = 0;
   double Cycles = 0.0; ///< includes penalty cycles charged in this block
 };
 
@@ -63,6 +104,15 @@ struct SimEstimate {
   uint64_t Branches = 0;
   uint64_t Mispredicts = 0;
   uint64_t BlockEntries = 0;
+  /// --- Decoupled-frontend counters (zero when the model is off) ------
+  /// Target lookups/hits/misses of taken branches in the BTB.
+  uint64_t BTBLookups = 0;
+  uint64_t BTBHits = 0;
+  uint64_t BTBMisses = 0;
+  /// Cycles of TotalCycles charged for direction-correct BTB misses.
+  uint64_t BTBPenaltyCycles = 0;
+  /// Cycles of TotalCycles where the backend waited on fetch bandwidth.
+  uint64_t FetchStallCycles = 0;
   /// Final predictor counters (Lookups == Branches on success).
   PredictorStats Pred;
   std::vector<SimBlockStats> Blocks;
@@ -75,6 +125,12 @@ struct SimEstimate {
   double mpki() const {
     return OpsDispatched == 0 ? 0.0
                               : 1000.0 * static_cast<double>(Mispredicts) /
+                                    static_cast<double>(OpsDispatched);
+  }
+  /// BTB target misses per 1000 dispatched operations.
+  double btbMpki() const {
+    return OpsDispatched == 0 ? 0.0
+                              : 1000.0 * static_cast<double>(BTBMisses) /
                                     static_cast<double>(OpsDispatched);
   }
 };

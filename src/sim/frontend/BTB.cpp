@@ -1,0 +1,84 @@
+//===- sim/frontend/BTB.cpp - Branch target buffer model ------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/frontend/BTB.h"
+
+#include "sim/BranchPredictor.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace cpr;
+
+std::string BTBConfig::str() const {
+  return std::to_string(numSets()) + "x" + std::to_string(Ways);
+}
+
+bool cpr::parseBTBConfig(const std::string &Text, BTBConfig &Out) {
+  size_t X = Text.find('x');
+  if (X == 0 || X == std::string::npos || X + 1 >= Text.size())
+    return false;
+  for (size_t I = 0; I < Text.size(); ++I)
+    if (I != X && !std::isdigit(static_cast<unsigned char>(Text[I])))
+      return false;
+  unsigned long Sets = std::strtoul(Text.substr(0, X).c_str(), nullptr, 10);
+  unsigned long Ways = std::strtoul(Text.substr(X + 1).c_str(), nullptr, 10);
+  if (Sets == 0 || Sets > (1u << 20) || (Sets & (Sets - 1)) != 0)
+    return false;
+  if (Ways == 0 || Ways > 64)
+    return false;
+  unsigned Bits = 0;
+  while ((1u << Bits) != Sets)
+    ++Bits;
+  Out.SetBits = Bits;
+  Out.Ways = static_cast<unsigned>(Ways);
+  return true;
+}
+
+BTB::BTB(const BTBConfig &C) : Config(C) {
+  Entries.assign(size_t(Config.numSets()) * Config.Ways, Entry());
+}
+
+bool BTB::access(OpId Br, BlockId Target) {
+  ++Stats.Lookups;
+  ++Clock;
+  size_t Set = predictorTableIndex(Br, Config.SetBits);
+  Entry *Begin = &Entries[Set * Config.Ways];
+  Entry *End = Begin + Config.Ways;
+
+  Entry *Victim = Begin;
+  for (Entry *E = Begin; E != End; ++E) {
+    if (E->Valid && E->Br == Br) {
+      bool Hit = E->Target == Target;
+      E->Target = Target; // refresh a stale target in place
+      E->Stamp = Clock;
+      if (Hit)
+        ++Stats.Hits;
+      else
+        ++Stats.Misses;
+      return Hit;
+    }
+    // LRU victim: invalid beats valid, then the oldest stamp. Ties fall
+    // to the lowest way, which keeps eviction deterministic.
+    if (!Victim->Valid)
+      continue;
+    if (!E->Valid || E->Stamp < Victim->Stamp)
+      Victim = E;
+  }
+
+  ++Stats.Misses;
+  Victim->Valid = true;
+  Victim->Br = Br;
+  Victim->Target = Target;
+  Victim->Stamp = Clock;
+  return false;
+}
+
+void BTB::reset() {
+  Entries.assign(Entries.size(), Entry());
+  Stats = BTBStats();
+  Clock = 0;
+}

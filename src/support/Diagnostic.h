@@ -16,7 +16,7 @@
 ///  - Expected<T>     value-or-Diagnostic, for producing stages;
 ///  - DiagnosticEngine thread-safe sink with severity counters that can
 ///                    mirror into a StatsRegistry (keys "diag/<severity>",
-///                    part of the cpr-stats-v1.2 schema) and echo remarks
+///                    part of the cpr-stats-v1.3 schema) and echo remarks
 ///                    to a stream;
 ///  - exit codes      the tools' distinct nonzero exit codes.
 ///
@@ -160,7 +160,7 @@ private:
 /// by MaxKept, oldest dropped first), maintains per-severity counters,
 /// and optionally mirrors the counters into a StatsRegistry under
 /// "<prefix>diag/<severity>" keys -- the cpr.diag.* counters of the
-/// cpr-stats-v1.2 schema.
+/// cpr-stats-v1.3 schema.
 class DiagnosticEngine {
 public:
   explicit DiagnosticEngine(StatsRegistry *Stats = nullptr,

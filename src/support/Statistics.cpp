@@ -62,7 +62,7 @@ JSONValue StatsRegistry::toJSON(bool IncludeTimes) const {
   // v1.1 added the fail-safe counter families (<prefix>diag/<severity>,
   // cpr/blocks_rolled_back, budget/*, fault/*; docs/ROBUSTNESS.md).
   // Purely additive over v1: consumers keyed on "counters" need no change.
-  Doc.set("schema", JSONValue::str("cpr-stats-v1.2"));
+  Doc.set("schema", JSONValue::str("cpr-stats-v1.3"));
   JSONValue CountsObj = JSONValue::object();
   for (const auto &KV : counters())
     CountsObj.set(KV.first, JSONValue::number(KV.second));

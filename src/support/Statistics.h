@@ -90,7 +90,7 @@ public:
   void mergeFrom(const StatsRegistry &Other, const std::string &Prefix = "");
 
   /// Builds the machine-readable stats document:
-  ///   { "schema": "cpr-stats-v1.2",
+  ///   { "schema": "cpr-stats-v1.3",
   ///     "counters": { <key>: <number>, ... },   // sorted, deterministic
   ///     "times_ms": { <key>: <number>, ... } }  // sorted, wall-clock
   /// "times_ms" is omitted when \p IncludeTimes is false, making the

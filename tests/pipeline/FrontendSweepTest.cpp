@@ -1,0 +1,96 @@
+//===- tests/pipeline/FrontendSweepTest.cpp - Table 2-dyn sweep tests -----===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// The frontend sweep (workloads x machines x predictors x frontends) is
+// the benchmark surface of the frontend-fidelity subsystem; its contract
+// is byte-identical output at every thread count and a stable
+// workload-major cell order every renderer and serializer can rely on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Reports.h"
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+FrontendSweepOptions smallSweep(unsigned Threads) {
+  FrontendSweepOptions O;
+  O.Threads = Threads;
+  O.MaxWorkloads = 3;
+  O.Machines = {MachineDesc::medium(), MachineDesc::wide()};
+  O.Predictors = {PredictorKind::Gshare, PredictorKind::TageScL};
+  return O;
+}
+
+TEST(FrontendSweep, CellOrderIsWorkloadMajorAndComplete) {
+  FrontendSweepResult R = runFrontendSweep(smallSweep(1));
+  ASSERT_EQ(R.Workloads.size(), 3u);
+  // 3 workloads x 2 machines x 2 predictors x 2 frontend configs.
+  ASSERT_EQ(R.Cells.size(), 3u * 2 * 2 * 2);
+
+  size_t I = 0;
+  for (const std::string &W : R.Workloads)
+    for (const char *M : {"medium", "wide"})
+      for (const char *P : {"gshare", "tage-sc-l"})
+        for (const char *FE : {"flat", "fetch4.btb64x4"}) {
+          const FrontendCell &C = R.Cells[I++];
+          EXPECT_EQ(C.Workload, W);
+          EXPECT_EQ(C.Machine, M);
+          EXPECT_EQ(C.Predictor, P);
+          EXPECT_EQ(C.Frontend, FE);
+          EXPECT_TRUE(C.Sim.Baseline.ok()) << C.Sim.Baseline.Error;
+          EXPECT_TRUE(C.Sim.Treated.ok()) << C.Sim.Treated.Error;
+          EXPECT_GT(C.Sim.Baseline.TotalCycles, 0.0);
+        }
+}
+
+TEST(FrontendSweep, FrontendCostsAreVisibleInTheCells) {
+  FrontendSweepResult R = runFrontendSweep(smallSweep(1));
+  uint64_t FlatBTB = 0, FrontBTB = 0, FrontStalls = 0;
+  double FlatCycles = 0, FrontCycles = 0;
+  for (const FrontendCell &C : R.Cells) {
+    if (C.Frontend == "flat") {
+      FlatBTB += C.Sim.Treated.BTBLookups;
+      FlatCycles += C.Sim.Treated.TotalCycles;
+    } else {
+      FrontBTB += C.Sim.Treated.BTBLookups;
+      FrontStalls += C.Sim.Treated.FetchStallCycles;
+      FrontCycles += C.Sim.Treated.TotalCycles;
+    }
+  }
+  EXPECT_EQ(FlatBTB, 0u);      // the flat model never consults a BTB
+  EXPECT_GT(FrontBTB, 0u);     // the frontend config does
+  EXPECT_GT(FrontStalls, 0u);  // 4-wide fetch trails the wide backends
+  EXPECT_GT(FrontCycles, FlatCycles); // extra cost classes only add cycles
+}
+
+TEST(FrontendSweep, ByteIdenticalAtEveryThreadCount) {
+  StatsRegistry SerialStats;
+  FrontendSweepOptions Serial = smallSweep(1);
+  Serial.Stats = &SerialStats;
+  FrontendSweepResult Want = runFrontendSweep(Serial);
+  std::string WantSweep = renderFrontendSweep(Want);
+  std::string WantDetail = renderFrontendDetail(Want);
+  EXPECT_FALSE(WantSweep.empty());
+  EXPECT_FALSE(WantDetail.empty());
+
+  for (unsigned Threads : {2u, 4u, 8u}) {
+    StatsRegistry Stats;
+    FrontendSweepOptions O = smallSweep(Threads);
+    O.Stats = &Stats;
+    FrontendSweepResult Got = runFrontendSweep(O);
+    EXPECT_EQ(renderFrontendSweep(Got), WantSweep) << Threads << " threads";
+    EXPECT_EQ(renderFrontendDetail(Got), WantDetail) << Threads << " threads";
+    EXPECT_EQ(Stats.toJSONText(false), SerialStats.toJSONText(false))
+        << Threads << " threads";
+  }
+  EXPECT_FALSE(SerialStats.counters().empty());
+}
+
+} // namespace

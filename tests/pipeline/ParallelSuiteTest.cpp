@@ -132,7 +132,7 @@ TEST(RunSuite, ParallelSuiteIsByteIdenticalToSerial) {
   ASSERT_TRUE(static_cast<bool>(P)) << P.Error;
   const JSONValue *Schema = P.Value.find("schema");
   ASSERT_NE(Schema, nullptr);
-  EXPECT_EQ(Schema->getString(), "cpr-stats-v1.2");
+  EXPECT_EQ(Schema->getString(), "cpr-stats-v1.3");
   const JSONValue *Counters = P.Value.find("counters");
   ASSERT_NE(Counters, nullptr);
   EXPECT_EQ(Counters->members().size(), SerialStats.counters().size());

@@ -7,7 +7,9 @@
 #include "interp/BranchTrace.h"
 
 #include "interp/Profiler.h"
+#include "support/RNG.h"
 #include "workloads/Kernels.h"
+#include "workloads/SyntheticProgram.h"
 
 #include <gtest/gtest.h>
 
@@ -115,6 +117,80 @@ TEST(BranchTraceTest, ParseErrors) {
   ASSERT_TRUE(Ok) << Ok.Error;
   EXPECT_EQ(Ok.Trace.size(), 2u);
   EXPECT_EQ(Ok.Trace.terminalOp(), 8u);
+}
+
+// --- btrace v1 hygiene -----------------------------------------------
+
+TEST(BranchTraceTest, MalformedLinesAreRecoverableParseErrors) {
+  // Every rejection is a recoverable Error diagnostic with the stable
+  // parse-error code and the 1-based line of the offending record --
+  // never a fatal, so readers can skip a bad trace and keep going.
+  struct Case {
+    const char *Text;
+    unsigned Line;
+  };
+  for (const Case &C : std::initializer_list<Case>{
+           {"", 0},                                        // missing header
+           {"btrace v2\n", 1},                             // bad version
+           {"btrace v1\nbogus 1\n", 2},                    // unknown record
+           {"btrace v1\nev 1 t 1\nev 2 q 1\n", 3},         // bad direction
+           {"btrace v1\nev 1 t 1 extra\n", 2},             // trailing token
+           {"btrace v1\nev 4294967296 t 1\n", 2},          // id wider than OpId
+           {"btrace v1\nev 1 t 1\nterm 3\nterm 3\n", 4},   // duplicate term
+           {"btrace v1\nev 1 t 1\nterm 3\nev 1 t 1\n", 4}, // event after term
+           {"btrace v1\ndrop 1\ndrop 1\n", 3},             // duplicate drop
+       }) {
+    Expected<BranchTrace> E = tryParseBranchTrace(C.Text);
+    ASSERT_FALSE(E.ok()) << C.Text;
+    const Diagnostic &D = E.diagnostic();
+    EXPECT_EQ(D.Severity, DiagSeverity::Error) << C.Text;
+    EXPECT_EQ(D.Code, DiagCode::ParseError) << C.Text;
+    EXPECT_EQ(D.Line, C.Line) << C.Text;
+  }
+}
+
+TEST(BranchTraceTest, RunLengthsAboveTheCapAreRejected) {
+  // The parser expands RLE runs into events; an attacker-chosen count
+  // must not let one line materialize gigabytes. (Expanding a run at the
+  // cap itself is legal but costs gigabytes, so only the rejection side
+  // is exercised here.)
+  std::string OverCap = "btrace v1\nev 1 t " +
+                        std::to_string(MaxTraceRunLength + 1) + "\nterm 2\n";
+  Expected<BranchTrace> Bad = tryParseBranchTrace(OverCap);
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.diagnostic().Code, DiagCode::ParseError);
+  EXPECT_EQ(Bad.diagnostic().Line, 2u);
+}
+
+TEST(BranchTraceTest, SerializationIsAFixedPointOverGeneratedPrograms) {
+  // Property: serialize -> parse -> serialize is byte-identity for any
+  // interpreter-recorded trace, across the fuzzer's application-shaped
+  // program family (varied branch structure, bias, and loop shape).
+  for (uint64_t Seed : {3u, 17u, 40u, 81u, 204u}) {
+    RNG Rng(Seed);
+    SyntheticParams SP = randomSyntheticParams(Rng);
+    SP.Trips = std::min(SP.Trips, 64u); // bound interpretation cost
+    KernelProgram P =
+        buildSyntheticProgram("prop" + std::to_string(Seed), SP);
+
+    Memory Mem = P.InitMem;
+    BranchTrace T;
+    profileRun(*P.Func, Mem, P.InitRegs, nullptr, &T);
+    ASSERT_TRUE(T.hasTerminal()) << "seed " << Seed;
+
+    std::string Text = serializeBranchTrace(T);
+    Expected<BranchTrace> R = tryParseBranchTrace(Text);
+    ASSERT_TRUE(R.ok()) << "seed " << Seed << ": " << R.diagnostic().str();
+    EXPECT_EQ(serializeBranchTrace(*R), Text) << "seed " << Seed;
+
+    // The parsed trace is semantically identical too, not just
+    // textually: same events, terminal, and drop accounting.
+    ASSERT_EQ(R->size(), T.size()) << "seed " << Seed;
+    for (size_t I = 0; I < T.size(); ++I)
+      ASSERT_TRUE(R->event(I) == T.event(I)) << "seed " << Seed << " ev " << I;
+    EXPECT_EQ(R->terminalOp(), T.terminalOp());
+    EXPECT_EQ(R->totalRecorded(), T.totalRecorded());
+  }
 }
 
 } // namespace

@@ -1,0 +1,267 @@
+//===- tests/sim/FrontendModelTest.cpp - Decoupled-frontend cost model ----===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// The three-cost-class contract of the frontend model (sim/TraceSimulator.h):
+// direction mispredicts pay the restart penalty, direction-correct taken
+// branches whose target misses the BTB pay a redirect penalty, and fetch
+// narrower than the backend stalls dispatch. All of it is opt-in: the
+// default FrontendOptions must reproduce the legacy flat-penalty model
+// exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/TraceSimulator.h"
+
+#include "interp/Profiler.h"
+#include "ir/IRParser.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+struct TracedRun {
+  ProfileData Profile;
+  BranchTrace Trace;
+
+  TracedRun(const Function &F, Memory Mem,
+            const std::vector<RegBinding> &Regs = {}) {
+    InterpOptions IO;
+    IO.Profile = &Profile;
+    IO.Trace = &Trace;
+    RunResult R = interpret(F, Mem, Regs, IO);
+    EXPECT_TRUE(R.halted()) << R.ErrorMsg;
+  }
+};
+
+const char *LoopIR = R"(
+func @loop {
+block @Entry:
+  r1 = mov(5)
+block @Loop:
+  r1 = sub(r1, 1)
+  p1:un = cmpp.gt(r1, 0)
+  b1 = pbr(@Loop)
+  branch(p1, b1)
+  halt
+}
+)";
+
+TEST(FrontendModelTest, DefaultOptionsReproduceTheFlatModel) {
+  KernelProgram P = buildWcKernel(4, 1024, 3);
+  TracedRun Run(*P.Func, P.InitMem, P.InitRegs);
+
+  SimOptions Flat;
+  std::unique_ptr<BranchPredictor> P0 = makePredictor(PredictorKind::Gshare);
+  SimEstimate E0 =
+      simulateTrace(*P.Func, MachineDesc::wide(), Run.Trace, *P0, Flat);
+  ASSERT_TRUE(E0.ok()) << E0.Error;
+  EXPECT_EQ(E0.FetchStallCycles, 0u);
+  EXPECT_EQ(E0.BTBLookups, 0u);
+  EXPECT_EQ(E0.BTBPenaltyCycles, 0u);
+
+  // Decoupled fetch wider than any block entry adds no stalls either.
+  SimOptions Wide;
+  Wide.Frontend.Decoupled = true;
+  Wide.Frontend.FetchWidth = 1000;
+  std::unique_ptr<BranchPredictor> P1 = makePredictor(PredictorKind::Gshare);
+  SimEstimate E1 =
+      simulateTrace(*P.Func, MachineDesc::wide(), Run.Trace, *P1, Wide);
+  ASSERT_TRUE(E1.ok()) << E1.Error;
+  EXPECT_EQ(E1.FetchStallCycles, 0u);
+  EXPECT_DOUBLE_EQ(E1.TotalCycles, E0.TotalCycles);
+}
+
+TEST(FrontendModelTest, NarrowFetchStallsExactlyTheDifference) {
+  // Nine independent ops in one block: the wide backend retires them in a
+  // few cycles, a one-wide fetch needs nine. The stall is the exact
+  // difference, and total cycles decompose as backend + stall.
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @straight {
+block @A:
+  r1 = add(r9, 1)
+  r2 = add(r9, 2)
+  r3 = add(r9, 3)
+  r4 = add(r9, 4)
+  r5 = add(r9, 5)
+  r6 = add(r9, 6)
+  r7 = add(r9, 7)
+  r8 = add(r9, 8)
+  halt
+}
+)");
+  TracedRun Run(*F, Memory());
+
+  SimOptions Flat;
+  std::unique_ptr<BranchPredictor> P0 = makePredictor(PredictorKind::Static);
+  SimEstimate E0 =
+      simulateTrace(*F, MachineDesc::wide(), Run.Trace, *P0, Flat);
+  ASSERT_TRUE(E0.ok()) << E0.Error;
+
+  SimOptions Narrow;
+  Narrow.Frontend.Decoupled = true;
+  Narrow.Frontend.FetchWidth = 1;
+  std::unique_ptr<BranchPredictor> P1 = makePredictor(PredictorKind::Static);
+  SimEstimate E1 =
+      simulateTrace(*F, MachineDesc::wide(), Run.Trace, *P1, Narrow);
+  ASSERT_TRUE(E1.ok()) << E1.Error;
+
+  // One block entry of 9 fetched ops at width 1 = 9 fetch cycles.
+  ASSERT_LT(E0.TotalCycles, 9.0);
+  EXPECT_EQ(E1.FetchStallCycles,
+            9u - static_cast<uint64_t>(E0.TotalCycles));
+  EXPECT_DOUBLE_EQ(E1.TotalCycles,
+                   E0.TotalCycles +
+                       static_cast<double>(E1.FetchStallCycles));
+
+  // Width 3 fetches the entry in 3 cycles: a smaller (possibly zero)
+  // stall, never more than width 1 produced.
+  SimOptions Mid;
+  Mid.Frontend.Decoupled = true;
+  Mid.Frontend.FetchWidth = 3;
+  std::unique_ptr<BranchPredictor> P2 = makePredictor(PredictorKind::Static);
+  SimEstimate E2 =
+      simulateTrace(*F, MachineDesc::wide(), Run.Trace, *P2, Mid);
+  ASSERT_TRUE(E2.ok()) << E2.Error;
+  EXPECT_LT(E2.FetchStallCycles, E1.FetchStallCycles);
+}
+
+TEST(FrontendModelTest, MachineFetchWidthIsTheDefault) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(LoopIR);
+  TracedRun Run(*F, Memory());
+
+  MachineDesc MD = MachineDesc::wide();
+  EXPECT_EQ(MD.fetchWidth(), MD.issueWidth()); // default: issue width
+  MD.setFetchWidth(1);
+  ASSERT_EQ(MD.fetchWidth(), 1);
+
+  // FetchWidth = 0 defers to the machine knob; an explicit width must
+  // produce the identical estimate.
+  SimOptions FromMachine;
+  FromMachine.Frontend.Decoupled = true;
+  SimOptions Explicit;
+  Explicit.Frontend.Decoupled = true;
+  Explicit.Frontend.FetchWidth = 1;
+  std::unique_ptr<BranchPredictor> PA = makePredictor(PredictorKind::Bimodal);
+  std::unique_ptr<BranchPredictor> PB = makePredictor(PredictorKind::Bimodal);
+  SimEstimate EA = simulateTrace(*F, MD, Run.Trace, *PA, FromMachine);
+  SimEstimate EB = simulateTrace(*F, MD, Run.Trace, *PB, Explicit);
+  ASSERT_TRUE(EA.ok() && EB.ok());
+  EXPECT_DOUBLE_EQ(EA.TotalCycles, EB.TotalCycles);
+  EXPECT_EQ(EA.FetchStallCycles, EB.FetchStallCycles);
+  EXPECT_GT(EA.FetchStallCycles, 0u);
+}
+
+TEST(FrontendModelTest, BTBPenaltyOnlyOnDirectionCorrectTakenMisses) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(LoopIR);
+  TracedRun Run(*F, Memory());
+  ASSERT_EQ(Run.Trace.size(), 5u); // taken x4, then the fall-through exit
+
+  SimOptions SO;
+  SO.MispredictPenalty = 0; // isolate the BTB cost class
+  SO.Frontend.UseBTB = true;
+  SO.Frontend.BTBMissPenalty = 7;
+
+  // The profiled static predictor calls every taken event correctly, so
+  // the one cold BTB miss is charged: exactly one 7-cycle redirect.
+  PredictorConfig Taken;
+  Taken.Profile = &Run.Profile;
+  std::unique_ptr<BranchPredictor> PT =
+      makePredictor(PredictorKind::Static, Taken);
+  SimEstimate ET = simulateTrace(*F, MachineDesc::medium(), Run.Trace, *PT, SO);
+  ASSERT_TRUE(ET.ok()) << ET.Error;
+  EXPECT_EQ(ET.BTBLookups, 4u); // only taken branches consult the BTB
+  EXPECT_EQ(ET.BTBMisses, 1u);  // cold on the first iteration
+  EXPECT_EQ(ET.BTBHits, 3u);
+  EXPECT_EQ(ET.BTBPenaltyCycles, 7u);
+
+  // An always-not-taken static predictor mispredicts every taken event;
+  // the restart already refetches the target, so no BTB penalty stacks
+  // on top even though the lookups still miss cold.
+  PredictorConfig Never;
+  Never.Profile = &Run.Profile;
+  Never.PredictTakenThreshold = 2.0; // unreachable: never predict taken
+  std::unique_ptr<BranchPredictor> PN =
+      makePredictor(PredictorKind::Static, Never);
+  SimEstimate EN = simulateTrace(*F, MachineDesc::medium(), Run.Trace, *PN, SO);
+  ASSERT_TRUE(EN.ok()) << EN.Error;
+  EXPECT_EQ(EN.Mispredicts, 4u);
+  EXPECT_EQ(EN.BTBLookups, 4u);
+  EXPECT_EQ(EN.BTBPenaltyCycles, 0u);
+
+  // With both penalties at zero the frontend-on estimate collapses back
+  // to the flat model's cycles.
+  SimOptions Free = SO;
+  Free.Frontend.BTBMissPenalty = 0;
+  std::unique_ptr<BranchPredictor> PF =
+      makePredictor(PredictorKind::Static, Taken);
+  SimEstimate EF =
+      simulateTrace(*F, MachineDesc::medium(), Run.Trace, *PF, Free);
+  SimOptions Flat;
+  Flat.MispredictPenalty = 0;
+  std::unique_ptr<BranchPredictor> P0 =
+      makePredictor(PredictorKind::Static, Taken);
+  SimEstimate E0 =
+      simulateTrace(*F, MachineDesc::medium(), Run.Trace, *P0, Flat);
+  ASSERT_TRUE(EF.ok() && E0.ok());
+  EXPECT_DOUBLE_EQ(EF.TotalCycles, E0.TotalCycles);
+}
+
+TEST(FrontendModelTest, BTBMissPenaltyDefaultsToTheMachineKnob) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(LoopIR);
+  TracedRun Run(*F, Memory());
+
+  MachineDesc MD = MachineDesc::medium();
+  MD.setBTBMissPenalty(13);
+
+  SimOptions FromMachine;
+  FromMachine.MispredictPenalty = 0;
+  FromMachine.Frontend.UseBTB = true; // BTBMissPenalty stays -1: defer
+  SimOptions Explicit = FromMachine;
+  Explicit.Frontend.BTBMissPenalty = 13;
+
+  PredictorConfig PC;
+  PC.Profile = &Run.Profile;
+  std::unique_ptr<BranchPredictor> PA = makePredictor(PredictorKind::Static, PC);
+  std::unique_ptr<BranchPredictor> PB = makePredictor(PredictorKind::Static, PC);
+  SimEstimate EA = simulateTrace(*F, MD, Run.Trace, *PA, FromMachine);
+  SimEstimate EB = simulateTrace(*F, MD, Run.Trace, *PB, Explicit);
+  ASSERT_TRUE(EA.ok() && EB.ok());
+  ASSERT_GT(EA.BTBPenaltyCycles, 0u);
+  EXPECT_EQ(EA.BTBPenaltyCycles, EB.BTBPenaltyCycles);
+  EXPECT_DOUBLE_EQ(EA.TotalCycles, EB.TotalCycles);
+}
+
+TEST(FrontendModelTest, FewerResidentBranchesMissLessUnderPressure) {
+  // The CPR-relevance property the BTB model exists to expose: a code
+  // body exercising fewer distinct taken branches keeps its targets
+  // resident in a tiny BTB, while one cycling through more branches than
+  // the BTB holds thrashes. Replay the same kernel trace against two BTB
+  // sizes and require monotone behavior.
+  KernelProgram P = buildLexKernel(4, 4096, 9);
+  TracedRun Run(*P.Func, P.InitMem, P.InitRegs);
+
+  auto missRate = [&](const char *Geom) {
+    SimOptions SO;
+    SO.Frontend.UseBTB = true;
+    EXPECT_TRUE(parseBTBConfig(Geom, SO.Frontend.BTB));
+    PredictorConfig PC;
+    PC.Profile = &Run.Profile;
+    std::unique_ptr<BranchPredictor> Pred =
+        makePredictor(PredictorKind::Static, PC);
+    SimEstimate E =
+        simulateTrace(*P.Func, MachineDesc::wide(), Run.Trace, *Pred, SO);
+    EXPECT_TRUE(E.ok()) << E.Error;
+    BTBStats S;
+    S.Lookups = E.BTBLookups;
+    S.Misses = E.BTBMisses;
+    return S.missRate();
+  };
+  // Capacity 1 vs 256: the tiny buffer can never hold the working set.
+  EXPECT_GT(missRate("1x1"), missRate("64x4"));
+}
+
+} // namespace

@@ -67,7 +67,7 @@ TEST(StatsRegistry, JSONDocumentShape) {
   ASSERT_TRUE(static_cast<bool>(P)) << P.Error;
   const JSONValue *Schema = P.Value.find("schema");
   ASSERT_NE(Schema, nullptr);
-  EXPECT_EQ(Schema->getString(), "cpr-stats-v1.2");
+  EXPECT_EQ(Schema->getString(), "cpr-stats-v1.3");
   const JSONValue *Counters = P.Value.find("counters");
   ASSERT_NE(Counters, nullptr);
   ASSERT_EQ(Counters->members().size(), 2u);

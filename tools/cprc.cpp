@@ -81,6 +81,11 @@ struct Config {
   bool Help = false;
   int MispredictPenalty = -1;
   std::vector<PredictorKind> Predictors;
+  /// First unrecognized --predictor= name; reported after parsing so the
+  /// message can list the registered predictors (a recoverable usage
+  /// diagnostic, not a generic option error).
+  std::string BadPredictor;
+  FrontendOptions Frontend;
   PrintOptions PO;
   CPROptions CPR;
   std::vector<RegBinding> InitRegs;
@@ -196,7 +201,11 @@ OptionTable buildOptions(Config &C) {
             "trace-driven dynamic estimates for baseline and transformed "
             "code",
             C.Simulate);
-  T.add({"--predictor", OptArg::Joined, "<static|bimodal|gshare|local|all>",
+  std::string PredMeta = "<";
+  for (const PredictorInfo &PI : predictorRegistry())
+    PredMeta += std::string(PI.Name) + "|";
+  PredMeta += "all>";
+  T.add({"--predictor", OptArg::Joined, PredMeta,
          "predictor(s) to simulate, repeatable (default all)",
          [&C](const std::string &V) {
            if (V == "all") {
@@ -204,9 +213,51 @@ OptionTable buildOptions(Config &C) {
              return true;
            }
            PredictorKind K;
-           if (!parsePredictorKind(V, K))
-             return false;
+           if (!parsePredictorKind(V, K)) {
+             // Defer: report one rich diagnostic naming the registered
+             // predictors instead of the table's generic option error.
+             if (C.BadPredictor.empty())
+               C.BadPredictor = V;
+             return true;
+           }
            C.Predictors.push_back(K);
+           return true;
+         }});
+  T.add({"--btb", OptArg::Joined, "<SETSxWAYS|off>",
+         "model a set-associative BTB in --simulate (e.g. 64x4); taken "
+         "branches whose target misses pay a redirect penalty",
+         [&C](const std::string &V) {
+           if (V == "off") {
+             C.Frontend.UseBTB = false;
+             return true;
+           }
+           BTBConfig B;
+           if (!parseBTBConfig(V, B))
+             return false;
+           C.Frontend.UseBTB = true;
+           C.Frontend.BTB = B;
+           return true;
+         }});
+  T.add({"--btb-miss-penalty", OptArg::Joined, "<n>",
+         "redirect cycles for a BTB miss (default: per machine)",
+         [&C](const std::string &V) {
+           char *End = nullptr;
+           long N = std::strtol(V.c_str(), &End, 10);
+           if (V.empty() || *End != '\0' || N < 0)
+             return false;
+           C.Frontend.BTBMissPenalty = static_cast<int>(N);
+           return true;
+         }});
+  T.add({"--fetch-width", OptArg::Joined, "<n>",
+         "decoupled-frontend fetch model in --simulate: ops fetched per "
+         "cycle, taken branches end the packet (0 = machine fetch width)",
+         [&C](const std::string &V) {
+           char *End = nullptr;
+           long N = std::strtol(V.c_str(), &End, 10);
+           if (V.empty() || *End != '\0' || N < 0)
+             return false;
+           C.Frontend.Decoupled = true;
+           C.Frontend.FetchWidth = static_cast<int>(N);
            return true;
          }});
   T.add({"--mispredict-penalty", OptArg::Joined, "<n>",
@@ -342,6 +393,15 @@ int main(int argc, char **argv) {
     std::printf("%s", Options.help(Usage).c_str());
     return exit_codes::Success;
   }
+  if (!C.BadPredictor.empty()) {
+    Diagnostic D{DiagSeverity::Error, DiagCode::UsageError,
+                 "unknown predictor '" + C.BadPredictor +
+                     "'; registered predictors: " + predictorNamesList() +
+                     " (or 'all')",
+                 "cprc.options", 0};
+    std::fprintf(stderr, "cprc: %s\n", D.str().c_str());
+    return exit_codes::UsageError;
+  }
   if (Positional.size() != 1) {
     std::fprintf(stderr, "%s", Options.help(Usage).c_str());
     return exit_codes::UsageError;
@@ -416,6 +476,7 @@ int main(int argc, char **argv) {
   SessionOpts.CPR = C.CPR;
   SessionOpts.Simulate = NeedTrace;
   SessionOpts.MispredictPenalty = C.MispredictPenalty;
+  SessionOpts.Frontend = C.Frontend;
   SessionOpts.CheckEquivalence = false; // driven explicitly below
   SessionOpts.FailSafe = C.FailSafe;
   SessionOpts.RegionEquivalence = C.RegionEquiv;
@@ -675,24 +736,36 @@ int main(int argc, char **argv) {
                     Session.baselineTrace().size()),
                 static_cast<unsigned long long>(
                     Session.treatedTrace().size()));
-    std::printf(";   %-10s %-8s %12s %9s %6s  -> %12s %9s %6s %8s\n",
+    const bool FE = C.Frontend.UseBTB || C.Frontend.Decoupled;
+    std::printf(";   %-10s %-9s %12s %9s %6s  -> %12s %9s %6s %8s",
                 "machine", "pred", "cycles", "mispred", "MPKI", "cycles",
                 "mispred", "MPKI", "speedup");
+    if (FE)
+      std::printf(" %9s %12s", "BTB-MPKI", "stalls");
+    std::printf("\n");
     size_t NumP = C.Predictors.size();
     std::vector<SimComparison> Sims(Machines.size() * NumP);
     parallelFor(Pool, Sims.size(), [&](size_t I) {
       Sims[I] = Session.simulate(Machines[I / NumP],
                                  C.Predictors[I % NumP]);
     });
-    for (const SimComparison &SC : Sims)
-      std::printf(";   %-10s %-8s %12.0f %9llu %6.2f  -> %12.0f %9llu "
-                  "%6.2f %7.2fx\n",
+    for (const SimComparison &SC : Sims) {
+      std::printf(";   %-10s %-9s %12.0f %9llu %6.2f  -> %12.0f %9llu "
+                  "%6.2f %7.2fx",
                   SC.MachineName.c_str(), SC.PredictorName.c_str(),
                   SC.Baseline.TotalCycles,
                   static_cast<unsigned long long>(SC.Baseline.Mispredicts),
                   SC.Baseline.mpki(), SC.Treated.TotalCycles,
                   static_cast<unsigned long long>(SC.Treated.Mispredicts),
                   SC.Treated.mpki(), SC.speedup());
+      if (FE)
+        // Treated-side frontend detail: target-miss rate and fetch-stall
+        // cycles of the output being measured.
+        std::printf(" %9.2f %12llu", SC.Treated.btbMpki(),
+                    static_cast<unsigned long long>(
+                        SC.Treated.FetchStallCycles));
+      std::printf("\n");
+    }
   }
 
   if (!C.StatsJSON.empty()) {

@@ -33,20 +33,30 @@
 
 #include "fuzz/Corpus.h"
 #include "fuzz/Generator.h"
+#include "serve/Client.h"
 #include "serve/CompileService.h"
+#include "serve/Server.h"
 #include "support/Diagnostic.h"
+#include "support/FaultInjector.h"
+#include "support/Framing.h"
 #include "support/JSON.h"
 #include "support/OptionParser.h"
+#include "support/RNG.h"
 #include "support/Statistics.h"
 #include "workloads/Kernels.h"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <thread>
+#include <unistd.h>
 
 using namespace cpr;
 using namespace cpr::serve;
@@ -61,6 +71,8 @@ struct Config {
   unsigned Repeats = 4;
   unsigned Seed = 1;
   unsigned CacheMB = 64;
+  bool Chaos = false;
+  unsigned ChaosRequests = 500;
   bool Quick = false;
   bool Help = false;
 };
@@ -86,6 +98,13 @@ OptionTable buildOptions(Config &C) {
   T.addUnsigned("--seed", "<n>", "generator seed base", C.Seed);
   T.addUnsigned("--cache-mb", "<n>",
                 "region-cache budget in MiB (0 = unlimited)", C.CacheMB);
+  T.addFlag("--chaos",
+            "run the seeded chaos campaign (adversarial clients against "
+            "a live faulted socket daemon) instead of the load run",
+            C.Chaos);
+  T.addUnsigned("--chaos-requests", "<n>",
+                "requests the chaos campaign issues (default 500)",
+                C.ChaosRequests);
   T.addFlag("--quick", "small workload for CI smoke runs", C.Quick);
   T.addFlag("--help", "print this help", C.Help);
   T.addFlag("-h", "print this help", C.Help);
@@ -147,6 +166,7 @@ struct RunResultRow {
   unsigned Threads = 0;
   size_t Requests = 0;
   size_t OkResponses = 0;
+  size_t BusyResponses = 0;
   uint64_t Regions = 0;
   uint64_t CacheHits = 0, CacheMisses = 0, CacheEvictions = 0;
   size_t IdentityFailures = 0;
@@ -156,6 +176,11 @@ struct RunResultRow {
   double hitRate() const {
     uint64_t Total = CacheHits + CacheMisses;
     return Total ? static_cast<double>(CacheHits) / Total : 0.0;
+  }
+  double busyRate() const {
+    return Requests ? static_cast<double>(BusyResponses) /
+                          static_cast<double>(Requests)
+                    : 0.0;
   }
   double regionsPerSec() const {
     return WallMs > 0.0 ? 1000.0 * static_cast<double>(Regions) / WallMs
@@ -187,6 +212,7 @@ RunResultRow runLoad(const Config &C, const std::vector<WorkItem> &Items,
   std::atomic<size_t> Next{0};
   std::atomic<uint64_t> Regions{0};
   std::atomic<size_t> Ok{0};
+  std::atomic<size_t> Busy{0};
 
   auto Start = std::chrono::steady_clock::now();
   std::vector<std::thread> Workers;
@@ -204,6 +230,11 @@ RunResultRow runLoad(const Config &C, const std::vector<WorkItem> &Items,
         if (Res.ok()) {
           Ok.fetch_add(1);
           Regions.fetch_add(Res.CPR.RegionsProcessed);
+        } else if (Res.Status == "busy") {
+          // The in-process service has no admission queue, so this stays
+          // zero here; the column exists so daemon-backed runs (and the
+          // chaos campaign) report shedding in the same schema.
+          Busy.fetch_add(1);
         }
         // Canonical frame: the response as if it answered repeat 0.
         Res.Id = "u" + std::to_string(Items[I].UniqueIdx) + "r0";
@@ -221,6 +252,7 @@ RunResultRow runLoad(const Config &C, const std::vector<WorkItem> &Items,
   Row.Threads = Threads;
   Row.Requests = Items.size();
   Row.OkResponses = Ok.load();
+  Row.BusyResponses = Busy.load();
   Row.Regions = Regions.load();
   Row.WallMs = std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - Start)
@@ -247,6 +279,332 @@ RunResultRow runLoad(const Config &C, const std::vector<WorkItem> &Items,
   Row.P95Ms = percentile(Latencies, 0.95);
   Row.P99Ms = percentile(Latencies, 0.99);
   return Row;
+}
+
+//===----------------------------------------------------------------------===//
+// --chaos: the seeded resilience campaign (docs/SERVICE.md "Resilience").
+//
+// A live socket daemon, periodically armed with serve-layer faults, takes
+// >= --chaos-requests adversarial requests from concurrent clients: torn
+// frames, malformed frames, pings, pipelined bursts, hard disconnects
+// mid-compile, and expired deadlines. Invariants enforced:
+//
+//   - the daemon never crashes (it drains cleanly and answers a final
+//     ping after the abuse stops);
+//   - every logical request is eventually answered exactly once (clients
+//     reissue after injected drops; duplicates are failures);
+//   - every audited `ok` response is byte-identical to what a cold
+//     single-threaded CompileService produces for the same request
+//     (canonicalized: id rewritten, per-request cache counts blanked).
+//
+// Requests that carry a deadline are checked for the degrade contract
+// (ok + fell_back + deadline-exceeded) instead of byte identity: their
+// responses legitimately depend on the wall clock.
+//===----------------------------------------------------------------------===//
+
+/// One raw connection to the chaos daemon (frame in, frame out).
+struct ChaosConn {
+  int FD = -1;
+  std::unique_ptr<LineReader> Reader;
+
+  explicit ChaosConn(const std::string &Path) {
+    FD = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (FD < 0)
+      return;
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+    if (::connect(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+        0) {
+      ::close(FD);
+      FD = -1;
+      return;
+    }
+    Reader = std::make_unique<LineReader>(FD);
+  }
+  ~ChaosConn() {
+    if (FD >= 0)
+      ::close(FD);
+  }
+  bool ok() const { return FD >= 0; }
+  bool send(const std::string &Bytes) { return writeAll(FD, Bytes); }
+  bool readFrame(std::string &Line) { return Reader->readLine(Line); }
+  void hardClose() {
+    ::close(FD);
+    FD = -1;
+  }
+};
+
+struct ChaosCounters {
+  std::atomic<size_t> Issued{0};        ///< logical requests
+  std::atomic<size_t> Answered{0};      ///< answered exactly once
+  std::atomic<size_t> Reissues{0};      ///< extra attempts after drops
+  std::atomic<size_t> Busy{0};          ///< busy refusals absorbed
+  std::atomic<size_t> InjectedErrors{0};///< injected decode faults seen
+  std::atomic<size_t> Disconnects{0};   ///< deliberate mid-compile closes
+  std::atomic<size_t> DeadlineFellBack{0};
+  std::atomic<size_t> IdentityFailures{0};
+  std::atomic<size_t> ContractFailures{0}; ///< any broken invariant
+};
+
+/// Canonical ok-frame: the response as the reference service would label
+/// it. Per-request cache counts legitimately differ between a cold and a
+/// warmed daemon; everything else must match byte for byte.
+std::string canonicalFrame(CompileResponse Res, const std::string &Id) {
+  Res.Id = Id;
+  Res.CacheHits = Res.CacheMisses = 0;
+  return encodeResponse(Res);
+}
+
+/// One logical request, retried until answered: injected write faults
+/// drop connections (reconnect and reissue), injected admission faults
+/// and real capacity produce busy (back off and reissue), injected
+/// decode faults produce an id-less parse error (reissue). Returns the
+/// terminal response, or nullopt-style false on exhaustion.
+bool chaosCall(const std::string &Path, const std::string &Frame,
+               ChaosCounters &K, RNG &R, CompileResponse &Out,
+               bool TearWrites) {
+  for (unsigned Attempt = 0; Attempt < 64; ++Attempt) {
+    if (Attempt > 0)
+      K.Reissues.fetch_add(1);
+    ChaosConn Conn(Path);
+    if (!Conn.ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    bool Sent;
+    if (TearWrites && Frame.size() > 2) {
+      size_t Cut = 1 + static_cast<size_t>(
+                           R.nextDouble() *
+                           static_cast<double>(Frame.size() - 2));
+      Sent = Conn.send(Frame.substr(0, Cut)) && Conn.send(Frame.substr(Cut));
+    } else {
+      Sent = Conn.send(Frame);
+    }
+    if (!Sent)
+      continue; // daemon-side drop beat the send; reissue
+    std::string Line;
+    if (!Conn.readFrame(Line))
+      continue; // response lost to an injected write fault; reissue
+    Expected<CompileResponse> Res = decodeResponse(Line);
+    if (!Res)
+      return false; // an unparseable response frame is a contract break
+    if (Res->Status == "busy") {
+      K.Busy.fetch_add(1);
+      double Hint = 1.0;
+      for (const auto &KV : Res->Extra)
+        if (KV.first == "retry_after_ms")
+          Hint = KV.second;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          Hint > 20.0 ? 20.0 : Hint));
+      continue;
+    }
+    if (Res->Status == "error" && Res->Id.empty()) {
+      // The injected frame-decode fault (or an idle-timeout notice):
+      // per-frame, not connection-fatal -- reissue the valid request.
+      K.InjectedErrors.fetch_add(1);
+      continue;
+    }
+    Out = std::move(*Res);
+    return true;
+  }
+  return false;
+}
+
+int runChaos(const Config &C, StatsRegistry &Stats) {
+  std::signal(SIGPIPE, SIG_IGN); // a vanished peer must not kill the bench
+
+  // The workload: a handful of unique programs, each with a committed
+  // reference frame from a cold single-threaded service.
+  GeneratorConfig GC;
+  std::vector<std::string> Programs;
+  for (unsigned I = 0; I < 5; ++I)
+    Programs.push_back(serializeFuzzProgram(generateProgram(C.Seed + I, GC)));
+  auto MakeRequest = [&](size_t U, std::string Id) {
+    CompileRequest Req;
+    Req.Id = std::move(Id);
+    Req.IR = Programs[U];
+    return Req;
+  };
+  CompileService Reference((ServiceOptions()));
+  std::vector<std::string> RefFrames;
+  for (size_t U = 0; U < Programs.size(); ++U)
+    RefFrames.push_back(canonicalFrame(
+        Reference.compile(MakeRequest(U, "ref")), "ref"));
+
+  const std::string Path = "/tmp/cpr_bench_chaos_" +
+                           std::to_string(::getpid()) + ".sock";
+  ServerOptions SO;
+  SO.SocketPath = Path;
+  SO.Threads = 4;
+  SO.MaxQueue = 32;
+  SO.MaxPipeline = 8;
+  SO.WriteTimeoutMs = 5000.0;
+  Server Daemon(SO);
+  std::thread Runner([&] { Daemon.runSocket(); });
+  for (int I = 0; I < 100 && ::access(Path.c_str(), F_OK) != 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const char *FaultSites[] = {"serve.frame.decode", "serve.dispatch.enqueue",
+                              "serve.cache.insert", "serve.socket.write"};
+  ChaosCounters K;
+  const unsigned ClientCount = 4;
+  const size_t Total = C.ChaosRequests;
+  std::atomic<size_t> NextReq{0};
+
+  std::vector<std::thread> Clients;
+  for (unsigned T = 0; T < ClientCount; ++T)
+    Clients.emplace_back([&, T] {
+      RNG R(C.Seed * 7919 + T);
+      for (;;) {
+        size_t N = NextReq.fetch_add(1);
+        if (N >= Total)
+          return;
+        // Periodically re-arm a serve-layer fault so abuse lands on a
+        // *faulted* daemon. Single global armed site; races between
+        // clients only change which request absorbs the fault.
+        if (N % 7 == 0)
+          fault::arm(FaultSites[(N / 7) % 4], 1 + N % 3);
+        K.Issued.fetch_add(1);
+        std::string Id = "q" + std::to_string(N);
+        double Dice = R.nextDouble();
+        if (Dice < 0.60) {
+          // A good compile, torn writes half the time; byte-identity
+          // audited against the cold reference.
+          size_t U = N % Programs.size();
+          CompileRequest Req = MakeRequest(U, Id);
+          CompileResponse Res;
+          if (!chaosCall(Path, encodeRequest(Req) + "\n", K, R, Res,
+                         /*TearWrites=*/R.nextDouble() < 0.5)) {
+            K.ContractFailures.fetch_add(1);
+            continue;
+          }
+          K.Answered.fetch_add(1);
+          if (Res.Status != "ok" ||
+              canonicalFrame(std::move(Res), "ref") != RefFrames[U])
+            K.IdentityFailures.fetch_add(1);
+        } else if (Dice < 0.70) {
+          CompileRequest Ping;
+          Ping.Kind = RequestKind::Ping;
+          Ping.Id = Id;
+          CompileResponse Res;
+          if (chaosCall(Path, encodeRequest(Ping) + "\n", K, R, Res,
+                        false) &&
+              Res.Status == "pong")
+            K.Answered.fetch_add(1);
+          else
+            K.ContractFailures.fetch_add(1);
+        } else if (Dice < 0.80) {
+          // Malformed frame: owed exactly one id-less parse error.
+          ChaosConn Conn(Path);
+          std::string Line;
+          if (Conn.ok() && Conn.send("{torn garbage " + Id + "\n") &&
+              Conn.readFrame(Line)) {
+            Expected<CompileResponse> Res = decodeResponse(Line);
+            if (Res && Res->Status == "error")
+              K.Answered.fetch_add(1);
+            else
+              K.ContractFailures.fetch_add(1);
+          } else {
+            // The daemon may have dropped us first (injected write
+            // fault); a lost error frame for garbage is not a break.
+            K.Answered.fetch_add(1);
+          }
+        } else if (Dice < 0.90) {
+          // Vanish mid-compile: no response owed; the daemon must bill
+          // the drop to this connection and keep serving.
+          ChaosConn Conn(Path);
+          if (Conn.ok())
+            Conn.send(encodeRequest(MakeRequest(N % Programs.size(), Id)) +
+                      "\n");
+          Conn.hardClose();
+          K.Disconnects.fetch_add(1);
+          K.Answered.fetch_add(1); // nothing owed: trivially satisfied
+        } else {
+          // An expired deadline must degrade fail-safe, never hang.
+          CompileRequest Req = MakeRequest(N % Programs.size(), Id);
+          Req.DeadlineMs = 0.01;
+          CompileResponse Res;
+          if (!chaosCall(Path, encodeRequest(Req) + "\n", K, R, Res,
+                         false)) {
+            K.ContractFailures.fetch_add(1);
+            continue;
+          }
+          K.Answered.fetch_add(1);
+          bool FellBackWithCode = Res.FellBack;
+          if (FellBackWithCode) {
+            bool Found = false;
+            for (const WireDiagnostic &W : Res.Diagnostics)
+              Found = Found || W.Code == "deadline-exceeded";
+            FellBackWithCode = Found;
+            K.DeadlineFellBack.fetch_add(1);
+          }
+          if (Res.Status != "ok" || !FellBackWithCode)
+            K.ContractFailures.fetch_add(1);
+        }
+      }
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  fault::disarm();
+
+  // The daemon survived the abuse iff it still answers cold.
+  bool Alive = false;
+  {
+    CompileRequest Ping;
+    Ping.Kind = RequestKind::Ping;
+    Ping.Id = "post-chaos";
+    RNG R(1);
+    CompileResponse Res;
+    ChaosCounters Scratch;
+    Alive = chaosCall(Path, encodeRequest(Ping) + "\n", Scratch, R, Res,
+                      false) &&
+            Res.Status == "pong";
+  }
+  Daemon.requestStop();
+  Runner.join();
+  ServerStats S = Daemon.stats();
+
+  Stats.addCount("chaos/requests", static_cast<double>(K.Issued.load()));
+  Stats.addCount("chaos/answered", static_cast<double>(K.Answered.load()));
+  Stats.addCount("chaos/reissues", static_cast<double>(K.Reissues.load()));
+  Stats.addCount("chaos/busy", static_cast<double>(K.Busy.load()));
+  Stats.addCount("chaos/injected_errors",
+                 static_cast<double>(K.InjectedErrors.load()));
+  Stats.addCount("chaos/disconnects",
+                 static_cast<double>(K.Disconnects.load()));
+  Stats.addCount("chaos/deadline_fell_back",
+                 static_cast<double>(K.DeadlineFellBack.load()));
+  Stats.addCount("chaos/identity_failures",
+                 static_cast<double>(K.IdentityFailures.load()));
+  Stats.addCount("chaos/contract_failures",
+                 static_cast<double>(K.ContractFailures.load()));
+  Stats.addCount("chaos/daemon_accepted", static_cast<double>(S.Accepted));
+  Stats.addCount("chaos/daemon_shed", static_cast<double>(S.Shed));
+  Stats.addCount("chaos/daemon_dropped", static_cast<double>(S.Dropped));
+  Stats.addCount("chaos/daemon_alive", Alive ? 1.0 : 0.0);
+
+  std::fprintf(stderr,
+               "cpr-bench-serve: chaos: %zu request(s), %zu answered, "
+               "%zu reissue(s), %zu busy, %zu injected error(s), "
+               "%zu disconnect(s); daemon accepted %llu, shed %llu, "
+               "dropped %llu; %zu identity / %zu contract failure(s)%s\n",
+               K.Issued.load(), K.Answered.load(), K.Reissues.load(),
+               K.Busy.load(), K.InjectedErrors.load(), K.Disconnects.load(),
+               static_cast<unsigned long long>(S.Accepted),
+               static_cast<unsigned long long>(S.Shed),
+               static_cast<unsigned long long>(S.Dropped),
+               K.IdentityFailures.load(), K.ContractFailures.load(),
+               Alive ? "" : "; DAEMON DEAD");
+
+  bool Clean = Alive && K.Answered.load() == K.Issued.load() &&
+               K.IdentityFailures.load() == 0 &&
+               K.ContractFailures.load() == 0 &&
+               (K.Disconnects.load() == 0 || S.Dropped > 0);
+  if (!Clean)
+    std::fprintf(stderr, "cpr-bench-serve: chaos campaign FAILED\n");
+  return Clean ? exit_codes::Success : exit_codes::Failure;
 }
 
 /// --validate: the committed baseline (and CI artifacts) must be a
@@ -343,6 +701,24 @@ int main(int argc, char **argv) {
   if (!C.Validate.empty())
     return validateDocument(C.Validate);
 
+  if (C.Chaos) {
+    if (C.Quick && C.ChaosRequests > 150)
+      C.ChaosRequests = 150;
+    StatsRegistry ChaosStats;
+    int RC = runChaos(C, ChaosStats);
+    if (!C.Out.empty()) {
+      std::string Error;
+      if (!writeStatsJSONFile(ChaosStats, C.Out, &Error)) {
+        std::fprintf(stderr, "cpr-bench-serve: %s\n", Error.c_str());
+        return exit_codes::Failure;
+      }
+      std::fprintf(stderr, "cpr-bench-serve: wrote %s\n", C.Out.c_str());
+    } else {
+      std::printf("%s\n", ChaosStats.toJSONText().c_str());
+    }
+    return RC;
+  }
+
   std::vector<std::string> IRs = buildPrograms(C);
   if (C.Quick && C.Repeats > 2)
     C.Repeats = 2;
@@ -376,6 +752,8 @@ int main(int argc, char **argv) {
                    static_cast<double>(Row.CacheMisses));
     Stats.addCount(P + "cache_evictions",
                    static_cast<double>(Row.CacheEvictions));
+    Stats.addCount(P + "shed", static_cast<double>(Row.BusyResponses));
+    Stats.addCount(P + "busy_rate_pct", 100.0 * Row.busyRate());
     Stats.addCount(P + "hit_rate_pct", 100.0 * Row.hitRate());
     Stats.recordTimeMs(P + "wall_ms", Row.WallMs);
     Stats.recordTimeMs(P + "p50_ms", Row.P50Ms);

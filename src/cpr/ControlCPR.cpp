@@ -34,11 +34,13 @@ void reportRollback(const CPRContext &Ctx, BlockId Region, Diagnostic Cause,
                     Cause.Site);
 }
 
-/// Reports the budget-exhaustion warning (once per run).
+/// Reports the budget-exhaustion warning (once per run). The tracker
+/// says which limit actually tripped: a plain step/wall budget, the
+/// request deadline, or client cancellation (support/Budget.h).
 void reportBudgetExhausted(const CPRContext &Ctx, CPRResult &Result,
                            const char *What) {
   if (!Result.BudgetExhausted && Ctx.Diags)
-    Ctx.Diags->report(DiagSeverity::Warning, DiagCode::BudgetExhausted,
+    Ctx.Diags->report(DiagSeverity::Warning, Ctx.Budget->exhaustionCode(),
                       "transform " + Ctx.Budget->describeExhaustion() + "; " +
                           What,
                       "pipeline.transform");

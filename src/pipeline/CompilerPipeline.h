@@ -32,6 +32,7 @@
 #include "sim/TraceSimulator.h"
 #include "workloads/Kernels.h"
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,15 @@ struct PipelineOptions {
   /// Budget for the transform stage (steps = CPR-block transforms, plus
   /// an optional wall-clock cap). Zero-initialized = unlimited.
   Budget TransformBudget;
+  /// Whole-request deadline (support/Deadline.h). Checked at stage
+  /// boundaries and inside the transform's budget polls: expiry degrades
+  /// exactly like budget exhaustion but reports
+  /// DiagCode::DeadlineExceeded. Inactive by default.
+  Deadline RequestDeadline;
+  /// Cooperative cancellation (e.g. the requesting client disconnected).
+  /// Observed at the same points as the deadline; reports
+  /// DiagCode::Cancelled. Not owned; may be set from any thread.
+  const std::atomic<bool> *CancelFlag = nullptr;
   /// Run the static semantic checks of src/lint/ (docs/LINT.md) around
   /// the transform: the baseline is linted before CPR and the treated
   /// function after it, with findings reported to Diags and counted in

@@ -184,8 +184,13 @@ const Function &PipelineRun::treated() {
     Ctx.Diags = Opts.Diags;
     Ctx.Memo = Opts.Memo;
     Ctx.MemoSalt = Opts.MemoSalt;
-    BudgetTracker TransformBudget(Opts.TransformBudget);
-    if (!Opts.TransformBudget.unlimited())
+    BudgetTracker TransformBudget(Opts.TransformBudget, Opts.RequestDeadline,
+                                  Opts.CancelFlag);
+    // The tracker is live whenever *any* limit can trip: a plain budget,
+    // a request deadline, or a cancel flag -- they all surface through
+    // the same per-region exhaustion poll in runControlCPR.
+    if (!Opts.TransformBudget.unlimited() || Opts.RequestDeadline.active() ||
+        Opts.CancelFlag)
       Ctx.Budget = &TransformBudget;
     // Static-lint stage (docs/LINT.md). The baseline result gates the
     // post-transform policy: findings the input already had are not the
@@ -327,6 +332,38 @@ void PipelineRun::prepare() {
 
 Status PipelineRun::tryPrepare() {
   requireLive("tryPrepare");
+
+  // Request deadline / client cancellation, polled at stage boundaries
+  // (docs/SERVICE.md "Resilience"). In fail-safe mode an expired or
+  // cancelled request degrades to the baseline right away instead of
+  // starting work its requester will never wait for; the transform
+  // itself polls the same limits per region through Ctx.Budget, and the
+  // profiling runs stay bounded by InterpMaxSteps.
+  auto ExpiryCode = [this] {
+    if (Opts.CancelFlag && Opts.CancelFlag->load(std::memory_order_relaxed))
+      return DiagCode::Cancelled;
+    if (Opts.RequestDeadline.expired())
+      return DiagCode::DeadlineExceeded;
+    return DiagCode::None;
+  };
+  auto ExpiryMsg = [this](DiagCode Code) {
+    return Code == DiagCode::Cancelled
+               ? std::string("request cancelled by client")
+               : Opts.RequestDeadline.describeExpiry();
+  };
+  // Degrades an expired session: baseline clone as the result, and the
+  // baseline artifacts double as the treated ones (the clone is the same
+  // function on the same inputs, so the profiles are identical by
+  // construction -- no second interpreter run).
+  auto DegradeExpired = [this, &ExpiryMsg](DiagCode Code) {
+    fallbackToBaseline(Code, ExpiryMsg(Code), "pipeline.deadline");
+    TreatedProf = BaseProfile;
+    TreatedStats = BaseStats;
+    TreatedTraceData = BaseTrace;
+    HaveTreatedProfile = true;
+    return Status::success();
+  };
+
   // Baseline profile, budgeted and non-fatal: without it nothing
   // downstream can run, so a failure here fails the session.
   if (!HaveBaselineProfile) {
@@ -353,9 +390,20 @@ Status PipelineRun::tryPrepare() {
     }
   }
 
+  // Stage boundary: degrade before the transform even starts.
+  if (Opts.FailSafe && !HaveTreated)
+    if (DiagCode Code = ExpiryCode(); Code != DiagCode::None)
+      return DegradeExpired(Code);
+
   treated();
   if (Opts.CheckEquivalence)
     checkEquivalence(); // falls back (never fatal) when Opts.FailSafe
+
+  // Stage boundary: the deadline may have expired mid-transform; skip
+  // the treated profiling run the requester will not wait for.
+  if (Opts.FailSafe && !FellBack && !HaveTreatedProfile)
+    if (DiagCode Code = ExpiryCode(); Code != DiagCode::None)
+      return DegradeExpired(Code);
 
   // Treated profile, budgeted: an unprofilable treated function degrades
   // to the baseline (whose profile succeeded above) in fail-safe mode.

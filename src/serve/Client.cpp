@@ -6,10 +6,15 @@
 
 #include "serve/Client.h"
 
+#include "support/Deadline.h"
+#include "support/RNG.h"
+
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace cpr;
@@ -90,5 +95,48 @@ Expected<CompileResponse> Client::roundTrip(const CompileRequest &Req) {
     // pipelined peer sharing the connection).
     if (Res->Id == Req.Id)
       return Res;
+  }
+}
+
+Expected<CompileResponse>
+Client::callWithRetry(const std::string &SocketPath,
+                      const CompileRequest &Req, const RetryPolicy &Policy) {
+  Deadline DL = Policy.DeadlineMs > 0.0 ? Deadline::afterMs(Policy.DeadlineMs)
+                                        : Deadline::never();
+  RNG Jitter(Policy.JitterSeed);
+  double BackoffMs = Policy.InitialBackoffMs;
+  Expected<CompileResponse> Last = ioError("no attempt was made");
+
+  for (unsigned Attempt = 0;; ++Attempt) {
+    // Fresh connection per attempt: after an IO error the old framing
+    // state cannot be trusted, and `busy` connections are cheap here
+    // (Unix-domain, no handshake).
+    Expected<Client> C = Client::connect(SocketPath);
+    if (C) {
+      Expected<CompileResponse> Res = C->roundTrip(Req);
+      if (Res && Res->Status != "busy")
+        return Res; // ok / error / pong / stats -- all terminal
+      Last = std::move(Res);
+    } else {
+      Last = C.takeDiagnostic();
+    }
+
+    if (Attempt >= Policy.MaxRetries)
+      return Last;
+
+    // Exponential backoff with deterministic jitter in [0.5, 1.0]; the
+    // daemon's retry_after_ms hint floors the sleep so clients never
+    // come back earlier than the shed policy asked them to.
+    double SleepMs = BackoffMs * (0.5 + 0.5 * Jitter.nextDouble());
+    if (Last.ok())
+      for (const auto &KV : Last->Extra)
+        if (KV.first == "retry_after_ms" && KV.second > SleepMs)
+          SleepMs = KV.second;
+    if (DL.active() && DL.remainingMs() <= SleepMs)
+      return Last; // sleeping would blow the deadline: give up now
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(SleepMs));
+    BackoffMs = BackoffMs * 2.0 > Policy.MaxBackoffMs ? Policy.MaxBackoffMs
+                                                      : BackoffMs * 2.0;
   }
 }

@@ -10,6 +10,14 @@
 /// request frame and blocks for the matching response (correlated by id,
 /// skipping unrelated frames a pipelined peer might interleave).
 ///
+/// callWithRetry() wraps connect+roundTrip in the client-side half of the
+/// resilience contract (docs/SERVICE.md "Resilience"): deadline-bounded
+/// exponential backoff with deterministic seeded jitter on `busy`
+/// refusals and transient connect/IO errors, honoring the daemon's
+/// `retry_after_ms` hint as a floor. Retries are safe by construction --
+/// compiles are pure functions of the request, and a `busy` or
+/// connect-refused request did no work server-side.
+///
 /// Thread-safety: one Client per thread; the connection carries no
 /// framing state that could be shared safely.
 ///
@@ -26,6 +34,24 @@
 namespace cpr {
 namespace serve {
 
+/// Backoff policy for Client::callWithRetry.
+struct RetryPolicy {
+  /// Retries after the first attempt (MaxRetries=3 means <= 4 attempts).
+  unsigned MaxRetries = 3;
+  /// First backoff; doubles per retry up to MaxBackoffMs. The daemon's
+  /// `retry_after_ms` hint, when present, floors the computed backoff.
+  double InitialBackoffMs = 10.0;
+  double MaxBackoffMs = 2000.0;
+  /// Whole-call deadline across every attempt and sleep; 0 = none. When
+  /// the remaining time cannot fit the next backoff, the call gives up
+  /// with the last failure instead of sleeping past the deadline.
+  double DeadlineMs = 0.0;
+  /// Seed for the deterministic jitter (support/RNG.h): each sleep is
+  /// scaled by a factor in [0.5, 1.0] drawn from this seed, decorrelating
+  /// a retry stampede without sacrificing reproducibility.
+  uint64_t JitterSeed = 1;
+};
+
 /// Blocking cprd-v1 client connection.
 class Client {
 public:
@@ -41,6 +67,15 @@ public:
 
   /// Sends \p Req and blocks for the response with the same id.
   Expected<CompileResponse> roundTrip(const CompileRequest &Req);
+
+  /// One logical call with retries: connects, round-trips, and retries
+  /// on `busy` responses and transient connect/IO failures per \p Policy
+  /// (fresh connection each attempt -- an IO error poisons framing
+  /// state). Non-retryable outcomes (ok / error / pong / stats, or
+  /// deadline exhaustion) return immediately.
+  static Expected<CompileResponse> callWithRetry(const std::string &SocketPath,
+                                                 const CompileRequest &Req,
+                                                 const RetryPolicy &Policy);
 
 private:
   explicit Client(int FD);

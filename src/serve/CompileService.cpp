@@ -82,7 +82,8 @@ std::string serve::requestFingerprint(const CompileRequest &Req,
 CompileService::CompileService(ServiceOptions Opts)
     : Opts(Opts), Cache(Opts.CacheBytes) {}
 
-CompileResponse CompileService::compile(const CompileRequest &Req) {
+CompileResponse CompileService::compile(const CompileRequest &Req,
+                                        const std::atomic<bool> *Cancel) {
   auto T0 = std::chrono::steady_clock::now();
 
   CompileResponse Res;
@@ -122,7 +123,7 @@ CompileResponse CompileService::compile(const CompileRequest &Req) {
   DiagnosticEngine Diags;
   try {
     ScopedFatalErrorTrap Trap;
-    Res = compileLocked(Req, Diags);
+    Res = compileLocked(Req, Diags, Cancel);
   } catch (const FatalError &E) {
     Res = errorResponse(Req.Id,
                         requestError(DiagCode::Internal,
@@ -143,7 +144,16 @@ CompileResponse CompileService::compile(const CompileRequest &Req) {
 }
 
 CompileResponse CompileService::compileLocked(const CompileRequest &Req,
-                                              DiagnosticEngine &Diags) {
+                                              DiagnosticEngine &Diags,
+                                              const std::atomic<bool> *Cancel) {
+  // Anchor the request's relative deadline to this host's steady clock.
+  // It deliberately does NOT enter the fingerprint: the deadline is
+  // wall-clock-dependent, and a deadline-truncated compile diverges in
+  // its downstream per-region keys anyway (the memo key hashes the
+  // evolving function text and allocator state), so equal-fingerprint
+  // replays stay sound.
+  Deadline DL = Req.DeadlineMs > 0.0 ? Deadline::afterMs(Req.DeadlineMs)
+                                     : Deadline::never();
   // Parse the fuzz-program payload (IR + input directives).
   FuzzParseResult FP = parseFuzzProgram(Req.IR);
   if (!FP)
@@ -185,6 +195,8 @@ CompileResponse CompileService::compileLocked(const CompileRequest &Req,
   PO.RegionEquivalence = Req.RegionEquivalence;
   PO.InterpMaxSteps = InterpSteps;
   PO.TransformBudget = TB;
+  PO.RequestDeadline = DL;
+  PO.CancelFlag = Cancel;
   PO.Diags = &Diags;
 
   CountingMemoStore Counting(Cache);

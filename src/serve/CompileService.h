@@ -36,6 +36,8 @@
 #include "serve/Protocol.h"
 #include "serve/RegionCache.h"
 
+#include <atomic>
+
 namespace cpr {
 namespace serve {
 
@@ -73,7 +75,15 @@ public:
   explicit CompileService(ServiceOptions Opts = ServiceOptions());
 
   /// Handles one request (Compile, Ping or Stats). Thread-safe.
-  CompileResponse compile(const CompileRequest &Req);
+  ///
+  /// The request's relative deadline (Req.DeadlineMs) is anchored to the
+  /// steady clock *here* -- queueing time before the call does not count.
+  /// \p Cancel, when non-null, is the caller's cooperative cancellation
+  /// flag (the server sets it when the requesting connection dies);
+  /// expiry and cancellation degrade through the fail-safe pipeline like
+  /// budget exhaustion (DiagCode::DeadlineExceeded / DiagCode::Cancelled).
+  CompileResponse compile(const CompileRequest &Req,
+                          const std::atomic<bool> *Cancel = nullptr);
 
   /// Shared region-cache counters (for `cmd:"stats"` and the bench).
   RegionCacheStats cacheStats() const { return Cache.stats(); }
@@ -82,7 +92,8 @@ public:
 
 private:
   CompileResponse compileLocked(const CompileRequest &Req,
-                                DiagnosticEngine &Diags);
+                                DiagnosticEngine &Diags,
+                                const std::atomic<bool> *Cancel);
 
   ServiceOptions Opts;
   RegionCache Cache;

@@ -13,6 +13,19 @@ using namespace cpr::serve;
 
 namespace {
 
+/// Registered `cmd` values. One row per RequestKind; decode, encode and
+/// the unknown-command diagnostic all read this table so they can never
+/// drift apart.
+struct CommandRow {
+  const char *Name;
+  RequestKind Kind;
+};
+const CommandRow Commands[] = {
+    {"compile", RequestKind::Compile},
+    {"ping", RequestKind::Ping},
+    {"stats", RequestKind::Stats},
+};
+
 Diagnostic frameError(std::string Msg) {
   Diagnostic D;
   D.Severity = DiagSeverity::Error;
@@ -110,11 +123,23 @@ bool applyOption(const std::string &Key, const JSONValue &V,
   }
   if (Key == "budget_wall_ms")
     return wantNumber(V, Key, Req.TransformBudget.MaxWallMs, Err);
+  if (Key == "deadline_ms")
+    return wantNumber(V, Key, Req.DeadlineMs, Err);
   Err = "unknown option \"" + Key + "\"";
   return false;
 }
 
 } // namespace
+
+std::string serve::requestCommandList() {
+  std::string Out;
+  for (const CommandRow &C : Commands) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += C.Name;
+  }
+  return Out;
+}
 
 WireDiagnostic serve::toWire(const Diagnostic &D) {
   WireDiagnostic W;
@@ -136,10 +161,10 @@ CompileResponse serve::errorResponse(std::string Id, const Diagnostic &D) {
 std::string serve::encodeRequest(const CompileRequest &Req) {
   JSONValue V = JSONValue::object();
   V.set("proto", JSONValue::str(ProtocolName));
-  if (Req.Kind == RequestKind::Ping)
-    V.set("cmd", JSONValue::str("ping"));
-  else if (Req.Kind == RequestKind::Stats)
-    V.set("cmd", JSONValue::str("stats"));
+  if (Req.Kind != RequestKind::Compile)
+    for (const CommandRow &C : Commands)
+      if (C.Kind == Req.Kind)
+        V.set("cmd", JSONValue::str(C.Name));
   V.set("id", JSONValue::str(Req.Id));
   if (Req.Kind == RequestKind::Compile) {
     V.set("ir", JSONValue::str(Req.IR));
@@ -159,6 +184,10 @@ std::string serve::encodeRequest(const CompileRequest &Req) {
     O.set("budget_steps",
           JSONValue::number(static_cast<double>(Req.TransformBudget.MaxSteps)));
     O.set("budget_wall_ms", JSONValue::number(Req.TransformBudget.MaxWallMs));
+    // Optional on the wire: omitted when unset so pre-deadline frames
+    // (fixtures, recorded corpora) stay byte-identical.
+    if (Req.DeadlineMs > 0.0)
+      O.set("deadline_ms", JSONValue::number(Req.DeadlineMs));
     V.set("options", O);
   }
   return writeJSON(V, /*Pretty=*/false);
@@ -189,14 +218,16 @@ Expected<CompileRequest> serve::decodeRequest(const std::string &Line) {
       std::string Cmd;
       if (!wantString(V, Key, Cmd, Err))
         return frameError(std::move(Err));
-      if (Cmd == "compile")
-        Req.Kind = RequestKind::Compile;
-      else if (Cmd == "ping")
-        Req.Kind = RequestKind::Ping;
-      else if (Cmd == "stats")
-        Req.Kind = RequestKind::Stats;
-      else
-        return frameError("unknown cmd \"" + Cmd + "\"");
+      bool Known = false;
+      for (const CommandRow &C : Commands)
+        if (Cmd == C.Name) {
+          Req.Kind = C.Kind;
+          Known = true;
+          break;
+        }
+      if (!Known)
+        return frameError("unknown cmd \"" + Cmd +
+                          "\"; registered commands: " + requestCommandList());
     } else if (Key == "id") {
       if (!wantString(V, Key, Req.Id, Err))
         return frameError(std::move(Err));

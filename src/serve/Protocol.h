@@ -72,6 +72,14 @@ struct CompileRequest {
   uint64_t InterpMaxSteps = 0;
   /// Transform budget; zero-initialized takes the service default.
   Budget TransformBudget;
+  /// Whole-request deadline in milliseconds, relative to the moment the
+  /// *service* decodes the frame (never an absolute time -- clocks don't
+  /// cross the wire); 0 means none. An expiring request degrades like
+  /// budget exhaustion: fail-safe fallback plus a `deadline-exceeded`
+  /// diagnostic. Deliberately excluded from the cache fingerprint -- it
+  /// is wall-clock-dependent, and divergent deadline-truncated compiles
+  /// already diverge in their downstream per-region keys.
+  double DeadlineMs = 0.0;
 };
 
 /// One diagnostic as it crosses the wire (names, not enums, so clients
@@ -121,6 +129,11 @@ Expected<CompileResponse> decodeResponse(const std::string &Line);
 
 /// Builds an error response carrying \p D (echoing \p Id).
 CompileResponse errorResponse(std::string Id, const Diagnostic &D);
+
+/// "compile, ping, stats" -- the registered `cmd` values, for the
+/// unknown-command diagnostic (mirrors the predictor registry's
+/// unknown-name message so clients see what *is* supported).
+std::string requestCommandList();
 
 /// Converts an engine diagnostic to its wire form.
 WireDiagnostic toWire(const Diagnostic &D);

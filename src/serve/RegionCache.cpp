@@ -6,6 +6,8 @@
 
 #include "serve/RegionCache.h"
 
+#include "support/FaultInjector.h"
+
 #include <cassert>
 
 using namespace cpr;
@@ -42,6 +44,14 @@ std::optional<RegionMemoEntry> RegionCache::lookup(uint64_t Key) {
 }
 
 void RegionCache::commit(uint64_t Key, RegionMemoEntry Entry) {
+  // Injected insert failure (docs/ROBUSTNESS.md site catalog): the clean
+  // entry is dropped as if the commit never happened. Waiters inherit
+  // the claim and recompute -- correctness must not depend on an insert
+  // ever succeeding.
+  if (fault::shouldFail("serve.cache.insert")) {
+    abandon(Key);
+    return;
+  }
   std::lock_guard<std::mutex> Lock(Mu);
   auto CIt = Claims.find(Key);
   assert(CIt != Claims.end() && "commit without a lookup miss");

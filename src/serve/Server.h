@@ -13,8 +13,20 @@
 /// Concurrency model: one reader thread per connection decodes frames and
 /// submits compile tasks; the tasks write their own responses under a
 /// per-connection write mutex. Admission control caps the number of
-/// requests queued-or-running (MaxQueue); excess requests are refused
-/// immediately with status "busy" rather than queued without bound.
+/// requests queued-or-running (MaxQueue) and the number in flight per
+/// connection (MaxPipeline); excess requests are refused immediately with
+/// status "busy" carrying a `retry_after_ms` hint derived from queue
+/// depth, rather than queued without bound.
+///
+/// Connection hygiene (docs/SERVICE.md "Resilience"): read descriptors
+/// are non-blocking and poll()-driven, so a connection that stops sending
+/// mid-frame trips the idle timeout instead of parking a reader thread
+/// forever; the frame cap is enforced *while reading* (a slowloris or
+/// oversized frame costs O(cap) memory, never O(input)); a write timeout
+/// (SO_SNDTIMEO) bounds slow readers. A failed response write marks the
+/// connection gone -- its remaining in-flight compiles are cancelled
+/// cooperatively (CompileService observes the flag through the budget
+/// machinery) and `connections_dropped` counts it in `stats`.
 ///
 /// Graceful shutdown (the SIGTERM path): requestStop() is safe to call
 /// from a signal handler. The server then stops accepting connections,
@@ -28,8 +40,11 @@
 #define SERVE_SERVER_H
 
 #include "serve/CompileService.h"
+#include "support/Framing.h"
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -51,7 +66,28 @@ struct ServerOptions {
   /// Admission cap: requests queued-or-running before new ones are
   /// refused with status "busy". 0 = unbounded.
   size_t MaxQueue = 256;
+  /// Per-connection cap on pipelined in-flight requests; excess frames
+  /// are refused with "busy" (a flooding client cannot monopolize the
+  /// queue). 0 = unbounded.
+  size_t MaxPipeline = 0;
+  /// Drop a connection when no complete frame arrives for this long
+  /// (covers both idle connections and slowloris half-frames). 0 = never.
+  double IdleTimeoutMs = 0.0;
+  /// SO_SNDTIMEO on accepted sockets: a response write blocked this long
+  /// by a slow reader fails and drops the connection. 0 = never.
+  double WriteTimeoutMs = 0.0;
+  /// Per-frame byte cap, enforced while reading.
+  size_t MaxFrameBytes = LineReader::DefaultMaxLineBytes;
   ServiceOptions Service;
+};
+
+/// Monotonic counters the server adds to `cmd:"stats"` responses.
+struct ServerStats {
+  uint64_t Accepted = 0;  ///< requests dispatched to the pool
+  uint64_t Shed = 0;      ///< busy refusals (capacity, pipeline, stop)
+  uint64_t Dropped = 0;   ///< connections lost mid-response or timed out
+  size_t QueueDepth = 0;  ///< dispatched but not yet running
+  size_t InFlight = 0;    ///< running right now
 };
 
 /// One daemon instance. Construct, then call exactly one of runStdio()
@@ -82,19 +118,43 @@ public:
   /// The shared compile service (cache counters for tests/tools).
   CompileService &service() { return Service; }
 
+  /// Snapshot of the server-level counters (also shipped in `stats`).
+  ServerStats stats() const;
+
 private:
   struct Connection;
 
-  /// Reads frames from \p ReadFD until EOF, error, or stop; dispatches
-  /// each via handleLine.
+  /// Reads frames from \p ReadFD until EOF, error, idle timeout, or
+  /// stop; dispatches each via handleLine.
   void serveConnection(const std::shared_ptr<Connection> &Conn, int ReadFD);
   void handleLine(const std::shared_ptr<Connection> &Conn, std::string Line);
+
+  /// Encodes, counts and writes one response. A failed write marks the
+  /// connection gone (dropping it exactly once in the counters/log).
+  void writeResponse(const std::shared_ptr<Connection> &Conn,
+                     const CompileResponse &Res);
+  /// Marks \p Conn dead; first caller wins the Dropped count and the
+  /// stderr log line.
+  void dropConnection(const std::shared_ptr<Connection> &Conn,
+                      const char *Why);
+  /// "busy" + retry_after_ms derived from the current queue depth.
+  CompileResponse shedResponse(std::string Id, std::string Why);
+  /// Appends queue/shed/drop and per-status/per-code counters to a
+  /// `stats` response.
+  void augmentStats(CompileResponse &Res);
 
   ServerOptions Opts;
   CompileService Service;
   std::unique_ptr<ThreadPool> Pool;
   std::atomic<bool> StopFlag{false};
-  std::atomic<size_t> Pending{0};
+  std::atomic<size_t> Pending{0}; ///< dispatched: queued or running
+  std::atomic<size_t> Running{0}; ///< actually executing
+  std::atomic<uint64_t> Accepted{0};
+  std::atomic<uint64_t> Shed{0};
+  std::atomic<uint64_t> Dropped{0};
+  /// Response counters keyed "responses/<status>" and "diag/<code>".
+  mutable std::mutex CountMu;
+  std::map<std::string, uint64_t> ResponseCounts;
 };
 
 } // namespace serve

@@ -12,15 +12,26 @@
 /// (DiagCode::BudgetExhausted, docs/ROBUSTNESS.md): the stage stops,
 /// reports, and the session falls back to the baseline-preserving path.
 ///
+/// A tracker can additionally carry a request Deadline and a cancel flag
+/// (docs/SERVICE.md "Resilience"): both fold into the same exhausted()
+/// poll, so every stage that honors budgets honors deadlines and
+/// client-disconnect cancellation for free. exhaustionCode() says which
+/// limit tripped (Cancelled > DeadlineExceeded > BudgetExhausted).
+///
 /// Thread-safety: Budget is a plain value. A BudgetTracker instance is
 /// meant for one stage on one thread (steps are not atomic); share
-/// budgets, not trackers.
+/// budgets, not trackers. The cancel flag is an atomic owned by the
+/// caller and may be set from any thread.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SUPPORT_BUDGET_H
 #define SUPPORT_BUDGET_H
 
+#include "support/Deadline.h"
+#include "support/Diagnostic.h"
+
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -41,8 +52,11 @@ struct Budget {
 /// exhausted(). The wall clock starts at construction.
 class BudgetTracker {
 public:
-  explicit BudgetTracker(Budget Limit = Budget())
-      : Limit(Limit), Start(std::chrono::steady_clock::now()) {}
+  explicit BudgetTracker(Budget Limit = Budget(),
+                         Deadline RequestDeadline = Deadline(),
+                         const std::atomic<bool> *Cancel = nullptr)
+      : Limit(Limit), RequestDeadline(RequestDeadline), Cancel(Cancel),
+        Start(std::chrono::steady_clock::now()) {}
 
   /// Consumes \p N steps if the budget is not already exhausted. Returns
   /// true when the steps were granted: a budget of MaxSteps=K grants
@@ -68,13 +82,37 @@ public:
   bool wallExhausted() const {
     return Limit.MaxWallMs != 0.0 && elapsedMs() >= Limit.MaxWallMs;
   }
-  bool exhausted() const { return stepsExhausted() || wallExhausted(); }
+  bool deadlineExpired() const { return RequestDeadline.expired(); }
+  bool cancelled() const {
+    return Cancel && Cancel->load(std::memory_order_relaxed);
+  }
+  bool exhausted() const {
+    return stepsExhausted() || wallExhausted() || deadlineExpired() ||
+           cancelled();
+  }
 
   const Budget &limit() const { return Limit; }
+  const Deadline &deadline() const { return RequestDeadline; }
 
-  /// "step budget (N) exhausted" / "wall-clock budget (X ms) exhausted",
-  /// for BudgetExhausted diagnostics.
+  /// Which limit tripped. Cancellation beats the deadline (the requester
+  /// is gone; the deadline is moot), and both beat plain budget
+  /// exhaustion. Only meaningful once exhausted().
+  DiagCode exhaustionCode() const {
+    if (cancelled())
+      return DiagCode::Cancelled;
+    if (deadlineExpired())
+      return DiagCode::DeadlineExceeded;
+    return DiagCode::BudgetExhausted;
+  }
+
+  /// "step budget (N) exhausted" / "wall-clock budget (X ms) exhausted" /
+  /// "request deadline (X ms) exceeded" / "request cancelled by client",
+  /// matching exhaustionCode()'s priority order.
   std::string describeExhaustion() const {
+    if (cancelled())
+      return "request cancelled by client";
+    if (deadlineExpired())
+      return RequestDeadline.describeExpiry();
     if (stepsExhausted())
       return "step budget (" + std::to_string(Limit.MaxSteps) +
              ") exhausted";
@@ -84,6 +122,8 @@ public:
 
 private:
   Budget Limit;
+  Deadline RequestDeadline;
+  const std::atomic<bool> *Cancel = nullptr;
   uint64_t Steps = 0;
   std::chrono::steady_clock::time_point Start;
 };

@@ -1,0 +1,89 @@
+//===- support/Deadline.h - Monotonic request deadlines ---------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic deadline for request-scoped work (docs/SERVICE.md
+/// "Resilience"). A Deadline is either inactive (the default: never
+/// expires) or a point on the steady clock; holders poll expired() at
+/// stage boundaries and inside budgeted loops, and an expiring request
+/// degrades exactly like budget exhaustion -- DiagCode::DeadlineExceeded,
+/// fail-safe fallback -- instead of running past its caller's patience.
+///
+/// The steady clock is deliberate: a deadline must not jump when the wall
+/// clock is adjusted. Deadlines therefore never cross the wire as
+/// absolute times; the cprd-v1 protocol carries a relative "deadline_ms"
+/// and each side anchors it to its own monotonic clock on receipt.
+///
+/// Thread-safety: a Deadline is an immutable value after construction;
+/// sharing a copy across threads is safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_DEADLINE_H
+#define SUPPORT_DEADLINE_H
+
+#include <chrono>
+#include <string>
+
+namespace cpr {
+
+/// A point on the steady clock that request-scoped work must not run
+/// past. Default-constructed deadlines are inactive and never expire.
+class Deadline {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Inactive: never expires.
+  Deadline() = default;
+
+  /// A deadline that never expires (same as default construction,
+  /// spelled out for call sites).
+  static Deadline never() { return Deadline(); }
+
+  /// Expires \p Ms milliseconds from now. Ms <= 0 is already expired
+  /// (but still active -- callers use it to force the expiry path).
+  static Deadline afterMs(double Ms) {
+    Deadline D;
+    D.Active = true;
+    D.BudgetMs = Ms;
+    D.At = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(Ms));
+    return D;
+  }
+
+  /// True when this deadline can expire at all.
+  bool active() const { return Active; }
+
+  /// True when the deadline has passed. Inactive deadlines never expire.
+  bool expired() const { return Active && Clock::now() >= At; }
+
+  /// Milliseconds until expiry (negative once past). Meaningless for
+  /// inactive deadlines; callers check active() first.
+  double remainingMs() const {
+    return std::chrono::duration<double, std::milli>(At - Clock::now())
+        .count();
+  }
+
+  /// The relative budget this deadline was created with, for messages
+  /// ("request deadline (250 ms) exceeded").
+  double budgetMs() const { return BudgetMs; }
+
+  /// "request deadline (N ms) exceeded", for DeadlineExceeded
+  /// diagnostics.
+  std::string describeExpiry() const {
+    return "request deadline (" + std::to_string(BudgetMs) +
+           " ms) exceeded";
+  }
+
+private:
+  bool Active = false;
+  double BudgetMs = 0.0;
+  Clock::time_point At{};
+};
+
+} // namespace cpr
+
+#endif // SUPPORT_DEADLINE_H

@@ -36,6 +36,10 @@ const char *cpr::diagCodeName(DiagCode C) {
     return "oracle-mismatch";
   case DiagCode::BudgetExhausted:
     return "budget-exhausted";
+  case DiagCode::DeadlineExceeded:
+    return "deadline-exceeded";
+  case DiagCode::Cancelled:
+    return "cancelled";
   case DiagCode::TransformFault:
     return "transform-fault";
   case DiagCode::RegionRolledBack:

@@ -58,6 +58,8 @@ enum class DiagCode {
   VerifyFailed,    ///< IR verifier violations
   OracleMismatch,  ///< equivalence oracle found diverging behavior
   BudgetExhausted, ///< a stage ran out of its step/time budget
+  DeadlineExceeded,///< the request's deadline passed mid-stage
+  Cancelled,       ///< the requester went away; work abandoned
   TransformFault,  ///< a transformation phase failed internally
   RegionRolledBack,///< a region transaction was rolled back (remark)
   RunFailed,       ///< an interpreter run did not halt cleanly

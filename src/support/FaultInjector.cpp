@@ -25,6 +25,10 @@ const char *const BuiltinSites[] = {
     "interp.oracle",
     "ir.verify",
     "pipeline.transform",
+    "serve.cache.insert",
+    "serve.dispatch.enqueue",
+    "serve.frame.decode",
+    "serve.socket.write",
 };
 
 struct Registry {

@@ -29,6 +29,14 @@
 ///   interp.oracle                 the equivalence oracle reports a
 ///                                 spurious mismatch
 ///   pipeline.transform            the whole transform stage fails
+///   serve.frame.decode            a well-formed request frame decodes
+///                                 as a parse error (cprd)
+///   serve.dispatch.enqueue        admission refuses (busy) a request
+///                                 the queue had room for (cprd)
+///   serve.cache.insert            a clean region's cache commit is
+///                                 abandoned; waiters recompute (cprd)
+///   serve.socket.write            a response write fails as if the
+///                                 client vanished (cprd)
 ///
 /// Thread-safety: arming is process-global. Arm/disarm strictly while no
 /// worker threads are running (the TestHooks contract); shouldFail() is

@@ -12,11 +12,13 @@
 
 using namespace cpr;
 
-bool LineReader::readLine(std::string &Out) {
+LineReader::Result LineReader::next(std::string &Out) {
   if (!Err.empty())
-    return false;
+    return Result::Error;
+  bool ReadOnce = false;
   for (;;) {
-    // Scan the buffered bytes for a newline.
+    // Deliver a buffered frame first: poll()-driven callers must see
+    // every complete line before the descriptor is touched again.
     size_t NL = Buf.find('\n', Pos);
     if (NL != std::string::npos) {
       Out.assign(Buf, Pos, NL - Pos);
@@ -26,35 +28,69 @@ bool LineReader::readLine(std::string &Out) {
         Buf.erase(0, Pos);
         Pos = 0;
       }
-      return true;
+      return Result::Frame;
     }
     if (Eof) {
       if (Pos < Buf.size()) {
         // Final unterminated line.
         Out.assign(Buf, Pos, Buf.size() - Pos);
         Pos = Buf.size();
-        return true;
+        return Result::Frame;
       }
-      return false;
+      return Result::Eof;
     }
+    // Enforce the cap before reading more: past this point the line
+    // cannot complete legally, so the peer's remaining bytes are never
+    // buffered.
     if (Buf.size() - Pos >= MaxLineBytes) {
       Err = "line exceeds " + std::to_string(MaxLineBytes) + " bytes";
-      return false;
+      return Result::Error;
     }
+    if (ReadOnce)
+      return Result::NeedMore; // incremental contract: one read per call
+    ReadOnce = true;
 
     char Chunk[65536];
-    ssize_t N = ::read(FD, Chunk, sizeof(Chunk));
+    size_t Want = sizeof(Chunk);
+    if (size_t Room = MaxLineBytes - (Buf.size() - Pos); Want > Room)
+      Want = Room;
+    ssize_t N = ::read(FD, Chunk, Want);
     if (N < 0) {
       if (errno == EINTR)
-        continue;
+        return Result::NeedMore;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return Result::NeedMore; // SO_RCVTIMEO expired / nonblocking fd
       Err = std::string("read failed: ") + std::strerror(errno);
-      return false;
+      return Result::Error;
     }
-    if (N == 0) {
-      Eof = true;
+    if (N == 0)
+      Eof = true; // loop delivers any final unterminated line
+    else
+      Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+bool LineReader::readLine(std::string &Out) {
+  for (;;) {
+    errno = 0; // NeedMore consults errno; don't trust a stale value
+    switch (next(Out)) {
+    case Result::Frame:
+      return true;
+    case Result::Eof:
+      return false;
+    case Result::Error:
+      return false;
+    case Result::NeedMore:
+      // A blocking descriptor only lands here on EINTR or an expired
+      // SO_RCVTIMEO. EINTR retry is invisible; a timeout would spin, so
+      // surface it as an error -- blocking callers (Client, tools) set
+      // no read timeout unless they mean it as a hard bound.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        Err = "read timed out";
+        return false;
+      }
       continue;
     }
-    Buf.append(Chunk, static_cast<size_t>(N));
   }
 }
 

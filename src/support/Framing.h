@@ -11,10 +11,21 @@
 /// daemon's stdin/stdout pipe mode.
 ///
 /// The reader is defensive by design -- frames come from untrusted
-/// clients: a line longer than the configured cap is an error (not an
-/// unbounded buffer), EINTR is retried, and a final unterminated line is
-/// delivered as a frame so `printf '...' | cprd --stdio` works without a
-/// trailing newline.
+/// clients: a line longer than the configured cap is an error *detected
+/// while reading* (the reader holds at most O(cap) bytes no matter how
+/// much the peer sends), EINTR is retried, and a final unterminated line
+/// is delivered as a frame so `printf '...' | cprd --stdio` works without
+/// a trailing newline.
+///
+/// Two read APIs share one buffer:
+///
+///  - next(Out) is incremental: it performs at most one read() and
+///    reports Frame / NeedMore / Eof / Error. NeedMore covers both
+///    would-block (EAGAIN under a SO_RCVTIMEO read timeout) and
+///    "read some bytes, no newline yet", which is what the server's
+///    idle/read-deadline loop needs.
+///  - readLine(Out) is the blocking convenience wrapper used by clients
+///    and tools: it loops next() until a frame or end of input.
 ///
 /// Thread-safety: a LineReader is single-owner (one reader thread per
 /// connection). writeAll() performs one complete write but callers that
@@ -41,18 +52,35 @@ public:
   explicit LineReader(int FD, size_t MaxLineBytes = DefaultMaxLineBytes)
       : FD(FD), MaxLineBytes(MaxLineBytes) {}
 
-  /// Reads the next line into \p Out (newline stripped). Returns false at
-  /// end of input: clean EOF leaves error() empty, a read failure or an
-  /// over-long line records a message. A non-empty final line without a
-  /// terminating newline is returned as a frame.
+  /// Outcome of one next() step.
+  enum class Result {
+    Frame,    ///< Out holds a complete line (newline stripped)
+    NeedMore, ///< no complete line buffered; read() would block or
+              ///< returned partial data -- call next() again
+    Eof,      ///< clean end of input, every frame delivered
+    Error,    ///< read failure or over-long line; see error()
+  };
+
+  /// Incremental step: delivers a buffered frame if one is complete,
+  /// otherwise performs at most one read(). A non-empty final line
+  /// without a terminating newline is delivered as a frame before Eof.
+  /// Once the buffered tail exceeds the cap the reader stops consuming
+  /// input and reports Error -- the peer's remaining bytes are never
+  /// buffered.
+  Result next(std::string &Out);
+
+  /// Blocking wrapper: loops next() until Frame (returns true) or
+  /// Eof/Error (returns false; clean EOF leaves error() empty). Treats
+  /// NeedMore-without-progress under a descriptor read timeout as an
+  /// error ("read timed out").
   bool readLine(std::string &Out);
 
   /// Empty unless a read failed or a line exceeded the cap.
   const std::string &error() const { return Err; }
 
-  /// True when unconsumed bytes are buffered -- readLine() may complete
-  /// without touching the descriptor, so callers that poll() before
-  /// reading must drain buffered data first.
+  /// True when unconsumed bytes are buffered -- next()/readLine() may
+  /// complete without touching the descriptor, so callers that poll()
+  /// before reading must drain buffered data first.
   bool hasBuffered() const { return Pos < Buf.size(); }
 
 private:
@@ -65,7 +93,8 @@ private:
 };
 
 /// Writes all of \p Data to \p FD, retrying short writes and EINTR.
-/// Returns false on a write error (e.g. the peer hung up).
+/// Returns false on a write error (e.g. the peer hung up, or a
+/// SO_SNDTIMEO write timeout expired against a slow reader).
 bool writeAll(int FD, const std::string &Data);
 
 } // namespace cpr

@@ -111,6 +111,52 @@ TEST(Protocol, MissingIRRejectedForCompileOnly) {
   EXPECT_TRUE(Ping.ok());
 }
 
+TEST(Protocol, UnknownCmdListsRegisteredCommands) {
+  // Mirrors the unknown --predictor= contract: the rejection names every
+  // registered command so a stale client learns the vocabulary from the
+  // error itself.
+  Expected<CompileRequest> R = decodeRequest(
+      "{\"proto\":\"cprd-v1\",\"cmd\":\"compiel\",\"id\":\"r1\"}");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.diagnostic().Code, DiagCode::ParseError);
+  EXPECT_NE(R.diagnostic().Message.find("registered commands: " +
+                                        requestCommandList()),
+            std::string::npos)
+      << R.diagnostic().Message;
+  // The registry is the single source of truth; every known command must
+  // appear in the advertised list.
+  for (const char *Cmd : {"compile", "ping", "stats"})
+    EXPECT_NE(requestCommandList().find(Cmd), std::string::npos) << Cmd;
+}
+
+TEST(Protocol, DeadlineMsRoundTrip) {
+  CompileRequest Req;
+  Req.Id = "d1";
+  Req.IR = "func @f { ... }\n";
+  Req.DeadlineMs = 1500.0;
+  Expected<CompileRequest> Back = decodeRequest(encodeRequest(Req));
+  ASSERT_TRUE(Back.ok()) << Back.diagnostic().str();
+  EXPECT_DOUBLE_EQ(Back->DeadlineMs, 1500.0);
+}
+
+TEST(Protocol, ZeroDeadlineStaysOffTheWire) {
+  // deadline_ms is only emitted when set, so pre-deadline fixtures (and
+  // requests from older clients) encode byte-identically.
+  CompileRequest Req;
+  Req.Id = "d0";
+  Req.IR = "func @f { ... }\n";
+  EXPECT_EQ(encodeRequest(Req).find("deadline_ms"), std::string::npos);
+  Req.DeadlineMs = 250.0;
+  EXPECT_NE(encodeRequest(Req).find("\"deadline_ms\":250"),
+            std::string::npos)
+      << encodeRequest(Req);
+}
+
+TEST(Protocol, RejectsWrongDeadlineType) {
+  expectFrameError("{\"proto\":\"cprd-v1\",\"id\":\"r1\",\"ir\":\"x\","
+                   "\"options\":{\"deadline_ms\":\"soon\"}}");
+}
+
 TEST(Protocol, ResponseRoundTrip) {
   CompileResponse Res;
   Res.Id = "r42";

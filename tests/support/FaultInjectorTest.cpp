@@ -21,7 +21,8 @@ TEST(FaultInjectorTest, CatalogIsRegisteredUpFront) {
   for (const char *Name :
        {"alloc", "cpr.restructure.plan", "cpr.restructure.compensation",
         "cpr.offtrace.move", "ir.verify", "interp.oracle",
-        "pipeline.transform"}) {
+        "pipeline.transform", "serve.cache.insert", "serve.dispatch.enqueue",
+        "serve.frame.decode", "serve.socket.write"}) {
     EXPECT_TRUE(fault::isKnownSite(Name)) << Name;
     EXPECT_NE(std::find(Sites.begin(), Sites.end(), Name), Sites.end())
         << Name;

@@ -1,0 +1,215 @@
+//===- tests/support/FramingTest.cpp - LineReader edge cases --------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// The byte-level framing contract (support/Framing.h): frames arrive
+// from untrusted peers over descriptors that deliver bytes at arbitrary
+// boundaries. The reader must reassemble torn frames, deliver a final
+// unterminated line, and reject an over-long line *while reading* --
+// holding at most O(cap) bytes no matter how much the peer sends.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Framing.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fcntl.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace cpr;
+
+namespace {
+
+// Writes to a peer-closed socket must surface as writeAll() == false,
+// not kill the test process (the daemon installs the same guard).
+struct IgnoreSigpipe {
+  IgnoreSigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+} IgnoreSigpipeInit;
+
+/// A connected socketpair; W is the peer end the test writes into.
+struct Pair {
+  int R = -1, W = -1;
+  Pair() {
+    int FDs[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, FDs), 0);
+    R = FDs[0];
+    W = FDs[1];
+  }
+  ~Pair() {
+    if (R >= 0)
+      ::close(R);
+    if (W >= 0)
+      ::close(W);
+  }
+  void closeWrite() {
+    ::close(W);
+    W = -1;
+  }
+  void send(const std::string &S) {
+    ASSERT_TRUE(writeAll(W, S));
+  }
+};
+
+TEST(Framing, TornFrameAcrossArbitraryReadBoundaries) {
+  // Deliver "alpha\nbeta\n" one byte at a time: every read() boundary a
+  // stream socket could produce. Both frames must reassemble intact.
+  const std::string Input = "alpha\nbeta\n";
+  Pair P;
+  std::thread Writer([&] {
+    for (char C : Input)
+      writeAll(P.W, std::string(1, C));
+    P.closeWrite();
+  });
+  LineReader Reader(P.R);
+  std::string Line;
+  ASSERT_TRUE(Reader.readLine(Line));
+  EXPECT_EQ(Line, "alpha");
+  ASSERT_TRUE(Reader.readLine(Line));
+  EXPECT_EQ(Line, "beta");
+  EXPECT_FALSE(Reader.readLine(Line));
+  EXPECT_TRUE(Reader.error().empty()) << Reader.error();
+  Writer.join();
+}
+
+TEST(Framing, FinalUnterminatedLineIsDeliveredBeforeEof) {
+  // `printf '...' | cprd --stdio` has no trailing newline; the last
+  // partial line is still a frame.
+  Pair P;
+  P.send("one\ntrailing-no-newline");
+  P.closeWrite();
+  LineReader Reader(P.R);
+  std::string Line;
+  ASSERT_TRUE(Reader.readLine(Line));
+  EXPECT_EQ(Line, "one");
+  ASSERT_TRUE(Reader.readLine(Line));
+  EXPECT_EQ(Line, "trailing-no-newline");
+  EXPECT_FALSE(Reader.readLine(Line)); // clean EOF now
+  EXPECT_TRUE(Reader.error().empty());
+}
+
+TEST(Framing, IncrementalNextReportsNeedMoreThenFrame) {
+  Pair P;
+  LineReader Reader(P.R);
+  // Non-blocking read end: with nothing buffered and nothing readable,
+  // next() must report NeedMore, not block.
+  ASSERT_EQ(::fcntl(P.R, F_SETFL, O_NONBLOCK), 0);
+  std::string Line;
+  EXPECT_EQ(Reader.next(Line), LineReader::Result::NeedMore);
+  P.send("half");
+  EXPECT_EQ(Reader.next(Line), LineReader::Result::NeedMore); // no newline yet
+  P.send("-frame\n");
+  // One read() per call: first call ingests, possibly a second delivers.
+  LineReader::Result R = Reader.next(Line);
+  if (R == LineReader::Result::NeedMore)
+    R = Reader.next(Line);
+  EXPECT_EQ(R, LineReader::Result::Frame);
+  EXPECT_EQ(Line, "half-frame");
+  P.closeWrite();
+  EXPECT_EQ(Reader.next(Line), LineReader::Result::Eof);
+}
+
+TEST(Framing, OversizedLineRejectedWithoutBufferingTheWholePayload) {
+  // Cap at 64 bytes, then send a far larger newline-free payload. The
+  // reader must flag the error as soon as the buffered tail crosses the
+  // cap -- long before the peer finishes sending -- and must stop
+  // consuming input (the unread remainder stays in the socket).
+  constexpr size_t Cap = 64;
+  const size_t PayloadSize = 1u << 20; // 1 MiB, 16384x the cap
+  Pair P;
+  std::thread Writer([&] {
+    std::string Chunk(4096, 'x');
+    size_t Sent = 0;
+    // A full 1 MiB send could block once the reader stops draining;
+    // best-effort, stop on failure.
+    while (Sent < PayloadSize && writeAll(P.W, Chunk))
+      Sent += Chunk.size();
+  });
+  LineReader Reader(P.R, Cap);
+  std::string Line;
+  EXPECT_FALSE(Reader.readLine(Line));
+  EXPECT_NE(Reader.error().find("exceeds"), std::string::npos)
+      << Reader.error();
+  // O(cap) memory: the socket still holds unread bytes, proving the
+  // reader did not slurp the stream looking for a newline.
+  ::close(P.R);
+  P.R = -1;
+  Writer.join();
+}
+
+TEST(Framing, OversizedDetectionCountsTheBufferedTailOnly) {
+  // Frames *before* the oversized one are unaffected; the cap applies to
+  // the unconsumed tail, not to cumulative input.
+  constexpr size_t Cap = 16;
+  Pair P;
+  P.send("a\nb\nc\n"); // 3 short frames, 6 bytes total
+  P.send(std::string(Cap, 'z')); // then a line that can never fit
+  P.closeWrite();
+  LineReader Reader(P.R, Cap);
+  std::string Line;
+  ASSERT_TRUE(Reader.readLine(Line));
+  EXPECT_EQ(Line, "a");
+  ASSERT_TRUE(Reader.readLine(Line));
+  EXPECT_EQ(Line, "b");
+  ASSERT_TRUE(Reader.readLine(Line));
+  EXPECT_EQ(Line, "c");
+  EXPECT_FALSE(Reader.readLine(Line));
+  EXPECT_NE(Reader.error().find("exceeds"), std::string::npos);
+}
+
+TEST(Framing, EmptyLinesAreFrames) {
+  Pair P;
+  P.send("\n\nx\n");
+  P.closeWrite();
+  LineReader Reader(P.R);
+  std::string Line;
+  ASSERT_TRUE(Reader.readLine(Line));
+  EXPECT_EQ(Line, "");
+  ASSERT_TRUE(Reader.readLine(Line));
+  EXPECT_EQ(Line, "");
+  ASSERT_TRUE(Reader.readLine(Line));
+  EXPECT_EQ(Line, "x");
+  EXPECT_FALSE(Reader.readLine(Line));
+}
+
+TEST(Framing, HasBufferedReflectsUnconsumedBytes) {
+  Pair P;
+  P.send("one\ntwo\n");
+  P.closeWrite();
+  LineReader Reader(P.R);
+  std::string Line;
+  EXPECT_FALSE(Reader.hasBuffered());
+  ASSERT_TRUE(Reader.readLine(Line));
+  // "two\n" is already buffered: the poll()-before-read server loop must
+  // drain it without waiting on the descriptor.
+  EXPECT_TRUE(Reader.hasBuffered());
+  ASSERT_TRUE(Reader.readLine(Line));
+  EXPECT_EQ(Line, "two");
+  EXPECT_FALSE(Reader.hasBuffered());
+}
+
+TEST(Framing, WriteAllSurvivesLargePayloads) {
+  // writeAll must retry short writes; a payload much larger than the
+  // socket buffer forces them.
+  Pair P;
+  const std::string Payload(1u << 20, 'y');
+  std::string Got;
+  std::thread Drainer([&] {
+    char Buf[65536];
+    ssize_t N;
+    while ((N = ::read(P.R, Buf, sizeof(Buf))) > 0)
+      Got.append(Buf, static_cast<size_t>(N));
+  });
+  ASSERT_TRUE(writeAll(P.W, Payload));
+  P.closeWrite();
+  Drainer.join();
+  EXPECT_EQ(Got.size(), Payload.size());
+  EXPECT_EQ(Got, Payload);
+}
+
+} // namespace

@@ -78,6 +78,8 @@ struct Config {
   bool Lint = false, Werror = false;
   unsigned InterpMaxSteps = 0;
   unsigned TransformSteps = 0, TransformMs = 0;
+  unsigned Retries = 3;
+  unsigned DeadlineMs = 0;
   bool Help = false;
   int MispredictPenalty = -1;
   std::vector<PredictorKind> Predictors;
@@ -282,6 +284,15 @@ OptionTable buildOptions(Config &C) {
               "in-process (docs/SERVICE.md); CPR/budget flags travel "
               "with the request",
               C.Server);
+  T.addUnsigned("--retries", "<n>",
+                "with --server: retries on \"busy\" and transient IO "
+                "failures (exponential backoff, default 3)",
+                C.Retries);
+  T.addUnsigned("--deadline-ms", "<n>",
+                "with --server: whole-request deadline; bounds both the "
+                "client's retry loop and the daemon's compile "
+                "(0 = none)",
+                C.DeadlineMs);
   T.addFlag("--help", "print this help", C.Help);
   T.addFlag("-h", "print this help", C.Help);
   return T;
@@ -314,17 +325,25 @@ int runServerMode(const Config &C, const std::string &Text) {
   Req.InterpMaxSteps = C.InterpMaxSteps;
   Req.TransformBudget.MaxSteps = C.TransformSteps;
   Req.TransformBudget.MaxWallMs = C.TransformMs;
+  // The daemon gets the full deadline, not the remainder after retries:
+  // the frame must stay byte-identical across attempts so every retry
+  // lands on the same cache entries.
+  Req.DeadlineMs = C.DeadlineMs;
 
-  Expected<serve::Client> Conn = serve::Client::connect(C.Server);
-  if (!Conn) {
-    std::fprintf(stderr, "cprc: error: %s\n",
-                 Conn.diagnostic().str().c_str());
-    return exit_codes::Failure;
-  }
-  Expected<serve::CompileResponse> Res = Conn->roundTrip(Req);
+  serve::RetryPolicy Policy;
+  Policy.MaxRetries = C.Retries;
+  Policy.DeadlineMs = C.DeadlineMs;
+  Expected<serve::CompileResponse> Res =
+      serve::Client::callWithRetry(C.Server, Req, Policy);
   if (!Res) {
     std::fprintf(stderr, "cprc: error: %s\n",
                  Res.diagnostic().str().c_str());
+    return exit_codes::Failure;
+  }
+  if (Res->Status == "busy") {
+    std::fprintf(stderr,
+                 "cprc: error: daemon still busy after %u retries\n",
+                 C.Retries);
     return exit_codes::Failure;
   }
 

@@ -43,6 +43,9 @@ struct Config {
   unsigned DefaultTransformSteps = 0;
   unsigned MaxTransformSteps = 0;
   unsigned MaxIRKB = 4096;
+  unsigned MaxPipeline = 0;
+  unsigned IdleTimeoutMs = 0;
+  unsigned WriteTimeoutMs = 0;
   bool Help = false;
 };
 
@@ -82,6 +85,18 @@ OptionTable buildOptions(Config &C) {
                 "admission cap on the request IR payload in KiB "
                 "(0 = no cap)",
                 C.MaxIRKB);
+  T.addUnsigned("--max-pipeline", "<n>",
+                "per-connection cap on pipelined in-flight requests "
+                "(0 = unbounded)",
+                C.MaxPipeline);
+  T.addUnsigned("--idle-timeout-ms", "<n>",
+                "drop a connection when no complete frame arrives for "
+                "this long (0 = never)",
+                C.IdleTimeoutMs);
+  T.addUnsigned("--write-timeout-ms", "<n>",
+                "drop a connection whose reader blocks a response write "
+                "this long (0 = never)",
+                C.WriteTimeoutMs);
   T.addFlag("--help", "print this help", C.Help);
   T.addFlag("-h", "print this help", C.Help);
   return T;
@@ -134,6 +149,9 @@ int main(int argc, char **argv) {
   SO.Service.DefaultTransformBudget.MaxSteps = C.DefaultTransformSteps;
   SO.Service.MaxTransformSteps = C.MaxTransformSteps;
   SO.Service.MaxIRBytes = static_cast<size_t>(C.MaxIRKB) << 10;
+  SO.MaxPipeline = C.MaxPipeline;
+  SO.IdleTimeoutMs = C.IdleTimeoutMs;
+  SO.WriteTimeoutMs = C.WriteTimeoutMs;
 
   Server Daemon(SO);
   ActiveServer = &Daemon;

@@ -108,3 +108,24 @@ bool BDD::implies(NodeRef F, NodeRef G) {
     return false;
   return mkAnd(F, NotG) == False;
 }
+
+bool BDD::satOne(NodeRef F, std::vector<std::pair<uint32_t, bool>> &Out) const {
+  Out.clear();
+  if (F == Invalid || F == False)
+    return false;
+  // In a reduced BDD every node other than the False terminal has a path
+  // to True (a node whose children were equal was never allocated), so a
+  // greedy walk preferring any non-False child terminates at True.
+  NodeRef N = F;
+  while (N != True) {
+    const Node &Nd = Nodes[N];
+    if (Nd.High != False) {
+      Out.emplace_back(Nd.Var, true);
+      N = Nd.High;
+    } else {
+      Out.emplace_back(Nd.Var, false);
+      N = Nd.Low;
+    }
+  }
+  return true;
+}

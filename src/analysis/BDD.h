@@ -64,6 +64,15 @@ public:
   /// Exact query: F implies G. Conservatively false on Invalid/budget.
   bool implies(NodeRef F, NodeRef G);
 
+  /// Extracts one satisfying assignment of \p F into \p Out as
+  /// (variable, value) pairs, in variable order. Variables absent from
+  /// the result are don't-cares. Returns false (leaving \p Out empty)
+  /// for the False terminal and for Invalid. This is the witness
+  /// extraction primitive of cpr-lint v2 (docs/LINT.md): a check's
+  /// violating condition, fed through satOne, names concrete predicate
+  /// outcomes under which the violation executes.
+  bool satOne(NodeRef F, std::vector<std::pair<uint32_t, bool>> &Out) const;
+
   /// Number of allocated nodes (terminals included).
   size_t numNodes() const { return Nodes.size(); }
 

@@ -7,6 +7,7 @@
 #include "analysis/Liveness.h"
 
 #include "analysis/CFG.h"
+#include "analysis/Dataflow.h"
 #include "support/Error.h"
 
 using namespace cpr;
@@ -26,17 +27,73 @@ bool defAlwaysWrites(const Operation &Op, const DefSlot &D) {
   return Op.getGuard().isTruePred() || Op.isFrpGuard();
 }
 
-/// Applies one operation backwards to a register set.
-void transferSet(const Operation &Op, RegSet &Live) {
-  for (const DefSlot &D : Op.defs())
-    if (defAlwaysWrites(Op, D))
-      Live.erase(D.R);
-  if (!Op.getGuard().isTruePred())
-    Live.insert(Op.getGuard());
-  for (const Operand &S : Op.srcs())
-    if (S.isReg())
-      Live.insert(S.getReg());
-}
+/// Backward/union liveness over the dense dataflow solver
+/// (analysis/Dataflow.h). The transfer folds interior exits at their op
+/// positions — the same precision the per-register-set implementation
+/// had — but runs on BitVector words instead of hash-set elements
+/// (ROADMAP O3; see bench/bench_liveness.cpp for the before/after).
+class LivenessProblem : public DataflowProblem {
+public:
+  LivenessProblem(const Function &F, const RegNumbering &N)
+      : F(F), N(N), Observable(N.size()) {
+    for (Reg R : F.observableRegs()) {
+      int I = N.indexOf(R);
+      if (I >= 0)
+        Observable.set(static_cast<size_t>(I));
+    }
+  }
+
+  Direction direction() const override { return Direction::Backward; }
+  Meet meet() const override { return Meet::Union; }
+  size_t universeSize() const override { return N.size(); }
+  void boundary(BitVector &V) const override { V.orWith(Observable); }
+
+  void transfer(size_t LayoutIdx, BitVector &V,
+                const std::vector<BitVector> &InSets) const override {
+    const Block &B = F.block(LayoutIdx);
+    std::vector<BlockExit> Exits = blockExits(F, LayoutIdx);
+    for (size_t OI = B.size(); OI-- > 0;) {
+      const Operation &Op = B.ops()[OI];
+      // Interior exits add their targets' live-ins at the exit point.
+      if (Op.isControl()) {
+        for (const BlockExit &E : Exits) {
+          if (E.OpIdx != static_cast<int>(OI))
+            continue;
+          if (E.Target == InvalidBlockId) {
+            V.orWith(Observable);
+          } else {
+            int T = F.layoutIndex(E.Target);
+            if (T >= 0)
+              V.orWith(InSets[static_cast<size_t>(T)]);
+          }
+        }
+      }
+      // Backward transfer: kill sure definitions, then gen reads.
+      for (const DefSlot &D : Op.defs())
+        if (defAlwaysWrites(Op, D)) {
+          int I = N.indexOf(D.R);
+          if (I >= 0)
+            V.reset(static_cast<size_t>(I));
+        }
+      if (!Op.getGuard().isTruePred()) {
+        int I = N.indexOf(Op.getGuard());
+        if (I >= 0)
+          V.set(static_cast<size_t>(I));
+      }
+      for (const Operand &S : Op.srcs())
+        if (S.isReg()) {
+          int I = N.indexOf(S.getReg());
+          if (I >= 0)
+            V.set(static_cast<size_t>(I));
+        }
+    }
+  }
+
+private:
+  const Function &F;
+  const RegNumbering &N;
+  BitVector Observable;
+};
 
 } // namespace
 
@@ -44,61 +101,22 @@ Liveness::Liveness(const Function &F) {
   for (Reg R : F.observableRegs())
     ObservableSet.insert(R);
 
-  // Initialize empty sets.
-  for (size_t I = 0, E = F.numBlocks(); I != E; ++I) {
-    LiveInMap[F.block(I).getId()] = {};
-    LiveOutMap[F.block(I).getId()] = {};
-  }
+  RegNumbering N(F);
+  LivenessProblem P(F, N);
+  DataflowSolver S(F, P);
 
-  // Iterate to a fixed point, visiting blocks in reverse layout order.
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (size_t BI = F.numBlocks(); BI-- > 0;) {
-      const Block &B = F.block(BI);
-
-      // Live-out = union of successors' live-in; halting exits contribute
-      // the observable set.
-      RegSet Out;
-      for (const BlockExit &E : blockExits(F, BI)) {
-        if (E.Target == InvalidBlockId) {
-          Out.insert(ObservableSet.begin(), ObservableSet.end());
-          continue;
-        }
-        const RegSet &SuccIn = LiveInMap[E.Target];
-        Out.insert(SuccIn.begin(), SuccIn.end());
-      }
-
-      // Backward transfer through the block. Interior exits add their
-      // targets' live-ins at the exit point, which the union above already
-      // over-approximates (set live-out covers all exits); to stay precise
-      // enough we recompute with exits folded at their positions.
-      RegSet Live = Out;
-      // Positions of interior exits.
-      std::vector<BlockExit> Exits = blockExits(F, BI);
-      for (size_t OI = B.size(); OI-- > 0;) {
-        const Operation &Op = B.ops()[OI];
-        if (Op.isControl()) {
-          for (const BlockExit &E : Exits) {
-            if (E.OpIdx != static_cast<int>(OI))
-              continue;
-            if (E.Target == InvalidBlockId)
-              Live.insert(ObservableSet.begin(), ObservableSet.end());
-            else {
-              const RegSet &SuccIn = LiveInMap[E.Target];
-              Live.insert(SuccIn.begin(), SuccIn.end());
-            }
-          }
-        }
-        transferSet(Op, Live);
-      }
-
-      if (Live != LiveInMap[B.getId()]) {
-        LiveInMap[B.getId()] = Live;
-        Changed = true;
-      }
-      LiveOutMap[B.getId()] = std::move(Out);
-    }
+  // Materialize the dense solution into the RegSet API every existing
+  // client (scheduler, DCE, off-trace motion, perf model) consumes.
+  auto ToSet = [&](const BitVector &V) {
+    RegSet Out;
+    for (size_t I = V.findFirst(); I != BitVector::npos; I = V.findNext(I + 1))
+      Out.insert(N.regOf(I));
+    return Out;
+  };
+  for (size_t L = 0, E = F.numBlocks(); L != E; ++L) {
+    BlockId Id = F.block(L).getId();
+    LiveInMap[Id] = ToSet(S.in(L));
+    LiveOutMap[Id] = ToSet(S.out(L));
   }
 }
 

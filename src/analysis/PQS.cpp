@@ -12,11 +12,7 @@
 
 using namespace cpr;
 
-namespace {
-
-/// Canonicalizes a condition to one of {EQ, LT, LE} plus a negation flag,
-/// so that e.g. "ne(a,b)" and "eq(a,b)" share an atom.
-std::pair<CompareCond, bool> canonicalCond(CompareCond C) {
+std::pair<CompareCond, bool> cpr::canonicalCompareCond(CompareCond C) {
   switch (C) {
   case CompareCond::EQ:
     return {CompareCond::EQ, false};
@@ -33,8 +29,10 @@ std::pair<CompareCond, bool> canonicalCond(CompareCond C) {
   case CompareCond::None:
     break;
   }
-  CPR_UNREACHABLE("canonicalCond on None");
+  CPR_UNREACHABLE("canonicalCompareCond on None");
 }
+
+namespace {
 
 /// A value number for a comparison source: either an immediate constant or
 /// a (register, defining-op-sequence-number) pair.
@@ -89,7 +87,16 @@ RegionPQS::RegionPQS(const Function &F, const Block &B) {
   std::map<AtomKey, BDD::NodeRef> Atoms;
   uint32_t NextVar = 0;
 
-  auto FreshAtom = [&]() { return Mgr.var(NextVar++); };
+  auto FreshAtom = [&](PQSAtom Info) {
+    AtomInfo.push_back(std::move(Info));
+    return Mgr.var(NextVar++);
+  };
+  auto OpaqueAtom = [&]() {
+    PQSAtom A;
+    A.K = PQSAtom::Kind::Opaque;
+    A.Desc = "opaque";
+    return FreshAtom(std::move(A));
+  };
 
   auto PredExpr = [&](Reg R) -> BDD::NodeRef {
     if (R.isTruePred())
@@ -98,9 +105,17 @@ RegionPQS::RegionPQS(const Function &F, const Block &B) {
     if (It != PredVal.end())
       return It->second;
     // Live-in predicate: opaque atom.
-    BDD::NodeRef A = FreshAtom();
+    PQSAtom Info;
+    Info.K = PQSAtom::Kind::LiveInPred;
+    Info.PredReg = R;
+    Info.Desc = "live-in " + R.str();
+    BDD::NodeRef A = FreshAtom(std::move(Info));
     PredVal.emplace(R, A);
     return A;
+  };
+
+  auto SrcText = [](const Operand &O) -> std::string {
+    return O.isImm() ? std::to_string(O.getImm()) : O.getReg().str();
   };
 
   auto SrcValueNumber = [&](const Operand &O) -> SrcVN {
@@ -128,12 +143,19 @@ RegionPQS::RegionPQS(const Function &F, const Block &B) {
     switch (Op.getOpcode()) {
     case Opcode::Cmpp: {
       // Build (or reuse) the comparison atom.
-      auto [CanonCond, Negated] = canonicalCond(Op.getCond());
+      auto [CanonCond, Negated] = canonicalCompareCond(Op.getCond());
       AtomKey Key{CanonCond, SrcValueNumber(Op.srcs()[0]),
                   SrcValueNumber(Op.srcs()[1])};
       auto [It, Inserted] = Atoms.try_emplace(Key, BDD::Invalid);
-      if (Inserted)
-        It->second = FreshAtom();
+      if (Inserted) {
+        PQSAtom Info;
+        Info.K = PQSAtom::Kind::Compare;
+        Info.CmppOp = I;
+        Info.Desc = std::string(compareCondName(CanonCond)) + "(" +
+                    SrcText(Op.srcs()[0]) + ", " + SrcText(Op.srcs()[1]) +
+                    ")";
+        It->second = FreshAtom(std::move(Info));
+      }
       BDD::NodeRef C = It->second;
       if (Negated)
         C = Mgr.mkNot(C);
@@ -165,7 +187,7 @@ RegionPQS::RegionPQS(const Function &F, const Block &B) {
           CPR_UNREACHABLE("cmpp destination without action");
         }
         if (New == BDD::Invalid)
-          New = FreshAtom(); // budget exhausted: opaque, conservative
+          New = OpaqueAtom(); // budget exhausted: opaque, conservative
         PredVal[D.R] = New;
         DefAfter[I].push_back(PredSnapshot{D.R, New});
       }
@@ -183,7 +205,7 @@ RegionPQS::RegionPQS(const Function &F, const Block &B) {
         // Guarded move: dest = guard ? src : old.
         BDD::NodeRef New = Mgr.ite(G, SrcE, Old);
         if (New == BDD::Invalid)
-          New = FreshAtom();
+          New = OpaqueAtom();
         PredVal[D.R] = New;
         DefAfter[I].push_back(PredSnapshot{D.R, New});
       } else if (D.R.getClass() == RegClass::GPR) {

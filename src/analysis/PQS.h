@@ -28,9 +28,36 @@
 #include "ir/Function.h"
 
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace cpr {
+
+/// Canonicalizes a condition to one of {EQ, LT, LE} plus a negation flag,
+/// so that e.g. "ne(a,b)" and "eq(a,b)" share an atom. Witness solving
+/// (lint/Witness.h) uses the same canonicalization to interpret atom
+/// polarities.
+std::pair<CompareCond, bool> canonicalCompareCond(CompareCond C);
+
+/// Metadata for one BDD variable (atom) of a RegionPQS, recorded so that
+/// witness extraction (lint/Witness.h) can turn a satisfying assignment
+/// of a violating condition back into concrete program inputs.
+struct PQSAtom {
+  enum class Kind {
+    LiveInPred, ///< value of a predicate register live into the region
+    Compare,    ///< a value-numbered canonical comparison
+    Opaque,     ///< fresh fallback atom (BDD node-budget exhaustion)
+  };
+  Kind K = Kind::Opaque;
+  /// LiveInPred: the predicate register whose incoming value this is.
+  Reg PredReg;
+  /// Compare: block op index of the first cmpp that evaluated this atom.
+  /// The atom's polarity is the *canonical* comparison of that cmpp
+  /// (canonicalCond maps NE/GE/GT onto negated EQ/LT/LE).
+  size_t CmppOp = 0;
+  /// Human-readable description ("lt(r11, 2)", "live-in p4", "opaque").
+  std::string Desc;
+};
 
 /// Predicate expressions for every point of one block.
 class RegionPQS {
@@ -67,6 +94,9 @@ public:
   /// Exact implication (conservatively false on budget exhaustion).
   bool implies(BDD::NodeRef A, BDD::NodeRef B) { return Mgr.implies(A, B); }
 
+  /// Metadata for every atom allocated so far, indexed by BDD variable.
+  const std::vector<PQSAtom> &atoms() const { return AtomInfo; }
+
 private:
   struct PredSnapshot {
     Reg R;
@@ -74,6 +104,7 @@ private:
   };
 
   BDD Mgr;
+  std::vector<PQSAtom> AtomInfo; // per BDD variable
   std::vector<BDD::NodeRef> GuardExprs;           // per op
   std::vector<std::vector<BDD::NodeRef>> SrcPred; // per op, per src
   // Per op: values of predicates it defines, after the op.

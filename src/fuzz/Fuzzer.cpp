@@ -8,7 +8,10 @@
 
 #include "fuzz/Corpus.h"
 #include "fuzz/Reducer.h"
+#include "ir/Verifier.h"
 #include "lint/Lint.h"
+#include "lint/Witness.h"
+#include "pipeline/PipelineRun.h"
 #include "regions/LoopUnroller.h"
 #include "support/Error.h"
 #include "support/Statistics.h"
@@ -31,6 +34,10 @@ std::string FuzzCampaignResult::summary() const {
     Out << " lint-reject=" << LintRejects;
   if (LintBaselineDirty > 0)
     Out << " lint-baseline-dirty=" << LintBaselineDirty;
+  if (CrossConfirmedButPass > 0)
+    Out << " cross-confirmed-but-pass=" << CrossConfirmedButPass;
+  if (CrossMismatchUnproved > 0)
+    Out << " cross-mismatch-unproved=" << CrossMismatchUnproved;
   return Out.str();
 }
 
@@ -292,7 +299,7 @@ cpr::runStaticLintCampaign(const FuzzCampaignOptions &Opts) {
               unrollLoop(*F, F->block(B), Variant.UnrollFactor);
           // Differential gate: findings the substrate already has are
           // the generator's, not the transform's.
-          LintResult BL = Linter.run(*F);
+          LintResult BL = Linter.run(*F, nullptr, &P.InitRegs);
           if (BL.errorCount() > 0) {
             SC.BaselineDirty = true;
             continue;
@@ -304,7 +311,7 @@ cpr::runStaticLintCampaign(const FuzzCampaignOptions &Opts) {
           Ctx.FailSafe = true;
           ProfileData Prof = syntheticBiasedProfile(*F);
           runControlCPR(*F, Prof, Variant.CPR, Ctx);
-          LintResult TL = Linter.run(*F);
+          LintResult TL = Linter.run(*F, nullptr, &P.InitRegs);
           for (const LintFinding &Finding : TL.Findings)
             if (Finding.Severity == DiagSeverity::Error) {
               Worsen(FuzzOutcome::LintReject, V,
@@ -368,6 +375,248 @@ cpr::runStaticLintCampaign(const FuzzCampaignOptions &Opts) {
     Opts.Stats->addCount("fuzz/lint/reject", Res.LintRejects);
     Opts.Stats->addCount("fuzz/lint/baseline_dirty", Res.LintBaselineDirty);
     Opts.Stats->addCount("fuzz/lint/crash", Res.Crashes);
+  }
+  return Res;
+}
+
+namespace {
+
+/// Agreement classification of one case x variant under both oracles.
+enum class CrossClass {
+  Agree,
+  BaselineDirty,     ///< excluded: the substrate already lints dirty
+  ConfirmedButPass,  ///< confirmed witness, differential equivalence pass
+  MismatchUnproved,  ///< differential mismatch, no error finding
+};
+
+/// Runs both oracles over one (program x variant) and compares verdicts.
+/// \p Detail receives the discrepancy description. FatalError escapes to
+/// the caller (trap there).
+CrossClass crossValidateOnce(const KernelProgram &P,
+                             const FuzzVariant &Variant,
+                             const LintDriver &Linter,
+                             std::string &Detail) {
+  KernelProgram Copy;
+  Copy.Func = P.Func->clone();
+  Copy.InitRegs = P.InitRegs;
+  Copy.InitMem = P.InitMem;
+  Copy.Description = P.Description;
+
+  PipelineOptions POpts;
+  POpts.CPR = Variant.CPR;
+  POpts.UnrollFactor = Variant.UnrollFactor;
+  POpts.CheckEquivalence = false; // the non-fatal oracle runs below
+  POpts.FailSafe = false;         // rollback would hide what we compare
+  PipelineRun Session(std::move(Copy), POpts);
+  const Function &Treated = Session.treated();
+  if (!verifyFunction(Treated).empty())
+    return CrossClass::Agree; // runFuzzCampaign's territory, not ours
+
+  // Differential gate, same as the static campaign: findings the
+  // substrate already has are the generator's.
+  if (Linter.run(Session.baseline(), nullptr, &P.InitRegs).errorCount() > 0)
+    return CrossClass::BaselineDirty;
+
+  const EquivResult &E = Session.checkEquivalenceResult();
+  LintResult TL = Linter.run(Treated, nullptr, &P.InitRegs);
+
+  // Replay every solved error-finding witness; the first confirmation
+  // suffices to establish the static side's concrete claim.
+  const LintFinding *ConfirmedOn = nullptr;
+  for (const LintFinding &Fd : TL.Findings) {
+    if (Fd.Severity != DiagSeverity::Error || !Fd.Witness ||
+        !Fd.Witness->Solved)
+      continue;
+    WitnessConfirmation WC = confirmWitness(Treated, *Fd.Witness);
+    if (WC.Confirmed) {
+      ConfirmedOn = &Fd;
+      break;
+    }
+  }
+
+  if (E.Equivalent && ConfirmedOn) {
+    Detail = "cross-validate[confirmed-witness-differential-pass] [" +
+             Variant.Name + "] " + ConfirmedOn->str();
+    return CrossClass::ConfirmedButPass;
+  }
+  if (!E.Equivalent && TL.errorCount() == 0) {
+    Detail = "cross-validate[differential-mismatch-no-finding] [" +
+             Variant.Name + " | " + divergenceName(E.Kind) + "] " + E.Detail;
+    return CrossClass::MismatchUnproved;
+  }
+  return CrossClass::Agree;
+}
+
+} // namespace
+
+FuzzCampaignResult
+cpr::runCrossValidationCampaign(const FuzzCampaignOptions &Opts) {
+  FuzzCampaignResult Res;
+  Res.Cases = Opts.Runs;
+
+  if (!Opts.OutDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Opts.OutDir, EC);
+    if (EC && Opts.Log)
+      *Opts.Log << "fuzz: cannot create --out directory '" << Opts.OutDir
+                << "': " << EC.message() << "\n";
+  }
+
+  std::vector<KernelProgram> Corpus = loadCorpus(Opts);
+  ProgramMutator Mutator(Opts.Generator);
+  std::vector<FuzzVariant> Variants =
+      Opts.Variants.empty() ? defaultFuzzVariants() : Opts.Variants;
+  LintOptions LintOpts;
+  LintOpts.Machines =
+      Opts.Machines.empty()
+          ? std::vector<MachineDesc>{MachineDesc::medium(),
+                                     MachineDesc::wide()}
+          : Opts.Machines;
+  LintDriver Linter = LintDriver::withBuiltinPasses(std::move(LintOpts));
+
+  std::vector<uint64_t> CaseSeeds(Opts.Runs);
+  {
+    RNG Base(Opts.Seed);
+    for (uint64_t &S : CaseSeeds)
+      S = Base.next();
+  }
+
+  test_hooks::ScopedSkipCompensation Inject(Opts.InjectDefect);
+
+  /// Worst discrepancy of one case across the variant sweep.
+  struct CrossCase {
+    CrossClass Class = CrossClass::Agree;
+    bool BaselineDirty = false;
+    bool Crashed = false;
+    size_t Variant = 0;
+    std::string Detail;
+  };
+  std::vector<CrossCase> Cases(Opts.Runs);
+  {
+    std::unique_ptr<ThreadPool> Pool;
+    if (Opts.Threads != 1)
+      Pool = std::make_unique<ThreadPool>(Opts.Threads);
+    PassTimer T(Opts.Stats, "fuzz/crossval/run_cases");
+    parallelFor(Pool.get(), Opts.Runs, [&](size_t I) {
+      KernelProgram P = buildCase(CaseSeeds[I], Opts, Corpus, Mutator);
+      CrossCase &CC = Cases[I];
+      for (size_t V = 0; V < Variants.size(); ++V) {
+        ScopedFatalErrorTrap Trap;
+        try {
+          std::string Detail;
+          CrossClass Class =
+              crossValidateOnce(P, Variants[V], Linter, Detail);
+          if (Class == CrossClass::BaselineDirty) {
+            CC.BaselineDirty = true;
+            continue;
+          }
+          if (Class != CrossClass::Agree &&
+              CC.Class == CrossClass::Agree) {
+            CC.Class = Class;
+            CC.Variant = V;
+            CC.Detail = std::move(Detail);
+          }
+        } catch (const FatalError &E) {
+          // Strict-mode stage crashes (incl. verifier deaths) belong to
+          // the differential campaign; here they just end this variant.
+          if (!CC.Crashed) {
+            CC.Crashed = true;
+            CC.Detail = "[" + Variants[V].Name + "] " + E.message();
+          }
+        }
+      }
+    });
+  }
+
+  // Serial triage + reduction, in case order.
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    const CrossCase &Case = Cases[I];
+    if (Case.BaselineDirty)
+      ++Res.LintBaselineDirty;
+    if (Case.Class == CrossClass::Agree) {
+      if (Case.Crashed)
+        ++Res.Crashes;
+      else
+        ++Res.Passes;
+      continue;
+    }
+    if (Case.Class == CrossClass::ConfirmedButPass)
+      ++Res.CrossConfirmedButPass;
+    else
+      ++Res.CrossMismatchUnproved;
+    ++Res.Mismatches;
+
+    FuzzFailure Fail;
+    Fail.CaseIndex = I;
+    Fail.CaseSeed = CaseSeeds[I];
+    Fail.Outcome = FuzzOutcome::Mismatch;
+    Fail.VariantName = Variants[Case.Variant].Name;
+    Fail.Detail = Case.Detail;
+    KernelProgram P = buildCase(CaseSeeds[I], Opts, Corpus, Mutator);
+    Fail.OriginalOps = P.Func->totalOps();
+    Fail.ReducedOps = Fail.OriginalOps;
+    if (Opts.Log)
+      *Opts.Log << "fuzz: case " << I << " (seed 0x" << hexSeed(Fail.CaseSeed)
+                << ") " << fuzzOutcomeName(Fail.Outcome) << ": "
+                << Fail.Detail << "\n";
+
+    if (Opts.Reduce) {
+      // The oracle is the discrepancy itself: a candidate reproduces only
+      // if the same disagreement class recurs on the same variant.
+      const FuzzVariant &Variant = Variants[Case.Variant];
+      CrossClass Want = Case.Class;
+      CaseOracle Oracle = [&Variant, &Linter,
+                           Want](const KernelProgram &Cand) {
+        ScopedFatalErrorTrap Trap;
+        try {
+          std::string Detail;
+          return OracleVerdict{crossValidateOnce(Cand, Variant, Linter,
+                                                 Detail) == Want
+                                   ? FuzzOutcome::Mismatch
+                                   : FuzzOutcome::Pass,
+                               EquivResult::Divergence::None};
+        } catch (const FatalError &) {
+          return OracleVerdict{FuzzOutcome::Pass,
+                               EquivResult::Divergence::None};
+        }
+      };
+      ReduceResult RR = reduceCaseWith(P, Oracle, Opts.Reducer);
+      Fail.ReducedOps = RR.ReducedOps;
+      Fail.ReducedText = serializeFuzzProgram(RR.Reduced);
+      if (Opts.Stats) {
+        Opts.Stats->addCount("fuzz/reduce/oracle_runs",
+                             static_cast<double>(RR.OracleRuns));
+        Opts.Stats->addCount("fuzz/reduce/ops_removed",
+                             static_cast<double>(RR.OriginalOps -
+                                                 RR.ReducedOps));
+      }
+      if (!Opts.OutDir.empty()) {
+        std::string Path = Opts.OutDir + "/crossval-" +
+                           hexSeed(Fail.CaseSeed) + "-" + Fail.VariantName +
+                           ".ir";
+        std::string Error;
+        if (writeFuzzProgramFile(RR.Reduced, Path, &Error)) {
+          Fail.ReproducerPath = Path;
+        } else if (Opts.Log) {
+          *Opts.Log << "fuzz: cannot write reproducer: " << Error << "\n";
+        }
+      }
+    } else {
+      Fail.ReducedText = serializeFuzzProgram(P);
+    }
+    Res.Failures.push_back(std::move(Fail));
+  }
+
+  if (Opts.Stats) {
+    Opts.Stats->addCount("fuzz/crossval/cases", Res.Cases);
+    Opts.Stats->addCount("fuzz/crossval/pass", Res.Passes);
+    Opts.Stats->addCount("fuzz/crossval/confirmed_but_pass",
+                         Res.CrossConfirmedButPass);
+    Opts.Stats->addCount("fuzz/crossval/mismatch_unproved",
+                         Res.CrossMismatchUnproved);
+    Opts.Stats->addCount("fuzz/crossval/baseline_dirty",
+                         Res.LintBaselineDirty);
+    Opts.Stats->addCount("fuzz/crossval/crash", Res.Crashes);
   }
   return Res;
 }

@@ -87,6 +87,10 @@ struct FuzzCampaignResult {
   /// Static-oracle campaigns: cases whose *baseline* already carried a
   /// lint finding, excluded from the differential comparison.
   unsigned LintBaselineDirty = 0;
+  /// Cross-validation campaigns: discrepancy tallies by direction (see
+  /// runCrossValidationCampaign).
+  unsigned CrossConfirmedButPass = 0;
+  unsigned CrossMismatchUnproved = 0;
   /// Failures in case order (deterministic).
   std::vector<FuzzFailure> Failures;
 
@@ -112,6 +116,26 @@ FuzzCampaignResult runFuzzCampaign(const FuzzCampaignOptions &Opts);
 /// (failures keep their full program text). Deterministic at any
 /// Opts.Threads.
 FuzzCampaignResult runStaticLintCampaign(const FuzzCampaignOptions &Opts);
+
+/// The cross-validation campaign (docs/FUZZING.md): every case is judged
+/// by BOTH oracles over the same treated function -- the differential
+/// interpreter comparison, and the witness-producing static checks with
+/// each witness replayed through the interpreter -- and the verdicts are
+/// required to agree. A disagreement is a *harness* bug, not (only) a
+/// compiler bug:
+///  - differential pass + an error finding whose witness CONFIRMS on
+///    replay: the replay exhibited the proved violation on inputs the
+///    single-input equivalence comparison never tried
+///    ("confirmed-witness-differential-pass");
+///  - differential mismatch + no error finding: a miscompile the static
+///    oracle failed to prove -- in this harness the transform is the only
+///    miscompile source and its invariant breaks are what the checks
+///    prove ("differential-mismatch-no-finding").
+/// Discrepancies are classified in Fail.Detail, tallied in
+/// CrossConfirmedButPass / CrossMismatchUnproved, and -- with Opts.Reduce
+/// -- reduced with the discrepancy itself as the oracle (reduceCaseWith).
+/// Deterministic at any Opts.Threads.
+FuzzCampaignResult runCrossValidationCampaign(const FuzzCampaignOptions &Opts);
 
 } // namespace cpr
 

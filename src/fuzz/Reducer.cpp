@@ -24,11 +24,10 @@ KernelProgram cloneProgram(const KernelProgram &P) {
   return C;
 }
 
-/// Shared state of one reduction: the target cell, the failure signature
-/// to preserve, and the oracle budget.
+/// Shared state of one reduction: the classification oracle, the failure
+/// signature to preserve, and the oracle budget.
 struct ReduceCtx {
-  const DifferentialRunner &Runner;
-  size_t VIdx, MIdx;
+  const CaseOracle &Oracle;
   FuzzOutcome WantOutcome;
   EquivResult::Divergence WantKind;
   /// Unified oracle-run / wall-clock budget (support/Budget.h); one step
@@ -57,10 +56,10 @@ struct ReduceCtx {
     }
     if (!Tracker.consume())
       return false;
-    CellResult Cell = Runner.runCell(Cand, VIdx, MIdx);
-    if (Cell.Outcome != WantOutcome)
+    OracleVerdict V = Oracle(Cand);
+    if (V.Outcome != WantOutcome)
       return false;
-    if (WantOutcome == FuzzOutcome::Mismatch && Cell.Divergence != WantKind)
+    if (WantOutcome == FuzzOutcome::Mismatch && V.Divergence != WantKind)
       return false;
     return true;
   }
@@ -197,21 +196,31 @@ ReduceResult cpr::reduceCase(const KernelProgram &P,
                              const DifferentialRunner &Runner,
                              size_t VariantIdx, size_t MachineIdx,
                              const ReducerOptions &Opts) {
+  CaseOracle Oracle = [&Runner, VariantIdx,
+                       MachineIdx](const KernelProgram &Cand) {
+    CellResult Cell = Runner.runCell(Cand, VariantIdx, MachineIdx);
+    return OracleVerdict{Cell.Outcome, Cell.Divergence};
+  };
+  return reduceCaseWith(P, Oracle, Opts);
+}
+
+ReduceResult cpr::reduceCaseWith(const KernelProgram &P,
+                                 const CaseOracle &Oracle,
+                                 const ReducerOptions &Opts) {
   ReduceResult Res;
   Res.Reduced = cloneProgram(P);
   Res.OriginalOps = P.Func->totalOps();
   Res.ReducedOps = Res.OriginalOps;
 
   // Establish the signature to preserve.
-  CellResult Seed = Runner.runCell(P, VariantIdx, MachineIdx);
+  OracleVerdict Seed = Oracle(P);
   Res.Outcome = Seed.Outcome;
   Res.Divergence = Seed.Divergence;
   Res.OracleRuns = 1;
   if (Seed.Outcome == FuzzOutcome::Pass)
     return Res; // nothing to reduce
 
-  ReduceCtx Ctx{Runner,       VariantIdx,      MachineIdx,
-                Seed.Outcome, Seed.Divergence,
+  ReduceCtx Ctx{Oracle, Seed.Outcome, Seed.Divergence,
                 BudgetTracker(Opts.OracleBudget)};
   // Halting pre-screen budget: 4x the original's own run length (the
   // interesting candidates shrink the program, not grow its runtime).

@@ -29,6 +29,8 @@
 #include "fuzz/Differential.h"
 #include "support/Budget.h"
 
+#include <functional>
+
 namespace cpr {
 
 struct ReducerOptions {
@@ -51,6 +53,18 @@ struct ReduceResult {
   size_t ReducedOps = 0;
 };
 
+/// Verdict of a pluggable reduction oracle (reduceCaseWith).
+struct OracleVerdict {
+  FuzzOutcome Outcome = FuzzOutcome::Pass;
+  EquivResult::Divergence Divergence = EquivResult::Divergence::None;
+};
+
+/// Classifies one candidate program. Must be a pure function of the
+/// program (the reduction is deterministic only if the oracle is), and
+/// must not let FatalError escape -- contain stage crashes and return
+/// the verdict they map to.
+using CaseOracle = std::function<OracleVerdict(const KernelProgram &)>;
+
 /// Reduces \p P against cell (\p VariantIdx, \p MachineIdx) of \p Runner.
 /// \p P must currently fail that cell (Outcome != Pass); when it does
 /// not, the input is returned unreduced with Outcome == Pass.
@@ -58,6 +72,13 @@ ReduceResult reduceCase(const KernelProgram &P,
                         const DifferentialRunner &Runner, size_t VariantIdx,
                         size_t MachineIdx,
                         const ReducerOptions &Opts = ReducerOptions());
+
+/// Same ddmin loop against an arbitrary classification oracle -- the
+/// cross-validation campaign reduces against the *discrepancy between two
+/// oracles*, which no single differential cell expresses. The preserved
+/// signature is \p Oracle's verdict on the unreduced \p P.
+ReduceResult reduceCaseWith(const KernelProgram &P, const CaseOracle &Oracle,
+                            const ReducerOptions &Opts = ReducerOptions());
 
 } // namespace cpr
 

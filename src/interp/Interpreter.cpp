@@ -167,6 +167,34 @@ RunResult cpr::interpret(const Function &F, Memory &Mem,
     if (Guard)
       ++Res.Stats.OpsEffective;
 
+    if (Opts.Watches)
+      for (OpWatch &W : *Opts.Watches) {
+        if (W.Op != Op.getId())
+          continue;
+        if (W.Dispatched++ == 0 && W.SampleReg.isValid()) {
+          W.Sampled = true;
+          switch (W.SampleReg.getClass()) {
+          case RegClass::GPR:
+            W.FirstValue = Regs.gpr(W.SampleReg.getId());
+            break;
+          case RegClass::FPR:
+            W.FirstValue = static_cast<int64_t>(Regs.fpr(W.SampleReg.getId()));
+            break;
+          case RegClass::PR:
+            W.FirstValue = Regs.pred(W.SampleReg.getId()) ? 1 : 0;
+            break;
+          case RegClass::BTR:
+            W.FirstValue = static_cast<int64_t>(Regs.btr(W.SampleReg.getId()));
+            break;
+          }
+        }
+        if (Guard) {
+          ++W.Effective;
+          if (W.FirstEffectiveStep == 0)
+            W.FirstEffectiveStep = Res.Steps;
+        }
+      }
+
     Opcode Opc = Op.getOpcode();
 
     // cmpp writes its unconditional targets even under a false guard.
@@ -189,6 +217,10 @@ RunResult cpr::interpret(const Function &F, Memory &Mem,
       bool Take = Guard && Regs.pred(Op.branchPred().getId());
       if (Opts.Trace)
         Opts.Trace->record(Op.getId(), Take);
+      if (Opts.Watches && Take)
+        for (OpWatch &W : *Opts.Watches)
+          if (W.Op == Op.getId())
+            ++W.Taken;
       if (Take) {
         ++Res.Stats.BranchesTaken;
         if (Opts.Profile)

@@ -90,6 +90,32 @@ struct StoreEvent {
   }
 };
 
+/// Opt-in instrumentation of one operation, keyed by OpId. cpr-lint's
+/// witness replay (lint/Witness.h) plants watches on the operations a
+/// finding talks about and checks the counters after the run: did the op
+/// dispatch, did its guard ever hold, when did it first execute, what did
+/// a register hold when control first arrived at it.
+struct OpWatch {
+  /// Operation to watch.
+  OpId Op = InvalidOpId;
+  /// Optional register sampled just before the op's first dispatch
+  /// (invalid = no sampling). PR values sample as 0/1, FPR/BTR values as
+  /// their integer casts.
+  Reg SampleReg;
+
+  // --- outputs, written by interpret() ---
+  uint64_t Dispatched = 0;
+  /// Dispatches whose guard held (a branch is "effective" when its guard
+  /// holds, whether or not it takes).
+  uint64_t Effective = 0;
+  /// Takes, for Branch ops (guard and branch predicate both held).
+  uint64_t Taken = 0;
+  /// 1-based step number of the first effective dispatch; 0 = never.
+  uint64_t FirstEffectiveStep = 0;
+  bool Sampled = false;
+  int64_t FirstValue = 0;
+};
+
 /// Interpreter options.
 struct InterpOptions {
   uint64_t MaxSteps = 100'000'000;
@@ -100,6 +126,8 @@ struct InterpOptions {
   /// When set, every dispatched branch appends a BranchEvent here and the
   /// terminating halt/trap is marked (the input of sim/TraceSimulator.h).
   BranchTrace *Trace = nullptr;
+  /// When set, each watch's counters are updated as its op dispatches.
+  std::vector<OpWatch> *Watches = nullptr;
 };
 
 /// Executes \p F starting at its entry block against \p Mem.

@@ -6,12 +6,14 @@
 
 #include "lint/Lint.h"
 
-#include "analysis/CFG.h"
+#include "analysis/AnalysisCache.h"
+#include "analysis/Dataflow.h"
 #include "analysis/Liveness.h"
+#include "interp/Interpreter.h"
+#include "lint/Witness.h"
 
 #include <algorithm>
 #include <cstdio>
-#include <map>
 #include <sstream>
 
 using namespace cpr;
@@ -59,67 +61,60 @@ unsigned LintResult::countAtLeast(DiagSeverity S) const {
 //===----------------------------------------------------------------------===//
 
 struct LintContext::Impl {
+  /// Borrowed pre-solved analyses; null when this context owns its own.
+  FunctionAnalyses *Shared = nullptr;
+  /// Caller-declared environment inputs; null when none were declared.
+  const std::vector<RegBinding> *Inputs = nullptr;
   std::unique_ptr<Liveness> LV;
-  /// Reach[I] = layout indices reachable from block I via one or more
-  /// control-flow edges (successor closure; includes I itself only when I
-  /// sits on a cycle).
-  std::vector<std::vector<bool>> Reach;
-  /// Layout indices of the blocks defining each register.
-  std::map<Reg, std::vector<size_t>> DefBlocks;
-  bool GraphBuilt = false;
+  std::unique_ptr<RegNumbering> N;
+  std::unique_ptr<ReachingDefBlocks> Reach;
+  std::unique_ptr<DefiniteAssignment> Definite;
 };
 
-LintContext::LintContext(const Function &F, const LintOptions &Opts)
-    : F(F), Opts(Opts), I(new Impl) {}
+LintContext::LintContext(const Function &F, const LintOptions &Opts,
+                         FunctionAnalyses *Shared,
+                         const std::vector<RegBinding> *Inputs)
+    : F(F), Opts(Opts), I(new Impl) {
+  I->Shared = Shared;
+  I->Inputs = Inputs;
+}
 
 LintContext::~LintContext() = default;
 
 Liveness &LintContext::liveness() {
+  if (I->Shared)
+    return I->Shared->LV;
   if (!I->LV)
     I->LV.reset(new Liveness(F));
   return *I->LV;
 }
 
-bool LintContext::defReachesEntry(Reg R, size_t LayoutIdx) {
-  if (!I->GraphBuilt) {
-    size_t N = F.numBlocks();
-    std::vector<std::vector<size_t>> Succ(N);
-    for (size_t B = 0; B < N; ++B)
-      for (BlockId S : blockSuccessors(F, B)) {
-        int L = F.layoutIndex(S);
-        if (L >= 0)
-          Succ[B].push_back(static_cast<size_t>(L));
-      }
-    I->Reach.assign(N, std::vector<bool>(N, false));
-    for (size_t B = 0; B < N; ++B) {
-      std::vector<size_t> Work = Succ[B];
-      while (!Work.empty()) {
-        size_t Cur = Work.back();
-        Work.pop_back();
-        if (I->Reach[B][Cur])
-          continue;
-        I->Reach[B][Cur] = true;
-        for (size_t S : Succ[Cur])
-          Work.push_back(S);
-      }
-    }
-    for (size_t B = 0; B < N; ++B)
-      for (const Operation &Op : F.block(B).ops())
-        for (const DefSlot &D : Op.defs())
-          I->DefBlocks[D.R].push_back(B);
-    for (auto &Entry : I->DefBlocks) {
-      std::sort(Entry.second.begin(), Entry.second.end());
-      Entry.second.erase(
-          std::unique(Entry.second.begin(), Entry.second.end()),
-          Entry.second.end());
-    }
-    I->GraphBuilt = true;
+const ReachingDefBlocks &LintContext::reachingDefs() {
+  if (I->Shared)
+    return I->Shared->Reach;
+  if (!I->Reach) {
+    I->N.reset(new RegNumbering(F));
+    I->Reach.reset(new ReachingDefBlocks(F, *I->N));
   }
-  auto It = I->DefBlocks.find(R);
-  if (It == I->DefBlocks.end())
+  return *I->Reach;
+}
+
+const DefiniteAssignment &LintContext::definiteAssignment() {
+  if (!I->Definite)
+    I->Definite.reset(
+        new DefiniteAssignment(F, reachingDefs().numbering()));
+  return *I->Definite;
+}
+
+bool LintContext::defReachesEntry(Reg R, size_t LayoutIdx) {
+  return reachingDefs().reachesEntry(R, LayoutIdx);
+}
+
+bool LintContext::isDeclaredInput(Reg R) const {
+  if (!I->Inputs)
     return false;
-  for (size_t D : It->second)
-    if (I->Reach[D][LayoutIdx])
+  for (const RegBinding &B : *I->Inputs)
+    if (B.R == R)
       return true;
   return false;
 }
@@ -147,9 +142,10 @@ LintDriver LintDriver::withBuiltinPasses(LintOptions Opts) {
   return D;
 }
 
-LintResult LintDriver::run(const Function &F) const {
+LintResult LintDriver::run(const Function &F, FunctionAnalyses *Shared,
+                           const std::vector<RegBinding> *Inputs) const {
   LintResult R;
-  LintContext Ctx(F, Opts);
+  LintContext Ctx(F, Opts, Shared, Inputs);
   for (const std::unique_ptr<LintPass> &P : Passes) {
     if (!Opts.OnlyChecks.empty() &&
         std::find(Opts.OnlyChecks.begin(), Opts.OnlyChecks.end(),
@@ -192,6 +188,8 @@ JSONValue cpr::lintResultToJSON(const std::string &FunctionName,
                           ? JSONValue::null()
                           : JSONValue::number(static_cast<double>(F.OpIndex)));
     J.set("message", JSONValue::str(F.Message));
+    J.set("witness",
+          F.Witness ? witnessToJSON(*F.Witness) : JSONValue::null());
     Findings.append(std::move(J));
   }
   Root.set("findings", std::move(Findings));
@@ -246,6 +244,22 @@ Status cpr::parseInjectedSchedules(const std::string &Text,
                            "malformed lint-schedule directive: " + Line);
     InjectedSchedule S;
     S.MachineName = Rest.substr(0, Close);
+    size_t Comma = S.MachineName.find(',');
+    if (Comma != std::string::npos) {
+      std::string Attr = S.MachineName.substr(Comma + 1);
+      S.MachineName.resize(Comma);
+      const std::string FetchKey = "fetch=";
+      if (Attr.compare(0, FetchKey.size(), FetchKey) != 0)
+        return Status::error(DiagCode::ParseError,
+                             "unknown lint-schedule attribute '" + Attr +
+                                 "' (expected fetch=<N>): " + Line);
+      std::istringstream Fetch(Attr.substr(FetchKey.size()));
+      if (!(Fetch >> S.FetchWidth) || !Fetch.eof() || S.FetchWidth <= 0)
+        return Status::error(DiagCode::ParseError,
+                             "malformed fetch width in lint-schedule "
+                             "directive: " +
+                                 Line);
+    }
     S.BlockName = Rest.substr(At + 1, Colon - At - 1);
     while (!S.BlockName.empty() && S.BlockName.back() == ' ')
       S.BlockName.pop_back();

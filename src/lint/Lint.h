@@ -29,10 +29,21 @@
 ///                             off-trace path (Section 5);
 ///  - schedule-legality        emitted schedules respect the dependence
 ///                             latencies and per-unit resource limits of
-///                             the machine model (Section 7).
+///                             the machine model (Section 7);
+///  - dead-under-predicate     an operation's guard (or a branch's taken
+///                             condition) is provably unsatisfiable;
+///  - redundant-compensation   a compensation block recomputes a value the
+///                             on-trace path already produced unclobbered;
+///  - uninit-read              a register is read before any definition in
+///                             the whole function can reach it;
+///  - resource-oversubscription a schedule issues more operations in one
+///                             cycle than the machine fetches.
 ///
-/// Findings carry a stable DiagCode, severity, and operation location, and
-/// render both as text and as `cpr-lint-v1` JSON. The driver is wired into
+/// Findings carry a stable DiagCode, severity, operation location, and a
+/// *witness* (lint/Witness.h): a satisfying assignment of the violated
+/// property from the BDD plus concrete replay inputs the interpreter can
+/// confirm (`cpr-lint --confirm-witnesses`). Results render both as text
+/// and as `cpr-lint-v2` JSON. The driver is wired into
 /// three layers: the standalone cpr-lint tool, the PipelineOptions::Lint
 /// stage of PipelineRun (post-transform findings on a fail-safe region
 /// trigger RegionTransaction rollback), and cpr-fuzz's static-oracle mode.
@@ -61,7 +72,13 @@
 
 namespace cpr {
 
+class DefiniteAssignment;
+struct FunctionAnalyses;
 class Liveness;
+struct LintWitness;
+class ReachingDefBlocks;
+struct RegBinding;
+class RegNumbering;
 
 /// One lint finding: a violated invariant at a program location.
 struct LintFinding {
@@ -77,6 +94,11 @@ struct LintFinding {
   /// Index of the anchoring operation in its block; -1 for block-level.
   int OpIndex = -1;
   std::string Message;
+  /// The finding's witness (lint/Witness.h): a satisfying assignment of
+  /// the violated property plus concrete replay inputs. Shared so copies
+  /// of a finding stay cheap; null only for findings of external passes
+  /// that predate witness production.
+  std::shared_ptr<LintWitness> Witness;
 
   /// "error [lint-frp] @Loop op %12: <message>".
   std::string str() const;
@@ -91,6 +113,10 @@ struct InjectedSchedule {
   std::string BlockName;
   std::string MachineName;
   std::vector<int> Cycles; // one issue cycle per operation, in block order
+  /// Fetch-width override from a `fetch=N` directive attribute; 0 keeps
+  /// the machine model's own fetch width. Resource-oversubscription
+  /// validates total issue per cycle against this.
+  int FetchWidth = 0;
 };
 
 /// Options shared by all checks of one driver.
@@ -114,23 +140,44 @@ struct LintResult {
   unsigned errorCount() const { return countAtLeast(DiagSeverity::Error); }
 };
 
-/// Shared per-function state handed to every check.
+/// Shared per-function state handed to every check. Function-level
+/// analyses (liveness, reaching definitions) are hosted on the dense
+/// dataflow framework (analysis/Dataflow.h); when the caller already
+/// solved them -- the pipeline's cached stage artifacts
+/// (analysis/AnalysisCache.h) -- the context borrows instead of
+/// recomputing.
 class LintContext {
 public:
-  LintContext(const Function &F, const LintOptions &Opts);
+  LintContext(const Function &F, const LintOptions &Opts,
+              FunctionAnalyses *Shared = nullptr,
+              const std::vector<RegBinding> *Inputs = nullptr);
   ~LintContext();
 
   const Function &func() const { return F; }
   const LintOptions &options() const { return Opts; }
 
-  /// Lazily built function-level liveness.
+  /// Lazily built (or borrowed) function-level liveness.
   Liveness &liveness();
+
+  /// Lazily built (or borrowed) cross-block reaching definitions.
+  const ReachingDefBlocks &reachingDefs();
+
+  /// Lazily built forward/intersection definite assignment, the
+  /// uninit-read check's pruning accelerator.
+  const DefiniteAssignment &definiteAssignment();
 
   /// True when a definition of \p R in some block can reach the entry of
   /// block \p LayoutIdx (including around loops). Reads of such registers
   /// are conservatively treated as initialized by use-before-def and
   /// compensation-completeness.
   bool defReachesEntry(Reg R, size_t LayoutIdx);
+
+  /// True when the caller declared \p R an environment-initialized input
+  /// (an InitRegs binding: the kernel's arguments, a fuzz case's `; reg`
+  /// directives, cprc's --reg flags). uninit-read treats such registers
+  /// as defined at function entry even when the function also redefines
+  /// them later (strcpy's cursor-bump pattern).
+  bool isDeclaredInput(Reg R) const;
 
 private:
   const Function &F;
@@ -162,27 +209,34 @@ public:
   void addPass(std::unique_ptr<LintPass> P);
   const std::vector<std::unique_ptr<LintPass>> &passes() const;
 
-  /// A driver loaded with the five built-in checks.
+  /// A driver loaded with the built-in checks.
   static LintDriver withBuiltinPasses(LintOptions Opts = LintOptions());
 
-  /// Runs every (enabled) pass over \p F.
-  LintResult run(const Function &F) const;
+  /// Runs every (enabled) pass over \p F. When \p Shared is non-null its
+  /// pre-solved analyses are used instead of rebuilding them. \p Inputs
+  /// optionally declares the environment-initialized registers the
+  /// function starts with (see LintContext::isDeclaredInput).
+  LintResult run(const Function &F, FunctionAnalyses *Shared = nullptr,
+                 const std::vector<RegBinding> *Inputs = nullptr) const;
 
 private:
   LintOptions Opts;
   std::vector<std::unique_ptr<LintPass>> Passes;
 };
 
-/// Registers the five built-in checks, in their canonical order.
+/// Registers the built-in checks, in their canonical order: the five
+/// original checks (lint/LintPasses.cpp) followed by the four
+/// whole-region v2 checks (lint/LintPassesV2.cpp).
 void addBuiltinLintPasses(LintDriver &D);
 
 /// Reports every finding of \p R into \p Diags.
 void reportLintFindings(const LintResult &R, DiagnosticEngine &Diags);
 
-/// Renders \p R as one per-function entry of the `cpr-lint-v1` report
-/// (docs/LINT.md): {"function", "checks", "findings", "counts"}. Tools
-/// wrap entries in the {"schema": "cpr-lint-v1", "functions": [...]}
-/// envelope.
+/// Renders \p R as one per-function entry of the `cpr-lint-v2` report
+/// (docs/LINT.md): {"function", "checks", "findings", "counts"}, each
+/// finding now carrying a "witness" object (null for witness-less
+/// findings of external passes). Tools wrap entries in the
+/// {"schema": "cpr-lint-v2", "functions": [...]} envelope.
 JSONValue lintResultToJSON(const std::string &FunctionName,
                            const LintResult &R);
 
@@ -190,9 +244,9 @@ JSONValue lintResultToJSON(const std::string &FunctionName,
 /// \p Werror). The diagnostic carries the first offending finding.
 Status lintStatus(const LintResult &R, bool Werror = false);
 
-/// Parses `; lint-schedule(<machine>) @<block>: <c0> <c1> ...` sidecar
-/// directives from raw fixture text (the IR tokenizer skips them as
-/// comments). Returns an error Status on a malformed directive.
+/// Parses `; lint-schedule(<machine>[,fetch=<N>]) @<block>: <c0> <c1> ...`
+/// sidecar directives from raw fixture text (the IR tokenizer skips them
+/// as comments). Returns an error Status on a malformed directive.
 Status parseInjectedSchedules(const std::string &Text,
                               std::vector<InjectedSchedule> &Out);
 

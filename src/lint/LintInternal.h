@@ -1,0 +1,82 @@
+//===- lint/LintInternal.h - Shared check machinery -------------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the built-in checks (LintPasses.cpp) and the
+/// whole-region v2 checks (LintPassesV2.cpp): post-hoc recognition of
+/// CPR-transformed structure, the synthetic off-trace path block, and the
+/// PQS expressions common to several proofs. Internal to src/lint/; not
+/// part of the lint API surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LINT_LINTINTERNAL_H
+#define LINT_LINTINTERNAL_H
+
+#include "analysis/BDD.h"
+#include "lint/Lint.h"
+
+#include <vector>
+
+namespace cpr {
+
+class RegionPQS;
+
+namespace lint_detail {
+
+/// One recognized bypass branch of a CPR-transformed block.
+struct Bypass {
+  size_t BranchIdx;        ///< index of the bypass branch in its block
+  const Block *Comp;       ///< the compensation block it targets
+  Reg OffPred;             ///< the bypass branch predicate (off-trace FRP)
+  Reg OnPred;              ///< the wired-and twin (on-trace FRP); may be
+                           ///< invalid when the structure is unrecognized
+  std::vector<size_t> Lookaheads; ///< cmpps accumulating OffPred wired-or
+  size_t FirstLookahead = 0;
+};
+
+/// Recognizes every bypass branch of \p B: a branch whose resolved target
+/// is a compensation block, with its wired-or lookahead cmpps.
+std::vector<Bypass> findBypasses(const Function &F, const Block &B);
+
+/// The instruction sequence an off-trace execution retires: the on-trace
+/// prefix up to and including the bypass, then the compensation code.
+Block makePathBlock(const Block &B, const Bypass &BP);
+
+/// A finding at op \p OpIdx of \p B (negative for block-level findings).
+LintFinding makeFinding(DiagCode Code, const char *Check, const Block &B,
+                        int OpIdx, std::string Message,
+                        DiagSeverity Sev = DiagSeverity::Error);
+
+/// OR of the conditions under which the exits of the compensation portion
+/// of \p Path (indices > BP.BranchIdx) leave the program or the block.
+BDD::NodeRef compExitCond(RegionPQS &PQS, const Block &Path,
+                          const Bypass &BP);
+
+/// Condition under which the definition slots of \p Op write register
+/// \p R, as an expression over \p PQS.
+BDD::NodeRef writeCond(RegionPQS &PQS, const Operation &Op, size_t OpIdx,
+                       Reg R);
+
+/// reachCond (lint/Witness.h) strengthened with the not-executed
+/// conditions of earlier halts and traps: a linear dispatch only arrives
+/// at the anchor when no earlier branch took *and* no earlier halt or
+/// trap retired. The strengthening makes witness replays land on the
+/// anchor instead of terminating early.
+BDD::NodeRef dispatchCond(RegionPQS &PQS, const Block &B, size_t AnchorIdx,
+                          size_t ExceptIdx);
+
+/// Factories for the whole-region v2 checks (LintPassesV2.cpp), consumed
+/// by addBuiltinLintPasses.
+std::unique_ptr<LintPass> makeDeadUnderPredicatePass();
+std::unique_ptr<LintPass> makeRedundantCompensationPass();
+std::unique_ptr<LintPass> makeUninitReadPass();
+std::unique_ptr<LintPass> makeResourceOversubscriptionPass();
+
+} // namespace lint_detail
+} // namespace cpr
+
+#endif // LINT_LINTINTERNAL_H

@@ -26,36 +26,28 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "lint/Lint.h"
+#include "lint/LintInternal.h"
 
 #include "analysis/CFG.h"
 #include "analysis/DepGraph.h"
 #include "analysis/Liveness.h"
 #include "analysis/PQS.h"
 #include "ir/CmppAction.h"
+#include "lint/Witness.h"
 #include "sched/ListScheduler.h"
 
 #include <string>
 #include <vector>
 
 using namespace cpr;
+using namespace cpr::lint_detail;
 
-namespace {
+namespace cpr {
+namespace lint_detail {
 
 //===----------------------------------------------------------------------===//
 // CPR structure recognition
 //===----------------------------------------------------------------------===//
-
-/// One recognized bypass branch of a CPR-transformed block.
-struct Bypass {
-  size_t BranchIdx;        ///< index of the bypass branch in its block
-  const Block *Comp;       ///< the compensation block it targets
-  Reg OffPred;             ///< the bypass branch predicate (off-trace FRP)
-  Reg OnPred;              ///< the wired-and twin (on-trace FRP); may be
-                           ///< invalid when the structure is unrecognized
-  std::vector<size_t> Lookaheads; ///< cmpps accumulating OffPred wired-or
-  size_t FirstLookahead = 0;
-};
 
 std::vector<Bypass> findBypasses(const Function &F, const Block &B) {
   std::vector<Bypass> Out;
@@ -100,8 +92,6 @@ std::vector<Bypass> findBypasses(const Function &F, const Block &B) {
   return Out;
 }
 
-/// The instruction sequence an off-trace execution retires: the on-trace
-/// prefix up to and including the bypass, then the compensation code.
 Block makePathBlock(const Block &B, const Bypass &BP) {
   Block Path(B.getId(), B.getName() + ".offtrace-path");
   for (size_t I = 0; I <= BP.BranchIdx; ++I)
@@ -112,8 +102,7 @@ Block makePathBlock(const Block &B, const Bypass &BP) {
 }
 
 LintFinding makeFinding(DiagCode Code, const char *Check, const Block &B,
-                        int OpIdx, std::string Message,
-                        DiagSeverity Sev = DiagSeverity::Error) {
+                        int OpIdx, std::string Message, DiagSeverity Sev) {
   LintFinding F;
   F.Severity = Sev;
   F.Code = Code;
@@ -150,6 +139,44 @@ BDD::NodeRef compExitCond(RegionPQS &PQS, const Block &Path,
   return Cond;
 }
 
+BDD::NodeRef writeCond(RegionPQS &PQS, const Operation &Op, size_t OpIdx,
+                       Reg R) {
+  BDD::NodeRef Cond = BDD::False;
+  for (const DefSlot &D : Op.defs()) {
+    if (D.R != R)
+      continue;
+    BDD::NodeRef E;
+    if (D.Act == CmppAction::UN || D.Act == CmppAction::UC)
+      E = BDD::True; // unconditional cmpp targets write under a false guard
+    else if (isWiredAction(D.Act))
+      continue;
+    else
+      E = PQS.guardExpr(OpIdx);
+    Cond = PQS.bdd().mkOr(Cond, E);
+  }
+  return Cond;
+}
+
+BDD::NodeRef dispatchCond(RegionPQS &PQS, const Block &B, size_t AnchorIdx,
+                          size_t ExceptIdx) {
+  BDD &Mgr = PQS.bdd();
+  BDD::NodeRef Cond = reachCond(PQS, B, AnchorIdx, ExceptIdx);
+  for (size_t I = 0; I < AnchorIdx && I < B.size(); ++I) {
+    Opcode OC = B.ops()[I].getOpcode();
+    if (OC != Opcode::Halt && OC != Opcode::Trap)
+      continue;
+    Cond = Mgr.mkAnd(Cond, Mgr.mkNot(PQS.execExpr(I)));
+    if (!Mgr.isValid(Cond))
+      return BDD::Invalid;
+  }
+  return Cond;
+}
+
+} // namespace lint_detail
+} // namespace cpr
+
+namespace {
+
 /// True when the bypass path through \p Comp can read the value register
 /// \p R holds at the bypass point. Sharper than liveIn(Comp): the trailing
 /// trap keeps every observable register live in the dataflow sense, but
@@ -184,28 +211,6 @@ bool compNeedsValue(const Function &F, Liveness &LV, const Block &Comp,
   return false;
 }
 
-/// Condition under which the definition slots of \p Op write register
-/// \p R, as an expression over \p PQS. Wired cmpp targets are
-/// conservatively treated as not writing (their accumulators are
-/// mov-initialized in well-formed code, so this only under-approximates).
-BDD::NodeRef writeCond(RegionPQS &PQS, const Operation &Op, size_t OpIdx,
-                       Reg R) {
-  BDD::NodeRef Cond = BDD::False;
-  for (const DefSlot &D : Op.defs()) {
-    if (D.R != R)
-      continue;
-    BDD::NodeRef E;
-    if (D.Act == CmppAction::UN || D.Act == CmppAction::UC)
-      E = BDD::True; // unconditional cmpp targets write under a false guard
-    else if (isWiredAction(D.Act))
-      continue;
-    else
-      E = PQS.guardExpr(OpIdx);
-    Cond = PQS.bdd().mkOr(Cond, E);
-  }
-  return Cond;
-}
-
 //===----------------------------------------------------------------------===//
 // Check 1: frp-consistency
 //===----------------------------------------------------------------------===//
@@ -226,17 +231,27 @@ public:
         continue;
       for (const Bypass &BP : findBypasses(F, B)) {
         if (BP.Lookaheads.empty()) {
-          Out.push_back(makeFinding(
+          LintFinding Fd = makeFinding(
               DiagCode::LintFRP, name(), B, static_cast<int>(BP.BranchIdx),
               "branch to compensation block @" + BP.Comp->getName() +
                   " is not guarded by a recognizable wired-or FRP "
                   "accumulation",
-              DiagSeverity::Warning));
+              DiagSeverity::Warning);
+          RegionPQS BQ(F, B);
+          BDD::NodeRef V = BQ.bdd().mkAnd(
+              BQ.takenExpr(BP.BranchIdx),
+              dispatchCond(BQ, B, BP.BranchIdx, B.size()));
+          Fd.Witness =
+              buildWitness(F, B, BQ, V, LintWitness::Expect::BranchTaken);
+          Fd.Witness->AnchorOp = B.ops()[BP.BranchIdx].getId();
+          Out.push_back(std::move(Fd));
           continue;
         }
         Block Path = makePathBlock(B, BP);
         RegionPQS PQS(F, Path);
         BDD &Mgr = PQS.bdd();
+        BDD::NodeRef Reach =
+            dispatchCond(PQS, Path, BP.BranchIdx, Path.size());
 
         // Soundness: everything the compensation block does must be
         // justified by the bypass -- the OR of the re-executed branch
@@ -245,13 +260,32 @@ public:
         BDD::NodeRef OffTaken = PQS.takenExpr(BP.BranchIdx);
         BDD::NodeRef Exits = compExitCond(PQS, Path, BP);
         if (Mgr.isValid(OffTaken) && Mgr.isValid(Exits) &&
-            !PQS.implies(Exits, OffTaken))
-          Out.push_back(makeFinding(
+            !PQS.implies(Exits, OffTaken)) {
+          LintFinding Fd = makeFinding(
               DiagCode::LintFRP, name(), B, static_cast<int>(BP.BranchIdx),
               "off-trace FRP is not the OR of the collapsed branch "
               "conditions: compensation block @" + BP.Comp->getName() +
                   " can take an exit on executions that do not satisfy "
-                  "the bypass predicate " + BP.OffPred.str()));
+                  "the bypass predicate " + BP.OffPred.str());
+          // An execution where some re-executed exit fires while the
+          // bypass does not take; replay on the path function, where the
+          // compensation code is reachable without the bypass.
+          BDD::NodeRef V =
+              Mgr.mkAnd(Mgr.mkAnd(Exits, Mgr.mkNot(OffTaken)), Reach);
+          Fd.Witness = buildWitness(F, Path, PQS, V,
+                                    LintWitness::Expect::ExitNotBypass);
+          LintWitness &W = *Fd.Witness;
+          W.AnchorOp = B.ops()[BP.BranchIdx].getId();
+          for (size_t K = BP.BranchIdx + 1; K < Path.size(); ++K)
+            if (Path.ops()[K].isBranch() ||
+                Path.ops()[K].getOpcode() == Opcode::Halt)
+              W.AuxOps.push_back(Path.ops()[K].getId());
+          W.UsePathFunction = true;
+          W.PathBlock = B.getName();
+          W.PathBranchIdx = static_cast<int>(BP.BranchIdx);
+          W.PathComp = BP.Comp->getName();
+          Out.push_back(std::move(Fd));
+        }
 
         // Disjointness and exhaustiveness of the on-/off-trace pair at the
         // bypass point (wired-and vs wired-or twins of the lookaheads).
@@ -259,20 +293,39 @@ public:
           continue;
         BDD::NodeRef OnE = PQS.predValueAfter(BP.BranchIdx, BP.OnPred);
         BDD::NodeRef OffE = PQS.predValueAfter(BP.BranchIdx, BP.OffPred);
-        if (Mgr.isValid(OnE) && Mgr.isValid(OffE) && !PQS.disjoint(OnE, OffE))
-          Out.push_back(makeFinding(
+        if (Mgr.isValid(OnE) && Mgr.isValid(OffE) &&
+            !PQS.disjoint(OnE, OffE)) {
+          LintFinding Fd = makeFinding(
               DiagCode::LintFRP, name(), B, static_cast<int>(BP.BranchIdx),
               "on-trace FRP " + BP.OnPred.str() + " and off-trace FRP " +
-                  BP.OffPred.str() + " are not disjoint at the bypass"));
+                  BP.OffPred.str() + " are not disjoint at the bypass");
+          BDD::NodeRef V = Mgr.mkAnd(Mgr.mkAnd(OnE, OffE), Reach);
+          Fd.Witness =
+              buildWitness(F, Path, PQS, V, LintWitness::Expect::PredValues);
+          Fd.Witness->AnchorOp = B.ops()[BP.BranchIdx].getId();
+          Fd.Witness->WatchRegs = {BP.OnPred, BP.OffPred};
+          Fd.Witness->ExpectVals = {1, 1};
+          Out.push_back(std::move(Fd));
+        }
         BDD::NodeRef Root = PQS.guardExpr(BP.FirstLookahead);
         BDD::NodeRef Either = Mgr.mkOr(OnE, OffE);
         if (Mgr.isValid(Root) && Mgr.isValid(Either) &&
-            !PQS.implies(Root, Either))
-          Out.push_back(makeFinding(
+            !PQS.implies(Root, Either)) {
+          LintFinding Fd = makeFinding(
               DiagCode::LintFRP, name(), B, static_cast<int>(BP.BranchIdx),
               "on-trace FRP " + BP.OnPred.str() + " and off-trace FRP " +
                   BP.OffPred.str() +
-                  " do not exhaust the root predicate at the bypass"));
+                  " do not exhaust the root predicate at the bypass");
+          BDD::NodeRef V = Mgr.mkAnd(
+              Mgr.mkAnd(Root, Mgr.mkAnd(Mgr.mkNot(OnE), Mgr.mkNot(OffE))),
+              Reach);
+          Fd.Witness =
+              buildWitness(F, Path, PQS, V, LintWitness::Expect::PredValues);
+          Fd.Witness->AnchorOp = B.ops()[BP.BranchIdx].getId();
+          Fd.Witness->WatchRegs = {BP.OnPred, BP.OffPred};
+          Fd.Witness->ExpectVals = {0, 0};
+          Out.push_back(std::move(Fd));
+        }
       }
     }
   }
@@ -327,12 +380,26 @@ public:
           BDD::NodeRef UseE = PQS.guardExpr(I);
           if (!Mgr.isValid(UseE) || !Mgr.isValid(DefCond))
             continue;
-          if (!PQS.implies(UseE, DefCond))
-            Out.push_back(makeFinding(
+          if (!PQS.implies(UseE, DefCond)) {
+            LintFinding Fd = makeFinding(
                 DiagCode::LintUseBeforeDef, name(), B, static_cast<int>(I),
                 "register " + R.str() +
                     " is read under a predicate that can be true where no "
-                    "prior definition of it has executed"));
+                    "prior definition of it has executed",
+                DiagSeverity::Error);
+            BDD::NodeRef V =
+                Mgr.mkAnd(Mgr.mkAnd(UseE, Mgr.mkNot(DefCond)),
+                          dispatchCond(PQS, B, I, B.size()));
+            Fd.Witness = buildWitness(F, B, PQS, V,
+                                      LintWitness::Expect::UseWithoutDef);
+            Fd.Witness->AnchorOp = Op.getId();
+            // Wired cmpps legitimately write under a false guard; only
+            // plain prior definitions count as "a definition executed".
+            for (size_t J = 0; J < I; ++J)
+              if (!B.ops()[J].isCmpp() && B.ops()[J].definesReg(R))
+                Fd.Witness->AuxOps.push_back(B.ops()[J].getId());
+            Out.push_back(std::move(Fd));
+          }
         }
       }
     }
@@ -362,6 +429,15 @@ public:
         if (BP.Lookaheads.empty())
           continue;
         const RegSet &BlockLive = LV.liveIn(B.getId());
+        // The off-trace path PQS, built on the first finding: witnesses
+        // need the bypass-taken condition and the compensation guards.
+        Block Path = makePathBlock(B, BP);
+        std::unique_ptr<RegionPQS> PPQ;
+        auto PathPQS = [&]() -> RegionPQS & {
+          if (!PPQ)
+            PPQ.reset(new RegionPQS(F, Path));
+          return *PPQ;
+        };
         // The bypass window: between the first lookahead (where the
         // collapsed branches conceptually begin) and the bypass branch.
         for (size_t I = BP.FirstLookahead; I < BP.BranchIdx; ++I) {
@@ -371,11 +447,20 @@ public:
           if (!Op.getGuard().isTruePred())
             continue; // still guarded: not (or faithfully) promoted
           if (Op.hasSideEffects()) {
-            Out.push_back(makeFinding(
+            LintFinding Fd = makeFinding(
                 DiagCode::LintSpeculation, name(), B, static_cast<int>(I),
                 "side-effecting operation executes unguarded inside the "
                 "bypass window; it also runs on executions that take the "
-                "bypass to @" + BP.Comp->getName()));
+                "bypass to @" + BP.Comp->getName());
+            RegionPQS &Q = PathPQS();
+            BDD::NodeRef V = Q.bdd().mkAnd(
+                Q.takenExpr(BP.BranchIdx),
+                dispatchCond(Q, Path, BP.BranchIdx, Path.size()));
+            Fd.Witness = buildWitness(F, Path, Q, V,
+                                      LintWitness::Expect::BranchTaken);
+            Fd.Witness->AnchorOp = B.ops()[BP.BranchIdx].getId();
+            Fd.Witness->Path.push_back(BP.Comp->getName());
+            Out.push_back(std::move(Fd));
             continue;
           }
           for (const DefSlot &D : Op.defs()) {
@@ -389,13 +474,47 @@ public:
             for (size_t J = 0; J < I && !HadValue; ++J)
               if (B.ops()[J].definesReg(R))
                 HadValue = true;
-            if (HadValue)
-              Out.push_back(makeFinding(
+            if (HadValue) {
+              LintFinding Fd = makeFinding(
                   DiagCode::LintSpeculation, name(), B,
                   static_cast<int>(I),
                   "promoted operation overwrites " + R.str() +
                       ", whose previous value is still live on the bypass "
-                      "path through @" + BP.Comp->getName()));
+                      "path through @" + BP.Comp->getName());
+              RegionPQS &Q = PathPQS();
+              BDD &QM = Q.bdd();
+              // First off-trace reader of R, if any: witness an execution
+              // where the bypass takes, the clobber ran first, and the
+              // compensation code reads the clobbered register.
+              int Reader = -1;
+              for (size_t K = 0; K < BP.Comp->size(); ++K)
+                if (BP.Comp->ops()[K].getOpcode() != Opcode::Trap &&
+                    BP.Comp->ops()[K].readsReg(R)) {
+                  Reader = static_cast<int>(K);
+                  break;
+                }
+              if (Reader >= 0) {
+                size_t PathIdx =
+                    BP.BranchIdx + 1 + static_cast<size_t>(Reader);
+                BDD::NodeRef V = QM.mkAnd(
+                    QM.mkAnd(Q.takenExpr(BP.BranchIdx),
+                             Q.guardExpr(PathIdx)),
+                    dispatchCond(Q, Path, PathIdx, BP.BranchIdx));
+                Fd.Witness = buildWitness(
+                    F, Path, Q, V, LintWitness::Expect::ClobberThenUse);
+                Fd.Witness->AnchorOp = BP.Comp->ops()[Reader].getId();
+                Fd.Witness->AuxOps.push_back(Op.getId());
+              } else {
+                BDD::NodeRef V = QM.mkAnd(
+                    Q.takenExpr(BP.BranchIdx),
+                    dispatchCond(Q, Path, BP.BranchIdx, Path.size()));
+                Fd.Witness = buildWitness(F, Path, Q, V,
+                                          LintWitness::Expect::BranchTaken);
+                Fd.Witness->AnchorOp = B.ops()[BP.BranchIdx].getId();
+              }
+              Fd.Witness->Path.push_back(BP.Comp->getName());
+              Out.push_back(std::move(Fd));
+            }
           }
         }
       }
@@ -439,12 +558,22 @@ public:
           int Anchor = BP.Comp->empty()
                            ? -1
                            : static_cast<int>(BP.Comp->size()) - 1;
-          Out.push_back(makeFinding(
+          LintFinding Fd = makeFinding(
               DiagCode::LintCompensation, name(), *BP.Comp, Anchor,
               "bypass predicate " + BP.OffPred.str() +
                   " can be true with no re-established exit taken: the "
                   "off-trace path loses the branch closure moved on its "
-                  "behalf"));
+                  "behalf");
+          // An execution taking the bypass with every re-executed exit
+          // dead falls through to the compensation block's trailing trap.
+          BDD::NodeRef V = Mgr.mkAnd(
+              Mgr.mkAnd(OffTaken, Mgr.mkNot(Exits)),
+              dispatchCond(PQS, Path, BP.BranchIdx, Path.size()));
+          Fd.Witness =
+              buildWitness(F, Path, PQS, V, LintWitness::Expect::Trapped);
+          Fd.Witness->AnchorOp = Fd.Op;
+          Fd.Witness->Path.push_back(BP.Comp->getName());
+          Out.push_back(std::move(Fd));
         }
 
         // Definition completeness: every register live at an off-trace
@@ -479,12 +608,25 @@ public:
               }
             if (!AnyDef || !Mgr.isValid(DefCond))
               continue;
-            if (!PQS.implies(ExitE, DefCond))
-              Out.push_back(makeFinding(
+            if (!PQS.implies(ExitE, DefCond)) {
+              LintFinding Fd = makeFinding(
                   DiagCode::LintCompensation, name(), *BP.Comp, CompIdx,
                   "register " + R.str() +
                       " is live at this off-trace exit but is not "
-                      "re-established on the off-trace path"));
+                      "re-established on the off-trace path");
+              BDD::NodeRef V = Mgr.mkAnd(
+                  Mgr.mkAnd(ExitE, Mgr.mkNot(DefCond)),
+                  Mgr.mkAnd(PQS.takenExpr(BP.BranchIdx),
+                            dispatchCond(PQS, Path, K, BP.BranchIdx)));
+              Fd.Witness = buildWitness(F, Path, PQS, V,
+                                        LintWitness::Expect::UseWithoutDef);
+              Fd.Witness->AnchorOp = Path.ops()[K].getId();
+              for (size_t J = 0; J < K; ++J)
+                if (!Path.ops()[J].isCmpp() && Path.ops()[J].definesReg(R))
+                  Fd.Witness->AuxOps.push_back(Path.ops()[J].getId());
+              Fd.Witness->Path.push_back(BP.Comp->getName());
+              Out.push_back(std::move(Fd));
+            }
           }
         }
       }
@@ -535,18 +677,22 @@ public:
           if (M.getName() == Inj.MachineName)
             MD = &M;
         if (!MD) {
-          Out.push_back(makeFinding(
+          LintFinding Fd = makeFinding(
               DiagCode::LintSchedule, name(), B, -1,
               "pinned schedule names unknown machine '" + Inj.MachineName +
-                  "'"));
+                  "'");
+          Fd.Witness = directiveWitness();
+          Out.push_back(std::move(Fd));
           continue;
         }
         if (Inj.Cycles.size() != B.size()) {
-          Out.push_back(makeFinding(
+          LintFinding Fd = makeFinding(
               DiagCode::LintSchedule, name(), B, -1,
               "pinned schedule has " + std::to_string(Inj.Cycles.size()) +
                   " cycles for a block of " + std::to_string(B.size()) +
-                  " operations"));
+                  " operations");
+          Fd.Witness = directiveWitness();
+          Out.push_back(std::move(Fd));
           continue;
         }
         DepGraph DG(F, B, *MD, PQS, LV);
@@ -571,18 +717,49 @@ private:
     return "unknown";
   }
 
+  /// A solved ScheduleRecount witness carrying the full schedule under
+  /// test; callers fill the specific latency or occupancy claim.
+  static std::shared_ptr<LintWitness> recountWitness(const Block &B,
+                                                     const Schedule &S) {
+    auto W = std::make_shared<LintWitness>();
+    W->Kind = LintWitness::Expect::ScheduleRecount;
+    W->Solved = true;
+    W->SchedBlock = B.getName();
+    W->Path.push_back(B.getName());
+    for (size_t I = 0; I < S.size(); ++I)
+      W->SchedCycles.push_back(S.cycleOf(I));
+    return W;
+  }
+
+  /// For findings about a malformed pinned-schedule directive: there is no
+  /// schedule to recount, so the witness stays honestly unsolved.
+  static std::shared_ptr<LintWitness> directiveWitness() {
+    auto W = std::make_shared<LintWitness>();
+    W->Kind = LintWitness::Expect::ScheduleRecount;
+    W->UnsolvedWhy =
+        "malformed pinned-schedule directive; nothing to recount";
+    return W;
+  }
+
   void validate(const Block &B, const DepGraph &DG, const MachineDesc &MD,
                 const Schedule &S, std::vector<LintFinding> &Out) {
     for (const DepEdge &E : DG.edges())
-      if (S.cycleOf(E.To) < S.cycleOf(E.From) + E.Latency)
-        Out.push_back(makeFinding(
+      if (S.cycleOf(E.To) < S.cycleOf(E.From) + E.Latency) {
+        LintFinding Fd = makeFinding(
             DiagCode::LintSchedule, name(), B, static_cast<int>(E.To),
             "operation issues in cycle " + std::to_string(S.cycleOf(E.To)) +
                 " before its " + depKindName(E.Kind) + " dependence on op %" +
                 std::to_string(B.ops()[E.From].getId()) + " (cycle " +
                 std::to_string(S.cycleOf(E.From)) + " + latency " +
                 std::to_string(E.Latency) + ") is satisfied on machine '" +
-                MD.getName() + "'"));
+                MD.getName() + "'");
+        auto W = recountWitness(B, S);
+        W->SchedFrom = static_cast<int>(E.From);
+        W->SchedTo = static_cast<int>(E.To);
+        W->SchedLatency = E.Latency;
+        Fd.Witness = std::move(W);
+        Out.push_back(std::move(Fd));
+      }
     int MaxCycle = 0;
     for (size_t I = 0; I < S.size(); ++I)
       MaxCycle = std::max(MaxCycle, S.cycleOf(I));
@@ -596,21 +773,35 @@ private:
         UnitKind K = opcodeUnit(B.ops()[I].getOpcode());
         ++PerKind[static_cast<unsigned>(K)];
         if (MD.isSequential()) {
-          if (Total == 2)
-            Out.push_back(makeFinding(
+          if (Total == 2) {
+            LintFinding Fd = makeFinding(
                 DiagCode::LintSchedule, name(), B, static_cast<int>(I),
                 "sequential machine issues more than one operation in "
-                "cycle " + std::to_string(C)));
+                "cycle " + std::to_string(C));
+            auto W = recountWitness(B, S);
+            W->SchedCycle = C;
+            W->SchedUnit = -1;
+            W->SchedCap = 1;
+            Fd.Witness = std::move(W);
+            Out.push_back(std::move(Fd));
+          }
           continue;
         }
         int Cap = MD.unitCount(K);
-        if (PerKind[static_cast<unsigned>(K)] == Cap + 1)
-          Out.push_back(makeFinding(
+        if (PerKind[static_cast<unsigned>(K)] == Cap + 1) {
+          LintFinding Fd = makeFinding(
               DiagCode::LintSchedule, name(), B, static_cast<int>(I),
               std::string("issue slot oversubscribed: more than ") +
                   std::to_string(Cap) + " " + unitName(K) +
                   "-unit operations in cycle " + std::to_string(C) +
-                  " on machine '" + MD.getName() + "'"));
+                  " on machine '" + MD.getName() + "'");
+          auto W = recountWitness(B, S);
+          W->SchedCycle = C;
+          W->SchedUnit = static_cast<int>(K);
+          W->SchedCap = Cap;
+          Fd.Witness = std::move(W);
+          Out.push_back(std::move(Fd));
+        }
       }
     }
   }
@@ -624,4 +815,8 @@ void cpr::addBuiltinLintPasses(LintDriver &D) {
   D.addPass(std::make_unique<SpeculationSafetyPass>());
   D.addPass(std::make_unique<CompensationCompletenessPass>());
   D.addPass(std::make_unique<ScheduleLegalityPass>());
+  D.addPass(lint_detail::makeDeadUnderPredicatePass());
+  D.addPass(lint_detail::makeRedundantCompensationPass());
+  D.addPass(lint_detail::makeUninitReadPass());
+  D.addPass(lint_detail::makeResourceOversubscriptionPass());
 }

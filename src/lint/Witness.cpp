@@ -1,0 +1,779 @@
+//===- lint/Witness.cpp - Witness extraction and replay -------------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Witness.h"
+
+#include "analysis/PQS.h"
+#include "interp/Memory.h"
+#include "ir/CompareCond.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace cpr;
+
+BDD::NodeRef cpr::reachCond(RegionPQS &PQS, const Block &Blk,
+                            size_t AnchorIdx, size_t ExceptIdx) {
+  BDD &Mgr = PQS.bdd();
+  BDD::NodeRef Cond = BDD::True;
+  for (size_t I = 0; I < AnchorIdx && I < Blk.size(); ++I) {
+    if (!Blk.ops()[I].isBranch() || I == ExceptIdx)
+      continue;
+    BDD::NodeRef Taken = PQS.takenExpr(I);
+    Cond = Mgr.mkAnd(Cond, Mgr.mkNot(Taken));
+    if (!Mgr.isValid(Cond))
+      return BDD::Invalid;
+  }
+  return Cond;
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Concrete-input solving
+//===----------------------------------------------------------------------===//
+
+/// Symbolic value of a GPR (or operand) at one point of the block walk.
+struct SymVal {
+  enum Kind { Const, LiveIn, MemCell, Opaque } K = Opaque;
+  int64_t C = 0;
+  /// LiveIn: the live-in register itself; MemCell: the live-in base
+  /// register whose initial value addresses the cell.
+  Reg Base;
+};
+
+/// An input cell the solver assigns: a live-in GPR (IsMem = false) or the
+/// memory word addressed by a live-in base register (IsMem = true).
+using CellKey = std::pair<bool, Reg>;
+
+struct CellInfo {
+  bool Fixed = false;
+  int64_t FixVal = 0;
+  int64_t Lo = INT32_MIN;
+  int64_t Hi = INT32_MAX;
+  std::vector<int64_t> Excluded;
+  /// The cell is a live-in GPR whose value addresses memory: prefer a
+  /// pool address so distinct bases land on distinct cells.
+  bool IsBase = false;
+  bool HasValue = false;
+  int64_t Value = 0;
+};
+
+/// One atom constraint: canonical comparison over operand values at the
+/// atom's defining cmpp must evaluate to Value.
+struct Constraint {
+  CompareCond Cond;
+  SymVal A;
+  SymVal B;
+  bool Value;
+};
+
+bool evalCanon(CompareCond C, int64_t A, int64_t B) {
+  switch (C) {
+  case CompareCond::EQ:
+    return A == B;
+  case CompareCond::LT:
+    return A < B;
+  case CompareCond::LE:
+    return A <= B;
+  default:
+    return false; // canonical conds only
+  }
+}
+
+class InputSolver {
+public:
+  InputSolver(const Block &Blk, const RegionPQS &PQSAtoms)
+      : Blk(Blk), Atoms(PQSAtoms.atoms()) {}
+
+  /// Feeds one straight-line predecessor block through the symbolic
+  /// transfer, so the anchor block's walk starts from the GPR state its
+  /// fall-through entry actually sees.
+  void prelude(const Block &B) {
+    for (const Operation &Op : B.ops())
+      step(Op);
+  }
+
+  /// Applies the satisfying assignment \p Assign ((BDD var, value) pairs)
+  /// and solves. On success fills \p W's InitRegs/InitMem and returns
+  /// true; on failure sets \p W.UnsolvedWhy.
+  bool solve(const std::vector<std::pair<uint32_t, bool>> &Assign,
+             LintWitness &W) {
+    // Partition the assignment: live-in predicates bind directly, compare
+    // atoms become value constraints, opaque atoms are unsolvable.
+    std::multimap<size_t, std::pair<uint32_t, bool>> ByOp;
+    for (const auto &[Var, Value] : Assign) {
+      if (Var >= Atoms.size())
+        return fail(W, "assignment names an unknown atom");
+      const PQSAtom &A = Atoms[Var];
+      switch (A.K) {
+      case PQSAtom::Kind::LiveInPred:
+        W.InitRegs.push_back(RegBinding{A.PredReg, Value ? 1 : 0});
+        break;
+      case PQSAtom::Kind::Opaque:
+        return fail(W, "violating condition depends on an opaque atom");
+      case PQSAtom::Kind::Compare:
+        ByOp.emplace(A.CmppOp, std::make_pair(Var, Value));
+        break;
+      }
+    }
+
+    // Symbolic walk: capture each constrained atom's operand values at
+    // its defining cmpp, in program order.
+    std::vector<Constraint> Cs;
+    for (size_t I = 0; I < Blk.size(); ++I) {
+      const Operation &Op = Blk.ops()[I];
+      auto Range = ByOp.equal_range(I);
+      for (auto It = Range.first; It != Range.second; ++It) {
+        if (!Op.isCmpp() || Op.srcs().size() < 2)
+          return fail(W, "atom's defining op is not a comparison");
+        Constraint C;
+        C.Cond = canonicalCompareCond(Op.getCond()).first;
+        C.A = valueOf(Op.srcs()[0]);
+        C.B = valueOf(Op.srcs()[1]);
+        C.Value = It->second.second;
+        Cs.push_back(C);
+      }
+      step(Op);
+    }
+
+    // Two constraint passes: the second resolves cell-to-cell comparisons
+    // once the first has fixed one side.
+    std::vector<Constraint> Deferred;
+    for (const Constraint &C : Cs)
+      if (!apply(C, W, &Deferred))
+        return false;
+    for (const Constraint &C : Deferred)
+      if (!apply(C, W, nullptr))
+        return false;
+
+    return assign(W);
+  }
+
+private:
+  const Block &Blk;
+  const std::vector<PQSAtom> &Atoms;
+  std::unordered_map<Reg, SymVal> Gprs;
+  bool StoreSeen = false;
+  std::map<CellKey, CellInfo> Cells;
+
+  bool fail(LintWitness &W, std::string Why) {
+    W.UnsolvedWhy = std::move(Why);
+    return false;
+  }
+
+  SymVal valueOf(const Operand &O) {
+    if (O.isImm())
+      return SymVal{SymVal::Const, O.getImm(), Reg()};
+    if (!O.isReg() || O.getReg().getClass() != RegClass::GPR)
+      return SymVal{};
+    Reg R = O.getReg();
+    auto It = Gprs.find(R);
+    if (It != Gprs.end())
+      return It->second;
+    SymVal V{SymVal::LiveIn, 0, R};
+    Gprs.emplace(R, V);
+    Cells[CellKey{false, R}]; // materialize the input cell
+    return V;
+  }
+
+  /// Forward transfer of one op through the GPR symbolic state. Only the
+  /// fragment witness inputs flow through is modeled exactly (unguarded
+  /// movs, first-load-from-live-in-base, add/sub constant folding);
+  /// everything else degrades the destination to Opaque.
+  void step(const Operation &Op) {
+    if (Op.isStore()) {
+      StoreSeen = true;
+      return;
+    }
+    bool Sure = Op.getGuard().isTruePred() || Op.isFrpGuard();
+    for (const DefSlot &D : Op.defs()) {
+      if (D.R.getClass() != RegClass::GPR)
+        continue;
+      SymVal V; // Opaque default
+      if (Sure) {
+        if (Op.getOpcode() == Opcode::Mov) {
+          V = valueOf(Op.srcs()[0]);
+        } else if (Op.isLoad()) {
+          SymVal Addr = valueOf(Op.srcs()[0]);
+          if (!StoreSeen && Addr.K == SymVal::LiveIn) {
+            V = SymVal{SymVal::MemCell, 0, Addr.Base};
+            CellInfo &Base = Cells[CellKey{false, Addr.Base}];
+            Base.IsBase = true;
+            Cells[CellKey{true, Addr.Base}];
+          }
+        } else if (Op.getOpcode() == Opcode::Add ||
+                   Op.getOpcode() == Opcode::Sub) {
+          SymVal A = valueOf(Op.srcs()[0]);
+          SymVal B = valueOf(Op.srcs()[1]);
+          if (A.K == SymVal::Const && B.K == SymVal::Const)
+            V = SymVal{SymVal::Const,
+                       Op.getOpcode() == Opcode::Add ? A.C + B.C : A.C - B.C,
+                       Reg()};
+        }
+      }
+      Gprs[D.R] = V;
+    }
+  }
+
+  std::optional<CellKey> cellOf(const SymVal &V) const {
+    if (V.K == SymVal::LiveIn)
+      return CellKey{false, V.Base};
+    if (V.K == SymVal::MemCell)
+      return CellKey{true, V.Base};
+    return std::nullopt;
+  }
+
+  /// Substitutes an already-fixed cell by its constant.
+  SymVal resolved(const SymVal &V) {
+    auto Key = cellOf(V);
+    if (!Key)
+      return V;
+    const CellInfo &C = Cells[*Key];
+    if (C.Fixed)
+      return SymVal{SymVal::Const, C.FixVal, Reg()};
+    return V;
+  }
+
+  bool fix(CellInfo &C, int64_t Val, LintWitness &W) {
+    if (C.Fixed)
+      return C.FixVal == Val || fail(W, "conflicting equality constraints");
+    if (Val < C.Lo || Val > C.Hi)
+      return fail(W, "equality constraint outside the feasible interval");
+    if (std::find(C.Excluded.begin(), C.Excluded.end(), Val) !=
+        C.Excluded.end())
+      return fail(W, "equality constraint hits an excluded value");
+    C.Fixed = true;
+    C.FixVal = Val;
+    return true;
+  }
+
+  /// Applies one constraint with the cell on the \p CellLeft side:
+  /// CellLeft ? cond(x, c) : cond(c, x) must equal \p Value.
+  bool bound(CellInfo &C, CompareCond Cond, bool CellLeft, int64_t K,
+             bool Value, LintWitness &W) {
+    switch (Cond) {
+    case CompareCond::EQ:
+      if (Value)
+        return fix(C, K, W);
+      C.Excluded.push_back(K);
+      break;
+    case CompareCond::LT:
+      if (CellLeft)
+        Value ? (void)(C.Hi = std::min(C.Hi, K - 1))
+              : (void)(C.Lo = std::max(C.Lo, K));
+      else
+        Value ? (void)(C.Lo = std::max(C.Lo, K + 1))
+              : (void)(C.Hi = std::min(C.Hi, K));
+      break;
+    case CompareCond::LE:
+      if (CellLeft)
+        Value ? (void)(C.Hi = std::min(C.Hi, K))
+              : (void)(C.Lo = std::max(C.Lo, K + 1));
+      else
+        Value ? (void)(C.Lo = std::max(C.Lo, K))
+              : (void)(C.Hi = std::min(C.Hi, K - 1));
+      break;
+    default:
+      return fail(W, "non-canonical constraint condition");
+    }
+    if (C.Lo > C.Hi)
+      return fail(W, "constraints leave an empty interval");
+    if (C.Fixed && (C.FixVal < C.Lo || C.FixVal > C.Hi))
+      return fail(W, "bound excludes an already-fixed value");
+    return true;
+  }
+
+  bool apply(const Constraint &Raw, LintWitness &W,
+             std::vector<Constraint> *Deferred) {
+    Constraint C = Raw;
+    C.A = resolved(C.A);
+    C.B = resolved(C.B);
+    if (C.A.K == SymVal::Opaque || C.B.K == SymVal::Opaque)
+      return fail(W, "constraint operand outside the solvable fragment");
+    if (C.A.K == SymVal::Const && C.B.K == SymVal::Const) {
+      if (evalCanon(C.Cond, C.A.C, C.B.C) != C.Value)
+        return fail(W, "contradictory constant comparison");
+      return true;
+    }
+    if (C.A.K != SymVal::Const && C.B.K != SymVal::Const) {
+      if (Deferred) {
+        Deferred->push_back(Raw);
+        return true;
+      }
+      return fail(W, "constraint relates two unconstrained inputs");
+    }
+    bool CellLeft = C.A.K != SymVal::Const;
+    const SymVal &Cell = CellLeft ? C.A : C.B;
+    int64_t K = CellLeft ? C.B.C : C.A.C;
+    return bound(Cells[*cellOf(Cell)], C.Cond, CellLeft, K, C.Value, W);
+  }
+
+  bool pick(CellInfo &C, LintWitness &W) {
+    if (C.Fixed) {
+      C.HasValue = true;
+      C.Value = C.FixVal;
+      return true;
+    }
+    auto Bad = [&](int64_t V) {
+      return std::find(C.Excluded.begin(), C.Excluded.end(), V) !=
+             C.Excluded.end();
+    };
+    int64_t V = std::clamp<int64_t>(0, C.Lo, C.Hi);
+    int64_t Up = V;
+    while (Up <= C.Hi && Bad(Up))
+      ++Up;
+    if (Up <= C.Hi)
+      V = Up;
+    else {
+      int64_t Down = std::clamp<int64_t>(0, C.Lo, C.Hi) - 1;
+      while (Down >= C.Lo && Bad(Down))
+        --Down;
+      if (Down < C.Lo)
+        return fail(W, "no feasible value in the constrained interval");
+      V = Down;
+    }
+    C.HasValue = true;
+    C.Value = V;
+    return true;
+  }
+
+  bool assign(LintWitness &W) {
+    // Base registers first: they prefer distinct pool addresses, and the
+    // memory cells they address need their values.
+    constexpr int64_t PoolStart = 0x5000000;
+    int64_t Pool = PoolStart;
+    std::unordered_set<int64_t> UsedAddrs;
+    for (auto &[Key, C] : Cells) {
+      if (Key.first || !C.IsBase)
+        continue;
+      if (!C.Fixed) {
+        int64_t Cand = Pool;
+        while ((Cand <= C.Hi && Cand >= C.Lo &&
+                std::find(C.Excluded.begin(), C.Excluded.end(), Cand) !=
+                    C.Excluded.end()) ||
+               UsedAddrs.count(Cand))
+          Cand += 16;
+        if (Cand >= C.Lo && Cand <= C.Hi) {
+          C.Fixed = true;
+          C.FixVal = Cand;
+          Pool = Cand + 16;
+        }
+      }
+      if (!pick(C, W))
+        return false;
+      if (UsedAddrs.count(C.Value))
+        return fail(W, "two memory bases collide on one address");
+      UsedAddrs.insert(C.Value);
+    }
+    for (auto &[Key, C] : Cells) {
+      if (Key.first || C.IsBase)
+        continue;
+      if (!pick(C, W))
+        return false;
+    }
+    for (auto &[Key, C] : Cells) {
+      if (!Key.first)
+        continue;
+      if (!pick(C, W))
+        return false;
+      const CellInfo &Base = Cells[CellKey{false, Key.second}];
+      W.InitMem.emplace_back(Base.Value, C.Value);
+    }
+    for (auto &[Key, C] : Cells)
+      if (!Key.first)
+        W.InitRegs.push_back(RegBinding{Key.second, C.Value});
+    return true;
+  }
+};
+
+} // namespace
+
+std::shared_ptr<LintWitness>
+cpr::buildWitness(const Function &F, const Block &Blk, RegionPQS &PQS,
+                  BDD::NodeRef Violating, LintWitness::Expect Kind) {
+  auto W = std::make_shared<LintWitness>();
+  W->Kind = Kind;
+  W->Path.push_back(F.blockById(Blk.getId())
+                        ? F.blockById(Blk.getId())->getName()
+                        : Blk.getName());
+
+  std::vector<std::pair<uint32_t, bool>> Assign;
+  if (!PQS.bdd().isValid(Violating)) {
+    W->UnsolvedWhy = "violating condition exceeded the BDD node budget";
+    return W;
+  }
+  if (!PQS.bdd().satOne(Violating, Assign) && Violating != BDD::True) {
+    W->UnsolvedWhy = "violating condition is unsatisfiable after "
+                     "reachability strengthening";
+    return W;
+  }
+  const std::vector<PQSAtom> &Atoms = PQS.atoms();
+  for (const auto &[Var, Value] : Assign) {
+    WitnessAtomAssignment A;
+    A.Atom = Var < Atoms.size() ? Atoms[Var].Desc
+                                : "atom#" + std::to_string(Var);
+    A.Value = Value;
+    W->Assignment.push_back(std::move(A));
+  }
+
+  // Replay starts at the function entry. When the region is not the
+  // entry block the replay traverses every layout-earlier block first,
+  // which is deterministic only when each of them is straight-line: no
+  // branches and no terminators (so it always falls through) and no
+  // predicate definitions (which would shadow a live-in binding the
+  // assignment relies on).
+  std::vector<const Block *> Prefix;
+  bool StraightLine = F.numBlocks() > 0;
+  size_t AnchorL = StraightLine ? F.layoutIndex(Blk.getId()) : 0;
+  for (size_t L = 0; StraightLine && L < AnchorL; ++L) {
+    const Block &P = F.block(L);
+    for (const Operation &Op : P.ops()) {
+      if (Op.isBranch() || Op.getOpcode() == Opcode::Halt ||
+          Op.getOpcode() == Opcode::Trap) {
+        StraightLine = false;
+        break;
+      }
+      for (const DefSlot &D : Op.defs())
+        if (D.R.getClass() == RegClass::PR) {
+          StraightLine = false;
+          break;
+        }
+    }
+    Prefix.push_back(&P);
+  }
+  if (!StraightLine) {
+    W->UnsolvedWhy = "region is not reachable from the entry by "
+                     "straight-line fall-through; replay would traverse "
+                     "a control decision";
+    return W;
+  }
+  W->Path.clear();
+  for (const Block *P : Prefix)
+    W->Path.push_back(P->getName());
+  W->Path.push_back(Blk.getName());
+
+  InputSolver Solver(Blk, PQS);
+  for (const Block *P : Prefix)
+    Solver.prelude(*P);
+  if (Solver.solve(Assign, *W))
+    W->Solved = true;
+  else {
+    W->InitRegs.clear();
+    W->InitMem.clear();
+  }
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// Replay
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const Block *blockNamed(const Function &F, const std::string &Name) {
+  for (size_t L = 0; L < F.numBlocks(); ++L)
+    if (F.block(L).getName() == Name)
+      return &F.block(L);
+  return nullptr;
+}
+
+WitnessConfirmation recountSchedule(const Function &F, const LintWitness &W) {
+  WitnessConfirmation R;
+  R.Ran = true;
+  if (W.SchedFrom >= 0) {
+    // Latency claim: To issues before From's result is ready.
+    if (W.SchedTo < 0 ||
+        static_cast<size_t>(W.SchedTo) >= W.SchedCycles.size() ||
+        static_cast<size_t>(W.SchedFrom) >= W.SchedCycles.size()) {
+      R.Detail = "latency recount indices out of range";
+      return R;
+    }
+    R.Confirmed = W.SchedCycles[W.SchedTo] <
+                  W.SchedCycles[W.SchedFrom] + W.SchedLatency;
+    R.Detail = "recount: cycle(to)=" + std::to_string(W.SchedCycles[W.SchedTo]) +
+               " cycle(from)=" + std::to_string(W.SchedCycles[W.SchedFrom]) +
+               " latency=" + std::to_string(W.SchedLatency);
+    return R;
+  }
+  const Block *B = blockNamed(F, W.SchedBlock);
+  if (!B || W.SchedCycles.size() != B->size()) {
+    R.Detail = "schedule recount block mismatch";
+    return R;
+  }
+  int Count = 0;
+  for (size_t I = 0; I < B->size(); ++I) {
+    if (W.SchedCycles[I] != W.SchedCycle)
+      continue;
+    if (W.SchedUnit >= 0 &&
+        static_cast<int>(opcodeUnit(B->ops()[I].getOpcode())) != W.SchedUnit)
+      continue;
+    ++Count;
+  }
+  R.Confirmed = Count > W.SchedCap;
+  R.Detail = "recount: " + std::to_string(Count) + " ops in cycle " +
+             std::to_string(W.SchedCycle) + " against a cap of " +
+             std::to_string(W.SchedCap);
+  return R;
+}
+
+} // namespace
+
+WitnessConfirmation cpr::confirmWitness(const Function &F,
+                                        const LintWitness &W) {
+  WitnessConfirmation R;
+  if (!W.Solved) {
+    R.Detail = "witness unsolved: " + W.UnsolvedWhy;
+    return R;
+  }
+  if (W.Kind == LintWitness::Expect::ScheduleRecount)
+    return recountSchedule(F, W);
+
+  std::unique_ptr<Function> Synth;
+  const Function *Target = &F;
+  if (W.UsePathFunction) {
+    Synth = F.clone();
+    Block *B = Synth->blockByName(W.PathBlock);
+    Block *Comp = Synth->blockByName(W.PathComp);
+    if (!B || !Comp || W.PathBranchIdx < 0 ||
+        static_cast<size_t>(W.PathBranchIdx) >= B->size()) {
+      R.Detail = "path function synthesis failed";
+      return R;
+    }
+    std::vector<Operation> PathOps(
+        B->ops().begin(), B->ops().begin() + W.PathBranchIdx + 1);
+    PathOps.insert(PathOps.end(), Comp->ops().begin(), Comp->ops().end());
+    B->ops() = std::move(PathOps);
+    Target = Synth.get();
+  }
+
+  std::vector<OpWatch> Watches;
+  auto Watch = [&](OpId Op, Reg Sample = Reg()) -> size_t {
+    OpWatch Wt;
+    Wt.Op = Op;
+    Wt.SampleReg = Sample;
+    Watches.push_back(Wt);
+    return Watches.size() - 1;
+  };
+
+  size_t Anchor = Watch(W.AnchorOp, W.WatchRegs.empty() ? Reg()
+                                                        : W.WatchRegs[0]);
+  std::vector<size_t> Aux;
+  switch (W.Kind) {
+  case LintWitness::Expect::PredValues:
+    Watches.clear();
+    for (Reg Rg : W.WatchRegs)
+      Watch(W.AnchorOp, Rg);
+    break;
+  case LintWitness::Expect::UseWithoutDef:
+  case LintWitness::Expect::ClobberThenUse:
+  case LintWitness::Expect::ExitNotBypass:
+  case LintWitness::Expect::RegUnchanged:
+    for (OpId Op : W.AuxOps)
+      Aux.push_back(Watch(Op, W.Kind == LintWitness::Expect::RegUnchanged &&
+                                  !W.WatchRegs.empty()
+                              ? W.WatchRegs[0]
+                              : Reg()));
+    break;
+  default:
+    break;
+  }
+
+  Memory Mem;
+  for (const auto &[Addr, Value] : W.InitMem)
+    Mem.store(Addr, Value);
+  InterpOptions IO;
+  IO.MaxSteps = 1'000'000;
+  IO.Watches = &Watches;
+  RunResult Run = interpret(*Target, Mem, W.InitRegs, IO);
+  R.Ran = true;
+
+  bool Terminated = Run.St == RunResult::Status::Halted ||
+                    Run.St == RunResult::Status::Trapped;
+  auto Fail = [&](std::string Why) {
+    R.Confirmed = false;
+    R.Detail = std::move(Why);
+    return R;
+  };
+
+  switch (W.Kind) {
+  case LintWitness::Expect::Trapped:
+    R.Confirmed = Run.St == RunResult::Status::Trapped;
+    R.Detail = R.Confirmed ? Run.ErrorMsg
+                           : "replay did not trap (status " +
+                                 std::to_string(static_cast<int>(Run.St)) +
+                                 ")";
+    return R;
+  case LintWitness::Expect::BranchTaken:
+    if (Watches[Anchor].Taken < 1)
+      return Fail("anchor branch never took");
+    break;
+  case LintWitness::Expect::BranchNeverTaken:
+    if (!Terminated)
+      return Fail("replay did not terminate cleanly");
+    if (Watches[Anchor].Dispatched < 1)
+      return Fail("anchor branch never dispatched");
+    if (Watches[Anchor].Taken != 0)
+      return Fail("anchor branch took");
+    break;
+  case LintWitness::Expect::OpIneffective:
+    if (!Terminated)
+      return Fail("replay did not terminate cleanly");
+    if (Watches[Anchor].Dispatched < 1)
+      return Fail("anchor op never dispatched");
+    if (Watches[Anchor].Effective != 0)
+      return Fail("anchor op's guard held");
+    break;
+  case LintWitness::Expect::UseWithoutDef: {
+    if (Watches[Anchor].Effective < 1)
+      return Fail("anchor use never executed");
+    uint64_t UseStep = Watches[Anchor].FirstEffectiveStep;
+    for (size_t I : Aux)
+      if (Watches[I].FirstEffectiveStep != 0 &&
+          Watches[I].FirstEffectiveStep < UseStep)
+        return Fail("a prior definition executed before the use");
+    break;
+  }
+  case LintWitness::Expect::ClobberThenUse: {
+    if (Aux.empty() || Watches[Aux[0]].Effective < 1)
+      return Fail("clobbering op never executed");
+    if (Watches[Anchor].Effective < 1)
+      return Fail("off-trace reader never executed");
+    if (Watches[Aux[0]].FirstEffectiveStep >=
+        Watches[Anchor].FirstEffectiveStep)
+      return Fail("clobber did not precede the off-trace read");
+    break;
+  }
+  case LintWitness::Expect::ExitNotBypass: {
+    if (Watches[Anchor].Dispatched < 1)
+      return Fail("bypass branch never dispatched");
+    if (Watches[Anchor].Taken != 0)
+      return Fail("bypass branch took");
+    bool ExitFired = false;
+    for (size_t I : Aux) {
+      auto [BIdx, OIdx] = Target->findOp(Watches[I].Op);
+      bool IsBranch = BIdx >= 0 &&
+                      Target->block(static_cast<size_t>(BIdx))
+                          .ops()[static_cast<size_t>(OIdx)]
+                          .isBranch();
+      if (IsBranch ? Watches[I].Taken >= 1 : Watches[I].Effective >= 1)
+        ExitFired = true;
+    }
+    if (!ExitFired)
+      return Fail("no re-executed exit fired on the path function");
+    break;
+  }
+  case LintWitness::Expect::PredValues: {
+    if (Watches.size() != W.ExpectVals.size())
+      return Fail("watch/expectation arity mismatch");
+    for (size_t I = 0; I < Watches.size(); ++I) {
+      if (!Watches[I].Sampled)
+        return Fail("anchor op never dispatched");
+      if (Watches[I].FirstValue != W.ExpectVals[I])
+        return Fail("predicate " + W.WatchRegs[I].str() + " held " +
+                    std::to_string(Watches[I].FirstValue) + ", expected " +
+                    std::to_string(W.ExpectVals[I]));
+    }
+    break;
+  }
+  case LintWitness::Expect::RegUnchanged: {
+    if (Watches[Anchor].Effective < 1)
+      return Fail("recomputing op never executed");
+    if (Aux.empty() || !Watches[Aux[0]].Sampled || !Watches[Anchor].Sampled)
+      return Fail("value samples missing");
+    if (Watches[Anchor].FirstValue != Watches[Aux[0]].FirstValue)
+      return Fail("recomputation changed the value from " +
+                  std::to_string(Watches[Anchor].FirstValue) + " to " +
+                  std::to_string(Watches[Aux[0]].FirstValue));
+    break;
+  }
+  case LintWitness::Expect::ScheduleRecount:
+    break; // handled above
+  }
+  R.Confirmed = true;
+  R.Detail = "replay confirmed in " + std::to_string(Run.Steps) + " steps";
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+namespace {
+const char *expectName(LintWitness::Expect K) {
+  switch (K) {
+  case LintWitness::Expect::Trapped:
+    return "trapped";
+  case LintWitness::Expect::BranchTaken:
+    return "branch-taken";
+  case LintWitness::Expect::BranchNeverTaken:
+    return "branch-never-taken";
+  case LintWitness::Expect::OpIneffective:
+    return "op-ineffective";
+  case LintWitness::Expect::UseWithoutDef:
+    return "use-without-def";
+  case LintWitness::Expect::ClobberThenUse:
+    return "clobber-then-use";
+  case LintWitness::Expect::ExitNotBypass:
+    return "exit-not-bypass";
+  case LintWitness::Expect::PredValues:
+    return "pred-values";
+  case LintWitness::Expect::RegUnchanged:
+    return "reg-unchanged";
+  case LintWitness::Expect::ScheduleRecount:
+    return "schedule-recount";
+  }
+  return "unknown";
+}
+} // namespace
+
+JSONValue cpr::witnessToJSON(const LintWitness &W) {
+  JSONValue Root = JSONValue::object();
+  Root.set("expect", JSONValue::str(expectName(W.Kind)));
+  Root.set("solved", JSONValue::boolean(W.Solved));
+  if (!W.Solved)
+    Root.set("unsolved_why", JSONValue::str(W.UnsolvedWhy));
+  JSONValue Assign = JSONValue::array();
+  for (const WitnessAtomAssignment &A : W.Assignment) {
+    JSONValue J = JSONValue::object();
+    J.set("atom", JSONValue::str(A.Atom));
+    J.set("value", JSONValue::boolean(A.Value));
+    Assign.append(std::move(J));
+  }
+  Root.set("assignment", std::move(Assign));
+  JSONValue Path = JSONValue::array();
+  for (const std::string &B : W.Path)
+    Path.append(JSONValue::str(B));
+  Root.set("path", std::move(Path));
+  JSONValue Regs = JSONValue::array();
+  for (const RegBinding &B : W.InitRegs) {
+    JSONValue J = JSONValue::object();
+    J.set("reg", JSONValue::str(B.R.str()));
+    J.set("value", JSONValue::number(static_cast<double>(B.Value)));
+    Regs.append(std::move(J));
+  }
+  Root.set("init_regs", std::move(Regs));
+  JSONValue MemJ = JSONValue::array();
+  for (const auto &[Addr, Value] : W.InitMem) {
+    JSONValue J = JSONValue::object();
+    J.set("addr", JSONValue::number(static_cast<double>(Addr)));
+    J.set("value", JSONValue::number(static_cast<double>(Value)));
+    MemJ.append(std::move(J));
+  }
+  Root.set("init_mem", std::move(MemJ));
+  Root.set("replay",
+           JSONValue::str(W.Kind == LintWitness::Expect::ScheduleRecount
+                              ? "schedule-recount"
+                              : (W.UsePathFunction ? "path-function"
+                                                   : "function")));
+  if (W.AnchorOp != InvalidOpId)
+    Root.set("anchor_op", JSONValue::number(static_cast<double>(W.AnchorOp)));
+  return Root;
+}

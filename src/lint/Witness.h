@@ -1,0 +1,160 @@
+//===- lint/Witness.h - Witness extraction and replay -----------*- C++ -*-===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Witness production for cpr-lint v2 (docs/LINT.md). Every finding is a
+/// BDD proof that some *violating condition* -- an expression over PQS
+/// atoms -- is satisfiable. A witness turns that proof into evidence a
+/// human (or the interpreter) can check:
+///
+///  1. satOne() extracts one satisfying assignment of the violating
+///     condition, strengthened with the in-block reachability of the
+///     finding's anchor (earlier side exits not taken);
+///  2. a small symbolic evaluator maps each assigned compare atom back to
+///     the live-in registers and memory cells its sources value-number to,
+///     and interval constraint solving picks concrete initial values;
+///  3. replay runs the function (or, for properties of the off-trace
+///     instruction sequence that the on-trace control flow cannot reach,
+///     a synthesized *path function*) under those inputs with OpWatch
+///     instrumentation and checks the expectation the finding encodes --
+///     a trap fires, a use executes with no prior definition, a clobbered
+///     value reaches its off-trace reader, and so on.
+///
+/// Solving is best-effort and honest: a witness whose condition involves
+/// opaque atoms (live-in state the region cannot see, BDD budget
+/// fallbacks) or value flow beyond the evaluator's fragment is marked
+/// unsolved with a reason, never guessed. On the golden fixture corpus
+/// every finding's witness solves and replays to confirmation
+/// (tests/lint/WitnessTest.cpp holds that bar).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LINT_WITNESS_H
+#define LINT_WITNESS_H
+
+#include "analysis/BDD.h"
+#include "interp/Interpreter.h"
+#include "ir/Function.h"
+#include "support/JSON.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cpr {
+
+class RegionPQS;
+
+/// One atom of a witness's satisfying assignment, in the human-readable
+/// form the PQS recorded ("lt(r11, 2)", "live-in p4").
+struct WitnessAtomAssignment {
+  std::string Atom;
+  bool Value = false;
+};
+
+/// A finding's witness: the satisfying assignment, solved concrete inputs,
+/// and the replay expectation that confirms the finding dynamically.
+struct LintWitness {
+  /// What a confirming replay must observe.
+  enum class Expect {
+    Trapped,          ///< the run ends at a trap (lost off-trace exit)
+    BranchTaken,      ///< AnchorOp takes at least once
+    BranchNeverTaken, ///< AnchorOp dispatches but never takes
+    OpIneffective,    ///< AnchorOp dispatches but its guard never holds
+    UseWithoutDef,    ///< AnchorOp effective; no AuxOp effective before it
+    ClobberThenUse,   ///< AuxOps[0] effective strictly before AnchorOp
+    ExitNotBypass,    ///< path function: AnchorOp (bypass) never takes,
+                      ///< yet some AuxOp exit fires
+    PredValues,       ///< WatchRegs sampled at AnchorOp equal ExpectVals
+    RegUnchanged,     ///< WatchRegs[0] at AnchorOp == at AuxOps[0], and
+                      ///< AnchorOp effective (the recomputation is a no-op)
+    ScheduleRecount,  ///< no replay: recount the stored schedule occupancy
+  };
+
+  Expect Kind = Expect::Trapped;
+  /// Concrete inputs were found; replay is meaningful.
+  bool Solved = false;
+  /// When !Solved: why (opaque atom, non-entry region, ...).
+  std::string UnsolvedWhy;
+
+  std::vector<WitnessAtomAssignment> Assignment;
+  /// Block names the confirming execution traverses (region first).
+  std::vector<std::string> Path;
+  std::vector<RegBinding> InitRegs;
+  /// (address, value) cells of the initial memory image.
+  std::vector<std::pair<int64_t, int64_t>> InitMem;
+
+  /// Replay anchors: ids of the operations the expectation talks about.
+  OpId AnchorOp = InvalidOpId;
+  std::vector<OpId> AuxOps;
+  std::vector<Reg> WatchRegs;
+  std::vector<int64_t> ExpectVals;
+
+  /// Expect::ExitNotBypass replays a synthesized path function: block
+  /// \c PathBlock's ops are replaced by its prefix through op index
+  /// \c PathBranchIdx followed by the ops of compensation block
+  /// \c PathComp -- the exact instruction sequence the finding's PQS
+  /// reasoned over.
+  bool UsePathFunction = false;
+  std::string PathBlock;
+  int PathBranchIdx = -1;
+  std::string PathComp;
+
+  /// Expect::ScheduleRecount payload: the full schedule under test plus
+  /// the claim. SchedFrom >= 0 claims a latency violation
+  /// (cycle(To) < cycle(From) + Latency); otherwise an occupancy claim
+  /// (more than SchedCap ops of SchedUnit -- -1 for any unit -- in
+  /// SchedCycle).
+  std::string SchedBlock;
+  std::vector<int> SchedCycles;
+  int SchedCycle = -1;
+  int SchedUnit = -1;
+  int SchedCap = -1;
+  int SchedFrom = -1;
+  int SchedTo = -1;
+  int SchedLatency = -1;
+};
+
+/// The condition under which in-block control reaches op \p AnchorIdx of
+/// \p Blk: the conjunction of the not-taken conditions of every earlier
+/// branch, excluding \p ExceptIdx (pass Blk.size() to exclude none --
+/// callers whose violating condition requires an earlier branch, e.g. the
+/// bypass, to take pass its index). Returns BDD::Invalid on budget
+/// exhaustion.
+BDD::NodeRef reachCond(RegionPQS &PQS, const Block &Blk, size_t AnchorIdx,
+                       size_t ExceptIdx);
+
+/// Builds a witness for \p Violating, the violating condition of a finding
+/// anchored in \p Blk -- the block \p PQS was built over: the region
+/// itself, or the synthetic off-trace path block. Extracts an assignment
+/// and solves for concrete inputs; the caller fills the replay anchors
+/// (Kind-specific fields) afterwards. Never returns null.
+std::shared_ptr<LintWitness> buildWitness(const Function &F, const Block &Blk,
+                                          RegionPQS &PQS,
+                                          BDD::NodeRef Violating,
+                                          LintWitness::Expect Kind);
+
+/// Outcome of one witness replay.
+struct WitnessConfirmation {
+  /// A replay (or recount) was attempted; false for unsolved witnesses.
+  bool Ran = false;
+  bool Confirmed = false;
+  std::string Detail;
+};
+
+/// Replays \p W against \p F (or its synthesized path function) with
+/// OpWatch instrumentation and checks the expectation;
+/// Expect::ScheduleRecount witnesses are confirmed by an independent
+/// occupancy/latency recount of the stored schedule instead.
+WitnessConfirmation confirmWitness(const Function &F, const LintWitness &W);
+
+/// The witness as the "witness" object of a cpr-lint-v2 finding.
+JSONValue witnessToJSON(const LintWitness &W);
+
+} // namespace cpr
+
+#endif // LINT_WITNESS_H

@@ -6,6 +6,7 @@
 
 #include "pipeline/PipelineRun.h"
 
+#include "analysis/AnalysisCache.h"
 #include "interp/Profiler.h"
 #include "ir/Verifier.h"
 #include "lint/Lint.h"
@@ -30,6 +31,8 @@ PipelineRun::PipelineRun(KernelProgram ProgramIn, PipelineOptions OptsIn,
   Name = Program.Func->getName();
   verifyOrDie(*Program.Func, "pipeline input");
 }
+
+PipelineRun::~PipelineRun() = default;
 
 void PipelineRun::setBaselineProfile(ProfileData Profile) {
   if (HaveBaselineProfile)
@@ -68,6 +71,7 @@ void PipelineRun::fallbackToBaseline(DiagCode Code, std::string Msg,
   Treated = baseline().clone();
   HaveTreated = true;
   TreatedInjected = false;
+  TreatedFA.reset(); // described the abandoned function
   CPR = CPRResult();
   FellBack = true;
   // Invalidate the treated-side artifacts: they described the abandoned
@@ -100,6 +104,26 @@ const Function &PipelineRun::baseline() {
     }
   }
   return *Program.Func;
+}
+
+const FunctionAnalyses &PipelineRun::baselineAnalyses() {
+  requireLive("baselineAnalyses");
+  if (!BaseFA) {
+    const Function &Base = baseline();
+    PassTimer T(Stats, Prefix + "analyses_baseline");
+    BaseFA = std::make_unique<FunctionAnalyses>(Base);
+  }
+  return *BaseFA;
+}
+
+const FunctionAnalyses &PipelineRun::treatedAnalyses() {
+  requireLive("treatedAnalyses");
+  if (!TreatedFA) {
+    const Function &TreatedF = treated();
+    PassTimer T(Stats, Prefix + "analyses_treated");
+    TreatedFA = std::make_unique<FunctionAnalyses>(TreatedF);
+  }
+  return *TreatedFA;
 }
 
 const ProfileData &PipelineRun::baselineProfile() {
@@ -200,8 +224,9 @@ const Function &PipelineRun::treated() {
     LintDriver Linter = LintDriver::withBuiltinPasses(std::move(LintOpts));
     bool BaselineLintClean = true;
     if (Opts.Lint) {
+      baselineAnalyses(); // shared with estimateMachine; computed once
       PassTimer LT(Stats, Prefix + "lint_baseline");
-      LintResult LR = Linter.run(Base);
+      LintResult LR = Linter.run(Base, BaseFA.get(), &Program.InitRegs);
       if (Opts.Diags)
         reportLintFindings(LR, *Opts.Diags);
       if (Stats)
@@ -210,8 +235,8 @@ const Function &PipelineRun::treated() {
       BaselineLintClean = LR.errorCount() == 0;
     }
     if (Opts.Lint && Opts.FailSafe && BaselineLintClean)
-      Ctx.RegionLint = [&Linter](const Function &Candidate) -> Status {
-        return lintStatus(Linter.run(Candidate));
+      Ctx.RegionLint = [this, &Linter](const Function &Candidate) -> Status {
+        return lintStatus(Linter.run(Candidate, nullptr, &Program.InitRegs));
       };
     if (Opts.FailSafe && Opts.RegionEquivalence)
       Ctx.RegionOracle = [this, &Base](const Function &Candidate) -> Status {
@@ -231,8 +256,10 @@ const Function &PipelineRun::treated() {
     CPR = runControlCPR(*Treated, Profile, Opts.CPR, Ctx);
     T.stop();
     if (Opts.Lint) {
+      treatedAnalyses(); // the transform is done mutating *Treated
       PassTimer LT(Stats, Prefix + "lint_treated");
-      LintResult LR = Linter.run(*Treated);
+      LintResult LR =
+          Linter.run(*Treated, TreatedFA.get(), &Program.InitRegs);
       if (Opts.Diags)
         reportLintFindings(LR, *Opts.Diags);
       if (Stats)
@@ -328,6 +355,10 @@ void PipelineRun::prepare() {
   if (Opts.CheckEquivalence)
     checkEquivalence();
   treatedProfile();
+  // Solve the shared analysis bundles serially, before the concurrent
+  // per-machine stages consume them.
+  baselineAnalyses();
+  treatedAnalyses();
 }
 
 Status PipelineRun::tryPrepare() {
@@ -435,6 +466,8 @@ Status PipelineRun::tryPrepare() {
                       static_cast<double>(TreatedStats.BranchesDispatched));
     }
   }
+  baselineAnalyses();
+  treatedAnalyses();
   return Status::success();
 }
 
@@ -444,11 +477,18 @@ MachineComparison PipelineRun::estimateMachine(const MachineDesc &MD) const {
   PassTimer T(Stats, Prefix + "estimate/" + MD.getName());
   MachineComparison MC;
   MC.MachineName = MD.getName();
+  // The shared analysis bundles were solved serially by prepare(); a
+  // caller that forced the stages by hand may not have them, in which
+  // case the estimator computes its own liveness (same result -- the
+  // analysis is a pure function of the IR).
   MC.BaselineCycles =
-      estimatePerformance(*Program.Func, MD, BaseProfile, Opts.Perf)
+      estimatePerformance(*Program.Func, MD, BaseProfile, Opts.Perf,
+                          BaseFA ? &BaseFA->LV : nullptr)
           .TotalCycles;
   MC.TreatedCycles =
-      estimatePerformance(*Treated, MD, TreatedProf, Opts.Perf).TotalCycles;
+      estimatePerformance(*Treated, MD, TreatedProf, Opts.Perf,
+                          TreatedFA ? &TreatedFA->LV : nullptr)
+          .TotalCycles;
   T.stop();
   if (Stats) {
     Stats->addCount(Prefix + "estimate/" + MD.getName() + "/cycles_baseline",

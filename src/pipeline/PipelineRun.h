@@ -49,6 +49,7 @@
 
 namespace cpr {
 
+struct FunctionAnalyses;
 class ThreadPool;
 
 /// One stage-based measurement session over one program.
@@ -61,6 +62,8 @@ public:
                        PipelineOptions Opts = PipelineOptions(),
                        StatsRegistry *Stats = nullptr,
                        std::string StatsPrefix = "");
+  /// Out of line: members hold types only PipelineRun.cpp completes.
+  ~PipelineRun();
 
   const PipelineOptions &options() const { return Opts; }
   const std::string &name() const { return Name; }
@@ -99,6 +102,14 @@ public:
   const ProfileData &treatedProfile();
   const DynStats &treatedDynStats();
   const BranchTrace &treatedTrace();
+
+  /// Solved whole-function dataflow analyses (analysis/AnalysisCache.h)
+  /// of the prepared baseline / treated function: computed once,
+  /// serially, then shared const by the lint stage, the performance
+  /// model, and the scheduler. Pure functions of the IR, so sharing
+  /// never changes any downstream output.
+  const FunctionAnalyses &baselineAnalyses();
+  const FunctionAnalyses &treatedAnalyses();
 
   /// Forces every serial stage above (honoring Opts.CheckEquivalence).
   void prepare();
@@ -173,6 +184,8 @@ private:
   DynStats BaseStats;
   BranchTrace BaseTrace;
   std::unique_ptr<Function> Treated;
+  std::unique_ptr<FunctionAnalyses> BaseFA;
+  std::unique_ptr<FunctionAnalyses> TreatedFA;
   CPRResult CPR;
   ProfileData TreatedProf;
   DynStats TreatedStats;

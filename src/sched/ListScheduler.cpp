@@ -9,6 +9,7 @@
 #include "support/Error.h"
 
 #include <algorithm>
+#include <memory>
 
 using namespace cpr;
 
@@ -117,12 +118,17 @@ Schedule cpr::scheduleBlock(const Block &B, const DepGraph &DG,
 
 Schedule cpr::scheduleBlockWithAnalyses(const Function &F, const Block &B,
                                         const MachineDesc &MD,
-                                        bool AllowSpeculation) {
+                                        bool AllowSpeculation,
+                                        const Liveness *LV) {
   RegionPQS PQS(F, B);
-  Liveness LV(F);
+  std::unique_ptr<Liveness> Owned;
+  if (!LV) {
+    Owned = std::make_unique<Liveness>(F);
+    LV = Owned.get();
+  }
   DepGraphOptions Opts;
   Opts.AllowSpeculation = AllowSpeculation;
-  DepGraph DG(F, B, MD, PQS, LV, Opts);
+  DepGraph DG(F, B, MD, PQS, *LV, Opts);
   return scheduleBlock(B, DG, MD);
 }
 

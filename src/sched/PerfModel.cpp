@@ -11,15 +11,22 @@
 #include "support/Error.h"
 
 #include <algorithm>
+#include <memory>
 
 using namespace cpr;
 
 PerfEstimate cpr::estimatePerformance(const Function &F,
                                       const MachineDesc &MD,
                                       const ProfileData &Profile,
-                                      const PerfModelOptions &Opts) {
+                                      const PerfModelOptions &Opts,
+                                      const Liveness *SharedLV) {
   PerfEstimate Est;
-  Liveness LV(F);
+  std::unique_ptr<Liveness> Owned;
+  if (!SharedLV) {
+    Owned = std::make_unique<Liveness>(F);
+    SharedLV = Owned.get();
+  }
+  const Liveness &LV = *SharedLV;
 
   for (size_t BI = 0, BE = F.numBlocks(); BI != BE; ++BI) {
     const Block &B = F.block(BI);

@@ -33,6 +33,8 @@
 
 namespace cpr {
 
+class Liveness;
+
 /// Cycle-estimation options.
 struct PerfModelOptions {
   enum class Mode {
@@ -60,11 +62,15 @@ struct PerfEstimate {
 };
 
 /// Schedules every block of \p F for \p MD and estimates total cycles
-/// under profile \p Profile.
+/// under profile \p Profile. \p LV, when given, is a pre-solved liveness
+/// for \p F (e.g. from a shared analysis/AnalysisCache.h bundle);
+/// otherwise one is computed. Liveness is a pure function of the IR, so
+/// sharing never changes the estimate.
 PerfEstimate estimatePerformance(const Function &F, const MachineDesc &MD,
                                  const ProfileData &Profile,
                                  const PerfModelOptions &Opts =
-                                     PerfModelOptions());
+                                     PerfModelOptions(),
+                                 const Liveness *LV = nullptr);
 
 } // namespace cpr
 

@@ -62,6 +62,14 @@ const char *cpr::diagCodeName(DiagCode C) {
     return "lint-compensation";
   case DiagCode::LintSchedule:
     return "lint-schedule";
+  case DiagCode::LintDeadUnderPred:
+    return "lint-dead-under-predicate";
+  case DiagCode::LintRedundantComp:
+    return "lint-redundant-compensation";
+  case DiagCode::LintUninitRead:
+    return "lint-uninit-read";
+  case DiagCode::LintResourceOversub:
+    return "lint-resource-oversubscription";
   }
   return "unknown";
 }

@@ -73,6 +73,10 @@ enum class DiagCode {
   LintSpeculation,  ///< unsafe promoted (guard-weakened) operation
   LintCompensation, ///< compensation block misses a moved definition/exit
   LintSchedule,     ///< schedule violates latency or resource limits
+  LintDeadUnderPred,///< operation's guard is provably unsatisfiable
+  LintRedundantComp,///< compensation recomputes an unclobbered on-trace value
+  LintUninitRead,   ///< read of a register no definition can reach
+  LintResourceOversub, ///< schedule exceeds the machine's fetch width
 };
 
 /// Name of \p C for messages ("parse-error", "budget-exhausted", ...).

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "lint/Lint.h"
+#include "lint/Witness.h"
 
 #include "cpr/ControlCPR.h"
 #include "ir/IRParser.h"
@@ -113,8 +114,15 @@ TEST(LintFault, EverySiteIsRolledBackOrCaughtStatically) {
           << "verifier-clean corruption escaped the static checks";
       bool HasCompFinding = false;
       for (const LintFinding &Finding : R.Findings)
-        if (Finding.Code == DiagCode::LintCompensation)
+        if (Finding.Code == DiagCode::LintCompensation) {
           HasCompFinding = true;
+          // v2: the static claim comes with replay evidence.
+          ASSERT_NE(Finding.Witness, nullptr);
+          if (Finding.Witness->Solved) {
+            WitnessConfirmation WC = confirmWitness(*F, *Finding.Witness);
+            EXPECT_TRUE(WC.Confirmed) << WC.Detail;
+          }
+        }
       EXPECT_TRUE(HasCompFinding) << joined(R);
     } else {
       EXPECT_EQ(R.errorCount(), 0u) << Site << ":\n" << joined(R);

@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "lint/Lint.h"
+#include "lint/Witness.h"
 
 #include "ir/IRParser.h"
 #include "ir/Verifier.h"
@@ -85,7 +86,7 @@ TEST(LintGolden, CleanControlHasNoFindings) {
   Fixture Fx = lintFixture("clean_cpr.ir");
   EXPECT_TRUE(Fx.Result.clean())
       << Fx.Result.Findings[0].str();
-  EXPECT_EQ(Fx.Result.ChecksRun.size(), 5u);
+  EXPECT_EQ(Fx.Result.ChecksRun.size(), 9u);
 }
 
 TEST(LintGolden, BadFRPIsExactlyOneFRPConsistencyError) {
@@ -137,6 +138,65 @@ TEST(LintGolden, UnrecognizableFRPIsAWarning) {
   EXPECT_FALSE(lintStatus(Fx.Result, /*Werror=*/true).ok());
 }
 
+/// Replays the fixture's single finding through the interpreter and
+/// asserts the witness confirms.
+void expectConfirmedWitness(const Fixture &Fx) {
+  ASSERT_EQ(Fx.Result.Findings.size(), 1u);
+  const LintFinding &F = Fx.Result.Findings[0];
+  ASSERT_NE(F.Witness, nullptr);
+  ASSERT_TRUE(F.Witness->Solved) << F.Witness->UnsolvedWhy;
+  WitnessConfirmation WC = confirmWitness(*Fx.Func, *F.Witness);
+  EXPECT_TRUE(WC.Confirmed) << WC.Detail;
+}
+
+TEST(LintGolden, DeadBranchUnderUnsatisfiablePredicate) {
+  Fixture Fx = lintFixture("dead_under_predicate.ir");
+  // Anchored at the branch: p1 init (0), pbr (1), dead branch (2).
+  expectSingleFinding(Fx, DiagCode::LintDeadUnderPred,
+                      "dead-under-predicate", "A", 2,
+                      DiagSeverity::Warning);
+  expectConfirmedWitness(Fx);
+}
+
+TEST(LintGolden, UninitializedWholeRegionRead) {
+  Fixture Fx = lintFixture("uninit_read.ir");
+  // Anchored at the read in the entry block; r3's only definition sits
+  // in a block that cannot reach it.
+  expectSingleFinding(Fx, DiagCode::LintUninitRead, "uninit-read", "A", 0);
+  EXPECT_NE(Fx.Result.Findings[0].Message.find("r3"), std::string::npos);
+  expectConfirmedWitness(Fx);
+}
+
+TEST(LintGolden, RedundantCompensationRecompute) {
+  Fixture Fx = lintFixture("redundant_compensation.ir");
+  // Anchored at the compensation block's recomputing add.
+  expectSingleFinding(Fx, DiagCode::LintRedundantComp,
+                      "redundant-compensation", "Body_cmp", 0,
+                      DiagSeverity::Warning);
+  EXPECT_NE(Fx.Result.Findings[0].Message.find("r20"), std::string::npos);
+  expectConfirmedWitness(Fx);
+}
+
+TEST(LintGolden, OversubscribedFetchWidth) {
+  Fixture Fx = lintFixture("oversubscribed_fetch.ir");
+  // Legal for the units and issue width, but the directive narrows the
+  // fetch front end to two ops per cycle and cycle 0 issues three.
+  expectSingleFinding(Fx, DiagCode::LintResourceOversub,
+                      "resource-oversubscription", "A", 2);
+  expectConfirmedWitness(Fx);
+}
+
+/// With the prefix-chain input solver, findings anchored past a
+/// straight-line entry block still get replayable witnesses.
+TEST(LintGolden, WitnessesConfirmBehindStraightLinePrefix) {
+  for (const char *Name :
+       {"bad_frp.ir", "unsafe_speculation.ir", "missing_compensation.ir"}) {
+    Fixture Fx = lintFixture(Name);
+    SCOPED_TRACE(Name);
+    expectConfirmedWitness(Fx);
+  }
+}
+
 /// The JSON report carries the same finding signature the text report
 /// does (the --stats-json contract of docs/LINT.md).
 TEST(LintGolden, JSONReportMatchesTextFindings) {
@@ -153,6 +213,10 @@ TEST(LintGolden, JSONReportMatchesTextFindings) {
   EXPECT_EQ(F.find("op_index")->getNumber(), 7.0);
   EXPECT_EQ(F.find("severity")->getString(), "error");
   EXPECT_EQ(V.find("counts")->find("error")->getNumber(), 1.0);
+  // v2: every finding carries a witness object (solved or not).
+  const JSONValue *W = F.find("witness");
+  ASSERT_NE(W, nullptr);
+  EXPECT_NE(W->find("solved"), nullptr);
 }
 
 } // namespace

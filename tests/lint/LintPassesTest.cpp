@@ -3,7 +3,7 @@
 // Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
 //
 // Framework-level behavior of src/lint/: driver construction and check
-// selection, finding rendering (text, Diagnostic, cpr-lint-v1 JSON),
+// selection, finding rendering (text, Diagnostic, cpr-lint-v2 JSON),
 // exit-status policy (lintStatus / --werror), and the sidecar schedule
 // directive parser. The checks themselves are exercised against the
 // fixture corpus in LintGoldenTest.cpp.
@@ -12,6 +12,7 @@
 
 #include "lint/Lint.h"
 
+#include "interp/Interpreter.h"
 #include "ir/IRParser.h"
 #include "support/JSON.h"
 
@@ -22,13 +23,17 @@ using namespace cpr;
 namespace {
 
 const char *const CheckNames[] = {
-    "frp-consistency", "use-before-def", "speculation-safety",
-    "compensation-completeness", "schedule-legality"};
+    "frp-consistency",       "use-before-def",
+    "speculation-safety",    "compensation-completeness",
+    "schedule-legality",     "dead-under-predicate",
+    "redundant-compensation", "uninit-read",
+    "resource-oversubscription"};
+constexpr size_t NumChecks = sizeof(CheckNames) / sizeof(CheckNames[0]);
 
 TEST(LintDriverTest, BuiltinPassesInCanonicalOrder) {
   LintDriver D = LintDriver::withBuiltinPasses();
-  ASSERT_EQ(D.passes().size(), 5u);
-  for (size_t I = 0; I < 5; ++I) {
+  ASSERT_EQ(D.passes().size(), NumChecks);
+  for (size_t I = 0; I < NumChecks; ++I) {
     EXPECT_STREQ(D.passes()[I]->name(), CheckNames[I]);
     EXPECT_NE(std::string(D.passes()[I]->description()), "");
   }
@@ -60,9 +65,36 @@ block @A:
 }
 )");
   LintResult R = LintDriver::withBuiltinPasses().run(*F);
-  ASSERT_EQ(R.ChecksRun.size(), 5u);
-  for (size_t I = 0; I < 5; ++I)
+  ASSERT_EQ(R.ChecksRun.size(), NumChecks);
+  for (size_t I = 0; I < NumChecks; ++I)
     EXPECT_EQ(R.ChecksRun[I], CheckNames[I]);
+}
+
+// strcpy's cursor pattern: r1 is an environment input that the function
+// also bumps later, so it has a definition in the function but none that
+// reaches the entry read. Without the declared-inputs exemption this is
+// exactly what uninit-read flags.
+TEST(LintDriverTest, DeclaredInputsExemptUninitRead) {
+  std::unique_ptr<Function> F = parseFunctionOrDie(R"(
+func @f {
+block @A:
+  r2 = add(r1, 1)
+  r1 = add(r1, 4)
+  halt
+}
+)");
+  LintOptions Opts;
+  Opts.OnlyChecks = {"uninit-read"};
+  LintDriver D = LintDriver::withBuiltinPasses(Opts);
+
+  // Both reads of r1 (the use and the bump's own operand) are flagged.
+  LintResult Undeclared = D.run(*F);
+  ASSERT_EQ(Undeclared.errorCount(), 2u);
+  for (const LintFinding &Fd : Undeclared.Findings)
+    EXPECT_EQ(Fd.Check, "uninit-read");
+
+  std::vector<RegBinding> Inputs = {{Reg::gpr(1), 7}};
+  EXPECT_TRUE(D.run(*F, nullptr, &Inputs).clean());
 }
 
 LintFinding sampleFinding(DiagSeverity Sev) {

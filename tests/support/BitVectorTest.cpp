@@ -1,0 +1,81 @@
+//===- tests/support/BitVectorTest.cpp - Dense bitset units ---------------===//
+//
+// Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
+//
+// The dense bitset under every dataflow set (support/BitVector.h):
+// word-boundary behavior, the bulk operations' changed-bit reporting the
+// solver's fixed-point test relies on, and the canonical-tail invariant
+// that makes operator== a plain word compare.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+
+#include <gtest/gtest.h>
+
+using namespace cpr;
+
+namespace {
+
+TEST(BitVectorTest, SetTestResetAcrossWordBoundary) {
+  BitVector V(130);
+  EXPECT_EQ(V.size(), 130u);
+  EXPECT_TRUE(V.none());
+  for (size_t I : {size_t(0), size_t(63), size_t(64), size_t(129)})
+    V.set(I);
+  EXPECT_EQ(V.count(), 4u);
+  EXPECT_TRUE(V.test(63));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_FALSE(V.test(65));
+  V.reset(64);
+  EXPECT_FALSE(V.test(64));
+  EXPECT_EQ(V.count(), 3u);
+  V.reset();
+  EXPECT_TRUE(V.none());
+}
+
+TEST(BitVectorTest, FindNextWalksSetBits) {
+  BitVector V(200);
+  V.set(3);
+  V.set(64);
+  V.set(199);
+  EXPECT_EQ(V.findFirst(), 3u);
+  EXPECT_EQ(V.findNext(4), 64u);
+  EXPECT_EQ(V.findNext(65), 199u);
+  EXPECT_EQ(V.findNext(200), BitVector::npos);
+  BitVector Empty(200);
+  EXPECT_EQ(Empty.findFirst(), BitVector::npos);
+}
+
+TEST(BitVectorTest, BulkOpsReportChanges) {
+  BitVector A(70), B(70);
+  A.set(1);
+  B.set(1);
+  B.set(65);
+  EXPECT_TRUE(A.orWith(B)); // gains 65
+  EXPECT_TRUE(A.test(65));
+  EXPECT_FALSE(A.orWith(B)); // already a superset
+  EXPECT_FALSE(A.andWith(B)); // A == B now
+  BitVector C(70);
+  C.set(1);
+  EXPECT_TRUE(A.andWith(C)); // loses 65
+  EXPECT_EQ(A.count(), 1u);
+  EXPECT_TRUE(A.andNot(C)); // loses 1
+  EXPECT_TRUE(A.none());
+  EXPECT_FALSE(A.andNot(C)); // already empty
+}
+
+TEST(BitVectorTest, EqualityIsCanonicalAfterResize) {
+  BitVector A(70);
+  A.set(65);
+  A.resize(64); // drops bit 65; the tail must be cleared
+  BitVector B(64);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.count(), 0u);
+  A.resize(70); // regrown bits arrive clear
+  EXPECT_TRUE(A.none());
+  BitVector C(71);
+  EXPECT_NE(A, C); // different universes are never equal
+}
+
+} // namespace

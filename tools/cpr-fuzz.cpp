@@ -12,6 +12,7 @@
 //   cpr-fuzz repro.ir [repro2.ir ...]               # replay mode
 //   cpr-fuzz --fault-campaign                       # fault injection
 //   cpr-fuzz --static-oracle --runs=200             # lint-judged campaign
+//   cpr-fuzz --cross-validate --runs=100            # oracle-vs-oracle
 //
 // Campaigns are deterministic for a fixed --seed at any --threads
 // setting; see docs/FUZZING.md for the triage workflow and
@@ -44,6 +45,7 @@ struct Config {
   FaultCampaignOptions Fault;
   bool FaultCampaign = false;
   bool StaticOracle = false;
+  bool CrossValidate = false;
   std::string FaultSites;
   std::string StatsJSON;
   bool ExpectFailures = false;
@@ -113,6 +115,11 @@ OptionTable buildOptions(Config &C) {
             "judge cases with the cpr-lint static checks instead of the "
             "interpreter (differential: pre-existing findings excluded)",
             C.StaticOracle);
+  T.addFlag("--cross-validate",
+            "judge each case with BOTH oracles (differential execution "
+            "and witness-replaying static checks); any disagreement is a "
+            "harness bug, classified and reduced",
+            C.CrossValidate);
   T.addFlag("--inject-defect",
             "plant the hidden compensation-skip miscompile (oracle "
             "self-test)",
@@ -261,6 +268,12 @@ int main(int argc, char **argv) {
     return Res.clean() ? exit_codes::Success : exit_codes::Failure;
   }
 
+  if (C.StaticOracle && C.CrossValidate) {
+    std::fprintf(stderr,
+                 "cpr-fuzz: --static-oracle and --cross-validate are "
+                 "mutually exclusive\n");
+    return exit_codes::UsageError;
+  }
   if (C.StaticOracle && C.Campaign.Reduce) {
     std::fprintf(stderr,
                  "cpr-fuzz: --reduce is not supported with "
@@ -268,9 +281,11 @@ int main(int argc, char **argv) {
                  "differential runner)\n");
     return exit_codes::UsageError;
   }
-  FuzzCampaignResult Res = C.StaticOracle
-                               ? runStaticLintCampaign(C.Campaign)
-                               : runFuzzCampaign(C.Campaign);
+  FuzzCampaignResult Res = C.CrossValidate
+                               ? runCrossValidationCampaign(C.Campaign)
+                               : C.StaticOracle
+                                     ? runStaticLintCampaign(C.Campaign)
+                                     : runFuzzCampaign(C.Campaign);
   std::printf("%s\n", Res.summary().c_str());
   for (const FuzzFailure &F : Res.Failures)
     if (!F.ReproducerPath.empty())

@@ -2,18 +2,21 @@
 //
 // Part of the control-cpr project (PLDI 1999 Control CPR reproduction).
 //
-// Runs the five static checks of src/lint/ (docs/LINT.md) over a textual
-// IR file, or -- with --workloads -- over every benchmark of the paper's
-// suite both before and after the CPR treatment:
+// Runs the built-in static checks of src/lint/ (docs/LINT.md) over a
+// textual IR file, or -- with --workloads -- over every benchmark of the
+// paper's suite both before and after the CPR treatment:
 //
 //   cpr-lint input.ir [options]
 //   cpr-lint --workloads [options]
 //
 // Findings print as text; --stats-json additionally writes the
-// `cpr-lint-v1` report. Fixture files may pin a schedule for the
-// schedule-legality check with a sidecar comment the IR parser ignores:
+// `cpr-lint-v2` report, each finding carrying its witness. With
+// --confirm-witnesses every solved witness is replayed through the
+// interpreter and the run fails if any does not confirm. Fixture files
+// may pin a schedule for the schedule checks with a sidecar comment the
+// IR parser ignores:
 //
-//   ; lint-schedule(medium) @Block: 0 0 1 2 ...
+//   ; lint-schedule(medium[,fetch=N]) @Block: 0 0 1 2 ...
 //
 // Exit codes (support/Diagnostic.h): 0 clean, 1 findings at error
 // severity (or warning severity with --werror), 2 usage error, 3 input
@@ -25,6 +28,7 @@
 #include "ir/IRParser.h"
 #include "ir/Verifier.h"
 #include "lint/Lint.h"
+#include "lint/Witness.h"
 #include "pipeline/CompilerPipeline.h"
 #include "support/OptionParser.h"
 #include "workloads/BenchmarkSuite.h"
@@ -45,6 +49,7 @@ struct Config {
   bool Werror = false;
   bool Quiet = false;
   bool ListChecks = false;
+  bool ConfirmWitnesses = false;
   bool Help = false;
 };
 
@@ -59,10 +64,14 @@ OptionTable buildOptions(Config &C) {
               "machine model(s) for schedule-legality (default: medium)",
               C.Machine);
   T.addString("--stats-json", "<file>",
-              "write the cpr-lint-v1 JSON report to <file> ('-' = stdout)",
+              "write the cpr-lint-v2 JSON report to <file> ('-' = stdout)",
               C.StatsJSON);
   T.addFlag("--werror", "treat warning-severity findings as errors",
             C.Werror);
+  T.addFlag("--confirm-witnesses",
+            "replay every solved witness through the interpreter; fail "
+            "if any does not confirm",
+            C.ConfirmWitnesses);
   T.addFlag("--list-checks", "print the available checks and exit",
             C.ListChecks);
   T.addFlag("--quiet", "suppress per-function progress lines", C.Quiet);
@@ -107,18 +116,45 @@ struct Report {
   JSONValue Functions = JSONValue::array();
   unsigned Errors = 0;
   unsigned Warnings = 0;
+  unsigned WitnessesConfirmed = 0;
+  unsigned WitnessesUnsolved = 0;
+  unsigned WitnessesUnconfirmed = 0;
 };
 
 /// Lints one function, prints findings, and appends to the report.
 /// \p Label names the entry in output ("<func>" or "<func> (post-cpr)").
+/// \p Inputs declares environment-initialized registers (a workload's
+/// InitRegs) so uninit-read does not flag the kernel's arguments.
 void lintOne(const LintDriver &Driver, const Function &F,
-             const std::string &Label, const Config &C, Report &R) {
-  LintResult Res = Driver.run(F);
+             const std::string &Label, const Config &C, Report &R,
+             const std::vector<RegBinding> *Inputs = nullptr) {
+  LintResult Res = Driver.run(F, nullptr, Inputs);
   if (!C.Quiet)
     std::printf("cpr-lint: %s: %zu finding(s)\n", Label.c_str(),
                 Res.Findings.size());
   for (const LintFinding &Finding : Res.Findings)
     std::printf("%s\n", Finding.str().c_str());
+  if (C.ConfirmWitnesses) {
+    for (const LintFinding &Finding : Res.Findings) {
+      if (!Finding.Witness || !Finding.Witness->Solved) {
+        ++R.WitnessesUnsolved;
+        std::printf("cpr-lint: witness [%s] @%s: unsolved (%s)\n",
+                    Finding.Check.c_str(), Finding.Block.c_str(),
+                    Finding.Witness ? Finding.Witness->UnsolvedWhy.c_str()
+                                    : "finding carries no witness");
+        continue;
+      }
+      WitnessConfirmation WC = confirmWitness(F, *Finding.Witness);
+      if (WC.Confirmed)
+        ++R.WitnessesConfirmed;
+      else
+        ++R.WitnessesUnconfirmed;
+      std::printf("cpr-lint: witness [%s] @%s: %s (%s)\n",
+                  Finding.Check.c_str(), Finding.Block.c_str(),
+                  WC.Confirmed ? "confirmed" : "NOT CONFIRMED",
+                  WC.Detail.c_str());
+    }
+  }
   R.Errors += Res.errorCount();
   R.Warnings +=
       Res.countAtLeast(DiagSeverity::Warning) - Res.errorCount();
@@ -129,11 +165,19 @@ void lintOne(const LintDriver &Driver, const Function &F,
 int finish(const Config &C, Report &R) {
   if (!C.StatsJSON.empty()) {
     JSONValue Root = JSONValue::object();
-    Root.set("schema", JSONValue::str("cpr-lint-v1"));
+    Root.set("schema", JSONValue::str("cpr-lint-v2"));
     Root.set("functions", std::move(R.Functions));
     JSONValue Totals = JSONValue::object();
     Totals.set("error", JSONValue::number(R.Errors));
     Totals.set("warning", JSONValue::number(R.Warnings));
+    if (C.ConfirmWitnesses) {
+      Totals.set("witnesses_confirmed",
+                 JSONValue::number(R.WitnessesConfirmed));
+      Totals.set("witnesses_unsolved",
+                 JSONValue::number(R.WitnessesUnsolved));
+      Totals.set("witnesses_unconfirmed",
+                 JSONValue::number(R.WitnessesUnconfirmed));
+    }
     Root.set("totals", std::move(Totals));
     std::string Out = writeJSON(Root);
     if (C.StatsJSON == "-") {
@@ -147,6 +191,12 @@ int finish(const Config &C, Report &R) {
       }
       OS << Out << "\n";
     }
+  }
+  if (R.WitnessesUnconfirmed > 0) {
+    std::fprintf(stderr,
+                 "cpr-lint: %u witness(es) failed to confirm on replay\n",
+                 R.WitnessesUnconfirmed);
+    return exit_codes::Failure;
   }
   if (R.Errors > 0 || (C.Werror && R.Warnings > 0))
     return exit_codes::Failure;
@@ -190,7 +240,10 @@ int main(int argc, char **argv) {
       if (Name == P->name())
         Known = true;
     if (!Known) {
-      std::fprintf(stderr, "cpr-lint: unknown check '%s'\n", Name.c_str());
+      std::fprintf(stderr, "cpr-lint: unknown check '%s'; available:\n",
+                   Name.c_str());
+      for (const std::unique_ptr<LintPass> &P : Probe.passes())
+        std::fprintf(stderr, "  %s\n", P->name());
       return exit_codes::UsageError;
     }
   }
@@ -205,12 +258,13 @@ int main(int argc, char **argv) {
     LintDriver Driver = LintDriver::withBuiltinPasses(Opts);
     for (const BenchmarkSpec &Spec : paperBenchmarkSuite()) {
       KernelProgram P = Spec.Build();
-      lintOne(Driver, *P.Func, Spec.Name, C, R);
+      lintOne(Driver, *P.Func, Spec.Name, C, R, &P.InitRegs);
       Memory Mem = P.InitMem;
       ProfileData Prof = profileRun(*P.Func, Mem, P.InitRegs);
       std::unique_ptr<Function> Treated =
           applyControlCPR(*P.Func, Prof, CPROptions());
-      lintOne(Driver, *Treated, Spec.Name + " (post-cpr)", C, R);
+      lintOne(Driver, *Treated, Spec.Name + " (post-cpr)", C, R,
+              &P.InitRegs);
     }
     return finish(C, R);
   }

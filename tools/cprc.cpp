@@ -562,7 +562,7 @@ int main(int argc, char **argv) {
   LintDriver Linter = LintDriver::withBuiltinPasses();
   bool BaselineLintClean = true;
   if (C.Lint) {
-    LintResult LR = Linter.run(*F);
+    LintResult LR = Linter.run(*F, nullptr, &C.InitRegs);
     reportLintFindings(LR, Diags);
     BaselineLintClean = LR.errorCount() == 0;
     std::fprintf(stderr, "lint: input: %zu finding(s)\n",
@@ -592,8 +592,8 @@ int main(int argc, char **argv) {
     if (!TransformLimit.unlimited())
       Ctx.Budget = &TransformBudget;
     if (C.FailSafe && C.Lint && BaselineLintClean)
-      Ctx.RegionLint = [&Linter](const Function &Candidate) -> Status {
-        return lintStatus(Linter.run(Candidate));
+      Ctx.RegionLint = [&Linter, &C](const Function &Candidate) -> Status {
+        return lintStatus(Linter.run(Candidate, nullptr, &C.InitRegs));
       };
     std::unique_ptr<Function> OracleBaseline;
     if (C.FailSafe && C.RegionEquiv) {
@@ -651,7 +651,7 @@ int main(int argc, char **argv) {
   verifyOrDie(*F, "cprc output");
 
   if (C.Lint) {
-    LintResult LR = Linter.run(*F);
+    LintResult LR = Linter.run(*F, nullptr, &C.InitRegs);
     // Findings the input already had are not re-reported as new errors;
     // any error here on a lint-clean input is a transform regression.
     if (BaselineLintClean)
